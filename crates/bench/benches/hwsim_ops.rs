@@ -1,0 +1,49 @@
+//! Criterion benches: performance-simulator evaluation cost, and a check
+//! that regenerating every table/figure of the paper is instantaneous.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use vrm_hwsim::{
+    simulate_app, simulate_micro, simulate_multivm, workloads, HwConfig, HypConfig, HypKind,
+    KernelVersion, VM_COUNTS,
+};
+
+fn bench_hwsim(c: &mut Criterion) {
+    let hw = HwConfig::m400();
+    let hyp = HypConfig::new(HypKind::SeKvm, KernelVersion::V4_18);
+    c.bench_function("hwsim/micro-table", |b| {
+        b.iter(|| simulate_micro(std::hint::black_box(hw), std::hint::black_box(hyp)))
+    });
+    c.bench_function("hwsim/fig8-all-bars", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for hwc in [HwConfig::m400(), HwConfig::seattle()] {
+                for kind in [HypKind::Kvm, HypKind::SeKvm] {
+                    for kernel in [KernelVersion::V4_18, KernelVersion::V5_4] {
+                        for w in workloads() {
+                            acc += simulate_app(hwc, HypConfig::new(kind, kernel), &w).normalized;
+                        }
+                    }
+                }
+            }
+            acc
+        })
+    });
+    c.bench_function("hwsim/fig9-all-points", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for kind in [HypKind::Kvm, HypKind::SeKvm] {
+                let hy = HypConfig::new(kind, KernelVersion::V4_18);
+                for w in workloads() {
+                    for n in VM_COUNTS {
+                        acc += simulate_multivm(hw, hy, &w, n);
+                    }
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_hwsim);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Criterion benches: hypervisor-model operation throughput.
+//!
+//! How expensive are the SeKVM model's primitives — ticket-lock hand-off,
+//! stage-2 map/unmap (3- vs 4-level, with and without per-op
+//! Transactional-Page-Table checking), and a full multi-CPU VM lifecycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use vrm_sekvm::layout::VM_POOL_PFN;
+use vrm_sekvm::machine::{lifecycle_script, Machine};
+use vrm_sekvm::ticketlock::TicketLock;
+use vrm_sekvm::{KCore, KCoreConfig};
+
+fn bench_ticket_lock(c: &mut Criterion) {
+    c.bench_function("ticketlock/acquire-release", |b| {
+        let mut l = TicketLock::new();
+        b.iter(|| {
+            let t = l.draw();
+            assert!(l.try_enter(0, t));
+            l.release(0);
+        })
+    });
+}
+
+fn bench_stage2(c: &mut Criterion) {
+    for levels in [3u32, 4u32] {
+        for check in [false, true] {
+            let name = format!(
+                "stage2/map-unmap/{levels}-level{}",
+                if check { "+txcheck" } else { "" }
+            );
+            c.bench_function(&name, |b| {
+                let mut k = KCore::boot(KCoreConfig {
+                    s2_levels: levels,
+                    check_transactional: check,
+                    ..Default::default()
+                });
+                let vmid = boot_vm(&mut k);
+                let mut gpa = 1024 * vrm_sekvm::layout::PAGE_WORDS;
+                let mut donor = VM_POOL_PFN.0 + 16;
+                b.iter(|| {
+                    k.handle_s2_fault(0, vmid, gpa, donor).unwrap();
+                    gpa += vrm_sekvm::layout::PAGE_WORDS;
+                    donor += 1;
+                });
+            });
+        }
+    }
+}
+
+fn boot_vm(k: &mut KCore) -> u32 {
+    let pfns = vec![VM_POOL_PFN.0, VM_POOL_PFN.0 + 1];
+    let mut words = Vec::new();
+    for &pfn in &pfns {
+        for w in 0..vrm_sekvm::layout::PAGE_WORDS {
+            let v = pfn + w;
+            k.mem.write(vrm_sekvm::layout::page_addr(pfn) + w, v);
+            words.push(v);
+        }
+    }
+    let hash = KCore::image_hash(&words);
+    let vmid = k.register_vm(0).unwrap();
+    k.register_vcpu(0, vmid).unwrap();
+    k.set_boot_info(0, vmid, pfns, hash).unwrap();
+    k.remap_vm_image(0, vmid).unwrap();
+    k.verify_vm_image(0, vmid).unwrap();
+    vmid
+}
+
+fn bench_lifecycle(c: &mut Criterion) {
+    c.bench_function("machine/4cpu-lifecycle", |b| {
+        b.iter(|| {
+            let scripts = (0..4)
+                .map(|i| {
+                    lifecycle_script(
+                        i as u64,
+                        VM_POOL_PFN.0 + (i as u64) * 8,
+                        VM_POOL_PFN.0 + (i as u64) * 8 + 4,
+                    )
+                })
+                .collect();
+            let mut m = Machine::new(KCoreConfig::default(), scripts, 7);
+            let r = m.run(1_000_000);
+            assert!(r.clean());
+        })
+    });
+}
+
+fn bench_hypercalls(c: &mut Criterion) {
+    c.bench_function("hypercall/send_sgi+ack", |b| {
+        let mut k = KCore::boot(KCoreConfig::default());
+        let vmid = boot_vm(&mut k);
+        k.register_vcpu(0, vmid).unwrap();
+        b.iter(|| {
+            k.send_sgi(0, vmid, 1, 3).unwrap();
+            k.ack_irq(1, vmid, 1, 3).unwrap();
+        })
+    });
+    c.bench_function("hypercall/uart_write", |b| {
+        let mut k = KCore::boot(KCoreConfig::default());
+        let vmid = boot_vm(&mut k);
+        b.iter(|| k.uart_write(0, vmid, b'x').unwrap())
+    });
+    c.bench_function("hypercall/grant+revoke", |b| {
+        let mut k = KCore::boot(KCoreConfig::default());
+        let vmid = boot_vm(&mut k);
+        b.iter(|| {
+            k.grant_page(0, vmid, 0).unwrap();
+            k.revoke_page(0, vmid, 0).unwrap();
+        })
+    });
+    c.bench_function("hypercall/export_page", |b| {
+        let mut k = KCore::boot(KCoreConfig::default());
+        let vmid = boot_vm(&mut k);
+        let dest = VM_POOL_PFN.0 + 32;
+        b.iter(|| {
+            k.export_vm_page(0, vmid, 0, dest).unwrap();
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ticket_lock,
+    bench_stage2,
+    bench_lifecycle,
+    bench_hypercalls
+);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion benches: memory-model enumeration throughput.
+//!
+//! These measure the reproduction's own machinery (there is no hardware
+//! counterpart): how fast the SC, Promising Arm, and Armv8 axiomatic
+//! enumerators chew through standard litmus shapes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use vrm_memmodel::axiomatic::enumerate_axiomatic;
+use vrm_memmodel::builder::ProgramBuilder;
+use vrm_memmodel::ir::{Program, Reg};
+use vrm_memmodel::promising::{enumerate_promising_with, PromisingConfig};
+use vrm_memmodel::sc::enumerate_sc;
+
+fn mp() -> Program {
+    let (x, y) = (0x10, 0x20);
+    let mut p = ProgramBuilder::new("MP");
+    p.thread("T0", |t| {
+        t.store(x, 1u64, false);
+        t.store(y, 1u64, false);
+    });
+    p.thread("T1", |t| {
+        t.load(Reg(0), y, false);
+        t.load(Reg(1), x, false);
+    });
+    p.observe_reg("f", 1, Reg(0));
+    p.observe_reg("d", 1, Reg(1));
+    p.build()
+}
+
+fn sb3() -> Program {
+    // Three-thread store-buffering variant: a heavier enumeration.
+    let locs = [0x10u64, 0x20, 0x30];
+    let mut p = ProgramBuilder::new("SB3");
+    for i in 0..3usize {
+        let w = locs[i];
+        let r = locs[(i + 1) % 3];
+        p.thread("t", move |t| {
+            t.store(w, 1u64, false);
+            t.load(Reg(0), r, false);
+        });
+    }
+    for i in 0..3 {
+        p.observe_reg(&format!("r{i}"), i, Reg(0));
+    }
+    p.build()
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mp = mp();
+    let sb3 = sb3();
+    c.bench_function("sc/MP", |b| {
+        b.iter(|| enumerate_sc(std::hint::black_box(&mp)).unwrap())
+    });
+    c.bench_function("promising/MP", |b| {
+        b.iter(|| {
+            enumerate_promising_with(
+                std::hint::black_box(&mp),
+                &PromisingConfig {
+                    promises: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("promising-with-promises/MP", |b| {
+        b.iter(|| {
+            enumerate_promising_with(std::hint::black_box(&mp), &PromisingConfig::default())
+                .unwrap()
+        })
+    });
+    c.bench_function("axiomatic/MP", |b| {
+        b.iter(|| enumerate_axiomatic(std::hint::black_box(&mp)).unwrap())
+    });
+    c.bench_function("promising/SB3", |b| {
+        b.iter(|| {
+            enumerate_promising_with(
+                std::hint::black_box(&sb3),
+                &PromisingConfig {
+                    promises: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("axiomatic/SB3", |b| {
+        b.iter(|| enumerate_axiomatic(std::hint::black_box(&sb3)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Reproduces Figure 8: single-VM application benchmark performance
+//! normalized to native, for KVM and SeKVM in Linux 4.18 and 5.4 on both
+//! hardware configurations.
+
+use vrm_bench::{row, rule};
+use vrm_hwsim::{simulate_app, workloads, HwConfig, HypConfig, HypKind, KernelVersion};
+
+fn main() {
+    println!("Figure 8. Single-VM application benchmark performance");
+    println!("(1.0 = native execution on the same hardware; higher is better)");
+    println!();
+    for hw in [HwConfig::m400(), HwConfig::seattle()] {
+        println!("{}:", hw.name);
+        println!(
+            "{}",
+            row(
+                "  Benchmark",
+                &[
+                    "KVM 4.18".into(),
+                    "SeKVM 4.18".into(),
+                    "KVM 5.4".into(),
+                    "SeKVM 5.4".into(),
+                    "worst ratio".into(),
+                ]
+            )
+        );
+        println!("{}", rule(90));
+        for w in workloads() {
+            let vals: Vec<f64> = [
+                (HypKind::Kvm, KernelVersion::V4_18),
+                (HypKind::SeKvm, KernelVersion::V4_18),
+                (HypKind::Kvm, KernelVersion::V5_4),
+                (HypKind::SeKvm, KernelVersion::V5_4),
+            ]
+            .into_iter()
+            .map(|(k, v)| simulate_app(hw, HypConfig::new(k, v), &w).normalized)
+            .collect();
+            let worst = (vals[1] / vals[0]).min(vals[3] / vals[2]);
+            println!(
+                "{}",
+                row(
+                    &format!("  {}", w.name),
+                    &[
+                        format!("{:.3}", vals[0]),
+                        format!("{:.3}", vals[1]),
+                        format!("{:.3}", vals[2]),
+                        format!("{:.3}", vals[3]),
+                        format!("{:.1}%", worst * 100.0),
+                    ]
+                )
+            );
+        }
+        println!();
+    }
+    println!(
+        "Shape check (paper): SeKVM performs comparably to unmodified KVM on all\n\
+         application workloads — worst-case overhead below 10% versus KVM — and\n\
+         there is no substantial relative change across kernel versions."
+    );
+}

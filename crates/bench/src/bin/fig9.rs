@@ -1,0 +1,52 @@
+//! Reproduces Figure 9: multi-VM application benchmark performance on the
+//! m400 (Linux 4.18), 1 to 32 concurrent 2-vCPU VMs, normalized to one
+//! native instance.
+
+use vrm_bench::{row, rule};
+use vrm_hwsim::{
+    simulate_multivm, simulate_multivm_discrete, workloads, HwConfig, HypConfig, HypKind,
+    KernelVersion, VM_COUNTS,
+};
+
+fn main() {
+    println!("Figure 9. Multi-VM application benchmark performance (m400, Linux 4.18)");
+    println!("(per-instance performance normalized to 1 native instance)");
+    println!();
+    let hw = HwConfig::m400();
+    let kvm = HypConfig::new(HypKind::Kvm, KernelVersion::V4_18);
+    let sekvm = HypConfig::new(HypKind::SeKvm, KernelVersion::V4_18);
+    for w in workloads() {
+        println!("{}:", w.name);
+        let header: Vec<String> = VM_COUNTS.iter().map(|n| format!("{n} VMs")).collect();
+        println!("{}", row("  hypervisor", &header));
+        println!("{}", rule(28 + 12 * VM_COUNTS.len()));
+        for (name, hyp) in [("KVM", kvm), ("SeKVM", sekvm)] {
+            let vals: Vec<String> = VM_COUNTS
+                .iter()
+                .map(|&n| format!("{:.3}", simulate_multivm(hw, hyp, &w, n)))
+                .collect();
+            println!("{}", row(&format!("  {name}"), &vals));
+        }
+        let ratios: Vec<String> = VM_COUNTS
+            .iter()
+            .map(|&n| {
+                let k = simulate_multivm(hw, kvm, &w, n);
+                let s = simulate_multivm(hw, sekvm, &w, n);
+                format!("{:.1}%", s / k * 100.0)
+            })
+            .collect();
+        println!("{}", row("  SeKVM/KVM", &ratios));
+        // Cross-check: the discrete-event scheduler simulation.
+        let discrete: Vec<String> = VM_COUNTS
+            .iter()
+            .map(|&n| format!("{:.3}", simulate_multivm_discrete(hw, kvm, &w, n, 4000, 7)))
+            .collect();
+        println!("{}", row("  KVM (discrete)", &discrete));
+        println!();
+    }
+    println!(
+        "Shape check (paper): running more concurrent VMs slows each instance\n\
+         similarly under both hypervisors; even at 32 VMs SeKVM stays within 10%\n\
+         of unmodified KVM on every workload."
+    );
+}

@@ -1,0 +1,177 @@
+//! Litmus-file runner: parses `.litmus` files (see
+//! `vrm_memmodel::parser` for the grammar), enumerates them on all three
+//! models, cross-checks operational vs axiomatic, and evaluates the
+//! file's `check` expectations.
+//!
+//! ```console
+//! $ cargo run -p vrm-bench --bin litmus -- litmus/           # a directory
+//! $ cargo run -p vrm-bench --bin litmus -- litmus/mp.litmus  # one file
+//! $ cargo run -p vrm-bench --bin litmus -- --witness flag=1,data=0 litmus/mp.litmus
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use vrm_memmodel::axiomatic::{enumerate_axiomatic_with, AxConfig};
+use vrm_memmodel::parser::{parse, CheckModel};
+use vrm_memmodel::promising::{enumerate_promising_with, find_witness};
+use vrm_memmodel::sc::enumerate_sc;
+
+fn collect_files(arg: &str) -> Vec<PathBuf> {
+    let p = Path::new(arg);
+    if p.is_dir() {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(p)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|e| e == "litmus"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        files.sort();
+        files
+    } else {
+        vec![p.to_path_buf()]
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut witness_spec: Option<Vec<(String, u64)>> = None;
+    let mut paths = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--witness" => {
+                let spec = args.get(i + 1).expect("--witness needs name=val,...");
+                witness_spec = Some(
+                    spec.split(',')
+                        .map(|b| {
+                            let (n, v) = b.split_once('=').expect("binding name=val");
+                            (n.to_string(), v.parse().expect("numeric value"))
+                        })
+                        .collect(),
+                );
+                i += 2;
+            }
+            other => {
+                paths.extend(collect_files(other));
+                i += 1;
+            }
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: litmus [--witness name=val,...] <file.litmus | dir> ...");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        let parsed = match parse(&text) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        let prog = &parsed.program;
+        print!("{:<28}", prog.name);
+        let sc = enumerate_sc(prog).expect("SC enumeration");
+        let rm = enumerate_promising_with(prog, &parsed.promising)
+            .expect("promising enumeration")
+            .outcomes;
+        // None for VM/TLB programs, disabled files, or truncated
+        // (unroll-bounded) enumerations where comparison is unsound.
+        let ax = if parsed.run_axiomatic {
+            enumerate_axiomatic_with(prog, &AxConfig::default())
+                .ok()
+                .filter(|r| !r.truncated)
+                .map(|r| r.outcomes)
+        } else {
+            None
+        };
+        // Full promise search must agree exactly with the axiomatic model;
+        // the promise-free fast path is a sound under-approximation.
+        let conform = match &ax {
+            Some(ax) if parsed.promising.promises => {
+                if *ax == rm {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            }
+            Some(ax) => {
+                if rm.is_subset(ax) {
+                    "sub"
+                } else {
+                    "NO"
+                }
+            }
+            None => "n/a",
+        };
+        print!(" sc:{:<3} arm:{:<3} conform:{:<4}", sc.len(), rm.len(), conform);
+        let mut ok = conform != "NO" && sc.is_subset(&rm);
+        for c in &parsed.checks {
+            // `arm` expectations are judged against the *complete* model
+            // when available (the axiomatic set); `sc` against SC.
+            let set = match c.model {
+                CheckModel::Arm => ax.as_ref().unwrap_or(&rm),
+                CheckModel::Sc => &sc,
+            };
+            let bindings: Vec<(&str, u64)> =
+                c.bindings.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+            let holds = set.contains_binding(&bindings) == c.allows;
+            if !holds {
+                ok = false;
+            }
+            print!(
+                " [{} {} {}: {}]",
+                match c.model {
+                    CheckModel::Arm => "arm",
+                    CheckModel::Sc => "sc",
+                },
+                if c.allows { "allows" } else { "forbids" },
+                c.bindings
+                    .iter()
+                    .map(|(n, v)| format!("{n}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(","),
+                if holds { "ok" } else { "FAIL" }
+            );
+        }
+        println!("  {}", if ok { "PASS" } else { "FAIL" });
+        if !ok {
+            failures += 1;
+        }
+        if let Some(spec) = &witness_spec {
+            let bindings: Vec<(&str, u64)> =
+                spec.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+            match find_witness(prog, &parsed.promising, &bindings)
+                .expect("witness search")
+            {
+                Some(w) => {
+                    println!("  witness for {spec:?}:");
+                    for step in w {
+                        println!("    {step}");
+                    }
+                }
+                None => println!("  no execution reaches {spec:?}"),
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{failures} failure(s)");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,75 @@
+//! Reproduces Table 3 (microbenchmark cycles) and prints Table 2's
+//! operation descriptions.
+
+use vrm_bench::{row, rule};
+use vrm_hwsim::{simulate_micro, HwConfig, HypConfig, HypKind, KernelVersion};
+
+/// Paper Table 3 values, for side-by-side comparison.
+const PAPER: [(&str, [u64; 4], [u64; 4]); 2] = [
+    ("m400", [2275, 3144, 7864, 7915], [4695, 7235, 15501, 13900]),
+    ("Seattle", [2896, 3831, 9288, 8816], [3720, 4864, 10903, 10699]),
+];
+
+fn main() {
+    println!("Table 2. Microbenchmarks.");
+    println!("  Hypercall   — VM→hypervisor transition and return, no work.");
+    println!("  I/O Kernel  — trap to the in-kernel emulated interrupt controller.");
+    println!("  I/O User    — trap to the emulated UART in QEMU and return.");
+    println!("  Virtual IPI — vCPU-to-vCPU IPI across physical CPUs.");
+    println!();
+    println!("Table 3. Microbenchmark performance (cycles), simulated vs paper.");
+    println!();
+    for (hw, paper_kvm, paper_sekvm) in [
+        (HwConfig::m400(), PAPER[0].1, PAPER[0].2),
+        (HwConfig::seattle(), PAPER[1].1, PAPER[1].2),
+    ] {
+        let kvm = simulate_micro(hw, HypConfig::new(HypKind::Kvm, KernelVersion::V4_18));
+        let sekvm = simulate_micro(hw, HypConfig::new(HypKind::SeKvm, KernelVersion::V4_18));
+        println!("{} (Linux 4.18):", hw.name);
+        println!(
+            "{}",
+            row(
+                "  Benchmark",
+                &[
+                    "KVM sim".into(),
+                    "KVM paper".into(),
+                    "SeKVM sim".into(),
+                    "SeKVM paper".into(),
+                    "ratio sim".into(),
+                    "ratio paper".into(),
+                ]
+            )
+        );
+        println!("{}", rule(100));
+        let names = ["Hypercall", "I/O Kernel", "I/O User", "Virtual IPI"];
+        let sim_kvm = [kvm.hypercall, kvm.io_kernel, kvm.io_user, kvm.virtual_ipi];
+        let sim_sek = [
+            sekvm.hypercall,
+            sekvm.io_kernel,
+            sekvm.io_user,
+            sekvm.virtual_ipi,
+        ];
+        for i in 0..4 {
+            println!(
+                "{}",
+                row(
+                    &format!("  {}", names[i]),
+                    &[
+                        sim_kvm[i].to_string(),
+                        paper_kvm[i].to_string(),
+                        sim_sek[i].to_string(),
+                        paper_sekvm[i].to_string(),
+                        format!("{:.2}", sim_sek[i] as f64 / sim_kvm[i] as f64),
+                        format!("{:.2}", paper_sekvm[i] as f64 / paper_kvm[i] as f64),
+                    ]
+                )
+            );
+        }
+        println!();
+    }
+    println!(
+        "Shape check: SeKVM overhead is much higher on the tiny-TLB m400 than on\n\
+         Seattle, driven by 4 KB KServ stage-2 mappings (paper §6); Seattle ratios\n\
+         stay below ~1.4x."
+    );
+}

@@ -1,0 +1,88 @@
+//! §5.6: the wDRF conditions and security invariants hold for SeKVM
+//! across kernel versions and both stage-2 table geometries.
+//!
+//! The paper verified eight KVM versions (Linux 4.18–5.5) with 3- and
+//! 4-level stage-2 tables. The version ports differ in KServ (untrusted)
+//! code; the verified KCore interface is the same, so this reproduction
+//! validates the KCore model under both geometries for each version label
+//! and reports the validator verdicts.
+
+use vrm_bench::{row, rule};
+use vrm_sekvm::layout::VM_POOL_PFN;
+use vrm_sekvm::machine::{lifecycle_script, Machine};
+use vrm_sekvm::security::check_invariants;
+use vrm_sekvm::wdrf::validate_log;
+use vrm_sekvm::KCoreConfig;
+
+const VERSIONS: [&str; 8] = ["4.18", "4.20", "5.0", "5.1", "5.2", "5.3", "5.4", "5.5"];
+
+fn main() {
+    println!("Section 5.6: wDRF + security validation across KVM versions");
+    println!();
+    println!(
+        "{}",
+        row(
+            "Linux version",
+            &[
+                "s2 levels".into(),
+                "ops ok".into(),
+                "wDRF".into(),
+                "invariants".into(),
+            ]
+        )
+    );
+    println!("{}", rule(76));
+    let mut all_pass = true;
+    for (i, version) in VERSIONS.iter().enumerate() {
+        // 4.18 shipped with 4-level tables; 3-level support came with the
+        // later ports (we validate it for every version that has it).
+        let geometries: &[u32] = if i == 0 { &[4] } else { &[3, 4] };
+        for &levels in geometries {
+            let scripts = (0..4)
+                .map(|c| {
+                    lifecycle_script(
+                        c as u64,
+                        VM_POOL_PFN.0 + (c as u64) * 8,
+                        VM_POOL_PFN.0 + (c as u64) * 8 + 4,
+                    )
+                })
+                .collect();
+            let mut m = Machine::new(
+                KCoreConfig {
+                    s2_levels: levels,
+                    ..Default::default()
+                },
+                scripts,
+                0xC0FFEE + i as u64,
+            );
+            let report = m.run(1_000_000);
+            let wdrf = validate_log(&m.kcore.log);
+            let inv = check_invariants(&m.kcore);
+            let pass = report.clean() && wdrf.is_empty() && inv.is_empty();
+            all_pass &= pass;
+            println!(
+                "{}",
+                row(
+                    version,
+                    &[
+                        levels.to_string(),
+                        report.ops_ok.to_string(),
+                        if wdrf.is_empty() { "PASS" } else { "FAIL" }.into(),
+                        if inv.is_empty() { "PASS" } else { "FAIL" }.into(),
+                    ]
+                )
+            );
+        }
+    }
+    println!();
+    println!(
+        "{}",
+        if all_pass {
+            "All versions and geometries validate — matching the paper's claim that\n\
+             the weakened wDRF conditions hold for both 3- and 4-level stage-2\n\
+             tables across all eight verified KVM versions."
+        } else {
+            "VALIDATION FAILURES — see rows above."
+        }
+    );
+}

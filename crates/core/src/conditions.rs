@@ -1,0 +1,560 @@
+//! Checkers for the six wDRF conditions (§3 of the paper).
+//!
+//! | # | Condition | How it is checked here |
+//! |---|-----------|------------------------|
+//! | 1 | DRF-Kernel | push/pull ownership panics over *all* Promising-Arm executions ([`crate::pushpull`]) |
+//! | 2 | No-Barrier-Misuse | barrier fulfilment of push/pull promises, same enumeration |
+//! | 3 | Write-Once-Kernel-Mapping | coherence-predecessor monitor on kernel-page-table writes, same enumeration |
+//! | 4 | Transactional-Page-Table | exhaustive subset check of a critical section's page-table writes against walk snapshots ([`check_transactional`]) |
+//! | 5 | Sequential-TLB-Invalidation | trace check: every unmap/remap of a user-walked entry is followed by a barrier and a TLBI ([`check_sequential_tlbi`]) |
+//! | 6 | Memory-Isolation / Weak-Memory-Isolation | static access-set check from the value analysis ([`check_memory_isolation`]) |
+//!
+//! Conditions 1–3 are *relaxed-memory* properties and are validated on the
+//! Promising Arm model (the paper: "the wDRF conditions required by VRM
+//! must themselves hold on RM hardware"). Conditions 4–6 are structural
+//! properties of the program validated per the paper's own §5 arguments.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+
+use vrm_memmodel::ir::{Addr, Program, Val, VmConfig};
+use vrm_memmodel::promising::PromisingConfig;
+use vrm_memmodel::sc::{run_schedule, ExploreError};
+use vrm_memmodel::trace::{EventKind, Trace};
+use vrm_memmodel::values::{analyze, ValueConfig};
+
+use crate::pushpull::check_pushpull;
+use crate::spec::{IsolationMode, KernelSpec};
+
+/// The six wDRF conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Condition {
+    /// 1: shared kernel accesses are well synchronized.
+    DrfKernel,
+    /// 2: barriers correctly guard critical sections and sync methods.
+    NoBarrierMisuse,
+    /// 3: the kernel's own page table is write-once.
+    WriteOnceKernelMapping,
+    /// 4: shared page-table writes in a critical section are transactional.
+    TransactionalPageTable,
+    /// 5: unmap/remap is followed by a barrier and a TLB invalidation.
+    SequentialTlbInvalidation,
+    /// 6: kernel/user memory are (weakly) isolated.
+    MemoryIsolation,
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Condition::DrfKernel => "DRF-Kernel",
+            Condition::NoBarrierMisuse => "No-Barrier-Misuse",
+            Condition::WriteOnceKernelMapping => "Write-Once-Kernel-Mapping",
+            Condition::TransactionalPageTable => "Transactional-Page-Table",
+            Condition::SequentialTlbInvalidation => "Sequential-TLB-Invalidation",
+            Condition::MemoryIsolation => "Memory-Isolation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The verdict for one condition.
+#[derive(Debug, Clone)]
+pub struct ConditionReport {
+    /// Which condition was checked.
+    pub condition: Condition,
+    /// Did it hold?
+    pub holds: bool,
+    /// Human-readable evidence (violations, statistics).
+    pub details: Vec<String>,
+}
+
+impl ConditionReport {
+    fn ok(condition: Condition, details: Vec<String>) -> Self {
+        ConditionReport {
+            condition,
+            holds: true,
+            details,
+        }
+    }
+
+    fn fail(condition: Condition, details: Vec<String>) -> Self {
+        ConditionReport {
+            condition,
+            holds: false,
+            details,
+        }
+    }
+}
+
+impl fmt::Display for ConditionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{}] {}",
+            if self.holds { "PASS" } else { "FAIL" },
+            self.condition
+        )?;
+        for d in &self.details {
+            writeln!(f, "    {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks conditions 1–3 with a single exhaustive Promising-Arm
+/// enumeration (they share the ghost machinery).
+pub fn check_sync_conditions(
+    prog: &Program,
+    spec: &KernelSpec,
+    cfg: &PromisingConfig,
+) -> Result<Vec<ConditionReport>, ExploreError> {
+    let r = check_pushpull(prog, spec, cfg)?;
+    let mut out = Vec::new();
+    let mk = |cond, holds: bool, vs: &BTreeSet<_>| {
+        let mut details: Vec<String> = vs.iter().map(|v| format!("{v:?}")).collect();
+        if r.truncated {
+            details.push("warning: exploration bounds hit; result may be incomplete".into());
+        }
+        ConditionReport {
+            condition: cond,
+            holds,
+            details,
+        }
+    };
+    out.push(mk(
+        Condition::DrfKernel,
+        r.drf_kernel_holds(),
+        &r.ownership_violations,
+    ));
+    out.push(mk(
+        Condition::NoBarrierMisuse,
+        r.no_barrier_misuse_holds(),
+        &r.barrier_violations,
+    ));
+    out.push(mk(
+        Condition::WriteOnceKernelMapping,
+        r.write_once_holds(),
+        &r.write_once_violations,
+    ));
+    Ok(out)
+}
+
+/// What a page-table walk can observe (before / after / fault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkResult {
+    /// The walk resolved to this physical address.
+    Mapped(Addr),
+    /// The walk hit an empty entry.
+    Fault,
+}
+
+/// Walks `va` over a memory snapshot using pure page-table arithmetic.
+pub fn walk_snapshot(mem: &BTreeMap<Addr, Val>, vm: &VmConfig, va: Addr) -> WalkResult {
+    let mut table = vm.root;
+    for level in 0..vm.levels {
+        let cell = table + vm.index(va, level);
+        let entry = mem.get(&cell).copied().unwrap_or(0);
+        if entry == 0 {
+            return WalkResult::Fault;
+        }
+        table = entry;
+    }
+    WalkResult::Mapped(table + vm.offset(va))
+}
+
+/// A Transactional-Page-Table counterexample: the subset of writes applied
+/// and the virtual address whose walk saw neither before, nor after, nor a
+/// fault.
+#[derive(Debug, Clone)]
+pub struct TxCounterExample {
+    /// Indices into the write list that were applied.
+    pub applied: Vec<usize>,
+    /// The observing virtual address.
+    pub va: Addr,
+    /// The anomalous walk result.
+    pub observed: WalkResult,
+}
+
+/// Condition 4: checks that a critical section's page-table writes are
+/// *transactional* — under arbitrary reordering (any subset of the writes
+/// having landed), every walk sees the before-state result, the
+/// after-state result, or faults.
+///
+/// `init` is the memory at critical-section entry, `writes` the section's
+/// page-table writes in program order, `vas` the virtual addresses whose
+/// translations matter (typically every mapped page).
+pub fn check_transactional(
+    init: &BTreeMap<Addr, Val>,
+    vm: &VmConfig,
+    writes: &[(Addr, Val)],
+    vas: &[Addr],
+) -> Result<(), TxCounterExample> {
+    assert!(writes.len() <= 20, "subset enumeration bound");
+    let mut after = init.clone();
+    for &(a, v) in writes {
+        after.insert(a, v);
+    }
+    for mask in 0u32..(1 << writes.len()) {
+        let mut mem = init.clone();
+        let mut applied = Vec::new();
+        for (i, &(a, v)) in writes.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                mem.insert(a, v);
+                applied.push(i);
+            }
+        }
+        for &va in vas {
+            let got = walk_snapshot(&mem, vm, va);
+            let before_r = walk_snapshot(init, vm, va);
+            let after_r = walk_snapshot(&after, vm, va);
+            if got != before_r && got != after_r && got != WalkResult::Fault {
+                return Err(TxCounterExample {
+                    applied,
+                    va,
+                    observed: got,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Condition 4 as a [`ConditionReport`].
+pub fn check_transactional_report(
+    init: &BTreeMap<Addr, Val>,
+    vm: &VmConfig,
+    writes: &[(Addr, Val)],
+    vas: &[Addr],
+) -> ConditionReport {
+    match check_transactional(init, vm, writes, vas) {
+        Ok(()) => ConditionReport::ok(
+            Condition::TransactionalPageTable,
+            vec![format!(
+                "{} writes x {} VAs x {} orderings checked",
+                writes.len(),
+                vas.len(),
+                1u64 << writes.len()
+            )],
+        ),
+        Err(cex) => ConditionReport::fail(
+            Condition::TransactionalPageTable,
+            vec![format!(
+                "walk of va {:#x} observed {:?} with writes {:?} applied",
+                cex.va, cex.observed, cex.applied
+            )],
+        ),
+    }
+}
+
+/// Condition 5: scans an execution trace, requiring that every write that
+/// unmaps or remaps a live user-page-table entry is followed (in the same
+/// thread, before its next critical-section exit or thread end) by a
+/// barrier and then a TLB invalidation.
+pub fn check_sequential_tlbi(trace: &Trace, prog: &Program, spec: &KernelSpec) -> ConditionReport {
+    // Reconstruct memory to learn each write's old value.
+    let mut mem: BTreeMap<Addr, Val> = prog.init_mem.clone();
+    // Pending unmaps per thread: (event index, addr).
+    let mut pending: BTreeMap<usize, Vec<(usize, Addr)>> = BTreeMap::new();
+    // Barrier seen since the pending write, per thread.
+    let mut fenced: BTreeMap<usize, bool> = BTreeMap::new();
+    let mut failures = Vec::new();
+    for (i, ev) in trace.iter().enumerate() {
+        match &ev.kind {
+            EventKind::Write { addr, val, .. } | EventKind::Rmw { addr, new: val, .. } => {
+                let old = mem.get(addr).copied().unwrap_or(0);
+                mem.insert(*addr, *val);
+                if spec.is_user_pt(*addr) && old != 0 && *val != old {
+                    pending.entry(ev.tid).or_default().push((i, *addr));
+                    fenced.insert(ev.tid, false);
+                }
+            }
+            EventKind::Fence(_) => {
+                fenced.insert(ev.tid, true);
+            }
+            EventKind::Tlbi { .. } => {
+                if fenced.get(&ev.tid).copied().unwrap_or(false) {
+                    pending.remove(&ev.tid);
+                } else if let Some(p) = pending.get(&ev.tid) {
+                    if !p.is_empty() {
+                        failures.push(format!(
+                            "T{}: TLBI without a barrier after unmap of {:#x}",
+                            ev.tid, p[0].1
+                        ));
+                        pending.remove(&ev.tid);
+                    }
+                }
+            }
+            EventKind::Push { .. } => {
+                // Critical-section exit: pending unmaps must be resolved.
+                if let Some(p) = pending.remove(&ev.tid) {
+                    for (_, addr) in p {
+                        failures.push(format!(
+                            "T{}: unmap of {:#x} not followed by barrier+TLBI before \
+                             critical-section exit",
+                            ev.tid, addr
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for (tid, p) in pending {
+        for (_, addr) in p {
+            failures.push(format!(
+                "T{tid}: unmap of {addr:#x} not followed by barrier+TLBI by end of trace"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        ConditionReport::ok(
+            Condition::SequentialTlbInvalidation,
+            vec![format!("{} events scanned", trace.len())],
+        )
+    } else {
+        ConditionReport::fail(Condition::SequentialTlbInvalidation, failures)
+    }
+}
+
+/// Condition 5 over a batch of schedules: round-robin, per-thread-solo and
+/// deterministically seeded random interleavings.
+pub fn check_sequential_tlbi_program(
+    prog: &Program,
+    spec: &KernelSpec,
+    random_schedules: usize,
+) -> Result<ConditionReport, ExploreError> {
+    let nthreads = prog.threads.len();
+    let mut schedules: Vec<Vec<usize>> = Vec::new();
+    schedules.push(Vec::new()); // pure round-robin
+    for tid in 0..nthreads {
+        // Let one thread run far ahead first.
+        schedules.push(vec![tid; 400]);
+    }
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    for _ in 0..random_schedules {
+        let mut s = Vec::with_capacity(400);
+        for _ in 0..400 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s.push(((seed >> 33) as usize) % nthreads.max(1));
+        }
+        schedules.push(s);
+    }
+    let mut all_details = Vec::new();
+    let mut holds = true;
+    for s in &schedules {
+        let (_, trace) = run_schedule(prog, s, 100_000)?;
+        let r = check_sequential_tlbi(&trace, prog, spec);
+        if !r.holds {
+            holds = false;
+            all_details.extend(r.details);
+        }
+    }
+    if holds {
+        Ok(ConditionReport::ok(
+            Condition::SequentialTlbInvalidation,
+            vec![format!("{} schedules validated", schedules.len())],
+        ))
+    } else {
+        all_details.sort();
+        all_details.dedup();
+        Ok(ConditionReport::fail(
+            Condition::SequentialTlbInvalidation,
+            all_details,
+        ))
+    }
+}
+
+/// Condition 6: static access-set check.
+///
+/// Under [`IsolationMode::Strong`], kernel threads must never read user
+/// memory and user threads must never write kernel memory. Under
+/// [`IsolationMode::Weak`] only the latter is required (kernel reads of
+/// user memory are masked by data oracles — see
+/// [`theorem`](crate::theorem) for the oracle construction of Theorem 4).
+pub fn check_memory_isolation(
+    prog: &Program,
+    spec: &KernelSpec,
+    vcfg: &ValueConfig,
+) -> ConditionReport {
+    let va = analyze(prog, vcfg);
+    let mut failures = Vec::new();
+    for tid in 0..prog.threads.len() {
+        if spec.is_kernel_thread(tid) {
+            if spec.isolation == IsolationMode::Strong {
+                for &a in &va.reads[tid] {
+                    if spec.is_user_mem(a) {
+                        failures.push(format!(
+                            "kernel thread T{tid} may read user memory {a:#x}"
+                        ));
+                    }
+                }
+            }
+        } else {
+            for &a in &va.writes[tid] {
+                if spec.is_kernel_mem(a) || spec.is_kernel_pt(a) {
+                    failures.push(format!(
+                        "user thread T{tid} may write kernel memory {a:#x}"
+                    ));
+                }
+            }
+        }
+    }
+    if va.truncated {
+        failures.push("warning: value analysis truncated".into());
+    }
+    if failures.iter().all(|f| f.starts_with("warning")) {
+        ConditionReport::ok(Condition::MemoryIsolation, failures)
+    } else {
+        ConditionReport::fail(Condition::MemoryIsolation, failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrm_memmodel::builder::ProgramBuilder;
+    use vrm_memmodel::ir::{Expr, Reg};
+
+    fn vm2() -> VmConfig {
+        VmConfig {
+            levels: 2,
+            root: 0x100,
+            page_bits: 4,
+            index_bits: 2,
+        }
+    }
+
+    #[test]
+    fn walk_snapshot_basics() {
+        let vm = vm2();
+        let mut mem = BTreeMap::new();
+        mem.insert(0x101, 0x140); // pgd[1] -> table 0x140
+        mem.insert(0x142, 0x20); // pte[2] -> page 0x20
+        let va = 0b0110_0011; // l0=1, l1=2, off=3
+        assert_eq!(walk_snapshot(&mem, &vm, va), WalkResult::Mapped(0x23));
+        assert_eq!(walk_snapshot(&mem, &vm, 0), WalkResult::Fault);
+    }
+
+    #[test]
+    fn transactional_set_into_fresh_table() {
+        // set_s2pt-style: link a fresh zeroed table then set the leaf —
+        // but in the *wrong* order this is non-transactional.
+        let vm = vm2();
+        let init = BTreeMap::new(); // everything empty
+        let va = 0b0110_0011u64;
+        // Correct order irrelevant — subsets are checked. Writes: leaf
+        // first in the new table, then link the pgd. Any subset yields
+        // fault or the final mapping.
+        let writes = [(0x142u64, 0x20u64), (0x101u64, 0x140u64)];
+        assert!(check_transactional(&init, &vm, &writes, &[va]).is_ok());
+    }
+
+    #[test]
+    fn transactional_detects_mixed_view() {
+        // Example 5 shape: unmap the pgd and remap the leaf of a *live*
+        // table. A walk can see old pgd + new leaf -> page p: neither
+        // before nor after nor fault.
+        let vm = vm2();
+        let mut init = BTreeMap::new();
+        init.insert(0x101, 0x140); // live pgd
+        init.insert(0x142, 0x30); // old leaf page
+        let va = 0b0110_0011u64;
+        let writes = [(0x101u64, 0u64), (0x142u64, 0x20u64)];
+        let cex = check_transactional(&init, &vm, &writes, &[va]).unwrap_err();
+        assert_eq!(cex.observed, WalkResult::Mapped(0x23));
+        assert_eq!(cex.applied, vec![1]); // only the leaf write landed
+    }
+
+    #[test]
+    fn sequential_tlbi_pass_and_fail() {
+        let vm = VmConfig {
+            levels: 1,
+            root: 0x100,
+            page_bits: 4,
+            index_bits: 4,
+        };
+        let mut spec = KernelSpec::for_kernel_threads([0]);
+        spec.user_pt = vec![(0x100, 0x110)];
+        let build = |barrier: bool, tlbi: bool| {
+            let mut p = ProgramBuilder::new("unmap");
+            p.vm(vm);
+            p.init(0x105, 0x20);
+            p.thread("k", |t| {
+                t.store(0x105u64, 0u64, false); // unmap live entry
+                if barrier {
+                    t.dmb();
+                }
+                if tlbi {
+                    t.tlbi_va(0x50u64);
+                }
+            });
+            p.build()
+        };
+        let good = check_sequential_tlbi_program(&build(true, true), &spec, 4).unwrap();
+        assert!(good.holds, "{good}");
+        let no_tlbi = check_sequential_tlbi_program(&build(true, false), &spec, 4).unwrap();
+        assert!(!no_tlbi.holds);
+        let no_barrier = check_sequential_tlbi_program(&build(false, true), &spec, 4).unwrap();
+        assert!(!no_barrier.holds);
+    }
+
+    #[test]
+    fn memory_isolation_strong_vs_weak() {
+        let mut p = ProgramBuilder::new("iso");
+        p.thread("kernel", |t| {
+            t.load(Reg(0), 0x1000u64, false); // reads user memory
+        });
+        p.thread("user", |t| {
+            t.store(0x1001u64, 1u64, false); // writes user memory: fine
+        });
+        let prog = p.build();
+        let mut spec = KernelSpec::for_kernel_threads([0]);
+        spec.user_mem = vec![(0x1000, 0x2000)];
+        spec.kernel_mem = vec![(0x0, 0x100)];
+        let strong = check_memory_isolation(&prog, &spec, &ValueConfig::default());
+        assert!(!strong.holds);
+        spec.isolation = IsolationMode::Weak;
+        let weak = check_memory_isolation(&prog, &spec, &ValueConfig::default());
+        assert!(weak.holds, "{weak}");
+    }
+
+    #[test]
+    fn memory_isolation_user_writing_kernel_fails() {
+        let mut p = ProgramBuilder::new("attack");
+        p.thread("kernel", |t| {
+            t.store(0x10u64, 1u64, false);
+        });
+        p.thread("user", |t| {
+            t.store(0x10u64, 666u64, false); // writes kernel memory
+        });
+        let prog = p.build();
+        let mut spec = KernelSpec::for_kernel_threads([0]);
+        spec.kernel_mem = vec![(0x0, 0x100)];
+        spec.isolation = IsolationMode::Weak;
+        let r = check_memory_isolation(&prog, &spec, &ValueConfig::default());
+        assert!(!r.holds);
+    }
+
+    #[test]
+    fn sync_conditions_via_pushpull() {
+        let data = 0x50u64;
+        let mut p = ProgramBuilder::new("one-thread-cs");
+        p.thread("k", |t| {
+            t.fence(vrm_memmodel::ir::Fence::Sy);
+            t.pull(vec![Expr::Imm(data)]);
+            t.store(data, 1u64, false);
+            t.push(vec![Expr::Imm(data)]);
+            t.fence(vrm_memmodel::ir::Fence::Sy);
+        });
+        let mut spec = KernelSpec::for_kernel_threads([0]);
+        spec.shared_data = [data].into();
+        let cfg = PromisingConfig {
+            promises: false,
+            ..Default::default()
+        };
+        let reports = check_sync_conditions(&p.build(), &spec, &cfg).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert!(reports.iter().all(|r| r.holds), "{reports:?}");
+    }
+}

@@ -1,0 +1,46 @@
+//! VRM: Verification on Relaxed Memory.
+//!
+//! This crate is the Rust reproduction of the VRM framework from
+//! *Formal Verification of a Multiprocessor Hypervisor on Arm Relaxed
+//! Memory Hardware* (SOSP 2021). VRM's key theorem — the **wDRF theorem** —
+//! states that for kernel code satisfying six synchronization and memory
+//! access conditions (the *weak data race free* conditions), every
+//! observable behaviour on Arm relaxed-memory hardware is also observable
+//! on a sequentially consistent model, so SC-model proofs transfer to real
+//! hardware.
+//!
+//! Where the paper proves this deductively in Coq, this reproduction makes
+//! every ingredient *executable and checkable*:
+//!
+//! * [`spec`] — describes a kernel program's sharing/isolation structure
+//!   (which threads are kernel, which locations are lock-protected, where
+//!   the page tables and the user/kernel memory split live);
+//! * [`conditions`] — checkers for the six wDRF conditions, run over
+//!   exhaustively enumerated Promising-Arm executions (conditions 1–3) and
+//!   execution traces / table snapshots (conditions 4–6);
+//! * [`pushpull`] — the push/pull Promising model machinery of §4.1
+//!   (ownership ghost state, barrier fulfilment) and its reports;
+//! * [`scconstruct`] — the constructive half of Theorem 2: building an SC
+//!   execution from a valid push/pull execution via the partial order and
+//!   a topological sort (the paper's Figure 6);
+//! * [`theorem`] — the end-to-end wDRF check: validate the conditions,
+//!   then verify by exhaustive enumeration that the program's RM-observable
+//!   behaviours are a subset of its SC behaviours (Theorems 1–4, including
+//!   the data-oracle construction for Weak-Memory-Isolation);
+//! * [`paper_examples`] — Examples 1–7 from the paper, each in a buggy
+//!   variant exhibiting an RM-only behaviour and a repaired variant that
+//!   passes the wDRF checks.
+
+#![warn(missing_docs)]
+
+pub mod conditions;
+pub mod mcs;
+pub mod paper_examples;
+pub mod pushpull;
+pub mod scconstruct;
+pub mod spec;
+pub mod theorem;
+
+pub use conditions::{Condition, ConditionReport};
+pub use spec::{IsolationMode, KernelSpec};
+pub use theorem::{check_wdrf, WdrfCheckConfig, WdrfVerdict};

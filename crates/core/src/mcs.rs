@@ -1,0 +1,184 @@
+//! An MCS queued lock at litmus scale, verified on the relaxed model.
+//!
+//! The paper's lock story is the ticket lock of Figure 7, but the same
+//! methodology ("verify the synchronization method directly on the RM
+//! model, then verify its uses via push/pull") applies to other locks —
+//! the CertiKOS line of work the paper builds on verified an MCS lock on
+//! SC. This module encodes a two-node MCS lock in the litmus ISA using
+//! load/store-exclusives for the tail swap and CAS, and the test-suite
+//! model-checks mutual exclusion and barrier placement on Promising Arm.
+//!
+//! Memory layout (word-granular):
+//!
+//! ```text
+//! TAIL        — queue tail: 0 = free, otherwise the node address
+//! NODE_i + 0  — node i's `locked` flag (spun on by the waiter)
+//! NODE_i + 1  — node i's `next` pointer (0 = none)
+//! ```
+
+use vrm_memmodel::builder::{ProgramBuilder, ThreadBuilder};
+use vrm_memmodel::ir::{Cond, Expr, Inst, Program, Reg};
+
+/// The queue tail word.
+pub const TAIL: u64 = 0x100;
+
+/// Base address of CPU `i`'s queue node.
+pub fn node(i: u64) -> u64 {
+    0x110 + i * 0x10
+}
+
+/// Registers used by the generated code.
+const R_PRED: Reg = Reg(0); // predecessor node address
+const R_TMP: Reg = Reg(1); // scratch / status
+const R_VAL: Reg = Reg(2); // critical-section register
+const R_NEXT: Reg = Reg(3); // successor node address
+
+/// Emits `mcs_acquire` for CPU `i`.
+///
+/// `barriers` selects the correct acquire/release placement; without it
+/// the lock is the Example 2-style broken variant.
+pub fn emit_acquire(t: &mut ThreadBuilder, i: u64, barriers: bool) {
+    let my = node(i);
+    // node.next := 0; node.locked := 1.
+    t.store(my + 1, 0u64, false);
+    t.store(my, 1u64, false);
+    // pred := SWAP(TAIL, &node) via LDXR/STXR.
+    t.label("swap");
+    t.load_ex(R_PRED, TAIL, barriers);
+    t.store_ex(R_TMP, TAIL, my, barriers);
+    t.br(Cond::Ne, R_TMP, 0u64, "swap");
+    // No predecessor: the lock is ours.
+    t.br(Cond::Eq, R_PRED, 0u64, "locked");
+    // Link ourselves after the predecessor and spin on our flag.
+    t.store(Expr::Reg(R_PRED) + Expr::Imm(1), my, false);
+    t.label("spin");
+    t.load(R_TMP, my, barriers);
+    t.br(Cond::Ne, R_TMP, 0u64, "spin");
+    t.label("locked");
+}
+
+/// Emits `mcs_release` for CPU `i`.
+pub fn emit_release(t: &mut ThreadBuilder, i: u64) {
+    let my = node(i);
+    // Fast path: no successor — CAS(TAIL, &node, 0).
+    t.load(R_NEXT, my + 1, false);
+    t.br(Cond::Ne, R_NEXT, 0u64, "hand_over");
+    t.label("cas");
+    t.load_ex(R_TMP, TAIL, false);
+    t.br(Cond::Ne, R_TMP, my, "wait_successor");
+    t.store_ex(R_TMP, TAIL, 0u64, true);
+    t.br(Cond::Ne, R_TMP, 0u64, "cas");
+    t.jmp("released");
+    // A successor is enqueueing: wait for the link.
+    t.label("wait_successor");
+    t.load(R_NEXT, my + 1, false);
+    t.br(Cond::Eq, R_NEXT, 0u64, "wait_successor");
+    // Hand the lock over: clear the successor's flag with release.
+    t.label("hand_over");
+    t.load(R_NEXT, my + 1, false);
+    t.store(Expr::Reg(R_NEXT), 0u64, true);
+    t.label("released");
+    t.inst(Inst::Nop);
+}
+
+/// A two-CPU program where each CPU takes the MCS lock and increments a
+/// shared counter, with push/pull instrumentation on the counter.
+pub fn mcs_counter_program(barriers: bool, counter: u64) -> Program {
+    let mut p = ProgramBuilder::new(if barriers {
+        "MCS counter"
+    } else {
+        "MCS counter (no barriers)"
+    });
+    for i in 0..2u64 {
+        p.thread("cpu", move |t| {
+            emit_acquire(t, i, barriers);
+            t.pull(vec![Expr::Imm(counter)]);
+            t.load(R_VAL, counter, false);
+            t.store(counter, Expr::Reg(R_VAL) + Expr::Imm(1), false);
+            t.push(vec![Expr::Imm(counter)]);
+            emit_release(t, i);
+        });
+    }
+    p.observe_mem("counter", counter);
+    p.observe_reg("seen0", 0, R_VAL);
+    p.observe_reg("seen1", 1, R_VAL);
+    p.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pushpull::check_pushpull;
+    use crate::spec::KernelSpec;
+    use vrm_memmodel::promising::{enumerate_promising_with, PromisingConfig};
+    use vrm_memmodel::sc::enumerate_sc;
+
+    const COUNTER: u64 = 0x50;
+
+    fn cfg() -> PromisingConfig {
+        PromisingConfig {
+            promises: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn mcs_mutual_exclusion_on_sc() {
+        let prog = mcs_counter_program(true, COUNTER);
+        let sc = enumerate_sc(&prog).unwrap();
+        assert!(!sc.is_empty());
+        for o in sc.iter() {
+            assert_eq!(o.get("counter"), 2, "lost update on SC: {o}");
+            assert_ne!(o.get("seen0"), o.get("seen1"));
+        }
+    }
+
+    #[test]
+    fn mcs_mutual_exclusion_on_arm() {
+        let prog = mcs_counter_program(true, COUNTER);
+        let rm = enumerate_promising_with(&prog, &cfg()).unwrap().outcomes;
+        assert!(!rm.is_empty());
+        for o in rm.iter() {
+            assert_eq!(o.get("counter"), 2, "lost update on Arm: {o}");
+            assert_ne!(o.get("seen0"), o.get("seen1"), "overlap: {o}");
+        }
+    }
+
+    #[test]
+    fn mcs_without_barriers_misbehaves_on_arm() {
+        // Plain exclusives and plain spin loads: the critical section can
+        // read stale data — both CPUs see counter 0.
+        let prog = mcs_counter_program(false, COUNTER);
+        let rm = enumerate_promising_with(&prog, &cfg()).unwrap().outcomes;
+        assert!(
+            rm.contains_binding(&[("seen0", 0), ("seen1", 0)]),
+            "expected a stale-read overlap:\n{rm}"
+        );
+        // And on SC the same program is fine — SC verification would have
+        // accepted this broken lock (the paper's core warning).
+        let sc = enumerate_sc(&prog).unwrap();
+        assert!(sc.iter().all(|o| o.get("counter") == 2));
+    }
+
+    #[test]
+    fn mcs_passes_pushpull_conditions() {
+        let prog = mcs_counter_program(true, COUNTER);
+        let mut spec = KernelSpec::for_kernel_threads([0, 1]);
+        spec.shared_data = [COUNTER].into();
+        let r = check_pushpull(&prog, &spec, &cfg()).unwrap();
+        assert!(r.drf_kernel_holds(), "{:?}", r.ownership_violations);
+        assert!(r.no_barrier_misuse_holds(), "{:?}", r.barrier_violations);
+    }
+
+    #[test]
+    fn mcs_handover_path_exercised() {
+        // With both CPUs forced through the queue (CPU 1 enqueues while
+        // CPU 0 holds), the hand-over path must appear in some outcome.
+        // The exhaustive enumerations above cover it; sanity-check that
+        // both orders of ticket acquisition are possible.
+        let prog = mcs_counter_program(true, COUNTER);
+        let sc = enumerate_sc(&prog).unwrap();
+        assert!(sc.contains_binding(&[("seen0", 0), ("seen1", 1)]));
+        assert!(sc.contains_binding(&[("seen0", 1), ("seen1", 0)]));
+    }
+}

@@ -1,0 +1,532 @@
+//! Executable encodings of the paper's Examples 1–7 (§1–2).
+//!
+//! Each example comes as a *buggy* program — verified correct on an SC
+//! model yet exhibiting an additional behaviour on Arm relaxed memory —
+//! and, where the paper implies one, a *fixed* program whose RM behaviours
+//! are exactly its SC behaviours. The gallery doubles as the necessity
+//! evidence for the wDRF conditions: every buggy variant violates one of
+//! the conditions, and its RM-only outcome is the concrete exploit.
+
+use vrm_memmodel::builder::ProgramBuilder;
+use vrm_memmodel::ir::{Cond, Expr, Inst, Program, Reg, RmwOp, Val, VmConfig};
+
+/// One of the paper's examples, packaged for checking and display.
+#[derive(Debug, Clone)]
+pub struct PaperExample {
+    /// Short name, e.g. `"Example 2 (VM booting)"`.
+    pub name: &'static str,
+    /// What goes wrong on relaxed memory.
+    pub description: &'static str,
+    /// The program as the paper presents it (SC-correct, RM-buggy).
+    pub buggy: Program,
+    /// The repaired program, if the fix is a program change.
+    pub fixed: Option<Program>,
+    /// Observable bindings reachable on RM but not on SC in `buggy`.
+    pub rm_only: Vec<(&'static str, Val)>,
+    /// Whether reproducing the RM-only outcome requires promise steps
+    /// (store-before-load speculation, as in load buffering).
+    pub needs_promises: bool,
+    /// Which wDRF condition the buggy variant violates.
+    pub violated_condition: &'static str,
+    /// Whether the fixed variant must also *forbid* the `rm_only` binding
+    /// (false when the binding is the legitimate after-state of the fixed
+    /// program, as in Example 5).
+    pub fixed_forbids: bool,
+}
+
+/// Example 1: out-of-order write (load buffering).
+pub fn example1() -> PaperExample {
+    let (x, y) = (0x10u64, 0x20u64);
+    let build = |dmb: bool| {
+        let mut p = ProgramBuilder::new(if dmb { "Example 1 (fixed)" } else { "Example 1" });
+        p.thread("CPU 1", |t| {
+            t.load(Reg(0), x, false);
+            if dmb {
+                t.dmb();
+            }
+            t.store(y, 1u64, false);
+        });
+        p.thread("CPU 2", |t| {
+            t.load(Reg(1), y, false);
+            if dmb {
+                t.dmb();
+            }
+            t.store(x, Reg(1), false);
+        });
+        p.observe_reg("r0", 0, Reg(0));
+        p.observe_reg("r1", 1, Reg(1));
+        p.build()
+    };
+    PaperExample {
+        name: "Example 1 (out-of-order write)",
+        description: "CPU 1's store to y executes before its load of x; both \
+                      registers can read 1, impossible on SC.",
+        buggy: build(false),
+        fixed: Some(build(true)),
+        rm_only: vec![("r0", 1), ("r1", 1)],
+        needs_promises: true,
+        violated_condition: "DRF-Kernel",
+        fixed_forbids: true,
+    }
+}
+
+const TICKET: u64 = 0x10;
+const NOW: u64 = 0x11;
+const NEXT_VMID: u64 = 0x12;
+const MAX_VM: u64 = 4;
+
+/// Builds the `gen_vmid` program of Figure 1, with or without the barrier
+/// placement of Figure 7 (acquire RMW and loads, release store).
+pub fn gen_vmid_program(barriers: bool) -> Program {
+    let mut p = ProgramBuilder::new(if barriers {
+        "Example 2 (Figure 7 fixed)"
+    } else {
+        "Example 2 (VM booting)"
+    });
+    for _ in 0..2 {
+        p.thread("gen_vmid", |t| {
+            // acquire(): my_ticket = fetch_and_inc(ticket); spin on now.
+            t.rmw(Reg(0), TICKET, RmwOp::Add, 1u64, barriers, false);
+            t.label("spin");
+            t.load(Reg(1), NOW, barriers);
+            t.br(Cond::Ne, Reg(1), Reg(0), "spin");
+            t.pull(vec![Expr::Imm(NEXT_VMID)]);
+            // Critical section: vmid = next_vmid++; panic if exhausted.
+            t.load(Reg(2), NEXT_VMID, false);
+            t.br(Cond::Lt, Reg(2), MAX_VM, "ok");
+            t.inst(Inst::Panic);
+            t.label("ok");
+            t.store(NEXT_VMID, Expr::Reg(Reg(2)) + Expr::Imm(1), false);
+            t.push(vec![Expr::Imm(NEXT_VMID)]);
+            // release(): now = my_ticket + 1 (store-release in Linux).
+            t.store(NOW, Expr::Reg(Reg(0)) + Expr::Imm(1), barriers);
+        });
+    }
+    p.observe_reg("vmid0", 0, Reg(2));
+    p.observe_reg("vmid1", 1, Reg(2));
+    p.build()
+}
+
+/// Builds `gen_vmid` over the *exact* Linux 4.18 arm64 ticket lock shape
+/// (the paper's footnote 2: `arch/arm64/include/asm/spinlock.h`): the
+/// ticket is drawn with an `LDAXR`/`STXR` retry loop rather than a single
+/// atomic, the owner spin uses `LDAXR`, and release is a plain `STLR`.
+pub fn gen_vmid_program_llsc(barriers: bool) -> Program {
+    let mut p = ProgramBuilder::new(if barriers {
+        "Example 2 (LDAXR/STXR lock)"
+    } else {
+        "Example 2 (LDXR/STXR, no barriers)"
+    });
+    for _ in 0..2 {
+        p.thread("gen_vmid", |t| {
+            // acquire(): draw a ticket with an exclusive retry loop.
+            t.label("retry");
+            t.load_ex(Reg(0), TICKET, barriers);
+            t.store_ex(Reg(3), TICKET, Expr::Reg(Reg(0)) + Expr::Imm(1), false);
+            t.br(Cond::Ne, Reg(3), 0u64, "retry");
+            // Spin until now == my ticket.
+            t.label("spin");
+            t.load(Reg(1), NOW, barriers);
+            t.br(Cond::Ne, Reg(1), Reg(0), "spin");
+            t.pull(vec![Expr::Imm(NEXT_VMID)]);
+            // Critical section: vmid = next_vmid++.
+            t.load(Reg(2), NEXT_VMID, false);
+            t.br(Cond::Lt, Reg(2), MAX_VM, "ok");
+            t.inst(Inst::Panic);
+            t.label("ok");
+            t.store(NEXT_VMID, Expr::Reg(Reg(2)) + Expr::Imm(1), false);
+            t.push(vec![Expr::Imm(NEXT_VMID)]);
+            // release(): now = my_ticket + 1 (STLR).
+            t.store(NOW, Expr::Reg(Reg(0)) + Expr::Imm(1), barriers);
+        });
+    }
+    p.observe_reg("vmid0", 0, Reg(2));
+    p.observe_reg("vmid1", 1, Reg(2));
+    p.build()
+}
+
+/// Example 2: VM booting under a ticket lock without barriers.
+pub fn example2() -> PaperExample {
+    PaperExample {
+        name: "Example 2 (VM booting)",
+        description: "The ticket lock's plain loads let CPU 2 speculatively \
+                      read next_vmid before the lock is really held; two VMs \
+                      can receive the same vmid.",
+        buggy: gen_vmid_program(false),
+        fixed: Some(gen_vmid_program(true)),
+        rm_only: vec![("vmid0", 0), ("vmid1", 0)],
+        needs_promises: false,
+        violated_condition: "No-Barrier-Misuse",
+        fixed_forbids: true,
+    }
+}
+
+/// Example 3: VM context switch via an ownership state variable.
+pub fn example3() -> PaperExample {
+    const STATE: u64 = 0x10;
+    const CTX: u64 = 0x11;
+    const INACTIVE: u64 = 1;
+    const ACTIVE: u64 = 2;
+    let build = |barriers: bool| {
+        let mut p = ProgramBuilder::new(if barriers {
+            "Example 3 (fixed)"
+        } else {
+            "Example 3 (context switch)"
+        });
+        p.init(STATE, ACTIVE); // the vCPU is running on CPU 1
+        p.thread("save_vm", |t| {
+            t.store(CTX, 42u64, false); // save the vCPU context
+            t.store(STATE, INACTIVE, barriers);
+        });
+        p.thread("restore_vm", |t| {
+            t.label("spin");
+            t.load(Reg(0), STATE, barriers);
+            t.br(Cond::Ne, Reg(0), INACTIVE, "spin");
+            t.store(STATE, ACTIVE, false);
+            t.load(Reg(1), CTX, false); // restore the vCPU context
+        });
+        p.observe_reg("ctx", 1, Reg(1));
+        p.build()
+    };
+    PaperExample {
+        name: "Example 3 (VM context switch)",
+        description: "Saving the context can be reordered after publishing \
+                      INACTIVE; the restoring CPU reads a stale context.",
+        buggy: build(false),
+        fixed: Some(build(true)),
+        rm_only: vec![("ctx", 0)],
+        needs_promises: false,
+        violated_condition: "No-Barrier-Misuse",
+        fixed_forbids: true,
+    }
+}
+
+fn vm1() -> VmConfig {
+    VmConfig {
+        levels: 1,
+        root: 0x100,
+        page_bits: 4,
+        index_bits: 4,
+    }
+}
+
+/// Example 4: out-of-order page table reads.
+pub fn example4() -> PaperExample {
+    // Virtual pages 0x8 (x) and 0x9 (y); all-0 pages 0x10/0x11, all-1
+    // pages 0x20/0x21.
+    let buggy = {
+        let mut p = ProgramBuilder::new("Example 4");
+        p.vm(vm1());
+        p.init(0x108, 0x10);
+        p.init(0x109, 0x11);
+        p.init_range(0x20, 16, 1);
+        p.init_range(0x21, 16, 1);
+        p.thread("CPU 1", |t| {
+            t.store(0x108u64, 0x20u64, false); // (a) remap x
+            t.store(0x109u64, 0x21u64, false); // (b) remap y
+        });
+        p.thread("CPU 2", |t| {
+            t.load_virt(Reg(0), 0x90u64, false); // (c) r0 := [y]
+            t.load_virt(Reg(1), 0x80u64, false); // (d) r1 := [x]
+        });
+        p.observe_reg("r0", 1, Reg(0));
+        p.observe_reg("r1", 1, Reg(1));
+        p.build()
+    };
+    // Fixed per Write-Once-Kernel-Mapping: the kernel page table is fully
+    // populated at boot and never remapped, so reads are RM-insensitive.
+    let fixed = {
+        let mut p = ProgramBuilder::new("Example 4 (write-once)");
+        p.vm(vm1());
+        p.init(0x108, 0x20);
+        p.init(0x109, 0x21);
+        p.init_range(0x20, 16, 1);
+        p.init_range(0x21, 16, 1);
+        p.thread("CPU 1", |t| {
+            t.inst(Inst::Nop); // no remapping after boot
+        });
+        p.thread("CPU 2", |t| {
+            t.load_virt(Reg(0), 0x90u64, false);
+            t.load_virt(Reg(1), 0x80u64, false);
+        });
+        p.observe_reg("r0", 1, Reg(0));
+        p.observe_reg("r1", 1, Reg(1));
+        p.build()
+    };
+    PaperExample {
+        name: "Example 4 (out-of-order page table reads)",
+        description: "Two MMU translations by one CPU are unordered: the \
+                      second user access can use the old mapping although \
+                      the first already saw the new one.",
+        buggy,
+        fixed: Some(fixed),
+        rm_only: vec![("r0", 1), ("r1", 0)],
+        needs_promises: false,
+        violated_condition: "Write-Once-Kernel-Mapping",
+        fixed_forbids: true,
+    }
+}
+
+/// Example 5: out-of-order page table writes.
+pub fn example5() -> PaperExample {
+    // 2-level table: root 0x100 (PGD), table 0x140 (PTE), va z = 0x63
+    // (pgd index 1, pte index 2, offset 3). Old page 0x30 is all-5s, page
+    // p = 0x20 is all-9s.
+    let vm = VmConfig {
+        levels: 2,
+        root: 0x100,
+        page_bits: 4,
+        index_bits: 2,
+    };
+    let buggy = {
+        let mut p = ProgramBuilder::new("Example 5");
+        p.vm(vm);
+        p.init(0x101, 0x140);
+        p.init(0x142, 0x30);
+        p.init_range(0x30, 16, 5);
+        p.init_range(0x20, 16, 9);
+        p.thread("CPU 1", |t| {
+            t.store(0x101u64, 0u64, false); // (a) pgd[x] := EMPTY
+            t.store(0x142u64, 0x20u64, false); // (b) pte[y] := p
+        });
+        p.thread("CPU 2", |t| {
+            t.load_virt(Reg(0), 0x63u64, false); // (c) access z
+        });
+        p.observe_reg("r0", 1, Reg(0));
+        p.build()
+    };
+    // Fixed per Transactional-Page-Table: build the new mapping in a fresh
+    // zeroed table, then link it; any partial view is before/after/fault.
+    let fixed = {
+        let mut p = ProgramBuilder::new("Example 5 (transactional)");
+        p.vm(vm);
+        p.init(0x101, 0x140);
+        p.init(0x142, 0x30);
+        p.init_range(0x30, 16, 5);
+        p.init_range(0x20, 16, 9);
+        p.thread("CPU 1", |t| {
+            t.store(0x152u64, 0x20u64, false); // pte' in fresh table 0x150
+            t.dmb();
+            t.store(0x101u64, 0x150u64, false); // link the new table
+            t.dmb();
+            t.tlbi_va(0x63u64);
+        });
+        p.thread("CPU 2", |t| {
+            t.load_virt(Reg(0), 0x63u64, false);
+        });
+        p.observe_reg("r0", 1, Reg(0));
+        p.build()
+    };
+    PaperExample {
+        name: "Example 5 (out-of-order page table writes)",
+        description: "Unmapping a PGD and setting a PTE beneath it can be \
+                      observed out of order: a racing walk reaches the new \
+                      physical page through the stale PGD.",
+        buggy,
+        fixed: Some(fixed),
+        rm_only: vec![("r0", 9)],
+        needs_promises: false,
+        violated_condition: "Transactional-Page-Table",
+        fixed_forbids: false,
+    }
+}
+
+/// Example 6: out-of-order page table and TLB reads.
+pub fn example6() -> PaperExample {
+    let build = |barrier: bool| {
+        let mut p = ProgramBuilder::new(if barrier {
+            "Example 6 (fixed)"
+        } else {
+            "Example 6"
+        });
+        p.vm(vm1());
+        p.init(0x108, 0x10); // va page 8 -> pa page 0x10
+        p.init_range(0x10, 16, 7);
+        p.thread("CPU 1", |t| {
+            t.store(0x108u64, 0u64, false); // (a) unmap
+            if barrier {
+                t.dmb();
+            }
+            t.tlbi_va(0x80u64); // (b) invalidate
+            t.store(0x30u64, 1u64, true); // signal: TLBI issued
+        });
+        p.thread("CPU 2", |t| {
+            t.load(Reg(2), 0x30u64, true);
+            t.load_virt(Reg(0), 0x80u64, false); // (c)/(d)
+        });
+        p.observe_reg("saw_signal", 1, Reg(2));
+        p.observe_reg("r0", 1, Reg(0));
+        p.build()
+    };
+    PaperExample {
+        name: "Example 6 (out-of-order page table and TLB reads)",
+        description: "Without a barrier between the unmap and the TLBI, a \
+                      walk after the invalidation can still read the stale \
+                      mapping and re-fill the TLB with it.",
+        buggy: build(false),
+        fixed: Some(build(true)),
+        rm_only: vec![("saw_signal", 1), ("r0", 7)],
+        needs_promises: false,
+        violated_condition: "Sequential-TLB-Invalidation",
+        fixed_forbids: true,
+    }
+}
+
+/// Example 7: information flow from user programs into the kernel.
+pub fn example7() -> PaperExample {
+    let (x, y, z) = (0x1000u64, 0x1001u64, 0x1002u64);
+    let mut p = ProgramBuilder::new("Example 7");
+    // CPU 1 and CPU 2 run the code of Example 1, then increment z if their
+    // register read 1. On SC at most one of them can read 1; on RM both.
+    p.thread("user-1", |t| {
+        t.load(Reg(0), x, false);
+        t.store(y, 1u64, false);
+        t.br(Cond::Ne, Reg(0), 1u64, "skip");
+        t.rmw(Reg(1), z, RmwOp::Add, 1u64, false, false);
+        t.label("skip");
+        t.inst(Inst::Halt);
+    });
+    p.thread("user-2", |t| {
+        t.load(Reg(0), y, false);
+        t.store(x, Reg(0), false);
+        t.br(Cond::Ne, Reg(0), 1u64, "skip");
+        t.rmw(Reg(1), z, RmwOp::Add, 1u64, false, false);
+        t.label("skip");
+        t.inst(Inst::Halt);
+    });
+    p.thread("kernel", |t| {
+        t.load(Reg(2), z, false);
+    });
+    p.observe_reg("kernel_z", 2, Reg(2));
+    PaperExample {
+        name: "Example 7 (user-to-kernel information flow)",
+        description: "User programs' relaxed behaviour (both seeing 1) can \
+                      push z to 2; a kernel reading z observes a value \
+                      impossible on SC — unless reads of user memory are \
+                      masked by data oracles (Weak-Memory-Isolation).",
+        buggy: p.build(),
+        fixed: None,
+        rm_only: vec![("kernel_z", 2)],
+        needs_promises: true,
+        violated_condition: "Memory-Isolation",
+        fixed_forbids: true,
+    }
+}
+
+/// All seven examples.
+pub fn all() -> Vec<PaperExample> {
+    vec![
+        example1(),
+        example2(),
+        example3(),
+        example4(),
+        example5(),
+        example6(),
+        example7(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrm_memmodel::promising::{enumerate_promising_with, PromisingConfig};
+    use vrm_memmodel::sc::enumerate_sc;
+    use vrm_memmodel::values::ValueConfig;
+
+    fn cfg(needs_promises: bool) -> PromisingConfig {
+        PromisingConfig {
+            promises: needs_promises,
+            max_promises_per_thread: 1,
+            value_cfg: ValueConfig {
+                max_rounds: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn every_buggy_example_shows_rm_only_behaviour() {
+        for ex in all() {
+            let rm = enumerate_promising_with(&ex.buggy, &cfg(ex.needs_promises))
+                .unwrap()
+                .outcomes;
+            let sc = enumerate_sc(&ex.buggy).unwrap();
+            assert!(
+                rm.contains_binding(&ex.rm_only),
+                "{}: RM should allow {:?}\nRM:\n{}",
+                ex.name,
+                ex.rm_only,
+                rm
+            );
+            assert!(
+                !sc.contains_binding(&ex.rm_only),
+                "{}: SC must forbid {:?}\nSC:\n{}",
+                ex.name,
+                ex.rm_only,
+                sc
+            );
+            assert!(sc.is_subset(&rm), "{}: SC must be subsumed by RM", ex.name);
+        }
+    }
+
+    #[test]
+    fn every_fixed_example_matches_sc() {
+        for ex in all() {
+            let Some(fixed) = &ex.fixed else { continue };
+            let rm = enumerate_promising_with(fixed, &cfg(ex.needs_promises))
+                .unwrap()
+                .outcomes;
+            let sc = enumerate_sc(fixed).unwrap();
+            assert!(
+                rm.is_subset(&sc),
+                "{}: fixed program has RM-only outcomes:\nRM:\n{}\nSC:\n{}",
+                ex.name,
+                rm,
+                sc
+            );
+            if ex.fixed_forbids {
+                assert!(
+                    !rm.contains_binding(&ex.rm_only),
+                    "{}: fixed program still shows the bug",
+                    ex.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn llsc_ticket_lock_matches_rmw_lock() {
+        // The LDAXR/STXR encoding of the lock gives the same guarantee:
+        // unique vmids with barriers, duplicates without.
+        let fixed = gen_vmid_program_llsc(true);
+        let rm = enumerate_promising_with(&fixed, &cfg(false)).unwrap().outcomes;
+        assert!(!rm.is_empty());
+        for o in rm.iter() {
+            assert_ne!(o.get("vmid0"), o.get("vmid1"), "duplicate vmid: {o}");
+        }
+        let buggy = gen_vmid_program_llsc(false);
+        let rm = enumerate_promising_with(&buggy, &cfg(false)).unwrap().outcomes;
+        assert!(
+            rm.contains_binding(&[("vmid0", 0), ("vmid1", 0)]),
+            "LL/SC lock without barriers should allow duplicate vmids:\n{rm}"
+        );
+    }
+
+    #[test]
+    fn example2_duplicate_vmid_only_without_barriers() {
+        let ex = example2();
+        let rm_buggy = enumerate_promising_with(&ex.buggy, &cfg(false))
+            .unwrap()
+            .outcomes;
+        // Duplicate vmid on RM.
+        assert!(rm_buggy.contains_binding(&[("vmid0", 0), ("vmid1", 0)]));
+        // Figure 7's barriers restore mutual exclusion.
+        let rm_fixed = enumerate_promising_with(ex.fixed.as_ref().unwrap(), &cfg(false))
+            .unwrap()
+            .outcomes;
+        for o in rm_fixed.iter() {
+            assert_ne!(o.get("vmid0"), o.get("vmid1"), "duplicate vmid: {o}");
+        }
+    }
+}

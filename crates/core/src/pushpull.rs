@@ -1,0 +1,238 @@
+//! The push/pull Promising model (§4.1) as a checker.
+//!
+//! The paper extends Promising Arm with *push/pull promises*: to access a
+//! shared location a CPU must first logically pull it (acquiring ownership)
+//! and later push it back, and every push/pull promise must be fulfilled by
+//! an appropriate barrier (a load-acquire or `dmb ld`/`dmb sy` for pulls, a
+//! store-release or `dmb st`/`dmb sy` for pushes), consistently with
+//! program order. The hardware model *panics* if the promise list is
+//! invalid (pulling an owned location, pushing an unowned one, accessing a
+//! location owned by another CPU) — and a program satisfies DRF-Kernel and
+//! No-Barrier-Misuse iff no execution can panic.
+//!
+//! The ghost machinery itself lives inside the Promising explorer (the
+//! ownership map is part of the model state and is exercised on *every*
+//! enumerated RM execution); this module provides the programmer-facing
+//! checker and report types.
+
+use std::collections::BTreeSet;
+
+use vrm_memmodel::ir::Program;
+use vrm_memmodel::promising::{
+    enumerate_promising_with, GhostConfig, GhostViolation, PromisingConfig,
+};
+use vrm_memmodel::sc::ExploreError;
+
+use crate::spec::KernelSpec;
+
+/// Outcome of checking a program against the push/pull Promising model.
+#[derive(Debug, Clone)]
+pub struct PushPullReport {
+    /// Ownership violations (DRF-Kernel failures).
+    pub ownership_violations: BTreeSet<GhostViolation>,
+    /// Barrier-fulfilment violations (No-Barrier-Misuse failures).
+    pub barrier_violations: BTreeSet<GhostViolation>,
+    /// Write-once violations (Write-Once-Kernel-Mapping failures).
+    pub write_once_violations: BTreeSet<GhostViolation>,
+    /// States explored during the exhaustive RM enumeration.
+    pub states_explored: usize,
+    /// `true` if any exploration bound was hit.
+    pub truncated: bool,
+}
+
+impl PushPullReport {
+    /// `true` iff no push/pull panic is reachable: the program satisfies
+    /// DRF-Kernel and No-Barrier-Misuse on the push/pull Promising model.
+    pub fn drf_kernel_holds(&self) -> bool {
+        self.ownership_violations.is_empty()
+    }
+
+    /// `true` iff every push/pull promise is fulfilled by proper barriers.
+    pub fn no_barrier_misuse_holds(&self) -> bool {
+        self.barrier_violations.is_empty()
+    }
+
+    /// `true` iff the kernel's own page table is only ever written once per
+    /// entry.
+    pub fn write_once_holds(&self) -> bool {
+        self.write_once_violations.is_empty()
+    }
+}
+
+fn classify(v: &GhostViolation) -> usize {
+    match v {
+        GhostViolation::PullOwned { .. }
+        | GhostViolation::PushNotOwned { .. }
+        | GhostViolation::AccessNotOwner { .. }
+        | GhostViolation::UnprotectedShared { .. } => 0,
+        GhostViolation::PullWithoutBarrier { .. } | GhostViolation::PushWithoutBarrier { .. } => 1,
+        GhostViolation::WriteOnce { .. } => 2,
+    }
+}
+
+/// Runs the push/pull Promising model over every reachable RM execution of
+/// `prog`, with the ownership discipline taken from `spec`.
+///
+/// The program must be instrumented with [`Inst::Pull`] and [`Inst::Push`]
+/// at critical-section boundaries (the paper inserts these when entering
+/// and exiting critical sections).
+///
+/// [`Inst::Pull`]: vrm_memmodel::ir::Inst::Pull
+/// [`Inst::Push`]: vrm_memmodel::ir::Inst::Push
+/// # Examples
+///
+/// ```
+/// use vrm_core::pushpull::check_pushpull;
+/// use vrm_core::spec::KernelSpec;
+/// use vrm_memmodel::builder::ProgramBuilder;
+/// use vrm_memmodel::ir::{Expr, Fence, Reg};
+/// use vrm_memmodel::promising::PromisingConfig;
+///
+/// // One thread updating a shared cell inside a barrier-fenced critical
+/// // section: all three synchronization conditions hold.
+/// let data = 0x50;
+/// let mut p = ProgramBuilder::new("cs");
+/// p.thread("kernel", |t| {
+///     t.fence(Fence::Sy);
+///     t.pull(vec![Expr::Imm(data)]);
+///     t.store(data, 1, false);
+///     t.push(vec![Expr::Imm(data)]);
+///     t.fence(Fence::Sy);
+/// });
+/// let mut spec = KernelSpec::for_kernel_threads([0]);
+/// spec.shared_data = [data].into();
+/// let cfg = PromisingConfig { promises: false, ..Default::default() };
+/// let report = check_pushpull(&p.build(), &spec, &cfg).unwrap();
+/// assert!(report.drf_kernel_holds() && report.no_barrier_misuse_holds());
+/// ```
+pub fn check_pushpull(
+    prog: &Program,
+    spec: &KernelSpec,
+    base: &PromisingConfig,
+) -> Result<PushPullReport, ExploreError> {
+    let mut cfg = base.clone();
+    cfg.ghost = Some(GhostConfig {
+        shared: spec.shared_data.clone(),
+        check_barriers: true,
+        kernel_pt: spec.kernel_pt.clone(),
+    });
+    let r = enumerate_promising_with(prog, &cfg)?;
+    let mut report = PushPullReport {
+        ownership_violations: BTreeSet::new(),
+        barrier_violations: BTreeSet::new(),
+        write_once_violations: BTreeSet::new(),
+        states_explored: r.states_explored,
+        truncated: r.truncated,
+    };
+    for v in r.violations {
+        match classify(&v) {
+            0 => {
+                report.ownership_violations.insert(v);
+            }
+            1 => {
+                report.barrier_violations.insert(v);
+            }
+            _ => {
+                report.write_once_violations.insert(v);
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrm_memmodel::builder::ProgramBuilder;
+    use vrm_memmodel::ir::{Cond, Expr, Reg, RmwOp};
+
+    const TICKET: u64 = 0x10;
+    const NOW: u64 = 0x11;
+    const DATA: u64 = 0x12;
+
+    /// The Figure 7 ticket lock protecting one shared cell, correctly
+    /// instrumented with push/pull.
+    fn locked_program(acquire_barriers: bool, release_barrier: bool) -> Program {
+        let mut p = ProgramBuilder::new("ticket-locked");
+        for _ in 0..2 {
+            p.thread("cpu", |t| {
+                // acquire(): my_ticket = fetch_and_inc(ticket); spin.
+                t.rmw(Reg(0), TICKET, RmwOp::Add, 1u64, acquire_barriers, false);
+                t.label("spin");
+                t.load(Reg(1), NOW, acquire_barriers);
+                t.br(Cond::Ne, Reg(1), Reg(0), "spin");
+                t.pull(vec![Expr::Imm(DATA)]);
+                // Critical section: data += 1.
+                t.load(Reg(2), DATA, false);
+                t.store(DATA, Expr::Reg(Reg(2)) + Expr::Imm(1), false);
+                t.push(vec![Expr::Imm(DATA)]);
+                // release(): now = my_ticket + 1 (store-release).
+                t.store(NOW, Expr::Reg(Reg(0)) + Expr::Imm(1), release_barrier);
+            });
+        }
+        p.observe_mem("data", DATA);
+        p.build()
+    }
+
+    fn spec() -> KernelSpec {
+        let mut s = KernelSpec::for_kernel_threads([0, 1]);
+        s.shared_data = [DATA].into();
+        s
+    }
+
+    fn cfg() -> PromisingConfig {
+        PromisingConfig {
+            promises: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn correct_ticket_lock_passes() {
+        let r = check_pushpull(&locked_program(true, true), &spec(), &cfg()).unwrap();
+        assert!(r.drf_kernel_holds(), "{:?}", r.ownership_violations);
+        assert!(r.no_barrier_misuse_holds(), "{:?}", r.barrier_violations);
+    }
+
+    #[test]
+    fn lock_without_acquire_barrier_fails() {
+        // Plain loads in the spin loop (paper Example 2): the pull is not
+        // covered by an acquire barrier, and ownership can actually race.
+        let r = check_pushpull(&locked_program(false, true), &spec(), &cfg()).unwrap();
+        assert!(!r.no_barrier_misuse_holds() || !r.drf_kernel_holds());
+    }
+
+    #[test]
+    fn lock_without_release_barrier_fails() {
+        let r = check_pushpull(&locked_program(true, false), &spec(), &cfg()).unwrap();
+        assert!(!r.no_barrier_misuse_holds(), "{:?}", r.barrier_violations);
+    }
+
+    #[test]
+    fn unprotected_access_fails_drf() {
+        let mut p = ProgramBuilder::new("racy");
+        p.thread("t0", |t| {
+            t.store(DATA, 1u64, false);
+        });
+        p.thread("t1", |t| {
+            t.store(DATA, 2u64, false);
+        });
+        let r = check_pushpull(&p.build(), &spec(), &cfg()).unwrap();
+        assert!(!r.drf_kernel_holds());
+    }
+
+    #[test]
+    fn write_once_kernel_pt_detected() {
+        let mut p = ProgramBuilder::new("pt-overwrite");
+        p.init(0x100, 0); // empty entry
+        p.thread("t0", |t| {
+            t.store(0x100u64, 0x20u64, false); // first map: fine
+            t.store(0x100u64, 0x30u64, false); // overwrite: violation
+        });
+        let mut s = KernelSpec::for_kernel_threads([0]);
+        s.kernel_pt = vec![(0x100, 0x140)];
+        let r = check_pushpull(&p.build(), &s, &cfg()).unwrap();
+        assert!(!r.write_once_holds());
+        assert!(r.drf_kernel_holds());
+    }
+}

@@ -1,0 +1,124 @@
+//! Kernel program specifications: the sharing and isolation structure the
+//! wDRF condition checkers need to know about a program.
+
+use std::collections::BTreeSet;
+
+use vrm_memmodel::ir::Addr;
+
+/// Which version of condition 6 the system claims (§3, §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum IsolationMode {
+    /// Memory-Isolation: the kernel never reads user memory and user
+    /// programs cannot write kernel memory.
+    #[default]
+    Strong,
+    /// Weak-Memory-Isolation: user programs cannot write kernel memory, and
+    /// kernel reads of user memory are masked by data oracles, so the SC
+    /// proofs do not depend on user-program implementations.
+    Weak,
+}
+
+/// A half-open address range `[start, end)`.
+pub type Range = (Addr, Addr);
+
+/// Returns `true` if `addr` falls in any of the given ranges.
+pub fn in_ranges(addr: Addr, ranges: &[Range]) -> bool {
+    ranges.iter().any(|&(lo, hi)| addr >= lo && addr < hi)
+}
+
+/// The sharing/isolation structure of a kernel program under analysis.
+///
+/// The wDRF conditions are conditions *about* a program; this struct
+/// supplies the vocabulary: which threads constitute the kernel, which data
+/// locations must be protected by synchronization (DRF-Kernel exempts the
+/// synchronization variables themselves and the page tables), where the
+/// kernel's own page table and the user-visible page tables live, and how
+/// memory is partitioned between kernel and user.
+#[derive(Debug, Clone, Default)]
+pub struct KernelSpec {
+    /// Thread ids that are kernel code (the subject of the wDRF theorem).
+    pub kernel_threads: BTreeSet<usize>,
+    /// Shared data locations that must only be accessed while owned via
+    /// push/pull (condition 1). Synchronization variables (lock words) and
+    /// page-table cells are deliberately *not* listed here.
+    pub shared_data: BTreeSet<Addr>,
+    /// Cells of the kernel's own (EL2) page table (condition 3).
+    pub kernel_pt: Vec<Range>,
+    /// Cells of page tables readable by user-side MMU walks, e.g. stage-2
+    /// tables (conditions 4 and 5).
+    pub user_pt: Vec<Range>,
+    /// Kernel private memory (condition 6: users must never write it).
+    pub kernel_mem: Vec<Range>,
+    /// User memory (condition 6: the kernel must not read it under
+    /// [`IsolationMode::Strong`]).
+    pub user_mem: Vec<Range>,
+    /// Names of the observables that belong to the kernel (the theorem
+    /// compares only these across models). Empty means "all observables".
+    pub kernel_observables: Vec<String>,
+    /// Which isolation condition is claimed.
+    pub isolation: IsolationMode,
+}
+
+
+impl KernelSpec {
+    /// Creates a spec where the given threads are the kernel and everything
+    /// else defaults to empty.
+    pub fn for_kernel_threads(tids: impl IntoIterator<Item = usize>) -> Self {
+        KernelSpec {
+            kernel_threads: tids.into_iter().collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Is the address part of the kernel's own page table?
+    pub fn is_kernel_pt(&self, addr: Addr) -> bool {
+        in_ranges(addr, &self.kernel_pt)
+    }
+
+    /// Is the address part of a user-walked (stage-2 / SMMU) page table?
+    pub fn is_user_pt(&self, addr: Addr) -> bool {
+        in_ranges(addr, &self.user_pt)
+    }
+
+    /// Is the address kernel private memory?
+    pub fn is_kernel_mem(&self, addr: Addr) -> bool {
+        in_ranges(addr, &self.kernel_mem)
+    }
+
+    /// Is the address user memory?
+    pub fn is_user_mem(&self, addr: Addr) -> bool {
+        in_ranges(addr, &self.user_mem)
+    }
+
+    /// Is the thread a kernel thread?
+    pub fn is_kernel_thread(&self, tid: usize) -> bool {
+        self.kernel_threads.contains(&tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_membership() {
+        assert!(in_ranges(5, &[(0, 10)]));
+        assert!(!in_ranges(10, &[(0, 10)]));
+        assert!(in_ranges(10, &[(0, 10), (10, 20)]));
+        assert!(!in_ranges(25, &[(0, 10), (10, 20)]));
+    }
+
+    #[test]
+    fn spec_helpers() {
+        let mut s = KernelSpec::for_kernel_threads([0, 1]);
+        s.kernel_pt = vec![(0x100, 0x140)];
+        s.user_mem = vec![(0x1000, 0x2000)];
+        assert!(s.is_kernel_thread(0));
+        assert!(!s.is_kernel_thread(2));
+        assert!(s.is_kernel_pt(0x100));
+        assert!(!s.is_kernel_pt(0x140));
+        assert!(s.is_user_mem(0x1abc));
+        assert_eq!(s.isolation, IsolationMode::Strong);
+    }
+}

@@ -1,0 +1,458 @@
+//! The wDRF theorem, checked end-to-end (Theorems 1–4).
+//!
+//! For a kernel program satisfying the six wDRF conditions, every
+//! observable behaviour on the Promising Arm model must also be observable
+//! on an SC model. The paper proves this deductively; here we *check* it
+//! for a concrete program by exhaustive enumeration on both models:
+//!
+//! * **Strong isolation** (Theorems 1–3): enumerate the program on
+//!   Promising Arm and on SC, project both outcome sets to the kernel
+//!   observables, and verify `RM ⊆ SC`.
+//! * **Weak isolation** (Theorem 4): the kernel may read user memory, so a
+//!   user program's RM behaviour could leak into the kernel. The theorem
+//!   quantifies over a *replacement* user program `Q'`: we construct the
+//!   paper's data-oracle closure — user threads replaced by oracle writers
+//!   that store arbitrary domain values to the user locations — and verify
+//!   `RM(P ∪ Q) ⊆ SC(P ∪ Q_oracle)` on the kernel observables.
+//!
+//! For litmus-scale kernels these checks are exhaustive: a passing verdict
+//! is a proof-by-enumeration for that program, and a failing one comes
+//! with concrete counterexample outcomes (as for the buggy Examples 1–7).
+
+use std::collections::BTreeSet;
+
+use vrm_memmodel::ir::{Inst, Program, Reg, Thread};
+use vrm_memmodel::outcome::{Outcome, OutcomeSet, ThreadExit};
+use vrm_memmodel::promising::{enumerate_promising_with, PromisingConfig};
+use vrm_memmodel::sc::{enumerate_sc_with, ExploreError, ScConfig};
+use vrm_memmodel::values::{analyze, ValueConfig};
+
+use crate::conditions::{
+    check_memory_isolation, check_sequential_tlbi_program, check_sync_conditions, ConditionReport,
+};
+use crate::spec::{in_ranges, IsolationMode, KernelSpec};
+
+/// Configuration for [`check_wdrf`].
+#[derive(Debug, Clone)]
+pub struct WdrfCheckConfig {
+    /// Promising-model exploration bounds.
+    pub promising: PromisingConfig,
+    /// SC exploration bounds.
+    pub sc: ScConfig,
+    /// Value-analysis bounds (isolation check, oracle domain).
+    pub values: ValueConfig,
+    /// Random schedules for the Sequential-TLB-Invalidation trace check.
+    pub tlbi_schedules: usize,
+    /// How many oracle write rounds each replaced user thread performs
+    /// (Theorem 4's `Q'` construction); more rounds cover kernels that
+    /// re-read user memory more often.
+    pub oracle_rounds: usize,
+    /// Skip conditions 1–3 (when the program has no push/pull
+    /// instrumentation, e.g. a pure page-table or user-interference test).
+    pub skip_sync_conditions: bool,
+}
+
+impl Default for WdrfCheckConfig {
+    fn default() -> Self {
+        Self {
+            promising: PromisingConfig::default(),
+            sc: ScConfig::default(),
+            values: ValueConfig::default(),
+            tlbi_schedules: 8,
+            oracle_rounds: 2,
+            skip_sync_conditions: false,
+        }
+    }
+}
+
+/// The end-to-end verdict of the wDRF check.
+#[derive(Debug, Clone)]
+pub struct WdrfVerdict {
+    /// Per-condition reports (1, 2, 3, 5, 6; condition 4 is checked at the
+    /// page-table-operation level, see `vrm-mmu`/`vrm-sekvm`).
+    pub conditions: Vec<ConditionReport>,
+    /// Kernel-projected RM outcome set.
+    pub rm: OutcomeSet,
+    /// Kernel-projected SC outcome set (of the oracle closure under weak
+    /// isolation).
+    pub sc: OutcomeSet,
+    /// The theorem's conclusion: did every RM behaviour appear on SC?
+    pub rm_subset_of_sc: bool,
+    /// RM-only outcomes, if any (counterexamples to SC-transferability).
+    pub counterexamples: Vec<Outcome>,
+    /// `true` if any exploration bound was hit.
+    pub truncated: bool,
+}
+
+impl WdrfVerdict {
+    /// `true` iff all checked conditions hold and RM ⊆ SC.
+    pub fn holds(&self) -> bool {
+        self.conditions.iter().all(|c| c.holds) && self.rm_subset_of_sc
+    }
+}
+
+impl std::fmt::Display for WdrfVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for c in &self.conditions {
+            write!(f, "{c}")?;
+        }
+        writeln!(
+            f,
+            "[{}] wDRF theorem: RM observable behaviours {} SC behaviours ({} vs {})",
+            if self.rm_subset_of_sc { "PASS" } else { "FAIL" },
+            if self.rm_subset_of_sc {
+                "are a subset of"
+            } else {
+                "EXCEED"
+            },
+            self.rm.len(),
+            self.sc.len()
+        )?;
+        for cex in &self.counterexamples {
+            writeln!(f, "    RM-only: {cex}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Projects an outcome set to the kernel: keeps only the kernel-named
+/// observables (all if the spec lists none) and masks user threads' exit
+/// statuses.
+pub fn project_kernel(outcomes: &OutcomeSet, spec: &KernelSpec) -> OutcomeSet {
+    outcomes
+        .iter()
+        .map(|o| {
+            let values = o
+                .values
+                .iter()
+                .filter(|(n, _)| {
+                    spec.kernel_observables.is_empty() || spec.kernel_observables.contains(n)
+                })
+                .cloned()
+                .collect();
+            let exits = o
+                .exits
+                .iter()
+                .enumerate()
+                .map(|(tid, &e)| {
+                    if spec.is_kernel_thread(tid) {
+                        e
+                    } else {
+                        ThreadExit::Done
+                    }
+                })
+                .collect();
+            Outcome { values, exits }
+        })
+        .collect()
+}
+
+/// Builds the Theorem 4 oracle closure `P ∪ Q'`: user threads are replaced
+/// by data-oracle writers that store arbitrary domain values to the user
+/// locations the original threads could write.
+///
+/// The oracle draws values from the value-analysis domain of the original
+/// program, which covers every value the real user program could produce
+/// (including its RM-only combinations, e.g. `z = 2` in Example 7).
+pub fn oracle_closure(
+    prog: &Program,
+    spec: &KernelSpec,
+    values: &ValueConfig,
+    rounds: usize,
+) -> Program {
+    let va = analyze(prog, values);
+    let mut out = prog.clone();
+    for tid in 0..prog.threads.len() {
+        if spec.is_kernel_thread(tid) {
+            continue;
+        }
+        // Addresses this user thread may write, restricted to user memory.
+        let addrs: Vec<_> = va.writes[tid]
+            .iter()
+            .copied()
+            .filter(|&a| in_ranges(a, &spec.user_mem))
+            .collect();
+        let mut code = Vec::new();
+        for _ in 0..rounds.max(1) {
+            for &a in &addrs {
+                let mut choices: BTreeSet<u64> = va.candidates(a, prog);
+                choices.insert(prog.init_val(a));
+                code.push(Inst::Oracle {
+                    dst: Reg(0),
+                    choices: choices.into_iter().collect(),
+                });
+                code.push(Inst::Store {
+                    val: vrm_memmodel::ir::Expr::Reg(Reg(0)),
+                    addr: vrm_memmodel::ir::Expr::Imm(a),
+                    rel: false,
+                });
+            }
+        }
+        code.push(Inst::Halt);
+        out.threads[tid] = Thread {
+            name: format!("{} (oracle)", prog.threads[tid].name),
+            code,
+        };
+    }
+    out
+}
+
+/// Theorem 2: the *solely running kernel* check.
+///
+/// Strips the user threads out of the program entirely (the kernel "running
+/// solely without user programs") and verifies that its RM execution
+/// results coincide with its SC execution results. Only conditions 1–3 are
+/// needed in this setting, which is why the caller typically pairs this
+/// with [`crate::conditions::check_sync_conditions`].
+pub fn check_theorem2(
+    prog: &Program,
+    spec: &KernelSpec,
+    cfg: &WdrfCheckConfig,
+) -> Result<WdrfVerdict, ExploreError> {
+    let mut solo = prog.clone();
+    for tid in 0..solo.threads.len() {
+        if !spec.is_kernel_thread(tid) {
+            solo.threads[tid] = Thread {
+                name: format!("{} (removed)", prog.threads[tid].name),
+                code: vec![Inst::Halt],
+            };
+        }
+    }
+    let mut inner = cfg.clone();
+    inner.skip_sync_conditions = true;
+    let mut solo_spec = spec.clone();
+    solo_spec.isolation = IsolationMode::Strong;
+    check_wdrf(&solo, &solo_spec, &inner)
+}
+
+/// Runs the full wDRF check: conditions, then the RM ⊆ SC comparison.
+///
+/// # Examples
+///
+/// ```
+/// use vrm_core::{check_wdrf, KernelSpec, WdrfCheckConfig};
+/// use vrm_memmodel::builder::ProgramBuilder;
+/// use vrm_memmodel::ir::Reg;
+///
+/// // A kernel thread whose only shared access is protected by dmb-fenced
+/// // push/pull has identical RM and SC behaviour.
+/// let mut p = ProgramBuilder::new("trivial");
+/// p.thread("kernel", |t| {
+///     t.load(Reg(0), 0x10, true);
+/// });
+/// p.observe_reg("r0", 0, Reg(0));
+/// let spec = KernelSpec::for_kernel_threads([0]);
+/// let mut cfg = WdrfCheckConfig::default();
+/// cfg.skip_sync_conditions = true; // no push/pull instrumentation here
+/// let verdict = check_wdrf(&p.build(), &spec, &cfg).unwrap();
+/// assert!(verdict.rm_subset_of_sc);
+/// ```
+pub fn check_wdrf(
+    prog: &Program,
+    spec: &KernelSpec,
+    cfg: &WdrfCheckConfig,
+) -> Result<WdrfVerdict, ExploreError> {
+    let mut conditions = Vec::new();
+    let mut truncated = false;
+
+    if !cfg.skip_sync_conditions {
+        let sync = check_sync_conditions(prog, spec, &cfg.promising)?;
+        truncated |= sync
+            .iter()
+            .any(|c| c.details.iter().any(|d| d.starts_with("warning")));
+        conditions.extend(sync);
+    }
+    if prog.uses_vm() || !spec.user_pt.is_empty() {
+        conditions.push(check_sequential_tlbi_program(prog, spec, cfg.tlbi_schedules)?);
+    }
+    conditions.push(check_memory_isolation(prog, spec, &cfg.values));
+
+    // RM side: the real program on Promising Arm.
+    let rm_raw = enumerate_promising_with(prog, &cfg.promising)?;
+    truncated |= rm_raw.truncated;
+    let rm = project_kernel(&rm_raw.outcomes, spec);
+
+    // SC side: the real program, or the oracle closure under weak
+    // isolation.
+    let sc_prog = match spec.isolation {
+        IsolationMode::Strong => prog.clone(),
+        IsolationMode::Weak => oracle_closure(prog, spec, &cfg.values, cfg.oracle_rounds),
+    };
+    let sc_raw = enumerate_sc_with(&sc_prog, &cfg.sc)?;
+    let sc = project_kernel(&sc_raw, spec);
+
+    let counterexamples = rm.difference(&sc);
+    Ok(WdrfVerdict {
+        conditions,
+        rm_subset_of_sc: counterexamples.is_empty(),
+        counterexamples,
+        rm,
+        sc,
+        truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrm_memmodel::builder::ProgramBuilder;
+    use vrm_memmodel::ir::Reg;
+
+    /// Example 7 shape: users run LB and bump a counter the kernel reads.
+    fn example7_like() -> (Program, KernelSpec) {
+        let (x, y, z) = (0x1000u64, 0x1001u64, 0x1002u64);
+        let mut p = ProgramBuilder::new("Example 7");
+        p.thread("user-1", |t| {
+            t.load(Reg(0), x, false);
+            t.store(y, 1u64, false);
+            // if r0 == 1 { z += 1 } (plain increment is racy but fine here)
+            t.br(vrm_memmodel::ir::Cond::Ne, Reg(0), 1u64, "skip");
+            t.rmw(Reg(1), z, vrm_memmodel::ir::RmwOp::Add, 1u64, false, false);
+            t.label("skip");
+            t.inst(Inst::Halt);
+        });
+        p.thread("user-2", |t| {
+            t.load(Reg(0), y, false);
+            t.store(x, Reg(0), false);
+            t.br(vrm_memmodel::ir::Cond::Ne, Reg(0), 1u64, "skip");
+            t.rmw(Reg(1), z, vrm_memmodel::ir::RmwOp::Add, 1u64, false, false);
+            t.label("skip");
+            t.inst(Inst::Halt);
+        });
+        p.thread("kernel", |t| {
+            t.load(Reg(2), z, false); // reads user memory
+        });
+        p.observe_reg("kernel_z", 2, Reg(2));
+        let mut spec = KernelSpec::for_kernel_threads([2]);
+        spec.user_mem = vec![(0x1000, 0x2000)];
+        spec.kernel_observables = vec!["kernel_z".into()];
+        spec.isolation = IsolationMode::Weak;
+        (p.build(), spec)
+    }
+
+    #[test]
+    fn example7_fails_under_strong_claim() {
+        // Without the oracle construction, the kernel can observe z=2 on
+        // RM (both users see 1 via load buffering) but never on SC.
+        let (prog, mut spec) = example7_like();
+        spec.isolation = IsolationMode::Strong;
+        let mut cfg = WdrfCheckConfig {
+            skip_sync_conditions: true,
+            ..Default::default()
+        };
+        cfg.promising.max_promises_per_thread = 1;
+        cfg.promising.value_cfg.max_rounds = 3;
+        let v = check_wdrf(&prog, &spec, &cfg).unwrap();
+        // Condition 6 (strong) fails: the kernel reads user memory.
+        assert!(v.conditions.iter().any(|c| !c.holds));
+        // And the raw RM/SC comparison exhibits the RM-only behaviour.
+        assert!(!v.rm_subset_of_sc, "rm:\n{}\nsc:\n{}", v.rm, v.sc);
+        assert!(v
+            .counterexamples
+            .iter()
+            .any(|o| o.get("kernel_z") == 2));
+    }
+
+    #[test]
+    fn example7_passes_under_weak_isolation() {
+        // Theorem 4: with the data-oracle closure, every RM-visible kernel
+        // observation (including z=2) is SC-reachable for some Q'.
+        let (prog, spec) = example7_like();
+        let mut cfg = WdrfCheckConfig {
+            skip_sync_conditions: true,
+            oracle_rounds: 1,
+            ..Default::default()
+        };
+        cfg.promising.max_promises_per_thread = 1;
+        cfg.promising.value_cfg.max_rounds = 3;
+        cfg.values.max_rounds = 3;
+        let v = check_wdrf(&prog, &spec, &cfg).unwrap();
+        assert!(
+            v.conditions.iter().all(|c| c.holds),
+            "{:#?}",
+            v.conditions
+        );
+        assert!(v.rm_subset_of_sc, "rm:\n{}\nsc:\n{}", v.rm, v.sc);
+        assert!(v.holds());
+    }
+
+    #[test]
+    fn mp_without_barriers_flagged_by_theorem() {
+        // A "kernel" with an unsynchronized MP race: RM exceeds SC.
+        let (x, f) = (0x10u64, 0x20u64);
+        let mut p = ProgramBuilder::new("MP-kernel");
+        p.thread("k0", |t| {
+            t.store(x, 42u64, false);
+            t.store(f, 1u64, false);
+        });
+        p.thread("k1", |t| {
+            t.load(Reg(0), f, false);
+            t.load(Reg(1), x, false);
+        });
+        p.observe_reg("f", 1, Reg(0));
+        p.observe_reg("d", 1, Reg(1));
+        let spec = KernelSpec::for_kernel_threads([0, 1]);
+        let mut cfg = WdrfCheckConfig {
+            skip_sync_conditions: true,
+            ..Default::default()
+        };
+        let _ = &mut cfg;
+        let v = check_wdrf(&p.build(), &spec, &cfg).unwrap();
+        assert!(!v.rm_subset_of_sc);
+        assert!(v
+            .counterexamples
+            .iter()
+            .any(|o| o.get("f") == 1 && o.get("d") == 0));
+    }
+
+    #[test]
+    fn mp_with_rel_acq_passes_theorem() {
+        let (x, f) = (0x10u64, 0x20u64);
+        let mut p = ProgramBuilder::new("MP-kernel-fixed");
+        p.thread("k0", |t| {
+            t.store(x, 42u64, false);
+            t.store(f, 1u64, true);
+        });
+        p.thread("k1", |t| {
+            t.load(Reg(0), f, true);
+            t.load(Reg(1), x, false);
+        });
+        p.observe_reg("f", 1, Reg(0));
+        p.observe_reg("d", 1, Reg(1));
+        let spec = KernelSpec::for_kernel_threads([0, 1]);
+        let mut cfg = WdrfCheckConfig {
+            skip_sync_conditions: true,
+            ..Default::default()
+        };
+        let _ = &mut cfg;
+        let v = check_wdrf(&p.build(), &spec, &cfg).unwrap();
+        assert!(v.rm_subset_of_sc, "counterexamples: {:?}", v.counterexamples);
+    }
+
+    #[test]
+    fn theorem2_kernel_solo() {
+        // The Example 7 kernel, run solo (user threads stripped): trivially
+        // RM == SC regardless of the users' racy code.
+        let (prog, spec) = example7_like();
+        let cfg = WdrfCheckConfig::default();
+        let v = super::check_theorem2(&prog, &spec, &cfg).unwrap();
+        assert!(v.rm_subset_of_sc);
+        // The kernel alone always reads the initial z.
+        assert!(v.rm.iter().all(|o| o.get("kernel_z") == 0));
+    }
+
+    #[test]
+    fn projection_masks_user_exits_and_observables() {
+        let mut spec = KernelSpec::for_kernel_threads([0]);
+        spec.kernel_observables = vec!["k".into()];
+        let o = Outcome {
+            values: vec![("k".into(), 1), ("u".into(), 9)],
+            exits: vec![ThreadExit::Done, ThreadExit::Panic],
+        };
+        let set: OutcomeSet = [o].into_iter().collect();
+        let p = project_kernel(&set, &spec);
+        let po = p.iter().next().unwrap();
+        assert_eq!(po.values, vec![("k".to_string(), 1)]);
+        assert_eq!(po.exits, vec![ThreadExit::Done, ThreadExit::Done]);
+    }
+}

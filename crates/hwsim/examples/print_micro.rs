@@ -1,0 +1,9 @@
+fn main() {
+    use vrm_hwsim::*;
+    for hw in [HwConfig::m400(), HwConfig::seattle()] {
+        for kind in [HypKind::Kvm, HypKind::SeKvm] {
+            let m = simulate_micro(hw, HypConfig::new(kind, KernelVersion::V4_18));
+            println!("{:8} {:6} {:?}", hw.name, kind.name(), m);
+        }
+    }
+}

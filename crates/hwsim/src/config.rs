@@ -1,0 +1,173 @@
+//! Hardware and hypervisor configurations (§6's two servers and two
+//! hypervisors across two kernel versions).
+
+/// A hardware platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HwConfig {
+    /// Display name.
+    pub name: &'static str,
+    /// Physical cores.
+    pub cores: u32,
+    /// Clock in GHz (reporting only; costs are in cycles).
+    pub freq_ghz: f64,
+    /// Exception entry/exit (one EL transition) in cycles.
+    pub c_exc: u64,
+    /// Average cycles per instruction in hypervisor/kernel code.
+    pub c_inst: f64,
+    /// Cycles per page-walk memory reference (TLB refill).
+    pub c_mem: u64,
+    /// Unified TLB capacity (entries).
+    pub tlb_entries: u64,
+    /// TLB pressure scale: working sets are thrashed in proportion to
+    /// `1 - tlb_entries / tlb_scale` (clamped at 0).
+    pub tlb_scale: u64,
+}
+
+impl HwConfig {
+    /// HP Moonshot m400: 8-core 2.4 GHz Applied Micro X-Gene. The X-Gene
+    /// has a notoriously tiny TLB, which the paper identifies as the cause
+    /// of SeKVM's high microbenchmark overhead on this machine.
+    pub fn m400() -> Self {
+        HwConfig {
+            name: "m400",
+            cores: 8,
+            freq_ghz: 2.4,
+            c_exc: 500,
+            c_inst: 1.05,
+            c_mem: 28,
+            tlb_entries: 48,
+            tlb_scale: 256,
+        }
+    }
+
+    /// AMD Seattle Rev.B0: 8-core 2 GHz Opteron A1100 (Cortex-A57-class,
+    /// "more reasonable" TLB sizes per the paper).
+    pub fn seattle() -> Self {
+        HwConfig {
+            name: "Seattle",
+            cores: 8,
+            freq_ghz: 2.0,
+            c_exc: 650,
+            c_inst: 1.30,
+            c_mem: 22,
+            tlb_entries: 1024,
+            tlb_scale: 256,
+        }
+    }
+
+    /// Fraction of a working set whose TLB entries get thrashed by a
+    /// context transition on this machine (0 on large-TLB parts).
+    pub fn thrash_factor(&self) -> f64 {
+        (1.0 - self.tlb_entries as f64 / self.tlb_scale as f64).max(0.0)
+    }
+}
+
+/// Which hypervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HypKind {
+    /// Unmodified KVM.
+    Kvm,
+    /// The verified, retrofitted KVM.
+    SeKvm,
+}
+
+impl HypKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HypKind::Kvm => "KVM",
+            HypKind::SeKvm => "SeKVM",
+        }
+    }
+}
+
+/// Linux kernel version of the host/hypervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelVersion {
+    /// Linux 4.18 (original SeKVM; 4-level stage-2 tables).
+    V4_18,
+    /// Linux 5.4 (port with 3-level stage-2 support, §5.6).
+    V5_4,
+}
+
+impl KernelVersion {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelVersion::V4_18 => "4.18",
+            KernelVersion::V5_4 => "5.4",
+        }
+    }
+}
+
+/// A hypervisor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HypConfig {
+    /// KVM or SeKVM.
+    pub kind: HypKind,
+    /// Kernel version.
+    pub kernel: KernelVersion,
+}
+
+impl HypConfig {
+    /// Builds a configuration.
+    pub fn new(kind: HypKind, kernel: KernelVersion) -> Self {
+        HypConfig { kind, kernel }
+    }
+
+    /// Stage-2 page-table levels in use.
+    ///
+    /// SeKVM on 4.18 used 4-level tables; the later ports add verified
+    /// 3-level support, "useful for improving performance on Arm CPUs
+    /// with smaller TLBs" (§5.6).
+    pub fn s2_levels(&self) -> u32 {
+        match (self.kind, self.kernel) {
+            (HypKind::SeKvm, KernelVersion::V4_18) => 4,
+            (HypKind::SeKvm, KernelVersion::V5_4) => 3,
+            (HypKind::Kvm, _) => 4,
+        }
+    }
+
+    /// Does KServ (the host) run under 4 KB stage-2 mappings?
+    ///
+    /// "The current implementation maps regular 4 KB pages in KServ's
+    /// stage 2 page table so microbenchmark workloads that spend most of
+    /// their time running in KServ require more TLB entries" (§6).
+    pub fn kserv_4k_stage2(&self) -> bool {
+        self.kind == HypKind::SeKvm
+    }
+
+    /// Minor instruction-count factor per kernel version (newer kernels
+    /// do slightly more work on the exit paths).
+    pub fn version_factor(&self) -> f64 {
+        match self.kernel {
+            KernelVersion::V4_18 => 1.0,
+            KernelVersion::V5_4 => 1.03,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m400_has_tiny_tlb() {
+        assert!(HwConfig::m400().tlb_entries < HwConfig::seattle().tlb_entries);
+        assert!(HwConfig::m400().thrash_factor() > 0.5);
+        assert_eq!(HwConfig::seattle().thrash_factor(), 0.0);
+    }
+
+    #[test]
+    fn sekvm_levels_depend_on_kernel() {
+        assert_eq!(HypConfig::new(HypKind::SeKvm, KernelVersion::V4_18).s2_levels(), 4);
+        assert_eq!(HypConfig::new(HypKind::SeKvm, KernelVersion::V5_4).s2_levels(), 3);
+        assert_eq!(HypConfig::new(HypKind::Kvm, KernelVersion::V4_18).s2_levels(), 4);
+    }
+
+    #[test]
+    fn only_sekvm_maps_kserv_4k() {
+        assert!(HypConfig::new(HypKind::SeKvm, KernelVersion::V4_18).kserv_4k_stage2());
+        assert!(!HypConfig::new(HypKind::Kvm, KernelVersion::V5_4).kserv_4k_stage2());
+    }
+}

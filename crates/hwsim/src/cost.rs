@@ -1,0 +1,193 @@
+//! The cost model: cycles for hypervisor primitives.
+//!
+//! Costs are compositional: exception transitions, instruction work, and
+//! TLB refill pressure. A *transition profile* describes one hypervisor
+//! operation as (number of EL transitions, instructions executed in the
+//! hypervisor/host, working-set pages touched in host context, extra
+//! instructions SeKVM's trusted core adds, KCore working-set pages).
+//!
+//! The TLB term is where the two machines diverge: entering host (KServ)
+//! context replaces translations; on a small-TLB part a fraction
+//! [`HwConfig::thrash_factor`] of the working set must be re-walked, and
+//! SeKVM doubles the pressure because KServ runs under 4 KB stage-2
+//! mappings (each host page needs its own combined-stage entry instead of
+//! being covered by a huge-page mapping).
+
+use crate::config::{HwConfig, HypConfig};
+
+/// The composite cost model for one (hardware, hypervisor) pair.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Hardware.
+    pub hw: HwConfig,
+    /// Hypervisor.
+    pub hyp: HypConfig,
+}
+
+/// One hypervisor operation's structural profile.
+#[derive(Debug, Clone, Copy)]
+pub struct OpProfile {
+    /// EL transitions (guest↔hyp↔host...), each costing `c_exc`.
+    pub transitions: u64,
+    /// Instructions executed on the common (KVM) path.
+    pub insts: u64,
+    /// Host-context working set in pages (TLB pressure term).
+    pub ws_pages: u64,
+    /// Extra instructions the SeKVM path adds (full VM-state
+    /// save/restore in KCore, sanitization, s2page checks).
+    pub sekvm_extra_insts: u64,
+    /// Extra KCore working-set pages SeKVM touches.
+    pub sekvm_extra_ws: u64,
+}
+
+impl CostModel {
+    /// Builds the model.
+    pub fn new(hw: HwConfig, hyp: HypConfig) -> Self {
+        CostModel { hw, hyp }
+    }
+
+    /// Cost in cycles of one TLB refill: a stage-1 walk where each level
+    /// (plus the final access) is itself translated by the stage-2 walk.
+    pub fn nested_walk_cycles(&self) -> u64 {
+        let s1 = 4u64;
+        let s2 = self.hyp.s2_levels() as u64;
+        // (s1 levels + final) stage-2 translations of s2 refs each, plus
+        // the s1 refs themselves — approximated linearly.
+        (s1 + s2 + 2) * self.hw.c_mem
+    }
+
+    /// TLB misses induced by a context transition touching `ws` pages.
+    ///
+    /// Stock KVM backs the host with huge-page stage-2 mappings, so only
+    /// a small fraction of the working set costs a refill; SeKVM's 4 KB
+    /// KServ mappings make nearly every page (stage-1 and stage-2 entry)
+    /// contend for TLB capacity.
+    pub fn thrash_misses(&self, ws: u64) -> f64 {
+        let pressure = if self.hyp.kserv_4k_stage2() { 1.3 } else { 0.35 };
+        ws as f64 * pressure * self.hw.thrash_factor()
+    }
+
+    /// Total cycles for an operation profile.
+    pub fn op_cycles(&self, p: &OpProfile) -> u64 {
+        let vf = self.hyp.version_factor();
+        let mut cycles = p.transitions as f64 * self.hw.c_exc as f64
+            + p.insts as f64 * vf * self.hw.c_inst;
+        // Baseline TLB pressure of entering host context at all.
+        cycles += self.thrash_misses(p.ws_pages) * self.nested_walk_cycles() as f64;
+        if self.hyp.kserv_4k_stage2() {
+            // SeKVM extra: KCore work + its own working set.
+            cycles += p.sekvm_extra_insts as f64 * vf * self.hw.c_inst;
+            cycles += self.thrash_misses(p.sekvm_extra_ws) * self.nested_walk_cycles() as f64;
+            // Seattle-class machines still pay the KCore instruction cost
+            // plus a fixed stage-2-switch overhead.
+            cycles += 2.0 * self.hw.c_exc as f64 * 0.35;
+        }
+        cycles as u64
+    }
+}
+
+/// Microbenchmark op profiles (Table 2's four operations).
+pub mod profiles {
+    use super::OpProfile;
+
+    /// Hypercall: guest → hypervisor → guest, no work.
+    pub fn hypercall() -> OpProfile {
+        OpProfile {
+            transitions: 2,
+            insts: 1150,
+            ws_pages: 0,
+            sekvm_extra_insts: 450,
+            sekvm_extra_ws: 7,
+        }
+    }
+
+    /// I/O Kernel: trap to the in-kernel emulated interrupt controller.
+    pub fn io_kernel() -> OpProfile {
+        OpProfile {
+            transitions: 2,
+            insts: 1900,
+            ws_pages: 4,
+            sekvm_extra_insts: 800,
+            sekvm_extra_ws: 9,
+        }
+    }
+
+    /// I/O User: trap out to QEMU's emulated UART and back.
+    pub fn io_user() -> OpProfile {
+        OpProfile {
+            transitions: 6,
+            insts: 4200,
+            ws_pages: 18,
+            // The QEMU round trip already thrashes the TLB wholesale, so
+            // KCore's incremental footprint is small here.
+            sekvm_extra_insts: 1600,
+            sekvm_extra_ws: 3,
+        }
+    }
+
+    /// Virtual IPI between two vCPUs on different cores.
+    pub fn virtual_ipi() -> OpProfile {
+        OpProfile {
+            transitions: 4,
+            insts: 4400,
+            ws_pages: 10,
+            sekvm_extra_insts: 1500,
+            sekvm_extra_ws: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HypKind, KernelVersion};
+
+    fn model(hw: HwConfig, kind: HypKind) -> CostModel {
+        CostModel::new(hw, HypConfig::new(kind, KernelVersion::V4_18))
+    }
+
+    #[test]
+    fn sekvm_costs_more_than_kvm_everywhere() {
+        for hw in [HwConfig::m400(), HwConfig::seattle()] {
+            for p in [
+                profiles::hypercall(),
+                profiles::io_kernel(),
+                profiles::io_user(),
+                profiles::virtual_ipi(),
+            ] {
+                let kvm = model(hw, HypKind::Kvm).op_cycles(&p);
+                let sekvm = model(hw, HypKind::SeKvm).op_cycles(&p);
+                assert!(sekvm > kvm, "{}: {sekvm} <= {kvm}", hw.name);
+            }
+        }
+    }
+
+    #[test]
+    fn m400_overhead_ratio_exceeds_seattle() {
+        // The paper's central microbenchmark observation: the tiny-TLB
+        // m400 amplifies SeKVM's relative overhead.
+        for p in [
+            profiles::hypercall(),
+            profiles::io_kernel(),
+            profiles::io_user(),
+            profiles::virtual_ipi(),
+        ] {
+            let ratio = |hw: HwConfig| {
+                model(hw, HypKind::SeKvm).op_cycles(&p) as f64
+                    / model(hw, HypKind::Kvm).op_cycles(&p) as f64
+            };
+            assert!(
+                ratio(HwConfig::m400()) > ratio(HwConfig::seattle()),
+                "m400 ratio should exceed Seattle"
+            );
+        }
+    }
+
+    #[test]
+    fn three_level_tables_cheaper_on_walks() {
+        let hw = HwConfig::m400();
+        let four = CostModel::new(hw, HypConfig::new(HypKind::SeKvm, KernelVersion::V4_18));
+        let three = CostModel::new(hw, HypConfig::new(HypKind::SeKvm, KernelVersion::V5_4));
+        assert!(three.nested_walk_cycles() < four.nested_walk_cycles());
+    }
+}

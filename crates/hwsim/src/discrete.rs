@@ -1,0 +1,162 @@
+//! Discrete-event multi-VM simulation: an independent cross-check of the
+//! closed-form Figure 9 model in [`multivm`](crate::multivm).
+//!
+//! Instead of the analytic `min(cpu_scale, io_scale)` formula, this module
+//! actually schedules `n` VMs × 2 vCPUs over the 8 physical cores in
+//! discrete ticks: each vCPU alternates compute bursts and I/O waits
+//! according to its workload's `cpu_util`/`io_demand`, cores run at most
+//! one vCPU per tick, and the shared I/O device serves a bounded number of
+//! requests per tick. Per-instance throughput normalized to one native
+//! instance falls out of completed work.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::apps::{simulate_app, Workload};
+use crate::config::{HwConfig, HypConfig};
+use crate::multivm::VCPUS_PER_VM;
+
+/// One vCPU's activity state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VcpuState {
+    /// Wants a core for this many more ticks of compute.
+    Computing(u32),
+    /// Waiting for its I/O request to be served.
+    WaitingIo,
+    /// Idle until re-dispatched (thinking between bursts).
+    Idle(u32),
+}
+
+/// Simulates `ticks` scheduler ticks and returns per-instance performance
+/// normalized to one native instance (comparable to
+/// [`simulate_multivm`](crate::multivm::simulate_multivm)).
+pub fn simulate_multivm_discrete(
+    hw: HwConfig,
+    hyp: HypConfig,
+    w: &Workload,
+    n: u32,
+    ticks: u32,
+    seed: u64,
+) -> f64 {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nvcpus = (n * VCPUS_PER_VM) as usize;
+    // Burst lengths chosen so the duty cycle matches cpu_util: a vCPU
+    // computes `burst` ticks then idles/waits the rest of its period.
+    let period = 20u32;
+    let burst = ((period as f64) * w.cpu_util).round().max(1.0) as u32;
+    let mut vcpus: Vec<VcpuState> = (0..nvcpus)
+        .map(|_| VcpuState::Idle(rng.gen_range(0..period / 2)))
+        .collect();
+    // Shared I/O device: served requests per tick such that one instance
+    // at full speed consumes `io_demand` of it.
+    let io_per_tick = 4.0f64; // device capacity in requests/tick
+    let mut io_queue: Vec<usize> = Vec::new();
+    let mut work_done = vec![0u64; nvcpus];
+    let cores = hw.cores as usize;
+
+    for _ in 0..ticks {
+        // Serve I/O.
+        let served = io_per_tick as usize;
+        for _ in 0..served.min(io_queue.len()) {
+            let v = io_queue.remove(0);
+            vcpus[v] = VcpuState::Computing(burst);
+        }
+        // Dispatch runnable vCPUs onto cores (round-robin fairness via
+        // random start).
+        let start = rng.gen_range(0..nvcpus);
+        let mut used = 0;
+        for k in 0..nvcpus {
+            let v = (start + k) % nvcpus;
+            match vcpus[v] {
+                VcpuState::Computing(left) if used < cores => {
+                    used += 1;
+                    work_done[v] += 1;
+                    if left <= 1 {
+                        // Burst complete: issue I/O or idle.
+                        let io_prob = w.io_demand * io_per_tick / burst as f64;
+                        if rng.gen_bool(io_prob.clamp(0.0, 1.0)) {
+                            vcpus[v] = VcpuState::WaitingIo;
+                            io_queue.push(v);
+                        } else {
+                            vcpus[v] = VcpuState::Idle(period - burst);
+                        }
+                    } else {
+                        vcpus[v] = VcpuState::Computing(left - 1);
+                    }
+                }
+                VcpuState::Idle(left) => {
+                    vcpus[v] = if left <= 1 {
+                        VcpuState::Computing(burst)
+                    } else {
+                        VcpuState::Idle(left - 1)
+                    };
+                }
+                _ => {}
+            }
+        }
+    }
+    // One native instance would complete `burst/period` of its demand per
+    // vCPU tick; per-instance relative throughput:
+    let total: u64 = work_done.iter().sum();
+    let per_instance = total as f64 / n as f64;
+    let ideal_per_instance = VCPUS_PER_VM as f64 * ticks as f64 * w.cpu_util;
+    let sched_ratio = (per_instance / ideal_per_instance).min(1.0);
+    // Compose with the single-VM virtualization factor.
+    sched_ratio * simulate_app(hw, hyp, w).normalized
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::workloads;
+    use crate::config::{HypKind, KernelVersion};
+    use crate::multivm::{simulate_multivm, VM_COUNTS};
+
+    #[test]
+    fn discrete_and_closed_form_agree_on_shape() {
+        let hw = HwConfig::m400();
+        let hyp = HypConfig::new(HypKind::Kvm, KernelVersion::V4_18);
+        for w in workloads() {
+            let mut prev = f64::INFINITY;
+            for n in VM_COUNTS {
+                let d = simulate_multivm_discrete(hw, hyp, &w, n, 4000, 7);
+                // Monotone non-increasing (within simulation noise).
+                assert!(d <= prev * 1.05, "{} n={n}: {d} after {prev}", w.name);
+                prev = d;
+                // Within a factor of the closed-form (coarse agreement).
+                let c = simulate_multivm(hw, hyp, &w, n);
+                let ratio = d / c;
+                assert!(
+                    (0.4..2.5).contains(&ratio),
+                    "{} n={n}: discrete {d:.3} vs closed-form {c:.3}",
+                    w.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversubscription_kneels_past_four_vms() {
+        let hw = HwConfig::m400();
+        let hyp = HypConfig::new(HypKind::Kvm, KernelVersion::V4_18);
+        let hack = workloads().into_iter().find(|w| w.name == "Hackbench").unwrap();
+        let p4 = simulate_multivm_discrete(hw, hyp, &hack, 4, 4000, 3);
+        let p16 = simulate_multivm_discrete(hw, hyp, &hack, 16, 4000, 3);
+        assert!(
+            p16 < 0.5 * p4,
+            "16 busy VMs on 8 cores must clearly oversubscribe: {p4:.3} -> {p16:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let hw = HwConfig::m400();
+        let hyp = HypConfig::new(HypKind::SeKvm, KernelVersion::V4_18);
+        let w = workloads()[0];
+        let a = simulate_multivm_discrete(hw, hyp, &w, 8, 2000, 5);
+        let b = simulate_multivm_discrete(hw, hyp, &w, 8, 2000, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,41 @@
+//! A cycle-approximate Arm multiprocessor/hypervisor performance simulator.
+//!
+//! The VRM paper's evaluation (§6) runs stock KVM and SeKVM on two real
+//! Armv8 servers — an HP Moonshot m400 (Applied Micro X-Gene, tiny TLB)
+//! and an AMD Seattle (Opteron A1100) — measuring microbenchmark cycle
+//! counts (Table 3), single-VM application performance normalized to
+//! native (Figure 8), and 1–32-VM scalability (Figure 9).
+//!
+//! Since that hardware is unavailable here, this crate substitutes a
+//! parameterized analytical simulator. Cost components are interpretable
+//! (exception entry cost, instruction throughput, nested-page-walk cost,
+//! TLB capacity pressure), and the constants are *calibrated* so that the
+//! paper's qualitative shape is reproduced:
+//!
+//! * SeKVM's microbenchmark overhead is large on the m400 (≈1.8–2.3×,
+//!   driven by its tiny TLB and SeKVM's 4 KB KServ stage-2 mappings) but
+//!   modest on Seattle (≈1.2–1.3×);
+//! * application benchmarks run within 10% of stock KVM on both machines;
+//! * multi-VM scaling curves for SeKVM track stock KVM out to 32 VMs.
+//!
+//! Absolute cycle numbers are synthetic; EXPERIMENTS.md records
+//! paper-vs-simulated values side by side.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod config;
+pub mod cost;
+pub mod micro;
+pub mod discrete;
+pub mod multivm;
+pub mod tracesim;
+
+pub use apps::{simulate_app, simulate_app_with_vcpus, workloads, AppResult, Workload};
+pub use config::{HwConfig, HypConfig, HypKind, KernelVersion};
+pub use cost::CostModel;
+pub use micro::{simulate_micro, MicroResults};
+pub use discrete::simulate_multivm_discrete;
+pub use multivm::{simulate_multivm, VM_COUNTS};
+pub use tracesim::{simulate_exit_trace, TraceSimResult};
+

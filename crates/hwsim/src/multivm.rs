@@ -1,0 +1,117 @@
+//! Figure 9: multi-VM scalability (1–32 concurrent VMs on the m400).
+//!
+//! Per-instance performance normalized to one native instance. Three
+//! effects compose:
+//!
+//! * CPU oversubscription — `n` VMs × 2 vCPUs × per-VM utilization share
+//!   the 8 physical cores;
+//! * shared-I/O contention — the single 10 GbE NIC / SSD saturates when
+//!   the aggregate demand exceeds capacity;
+//! * scheduling/lock overhead — grows slowly with `n`; SeKVM's ticket
+//!   locks add a small extra term that stays well within the paper's
+//!   ≤10%-of-KVM envelope even at 32 VMs.
+
+use crate::apps::{simulate_app, Workload};
+use crate::config::{HwConfig, HypConfig, HypKind};
+
+/// vCPUs per VM in the Figure 9 experiment (m400 configuration).
+pub const VCPUS_PER_VM: u32 = 2;
+
+/// Per-instance performance normalized to one native instance.
+pub fn simulate_multivm(hw: HwConfig, hyp: HypConfig, w: &Workload, n: u32) -> f64 {
+    assert!(n >= 1);
+    let single = simulate_app(hw, hyp, w).normalized;
+    // CPU oversubscription.
+    let demand = n as f64 * VCPUS_PER_VM as f64 * w.cpu_util;
+    let cpu_scale = (hw.cores as f64 / demand).min(1.0);
+    // Shared-I/O saturation.
+    let io_total = n as f64 * w.io_demand;
+    let io_scale = if io_total > 1.0 { 1.0 / io_total } else { 1.0 };
+    // Scheduling and synchronization overhead (log-ish in n).
+    let lg = (n as f64).log2();
+    let sched_tax = 0.006 * lg;
+    let lock_tax = match hyp.kind {
+        HypKind::Kvm => 0.004 * lg,
+        HypKind::SeKvm => 0.006 * lg,
+    };
+    single * cpu_scale.min(io_scale) * (1.0 - sched_tax - lock_tax).max(0.0)
+}
+
+/// The VM counts plotted in Figure 9.
+pub const VM_COUNTS: [u32; 6] = [1, 2, 4, 8, 16, 32];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::workloads;
+    use crate::config::KernelVersion;
+
+    fn cfgs() -> (HypConfig, HypConfig) {
+        (
+            HypConfig::new(HypKind::Kvm, KernelVersion::V4_18),
+            HypConfig::new(HypKind::SeKvm, KernelVersion::V4_18),
+        )
+    }
+
+    #[test]
+    fn scaling_is_monotone_nonincreasing() {
+        let hw = HwConfig::m400();
+        let (kvm, sekvm) = cfgs();
+        for hyp in [kvm, sekvm] {
+            for w in workloads() {
+                let mut prev = f64::INFINITY;
+                for n in VM_COUNTS {
+                    let p = simulate_multivm(hw, hyp, &w, n);
+                    assert!(p <= prev + 1e-12, "{}: n={n} rose", w.name);
+                    assert!(p > 0.0);
+                    prev = p;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn n_equals_one_matches_single_vm_modulo_no_contention() {
+        let hw = HwConfig::m400();
+        let (kvm, _) = cfgs();
+        for w in workloads() {
+            let single = simulate_app(hw, kvm, &w).normalized;
+            let multi = simulate_multivm(hw, kvm, &w, 1);
+            assert!((single - multi).abs() < 1e-9, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn sekvm_tracks_kvm_out_to_32_vms() {
+        // The Figure 9 claim: similar slowdown for both hypervisors; SeKVM
+        // no worse than 10% of KVM even at 32 VMs.
+        let hw = HwConfig::m400();
+        let (kvm, sekvm) = cfgs();
+        for w in workloads() {
+            for n in VM_COUNTS {
+                let k = simulate_multivm(hw, kvm, &w, n);
+                let s = simulate_multivm(hw, sekvm, &w, n);
+                let ratio = s / k;
+                assert!(
+                    (0.90..=1.0).contains(&ratio),
+                    "{} n={n}: SeKVM at {:.1}% of KVM",
+                    w.name,
+                    ratio * 100.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_bound_workloads_fall_past_four_vms() {
+        // 8 cores / 2 vCPUs: >4 busy VMs oversubscribe the machine.
+        let hw = HwConfig::m400();
+        let (kvm, _) = cfgs();
+        let hack = workloads().into_iter().find(|w| w.name == "Hackbench").unwrap();
+        let p4 = simulate_multivm(hw, kvm, &hack, 4);
+        let p8 = simulate_multivm(hw, kvm, &hack, 8);
+        let p32 = simulate_multivm(hw, kvm, &hack, 32);
+        assert!(p8 < 0.7 * p4, "oversubscription should bite: {p4} {p8}");
+        assert!(p32 < p8);
+    }
+}

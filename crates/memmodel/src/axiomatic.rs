@@ -1,0 +1,1313 @@
+//! The Armv8 axiomatic concurrency model.
+//!
+//! This is an executable rendering of the official AArch64 application-level
+//! memory model (`aarch64.cat`, Deacon; formalized by Pulte et al. in
+//! "Simplifying ARM Concurrency", POPL 2018) for the instruction subset of
+//! this crate:
+//!
+//! 1. **internal visibility** — `po-loc ∪ rf ∪ co ∪ fr` is acyclic
+//!    (SC-per-location / coherence);
+//! 2. **atomicity** — `rmw ∩ (fre; coe)` is empty;
+//! 3. **external visibility** — `ob = (obs ∪ dob ∪ aob ∪ bob)⁺` is
+//!    irreflexive, where
+//!    `obs = rfe ∪ fre ∪ coe`,
+//!    `dob = addr ∪ data ∪ ctrl;[W] ∪ (ctrl ∪ addr;po);[ISB];po;[R]
+//!         ∪ addr;po;[W] ∪ (addr ∪ data);rfi`,
+//!    `aob = rmw ∪ [range(rmw)];rfi;[A]`,
+//!    `bob = po;[dmb.sy];po ∪ [L];po;[A] ∪ [R];po;[dmb.ld];po
+//!         ∪ [W];po;[dmb.st];po;[W] ∪ [A];po ∪ po;[L] ∪ po;[L];coi`.
+//!
+//! Candidate executions are enumerated exhaustively: per-thread local paths
+//! (loads return values from the [`values`](crate::values) fixpoint), then
+//! every reads-from assignment and coherence order. The model covers
+//! user-level (plain-memory) programs only — virtual-memory and TLB
+//! instructions are outside the axiomatic model, exactly as the paper notes
+//! ("all of these models ... exclude system features such as MMU
+//! hardware"). It exists to cross-validate the operational
+//! [`promising`](crate::promising) implementation on the litmus battery.
+
+use std::collections::BTreeSet;
+
+use crate::ir::{Addr, Expr, Fence, Inst, Observable, Program, Val};
+use crate::outcome::{Outcome, OutcomeSet, ThreadExit};
+use crate::values::{analyze, ValueConfig};
+
+/// Maximum events per candidate execution (bitmask-based relations).
+pub const MAX_EVENTS: usize = 64;
+
+/// Tunables for [`enumerate_axiomatic_with`].
+#[derive(Debug, Clone)]
+pub struct AxConfig {
+    /// Loop unroll bound (backward jumps per path).
+    pub unroll: usize,
+    /// Maximum local paths per thread.
+    pub max_paths_per_thread: usize,
+    /// Maximum candidate executions examined.
+    pub max_candidates: usize,
+    /// Value-analysis bounds.
+    pub value_cfg: ValueConfig,
+}
+
+impl Default for AxConfig {
+    fn default() -> Self {
+        Self {
+            unroll: 2,
+            max_paths_per_thread: 4_000,
+            max_candidates: 50_000_000,
+            value_cfg: ValueConfig::default(),
+        }
+    }
+}
+
+/// Errors from axiomatic enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AxError {
+    /// The program uses features outside the axiomatic model.
+    Unsupported(&'static str),
+    /// A candidate execution had more than [`MAX_EVENTS`] events.
+    TooManyEvents,
+    /// The candidate bound was exceeded.
+    CandidateLimit,
+}
+
+impl std::fmt::Display for AxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AxError::Unsupported(what) => write!(f, "axiomatic model does not support {what}"),
+            AxError::TooManyEvents => write!(f, "more than {MAX_EVENTS} events"),
+            AxError::CandidateLimit => write!(f, "candidate execution limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for AxError {}
+
+/// Result of axiomatic enumeration.
+#[derive(Debug, Clone)]
+pub struct AxResult {
+    /// Outcomes of all consistent candidate executions.
+    pub outcomes: OutcomeSet,
+    /// Number of candidate executions checked.
+    pub candidates: usize,
+    /// `true` if a bound was hit (outcome set may be incomplete).
+    pub truncated: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvKind {
+    Read,
+    Write,
+    Fence(Fence),
+}
+
+/// One event of a thread-local path. Dependency sets are indices of *read*
+/// events of the same path.
+#[derive(Debug, Clone)]
+struct LocalEvent {
+    kind: EvKind,
+    loc: Addr,
+    val: Val,
+    acq: bool,
+    rel: bool,
+    addr_deps: BTreeSet<usize>,
+    data_deps: BTreeSet<usize>,
+    ctrl_deps: BTreeSet<usize>,
+    /// For an RMW write: local index of its paired read.
+    rmw_read: Option<usize>,
+}
+
+/// One complete symbolic execution of a single thread.
+#[derive(Debug, Clone)]
+struct LocalPath {
+    events: Vec<LocalEvent>,
+    final_regs: Vec<Val>,
+    exit: ThreadExit,
+}
+
+/// Evaluates an expression returning the value and the dependency set
+/// (local read-event indices).
+fn eval_dep(e: &Expr, regs: &[(Val, BTreeSet<usize>)]) -> (Val, BTreeSet<usize>) {
+    match e {
+        Expr::Imm(v) => (*v, BTreeSet::new()),
+        Expr::Reg(r) => regs[r.0 as usize].clone(),
+        Expr::Bin(op, a, b) => {
+            let (av, mut ad) = eval_dep(a, regs);
+            let (bv, bd) = eval_dep(b, regs);
+            ad.extend(bd);
+            use crate::ir::BinOp::*;
+            let v = match op {
+                Add => av.wrapping_add(bv),
+                Sub => av.wrapping_sub(bv),
+                And => av & bv,
+                Or => av | bv,
+                Xor => av ^ bv,
+                Mul => av.wrapping_mul(bv),
+                Shr => av.wrapping_shr(bv as u32),
+                Shl => av.wrapping_shl(bv as u32),
+                Eq => (av == bv) as Val,
+                Ne => (av != bv) as Val,
+                Lt => (av < bv) as Val,
+            };
+            (v, ad)
+        }
+    }
+}
+
+struct PathEnum<'a> {
+    prog: &'a Program,
+    cfg: &'a AxConfig,
+    candidates: std::collections::BTreeMap<Addr, BTreeSet<Val>>,
+    truncated: bool,
+}
+
+#[derive(Debug, Clone)]
+struct SymState {
+    pc: usize,
+    regs: Vec<(Val, BTreeSet<usize>)>,
+    ctrl: BTreeSet<usize>,
+    fuel: usize,
+    events: Vec<LocalEvent>,
+    /// Exclusive monitor: (local read-event index, address).
+    excl: Option<(usize, Addr)>,
+}
+
+impl<'a> PathEnum<'a> {
+    fn load_cands(&self, a: Addr) -> BTreeSet<Val> {
+        let mut c = self.candidates.get(&a).cloned().unwrap_or_default();
+        c.insert(self.prog.init_val(a));
+        c
+    }
+
+    fn enumerate(&mut self, tid: usize) -> Result<Vec<LocalPath>, AxError> {
+        let nregs = self.prog.reg_count();
+        let code = &self.prog.threads[tid].code;
+        let fuel = self.cfg.unroll * code.len().max(1);
+        let mut paths = Vec::new();
+        let mut stack = vec![SymState {
+            pc: 0,
+            regs: vec![(0, BTreeSet::new()); nregs],
+            ctrl: BTreeSet::new(),
+            fuel,
+            events: Vec::new(),
+            excl: None,
+        }];
+        while let Some(mut st) = stack.pop() {
+            if paths.len() + stack.len() > self.cfg.max_paths_per_thread {
+                self.truncated = true;
+                break;
+            }
+            let exit = loop {
+                if st.pc >= code.len() {
+                    break ThreadExit::Done;
+                }
+                let inst = code[st.pc].clone();
+                let mut next_pc = st.pc + 1;
+                match inst {
+                    Inst::Mov { dst, src } => {
+                        let (v, d) = eval_dep(&src, &st.regs);
+                        st.regs[dst.0 as usize] = (v, d);
+                    }
+                    Inst::Load { dst, addr, acq } => {
+                        let (a, ad) = eval_dep(&addr, &st.regs);
+                        let cands = self.load_cands(a);
+                        let idx = st.events.len();
+                        let mut iter = cands.into_iter();
+                        let first = iter.next().expect("non-empty candidates");
+                        for v in iter {
+                            let mut b = st.clone();
+                            b.events.push(LocalEvent {
+                                kind: EvKind::Read,
+                                loc: a,
+                                val: v,
+                                acq,
+                                rel: false,
+                                addr_deps: ad.clone(),
+                                data_deps: BTreeSet::new(),
+                                ctrl_deps: b.ctrl.clone(),
+                                rmw_read: None,
+                            });
+                            b.regs[dst.0 as usize] = (v, [idx].into());
+                            b.pc = st.pc + 1;
+                            stack.push(b);
+                        }
+                        st.events.push(LocalEvent {
+                            kind: EvKind::Read,
+                            loc: a,
+                            val: first,
+                            acq,
+                            rel: false,
+                            addr_deps: ad,
+                            data_deps: BTreeSet::new(),
+                            ctrl_deps: st.ctrl.clone(),
+                            rmw_read: None,
+                        });
+                        st.regs[dst.0 as usize] = (first, [idx].into());
+                    }
+                    Inst::Store { val, addr, rel } => {
+                        let (a, ad) = eval_dep(&addr, &st.regs);
+                        let (v, dd) = eval_dep(&val, &st.regs);
+                        st.events.push(LocalEvent {
+                            kind: EvKind::Write,
+                            loc: a,
+                            val: v,
+                            acq: false,
+                            rel,
+                            addr_deps: ad,
+                            data_deps: dd,
+                            ctrl_deps: st.ctrl.clone(),
+                            rmw_read: None,
+                        });
+                    }
+                    Inst::Rmw {
+                        dst,
+                        addr,
+                        op,
+                        rhs,
+                        acq,
+                        rel,
+                    } => {
+                        let (a, ad) = eval_dep(&addr, &st.regs);
+                        let (r, rd) = eval_dep(&rhs, &st.regs);
+                        let cands = self.load_cands(a);
+                        let ridx = st.events.len();
+                        let make = |old: Val, ctrl: &BTreeSet<usize>| {
+                            let mut dd = rd.clone();
+                            dd.insert(ridx);
+                            (
+                                LocalEvent {
+                                    kind: EvKind::Read,
+                                    loc: a,
+                                    val: old,
+                                    acq,
+                                    rel: false,
+                                    addr_deps: ad.clone(),
+                                    data_deps: BTreeSet::new(),
+                                    ctrl_deps: ctrl.clone(),
+                                    rmw_read: None,
+                                },
+                                LocalEvent {
+                                    kind: EvKind::Write,
+                                    loc: a,
+                                    val: op.apply(old, r),
+                                    acq: false,
+                                    rel,
+                                    addr_deps: ad.clone(),
+                                    data_deps: dd,
+                                    ctrl_deps: ctrl.clone(),
+                                    rmw_read: Some(ridx),
+                                },
+                            )
+                        };
+                        let mut iter = cands.into_iter();
+                        let first = iter.next().expect("non-empty candidates");
+                        for old in iter {
+                            let mut b = st.clone();
+                            let (re, we) = make(old, &b.ctrl);
+                            b.events.push(re);
+                            b.events.push(we);
+                            b.regs[dst.0 as usize] = (old, [ridx].into());
+                            b.pc = st.pc + 1;
+                            stack.push(b);
+                        }
+                        let ctrl = st.ctrl.clone();
+                        let (re, we) = make(first, &ctrl);
+                        st.events.push(re);
+                        st.events.push(we);
+                        st.regs[dst.0 as usize] = (first, [ridx].into());
+                    }
+                    Inst::LoadEx { dst, addr, acq } => {
+                        let (a, ad) = eval_dep(&addr, &st.regs);
+                        let cands = self.load_cands(a);
+                        let idx = st.events.len();
+                        let mut iter = cands.into_iter();
+                        let first = iter.next().expect("non-empty candidates");
+                        for v in iter {
+                            let mut b = st.clone();
+                            b.events.push(LocalEvent {
+                                kind: EvKind::Read,
+                                loc: a,
+                                val: v,
+                                acq,
+                                rel: false,
+                                addr_deps: ad.clone(),
+                                data_deps: BTreeSet::new(),
+                                ctrl_deps: b.ctrl.clone(),
+                                rmw_read: None,
+                            });
+                            b.regs[dst.0 as usize] = (v, [idx].into());
+                            b.excl = Some((idx, a));
+                            b.pc = st.pc + 1;
+                            stack.push(b);
+                        }
+                        st.events.push(LocalEvent {
+                            kind: EvKind::Read,
+                            loc: a,
+                            val: first,
+                            acq,
+                            rel: false,
+                            addr_deps: ad,
+                            data_deps: BTreeSet::new(),
+                            ctrl_deps: st.ctrl.clone(),
+                            rmw_read: None,
+                        });
+                        st.regs[dst.0 as usize] = (first, [idx].into());
+                        st.excl = Some((idx, a));
+                    }
+                    Inst::StoreEx {
+                        status,
+                        val,
+                        addr,
+                        rel,
+                    } => {
+                        let (a, ad) = eval_dep(&addr, &st.regs);
+                        let (v, dd) = eval_dep(&val, &st.regs);
+                        // Failure branch: status 1, no write event.
+                        {
+                            let mut b = st.clone();
+                            b.regs[status.0 as usize] = (1, BTreeSet::new());
+                            b.excl = None;
+                            b.pc = st.pc + 1;
+                            stack.push(b);
+                        }
+                        // Success branch only with an armed matching monitor.
+                        match st.excl {
+                            Some((ridx, ea)) if ea == a => {
+                                st.events.push(LocalEvent {
+                                    kind: EvKind::Write,
+                                    loc: a,
+                                    val: v,
+                                    acq: false,
+                                    rel,
+                                    addr_deps: ad,
+                                    data_deps: dd,
+                                    ctrl_deps: st.ctrl.clone(),
+                                    rmw_read: Some(ridx),
+                                });
+                                st.regs[status.0 as usize] = (0, BTreeSet::new());
+                                st.excl = None;
+                            }
+                            _ => {
+                                // No monitor: only failure is possible; the
+                                // pushed failure branch covers it, so this
+                                // path dies here.
+                                break ThreadExit::Stuck;
+                            }
+                        }
+                    }
+                    Inst::Fence(f) => {
+                        st.events.push(LocalEvent {
+                            kind: EvKind::Fence(f),
+                            loc: 0,
+                            val: 0,
+                            acq: false,
+                            rel: false,
+                            addr_deps: BTreeSet::new(),
+                            data_deps: BTreeSet::new(),
+                            ctrl_deps: st.ctrl.clone(),
+                            rmw_read: None,
+                        });
+                    }
+                    Inst::Br {
+                        cond,
+                        lhs,
+                        rhs,
+                        target,
+                    } => {
+                        let (l, ld) = eval_dep(&lhs, &st.regs);
+                        let (r, rd) = eval_dep(&rhs, &st.regs);
+                        st.ctrl.extend(ld);
+                        st.ctrl.extend(rd);
+                        if cond.eval(l, r) {
+                            if target <= st.pc {
+                                if st.fuel == 0 {
+                                    self.truncated = true;
+                                    break ThreadExit::Stuck;
+                                }
+                                st.fuel -= 1;
+                            }
+                            next_pc = target;
+                        }
+                    }
+                    Inst::Jmp(target) => {
+                        if target <= st.pc {
+                            if st.fuel == 0 {
+                                self.truncated = true;
+                                break ThreadExit::Stuck;
+                            }
+                            st.fuel -= 1;
+                        }
+                        next_pc = target;
+                    }
+                    Inst::Oracle { dst, choices } => {
+                        let mut iter = choices.into_iter();
+                        let first = iter.next().expect("non-empty oracle");
+                        for v in iter {
+                            let mut b = st.clone();
+                            b.regs[dst.0 as usize] = (v, BTreeSet::new());
+                            b.pc = st.pc + 1;
+                            stack.push(b);
+                        }
+                        st.regs[dst.0 as usize] = (first, BTreeSet::new());
+                    }
+                    Inst::Halt => break ThreadExit::Done,
+                    Inst::Panic => break ThreadExit::Panic,
+                    Inst::Nop => {}
+                    Inst::LoadVirt { .. } | Inst::StoreVirt { .. } | Inst::Tlbi { .. } => {
+                        return Err(AxError::Unsupported("virtual memory / TLB instructions"))
+                    }
+                    // Ghost instructions have no architectural effect.
+                    Inst::Pull(_) | Inst::Push(_) => {}
+                }
+                st.pc = next_pc;
+            };
+            if exit == ThreadExit::Stuck {
+                // Paths that exceed the unroll bound are dropped (flagged).
+                continue;
+            }
+            paths.push(LocalPath {
+                events: st.events,
+                final_regs: st.regs.iter().map(|(v, _)| *v).collect(),
+                exit,
+            });
+        }
+        Ok(paths)
+    }
+}
+
+/// A global event in a candidate execution.
+#[derive(Debug, Clone)]
+struct GEvent {
+    tid: usize,
+    kind: EvKind,
+    loc: Addr,
+    val: Val,
+    acq: bool,
+    rel: bool,
+    /// Bitmasks of global ids of addr/data/ctrl source reads.
+    addr_deps: u64,
+    data_deps: u64,
+    ctrl_deps: u64,
+    /// Global id of the paired RMW read (for the write half).
+    rmw_read: Option<usize>,
+}
+
+/// Dense relation over up to 64 events: bit `j` of `rows[i]` means `(i, j)`.
+#[derive(Debug, Clone)]
+struct Rel {
+    rows: Vec<u64>,
+}
+
+impl Rel {
+    fn new(n: usize) -> Self {
+        Rel { rows: vec![0; n] }
+    }
+
+    fn add(&mut self, i: usize, j: usize) {
+        self.rows[i] |= 1 << j;
+    }
+
+    fn has(&self, i: usize, j: usize) -> bool {
+        self.rows[i] & (1 << j) != 0
+    }
+
+    /// Is the transitive closure irreflexive?
+    fn acyclic(&self) -> bool {
+        let n = self.rows.len();
+        let mut m = self.rows.clone();
+        for k in 0..n {
+            let row_k = m[k];
+            for row in m.iter_mut() {
+                if *row & (1 << k) != 0 {
+                    *row |= row_k;
+                }
+            }
+        }
+        (0..n).all(|i| m[i] & (1 << i) == 0)
+    }
+}
+
+struct Candidate<'a> {
+    events: &'a [GEvent],
+    /// `rf[read] = Some(write)` or `None` for reading the initial value.
+    rf: Vec<Option<usize>>,
+    /// Per-location coherence position of each write.
+    co_pos: Vec<usize>,
+    po: Rel,
+}
+
+impl<'a> Candidate<'a> {
+    fn co(&self, a: usize, b: usize) -> bool {
+        self.events[a].kind == EvKind::Write
+            && self.events[b].kind == EvKind::Write
+            && self.events[a].loc == self.events[b].loc
+            && self.co_pos[a] < self.co_pos[b]
+    }
+
+    /// `fr`: read `a` → write `b` when `a`'s source is co-before `b`.
+    fn fr(&self, a: usize, b: usize) -> bool {
+        if self.events[a].kind != EvKind::Read || self.events[b].kind != EvKind::Write {
+            return false;
+        }
+        if self.events[a].loc != self.events[b].loc {
+            return false;
+        }
+        match self.rf[a] {
+            None => true, // reading the initial value: before every write
+            Some(w) => w != b && self.co(w, b),
+        }
+    }
+
+    fn consistent(&self) -> bool {
+        let n = self.events.len();
+        let ext = |a: usize, b: usize| self.events[a].tid != self.events[b].tid;
+        let is_w = |e: &GEvent| e.kind == EvKind::Write;
+        let is_r = |e: &GEvent| e.kind == EvKind::Read;
+        let is_mem = |e: &GEvent| matches!(e.kind, EvKind::Read | EvKind::Write);
+
+        // Internal visibility: acyclic(po-loc ∪ rf ∪ co ∪ fr).
+        let mut internal = Rel::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let (ei, ej) = (&self.events[i], &self.events[j]);
+                if is_mem(ei) && is_mem(ej) && ei.loc == ej.loc && self.po.has(i, j) {
+                    internal.add(i, j);
+                }
+                if self.rf[j] == Some(i) || self.co(i, j) || self.fr(i, j) {
+                    internal.add(i, j);
+                }
+            }
+        }
+        if !internal.acyclic() {
+            return false;
+        }
+
+        // Atomicity: rmw ∩ (fre; coe) = ∅.
+        for w in 0..n {
+            let Some(r) = self.events[w].rmw_read else {
+                continue;
+            };
+            for x in 0..n {
+                if is_w(&self.events[x])
+                    && ext(r, x)
+                    && ext(x, w)
+                    && self.fr(r, x)
+                    && self.co(x, w)
+                {
+                    return false;
+                }
+            }
+        }
+
+        // External visibility: acyclic(ob).
+        let mut ob = Rel::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                // obs = rfe ∪ fre ∪ coe.
+                if ((self.rf[j] == Some(i)) || self.fr(i, j) || self.co(i, j)) && ext(i, j) {
+                    ob.add(i, j);
+                }
+            }
+        }
+        for j in 0..n {
+            let e = &self.events[j];
+            for i in 0..n {
+                // dob: addr ∪ data.
+                if e.addr_deps & (1 << i) != 0 || e.data_deps & (1 << i) != 0 {
+                    ob.add(i, j);
+                }
+                // dob: ctrl; [W].
+                if is_w(e) && e.ctrl_deps & (1 << i) != 0 {
+                    ob.add(i, j);
+                }
+            }
+            // dob: addr; po; [W] — a write po-after an address-dependent
+            // event is ordered after the address source.
+            if is_w(e) {
+                for m in 0..n {
+                    if self.po.has(m, j) {
+                        for i in 0..n {
+                            if self.events[m].addr_deps & (1 << i) != 0 {
+                                ob.add(i, j);
+                            }
+                        }
+                    }
+                }
+            }
+            // dob: (addr ∪ data); rfi.
+            if is_r(e) {
+                if let Some(w) = self.rf[j] {
+                    if !ext(w, j) {
+                        let we = &self.events[w];
+                        for i in 0..n {
+                            if we.addr_deps & (1 << i) != 0 || we.data_deps & (1 << i) != 0 {
+                                ob.add(i, j);
+                            }
+                        }
+                    }
+                }
+            }
+            // aob: rmw.
+            if let Some(r) = e.rmw_read {
+                ob.add(r, j);
+            }
+            // aob: [range(rmw)]; rfi; [A].
+            if is_r(e) && e.acq {
+                if let Some(w) = self.rf[j] {
+                    if !ext(w, j) && self.events[w].rmw_read.is_some() {
+                        ob.add(w, j);
+                    }
+                }
+            }
+        }
+        // dob: (ctrl ∪ addr;po); [ISB]; po; [R].
+        for f in 0..n {
+            if self.events[f].kind != EvKind::Fence(Fence::Isb) {
+                continue;
+            }
+            let mut sources: u64 = self.events[f].ctrl_deps;
+            for m in 0..n {
+                if self.po.has(m, f) {
+                    sources |= self.events[m].addr_deps;
+                }
+            }
+            for j in 0..n {
+                if is_r(&self.events[j]) && self.po.has(f, j) {
+                    for i in 0..n {
+                        if sources & (1 << i) != 0 {
+                            ob.add(i, j);
+                        }
+                    }
+                }
+            }
+        }
+        // bob.
+        for i in 0..n {
+            for j in 0..n {
+                if i == j || !self.po.has(i, j) {
+                    continue;
+                }
+                let (ei, ej) = (&self.events[i], &self.events[j]);
+                // [A]; po.
+                if is_r(ei) && ei.acq {
+                    ob.add(i, j);
+                }
+                // po; [L].
+                if is_w(ej) && ej.rel {
+                    ob.add(i, j);
+                }
+                // [L]; po; [A].
+                if is_w(ei) && ei.rel && is_r(ej) && ej.acq {
+                    ob.add(i, j);
+                }
+                for f in 0..n {
+                    if self.po.has(i, f) && self.po.has(f, j) {
+                        match self.events[f].kind {
+                            // po; [dmb.sy]; po.
+                            EvKind::Fence(Fence::Sy) => ob.add(i, j),
+                            // [R]; po; [dmb.ld]; po.
+                            EvKind::Fence(Fence::Ld)
+                                if is_r(ei) => {
+                                    ob.add(i, j);
+                                }
+                            // [W]; po; [dmb.st]; po; [W].
+                            EvKind::Fence(Fence::St)
+                                if is_w(ei) && is_w(ej) => {
+                                    ob.add(i, j);
+                                }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        // bob: po; [L]; coi.
+        let mut extra = Vec::new();
+        for i in 0..n {
+            for l in 0..n {
+                let el = &self.events[l];
+                if i != l && self.po.has(i, l) && is_w(el) && el.rel {
+                    for j in 0..n {
+                        if self.co(l, j) && !ext(l, j) {
+                            extra.push((i, j));
+                        }
+                    }
+                }
+            }
+        }
+        for (i, j) in extra {
+            ob.add(i, j);
+        }
+        ob.acyclic()
+    }
+}
+
+/// Exhaustively enumerates the outcomes allowed by the Armv8 axiomatic
+/// model with default bounds.
+///
+/// # Examples
+///
+/// ```
+/// use vrm_memmodel::builder::ProgramBuilder;
+/// use vrm_memmodel::ir::Reg;
+/// use vrm_memmodel::axiomatic::enumerate_axiomatic;
+///
+/// // Store buffering is allowed on Armv8.
+/// let (x, y) = (0x10, 0x20);
+/// let mut p = ProgramBuilder::new("SB");
+/// p.thread("T0", |t| {
+///     t.store(x, 1, false);
+///     t.load(Reg(0), y, false);
+/// });
+/// p.thread("T1", |t| {
+///     t.store(y, 1, false);
+///     t.load(Reg(0), x, false);
+/// });
+/// p.observe_reg("r0", 0, Reg(0));
+/// p.observe_reg("r1", 1, Reg(0));
+/// let o = enumerate_axiomatic(&p.build()).unwrap();
+/// assert!(o.contains_binding(&[("r0", 0), ("r1", 0)]));
+/// ```
+pub fn enumerate_axiomatic(prog: &Program) -> Result<OutcomeSet, AxError> {
+    enumerate_axiomatic_with(prog, &AxConfig::default()).map(|r| r.outcomes)
+}
+
+/// [`enumerate_axiomatic`] with explicit configuration.
+pub fn enumerate_axiomatic_with(prog: &Program, cfg: &AxConfig) -> Result<AxResult, AxError> {
+    if prog.uses_vm() {
+        return Err(AxError::Unsupported("virtual memory / TLB instructions"));
+    }
+    let va = analyze(prog, &cfg.value_cfg);
+    let mut pe = PathEnum {
+        prog,
+        cfg,
+        candidates: va.mem_values.clone(),
+        truncated: va.truncated,
+    };
+    let mut thread_paths = Vec::new();
+    for tid in 0..prog.threads.len() {
+        let paths = pe.enumerate(tid)?;
+        if paths.is_empty() {
+            // No completed path (e.g. unconditionally stuck): no outcomes.
+            return Ok(AxResult {
+                outcomes: OutcomeSet::new(),
+                candidates: 0,
+                truncated: true,
+            });
+        }
+        thread_paths.push(paths);
+    }
+    let mut result = AxResult {
+        outcomes: OutcomeSet::new(),
+        candidates: 0,
+        truncated: pe.truncated,
+    };
+    let mut idx = vec![0usize; thread_paths.len()];
+    'product: loop {
+        let combo: Vec<&LocalPath> = idx
+            .iter()
+            .enumerate()
+            .map(|(t, &i)| &thread_paths[t][i])
+            .collect();
+        check_combo(prog, &combo, cfg, &mut result)?;
+        for t in 0..idx.len() {
+            idx[t] += 1;
+            if idx[t] < thread_paths[t].len() {
+                continue 'product;
+            }
+            idx[t] = 0;
+        }
+        break;
+    }
+    Ok(result)
+}
+
+fn check_combo(
+    prog: &Program,
+    combo: &[&LocalPath],
+    cfg: &AxConfig,
+    result: &mut AxResult,
+) -> Result<(), AxError> {
+    let mut events: Vec<GEvent> = Vec::new();
+    let mut base = vec![0usize; combo.len()];
+    for (tid, path) in combo.iter().enumerate() {
+        base[tid] = events.len();
+        if events.len() + path.events.len() > MAX_EVENTS {
+            return Err(AxError::TooManyEvents);
+        }
+        for ev in &path.events {
+            let to_mask =
+                |s: &BTreeSet<usize>| s.iter().fold(0u64, |m, &li| m | (1 << (base[tid] + li)));
+            events.push(GEvent {
+                tid,
+                kind: ev.kind,
+                loc: ev.loc,
+                val: ev.val,
+                acq: ev.acq,
+                rel: ev.rel,
+                addr_deps: to_mask(&ev.addr_deps),
+                data_deps: to_mask(&ev.data_deps),
+                ctrl_deps: to_mask(&ev.ctrl_deps),
+                rmw_read: ev.rmw_read.map(|li| base[tid] + li),
+            });
+        }
+    }
+    let n = events.len();
+    let mut po = Rel::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if events[i].tid == events[j].tid {
+                po.add(i, j);
+            }
+        }
+    }
+
+    // Reads-from choices per read.
+    let reads: Vec<usize> = (0..n)
+        .filter(|&i| events[i].kind == EvKind::Read)
+        .collect();
+    let mut rf_choices: Vec<Vec<Option<usize>>> = Vec::new();
+    for &r in &reads {
+        let mut c = Vec::new();
+        if events[r].val == prog.init_val(events[r].loc) {
+            c.push(None);
+        }
+        for w in 0..n {
+            if events[w].kind == EvKind::Write
+                && events[w].loc == events[r].loc
+                && events[w].val == events[r].val
+            {
+                c.push(Some(w));
+            }
+        }
+        if c.is_empty() {
+            return Ok(()); // no producer for this read's value
+        }
+        rf_choices.push(c);
+    }
+
+    // Coherence orders: permutations of same-location writes.
+    let mut locs: Vec<Addr> = events
+        .iter()
+        .filter(|e| e.kind == EvKind::Write)
+        .map(|e| e.loc)
+        .collect();
+    locs.sort_unstable();
+    locs.dedup();
+    let co_orders: Vec<Vec<Vec<usize>>> = locs
+        .iter()
+        .map(|&l| {
+            let ws: Vec<usize> = (0..n)
+                .filter(|&i| events[i].kind == EvKind::Write && events[i].loc == l)
+                .collect();
+            perms(&ws)
+        })
+        .collect();
+
+    let mut rf_idx = vec![0usize; reads.len()];
+    loop {
+        let mut rf = vec![None; n];
+        for (k, &r) in reads.iter().enumerate() {
+            rf[r] = rf_choices[k][rf_idx[k]];
+        }
+        let radix: Vec<usize> = co_orders.iter().map(|o| o.len().max(1)).collect();
+        let mut co_idx = vec![0usize; co_orders.len()];
+        loop {
+            result.candidates += 1;
+            if result.candidates > cfg.max_candidates {
+                return Err(AxError::CandidateLimit);
+            }
+            let mut co_pos = vec![0usize; n];
+            for (li, order) in co_orders.iter().enumerate() {
+                if order.is_empty() {
+                    continue;
+                }
+                for (pos, &w) in order[co_idx[li]].iter().enumerate() {
+                    co_pos[w] = pos;
+                }
+            }
+            let cand = Candidate {
+                events: &events,
+                rf: rf.clone(),
+                co_pos,
+                po: po.clone(),
+            };
+            if cand.consistent() {
+                record_outcome(prog, combo, &events, &cand, result);
+            }
+            if !advance(&mut co_idx, &radix) {
+                break;
+            }
+        }
+        let rf_radix: Vec<usize> = rf_choices.iter().map(|c| c.len()).collect();
+        if !advance(&mut rf_idx, &rf_radix) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Multi-radix counter increment; returns `false` on wrap-around.
+fn advance(idx: &mut [usize], radix: &[usize]) -> bool {
+    for i in 0..idx.len() {
+        idx[i] += 1;
+        if idx[i] < radix[i] {
+            return true;
+        }
+        idx[i] = 0;
+    }
+    false
+}
+
+fn perms(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.is_empty() {
+        return vec![];
+    }
+    if items.len() == 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        let mut rest: Vec<usize> = items.to_vec();
+        rest.remove(i);
+        for mut p in perms(&rest) {
+            p.insert(0, x);
+            out.push(p);
+        }
+    }
+    out
+}
+
+fn record_outcome(
+    prog: &Program,
+    combo: &[&LocalPath],
+    events: &[GEvent],
+    cand: &Candidate<'_>,
+    result: &mut AxResult,
+) {
+    let values = prog
+        .observables
+        .iter()
+        .map(|o| match o {
+            Observable::Reg { name, tid, reg } => {
+                (name.clone(), combo[*tid].final_regs[reg.0 as usize])
+            }
+            Observable::Mem { name, addr } => {
+                let mut best: Option<usize> = None;
+                for (i, e) in events.iter().enumerate() {
+                    if e.kind == EvKind::Write && e.loc == *addr {
+                        best = match best {
+                            None => Some(i),
+                            Some(b) if cand.co(b, i) => Some(i),
+                            b => b,
+                        };
+                    }
+                }
+                let v = best
+                    .map(|i| events[i].val)
+                    .unwrap_or_else(|| prog.init_val(*addr));
+                (name.clone(), v)
+            }
+        })
+        .collect();
+    let exits = combo.iter().map(|p| p.exit).collect();
+    result.outcomes.insert(Outcome { values, exits });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ProgramBuilder, ThreadBuilder};
+    use crate::ir::{BinOp, Cond, Reg};
+
+    const X: u64 = 0x10;
+    const Y: u64 = 0x20;
+
+    fn two_thread(
+        name: &str,
+        f0: impl FnOnce(&mut ThreadBuilder),
+        f1: impl FnOnce(&mut ThreadBuilder),
+    ) -> ProgramBuilder {
+        let mut p = ProgramBuilder::new(name);
+        p.thread("T0", f0);
+        p.thread("T1", f1);
+        p
+    }
+
+    #[test]
+    fn sb_allows_both_zero() {
+        let mut p = two_thread(
+            "SB",
+            |t| {
+                t.store(X, 1u64, false);
+                t.load(Reg(0), Y, false);
+            },
+            |t| {
+                t.store(Y, 1u64, false);
+                t.load(Reg(0), X, false);
+            },
+        );
+        p.observe_reg("r0", 0, Reg(0));
+        p.observe_reg("r1", 1, Reg(0));
+        let o = enumerate_axiomatic(&p.build()).unwrap();
+        assert!(o.contains_binding(&[("r0", 0), ("r1", 0)]));
+        assert_eq!(o.len(), 4);
+    }
+
+    #[test]
+    fn sb_dmb_forbids_both_zero() {
+        let mut p = two_thread(
+            "SB+dmbs",
+            |t| {
+                t.store(X, 1u64, false);
+                t.dmb();
+                t.load(Reg(0), Y, false);
+            },
+            |t| {
+                t.store(Y, 1u64, false);
+                t.dmb();
+                t.load(Reg(0), X, false);
+            },
+        );
+        p.observe_reg("r0", 0, Reg(0));
+        p.observe_reg("r1", 1, Reg(0));
+        let o = enumerate_axiomatic(&p.build()).unwrap();
+        assert!(!o.contains_binding(&[("r0", 0), ("r1", 0)]));
+        assert_eq!(o.len(), 3);
+    }
+
+    #[test]
+    fn mp_plain_allows_stale() {
+        let mut p = two_thread(
+            "MP",
+            |t| {
+                t.store(X, 42u64, false);
+                t.store(Y, 1u64, false);
+            },
+            |t| {
+                t.load(Reg(0), Y, false);
+                t.load(Reg(1), X, false);
+            },
+        );
+        p.observe_reg("f", 1, Reg(0));
+        p.observe_reg("d", 1, Reg(1));
+        let o = enumerate_axiomatic(&p.build()).unwrap();
+        assert!(o.contains_binding(&[("f", 1), ("d", 0)]));
+    }
+
+    #[test]
+    fn mp_addr_dependency_forbids_stale() {
+        let mut p = two_thread(
+            "MP+dmb+addr",
+            |t| {
+                t.store(X, 42u64, false);
+                t.dmb();
+                t.store(Y, 1u64, false);
+            },
+            |t| {
+                t.load(Reg(0), Y, false);
+                // Address depends on r0 (value-invariantly), a real addr dep.
+                t.load(
+                    Reg(1),
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::Imm(X),
+                        Expr::bin(BinOp::Mul, Expr::Reg(Reg(0)), Expr::Imm(0)),
+                    ),
+                    false,
+                );
+            },
+        );
+        p.observe_reg("f", 1, Reg(0));
+        p.observe_reg("d", 1, Reg(1));
+        let o = enumerate_axiomatic(&p.build()).unwrap();
+        assert!(!o.contains_binding(&[("f", 1), ("d", 0)]));
+    }
+
+    #[test]
+    fn mp_rel_acq_forbids_stale() {
+        let mut p = two_thread(
+            "MP+rel+acq",
+            |t| {
+                t.store(X, 42u64, false);
+                t.store(Y, 1u64, true);
+            },
+            |t| {
+                t.load(Reg(0), Y, true);
+                t.load(Reg(1), X, false);
+            },
+        );
+        p.observe_reg("f", 1, Reg(0));
+        p.observe_reg("d", 1, Reg(1));
+        let o = enumerate_axiomatic(&p.build()).unwrap();
+        assert!(!o.contains_binding(&[("f", 1), ("d", 0)]));
+    }
+
+    #[test]
+    fn lb_allowed_plain_forbidden_with_data_deps() {
+        let mut p = two_thread(
+            "LB",
+            |t| {
+                t.load(Reg(0), X, false);
+                t.store(Y, 1u64, false);
+            },
+            |t| {
+                t.load(Reg(1), Y, false);
+                t.store(X, 1u64, false);
+            },
+        );
+        p.observe_reg("r0", 0, Reg(0));
+        p.observe_reg("r1", 1, Reg(1));
+        let o = enumerate_axiomatic(&p.build()).unwrap();
+        assert!(o.contains_binding(&[("r0", 1), ("r1", 1)]));
+
+        let mut p = two_thread(
+            "LB+datas",
+            |t| {
+                t.load(Reg(0), X, false);
+                t.store(Y, Reg(0), false);
+            },
+            |t| {
+                t.load(Reg(1), Y, false);
+                t.store(X, Reg(1), false);
+            },
+        );
+        p.observe_reg("r0", 0, Reg(0));
+        p.observe_reg("r1", 1, Reg(1));
+        let o = enumerate_axiomatic(&p.build()).unwrap();
+        assert!(!o.contains_binding(&[("r0", 1), ("r1", 1)]));
+    }
+
+    #[test]
+    fn corr_coherence() {
+        let mut p = two_thread(
+            "CoRR",
+            |t| {
+                t.store(X, 1u64, false);
+            },
+            |t| {
+                t.load(Reg(0), X, false);
+                t.load(Reg(1), X, false);
+            },
+        );
+        p.observe_reg("a", 1, Reg(0));
+        p.observe_reg("b", 1, Reg(1));
+        let o = enumerate_axiomatic(&p.build()).unwrap();
+        assert!(!o.contains_binding(&[("a", 1), ("b", 0)]));
+    }
+
+    #[test]
+    fn atomicity_of_rmw() {
+        let mut p = ProgramBuilder::new("2-inc");
+        for _ in 0..2 {
+            p.thread("t", |t| {
+                t.fetch_and_inc_acq(Reg(0), X);
+            });
+        }
+        p.observe_reg("a", 0, Reg(0));
+        p.observe_reg("b", 1, Reg(0));
+        p.observe_mem("x", X);
+        let o = enumerate_axiomatic(&p.build()).unwrap();
+        assert!(!o.is_empty());
+        for oc in o.iter() {
+            assert_eq!(oc.get("x"), 2, "lost update: {oc}");
+            assert_ne!(oc.get("a"), oc.get("b"), "duplicate ticket: {oc}");
+        }
+    }
+
+    #[test]
+    fn vm_programs_rejected() {
+        let mut p = ProgramBuilder::new("vm");
+        p.vm(crate::ir::VmConfig {
+            levels: 1,
+            root: 0x100,
+            page_bits: 4,
+            index_bits: 4,
+        });
+        p.thread("T0", |t| {
+            t.load_virt(Reg(0), 0u64, false);
+        });
+        assert!(matches!(
+            enumerate_axiomatic(&p.build()),
+            Err(AxError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn ctrl_dependency_does_not_order_reads() {
+        // Example 2's speculation: a control dependency does not order a
+        // later *read*.
+        let mut p = two_thread(
+            "MP+ctrl",
+            |t| {
+                t.store(X, 42u64, false);
+                t.store(Y, 1u64, false);
+            },
+            |t| {
+                t.load(Reg(0), Y, false);
+                t.br(Cond::Ne, Reg(0), 1u64, "end");
+                t.load(Reg(1), X, false);
+                t.label("end");
+                t.inst(Inst::Halt);
+            },
+        );
+        p.observe_reg("f", 1, Reg(0));
+        p.observe_reg("d", 1, Reg(1));
+        let o = enumerate_axiomatic(&p.build()).unwrap();
+        assert!(o.contains_binding(&[("f", 1), ("d", 0)]));
+    }
+
+    #[test]
+    fn ctrl_isb_orders_reads() {
+        let mut p = two_thread(
+            "MP+dmb+ctrl-isb",
+            |t| {
+                t.store(X, 42u64, false);
+                t.dmb();
+                t.store(Y, 1u64, false);
+            },
+            |t| {
+                t.load(Reg(0), Y, false);
+                t.br(Cond::Ne, Reg(0), 1u64, "end");
+                t.fence(Fence::Isb);
+                t.load(Reg(1), X, false);
+                t.label("end");
+                t.inst(Inst::Halt);
+            },
+        );
+        p.observe_reg("f", 1, Reg(0));
+        p.observe_reg("d", 1, Reg(1));
+        let o = enumerate_axiomatic(&p.build()).unwrap();
+        assert!(!o.contains_binding(&[("f", 1), ("d", 0)]));
+    }
+
+    #[test]
+    fn ctrl_dependency_orders_writes() {
+        let mut p = two_thread(
+            "LB+ctrls",
+            |t| {
+                t.load(Reg(0), X, false);
+                t.br(Cond::Eq, Reg(0), 99u64, "skip");
+                t.store(Y, 1u64, false);
+                t.label("skip");
+                t.inst(Inst::Halt);
+            },
+            |t| {
+                t.load(Reg(1), Y, false);
+                t.br(Cond::Eq, Reg(1), 99u64, "skip");
+                t.store(X, 1u64, false);
+                t.label("skip");
+                t.inst(Inst::Halt);
+            },
+        );
+        p.observe_reg("r0", 0, Reg(0));
+        p.observe_reg("r1", 1, Reg(1));
+        let o = enumerate_axiomatic(&p.build()).unwrap();
+        assert!(!o.contains_binding(&[("r0", 1), ("r1", 1)]));
+    }
+}

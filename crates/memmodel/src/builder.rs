@@ -1,0 +1,375 @@
+//! Ergonomic builders for [`Program`]s and threads.
+//!
+//! Branch targets in the IR are raw instruction indices; the
+//! [`ThreadBuilder`] provides named labels with forward references that are
+//! patched when the thread is finished.
+//!
+//! # Examples
+//!
+//! ```
+//! use vrm_memmodel::builder::ProgramBuilder;
+//! use vrm_memmodel::ir::Reg;
+//!
+//! let x = 0x10;
+//! let y = 0x20;
+//! let mut p = ProgramBuilder::new("MP");
+//! p.thread("CPU 0", |t| {
+//!     t.store(x, 1, false);
+//!     t.store(y, 1, false);
+//! });
+//! p.thread("CPU 1", |t| {
+//!     t.load(Reg(0), y, false);
+//!     t.load(Reg(1), x, false);
+//! });
+//! p.observe_reg("r0", 1, Reg(0));
+//! p.observe_reg("r1", 1, Reg(1));
+//! let prog = p.build();
+//! assert_eq!(prog.threads.len(), 2);
+//! ```
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use crate::ir::{
+    Addr, Cond, Expr, Fence, Inst, Observable, Program, Reg, RmwOp, Thread, Val, VmConfig,
+};
+
+/// Builds one thread's code with label support.
+#[derive(Debug, Default)]
+pub struct ThreadBuilder {
+    code: Vec<Inst>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<(usize, String)>,
+}
+
+impl ThreadBuilder {
+    /// Creates an empty thread builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a raw instruction.
+    pub fn inst(&mut self, i: Inst) -> &mut Self {
+        self.code.push(i);
+        self
+    }
+
+    /// `dst := src`.
+    pub fn mov(&mut self, dst: Reg, src: impl Into<Expr>) -> &mut Self {
+        self.inst(Inst::Mov {
+            dst,
+            src: src.into(),
+        })
+    }
+
+    /// Plain or acquire load `dst := [addr]`.
+    pub fn load(&mut self, dst: Reg, addr: impl Into<Expr>, acq: bool) -> &mut Self {
+        self.inst(Inst::Load {
+            dst,
+            addr: addr.into(),
+            acq,
+        })
+    }
+
+    /// Plain or release store `[addr] := val`.
+    pub fn store(&mut self, addr: impl Into<Expr>, val: impl Into<Expr>, rel: bool) -> &mut Self {
+        self.inst(Inst::Store {
+            val: val.into(),
+            addr: addr.into(),
+            rel,
+        })
+    }
+
+    /// Atomic read-modify-write.
+    pub fn rmw(
+        &mut self,
+        dst: Reg,
+        addr: impl Into<Expr>,
+        op: RmwOp,
+        rhs: impl Into<Expr>,
+        acq: bool,
+        rel: bool,
+    ) -> &mut Self {
+        self.inst(Inst::Rmw {
+            dst,
+            addr: addr.into(),
+            op,
+            rhs: rhs.into(),
+            acq,
+            rel,
+        })
+    }
+
+    /// `fetch_and_inc` with acquire semantics, as in the Linux ticket lock.
+    pub fn fetch_and_inc_acq(&mut self, dst: Reg, addr: impl Into<Expr>) -> &mut Self {
+        self.rmw(dst, addr, RmwOp::Add, 1u64, true, false)
+    }
+
+    /// Load-exclusive (`LDXR`/`LDAXR`).
+    pub fn load_ex(&mut self, dst: Reg, addr: impl Into<Expr>, acq: bool) -> &mut Self {
+        self.inst(Inst::LoadEx {
+            dst,
+            addr: addr.into(),
+            acq,
+        })
+    }
+
+    /// Store-exclusive (`STXR`/`STLXR`); `status` receives 0 on success.
+    pub fn store_ex(
+        &mut self,
+        status: Reg,
+        addr: impl Into<Expr>,
+        val: impl Into<Expr>,
+        rel: bool,
+    ) -> &mut Self {
+        self.inst(Inst::StoreEx {
+            status,
+            val: val.into(),
+            addr: addr.into(),
+            rel,
+        })
+    }
+
+    /// Inserts a barrier.
+    pub fn fence(&mut self, f: Fence) -> &mut Self {
+        self.inst(Inst::Fence(f))
+    }
+
+    /// Full barrier (`dmb sy`).
+    pub fn dmb(&mut self) -> &mut Self {
+        self.fence(Fence::Sy)
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        let pos = self.code.len();
+        assert!(
+            self.labels.insert(name.to_string(), pos).is_none(),
+            "duplicate label {name}"
+        );
+        self
+    }
+
+    /// Conditional branch to a label (forward references allowed).
+    pub fn br(
+        &mut self,
+        cond: Cond,
+        lhs: impl Into<Expr>,
+        rhs: impl Into<Expr>,
+        target: &str,
+    ) -> &mut Self {
+        self.fixups.push((self.code.len(), target.to_string()));
+        self.inst(Inst::Br {
+            cond,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+            target: usize::MAX,
+        })
+    }
+
+    /// Unconditional jump to a label (forward references allowed).
+    pub fn jmp(&mut self, target: &str) -> &mut Self {
+        self.fixups.push((self.code.len(), target.to_string()));
+        self.inst(Inst::Jmp(usize::MAX))
+    }
+
+    /// Virtual load through the MMU.
+    pub fn load_virt(&mut self, dst: Reg, va: impl Into<Expr>, acq: bool) -> &mut Self {
+        self.inst(Inst::LoadVirt {
+            dst,
+            va: va.into(),
+            acq,
+        })
+    }
+
+    /// Virtual store through the MMU.
+    pub fn store_virt(&mut self, va: impl Into<Expr>, val: impl Into<Expr>, rel: bool) -> &mut Self {
+        self.inst(Inst::StoreVirt {
+            val: val.into(),
+            va: va.into(),
+            rel,
+        })
+    }
+
+    /// TLB invalidation of every entry on every CPU.
+    pub fn tlbi_all(&mut self) -> &mut Self {
+        self.inst(Inst::Tlbi { va: None })
+    }
+
+    /// TLB invalidation of the page containing `va`, on every CPU.
+    pub fn tlbi_va(&mut self, va: impl Into<Expr>) -> &mut Self {
+        self.inst(Inst::Tlbi {
+            va: Some(va.into()),
+        })
+    }
+
+    /// Nondeterministic oracle choice (data oracle, §5.3 of the paper).
+    pub fn oracle(&mut self, dst: Reg, choices: Vec<Val>) -> &mut Self {
+        assert!(!choices.is_empty(), "oracle needs at least one choice");
+        self.inst(Inst::Oracle { dst, choices })
+    }
+
+    /// Ghost pull (acquire logical ownership) of the listed locations.
+    pub fn pull(&mut self, locs: Vec<Expr>) -> &mut Self {
+        self.inst(Inst::Pull(locs))
+    }
+
+    /// Ghost push (release logical ownership) of the listed locations.
+    pub fn push(&mut self, locs: Vec<Expr>) -> &mut Self {
+        self.inst(Inst::Push(locs))
+    }
+
+    /// Finalizes the code, patching label references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced label was never defined.
+    pub fn finish(mut self, name: &str) -> Thread {
+        for (at, label) in &self.fixups {
+            let target = *self
+                .labels
+                .get(label)
+                .unwrap_or_else(|| panic!("undefined label {label}"));
+            match &mut self.code[*at] {
+                Inst::Br { target: t, .. } => *t = target,
+                Inst::Jmp(t) => *t = target,
+                other => unreachable!("fixup on non-branch {other:?}"),
+            }
+        }
+        Thread {
+            name: name.to_string(),
+            code: self.code,
+        }
+    }
+}
+
+/// Builds a complete [`Program`].
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    threads: Vec<Thread>,
+    init_mem: BTreeMap<Addr, Val>,
+    observables: Vec<Observable>,
+    vm: Option<VmConfig>,
+}
+
+impl ProgramBuilder {
+    /// Starts a new program with the given display name.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            threads: Vec::new(),
+            init_mem: BTreeMap::new(),
+            observables: Vec::new(),
+            vm: None,
+        }
+    }
+
+    /// Adds a thread, returning its id.
+    pub fn thread(&mut self, name: &str, f: impl FnOnce(&mut ThreadBuilder)) -> usize {
+        let mut tb = ThreadBuilder::new();
+        f(&mut tb);
+        self.threads.push(tb.finish(name));
+        self.threads.len() - 1
+    }
+
+    /// Adds an already-built thread, returning its id.
+    pub fn push_thread(&mut self, thread: Thread) -> usize {
+        self.threads.push(thread);
+        self.threads.len() - 1
+    }
+
+    /// Sets the initial value of a memory cell.
+    pub fn init(&mut self, addr: Addr, val: Val) -> &mut Self {
+        self.init_mem.insert(addr, val);
+        self
+    }
+
+    /// Fills `[base, base + len)` with `val` (e.g. an all-ones page).
+    pub fn init_range(&mut self, base: Addr, len: u64, val: Val) -> &mut Self {
+        for a in base..base + len {
+            self.init_mem.insert(a, val);
+        }
+        self
+    }
+
+    /// Registers a register observable.
+    pub fn observe_reg(&mut self, name: &str, tid: usize, reg: Reg) -> &mut Self {
+        self.observables.push(Observable::Reg {
+            name: name.to_string(),
+            tid,
+            reg,
+        });
+        self
+    }
+
+    /// Registers a memory observable.
+    pub fn observe_mem(&mut self, name: &str, addr: Addr) -> &mut Self {
+        self.observables.push(Observable::Mem {
+            name: name.to_string(),
+            addr,
+        });
+        self
+    }
+
+    /// Sets the page-table geometry for virtual accesses.
+    pub fn vm(&mut self, vm: VmConfig) -> &mut Self {
+        self.vm = Some(vm);
+        self
+    }
+
+    /// Finalizes the program.
+    pub fn build(self) -> Program {
+        Program {
+            name: self.name,
+            threads: self.threads,
+            init_mem: self.init_mem,
+            observables: self.observables,
+            vm: self.vm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_patch_forward_and_backward() {
+        let mut tb = ThreadBuilder::new();
+        tb.label("top");
+        tb.load(Reg(0), 0x10u64, false);
+        tb.br(Cond::Ne, Expr::Reg(Reg(0)), 1u64, "top");
+        tb.jmp("end");
+        tb.mov(Reg(1), 7u64);
+        tb.label("end");
+        tb.inst(Inst::Halt);
+        let t = tb.finish("t");
+        match &t.code[1] {
+            Inst::Br { target, .. } => assert_eq!(*target, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &t.code[2] {
+            Inst::Jmp(t) => assert_eq!(*t, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics() {
+        let mut tb = ThreadBuilder::new();
+        tb.jmp("nowhere");
+        let _ = tb.finish("t");
+    }
+
+    #[test]
+    fn init_range_fills() {
+        let mut p = ProgramBuilder::new("t");
+        p.init_range(0x20, 4, 1);
+        let prog = p.build();
+        assert_eq!(prog.init_val(0x20), 1);
+        assert_eq!(prog.init_val(0x23), 1);
+        assert_eq!(prog.init_val(0x24), 0);
+    }
+}

@@ -1,0 +1,764 @@
+//! Instruction representation for litmus-scale concurrent programs.
+//!
+//! The IR models the subset of AArch64 that the VRM paper's examples and
+//! proofs rely on: plain and acquire loads, plain and release stores, atomic
+//! read-modify-writes, `DMB`/`ISB` barriers, conditional branches (which
+//! induce control dependencies), virtual-memory accesses that walk a page
+//! table stored in modelled memory, TLB invalidation, and the *ghost*
+//! push/pull primitives used by the push/pull Promising model of §4.1.
+//!
+//! Memory is word-granular: an [`Addr`] names one cell holding one [`Val`].
+//! Page-table geometry (for [`Inst::LoadVirt`] / [`Inst::StoreVirt`]) is
+//! described by [`VmConfig`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A machine word value.
+pub type Val = u64;
+
+/// A word-granular memory address (one cell per address).
+pub type Addr = u64;
+
+/// A thread-local general-purpose register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Binary operators usable in [`Expr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Wrapping multiplication.
+    Mul,
+    /// Logical shift right.
+    Shr,
+    /// Logical shift left.
+    Shl,
+    /// Equality test producing 0 or 1.
+    Eq,
+    /// Inequality test producing 0 or 1.
+    Ne,
+    /// Unsigned less-than test producing 0 or 1.
+    Lt,
+}
+
+/// A side-effect-free expression over registers and immediates.
+///
+/// Expressions are evaluated thread-locally. Any register read inside an
+/// expression contributes that register's *view* (dependency information) to
+/// the consuming instruction, which is how data and address dependencies are
+/// tracked by the relaxed-memory models.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// An immediate constant.
+    Imm(Val),
+    /// The current value of a register.
+    Reg(Reg),
+    /// A binary operation on two sub-expressions.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Builds a binary operation node.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Returns the set of registers read by this expression.
+    pub fn regs(&self) -> Vec<Reg> {
+        let mut out = Vec::new();
+        self.collect_regs(&mut out);
+        out
+    }
+
+    fn collect_regs(&self, out: &mut Vec<Reg>) {
+        match self {
+            Expr::Imm(_) => {}
+            Expr::Reg(r) => {
+                if !out.contains(r) {
+                    out.push(*r);
+                }
+            }
+            Expr::Bin(_, a, b) => {
+                a.collect_regs(out);
+                b.collect_regs(out);
+            }
+        }
+    }
+}
+
+impl From<Val> for Expr {
+    fn from(v: Val) -> Expr {
+        Expr::Imm(v)
+    }
+}
+
+impl From<Reg> for Expr {
+    fn from(r: Reg) -> Expr {
+        Expr::Reg(r)
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, rhs)
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, rhs)
+    }
+}
+
+impl std::ops::BitAnd for Expr {
+    type Output = Expr;
+    fn bitand(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::And, self, rhs)
+    }
+}
+
+impl std::ops::BitOr for Expr {
+    type Output = Expr;
+    fn bitor(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Or, self, rhs)
+    }
+}
+
+/// Branch conditions for [`Inst::Br`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Branch if operands are equal.
+    Eq,
+    /// Branch if operands are not equal.
+    Ne,
+    /// Branch if `lhs < rhs` (unsigned).
+    Lt,
+    /// Branch if `lhs >= rhs` (unsigned).
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition on concrete values.
+    pub fn eval(self, lhs: Val, rhs: Val) -> bool {
+        match self {
+            Cond::Eq => lhs == rhs,
+            Cond::Ne => lhs != rhs,
+            Cond::Lt => lhs < rhs,
+            Cond::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// Atomic read-modify-write operators for [`Inst::Rmw`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmwOp {
+    /// `mem := mem + rhs` (returns the old value), e.g. `fetch_and_inc`.
+    Add,
+    /// `mem := rhs` (returns the old value), an atomic swap.
+    Swap,
+    /// `mem := mem & rhs` (returns the old value).
+    And,
+    /// `mem := mem | rhs` (returns the old value).
+    Or,
+}
+
+impl RmwOp {
+    /// Computes the new memory value from the old value and the operand.
+    pub fn apply(self, old: Val, rhs: Val) -> Val {
+        match self {
+            RmwOp::Add => old.wrapping_add(rhs),
+            RmwOp::Swap => rhs,
+            RmwOp::And => old & rhs,
+            RmwOp::Or => old | rhs,
+        }
+    }
+}
+
+/// Memory barrier kinds.
+///
+/// `Sy`/`Ld`/`St` model AArch64 `DMB SY` / `DMB LD` / `DMB ST`; `Isb` models
+/// the instruction barrier that, combined with a control or address
+/// dependency, orders later loads. `DSB` is conflated with `DMB` (we model
+/// no store buffers beyond view semantics, so the completion/ordering
+/// distinction does not arise), which is documented in DESIGN.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fence {
+    /// Full barrier (`dmb sy`).
+    Sy,
+    /// Load barrier (`dmb ld`): orders prior loads before later accesses.
+    Ld,
+    /// Store barrier (`dmb st`): orders prior stores before later stores.
+    St,
+    /// Instruction synchronization barrier (`isb`).
+    Isb,
+}
+
+/// One instruction of a modelled thread.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `dst := src`.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source expression.
+        src: Expr,
+    },
+    /// `dst := [addr]`; `acq` selects a load-acquire (`LDAR`).
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Address expression (contributes an address dependency).
+        addr: Expr,
+        /// Acquire semantics.
+        acq: bool,
+    },
+    /// `[addr] := val`; `rel` selects a store-release (`STLR`).
+    Store {
+        /// Value expression (contributes a data dependency).
+        val: Expr,
+        /// Address expression (contributes an address dependency).
+        addr: Expr,
+        /// Release semantics.
+        rel: bool,
+    },
+    /// Atomic `dst := [addr]; [addr] := op([addr], rhs)`.
+    Rmw {
+        /// Destination register receiving the *old* value.
+        dst: Reg,
+        /// Address expression.
+        addr: Expr,
+        /// The update operator.
+        op: RmwOp,
+        /// The operand expression.
+        rhs: Expr,
+        /// Acquire semantics on the read half.
+        acq: bool,
+        /// Release semantics on the write half.
+        rel: bool,
+    },
+    /// Load-exclusive (`LDXR`/`LDAXR`): like [`Inst::Load`] but arms the
+    /// exclusive monitor for `addr`.
+    LoadEx {
+        /// Destination register.
+        dst: Reg,
+        /// Address expression.
+        addr: Expr,
+        /// Acquire semantics (`LDAXR`).
+        acq: bool,
+    },
+    /// Store-exclusive (`STXR`/`STLXR`): succeeds (writing `val` and
+    /// setting `status` to 0) only if no other write to `addr` intervened
+    /// since the matching [`Inst::LoadEx`]; otherwise sets `status` to 1
+    /// and writes nothing. Spurious failures are allowed on relaxed
+    /// models.
+    StoreEx {
+        /// Receives 0 on success, 1 on failure.
+        status: Reg,
+        /// Value expression.
+        val: Expr,
+        /// Address expression.
+        addr: Expr,
+        /// Release semantics (`STLXR`).
+        rel: bool,
+    },
+    /// A memory barrier.
+    Fence(Fence),
+    /// Conditional branch to instruction index `target`.
+    ///
+    /// The registers feeding `lhs`/`rhs` induce a control dependency on all
+    /// program-order-later instructions.
+    Br {
+        /// The comparison.
+        cond: Cond,
+        /// Left operand.
+        lhs: Expr,
+        /// Right operand.
+        rhs: Expr,
+        /// Branch-taken target (instruction index in the thread).
+        target: usize,
+    },
+    /// Unconditional jump to instruction index.
+    Jmp(usize),
+    /// `dst := [translate(va)]`: a load through the MMU.
+    ///
+    /// Requires [`Program::vm`]. Consults the per-CPU TLB, walking the page
+    /// table in modelled memory on a miss (each level is one interleavable
+    /// memory read, address-dependent on its parent entry). Faults halt the
+    /// thread with [`ThreadExit::Fault`](crate::outcome::ThreadExit).
+    LoadVirt {
+        /// Destination register.
+        dst: Reg,
+        /// Virtual address expression.
+        va: Expr,
+        /// Acquire semantics on the final data access.
+        acq: bool,
+    },
+    /// `[translate(va)] := val`: a store through the MMU.
+    StoreVirt {
+        /// Value expression.
+        val: Expr,
+        /// Virtual address expression.
+        va: Expr,
+        /// Release semantics on the final data access.
+        rel: bool,
+    },
+    /// TLB invalidation, broadcast to all CPUs.
+    ///
+    /// `va: None` invalidates entire TLBs; `Some(e)` invalidates the page
+    /// containing `e`. Ordering against surrounding accesses is only
+    /// guaranteed through barriers (see §2 Example 6).
+    Tlbi {
+        /// Optional virtual address restricting the invalidation.
+        va: Option<Expr>,
+    },
+    /// Ghost primitive: acquire logical ownership of the listed locations.
+    ///
+    /// Used by the push/pull Promising model (§4.1) to encode the
+    /// DRF-Kernel condition; no architectural effect.
+    Pull(Vec<Expr>),
+    /// Ghost primitive: release logical ownership of the listed locations.
+    Push(Vec<Expr>),
+    /// Nondeterministic choice: `dst` receives any of the listed values.
+    ///
+    /// This models the VRM paper's *data oracles* (§5.3): reads of user
+    /// memory are masked by an oracle that may return any value, making the
+    /// kernel's verification independent of user-program implementations.
+    Oracle {
+        /// Destination register.
+        dst: Reg,
+        /// The candidate values (must be non-empty).
+        choices: Vec<Val>,
+    },
+    /// Stop the thread successfully.
+    Halt,
+    /// Abort the thread, recording a panic (the paper's `panic()`).
+    Panic,
+    /// No operation.
+    Nop,
+}
+
+impl Inst {
+    /// Returns `true` for ghost instructions with no architectural effect.
+    pub fn is_ghost(&self) -> bool {
+        matches!(self, Inst::Push(_) | Inst::Pull(_))
+    }
+}
+
+/// The code of one hardware thread (CPU).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Thread {
+    /// Human-readable name (e.g. `"CPU 1"`).
+    pub name: String,
+    /// Straight-line code with index-addressed branch targets.
+    pub code: Vec<Inst>,
+}
+
+/// Page-table geometry for virtual-memory instructions.
+///
+/// A walk of `va` at level `i` (0 = root) reads the cell
+/// `table + ((va >> (page_bits + index_bits * (levels - 1 - i))) & mask)`;
+/// a zero entry is a fault, a non-zero entry is the base of the next-level
+/// table, or at the leaf the base of the physical page. The physical address
+/// is `leaf_entry + (va & (2^page_bits - 1))`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VmConfig {
+    /// Number of translation levels (1..=4).
+    pub levels: u32,
+    /// Root table base address.
+    pub root: Addr,
+    /// log2 of the page size in words.
+    pub page_bits: u32,
+    /// log2 of the number of entries per table.
+    pub index_bits: u32,
+}
+
+impl VmConfig {
+    /// Returns the page number of a virtual address.
+    pub fn vpn(&self, va: Addr) -> Addr {
+        va >> self.page_bits
+    }
+
+    /// Returns the table index used at walk level `level` (0 = root).
+    pub fn index(&self, va: Addr, level: u32) -> Addr {
+        debug_assert!(level < self.levels);
+        let shift = self.page_bits + self.index_bits * (self.levels - 1 - level);
+        (va >> shift) & ((1 << self.index_bits) - 1)
+    }
+
+    /// Returns the in-page offset of a virtual address.
+    pub fn offset(&self, va: Addr) -> Addr {
+        va & ((1 << self.page_bits) - 1)
+    }
+}
+
+/// What the caller wants reported in an execution outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Observable {
+    /// The final value of a register of a thread.
+    Reg {
+        /// Label in the rendered outcome.
+        name: String,
+        /// Owning thread index.
+        tid: usize,
+        /// The register.
+        reg: Reg,
+    },
+    /// The final value of a memory cell.
+    Mem {
+        /// Label in the rendered outcome.
+        name: String,
+        /// The address.
+        addr: Addr,
+    },
+}
+
+/// A complete multi-threaded program plus initial memory and observables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Display name of the program (litmus test name).
+    pub name: String,
+    /// The threads; index = thread id (CPU number).
+    pub threads: Vec<Thread>,
+    /// Sparse initial memory; unnamed cells are zero.
+    pub init_mem: BTreeMap<Addr, Val>,
+    /// What to include in outcomes.
+    pub observables: Vec<Observable>,
+    /// Page-table geometry, required iff virtual accesses are used.
+    pub vm: Option<VmConfig>,
+}
+
+impl Program {
+    /// Returns the initial value of a memory cell (0 if unset).
+    pub fn init_val(&self, addr: Addr) -> Val {
+        self.init_mem.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Returns the number of registers any thread may touch (max index + 1,
+    /// including registers only referenced by observables).
+    pub fn reg_count(&self) -> usize {
+        let mut max = 0usize;
+        for t in &self.threads {
+            for i in &t.code {
+                for r in inst_regs(i) {
+                    max = max.max(r.0 as usize + 1);
+                }
+            }
+        }
+        for o in &self.observables {
+            if let Observable::Reg { reg, .. } = o {
+                max = max.max(reg.0 as usize + 1);
+            }
+        }
+        max.max(1)
+    }
+
+    /// Returns `true` if any instruction uses virtual memory or TLB ops.
+    pub fn uses_vm(&self) -> bool {
+        self.threads.iter().any(|t| {
+            t.code.iter().any(|i| {
+                matches!(
+                    i,
+                    Inst::LoadVirt { .. } | Inst::StoreVirt { .. } | Inst::Tlbi { .. }
+                )
+            })
+        })
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Imm(v) => {
+                if *v > 9 {
+                    write!(f, "{v:#x}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Expr::Reg(r) => write!(f, "{r}"),
+            Expr::Bin(op, a, b) => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::And => "&",
+                    BinOp::Or => "|",
+                    BinOp::Xor => "^",
+                    BinOp::Mul => "*",
+                    BinOp::Shr => ">>",
+                    BinOp::Shl => "<<",
+                    BinOp::Eq => "==",
+                    BinOp::Ne => "!=",
+                    BinOp::Lt => "<",
+                };
+                write!(f, "({a} {sym} {b})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Mov { dst, src } => write!(f, "{dst} := {src}"),
+            Inst::Load { dst, addr, acq } => {
+                write!(f, "{dst} := {}[{addr}]", if *acq { "ldar " } else { "" })
+            }
+            Inst::Store { val, addr, rel } => {
+                write!(f, "{}[{addr}] := {val}", if *rel { "stlr " } else { "" })
+            }
+            Inst::Rmw {
+                dst,
+                addr,
+                op,
+                rhs,
+                acq,
+                rel,
+            } => write!(
+                f,
+                "{dst} := rmw{}{}({addr}, {op:?}, {rhs})",
+                if *acq { ".acq" } else { "" },
+                if *rel { ".rel" } else { "" }
+            ),
+            Inst::LoadEx { dst, addr, acq } => write!(
+                f,
+                "{dst} := {}[{addr}]",
+                if *acq { "ldaxr " } else { "ldxr " }
+            ),
+            Inst::StoreEx {
+                status,
+                val,
+                addr,
+                rel,
+            } => write!(
+                f,
+                "{status} := {}[{addr}] := {val}",
+                if *rel { "stlxr " } else { "stxr " }
+            ),
+            Inst::Fence(k) => write!(f, "dmb.{k:?}"),
+            Inst::Br {
+                cond,
+                lhs,
+                rhs,
+                target,
+            } => write!(f, "b.{cond:?} {lhs}, {rhs} -> {target}"),
+            Inst::Jmp(t) => write!(f, "b -> {t}"),
+            Inst::LoadVirt { dst, va, acq } => {
+                write!(f, "{dst} := {}virt[{va}]", if *acq { "ldar " } else { "" })
+            }
+            Inst::StoreVirt { val, va, rel } => {
+                write!(f, "{}virt[{va}] := {val}", if *rel { "stlr " } else { "" })
+            }
+            Inst::Tlbi { va: None } => write!(f, "tlbi all"),
+            Inst::Tlbi { va: Some(e) } => write!(f, "tlbi va={e}"),
+            Inst::Pull(locs) => {
+                write!(f, "pull ")?;
+                for (i, l) in locs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l}")?;
+                }
+                Ok(())
+            }
+            Inst::Push(locs) => {
+                write!(f, "push ")?;
+                for (i, l) in locs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l}")?;
+                }
+                Ok(())
+            }
+            Inst::Oracle { dst, choices } => write!(f, "{dst} := oracle{choices:?}"),
+            Inst::Halt => write!(f, "halt"),
+            Inst::Panic => write!(f, "panic"),
+            Inst::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.name)?;
+        for (tid, t) in self.threads.iter().enumerate() {
+            writeln!(f, "  thread {tid} ({}):", t.name)?;
+            for (pc, i) in t.code.iter().enumerate() {
+                writeln!(f, "    {pc:>3}: {i}")?;
+            }
+        }
+        if !self.init_mem.is_empty() && self.init_mem.len() <= 16 {
+            write!(f, "  init:")?;
+            for (a, v) in &self.init_mem {
+                write!(f, " [{a:#x}]={v}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Collects every register mentioned by an instruction (read or written).
+pub fn inst_regs(inst: &Inst) -> Vec<Reg> {
+    let mut out = Vec::new();
+    let push_expr = |e: &Expr, out: &mut Vec<Reg>| {
+        for r in e.regs() {
+            if !out.contains(&r) {
+                out.push(r);
+            }
+        }
+    };
+    match inst {
+        Inst::Mov { dst, src } => {
+            out.push(*dst);
+            push_expr(src, &mut out);
+        }
+        Inst::Load { dst, addr, .. } => {
+            out.push(*dst);
+            push_expr(addr, &mut out);
+        }
+        Inst::Store { val, addr, .. } => {
+            push_expr(val, &mut out);
+            push_expr(addr, &mut out);
+        }
+        Inst::Rmw { dst, addr, rhs, .. } => {
+            out.push(*dst);
+            push_expr(addr, &mut out);
+            push_expr(rhs, &mut out);
+        }
+        Inst::LoadEx { dst, addr, .. } => {
+            out.push(*dst);
+            push_expr(addr, &mut out);
+        }
+        Inst::StoreEx {
+            status, val, addr, ..
+        } => {
+            out.push(*status);
+            push_expr(val, &mut out);
+            push_expr(addr, &mut out);
+        }
+        Inst::Br { lhs, rhs, .. } => {
+            push_expr(lhs, &mut out);
+            push_expr(rhs, &mut out);
+        }
+        Inst::LoadVirt { dst, va, .. } => {
+            out.push(*dst);
+            push_expr(va, &mut out);
+        }
+        Inst::StoreVirt { val, va, .. } => {
+            push_expr(val, &mut out);
+            push_expr(va, &mut out);
+        }
+        Inst::Tlbi { va: Some(e) } => push_expr(e, &mut out),
+        Inst::Oracle { dst, .. } => out.push(*dst),
+        Inst::Push(es) | Inst::Pull(es) => {
+            for e in es {
+                push_expr(e, &mut out);
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_regs_dedup() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::Reg(Reg(1)),
+            Expr::bin(BinOp::Add, Expr::Reg(Reg(1)), Expr::Reg(Reg(2))),
+        );
+        assert_eq!(e.regs(), vec![Reg(1), Reg(2)]);
+    }
+
+    #[test]
+    fn cond_eval() {
+        assert!(Cond::Eq.eval(3, 3));
+        assert!(!Cond::Eq.eval(3, 4));
+        assert!(Cond::Ne.eval(3, 4));
+        assert!(Cond::Lt.eval(3, 4));
+        assert!(!Cond::Lt.eval(4, 4));
+        assert!(Cond::Ge.eval(4, 4));
+    }
+
+    #[test]
+    fn rmw_apply() {
+        assert_eq!(RmwOp::Add.apply(4, 1), 5);
+        assert_eq!(RmwOp::Swap.apply(4, 9), 9);
+        assert_eq!(RmwOp::And.apply(0b110, 0b011), 0b010);
+        assert_eq!(RmwOp::Or.apply(0b100, 0b011), 0b111);
+    }
+
+    #[test]
+    fn display_round_trips_are_readable() {
+        let i = Inst::Load {
+            dst: Reg(1),
+            addr: Expr::bin(BinOp::Add, Expr::Imm(0x10), Expr::Reg(Reg(0))),
+            acq: true,
+        };
+        assert_eq!(i.to_string(), "r1 := ldar [(0x10 + r0)]");
+        let s = Inst::StoreEx {
+            status: Reg(2),
+            val: Expr::Imm(1),
+            addr: Expr::Imm(0x20),
+            rel: true,
+        };
+        assert_eq!(s.to_string(), "r2 := stlxr [0x20] := 1");
+        assert_eq!(Inst::Fence(Fence::Sy).to_string(), "dmb.Sy");
+    }
+
+    #[test]
+    fn program_display_lists_threads() {
+        let mut t = crate::builder::ThreadBuilder::new();
+        t.store(0x10u64, 1u64, false);
+        let prog = Program {
+            name: "demo".into(),
+            threads: vec![t.finish("T0")],
+            init_mem: [(0x10, 7)].into(),
+            observables: vec![],
+            vm: None,
+        };
+        let text = prog.to_string();
+        assert!(text.contains("thread 0 (T0):"));
+        assert!(text.contains("[0x10] := 1"));
+        assert!(text.contains("init: [0x10]=7"));
+    }
+
+    #[test]
+    fn vm_config_indexing() {
+        // 2-level, 16-word pages, 4 entries per table.
+        let vm = VmConfig {
+            levels: 2,
+            root: 0x1000,
+            page_bits: 4,
+            index_bits: 2,
+        };
+        let va = 0b1101_1010; // l0 idx=3, l1 idx=1, offset=10
+        assert_eq!(vm.index(va, 0), 0b11);
+        assert_eq!(vm.index(va, 1), 0b01);
+        assert_eq!(vm.offset(va), 0b1010);
+        assert_eq!(vm.vpn(va), 0b1101);
+    }
+}

@@ -1,0 +1,36 @@
+//! Executable memory models for the VRM reproduction.
+//!
+//! This crate provides the hardware-model substrate the VRM paper builds on:
+//!
+//! * [`ir`] — a litmus-scale concurrent instruction set with barriers,
+//!   dependencies, virtual-memory accesses, TLB maintenance, and the ghost
+//!   push/pull primitives of the push/pull Promising model;
+//! * [`sc`] — an exhaustive sequentially consistent executor;
+//! * [`axiomatic`] — the Armv8 axiomatic concurrency model (Deacon's `cat`
+//!   model as formalized by Pulte et al.), enumerated exhaustively;
+//! * [`promising`] — the Promising Arm operational model (Pulte et al.,
+//!   PLDI 2019), with promises, certification, and the MMU/TLB extension
+//!   used by VRM;
+//! * [`litmus`] — a litmus-test battery and cross-model conformance harness.
+//!
+//! The paper relies on the published machine-checked equivalence between
+//! Promising Arm and the Armv8 axiomatic model; this reproduction instead
+//! *cross-validates* the two independent implementations on the litmus
+//! battery (see [`litmus`]).
+
+#![warn(missing_docs)]
+
+pub mod axiomatic;
+pub mod builder;
+pub mod ir;
+pub mod litmus;
+pub mod outcome;
+pub mod parser;
+pub mod promising;
+pub mod sc;
+pub mod trace;
+pub mod values;
+
+pub use builder::{ProgramBuilder, ThreadBuilder};
+pub use ir::{Addr, Cond, Expr, Fence, Inst, Program, Reg, RmwOp, Val, VmConfig};
+pub use outcome::{Outcome, OutcomeSet, ThreadExit};

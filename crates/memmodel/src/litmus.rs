@@ -1,0 +1,945 @@
+//! Litmus-test battery and cross-model conformance harness.
+//!
+//! The VRM paper builds on the machine-checked equivalence between the
+//! Promising Arm operational model and the Armv8 axiomatic model. This
+//! reproduction instead validates its two independent implementations
+//! against each other: for every test in [`battery`] the outcome sets of
+//! [`promising`](crate::promising) and [`axiomatic`](crate::axiomatic) must
+//! coincide, and the SC outcomes must always be a subset of both.
+
+use crate::axiomatic::{enumerate_axiomatic_with, AxConfig};
+use crate::builder::ProgramBuilder;
+use crate::ir::{BinOp, Cond, Expr, Fence, Inst, Program, Reg, RmwOp, Val};
+use crate::outcome::OutcomeSet;
+use crate::promising::{enumerate_promising_with, PromisingConfig};
+use crate::sc::{enumerate_sc, ExploreError};
+
+const X: u64 = 0x10;
+const Y: u64 = 0x20;
+const Z: u64 = 0x30;
+
+/// A named litmus test with its expected relaxed-memory verdict.
+#[derive(Debug, Clone)]
+pub struct LitmusTest {
+    /// The program (threads + observables).
+    pub program: Program,
+    /// The interesting (relaxed) final condition, as observable bindings.
+    pub condition: Vec<(&'static str, Val)>,
+    /// `true` if Armv8 allows the condition, `false` if it forbids it.
+    pub allowed_on_arm: bool,
+    /// `true` if SC allows the condition.
+    pub allowed_on_sc: bool,
+}
+
+impl LitmusTest {
+    /// The test's display name.
+    pub fn name(&self) -> &str {
+        &self.program.name
+    }
+}
+
+/// Result of checking one litmus test across all three models.
+#[derive(Debug, Clone)]
+pub struct Conformance {
+    /// Test name.
+    pub name: String,
+    /// Outcomes on SC.
+    pub sc: OutcomeSet,
+    /// Outcomes on the Promising Arm operational model.
+    pub promising: OutcomeSet,
+    /// Outcomes on the Armv8 axiomatic model.
+    pub axiomatic: OutcomeSet,
+    /// Did the operational and axiomatic outcome sets coincide?
+    pub models_agree: bool,
+    /// Was SC a subset of the relaxed models?
+    pub sc_subsumed: bool,
+    /// Did the verdicts match the test's expectations?
+    pub verdicts_match: bool,
+}
+
+impl Conformance {
+    /// `true` if every check passed.
+    pub fn ok(&self) -> bool {
+        self.models_agree && self.sc_subsumed && self.verdicts_match
+    }
+}
+
+/// Runs one litmus test through all three models and cross-checks them.
+pub fn check(test: &LitmusTest) -> Result<Conformance, ExploreError> {
+    let sc = enumerate_sc(&test.program)?;
+    let pr = enumerate_promising_with(&test.program, &PromisingConfig::default())
+        .expect("promising enumeration")
+        .outcomes;
+    let ax = enumerate_axiomatic_with(&test.program, &AxConfig::default())
+        .expect("axiomatic enumeration")
+        .outcomes;
+    let models_agree = pr == ax;
+    let sc_subsumed = sc.is_subset(&pr) && sc.is_subset(&ax);
+    let on_arm = pr.contains_binding(&test.condition);
+    let on_sc = sc.contains_binding(&test.condition);
+    let verdicts_match = on_arm == test.allowed_on_arm && on_sc == test.allowed_on_sc;
+    Ok(Conformance {
+        name: test.name().to_string(),
+        sc,
+        promising: pr,
+        axiomatic: ax,
+        models_agree,
+        sc_subsumed,
+        verdicts_match,
+    })
+}
+
+fn obs2(p: &mut ProgramBuilder, a: (&str, usize, Reg), b: (&str, usize, Reg)) {
+    p.observe_reg(a.0, a.1, a.2);
+    p.observe_reg(b.0, b.1, b.2);
+}
+
+/// Artificial but architecturally real address dependency: `base + 0 * reg`.
+fn addr_dep(base: u64, r: Reg) -> Expr {
+    Expr::bin(
+        BinOp::Add,
+        Expr::Imm(base),
+        Expr::bin(BinOp::Mul, Expr::Reg(r), Expr::Imm(0)),
+    )
+}
+
+/// The standard litmus battery used for cross-model conformance.
+///
+/// Names follow the herd7 conventions (`SB`, `MP`, `LB`, `S`, `R`, `WRC`,
+/// `ISA2`, coherence shapes `CoRR`/`CoWW`/`CoWR`, and barrier/dependency
+/// variants).
+pub fn battery() -> Vec<LitmusTest> {
+    let mut tests = Vec::new();
+
+    // --- Store buffering -------------------------------------------------
+    {
+        let mut p = ProgramBuilder::new("SB");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+            t.load(Reg(0), Y, false);
+        });
+        p.thread("T1", |t| {
+            t.store(Y, 1u64, false);
+            t.load(Reg(0), X, false);
+        });
+        obs2(&mut p, ("r0", 0, Reg(0)), ("r1", 1, Reg(0)));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("r0", 0), ("r1", 0)],
+            allowed_on_arm: true,
+            allowed_on_sc: false,
+        });
+    }
+    {
+        let mut p = ProgramBuilder::new("SB+dmbs");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+            t.dmb();
+            t.load(Reg(0), Y, false);
+        });
+        p.thread("T1", |t| {
+            t.store(Y, 1u64, false);
+            t.dmb();
+            t.load(Reg(0), X, false);
+        });
+        obs2(&mut p, ("r0", 0, Reg(0)), ("r1", 1, Reg(0)));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("r0", 0), ("r1", 0)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+
+    // --- Message passing -------------------------------------------------
+    {
+        let mut p = ProgramBuilder::new("MP");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+            t.store(Y, 1u64, false);
+        });
+        p.thread("T1", |t| {
+            t.load(Reg(0), Y, false);
+            t.load(Reg(1), X, false);
+        });
+        obs2(&mut p, ("f", 1, Reg(0)), ("d", 1, Reg(1)));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("f", 1), ("d", 0)],
+            allowed_on_arm: true,
+            allowed_on_sc: false,
+        });
+    }
+    {
+        let mut p = ProgramBuilder::new("MP+dmb+addr");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+            t.dmb();
+            t.store(Y, 1u64, false);
+        });
+        p.thread("T1", |t| {
+            t.load(Reg(0), Y, false);
+            t.load(Reg(1), addr_dep(X, Reg(0)), false);
+        });
+        obs2(&mut p, ("f", 1, Reg(0)), ("d", 1, Reg(1)));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("f", 1), ("d", 0)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+    {
+        let mut p = ProgramBuilder::new("MP+rel+acq");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+            t.store(Y, 1u64, true);
+        });
+        p.thread("T1", |t| {
+            t.load(Reg(0), Y, true);
+            t.load(Reg(1), X, false);
+        });
+        obs2(&mut p, ("f", 1, Reg(0)), ("d", 1, Reg(1)));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("f", 1), ("d", 0)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+    {
+        let mut p = ProgramBuilder::new("MP+dmb+ctrl");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+            t.dmb();
+            t.store(Y, 1u64, false);
+        });
+        p.thread("T1", |t| {
+            t.load(Reg(0), Y, false);
+            t.br(Cond::Ne, Reg(0), Reg(0), "never");
+            t.load(Reg(1), X, false);
+            t.label("never");
+            t.inst(Inst::Halt);
+        });
+        obs2(&mut p, ("f", 1, Reg(0)), ("d", 1, Reg(1)));
+        // ctrl does not order read-read: still allowed.
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("f", 1), ("d", 0)],
+            allowed_on_arm: true,
+            allowed_on_sc: false,
+        });
+    }
+    {
+        let mut p = ProgramBuilder::new("MP+dmb+ctrl-isb");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+            t.dmb();
+            t.store(Y, 1u64, false);
+        });
+        p.thread("T1", |t| {
+            t.load(Reg(0), Y, false);
+            t.br(Cond::Ne, Reg(0), Reg(0), "never");
+            t.fence(Fence::Isb);
+            t.load(Reg(1), X, false);
+            t.label("never");
+            t.inst(Inst::Halt);
+        });
+        obs2(&mut p, ("f", 1, Reg(0)), ("d", 1, Reg(1)));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("f", 1), ("d", 0)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+
+    // --- Load buffering --------------------------------------------------
+    {
+        let mut p = ProgramBuilder::new("LB");
+        p.thread("T0", |t| {
+            t.load(Reg(0), X, false);
+            t.store(Y, 1u64, false);
+        });
+        p.thread("T1", |t| {
+            t.load(Reg(1), Y, false);
+            t.store(X, 1u64, false);
+        });
+        obs2(&mut p, ("r0", 0, Reg(0)), ("r1", 1, Reg(1)));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("r0", 1), ("r1", 1)],
+            allowed_on_arm: true,
+            allowed_on_sc: false,
+        });
+    }
+    {
+        let mut p = ProgramBuilder::new("LB+datas");
+        p.thread("T0", |t| {
+            t.load(Reg(0), X, false);
+            t.store(Y, Reg(0), false);
+        });
+        p.thread("T1", |t| {
+            t.load(Reg(1), Y, false);
+            t.store(X, Reg(1), false);
+        });
+        obs2(&mut p, ("r0", 0, Reg(0)), ("r1", 1, Reg(1)));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("r0", 1), ("r1", 1)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+    {
+        let mut p = ProgramBuilder::new("LB+dmbs");
+        p.thread("T0", |t| {
+            t.load(Reg(0), X, false);
+            t.dmb();
+            t.store(Y, 1u64, false);
+        });
+        p.thread("T1", |t| {
+            t.load(Reg(1), Y, false);
+            t.dmb();
+            t.store(X, 1u64, false);
+        });
+        obs2(&mut p, ("r0", 0, Reg(0)), ("r1", 1, Reg(1)));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("r0", 1), ("r1", 1)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+
+    // --- Coherence shapes ------------------------------------------------
+    {
+        let mut p = ProgramBuilder::new("CoRR");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+        });
+        p.thread("T1", |t| {
+            t.load(Reg(0), X, false);
+            t.load(Reg(1), X, false);
+        });
+        obs2(&mut p, ("a", 1, Reg(0)), ("b", 1, Reg(1)));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("a", 1), ("b", 0)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+    {
+        let mut p = ProgramBuilder::new("CoWW");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+            t.store(X, 2u64, false);
+        });
+        p.observe_mem("x", X);
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("x", 1)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+    {
+        let mut p = ProgramBuilder::new("CoWR");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+            t.load(Reg(0), X, false);
+        });
+        p.thread("T1", |t| {
+            t.store(X, 2u64, false);
+        });
+        p.observe_reg("r0", 0, Reg(0));
+        // Reading the initial value after own store is forbidden.
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("r0", 0)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+
+    // --- S and R ----------------------------------------------------------
+    {
+        let mut p = ProgramBuilder::new("S+dmb+data");
+        p.thread("T0", |t| {
+            t.store(X, 2u64, false);
+            t.dmb();
+            t.store(Y, 1u64, false);
+        });
+        p.thread("T1", |t| {
+            t.load(Reg(0), Y, false);
+            t.store(X, Reg(0), false); // writes 1 when it read 1
+        });
+        p.observe_reg("r0", 1, Reg(0));
+        p.observe_mem("x", X);
+        // S: T1 read y=1 yet its dependent store is co-before x=2.
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("r0", 1), ("x", 2)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+    {
+        let mut p = ProgramBuilder::new("R");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+            t.store(Y, 1u64, false);
+        });
+        p.thread("T1", |t| {
+            t.store(Y, 2u64, false);
+            t.load(Reg(0), X, false);
+        });
+        p.observe_reg("r1", 1, Reg(0));
+        p.observe_mem("y", Y);
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("r1", 0), ("y", 2)],
+            allowed_on_arm: true,
+            allowed_on_sc: false,
+        });
+    }
+    {
+        let mut p = ProgramBuilder::new("R+dmbs");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+            t.dmb();
+            t.store(Y, 1u64, false);
+        });
+        p.thread("T1", |t| {
+            t.store(Y, 2u64, false);
+            t.dmb();
+            t.load(Reg(0), X, false);
+        });
+        p.observe_reg("r1", 1, Reg(0));
+        p.observe_mem("y", Y);
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("r1", 0), ("y", 2)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+
+    // --- Multi-copy atomicity (WRC, ISA2) ---------------------------------
+    {
+        let mut p = ProgramBuilder::new("WRC+addrs");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+        });
+        p.thread("T1", |t| {
+            t.load(Reg(0), X, false);
+            t.store(Y, Reg(0), false);
+        });
+        p.thread("T2", |t| {
+            t.load(Reg(1), Y, false);
+            t.load(Reg(2), addr_dep(X, Reg(1)), false);
+        });
+        p.observe_reg("r1", 2, Reg(1));
+        p.observe_reg("r2", 2, Reg(2));
+        // Armv8 is multi-copy atomic: forbidden with dependencies.
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("r1", 1), ("r2", 0)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+    {
+        let mut p = ProgramBuilder::new("ISA2+dmb+addrs");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+            t.dmb();
+            t.store(Y, 1u64, false);
+        });
+        p.thread("T1", |t| {
+            t.load(Reg(0), Y, false);
+            t.store(Z, Reg(0), false);
+        });
+        p.thread("T2", |t| {
+            t.load(Reg(1), Z, false);
+            t.load(Reg(2), addr_dep(X, Reg(1)), false);
+        });
+        p.observe_reg("rz", 2, Reg(1));
+        p.observe_reg("rx", 2, Reg(2));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("rz", 1), ("rx", 0)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+
+    // --- 2+2W --------------------------------------------------------------
+    {
+        let mut p = ProgramBuilder::new("2+2W");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+            t.store(Y, 2u64, false);
+        });
+        p.thread("T1", |t| {
+            t.store(Y, 1u64, false);
+            t.store(X, 2u64, false);
+        });
+        p.observe_mem("x", X);
+        p.observe_mem("y", Y);
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("x", 1), ("y", 1)],
+            allowed_on_arm: true,
+            allowed_on_sc: false,
+        });
+    }
+    {
+        let mut p = ProgramBuilder::new("2+2W+dmbs");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+            t.dmb();
+            t.store(Y, 2u64, false);
+        });
+        p.thread("T1", |t| {
+            t.store(Y, 1u64, false);
+            t.dmb();
+            t.store(X, 2u64, false);
+        });
+        p.observe_mem("x", X);
+        p.observe_mem("y", Y);
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("x", 1), ("y", 1)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+
+    // --- dmb.ld / dmb.st variants ------------------------------------------
+    {
+        let mut p = ProgramBuilder::new("MP+dmb.st+dmb.ld");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+            t.fence(Fence::St);
+            t.store(Y, 1u64, false);
+        });
+        p.thread("T1", |t| {
+            t.load(Reg(0), Y, false);
+            t.fence(Fence::Ld);
+            t.load(Reg(1), X, false);
+        });
+        obs2(&mut p, ("f", 1, Reg(0)), ("d", 1, Reg(1)));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("f", 1), ("d", 0)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+    {
+        let mut p = ProgramBuilder::new("SB+dmb.lds");
+        // dmb.ld does not order store→load: SB stays allowed.
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+            t.fence(Fence::Ld);
+            t.load(Reg(0), Y, false);
+        });
+        p.thread("T1", |t| {
+            t.store(Y, 1u64, false);
+            t.fence(Fence::Ld);
+            t.load(Reg(0), X, false);
+        });
+        obs2(&mut p, ("r0", 0, Reg(0)), ("r1", 1, Reg(0)));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("r0", 0), ("r1", 0)],
+            allowed_on_arm: true,
+            allowed_on_sc: false,
+        });
+    }
+
+    // --- IRIW: independent reads of independent writes -------------------
+    {
+        // Armv8 is multicopy-atomic: with dmb'd readers IRIW is forbidden.
+        let mut p = ProgramBuilder::new("IRIW+dmbs");
+        p.thread("W0", |t| {
+            t.store(X, 1u64, false);
+        });
+        p.thread("W1", |t| {
+            t.store(Y, 1u64, false);
+        });
+        p.thread("R0", |t| {
+            t.load(Reg(0), X, false);
+            t.dmb();
+            t.load(Reg(1), Y, false);
+        });
+        p.thread("R1", |t| {
+            t.load(Reg(0), Y, false);
+            t.dmb();
+            t.load(Reg(1), X, false);
+        });
+        p.observe_reg("r0x", 2, Reg(0));
+        p.observe_reg("r0y", 2, Reg(1));
+        p.observe_reg("r1y", 3, Reg(0));
+        p.observe_reg("r1x", 3, Reg(1));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("r0x", 1), ("r0y", 0), ("r1y", 1), ("r1x", 0)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+    {
+        // Without barriers the readers' loads reorder: allowed, and for
+        // the mundane reason of local reordering rather than
+        // non-multicopy-atomicity.
+        let mut p = ProgramBuilder::new("IRIW");
+        p.thread("W0", |t| {
+            t.store(X, 1u64, false);
+        });
+        p.thread("W1", |t| {
+            t.store(Y, 1u64, false);
+        });
+        p.thread("R0", |t| {
+            t.load(Reg(0), X, false);
+            t.load(Reg(1), Y, false);
+        });
+        p.thread("R1", |t| {
+            t.load(Reg(0), Y, false);
+            t.load(Reg(1), X, false);
+        });
+        p.observe_reg("r0x", 2, Reg(0));
+        p.observe_reg("r0y", 2, Reg(1));
+        p.observe_reg("r1y", 3, Reg(0));
+        p.observe_reg("r1x", 3, Reg(1));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("r0x", 1), ("r0y", 0), ("r1y", 1), ("r1x", 0)],
+            allowed_on_arm: true,
+            allowed_on_sc: false,
+        });
+    }
+
+    // --- RWC: read-to-write causality -------------------------------------
+    {
+        let mut p = ProgramBuilder::new("RWC+dmbs");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+        });
+        p.thread("T1", |t| {
+            t.load(Reg(0), X, false);
+            t.dmb();
+            t.load(Reg(1), Y, false);
+        });
+        p.thread("T2", |t| {
+            t.store(Y, 1u64, false);
+            t.dmb();
+            t.load(Reg(0), X, false);
+        });
+        p.observe_reg("a", 1, Reg(0));
+        p.observe_reg("b", 1, Reg(1));
+        p.observe_reg("c", 2, Reg(0));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("a", 1), ("b", 0), ("c", 0)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+
+    // --- SB with release/acquire ------------------------------------------
+    {
+        // Armv8's STLR/LDAR pair is RCsc: a release store is ordered
+        // before a program-order-later acquire load ([L];po;[A] in bob),
+        // so unlike C11's RCpc semantics this SB variant is FORBIDDEN.
+        let mut p = ProgramBuilder::new("SB+rel+acq");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, true);
+            t.load(Reg(0), Y, true);
+        });
+        p.thread("T1", |t| {
+            t.store(Y, 1u64, true);
+            t.load(Reg(0), X, true);
+        });
+        obs2(&mut p, ("r0", 0, Reg(0)), ("r1", 1, Reg(0)));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("r0", 0), ("r1", 0)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+
+    // --- Coherence read-write shapes --------------------------------------
+    {
+        // CoRW1: a read then write by one thread to the same location
+        // cannot observe its own future write.
+        let mut p = ProgramBuilder::new("CoRW1");
+        p.thread("T0", |t| {
+            t.load(Reg(0), X, false);
+            t.store(X, 1u64, false);
+        });
+        p.observe_reg("r0", 0, Reg(0));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("r0", 1)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+    {
+        // CoWR: a read after own write must not see an older external
+        // write that is co-after its own.
+        let mut p = ProgramBuilder::new("CoRW2");
+        p.thread("T0", |t| {
+            t.load(Reg(0), X, false);
+            t.store(X, 2u64, false);
+        });
+        p.thread("T1", |t| {
+            t.store(X, 1u64, false);
+        });
+        p.observe_reg("r0", 0, Reg(0));
+        p.observe_mem("x", X);
+        // Reading 1 then having the final value be 1 means T0's store is
+        // co-before T1's, yet T0 read T1's: a coherence cycle.
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("r0", 1), ("x", 1)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+
+    // --- Release-chain transitivity ---------------------------------------
+    {
+        // ISA2 with release stores and acquire loads: cumulativity through
+        // a chain of rel->acq synchronization is guaranteed.
+        let mut p = ProgramBuilder::new("ISA2+rel+acqs");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+            t.store(Y, 1u64, true);
+        });
+        p.thread("T1", |t| {
+            t.load(Reg(0), Y, true);
+            t.store(Z, Reg(0), true);
+        });
+        p.thread("T2", |t| {
+            t.load(Reg(1), Z, true);
+            t.load(Reg(2), X, false);
+        });
+        p.observe_reg("rz", 2, Reg(1));
+        p.observe_reg("rx", 2, Reg(2));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("rz", 1), ("rx", 0)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+
+    // --- PPOCA-style: speculative write forwarding ------------------------
+    {
+        // A ctrl-dependent store may be forwarded to a subsequent load of
+        // the same location before the branch resolves; the addr-dependent
+        // load after it can still read stale data. Allowed on Arm.
+        let mut p = ProgramBuilder::new("PPOCA");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+            t.dmb();
+            t.store(Y, 1u64, false);
+        });
+        p.thread("T1", |t| {
+            t.load(Reg(0), Y, false);
+            t.br(Cond::Ne, Reg(0), Reg(0), "never");
+            t.store(Z, 1u64, false);
+            t.load(Reg(1), Z, false);
+            t.load(Reg(2), addr_dep(X, Reg(1)), false);
+            t.label("never");
+            t.inst(Inst::Halt);
+        });
+        p.observe_reg("ry", 1, Reg(0));
+        p.observe_reg("rx", 1, Reg(2));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("ry", 1), ("rx", 0)],
+            allowed_on_arm: true,
+            allowed_on_sc: false,
+        });
+    }
+
+    // --- RMW-enforced ordering ---------------------------------------------
+    {
+        // MP where the flag is an acquire RMW on the reader side: ordered.
+        let mut p = ProgramBuilder::new("MP+rel+rmw.acq");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+            t.store(Y, 1u64, true);
+        });
+        p.thread("T1", |t| {
+            t.rmw(Reg(0), Y, RmwOp::Add, 0u64, true, false);
+            t.load(Reg(1), X, false);
+        });
+        obs2(&mut p, ("f", 1, Reg(0)), ("d", 1, Reg(1)));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("f", 1), ("d", 0)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+
+    // --- Acquire ordering of later stores ----------------------------------
+    {
+        // LB with acquire loads: [A];po orders the stores after the loads,
+        // so the cycle is forbidden even without dmb.
+        let mut p = ProgramBuilder::new("LB+acqs");
+        p.thread("T0", |t| {
+            t.load(Reg(0), X, true);
+            t.store(Y, 1u64, false);
+        });
+        p.thread("T1", |t| {
+            t.load(Reg(1), Y, true);
+            t.store(X, 1u64, false);
+        });
+        obs2(&mut p, ("r0", 0, Reg(0)), ("r1", 1, Reg(1)));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("r0", 1), ("r1", 1)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+    {
+        // S without barriers: the writer's stores may reorder, so the
+        // dependent-write shape is allowed.
+        let mut p = ProgramBuilder::new("S");
+        p.thread("T0", |t| {
+            t.store(X, 2u64, false);
+            t.store(Y, 1u64, false);
+        });
+        p.thread("T1", |t| {
+            t.load(Reg(0), Y, false);
+            t.store(X, Reg(0), false);
+        });
+        p.observe_reg("r0", 1, Reg(0));
+        p.observe_mem("x", X);
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("r0", 1), ("x", 2)],
+            allowed_on_arm: true,
+            allowed_on_sc: false,
+        });
+    }
+
+    // --- Load/store exclusives (LDXR/STXR) --------------------------------
+    {
+        // Two racing exclusive increments: if both succeed, the updates
+        // cannot be lost (x must be 2). Lost update is forbidden.
+        let mut p = ProgramBuilder::new("EX-atomic-inc");
+        for _ in 0..2 {
+            p.thread("t", |t| {
+                t.load_ex(Reg(0), X, false);
+                t.store_ex(Reg(1), X, Expr::Reg(Reg(0)) + Expr::Imm(1), false);
+            });
+        }
+        p.observe_reg("s0", 0, Reg(1));
+        p.observe_reg("s1", 1, Reg(1));
+        p.observe_mem("x", X);
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("s0", 0), ("s1", 0), ("x", 1)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+    {
+        // MP where the flag publication is a successful STLXR and the
+        // observation an LDAXR: ordered like rel/acq.
+        let mut p = ProgramBuilder::new("MP+stlxr+ldaxr");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+            t.load_ex(Reg(0), Y, false);
+            t.store_ex(Reg(1), Y, 1u64, true);
+        });
+        p.thread("T1", |t| {
+            t.load_ex(Reg(0), Y, true);
+            t.load(Reg(1), X, false);
+        });
+        p.observe_reg("s", 0, Reg(1));
+        p.observe_reg("f", 1, Reg(0));
+        p.observe_reg("d", 1, Reg(1));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("s", 0), ("f", 1), ("d", 0)],
+            allowed_on_arm: false,
+            allowed_on_sc: false,
+        });
+    }
+    {
+        // Plain-exclusive MP: without acquire/release on the exclusives
+        // the stale read stays allowed.
+        let mut p = ProgramBuilder::new("MP+stxr+ldxr");
+        p.thread("T0", |t| {
+            t.store(X, 1u64, false);
+            t.load_ex(Reg(0), Y, false);
+            t.store_ex(Reg(1), Y, 1u64, false);
+        });
+        p.thread("T1", |t| {
+            t.load_ex(Reg(0), Y, false);
+            t.load(Reg(1), X, false);
+        });
+        p.observe_reg("s", 0, Reg(1));
+        p.observe_reg("f", 1, Reg(0));
+        p.observe_reg("d", 1, Reg(1));
+        tests.push(LitmusTest {
+            program: p.build(),
+            condition: vec![("s", 0), ("f", 1), ("d", 0)],
+            allowed_on_arm: true,
+            allowed_on_sc: false,
+        });
+    }
+
+    tests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn battery_is_nontrivial() {
+        let b = battery();
+        assert!(b.len() >= 15);
+        // Some tests allowed on Arm, some forbidden.
+        assert!(b.iter().any(|t| t.allowed_on_arm));
+        assert!(b.iter().any(|t| !t.allowed_on_arm));
+        // Nothing is SC-allowed in this battery (all conditions are the
+        // relaxed outcomes).
+        assert!(b.iter().all(|t| !t.allowed_on_sc));
+    }
+
+    #[test]
+    fn full_battery_conformance() {
+        for test in battery() {
+            let c = check(&test).unwrap();
+            assert!(
+                c.models_agree,
+                "{}: promising != axiomatic\npromising:\n{}\naxiomatic:\n{}",
+                c.name, c.promising, c.axiomatic
+            );
+            assert!(c.sc_subsumed, "{}: SC not subsumed", c.name);
+            assert!(
+                c.verdicts_match,
+                "{}: verdict mismatch (cond {:?}; arm expected {}, sc expected {})\npromising:\n{}\nsc:\n{}",
+                c.name,
+                test.condition,
+                test.allowed_on_arm,
+                test.allowed_on_sc,
+                c.promising,
+                c.sc
+            );
+        }
+    }
+}

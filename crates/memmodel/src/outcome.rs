@@ -1,0 +1,201 @@
+//! Observable execution outcomes and outcome sets.
+//!
+//! An [`Outcome`] is what the VRM paper calls an *execution result*: the
+//! final values of the declared observables plus how each thread exited.
+//! Model comparisons ("any behavior on RM is also observable on SC") are
+//! stated as subset/equality relations between [`OutcomeSet`]s.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::ir::Val;
+
+/// How a thread finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ThreadExit {
+    /// Ran to completion (end of code or `Halt`).
+    Done,
+    /// Took a translation fault on a virtual access.
+    Fault,
+    /// Executed [`Inst::Panic`](crate::ir::Inst::Panic).
+    Panic,
+    /// Never finished within the exploration (e.g. stuck spinning).
+    Stuck,
+}
+
+impl fmt::Display for ThreadExit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadExit::Done => write!(f, "done"),
+            ThreadExit::Fault => write!(f, "fault"),
+            ThreadExit::Panic => write!(f, "panic"),
+            ThreadExit::Stuck => write!(f, "stuck"),
+        }
+    }
+}
+
+/// One observable execution result.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Outcome {
+    /// `(name, value)` pairs in the program's observable order.
+    pub values: Vec<(String, Val)>,
+    /// Exit status per thread.
+    pub exits: Vec<ThreadExit>,
+}
+
+impl Outcome {
+    /// Returns the value of a named observable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no observable has that name.
+    pub fn get(&self, name: &str) -> Val {
+        self.values
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("no observable named {name}"))
+            .1
+    }
+
+    /// Returns `true` if any thread faulted.
+    pub fn any_fault(&self) -> bool {
+        self.exits.contains(&ThreadExit::Fault)
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (n, v) in &self.values {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}={v}")?;
+            first = false;
+        }
+        for (i, e) in self.exits.iter().enumerate() {
+            if *e != ThreadExit::Done {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "T{i}:{e}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+/// A set of outcomes, i.e. the observable behaviour of a program on a model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OutcomeSet {
+    set: BTreeSet<Outcome>,
+}
+
+impl OutcomeSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts an outcome; returns `true` if it was new.
+    pub fn insert(&mut self, o: Outcome) -> bool {
+        self.set.insert(o)
+    }
+
+    /// Number of distinct outcomes.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Returns `true` if no outcome was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Iterates over the outcomes in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Outcome> {
+        self.set.iter()
+    }
+
+    /// Returns `true` if `self` is a subset of `other`.
+    pub fn is_subset(&self, other: &OutcomeSet) -> bool {
+        self.set.is_subset(&other.set)
+    }
+
+    /// Returns the outcomes present in `self` but not in `other`.
+    pub fn difference(&self, other: &OutcomeSet) -> Vec<Outcome> {
+        self.set.difference(&other.set).cloned().collect()
+    }
+
+    /// Returns `true` if any outcome satisfies the predicate.
+    pub fn any(&self, f: impl Fn(&Outcome) -> bool) -> bool {
+        self.set.iter().any(f)
+    }
+
+    /// Returns `true` if the set contains an outcome with the given
+    /// `(name, value)` bindings (other observables unconstrained).
+    pub fn contains_binding(&self, bindings: &[(&str, Val)]) -> bool {
+        self.any(|o| bindings.iter().all(|(n, v)| o.get(n) == *v))
+    }
+}
+
+impl fmt::Display for OutcomeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for o in &self.set {
+            writeln!(f, "  {o}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Outcome> for OutcomeSet {
+    fn from_iter<T: IntoIterator<Item = Outcome>>(iter: T) -> Self {
+        OutcomeSet {
+            set: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn out(vals: &[(&str, Val)]) -> Outcome {
+        Outcome {
+            values: vals.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+            exits: vec![ThreadExit::Done],
+        }
+    }
+
+    #[test]
+    fn subset_and_difference() {
+        let a: OutcomeSet = [out(&[("x", 0)]), out(&[("x", 1)])].into_iter().collect();
+        let b: OutcomeSet = [out(&[("x", 0)]), out(&[("x", 1)]), out(&[("x", 2)])]
+            .into_iter()
+            .collect();
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert_eq!(b.difference(&a), vec![out(&[("x", 2)])]);
+    }
+
+    #[test]
+    fn contains_binding() {
+        let a: OutcomeSet = [out(&[("x", 0), ("y", 1)])].into_iter().collect();
+        assert!(a.contains_binding(&[("x", 0)]));
+        assert!(a.contains_binding(&[("x", 0), ("y", 1)]));
+        assert!(!a.contains_binding(&[("x", 1)]));
+    }
+
+    #[test]
+    fn display_outcome() {
+        let o = Outcome {
+            values: vec![("r0".into(), 1), ("r1".into(), 0)],
+            exits: vec![ThreadExit::Done, ThreadExit::Fault],
+        };
+        assert_eq!(o.to_string(), "r0=1, r1=0, T1:fault");
+    }
+}

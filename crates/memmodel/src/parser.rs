@@ -1,0 +1,709 @@
+//! A textual litmus-test format.
+//!
+//! Lets users write tests without Rust, in the spirit of herd7's
+//! `.litmus` files but with a simpler line-based grammar:
+//!
+//! ```text
+//! litmus MP+dmb
+//! init x=0 y=0
+//!
+//! thread P0
+//!   store x 1
+//!   dmb sy
+//!   store y 1
+//!
+//! thread P1
+//!   r0 = load y
+//!   r1 = load x
+//!
+//! observe P1:r0 as flag
+//! observe P1:r1 as data
+//! check arm allows flag=1 data=0
+//! check sc forbids flag=1 data=0
+//! ```
+//!
+//! Grammar summary (one item per line; `#` starts a comment):
+//!
+//! * `litmus <name>` — test name (first non-comment line);
+//! * `init <loc>=<val> ...` — initial memory; locations are symbolic
+//!   names, assigned distinct addresses in order of first appearance;
+//! * `thread <name>` — starts a thread; indented lines are instructions:
+//!   - `rN = load <expr>` / `rN = ldar <expr>` — plain/acquire load,
+//!   - `store <expr> <expr>` / `stlr <expr> <expr>` — plain/release store
+//!     (address first, then value),
+//!   - `rN = ldxr <expr>` / `rN = ldaxr <expr>` — load-exclusive,
+//!   - `rN = stxr <expr> <expr>` / `rN = stlxr <expr> <expr>` —
+//!     store-exclusive (status register, address, value),
+//!   - `rN = rmw[.acq][.rel] add|swap|and|or <expr> <expr>` — atomic RMW,
+//!   - `rN = <expr>` — move/ALU,
+//!   - `dmb sy|ld|st`, `isb`,
+//!   - `<label>:` on its own line; `beq|bne|blt|bge rA <expr> <label>`;
+//!     `b <label>`,
+//!   - `halt`, `panic`, `nop`;
+//! * `observe <thread>:rN as <name>` / `observe mem <loc> as <name>`;
+//! * `check arm|sc allows|forbids <name>=<val> ...` — expected verdicts;
+//! * `vm levels=<n> root=<val> pagebits=<n> indexbits=<n>` — enables the
+//!   virtual-memory instructions `rN = ldrv <expr>` (load through the
+//!   MMU), `strv <expr> <expr>`, and `tlbi [<expr>]`.
+//!
+//! Expressions are `operand (op operand)*`, left-associative, with
+//! operands `rN`, decimal/hex numbers, or location names, and operators
+//! `+ - * & |`.
+
+use std::collections::BTreeMap;
+
+use crate::builder::{ProgramBuilder, ThreadBuilder};
+use crate::ir::{BinOp, Cond, Expr, Fence, Inst, Program, Reg, RmwOp, Val, VmConfig};
+use crate::promising::PromisingConfig;
+
+/// A parsed litmus file: the program plus its expected verdicts.
+#[derive(Debug, Clone)]
+pub struct ParsedLitmus {
+    /// The program.
+    pub program: Program,
+    /// `(model, allows, bindings)` expectations from `check` lines.
+    pub checks: Vec<Check>,
+    /// Symbolic location addresses (name → address).
+    pub locations: BTreeMap<String, u64>,
+    /// Promising-model configuration, tunable via `config` directives
+    /// (`config promises=off`, `config rounds=N`, `config maxpromises=N`) —
+    /// lock-shaped tests with loops want the promise-free fast path.
+    pub promising: PromisingConfig,
+    /// Whether to cross-check against the axiomatic model
+    /// (`config axiomatic=off` for loop-heavy programs where candidate
+    /// enumeration explodes).
+    pub run_axiomatic: bool,
+}
+
+/// One `check` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Check {
+    /// `"arm"` or `"sc"`.
+    pub model: CheckModel,
+    /// `true` for `allows`, `false` for `forbids`.
+    pub allows: bool,
+    /// The observable bindings.
+    pub bindings: Vec<(String, Val)>,
+}
+
+/// Which model a check constrains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckModel {
+    /// The relaxed (Promising / axiomatic) models.
+    Arm,
+    /// The sequentially consistent model.
+    Sc,
+}
+
+/// A parse error with its line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line the error occurred on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser {
+    locations: BTreeMap<String, u64>,
+    next_addr: u64,
+}
+
+impl Parser {
+    fn loc(&mut self, name: &str) -> u64 {
+        if let Some(&a) = self.locations.get(name) {
+            return a;
+        }
+        let a = self.next_addr;
+        self.next_addr += 0x10;
+        self.locations.insert(name.to_string(), a);
+        a
+    }
+
+    fn operand(&mut self, tok: &str, line: usize) -> Result<Expr, ParseError> {
+        if let Some(rest) = tok.strip_prefix('r') {
+            if let Ok(n) = rest.parse::<u8>() {
+                return Ok(Expr::Reg(Reg(n)));
+            }
+        }
+        if let Some(hex) = tok.strip_prefix("0x") {
+            return u64::from_str_radix(hex, 16)
+                .map(Expr::Imm)
+                .map_err(|e| err(line, format!("bad hex literal {tok}: {e}")));
+        }
+        if tok.chars().all(|c| c.is_ascii_digit()) {
+            return tok
+                .parse::<u64>()
+                .map(Expr::Imm)
+                .map_err(|e| err(line, format!("bad literal {tok}: {e}")));
+        }
+        if tok
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            return Ok(Expr::Imm(self.loc(tok)));
+        }
+        Err(err(line, format!("unrecognized operand `{tok}`")))
+    }
+
+    /// Parses `operand (op operand)*` from a token stream.
+    fn expr(&mut self, toks: &mut &[&str], line: usize) -> Result<Expr, ParseError> {
+        let first = toks
+            .first()
+            .ok_or_else(|| err(line, "expected expression".into()))?;
+        let mut e = self.operand(first, line)?;
+        *toks = &toks[1..];
+        while let Some(&op) = toks.first() {
+            let bin = match op {
+                "+" => BinOp::Add,
+                "-" => BinOp::Sub,
+                "*" => BinOp::Mul,
+                "&" => BinOp::And,
+                "|" => BinOp::Or,
+                _ => break,
+            };
+            let rhs = toks
+                .get(1)
+                .ok_or_else(|| err(line, format!("operator `{op}` needs an operand")))?;
+            let r = self.operand(rhs, line)?;
+            e = Expr::bin(bin, e, r);
+            *toks = &toks[2..];
+        }
+        Ok(e)
+    }
+}
+
+fn err(line: usize, message: String) -> ParseError {
+    ParseError { line, message }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    tok.strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .map(Reg)
+        .ok_or_else(|| err(line, format!("expected register, got `{tok}`")))
+}
+
+/// Parses a litmus file.
+///
+/// # Examples
+///
+/// ```
+/// use vrm_memmodel::parser::parse;
+/// use vrm_memmodel::sc::enumerate_sc;
+///
+/// let parsed = parse(
+///     "litmus demo\n\
+///      init x=0\n\
+///      thread P0\n  store x 7\n\
+///      observe mem x as x\n\
+///      check sc allows x=7\n",
+/// )
+/// .unwrap();
+/// let sc = enumerate_sc(&parsed.program).unwrap();
+/// assert!(sc.contains_binding(&[("x", 7)]));
+/// ```
+pub fn parse(text: &str) -> Result<ParsedLitmus, ParseError> {
+    let mut p = Parser {
+        locations: BTreeMap::new(),
+        next_addr: 0x1000,
+    };
+    let mut name: Option<String> = None;
+    let mut inits: Vec<(String, Val)> = Vec::new();
+    let mut threads: Vec<(String, Vec<(usize, String)>)> = Vec::new();
+    let mut observes: Vec<(usize, String)> = Vec::new();
+    let mut checks_raw: Vec<(usize, String)> = Vec::new();
+    let mut promising = PromisingConfig::default();
+    let mut run_axiomatic = true;
+    let mut vm: Option<VmConfig> = None;
+    let mut init_ranges: Vec<(u64, u64, Val)> = Vec::new();
+
+    for (no, raw) in text.lines().enumerate() {
+        let line_no = no + 1;
+        let line = raw.split('#').next().unwrap_or("").trim_end();
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let indented = line.starts_with(' ') || line.starts_with('\t');
+        if indented {
+            let Some(t) = threads.last_mut() else {
+                return Err(err(line_no, "instruction outside a thread".into()));
+            };
+            t.1.push((line_no, trimmed.to_string()));
+            continue;
+        }
+        let mut words = trimmed.split_whitespace();
+        match words.next() {
+            Some("litmus") => {
+                name = Some(words.collect::<Vec<_>>().join(" "));
+            }
+            Some("init") => {
+                for w in words {
+                    let (l, v) = w
+                        .split_once('=')
+                        .ok_or_else(|| err(line_no, format!("bad init `{w}`")))?;
+                    let v = parse_val(v, line_no)?;
+                    inits.push((l.to_string(), v));
+                }
+            }
+            Some("initrange") => {
+                // `initrange <base> <len> <val>`: raw-address fill (page
+                // contents for virtual-memory tests).
+                let toks: Vec<&str> = words.collect();
+                if toks.len() != 3 {
+                    return Err(err(line_no, "initrange <base> <len> <val>".into()));
+                }
+                let base = parse_val(toks[0], line_no)?;
+                let len = parse_val(toks[1], line_no)?;
+                let val = parse_val(toks[2], line_no)?;
+                init_ranges.push((base, len, val));
+            }
+            Some("thread") => {
+                let tname = words
+                    .next()
+                    .ok_or_else(|| err(line_no, "thread needs a name".into()))?;
+                threads.push((tname.to_string(), Vec::new()));
+            }
+            Some("vm") => {
+                let mut cfg = VmConfig {
+                    levels: 1,
+                    root: 0x100,
+                    page_bits: 4,
+                    index_bits: 4,
+                };
+                for w in words {
+                    let (k, v) = w
+                        .split_once('=')
+                        .ok_or_else(|| err(line_no, format!("bad vm option `{w}`")))?;
+                    let n =
+                        parse_val(v, line_no)? as u32;
+                    match k {
+                        "levels" => cfg.levels = n,
+                        "pagebits" => cfg.page_bits = n,
+                        "indexbits" => cfg.index_bits = n,
+                        "root" => cfg.root = parse_val(v, line_no)?,
+                        other => {
+                            return Err(err(line_no, format!("unknown vm option `{other}`")))
+                        }
+                    }
+                }
+                vm = Some(cfg);
+            }
+            Some("config") => {
+                for w in words {
+                    let (k, v) = w
+                        .split_once('=')
+                        .ok_or_else(|| err(line_no, format!("bad config `{w}`")))?;
+                    match k {
+                        "promises" => promising.promises = v == "on",
+                        "rounds" => {
+                            promising.value_cfg.max_rounds = v
+                                .parse()
+                                .map_err(|e| err(line_no, format!("bad rounds: {e}")))?
+                        }
+                        "maxpromises" => {
+                            promising.max_promises_per_thread = v
+                                .parse()
+                                .map_err(|e| err(line_no, format!("bad maxpromises: {e}")))?
+                        }
+                        "axiomatic" => run_axiomatic = v == "on",
+                        other => {
+                            return Err(err(line_no, format!("unknown config key `{other}`")))
+                        }
+                    }
+                }
+            }
+            Some("observe") => observes.push((line_no, trimmed.to_string())),
+            Some("check") => checks_raw.push((line_no, trimmed.to_string())),
+            Some(other) => {
+                return Err(err(line_no, format!("unknown directive `{other}`")));
+            }
+            None => {}
+        }
+    }
+
+    let name = name.ok_or_else(|| err(1, "missing `litmus <name>` line".into()))?;
+    let mut pb = ProgramBuilder::new(&name);
+    if let Some(cfg) = vm {
+        pb.vm(cfg);
+    }
+    for (base, len, val) in &init_ranges {
+        pb.init_range(*base, *len, *val);
+    }
+    for (l, v) in &inits {
+        let addr = if l.starts_with("0x") || l.chars().all(|c| c.is_ascii_digit()) {
+            parse_val(l, 1)?
+        } else {
+            p.loc(l)
+        };
+        pb.init(addr, *v);
+    }
+    let thread_names: Vec<String> = threads.iter().map(|(n, _)| n.clone()).collect();
+    for (tname, lines) in &threads {
+        let mut tb = ThreadBuilder::new();
+        for (line_no, text) in lines {
+            parse_inst(&mut p, &mut tb, text, *line_no)?;
+        }
+        pb.threads_push(tb, tname);
+    }
+    for (line_no, text) in &observes {
+        parse_observe(&mut p, &mut pb, &thread_names, text, *line_no)?;
+    }
+    let mut checks = Vec::new();
+    for (line_no, text) in &checks_raw {
+        checks.push(parse_check(text, *line_no)?);
+    }
+    Ok(ParsedLitmus {
+        program: pb.build(),
+        checks,
+        locations: p.locations,
+        promising,
+        run_axiomatic,
+    })
+}
+
+fn parse_val(tok: &str, line: usize) -> Result<Val, ParseError> {
+    if let Some(hex) = tok.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|e| err(line, format!("bad value {tok}: {e}")))
+    } else {
+        tok.parse::<u64>()
+            .map_err(|e| err(line, format!("bad value {tok}: {e}")))
+    }
+}
+
+fn parse_inst(
+    p: &mut Parser,
+    tb: &mut ThreadBuilder,
+    text: &str,
+    line: usize,
+) -> Result<(), ParseError> {
+    let toks: Vec<&str> = text.split_whitespace().collect();
+    // Label line: `name:`.
+    if toks.len() == 1 && toks[0].ends_with(':') {
+        tb.label(&toks[0][..toks[0].len() - 1]);
+        return Ok(());
+    }
+    // `rN = ...` forms.
+    if toks.len() >= 3 && toks[1] == "=" {
+        let dst = parse_reg(toks[0], line)?;
+        let mut rest: &[&str] = &toks[2..];
+        match rest[0] {
+            "load" | "ldar" => {
+                let acq = rest[0] == "ldar";
+                rest = &rest[1..];
+                let addr = p.expr(&mut rest, line)?;
+                tb.load(dst, addr, acq);
+            }
+            "ldrv" | "ldarv" => {
+                let acq = rest[0] == "ldarv";
+                rest = &rest[1..];
+                let va = p.expr(&mut rest, line)?;
+                tb.load_virt(dst, va, acq);
+            }
+            "ldxr" | "ldaxr" => {
+                let acq = rest[0] == "ldaxr";
+                rest = &rest[1..];
+                let addr = p.expr(&mut rest, line)?;
+                tb.load_ex(dst, addr, acq);
+            }
+            "stxr" | "stlxr" => {
+                let rel = rest[0] == "stlxr";
+                rest = &rest[1..];
+                let addr = p.expr(&mut rest, line)?;
+                let val = p.expr(&mut rest, line)?;
+                tb.store_ex(dst, addr, val, rel);
+            }
+            op if op.starts_with("rmw") => {
+                let acq = op.contains(".acq");
+                let rel = op.contains(".rel");
+                let kind = match rest.get(1) {
+                    Some(&"add") => RmwOp::Add,
+                    Some(&"swap") => RmwOp::Swap,
+                    Some(&"and") => RmwOp::And,
+                    Some(&"or") => RmwOp::Or,
+                    other => {
+                        return Err(err(line, format!("unknown rmw op {other:?}")));
+                    }
+                };
+                rest = &rest[2..];
+                let addr = p.expr(&mut rest, line)?;
+                let rhs = p.expr(&mut rest, line)?;
+                tb.rmw(dst, addr, kind, rhs, acq, rel);
+            }
+            _ => {
+                let e = p.expr(&mut rest, line)?;
+                tb.mov(dst, e);
+            }
+        }
+        return Ok(());
+    }
+    match toks[0] {
+        "strv" | "stlrv" => {
+            let rel = toks[0] == "stlrv";
+            let mut rest: &[&str] = &toks[1..];
+            let va = p.expr(&mut rest, line)?;
+            let val = p.expr(&mut rest, line)?;
+            tb.store_virt(va, val, rel);
+        }
+        "tlbi" => {
+            if toks.len() == 1 {
+                tb.tlbi_all();
+            } else {
+                let mut rest: &[&str] = &toks[1..];
+                let va = p.expr(&mut rest, line)?;
+                tb.tlbi_va(va);
+            }
+        }
+        "store" | "stlr" => {
+            let rel = toks[0] == "stlr";
+            let mut rest: &[&str] = &toks[1..];
+            let addr = p.expr(&mut rest, line)?;
+            let val = p.expr(&mut rest, line)?;
+            tb.store(addr, val, rel);
+        }
+        "dmb" => {
+            let kind = match toks.get(1) {
+                Some(&"sy") | None => Fence::Sy,
+                Some(&"ld") => Fence::Ld,
+                Some(&"st") => Fence::St,
+                other => return Err(err(line, format!("unknown dmb kind {other:?}"))),
+            };
+            tb.fence(kind);
+        }
+        "isb" => {
+            tb.fence(Fence::Isb);
+        }
+        "beq" | "bne" | "blt" | "bge" => {
+            let cond = match toks[0] {
+                "beq" => Cond::Eq,
+                "bne" => Cond::Ne,
+                "blt" => Cond::Lt,
+                _ => Cond::Ge,
+            };
+            if toks.len() < 4 {
+                return Err(err(line, "branch needs: <reg> <expr> <label>".into()));
+            }
+            let lhs = parse_reg(toks[1], line)?;
+            let mut rest: &[&str] = &toks[2..toks.len() - 1];
+            let rhs = p.expr(&mut rest, line)?;
+            tb.br(cond, lhs, rhs, toks[toks.len() - 1]);
+        }
+        "b" => {
+            let target = toks
+                .get(1)
+                .ok_or_else(|| err(line, "b needs a label".into()))?;
+            tb.jmp(target);
+        }
+        "halt" => {
+            tb.inst(Inst::Halt);
+        }
+        "panic" => {
+            tb.inst(Inst::Panic);
+        }
+        "nop" => {
+            tb.inst(Inst::Nop);
+        }
+        other => return Err(err(line, format!("unknown instruction `{other}`"))),
+    }
+    Ok(())
+}
+
+fn parse_observe(
+    p: &mut Parser,
+    pb: &mut ProgramBuilder,
+    thread_names: &[String],
+    text: &str,
+    line: usize,
+) -> Result<(), ParseError> {
+    let toks: Vec<&str> = text.split_whitespace().collect();
+    // `observe mem <loc> as <name>` or `observe <thread>:rN as <name>`.
+    match toks.get(1) {
+        Some(&"mem") => {
+            let loc = toks
+                .get(2)
+                .ok_or_else(|| err(line, "observe mem needs a location".into()))?;
+            let as_name = toks
+                .get(4)
+                .ok_or_else(|| err(line, "observe needs `as <name>`".into()))?;
+            let addr = p.loc(loc);
+            pb.observe_mem(as_name, addr);
+        }
+        Some(spec) => {
+            let (tname, reg) = spec
+                .split_once(':')
+                .ok_or_else(|| err(line, format!("bad observe spec `{spec}`")))?;
+            let tid = thread_names
+                .iter()
+                .position(|n| n == tname)
+                .ok_or_else(|| err(line, format!("unknown thread `{tname}`")))?;
+            let reg = parse_reg(reg, line)?;
+            let as_name = toks
+                .get(3)
+                .ok_or_else(|| err(line, "observe needs `as <name>`".into()))?;
+            pb.observe_reg(as_name, tid, reg);
+        }
+        None => return Err(err(line, "empty observe".into())),
+    }
+    Ok(())
+}
+
+fn parse_check(text: &str, line: usize) -> Result<Check, ParseError> {
+    let toks: Vec<&str> = text.split_whitespace().collect();
+    let model = match toks.get(1) {
+        Some(&"arm") => CheckModel::Arm,
+        Some(&"sc") => CheckModel::Sc,
+        other => return Err(err(line, format!("check needs arm|sc, got {other:?}"))),
+    };
+    let allows = match toks.get(2) {
+        Some(&"allows") => true,
+        Some(&"forbids") => false,
+        other => {
+            return Err(err(line, format!("check needs allows|forbids, got {other:?}")));
+        }
+    };
+    let mut bindings = Vec::new();
+    for w in &toks[3..] {
+        let (n, v) = w
+            .split_once('=')
+            .ok_or_else(|| err(line, format!("bad binding `{w}`")))?;
+        bindings.push((n.to_string(), parse_val(v, line)?));
+    }
+    if bindings.is_empty() {
+        return Err(err(line, "check needs at least one binding".into()));
+    }
+    Ok(Check {
+        model,
+        allows,
+        bindings,
+    })
+}
+
+impl ProgramBuilder {
+    /// Adds an already-built thread (used by the parser).
+    pub fn threads_push(&mut self, tb: ThreadBuilder, name: &str) {
+        self.push_thread(tb.finish(name));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::promising::enumerate_promising;
+    use crate::sc::enumerate_sc;
+
+    const MP: &str = r#"
+# Message passing, the classic.
+litmus MP+dmb
+init x=0 y=0
+
+thread P0
+  store x 1
+  dmb sy
+  store y 1
+
+thread P1
+  r0 = load y
+  r1 = load x
+
+observe P1:r0 as flag
+observe P1:r1 as data
+check arm allows flag=1 data=0
+check sc forbids flag=1 data=0
+"#;
+
+    #[test]
+    fn parse_and_run_mp() {
+        let parsed = parse(MP).unwrap();
+        assert_eq!(parsed.program.name, "MP+dmb");
+        assert_eq!(parsed.program.threads.len(), 2);
+        assert_eq!(parsed.checks.len(), 2);
+        let rm = enumerate_promising(&parsed.program).unwrap();
+        let sc = enumerate_sc(&parsed.program).unwrap();
+        // dmb only on the writer: reader may still reorder — allowed.
+        assert!(rm.contains_binding(&[("flag", 1), ("data", 0)]));
+        assert!(!sc.contains_binding(&[("flag", 1), ("data", 0)]));
+    }
+
+    #[test]
+    fn parse_exclusives_and_branches() {
+        let text = r#"
+litmus exclusive-inc
+init c=0
+
+thread P0
+  retry:
+  r0 = ldxr c
+  r1 = stxr c r0 + 1
+  bne r1 0 retry
+
+thread P1
+  retry:
+  r0 = ldxr c
+  r1 = stxr c r0 + 1
+  bne r1 0 retry
+
+observe mem c as c
+check arm forbids c=1
+check sc forbids c=1
+"#;
+        let parsed = parse(text).unwrap();
+        let rm = enumerate_promising(&parsed.program).unwrap();
+        assert!(!rm.is_empty());
+        assert!(rm.iter().all(|o| o.get("c") == 2));
+    }
+
+    #[test]
+    fn locations_get_distinct_addresses() {
+        let parsed = parse(MP).unwrap();
+        let x = parsed.locations["x"];
+        let y = parsed.locations["y"];
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("litmus t\nthread P0\n  bogus foo\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bogus"));
+
+        let e = parse("thread P0\n").unwrap_err();
+        assert!(e.message.contains("litmus"));
+
+        let e = parse("litmus t\n  store x 1\n").unwrap_err();
+        assert!(e.message.contains("outside a thread"));
+    }
+
+    #[test]
+    fn config_directives_apply() {
+        let text = "litmus t\nconfig promises=off rounds=2 maxpromises=1\nthread P0\n  nop\n";
+        let parsed = parse(text).unwrap();
+        assert!(!parsed.promising.promises);
+        assert_eq!(parsed.promising.value_cfg.max_rounds, 2);
+        assert_eq!(parsed.promising.max_promises_per_thread, 1);
+    }
+
+    #[test]
+    fn rmw_and_observe_mem() {
+        let text = r#"
+litmus rmw
+init c=5
+thread P0
+  r0 = rmw.acq add c 3
+observe P0:r0 as old
+observe mem c as c
+check sc allows old=5 c=8
+"#;
+        let parsed = parse(text).unwrap();
+        let sc = enumerate_sc(&parsed.program).unwrap();
+        assert!(sc.contains_binding(&[("old", 5), ("c", 8)]));
+    }
+}

@@ -1,0 +1,164 @@
+//! Execution traces: the per-step events emitted by the executors.
+//!
+//! Traces are consumed by the VRM condition checkers in `vrm-core` (e.g. the
+//! push/pull validity checker needs the push/pull and shared-access events;
+//! the Sequential-TLB-Invalidation checker needs store/fence/TLBI order).
+
+use std::fmt;
+
+use crate::ir::{Addr, Fence, Val};
+
+/// The kind of an execution event.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A data read from memory.
+    Read {
+        /// Address read.
+        addr: Addr,
+        /// Value obtained.
+        val: Val,
+        /// Acquire semantics.
+        acq: bool,
+    },
+    /// A data write to memory.
+    Write {
+        /// Address written.
+        addr: Addr,
+        /// Value stored.
+        val: Val,
+        /// Release semantics.
+        rel: bool,
+    },
+    /// An atomic read-modify-write.
+    Rmw {
+        /// Address updated.
+        addr: Addr,
+        /// Value read (old).
+        old: Val,
+        /// Value written (new).
+        new: Val,
+        /// Acquire semantics.
+        acq: bool,
+        /// Release semantics.
+        rel: bool,
+    },
+    /// A barrier.
+    Fence(Fence),
+    /// A broadcast TLB invalidation (`None` = all pages).
+    Tlbi {
+        /// Restricting virtual page number, if any.
+        vpn: Option<Addr>,
+    },
+    /// A page-table walk read performed by the MMU on behalf of this CPU.
+    WalkRead {
+        /// Virtual address being translated.
+        va: Addr,
+        /// Page-table entry cell read.
+        addr: Addr,
+        /// Entry value obtained.
+        val: Val,
+        /// Walk level (0 = root).
+        level: u32,
+    },
+    /// A translation fault (zero page-table entry).
+    Fault {
+        /// The faulting virtual address.
+        va: Addr,
+    },
+    /// A TLB fill after a successful walk.
+    TlbFill {
+        /// Virtual page number.
+        vpn: Addr,
+        /// Physical page base cached.
+        page: Addr,
+    },
+    /// A TLB hit (translation served without a walk).
+    TlbHit {
+        /// Virtual page number.
+        vpn: Addr,
+        /// Physical page base used.
+        page: Addr,
+    },
+    /// Ghost pull of logical ownership.
+    Pull {
+        /// Locations pulled.
+        locs: Vec<Addr>,
+    },
+    /// Ghost push of logical ownership.
+    Push {
+        /// Locations pushed.
+        locs: Vec<Addr>,
+    },
+    /// The thread panicked.
+    Panic,
+}
+
+/// One event of an execution trace.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// Thread (CPU) that produced the event.
+    pub tid: usize,
+    /// Program counter of the producing instruction.
+    pub pc: usize,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Returns the data-memory address touched, if this is a data access.
+    pub fn data_addr(&self) -> Option<Addr> {
+        match &self.kind {
+            EventKind::Read { addr, .. }
+            | EventKind::Write { addr, .. }
+            | EventKind::Rmw { addr, .. } => Some(*addr),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the event writes data memory.
+    pub fn is_write(&self) -> bool {
+        matches!(self.kind, EventKind::Write { .. } | EventKind::Rmw { .. })
+    }
+
+    /// Returns `true` if the event reads data memory.
+    pub fn is_read(&self) -> bool {
+        matches!(self.kind, EventKind::Read { .. } | EventKind::Rmw { .. })
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}@{}: ", self.tid, self.pc)?;
+        match &self.kind {
+            EventKind::Read { addr, val, acq } => {
+                write!(f, "R{} [{addr:#x}] = {val}", if *acq { ".acq" } else { "" })
+            }
+            EventKind::Write { addr, val, rel } => {
+                write!(f, "W{} [{addr:#x}] := {val}", if *rel { ".rel" } else { "" })
+            }
+            EventKind::Rmw { addr, old, new, .. } => {
+                write!(f, "RMW [{addr:#x}] {old} -> {new}")
+            }
+            EventKind::Fence(k) => write!(f, "Fence({k:?})"),
+            EventKind::Tlbi { vpn } => match vpn {
+                Some(p) => write!(f, "TLBI vpn={p:#x}"),
+                None => write!(f, "TLBI all"),
+            },
+            EventKind::WalkRead {
+                va,
+                addr,
+                val,
+                level,
+            } => write!(f, "Walk(va={va:#x}, L{level}) [{addr:#x}] = {val:#x}"),
+            EventKind::Fault { va } => write!(f, "FAULT va={va:#x}"),
+            EventKind::TlbFill { vpn, page } => write!(f, "TLBFill {vpn:#x} -> {page:#x}"),
+            EventKind::TlbHit { vpn, page } => write!(f, "TLBHit {vpn:#x} -> {page:#x}"),
+            EventKind::Pull { locs } => write!(f, "Pull {locs:x?}"),
+            EventKind::Push { locs } => write!(f, "Push {locs:x?}"),
+            EventKind::Panic => write!(f, "PANIC"),
+        }
+    }
+}
+
+/// A full execution trace (global order as scheduled by the executor).
+pub type Trace = Vec<Event>;

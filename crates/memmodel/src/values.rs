@@ -1,0 +1,522 @@
+//! Conservative value-domain analysis.
+//!
+//! Both the axiomatic enumerator and the promise search need to know, up
+//! front, which values could ever flow through memory: the axiomatic model
+//! enumerates thread-local paths where each load returns a candidate value,
+//! and the Promising model must bound the `(location, value)` domain from
+//! which promises are drawn.
+//!
+//! The analysis iterates per-thread symbolic executions to a fixpoint: every
+//! load returns *any* value currently known for its address, every store
+//! contributes its `(address, value)` pair to the next round. It
+//! over-approximates the reachable value flow (sound for enumerating load
+//! candidates and promise targets) and is bounded by loop unrolling and
+//! set-size caps for termination.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::ir::{Addr, Expr, Inst, Program, Val};
+
+/// Tunables for [`analyze`].
+#[derive(Debug, Clone, Copy)]
+pub struct ValueConfig {
+    /// Maximum times any backward jump is taken per path.
+    pub unroll: usize,
+    /// Maximum local paths explored per thread per round.
+    pub max_paths: usize,
+    /// Maximum distinct values tracked per address.
+    pub max_vals_per_addr: usize,
+    /// Maximum fixpoint rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for ValueConfig {
+    fn default() -> Self {
+        Self {
+            unroll: 3,
+            max_paths: 20_000,
+            max_vals_per_addr: 32,
+            max_rounds: 8,
+        }
+    }
+}
+
+/// Result of the value-domain analysis.
+#[derive(Debug, Clone, Default)]
+pub struct ValueAnalysis {
+    /// For each address: every value that may ever be observable there
+    /// (including its initial value).
+    pub mem_values: BTreeMap<Addr, BTreeSet<Val>>,
+    /// Per-thread plain (non-RMW, non-virtual) stores.
+    pub plain_stores: Vec<BTreeSet<(Addr, Val)>>,
+    /// Per-thread RMW-produced stores (promisable as exclusive writes).
+    pub rmw_stores: Vec<BTreeSet<(Addr, Val)>>,
+    /// Per-thread data-read address sets (physical addresses for virtual
+    /// accesses; page-table-walk reads are MMU reads and not included).
+    pub reads: Vec<BTreeSet<Addr>>,
+    /// Per-thread data-write address sets.
+    pub writes: Vec<BTreeSet<Addr>>,
+    /// `true` if a bound was hit and the domain may be incomplete.
+    pub truncated: bool,
+}
+
+impl ValueAnalysis {
+    /// Candidate values a load of `addr` may return (always includes the
+    /// initial value).
+    pub fn candidates(&self, addr: Addr, prog: &Program) -> BTreeSet<Val> {
+        let mut s = self
+            .mem_values
+            .get(&addr)
+            .cloned()
+            .unwrap_or_default();
+        s.insert(prog.init_val(addr));
+        s
+    }
+}
+
+struct PathState {
+    pc: usize,
+    regs: Vec<Val>,
+    /// Remaining backward-jump budget.
+    fuel: usize,
+    /// Own stores along this path (program-order forwarding candidates).
+    overlay: BTreeMap<Addr, Val>,
+}
+
+struct Analyzer<'a> {
+    prog: &'a Program,
+    cfg: ValueConfig,
+    mem_values: BTreeMap<Addr, BTreeSet<Val>>,
+    new_plain: BTreeSet<(Addr, Val)>,
+    new_rmw: BTreeSet<(Addr, Val)>,
+    new_any: BTreeSet<(Addr, Val)>,
+    new_reads: BTreeSet<Addr>,
+    new_writes: BTreeSet<Addr>,
+    paths: usize,
+    truncated: bool,
+}
+
+impl<'a> Analyzer<'a> {
+    fn load_candidates(&self, addr: Addr, overlay: &BTreeMap<Addr, Val>) -> BTreeSet<Val> {
+        let mut c: BTreeSet<Val> = self.mem_values.get(&addr).cloned().unwrap_or_default();
+        c.insert(self.prog.init_val(addr));
+        if let Some(v) = overlay.get(&addr) {
+            c.insert(*v);
+        }
+        c
+    }
+
+    fn eval(&self, e: &Expr, regs: &[Val]) -> Val {
+        match e {
+            Expr::Imm(v) => *v,
+            Expr::Reg(r) => regs[r.0 as usize],
+            Expr::Bin(op, a, b) => {
+                let (a, b) = (self.eval(a, regs), self.eval(b, regs));
+                use crate::ir::BinOp::*;
+                match op {
+                    Add => a.wrapping_add(b),
+                    Sub => a.wrapping_sub(b),
+                    And => a & b,
+                    Or => a | b,
+                    Xor => a ^ b,
+                    Mul => a.wrapping_mul(b),
+                    Shr => a.wrapping_shr(b as u32),
+                    Shl => a.wrapping_shl(b as u32),
+                    Eq => (a == b) as Val,
+                    Ne => (a != b) as Val,
+                    Lt => (a < b) as Val,
+                }
+            }
+        }
+    }
+
+    fn run_thread(&mut self, tid: usize) {
+        let nregs = self.prog.reg_count();
+        let mut stack = vec![PathState {
+            pc: 0,
+            regs: vec![0; nregs],
+            fuel: self.cfg.unroll * self.prog.threads[tid].code.len().max(1),
+            overlay: BTreeMap::new(),
+        }];
+        while let Some(mut st) = stack.pop() {
+            self.paths += 1;
+            if self.paths > self.cfg.max_paths {
+                self.truncated = true;
+                return;
+            }
+            loop {
+                let code = &self.prog.threads[tid].code;
+                if st.pc >= code.len() {
+                    break;
+                }
+                let inst = code[st.pc].clone();
+                let mut next_pc = st.pc + 1;
+                match inst {
+                    Inst::Mov { dst, src } => {
+                        st.regs[dst.0 as usize] = self.eval(&src, &st.regs);
+                    }
+                    Inst::Load { dst, addr, .. } => {
+                        let a = self.eval(&addr, &st.regs);
+                        self.new_reads.insert(a);
+                        let cands = self.load_candidates(a, &st.overlay);
+                        let mut iter = cands.into_iter();
+                        let first = iter.next().unwrap_or(0);
+                        for v in iter {
+                            let mut branch = PathState {
+                                pc: st.pc + 1,
+                                regs: st.regs.clone(),
+                                fuel: st.fuel,
+                                overlay: st.overlay.clone(),
+                            };
+                            branch.regs[dst.0 as usize] = v;
+                            stack.push(branch);
+                        }
+                        st.regs[dst.0 as usize] = first;
+                    }
+                    Inst::Store { val, addr, .. } => {
+                        let a = self.eval(&addr, &st.regs);
+                        let v = self.eval(&val, &st.regs);
+                        self.new_plain.insert((a, v));
+                        self.new_any.insert((a, v));
+                        self.new_writes.insert(a);
+                        st.overlay.insert(a, v);
+                    }
+                    Inst::Rmw {
+                        dst, addr, op, rhs, ..
+                    } => {
+                        let a = self.eval(&addr, &st.regs);
+                        let r = self.eval(&rhs, &st.regs);
+                        self.new_reads.insert(a);
+                        self.new_writes.insert(a);
+                        let cands = self.load_candidates(a, &st.overlay);
+                        let mut iter = cands.into_iter();
+                        let first = iter.next().unwrap_or(0);
+                        for old in iter {
+                            let mut branch = PathState {
+                                pc: st.pc + 1,
+                                regs: st.regs.clone(),
+                                fuel: st.fuel,
+                                overlay: st.overlay.clone(),
+                            };
+                            branch.regs[dst.0 as usize] = old;
+                            let new = op.apply(old, r);
+                            branch.overlay.insert(a, new);
+                            self.new_rmw.insert((a, new));
+                            self.new_any.insert((a, new));
+                            stack.push(branch);
+                        }
+                        st.regs[dst.0 as usize] = first;
+                        let new = op.apply(first, r);
+                        self.new_rmw.insert((a, new));
+                        self.new_any.insert((a, new));
+                        st.overlay.insert(a, new);
+                    }
+                    Inst::LoadEx { dst, addr, .. } => {
+                        let a = self.eval(&addr, &st.regs);
+                        self.new_reads.insert(a);
+                        let cands = self.load_candidates(a, &st.overlay);
+                        let mut iter = cands.into_iter();
+                        let first = iter.next().unwrap_or(0);
+                        for v in iter {
+                            let mut branch = PathState {
+                                pc: st.pc + 1,
+                                regs: st.regs.clone(),
+                                fuel: st.fuel,
+                                overlay: st.overlay.clone(),
+                            };
+                            branch.regs[dst.0 as usize] = v;
+                            stack.push(branch);
+                        }
+                        st.regs[dst.0 as usize] = first;
+                    }
+                    Inst::StoreEx {
+                        status, val, addr, ..
+                    } => {
+                        let a = self.eval(&addr, &st.regs);
+                        let v = self.eval(&val, &st.regs);
+                        self.new_writes.insert(a);
+                        // Failure path (status 1, no write).
+                        let mut fail = PathState {
+                            pc: st.pc + 1,
+                            regs: st.regs.clone(),
+                            fuel: st.fuel,
+                            overlay: st.overlay.clone(),
+                        };
+                        fail.regs[status.0 as usize] = 1;
+                        stack.push(fail);
+                        // Success path: exclusive writes are promisable.
+                        self.new_rmw.insert((a, v));
+                        self.new_any.insert((a, v));
+                        st.overlay.insert(a, v);
+                        st.regs[status.0 as usize] = 0;
+                    }
+                    Inst::Br {
+                        cond,
+                        lhs,
+                        rhs,
+                        target,
+                    } => {
+                        let l = self.eval(&lhs, &st.regs);
+                        let r = self.eval(&rhs, &st.regs);
+                        if cond.eval(l, r) {
+                            if target <= st.pc {
+                                if st.fuel == 0 {
+                                    self.truncated = true;
+                                    break;
+                                }
+                                st.fuel -= 1;
+                            }
+                            next_pc = target;
+                        }
+                    }
+                    Inst::Jmp(target) => {
+                        if target <= st.pc {
+                            if st.fuel == 0 {
+                                self.truncated = true;
+                                break;
+                            }
+                            st.fuel -= 1;
+                        }
+                        next_pc = target;
+                    }
+                    Inst::LoadVirt { dst, va, .. } => {
+                        // Translate using candidate PTE values; explore one
+                        // candidate per branch like a chain of loads.
+                        let vaddr = self.eval(&va, &st.regs);
+                        for pa in self.walk_pas(vaddr, &st.overlay) {
+                            self.new_reads.insert(pa);
+                        }
+                        if let Some(vals) = self.walk_candidates(vaddr, &st.overlay) {
+                            let mut iter = vals.into_iter();
+                            let first = iter.next().unwrap_or(0);
+                            for v in iter {
+                                let mut branch = PathState {
+                                    pc: st.pc + 1,
+                                    regs: st.regs.clone(),
+                                    fuel: st.fuel,
+                                    overlay: st.overlay.clone(),
+                                };
+                                branch.regs[dst.0 as usize] = v;
+                                stack.push(branch);
+                            }
+                            st.regs[dst.0 as usize] = first;
+                        } else {
+                            st.regs[dst.0 as usize] = 0;
+                        }
+                    }
+                    Inst::StoreVirt { val, va, .. } => {
+                        let vaddr = self.eval(&va, &st.regs);
+                        let v = self.eval(&val, &st.regs);
+                        for pa in self.walk_pas(vaddr, &st.overlay) {
+                            self.new_any.insert((pa, v));
+                            self.new_writes.insert(pa);
+                        }
+                    }
+                    Inst::Oracle { dst, choices } => {
+                        let mut iter = choices.into_iter();
+                        let first = iter.next().expect("non-empty oracle");
+                        for v in iter {
+                            let mut branch = PathState {
+                                pc: st.pc + 1,
+                                regs: st.regs.clone(),
+                                fuel: st.fuel,
+                                overlay: st.overlay.clone(),
+                            };
+                            branch.regs[dst.0 as usize] = v;
+                            stack.push(branch);
+                        }
+                        st.regs[dst.0 as usize] = first;
+                    }
+                    Inst::Halt | Inst::Panic => break,
+                    Inst::Fence(_)
+                    | Inst::Tlbi { .. }
+                    | Inst::Pull(_)
+                    | Inst::Push(_)
+                    | Inst::Nop => {}
+                }
+                st.pc = next_pc;
+            }
+        }
+    }
+
+    /// All values readable at any physical address `va` may translate to.
+    fn walk_candidates(
+        &self,
+        va: Addr,
+        overlay: &BTreeMap<Addr, Val>,
+    ) -> Option<BTreeSet<Val>> {
+        let pas = self.walk_pas(va, overlay);
+        if pas.is_empty() {
+            return None;
+        }
+        let mut out = BTreeSet::new();
+        for pa in pas {
+            out.extend(self.load_candidates(pa, overlay));
+        }
+        Some(out)
+    }
+
+    /// All physical addresses `va` may translate to under candidate PTEs.
+    fn walk_pas(&self, va: Addr, overlay: &BTreeMap<Addr, Val>) -> BTreeSet<Addr> {
+        let Some(vm) = self.prog.vm else {
+            return BTreeSet::new();
+        };
+        let mut tables: BTreeSet<Addr> = [vm.root].into();
+        for level in 0..vm.levels {
+            let mut next = BTreeSet::new();
+            for table in &tables {
+                let cell = table + vm.index(va, level);
+                for entry in self.load_candidates(cell, overlay) {
+                    if entry != 0 {
+                        next.insert(entry);
+                    }
+                }
+            }
+            tables = next;
+            if tables.is_empty() {
+                break;
+            }
+        }
+        tables.iter().map(|page| page + vm.offset(va)).collect()
+    }
+}
+
+/// Runs the value-domain analysis to a (bounded) fixpoint.
+pub fn analyze(prog: &Program, cfg: &ValueConfig) -> ValueAnalysis {
+    let mut result = ValueAnalysis {
+        mem_values: prog
+            .init_mem
+            .iter()
+            .map(|(a, v)| (*a, [*v].into()))
+            .collect(),
+        plain_stores: vec![BTreeSet::new(); prog.threads.len()],
+        rmw_stores: vec![BTreeSet::new(); prog.threads.len()],
+        reads: vec![BTreeSet::new(); prog.threads.len()],
+        writes: vec![BTreeSet::new(); prog.threads.len()],
+        truncated: false,
+    };
+    for _round in 0..cfg.max_rounds {
+        let mut changed = false;
+        for tid in 0..prog.threads.len() {
+            let mut an = Analyzer {
+                prog,
+                cfg: *cfg,
+                mem_values: result.mem_values.clone(),
+                new_plain: BTreeSet::new(),
+                new_rmw: BTreeSet::new(),
+                new_any: BTreeSet::new(),
+                new_reads: BTreeSet::new(),
+                new_writes: BTreeSet::new(),
+                paths: 0,
+                truncated: false,
+            };
+            an.run_thread(tid);
+            result.truncated |= an.truncated;
+            for a in an.new_reads {
+                if result.reads[tid].insert(a) {
+                    changed = true;
+                }
+            }
+            for a in an.new_writes {
+                if result.writes[tid].insert(a) {
+                    changed = true;
+                }
+            }
+            for (a, v) in an.new_plain {
+                if result.plain_stores[tid].insert((a, v)) {
+                    changed = true;
+                }
+            }
+            for (a, v) in an.new_rmw {
+                if result.rmw_stores[tid].insert((a, v)) {
+                    changed = true;
+                }
+            }
+            for (a, v) in an.new_any {
+                let set = result.mem_values.entry(a).or_default();
+                if set.len() < cfg.max_vals_per_addr && set.insert(v) {
+                    changed = true;
+                } else if set.len() >= cfg.max_vals_per_addr && !set.contains(&v) {
+                    result.truncated = true;
+                }
+            }
+        }
+        if !changed {
+            return result;
+        }
+    }
+    result.truncated = true;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::ir::Reg;
+
+    #[test]
+    fn lb_value_domain() {
+        // Example 1 shape: values {0, 1} flow through x and y.
+        let (x, y) = (0x10u64, 0x20u64);
+        let mut p = ProgramBuilder::new("LB");
+        p.thread("T0", |t| {
+            t.load(Reg(0), x, false);
+            t.store(y, 1u64, false);
+        });
+        p.thread("T1", |t| {
+            t.load(Reg(1), y, false);
+            t.store(x, Reg(1), false);
+        });
+        let prog = p.build();
+        let va = analyze(&prog, &ValueConfig::default());
+        assert!(!va.truncated);
+        assert_eq!(va.candidates(x, &prog), [0, 1].into());
+        assert_eq!(va.candidates(y, &prog), [0, 1].into());
+        // T1's data-dependent store can write 0 or 1.
+        assert_eq!(va.plain_stores[1], [(x, 0), (x, 1)].into());
+        assert_eq!(va.plain_stores[0], [(y, 1)].into());
+    }
+
+    #[test]
+    fn rmw_values_grow_bounded() {
+        let ctr = 0x10u64;
+        let mut p = ProgramBuilder::new("ticket");
+        for _ in 0..2 {
+            p.thread("t", |t| {
+                t.fetch_and_inc_acq(Reg(0), ctr);
+            });
+        }
+        let prog = p.build();
+        let va = analyze(&prog, &ValueConfig::default());
+        // Real executions reach at most 2; the over-approximation may go a
+        // little beyond but must contain {0, 1, 2}.
+        let c = va.candidates(ctr, &prog);
+        assert!(c.contains(&0) && c.contains(&1) && c.contains(&2));
+        // RMW stores live in the rmw domain, not the plain one.
+        assert!(va.plain_stores[0].is_empty());
+        assert!(va.plain_stores[1].is_empty());
+        assert!(va.rmw_stores[0].contains(&(ctr, 1)));
+    }
+
+    #[test]
+    fn branch_dependent_store() {
+        let (x, y) = (0x10u64, 0x20u64);
+        let mut p = ProgramBuilder::new("ctrl");
+        p.thread("T0", |t| {
+            t.load(Reg(0), x, false);
+            t.br(crate::ir::Cond::Ne, Reg(0), 1u64, "skip");
+            t.store(y, 7u64, false);
+            t.label("skip");
+            t.inst(crate::ir::Inst::Halt);
+        });
+        p.thread("T1", |t| {
+            t.store(x, 1u64, false);
+        });
+        let prog = p.build();
+        let va = analyze(&prog, &ValueConfig::default());
+        assert!(va.plain_stores[0].contains(&(y, 7)));
+        assert_eq!(va.candidates(y, &prog), [0, 7].into());
+    }
+}

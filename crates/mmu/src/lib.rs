@@ -1,0 +1,31 @@
+//! Simulated Arm MMU structures for the SeKVM model.
+//!
+//! The `vrm-memmodel` executors model page-table *races* at litmus scale;
+//! this crate provides the full-size structures the hypervisor model
+//! (`vrm-sekvm`) manages:
+//!
+//! * [`mem`] — word-granular physical memory;
+//! * [`pte`] — tagged page-table entries (valid/table/block bits,
+//!   permissions), as stage-2 and SMMU tables need;
+//! * [`pool`] — the scrubbed page pools KCore allocates tables from;
+//! * [`table`] — multi-level (3- or 4-level) page tables with
+//!   walk / map / unmap / huge-page (block) support, where every update
+//!   reports its exact write list for Transactional-Page-Table checking;
+//! * [`tlb`] — a capacity-bounded TLB model with statistics;
+//! * [`transactional`] — the condition-4 checker specialized to tagged
+//!   entries (the `vrm-core` variant handles the raw litmus encoding).
+
+#![warn(missing_docs)]
+
+pub mod mem;
+pub mod pool;
+pub mod pte;
+pub mod table;
+pub mod tlb;
+pub mod transactional;
+
+pub use mem::PhysMem;
+pub use pool::PagePool;
+pub use pte::{Perms, Pte, PteKind};
+pub use table::{Geometry, MapError, PageTable, WalkOutcome};
+pub use tlb::{Tlb, TlbStats};

@@ -1,0 +1,113 @@
+//! Word-granular physical memory.
+
+use std::collections::BTreeMap;
+
+use vrm_memmodel::ir::{Addr, Val};
+
+/// Sparse physical memory; unwritten cells read as zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhysMem {
+    cells: BTreeMap<Addr, Val>,
+}
+
+impl PhysMem {
+    /// Creates empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads one word.
+    pub fn read(&self, addr: Addr) -> Val {
+        self.cells.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Writes one word.
+    pub fn write(&mut self, addr: Addr, val: Val) {
+        if val == 0 {
+            self.cells.remove(&addr);
+        } else {
+            self.cells.insert(addr, val);
+        }
+    }
+
+    /// Zeroes `len` words starting at `base`.
+    pub fn zero_range(&mut self, base: Addr, len: u64) {
+        for a in base..base + len {
+            self.cells.remove(&a);
+        }
+    }
+
+    /// Copies `len` words from `src` to `dst`.
+    pub fn copy_range(&mut self, src: Addr, dst: Addr, len: u64) {
+        let vals: Vec<Val> = (0..len).map(|i| self.read(src + i)).collect();
+        for (i, v) in vals.into_iter().enumerate() {
+            self.write(dst + i as u64, v);
+        }
+    }
+
+    /// Number of non-zero cells (for tests and statistics).
+    pub fn population(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Iterates over the non-zero cells.
+    pub fn iter(&self) -> impl Iterator<Item = (&Addr, &Val)> {
+        self.cells.iter()
+    }
+
+    /// Returns the snapshot as a map (for condition-4 checking).
+    pub fn snapshot(&self) -> BTreeMap<Addr, Val> {
+        self.cells.clone()
+    }
+
+    /// Clones only the cells inside the given half-open ranges (cheap
+    /// partial snapshot, e.g. just the page-table pools).
+    pub fn clone_ranges(&self, ranges: &[(Addr, Addr)]) -> PhysMem {
+        let mut out = PhysMem::new();
+        for &(lo, hi) in ranges {
+            for (&a, &v) in self.cells.range(lo..hi) {
+                out.cells.insert(a, v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_zero_default() {
+        let mut m = PhysMem::new();
+        assert_eq!(m.read(5), 0);
+        m.write(5, 7);
+        assert_eq!(m.read(5), 7);
+        m.write(5, 0);
+        assert_eq!(m.read(5), 0);
+        assert_eq!(m.population(), 0);
+    }
+
+    #[test]
+    fn copy_and_zero_ranges() {
+        let mut m = PhysMem::new();
+        for i in 0..4 {
+            m.write(0x10 + i, i + 1);
+        }
+        m.copy_range(0x10, 0x20, 4);
+        assert_eq!(m.read(0x23), 4);
+        m.zero_range(0x10, 4);
+        assert_eq!(m.read(0x12), 0);
+        assert_eq!(m.read(0x21), 2);
+    }
+
+    #[test]
+    fn copy_overlapping_forward() {
+        let mut m = PhysMem::new();
+        m.write(0x10, 1);
+        m.write(0x11, 2);
+        m.copy_range(0x10, 0x11, 2);
+        assert_eq!(m.read(0x11), 1);
+        assert_eq!(m.read(0x12), 2);
+    }
+}

@@ -1,0 +1,144 @@
+//! Tagged page-table entries.
+//!
+//! A word-sized entry encodes, Arm descriptor-style:
+//!
+//! ```text
+//! bit 0       VALID
+//! bit 1       TABLE (next-level table pointer) vs BLOCK/PAGE (output)
+//! bits 2..=4  permissions (R, W, X)
+//! bits 6..    output base address (word address >> nothing, shifted by 6)
+//! ```
+//!
+//! A zero word is an invalid (empty) entry, matching the models' "0 =
+//! fault" convention.
+
+use vrm_memmodel::ir::{Addr, Val};
+
+/// Access permissions carried by a leaf/block entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Perms {
+    /// Readable.
+    pub r: bool,
+    /// Writable.
+    pub w: bool,
+    /// Executable.
+    pub x: bool,
+}
+
+impl Perms {
+    /// Read-write-execute.
+    pub const RWX: Perms = Perms {
+        r: true,
+        w: true,
+        x: true,
+    };
+    /// Read-write.
+    pub const RW: Perms = Perms {
+        r: true,
+        w: true,
+        x: false,
+    };
+    /// Read-only.
+    pub const RO: Perms = Perms {
+        r: true,
+        w: false,
+        x: false,
+    };
+}
+
+/// What kind of entry a valid descriptor is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PteKind {
+    /// Pointer to a next-level table.
+    Table,
+    /// Output mapping (page at the leaf level, block above it).
+    Page,
+}
+
+/// A decoded page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pte {
+    /// Entry kind.
+    pub kind: PteKind,
+    /// Output base (table base or physical page/block base).
+    pub base: Addr,
+    /// Permissions (meaningful for `Page` entries).
+    pub perms: Perms,
+}
+
+const VALID: Val = 1 << 0;
+const TABLE: Val = 1 << 1;
+const PERM_R: Val = 1 << 2;
+const PERM_W: Val = 1 << 3;
+const PERM_X: Val = 1 << 4;
+const BASE_SHIFT: u32 = 6;
+
+impl Pte {
+    /// Encodes a table pointer.
+    pub fn table(base: Addr) -> Val {
+        debug_assert_eq!(base >> (64 - BASE_SHIFT), 0);
+        (base << BASE_SHIFT) | TABLE | VALID
+    }
+
+    /// Encodes a page/block mapping.
+    pub fn page(base: Addr, perms: Perms) -> Val {
+        let mut v = (base << BASE_SHIFT) | VALID;
+        if perms.r {
+            v |= PERM_R;
+        }
+        if perms.w {
+            v |= PERM_W;
+        }
+        if perms.x {
+            v |= PERM_X;
+        }
+        v
+    }
+
+    /// Decodes a raw entry; `None` if invalid/empty.
+    pub fn decode(raw: Val) -> Option<Pte> {
+        if raw & VALID == 0 {
+            return None;
+        }
+        Some(Pte {
+            kind: if raw & TABLE != 0 {
+                PteKind::Table
+            } else {
+                PteKind::Page
+            },
+            base: raw >> BASE_SHIFT,
+            perms: Perms {
+                r: raw & PERM_R != 0,
+                w: raw & PERM_W != 0,
+                x: raw & PERM_X != 0,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_table() {
+        let raw = Pte::table(0x1234);
+        let p = Pte::decode(raw).unwrap();
+        assert_eq!(p.kind, PteKind::Table);
+        assert_eq!(p.base, 0x1234);
+    }
+
+    #[test]
+    fn roundtrip_page_perms() {
+        let raw = Pte::page(0x40, Perms::RO);
+        let p = Pte::decode(raw).unwrap();
+        assert_eq!(p.kind, PteKind::Page);
+        assert_eq!(p.base, 0x40);
+        assert!(p.perms.r && !p.perms.w && !p.perms.x);
+    }
+
+    #[test]
+    fn zero_is_invalid() {
+        assert_eq!(Pte::decode(0), None);
+    }
+}

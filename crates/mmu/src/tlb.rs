@@ -1,0 +1,166 @@
+//! A capacity-bounded TLB model with statistics.
+//!
+//! Functional model only — cycle costs live in `vrm-hwsim`. Entries map a
+//! virtual page number to a physical page base; eviction is LRU.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use vrm_memmodel::ir::Addr;
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Fills performed.
+    pub fills: u64,
+    /// Entries removed by invalidation.
+    pub invalidated: u64,
+    /// Entries evicted for capacity.
+    pub evicted: u64,
+}
+
+/// A per-CPU TLB.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    capacity: usize,
+    entries: BTreeMap<Addr, Addr>,
+    lru: VecDeque<Addr>,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB holding at most `capacity` translations.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB capacity must be positive");
+        Tlb {
+            capacity,
+            entries: BTreeMap::new(),
+            lru: VecDeque::new(),
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Looks up a virtual page number, updating LRU order and statistics.
+    pub fn lookup(&mut self, vpn: Addr) -> Option<Addr> {
+        match self.entries.get(&vpn).copied() {
+            Some(page) => {
+                self.stats.hits += 1;
+                self.touch(vpn);
+                Some(page)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a translation, evicting the LRU entry if full.
+    pub fn fill(&mut self, vpn: Addr, page: Addr) {
+        if let std::collections::btree_map::Entry::Occupied(mut e) = self.entries.entry(vpn) {
+            e.insert(page);
+            self.touch(vpn);
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(victim) = self.lru.pop_front() {
+                self.entries.remove(&victim);
+                self.stats.evicted += 1;
+            }
+        }
+        self.entries.insert(vpn, page);
+        self.lru.push_back(vpn);
+        self.stats.fills += 1;
+    }
+
+    /// Invalidates one page (`Some`) or everything (`None`).
+    pub fn invalidate(&mut self, vpn: Option<Addr>) {
+        match vpn {
+            Some(v) => {
+                if self.entries.remove(&v).is_some() {
+                    self.lru.retain(|&e| e != v);
+                    self.stats.invalidated += 1;
+                }
+            }
+            None => {
+                self.stats.invalidated += self.entries.len() as u64;
+                self.entries.clear();
+                self.lru.clear();
+            }
+        }
+    }
+
+    /// Current number of cached translations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the TLB empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    fn touch(&mut self, vpn: Addr) {
+        self.lru.retain(|&e| e != vpn);
+        self.lru.push_back(vpn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut t = Tlb::new(4);
+        assert_eq!(t.lookup(1), None);
+        t.fill(1, 0x100);
+        assert_eq!(t.lookup(1), Some(0x100));
+        let s = t.stats();
+        assert_eq!((s.hits, s.misses, s.fills), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Tlb::new(2);
+        t.fill(1, 0x100);
+        t.fill(2, 0x200);
+        t.lookup(1); // 2 becomes LRU
+        t.fill(3, 0x300); // evicts 2
+        assert_eq!(t.lookup(2), None);
+        assert_eq!(t.lookup(1), Some(0x100));
+        assert_eq!(t.lookup(3), Some(0x300));
+        assert_eq!(t.stats().evicted, 1);
+    }
+
+    #[test]
+    fn invalidate_single_and_all() {
+        let mut t = Tlb::new(4);
+        t.fill(1, 0x100);
+        t.fill(2, 0x200);
+        t.invalidate(Some(1));
+        assert_eq!(t.lookup(1), None);
+        assert_eq!(t.lookup(2), Some(0x200));
+        t.invalidate(None);
+        assert!(t.is_empty());
+        assert_eq!(t.stats().invalidated, 2);
+    }
+
+    #[test]
+    fn refill_same_vpn_updates() {
+        let mut t = Tlb::new(2);
+        t.fill(1, 0x100);
+        t.fill(1, 0x900);
+        assert_eq!(t.lookup(1), Some(0x900));
+        assert_eq!(t.len(), 1);
+    }
+}

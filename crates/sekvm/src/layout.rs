@@ -1,0 +1,110 @@
+//! The simulated physical memory map.
+//!
+//! Word-granular addresses, 512-word pages. Page *numbers* (pfn) index the
+//! `s2page` ownership array; `page_addr` converts to word addresses.
+
+use vrm_memmodel::ir::Addr;
+
+/// Words per page (the model's "4 KB").
+pub const PAGE_WORDS: u64 = 512;
+
+/// log2 of [`PAGE_WORDS`].
+pub const PAGE_BITS: u32 = 9;
+
+/// Total physical pages tracked by the s2page array.
+pub const MAX_PFN: u64 = 0x4000; // 16K pages
+
+/// KCore's private code/data pages.
+pub const KCORE_PFN: (u64, u64) = (0x0000, 0x0100);
+
+/// Pool for KCore's own (EL2) page table pages.
+pub const EL2_POOL_PFN: (u64, u64) = (0x0100, 0x0180);
+
+/// Pool for stage-2 page-table pages (KServ + VMs).
+pub const S2_POOL_PFN: (u64, u64) = (0x0180, 0x0400);
+
+/// Pool for SMMU page-table pages.
+pub const SMMU_POOL_PFN: (u64, u64) = (0x0400, 0x0480);
+
+/// KServ (host Linux) memory.
+pub const KSERV_PFN: (u64, u64) = (0x0800, 0x1800);
+
+/// Donatable VM memory pool (owned by KServ until assigned to a VM).
+pub const VM_POOL_PFN: (u64, u64) = (0x1800, 0x4000);
+
+/// Maximum number of VMs (`MAX_VM` in Figure 1).
+pub const MAX_VMS: u32 = 16;
+
+/// Maximum vCPUs per VM.
+pub const MAX_VCPUS: u32 = 8;
+
+/// Maximum SMMU-attached devices.
+pub const MAX_DEVICES: u32 = 8;
+
+/// The EL2 virtual address where KCore's boot-time linear map starts
+/// (identity plus this offset, like the kernel's linear map).
+pub const EL2_LINEAR_BASE: Addr = 0x100_0000;
+
+/// EL2 virtual region used by `remap_pfn` for VM-image authentication
+/// (outside the linear map).
+pub const EL2_REMAP_BASE: Addr = 0x800_0000;
+
+/// Converts a page number to its base word address.
+pub fn page_addr(pfn: u64) -> Addr {
+    pfn * PAGE_WORDS
+}
+
+/// Converts a word address to its page number.
+pub fn pfn_of(addr: Addr) -> u64 {
+    addr / PAGE_WORDS
+}
+
+/// Is the pfn inside a half-open pfn range?
+pub fn pfn_in(pfn: u64, range: (u64, u64)) -> bool {
+    pfn >= range.0 && pfn < range.1
+}
+
+/// Is the pfn part of KCore's private memory (code/data or any page-table
+/// pool)?
+pub fn is_kcore_private(pfn: u64) -> bool {
+    pfn_in(pfn, KCORE_PFN)
+        || pfn_in(pfn, EL2_POOL_PFN)
+        || pfn_in(pfn, S2_POOL_PFN)
+        || pfn_in(pfn, SMMU_POOL_PFN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        let regions = [
+            KCORE_PFN,
+            EL2_POOL_PFN,
+            S2_POOL_PFN,
+            SMMU_POOL_PFN,
+            KSERV_PFN,
+            VM_POOL_PFN,
+        ];
+        for w in regions.windows(2) {
+            assert!(w[0].1 <= w[1].0, "{w:?} overlap");
+        }
+        assert!(VM_POOL_PFN.1 <= MAX_PFN);
+    }
+
+    #[test]
+    fn addr_pfn_roundtrip() {
+        assert_eq!(page_addr(3), 3 * PAGE_WORDS);
+        assert_eq!(pfn_of(page_addr(3) + 17), 3);
+    }
+
+    #[test]
+    fn kcore_private_classification() {
+        assert!(is_kcore_private(0));
+        assert!(is_kcore_private(EL2_POOL_PFN.0));
+        assert!(is_kcore_private(S2_POOL_PFN.0));
+        assert!(!is_kcore_private(KSERV_PFN.0));
+        assert!(!is_kcore_private(VM_POOL_PFN.0));
+    }
+}

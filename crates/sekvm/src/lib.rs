@@ -1,0 +1,57 @@
+//! An executable model of SeKVM (§5 of the VRM paper).
+//!
+//! SeKVM retrofits the Linux KVM hypervisor into a small trusted core,
+//! **KCore**, running at EL2, plus an untrusted host, **KServ**. KCore
+//! controls stage-2 (nested) page tables for KServ and every VM, SMMU page
+//! tables for DMA-capable devices, and its own EL2 page table; it tracks
+//! the owner of every physical page in the `s2page` array so that VM
+//! memory is never accessible to KServ or other VMs.
+//!
+//! This crate rebuilds that system as a deterministic multiprocessor
+//! simulation:
+//!
+//! * [`layout`] — the physical memory map (KCore region, scrubbed page
+//!   pools, KServ and VM memory);
+//! * [`ticketlock`] — the Figure 7 ticket lock with fairness semantics
+//!   and contention statistics (its relaxed-memory correctness is proven
+//!   at litmus scale in `vrm-core`);
+//! * [`s2page`] — per-page ownership and sharing state;
+//! * [`el2pt`] — KCore's own page table: boot-time linear map,
+//!   `set_el2_pt` / `remap_pfn`, write-once enforced;
+//! * [`npt`] — stage-2 page tables (`set_s2pt` / `clear_s2pt`, 3- and
+//!   4-level) with per-operation Transactional-Page-Table checking;
+//! * [`smmu`] — SMMU page tables (`set_spt` / `clear_spt`);
+//! * [`vcpu`] — vCPU contexts and the ACTIVE/INACTIVE ownership protocol;
+//! * [`events`] — the machine event log consumed by the validators;
+//! * [`kcore`] — the hypercall layer (VM registration and boot with image
+//!   authentication, stage-2 fault handling, grant/revoke, SMMU
+//!   assignment, context switching);
+//! * [`machine`] — the multiprocessor scheduler running per-CPU scripts;
+//! * [`wdrf`] — dynamic validators for the wDRF conditions over machine
+//!   executions;
+//! * [`security`] — VM confidentiality/integrity checkers and the §5.3
+//!   system invariants;
+//! * [`mutants`] — deliberately broken KCore variants demonstrating that
+//!   the validators catch condition violations.
+
+#![warn(missing_docs)]
+
+pub mod el2pt;
+pub mod events;
+pub mod kcore;
+pub mod layout;
+pub mod machine;
+pub mod mutants;
+pub mod npt;
+pub mod s2page;
+pub mod security;
+pub mod smmu;
+pub mod ticketlock;
+pub mod vcpu;
+pub mod vgic;
+pub mod wdrf;
+
+pub use events::{LockId, MEvent, Principal};
+pub use kcore::{HypercallError, KCore, KCoreConfig};
+pub use machine::{Machine, Op, RunReport, Script};
+pub use s2page::Owner;

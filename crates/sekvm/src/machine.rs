@@ -1,0 +1,782 @@
+//! The multiprocessor machine: CPUs running scripted operations against
+//! one shared [`KCore`], with contended ticket-lock acquisition.
+//!
+//! Every operation is split into phases: the CPU first draws a ticket on
+//! the operation's *primary* lock and spins (one scheduler step per spin
+//! iteration, so lock hand-off interleaves across CPUs exactly like the
+//! ticket lock of Figure 7), then executes the operation body, then
+//! releases. A seeded scheduler picks the next CPU each step, so runs are
+//! reproducible while exercising many interleavings.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use vrm_memmodel::ir::{Addr, Val};
+
+use crate::events::{LockId, MEvent};
+use crate::kcore::{HypercallError, KCore, KCoreConfig};
+use crate::ticketlock::Ticket;
+
+/// One scripted operation.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Register a VM; the resulting vmid is stored in the CPU's vm slot.
+    RegisterVm,
+    /// Register a vCPU on the CPU's current VM.
+    RegisterVcpu,
+    /// Stage an image in KServ pages and set boot info for the CPU's VM.
+    StageImage {
+        /// Page frames to use (must be KServ-owned).
+        pfns: Vec<u64>,
+    },
+    /// Remap + verify the CPU's VM image (boot completion).
+    VerifyImage,
+    /// Claim and immediately release a vCPU (a scheduling quantum).
+    RunQuantum {
+        /// vCPU index.
+        vcpu: u32,
+    },
+    /// Handle a stage-2 fault for the CPU's VM.
+    Fault {
+        /// Guest physical address.
+        gpa: Addr,
+        /// Donated KServ page.
+        donor_pfn: u64,
+    },
+    /// Grant the page backing `gpa` to KServ.
+    Grant {
+        /// Guest physical address.
+        gpa: Addr,
+    },
+    /// Revoke the page backing `gpa` from KServ.
+    Revoke {
+        /// Guest physical address.
+        gpa: Addr,
+    },
+    /// The VM writes a value.
+    VmWrite {
+        /// Guest physical address.
+        gpa: Addr,
+        /// Value.
+        val: Val,
+    },
+    /// The VM reads and checks a value.
+    VmReadExpect {
+        /// Guest physical address.
+        gpa: Addr,
+        /// Expected value.
+        expect: Val,
+    },
+    /// KServ attempts to read a physical address (attack or I/O).
+    KservRead {
+        /// Physical address.
+        pa: Addr,
+        /// Whether the read is expected to be allowed.
+        expect_allowed: bool,
+    },
+    /// KServ attempts to write a physical address.
+    KservWrite {
+        /// Physical address.
+        pa: Addr,
+        /// Value.
+        val: Val,
+        /// Whether the write is expected to be allowed.
+        expect_allowed: bool,
+    },
+    /// Tear down the CPU's VM.
+    Reclaim,
+    /// Adopt another CPU's VM (multiprocessor VM): waits until that CPU
+    /// has registered *and verified* its VM.
+    AttachVm {
+        /// The CPU whose VM to adopt.
+        owner_cpu: usize,
+    },
+    /// Claim a vCPU (`restore_vm`) and keep running it until
+    /// [`Op::VcpuEnd`]. Waits (retrying under the lock) while the vCPU is
+    /// ACTIVE on another CPU.
+    VcpuBegin {
+        /// vCPU index.
+        vcpu: u32,
+    },
+    /// Save and release the vCPU claimed by [`Op::VcpuBegin`], after
+    /// bumping its context (simulated guest progress).
+    VcpuEnd,
+    /// Rendezvous: waits until every CPU whose script contains the same
+    /// barrier id has arrived.
+    Rendezvous {
+        /// Barrier identifier.
+        id: u32,
+    },
+    /// Write a byte to the VM's emulated UART (the I/O User exit path).
+    UartWrite {
+        /// The byte.
+        byte: u8,
+    },
+    /// Send a virtual IPI (SGI) to a vCPU of the CPU's VM.
+    SendIpi {
+        /// Target vCPU.
+        to_vcpu: u32,
+        /// Interrupt id.
+        irq: u8,
+    },
+    /// Wait until `irq` is pending on `vcpu`, then acknowledge it.
+    WaitIrq {
+        /// Receiving vCPU.
+        vcpu: u32,
+        /// Interrupt id.
+        irq: u8,
+    },
+}
+
+impl Op {
+    /// The primary lock the machine acquires (with contention) before
+    /// running the body. `None` = lock-free operation.
+    pub fn primary_lock(&self, vmid: Option<u32>) -> Option<LockId> {
+        match self {
+            Op::RegisterVm => Some(LockId::VmId),
+            Op::RegisterVcpu
+            | Op::StageImage { .. }
+            | Op::VerifyImage
+            | Op::RunQuantum { .. }
+            | Op::Fault { .. }
+            | Op::Grant { .. }
+            | Op::Revoke { .. }
+            | Op::Reclaim => vmid.map(LockId::Vm),
+            Op::VcpuBegin { .. } | Op::SendIpi { .. } | Op::UartWrite { .. } => {
+                vmid.map(LockId::Vm)
+            }
+            Op::KservRead { .. } | Op::KservWrite { .. } => None,
+            Op::VmWrite { .. } | Op::VmReadExpect { .. } => None,
+            Op::AttachVm { .. } | Op::VcpuEnd | Op::Rendezvous { .. } => None,
+            Op::WaitIrq { .. } => None,
+        }
+    }
+}
+
+/// A per-CPU list of operations.
+pub type Script = Vec<Op>;
+
+/// What a CPU is doing right now.
+#[derive(Debug, Clone)]
+enum Phase {
+    /// Ready to start its next op.
+    Idle,
+    /// Holding a drawn ticket, spinning on the primary lock.
+    Spinning {
+        lock: LockId,
+        ticket: Ticket,
+        spins: u64,
+    },
+    /// All ops done.
+    Finished,
+}
+
+/// Per-CPU machine state.
+#[derive(Debug, Clone)]
+struct CpuState {
+    script: Script,
+    next_op: usize,
+    phase: Phase,
+    /// The VM this CPU registered/operates on.
+    vm: Option<u32>,
+    /// vCPU currently claimed via [`Op::VcpuBegin`].
+    held: Option<(u32, u32, crate::vcpu::VcpuCtx)>,
+}
+
+/// What an operation body did.
+enum Exec {
+    /// Completed (successfully or with a recorded failure).
+    Done,
+    /// Cannot proceed yet: release the lock and retry later.
+    Retry,
+}
+
+/// The outcome of a machine run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Operations that completed successfully.
+    pub ops_ok: usize,
+    /// Operations that failed, with their errors.
+    pub failures: Vec<(usize, &'static str, HypercallError)>,
+    /// Operations whose expectation (e.g. `expect_allowed`) was violated.
+    pub expectation_violations: Vec<String>,
+    /// Scheduler steps executed.
+    pub steps: usize,
+    /// Total lock spin iterations observed (contention measure).
+    pub total_spins: u64,
+    /// `true` if the machine stalled: no CPU could make progress (e.g. a
+    /// rendezvous that can never complete).
+    pub stalled: bool,
+}
+
+impl RunReport {
+    /// `true` when nothing unexpected happened.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty() && self.expectation_violations.is_empty() && !self.stalled
+    }
+}
+
+/// The multiprocessor machine.
+#[derive(Debug)]
+pub struct Machine {
+    /// The shared trusted core.
+    pub kcore: KCore,
+    cpus: Vec<CpuState>,
+    rng: StdRng,
+}
+
+impl Machine {
+    /// Creates a machine with one script per CPU.
+    pub fn new(cfg: KCoreConfig, scripts: Vec<Script>, seed: u64) -> Self {
+        Machine {
+            kcore: KCore::boot(cfg),
+            cpus: scripts
+                .into_iter()
+                .map(|script| CpuState {
+                    script,
+                    next_op: 0,
+                    phase: Phase::Idle,
+                    vm: None,
+                    held: None,
+                })
+                .collect(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Runs to completion (or `max_steps`), returning the report.
+    pub fn run(&mut self, max_steps: usize) -> RunReport {
+        let mut report = RunReport {
+            ops_ok: 0,
+            failures: Vec::new(),
+            expectation_violations: Vec::new(),
+            steps: 0,
+            total_spins: 0,
+            stalled: false,
+        };
+        // Stall detection: if no CPU completes an operation for this many
+        // consecutive steps, every remaining CPU is waiting on something
+        // that can never happen (deadlocked rendezvous, lost vCPU, ...).
+        let stall_limit = 200 * self.cpus.len().max(1) * 
+            self.cpus.iter().map(|c| c.script.len() + 1).max().unwrap_or(1);
+        let mut steps_without_progress = 0usize;
+        while report.steps < max_steps {
+            let runnable: Vec<usize> = (0..self.cpus.len())
+                .filter(|&c| !matches!(self.cpus[c].phase, Phase::Finished))
+                .collect();
+            if runnable.is_empty() {
+                break;
+            }
+            let before = report.ops_ok + report.failures.len();
+            let cpu = runnable[self.rng.gen_range(0..runnable.len())];
+            self.step(cpu, &mut report);
+            report.steps += 1;
+            if report.ops_ok + report.failures.len() > before {
+                steps_without_progress = 0;
+            } else {
+                steps_without_progress += 1;
+                if steps_without_progress > stall_limit {
+                    report.stalled = true;
+                    break;
+                }
+            }
+        }
+        report
+    }
+
+    fn step(&mut self, cpu: usize, report: &mut RunReport) {
+        let (op, phase) = {
+            let c = &self.cpus[cpu];
+            if c.next_op >= c.script.len() {
+                self.cpus[cpu].phase = Phase::Finished;
+                return;
+            }
+            (c.script[c.next_op].clone(), c.phase.clone())
+        };
+        match phase {
+            Phase::Finished => {}
+            Phase::Idle => {
+                match op.primary_lock(self.cpus[cpu].vm) {
+                    Some(lock) => {
+                        let ticket = self.kcore.locks.get_mut(lock).draw();
+                        self.cpus[cpu].phase = Phase::Spinning {
+                            lock,
+                            ticket,
+                            spins: 0,
+                        };
+                    }
+                    None => {
+                        // Lock-free op: execute immediately.
+                        if matches!(self.execute(cpu, &op, report), Exec::Done) {
+                            self.cpus[cpu].next_op += 1;
+                        }
+                    }
+                }
+            }
+            Phase::Spinning {
+                lock,
+                ticket,
+                spins,
+            } => {
+                if self.kcore.locks.get_mut(lock).try_enter(cpu, ticket) {
+                    self.kcore.log.push(MEvent::LockAcquire {
+                        cpu,
+                        lock,
+                        ticket: ticket.0,
+                        spins,
+                    });
+                    report.total_spins += spins;
+                    let done = matches!(self.execute(cpu, &op, report), Exec::Done);
+                    self.kcore.locks.get_mut(lock).release(cpu);
+                    self.kcore.log.push(MEvent::LockRelease { cpu, lock });
+                    self.cpus[cpu].phase = Phase::Idle;
+                    if done {
+                        self.cpus[cpu].next_op += 1;
+                    }
+                } else {
+                    self.cpus[cpu].phase = Phase::Spinning {
+                        lock,
+                        ticket,
+                        spins: spins + 1,
+                    };
+                }
+            }
+        }
+    }
+
+    fn execute(&mut self, cpu: usize, op: &Op, report: &mut RunReport) -> Exec {
+        let name = op_name(op);
+        // Wait-style operations first (no OpStart until they fire).
+        match op {
+            Op::AttachVm { owner_cpu } => {
+                let ready = self
+                    .cpus
+                    .get(*owner_cpu)
+                    .and_then(|c| c.vm)
+                    .filter(|&vm| {
+                        self.kcore
+                            .vm(vm)
+                            .map(|m| m.state == crate::kcore::VmState::Verified)
+                            .unwrap_or(false)
+                    });
+                return match ready {
+                    Some(vm) => {
+                        self.cpus[cpu].vm = Some(vm);
+                        report.ops_ok += 1;
+                        Exec::Done
+                    }
+                    None => Exec::Retry,
+                };
+            }
+            Op::Rendezvous { id } => {
+                // Arrived iff every member CPU's next op is this barrier
+                // or it has already passed it.
+                let all = (0..self.cpus.len()).all(|c| {
+                    let pos = self.cpus[c].script.iter().position(
+                        |o| matches!(o, Op::Rendezvous { id: i } if i == id),
+                    );
+                    match pos {
+                        None => true,
+                        Some(p) => self.cpus[c].next_op >= p,
+                    }
+                });
+                return if all {
+                    report.ops_ok += 1;
+                    Exec::Done
+                } else {
+                    Exec::Retry
+                };
+            }
+            Op::VcpuBegin { vcpu } => {
+                let Some(vmid) = self.cpus[cpu].vm else {
+                    report
+                        .failures
+                        .push((cpu, "vcpu_begin", HypercallError::BadVm));
+                    return Exec::Done;
+                };
+                return match self.kcore.run_vcpu_locked(cpu, vmid, *vcpu) {
+                    Ok(ctx) => {
+                        self.cpus[cpu].held = Some((vmid, *vcpu, ctx));
+                        self.kcore.log.push(MEvent::OpStart {
+                            cpu,
+                            name: "vcpu_begin",
+                        });
+                        self.kcore.log.push(MEvent::OpEnd {
+                            cpu,
+                            name: "vcpu_begin",
+                            ok: true,
+                        });
+                        report.ops_ok += 1;
+                        Exec::Done
+                    }
+                    // Another CPU holds the vCPU: wait for it.
+                    Err(HypercallError::Vcpu(crate::vcpu::VcpuError::NotInactive)) => Exec::Retry,
+                    Err(e) => {
+                        report.failures.push((cpu, "vcpu_begin", e));
+                        Exec::Done
+                    }
+                };
+            }
+            Op::WaitIrq { vcpu, irq } => {
+                let Some(vmid) = self.cpus[cpu].vm else {
+                    report
+                        .failures
+                        .push((cpu, "wait_irq", HypercallError::BadVm));
+                    return Exec::Done;
+                };
+                let pending = self
+                    .kcore
+                    .pending_irqs(vmid, *vcpu)
+                    .unwrap_or_default()
+                    .contains(irq);
+                if !pending {
+                    return Exec::Retry;
+                }
+                // Take the VM lock briefly for the ack (nested, immediate).
+                self.kcore.lock(cpu, LockId::Vm(vmid));
+                let r = self.kcore.ack_irq_locked(cpu, vmid, *vcpu, *irq);
+                self.kcore.unlock(cpu, LockId::Vm(vmid));
+                match r {
+                    Ok(()) => report.ops_ok += 1,
+                    Err(e) => report.failures.push((cpu, "wait_irq", e)),
+                }
+                return Exec::Done;
+            }
+            Op::VcpuEnd => {
+                let Some((vmid, vcpu, mut ctx)) = self.cpus[cpu].held.take() else {
+                    report
+                        .failures
+                        .push((cpu, "vcpu_end", HypercallError::BadVcpu));
+                    return Exec::Done;
+                };
+                // Simulated guest progress while the vCPU ran here.
+                ctx.regs[0] += 1;
+                ctx.pc += 4;
+                match self.kcore.stop_vcpu(cpu, vmid, vcpu, ctx) {
+                    Ok(()) => report.ops_ok += 1,
+                    Err(e) => report.failures.push((cpu, "vcpu_end", e)),
+                }
+                return Exec::Done;
+            }
+            _ => {}
+        }
+        self.kcore.log.push(MEvent::OpStart { cpu, name });
+        let result: Result<(), HypercallError> = (|| {
+            match op {
+                Op::RegisterVm => {
+                    let vmid = self.kcore.register_vm_locked(cpu)?;
+                    self.cpus[cpu].vm = Some(vmid);
+                }
+                Op::RegisterVcpu => {
+                    let vmid = self.require_vm(cpu)?;
+                    self.kcore.register_vcpu_locked(cpu, vmid)?;
+                }
+                Op::StageImage { pfns } => {
+                    let vmid = self.require_vm(cpu)?;
+                    // KServ writes the image directly (it owns the pages).
+                    let mut words = Vec::new();
+                    for &pfn in pfns {
+                        for w in 0..crate::layout::PAGE_WORDS {
+                            let val = pfn * 31 + w;
+                            self.kcore
+                                .mem
+                                .write(crate::layout::page_addr(pfn) + w, val);
+                            words.push(val);
+                        }
+                    }
+                    let hash = KCore::image_hash(&words);
+                    self.kcore
+                        .set_boot_info_locked(cpu, vmid, pfns.clone(), hash)?;
+                }
+                Op::VerifyImage => {
+                    let vmid = self.require_vm(cpu)?;
+                    self.kcore.remap_vm_image_locked(cpu, vmid)?;
+                    self.kcore.verify_vm_image_locked(cpu, vmid)?;
+                }
+                Op::RunQuantum { vcpu } => {
+                    let vmid = self.require_vm(cpu)?;
+                    let ctx = self.kcore.run_vcpu_locked(cpu, vmid, *vcpu)?;
+                    // Immediately save back (the quantum itself is the
+                    // VM ops elsewhere in the script).
+                    self.kcore.stop_vcpu(cpu, vmid, *vcpu, ctx)?;
+                }
+                Op::Fault { gpa, donor_pfn } => {
+                    let vmid = self.require_vm(cpu)?;
+                    self.kcore
+                        .handle_s2_fault_locked(cpu, vmid, *gpa, *donor_pfn)?;
+                }
+                Op::Grant { gpa } => {
+                    let vmid = self.require_vm(cpu)?;
+                    self.kcore.grant_page_locked(cpu, vmid, *gpa)?;
+                }
+                Op::Revoke { gpa } => {
+                    let vmid = self.require_vm(cpu)?;
+                    self.kcore.revoke_page_locked(cpu, vmid, *gpa)?;
+                }
+                Op::VmWrite { gpa, val } => {
+                    let vmid = self.require_vm(cpu)?;
+                    self.kcore.vm_write(cpu, vmid, *gpa, *val)?;
+                }
+                Op::VmReadExpect { gpa, expect } => {
+                    let vmid = self.require_vm(cpu)?;
+                    let got = self.kcore.vm_read(cpu, vmid, *gpa)?;
+                    if got != *expect {
+                        report.expectation_violations.push(format!(
+                            "CPU{cpu}: VM read of {gpa:#x} = {got}, expected {expect}"
+                        ));
+                    }
+                }
+                Op::KservRead { pa, expect_allowed } => {
+                    let r = self.kcore.kserv_read(cpu, *pa);
+                    if r.is_ok() != *expect_allowed {
+                        report.expectation_violations.push(format!(
+                            "CPU{cpu}: KServ read of {pa:#x}: {r:?}, expected allowed={expect_allowed}"
+                        ));
+                    }
+                }
+                Op::KservWrite {
+                    pa,
+                    val,
+                    expect_allowed,
+                } => {
+                    let r = self.kcore.kserv_write(cpu, *pa, *val);
+                    if r.is_ok() != *expect_allowed {
+                        report.expectation_violations.push(format!(
+                            "CPU{cpu}: KServ write of {pa:#x}: {r:?}, expected allowed={expect_allowed}"
+                        ));
+                    }
+                }
+                Op::Reclaim => {
+                    let vmid = self.require_vm(cpu)?;
+                    self.kcore.reclaim_vm_pages_locked(cpu, vmid)?;
+                }
+                Op::SendIpi { to_vcpu, irq } => {
+                    let vmid = self.require_vm(cpu)?;
+                    self.kcore.send_sgi_locked(cpu, vmid, *to_vcpu, *irq)?;
+                }
+                Op::UartWrite { byte } => {
+                    let vmid = self.require_vm(cpu)?;
+                    self.kcore.uart_write_locked(cpu, vmid, *byte)?;
+                }
+                Op::AttachVm { .. }
+                | Op::VcpuBegin { .. }
+                | Op::VcpuEnd
+                | Op::Rendezvous { .. }
+                | Op::WaitIrq { .. } => {
+                    unreachable!("handled in the wait-style prologue")
+                }
+            }
+            Ok(())
+        })();
+        let ok = result.is_ok();
+        if let Err(e) = result {
+            report.failures.push((cpu, name, e));
+        } else {
+            report.ops_ok += 1;
+        }
+        self.kcore.log.push(MEvent::OpEnd { cpu, name, ok });
+        Exec::Done
+    }
+
+    fn require_vm(&self, cpu: usize) -> Result<u32, HypercallError> {
+        self.cpus[cpu].vm.ok_or(HypercallError::BadVm)
+    }
+
+    /// The vm registered by a CPU (after its `RegisterVm` ran).
+    pub fn cpu_vm(&self, cpu: usize) -> Option<u32> {
+        self.cpus[cpu].vm
+    }
+}
+
+fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::RegisterVm => "register_vm",
+        Op::RegisterVcpu => "register_vcpu",
+        Op::StageImage { .. } => "stage_image",
+        Op::VerifyImage => "verify_image",
+        Op::RunQuantum { .. } => "run_quantum",
+        Op::Fault { .. } => "handle_s2_fault",
+        Op::Grant { .. } => "grant_page",
+        Op::Revoke { .. } => "revoke_page",
+        Op::VmWrite { .. } => "vm_write",
+        Op::VmReadExpect { .. } => "vm_read",
+        Op::KservRead { .. } => "kserv_read",
+        Op::KservWrite { .. } => "kserv_write",
+        Op::Reclaim => "reclaim",
+        Op::AttachVm { .. } => "attach_vm",
+        Op::VcpuBegin { .. } => "vcpu_begin",
+        Op::VcpuEnd => "vcpu_end",
+        Op::Rendezvous { .. } => "rendezvous",
+        Op::SendIpi { .. } => "send_ipi",
+        Op::UartWrite { .. } => "uart_write",
+        Op::WaitIrq { .. } => "wait_irq",
+    }
+}
+
+/// Builds a standard per-CPU "VM lifecycle" script: boot a VM, fault in
+/// pages, write/read them, share and unshare one, and tear down.
+pub fn lifecycle_script(cpu_index: u64, image_base_pfn: u64, data_pfn: u64) -> Script {
+    let gpa_data = 64 * crate::layout::PAGE_WORDS;
+    vec![
+        Op::RegisterVm,
+        Op::RegisterVcpu,
+        Op::StageImage {
+            pfns: vec![image_base_pfn, image_base_pfn + 1],
+        },
+        Op::VerifyImage,
+        Op::RunQuantum { vcpu: 0 },
+        Op::Fault {
+            gpa: gpa_data,
+            donor_pfn: data_pfn,
+        },
+        Op::VmWrite {
+            gpa: gpa_data + 3,
+            val: 1000 + cpu_index,
+        },
+        Op::VmReadExpect {
+            gpa: gpa_data + 3,
+            expect: 1000 + cpu_index,
+        },
+        Op::Grant { gpa: gpa_data },
+        Op::Revoke { gpa: gpa_data },
+        Op::RunQuantum { vcpu: 0 },
+        Op::VmReadExpect {
+            gpa: gpa_data + 3,
+            expect: 1000 + cpu_index,
+        },
+        Op::Reclaim,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::VM_POOL_PFN;
+
+    fn scripts(n: usize) -> Vec<Script> {
+        (0..n)
+            .map(|i| {
+                lifecycle_script(
+                    i as u64,
+                    VM_POOL_PFN.0 + (i as u64) * 8,
+                    VM_POOL_PFN.0 + (i as u64) * 8 + 4,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn four_cpu_lifecycle_is_clean() {
+        let mut m = Machine::new(KCoreConfig::default(), scripts(4), 42);
+        let report = m.run(1_000_000);
+        assert!(report.clean(), "{report:?}");
+        assert_eq!(report.ops_ok, 4 * 13);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut m = Machine::new(KCoreConfig::default(), scripts(3), seed);
+            let r = m.run(1_000_000);
+            (r.steps, r.total_spins, m.kcore.log.len())
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn vmids_unique_across_cpus() {
+        let mut m = Machine::new(KCoreConfig::default(), scripts(8), 3);
+        let report = m.run(2_000_000);
+        assert!(report.clean(), "{report:?}");
+        let mut vmids: Vec<u32> = (0..8).map(|c| m.cpu_vm(c).unwrap()).collect();
+        vmids.sort_unstable();
+        vmids.dedup();
+        assert_eq!(vmids.len(), 8, "duplicate vmid handed out");
+    }
+
+    #[test]
+    fn multiprocessor_vm_with_vcpu_migration() {
+        // CPU 0 boots a 2-vCPU VM; CPU 1 adopts it. Both run vCPUs
+        // concurrently, then *swap* vCPUs (migration), then contend for
+        // the same vCPU — the ACTIVE/INACTIVE protocol must serialize
+        // them without any failure.
+        let gpa = 64 * crate::layout::PAGE_WORDS;
+        let cpu0: Script = vec![
+            Op::RegisterVm,
+            Op::RegisterVcpu,
+            Op::RegisterVcpu,
+            Op::StageImage {
+                pfns: vec![VM_POOL_PFN.0, VM_POOL_PFN.0 + 1],
+            },
+            Op::VerifyImage,
+            Op::Fault {
+                gpa,
+                donor_pfn: VM_POOL_PFN.0 + 4,
+            },
+            Op::VmWrite { gpa, val: 7 },
+            Op::Rendezvous { id: 1 },
+            Op::VcpuBegin { vcpu: 0 },
+            Op::VcpuEnd,
+            // Migration: now run the vCPU the other CPU ran first.
+            Op::VcpuBegin { vcpu: 1 },
+            Op::VcpuEnd,
+            // Contend on vCPU 0 with CPU 1.
+            Op::VcpuBegin { vcpu: 0 },
+            Op::VcpuEnd,
+            // Virtual IPI to the vCPU the other CPU is handling.
+            Op::SendIpi { to_vcpu: 1, irq: 5 },
+            Op::Rendezvous { id: 2 },
+            Op::Reclaim,
+        ];
+        let cpu1: Script = vec![
+            Op::AttachVm { owner_cpu: 0 },
+            Op::Rendezvous { id: 1 },
+            Op::VcpuBegin { vcpu: 1 },
+            Op::VcpuEnd,
+            Op::VcpuBegin { vcpu: 0 },
+            Op::VmReadExpect { gpa, expect: 7 },
+            Op::VcpuEnd,
+            Op::WaitIrq { vcpu: 1, irq: 5 },
+            Op::Rendezvous { id: 2 },
+        ];
+        for seed in 0..12 {
+            let mut m = Machine::new(KCoreConfig::default(), vec![cpu0.clone(), cpu1.clone()], seed);
+            let report = m.run(2_000_000);
+            assert!(report.clean(), "seed {seed}: {report:?}");
+            // Every vCPU saw multiple run/stop generations.
+            let vm = m.kcore.vm(0).unwrap();
+            let g0 = vm.vcpus[0].ctx.generation;
+            let g1 = vm.vcpus[1].ctx.generation;
+            assert_eq!(g0 + g1, 5, "seed {seed}: generations {g0}+{g1}");
+            // Simulated guest progress accumulated across CPUs.
+            assert_eq!(vm.vcpus[0].ctx.regs[0] + vm.vcpus[1].ctx.regs[0], 5);
+            assert!(crate::wdrf::validate_log(&m.kcore.log).is_empty());
+        }
+    }
+
+    #[test]
+    fn deadlocked_rendezvous_is_detected() {
+        // CPU 0 waits at a barrier CPU 1 can never reach (it waits for a
+        // VM that is never verified): the machine must report a stall
+        // instead of spinning to the step limit.
+        let cpu0: Script = vec![Op::Rendezvous { id: 9 }];
+        let cpu1: Script = vec![Op::AttachVm { owner_cpu: 0 }, Op::Rendezvous { id: 9 }];
+        let mut m = Machine::new(KCoreConfig::default(), vec![cpu0, cpu1], 3);
+        let report = m.run(10_000_000);
+        assert!(report.stalled);
+        assert!(!report.clean());
+        assert!(report.steps < 10_000_000);
+    }
+
+    #[test]
+    fn contention_is_observed() {
+        // All CPUs hammer the same *shared* VM? Simpler: they all contend
+        // on the global VmId lock at the same time.
+        let scripts: Vec<Script> = (0..6).map(|_| vec![Op::RegisterVm]).collect();
+        let mut m = Machine::new(KCoreConfig::default(), scripts, 11);
+        let report = m.run(100_000);
+        assert!(report.clean());
+        assert!(report.total_spins > 0, "expected lock contention");
+    }
+}

@@ -1,0 +1,96 @@
+//! The mutant suite: deliberately broken KCore variants.
+//!
+//! The paper's argument is only convincing if the checks would *fail* on
+//! incorrect code. Each mutant disables one safeguard; the accompanying
+//! expectation names the validator that must catch it. Tests in
+//! [`wdrf`](crate::wdrf), [`security`](crate::security), and the
+//! integration suite iterate [`all`].
+
+use crate::kcore::KCoreConfig;
+
+/// Which validator is expected to reject a mutant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaughtBy {
+    /// `wdrf::validate_log` (Sequential-TLB-Invalidation).
+    SequentialTlbi,
+    /// `security::check_invariants` (ownership mapping invariants).
+    SecurityInvariants,
+    /// Direct behavioural test (confidentiality of reclaimed pages).
+    ConfidentialityTest,
+}
+
+/// A named broken configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Mutant {
+    /// Name for reporting.
+    pub name: &'static str,
+    /// The broken configuration.
+    pub cfg: KCoreConfig,
+    /// The validator expected to catch it.
+    pub caught_by: CaughtBy,
+}
+
+/// All mutants.
+pub fn all() -> Vec<Mutant> {
+    vec![
+        Mutant {
+            name: "skip-tlbi-on-unmap",
+            cfg: KCoreConfig {
+                skip_tlbi_on_unmap: true,
+                ..Default::default()
+            },
+            caught_by: CaughtBy::SequentialTlbi,
+        },
+        Mutant {
+            name: "skip-barrier-before-tlbi",
+            cfg: KCoreConfig {
+                skip_barrier_before_tlbi: true,
+                ..Default::default()
+            },
+            caught_by: CaughtBy::SequentialTlbi,
+        },
+        Mutant {
+            name: "skip-ownership-check",
+            cfg: KCoreConfig {
+                skip_ownership_check: true,
+                ..Default::default()
+            },
+            caught_by: CaughtBy::SecurityInvariants,
+        },
+        Mutant {
+            name: "skip-scrub-on-reclaim",
+            cfg: KCoreConfig {
+                skip_scrub_on_reclaim: true,
+                ..Default::default()
+            },
+            caught_by: CaughtBy::ConfidentialityTest,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutants_enumerate_distinct_flags() {
+        let ms = all();
+        assert_eq!(ms.len(), 4);
+        let names: std::collections::BTreeSet<_> = ms.iter().map(|m| m.name).collect();
+        assert_eq!(names.len(), ms.len());
+        // Each mutant differs from the default in exactly one switch.
+        for m in &ms {
+            let d = KCoreConfig::default();
+            let diffs = [
+                m.cfg.skip_tlbi_on_unmap != d.skip_tlbi_on_unmap,
+                m.cfg.skip_barrier_before_tlbi != d.skip_barrier_before_tlbi,
+                m.cfg.skip_ownership_check != d.skip_ownership_check,
+                m.cfg.skip_scrub_on_reclaim != d.skip_scrub_on_reclaim,
+            ]
+            .iter()
+            .filter(|&&x| x)
+            .count();
+            assert_eq!(diffs, 1, "{} flips {diffs} switches", m.name);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Per-page ownership tracking (the `s2page` array, §5.3).
+//!
+//! "KCore tracks the owner of each 4 KB physical page of memory in an
+//! s2page data structure. A page can only have one owner at any given
+//! time, which can be KCore, KServ, or a VM. KCore will always check that
+//! it is not the owner of a physical page before mapping it to a stage 2
+//! or SMMU page table."
+
+use crate::layout::{self, MAX_PFN};
+
+/// The owner of one physical page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Owner {
+    /// KCore private (never mappable into stage-2/SMMU tables).
+    KCore,
+    /// The untrusted host.
+    KServ,
+    /// A guest VM.
+    Vm(u32),
+}
+
+/// Per-page metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct S2Page {
+    /// Current owner.
+    pub owner: Owner,
+    /// Shared with KServ (grant/revoke for paravirtual I/O).
+    pub shared: bool,
+    /// Mapping count (how many stage-2/SMMU leaf entries reference it).
+    pub map_count: u32,
+}
+
+/// Errors from ownership transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OwnershipError {
+    /// Page number out of range.
+    BadPfn,
+    /// The page's current owner does not match the expected owner.
+    WrongOwner {
+        /// Observed owner.
+        actual: Owner,
+    },
+    /// The page is still mapped somewhere.
+    StillMapped,
+    /// The page is KCore-private and may never be given away.
+    KCorePrivate,
+}
+
+impl std::fmt::Display for OwnershipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OwnershipError::BadPfn => write!(f, "page frame number out of range"),
+            OwnershipError::WrongOwner { actual } => {
+                write!(f, "unexpected page owner {actual:?}")
+            }
+            OwnershipError::StillMapped => write!(f, "page is still mapped"),
+            OwnershipError::KCorePrivate => write!(f, "KCore-private pages are not transferable"),
+        }
+    }
+}
+
+impl std::error::Error for OwnershipError {}
+
+/// The ownership array.
+#[derive(Debug, Clone)]
+pub struct S2PageArray {
+    pages: Vec<S2Page>,
+}
+
+impl Default for S2PageArray {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl S2PageArray {
+    /// Creates the array with the boot-time layout: KCore private regions
+    /// owned by KCore, everything else by KServ.
+    pub fn new() -> Self {
+        let pages = (0..MAX_PFN)
+            .map(|pfn| S2Page {
+                owner: if layout::is_kcore_private(pfn) {
+                    Owner::KCore
+                } else {
+                    Owner::KServ
+                },
+                shared: false,
+                map_count: 0,
+            })
+            .collect();
+        S2PageArray { pages }
+    }
+
+    /// Reads a page's metadata.
+    pub fn get(&self, pfn: u64) -> Result<S2Page, OwnershipError> {
+        self.pages
+            .get(pfn as usize)
+            .copied()
+            .ok_or(OwnershipError::BadPfn)
+    }
+
+    /// The owner of a page.
+    pub fn owner(&self, pfn: u64) -> Result<Owner, OwnershipError> {
+        Ok(self.get(pfn)?.owner)
+    }
+
+    /// Transfers ownership, checking the expected current owner.
+    pub fn transfer(
+        &mut self,
+        pfn: u64,
+        expect: Owner,
+        to: Owner,
+    ) -> Result<(), OwnershipError> {
+        let page = self.get(pfn)?;
+        if page.owner == Owner::KCore && to != Owner::KCore {
+            return Err(OwnershipError::KCorePrivate);
+        }
+        if page.owner != expect {
+            return Err(OwnershipError::WrongOwner { actual: page.owner });
+        }
+        if page.map_count > 0 {
+            return Err(OwnershipError::StillMapped);
+        }
+        let p = &mut self.pages[pfn as usize];
+        p.owner = to;
+        p.shared = false;
+        Ok(())
+    }
+
+    /// Marks a page shared (or unshared) with KServ.
+    pub fn set_shared(&mut self, pfn: u64, shared: bool) -> Result<(), OwnershipError> {
+        self.get(pfn)?;
+        self.pages[pfn as usize].shared = shared;
+        Ok(())
+    }
+
+    /// Notes one more stage-2/SMMU mapping of this page.
+    pub fn inc_map(&mut self, pfn: u64) -> Result<(), OwnershipError> {
+        self.get(pfn)?;
+        self.pages[pfn as usize].map_count += 1;
+        Ok(())
+    }
+
+    /// Notes one fewer mapping.
+    pub fn dec_map(&mut self, pfn: u64) -> Result<(), OwnershipError> {
+        let p = self.get(pfn)?;
+        if p.map_count == 0 {
+            return Err(OwnershipError::StillMapped);
+        }
+        self.pages[pfn as usize].map_count -= 1;
+        Ok(())
+    }
+
+    /// All pages owned by a given principal.
+    pub fn owned_by(&self, owner: Owner) -> Vec<u64> {
+        self.pages
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.owner == owner)
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_layout_ownership() {
+        let a = S2PageArray::new();
+        assert_eq!(a.owner(0).unwrap(), Owner::KCore);
+        assert_eq!(a.owner(layout::S2_POOL_PFN.0).unwrap(), Owner::KCore);
+        assert_eq!(a.owner(layout::KSERV_PFN.0).unwrap(), Owner::KServ);
+        assert_eq!(a.owner(layout::VM_POOL_PFN.0).unwrap(), Owner::KServ);
+    }
+
+    #[test]
+    fn transfer_checks_expected_owner() {
+        let mut a = S2PageArray::new();
+        let pfn = layout::VM_POOL_PFN.0;
+        assert_eq!(
+            a.transfer(pfn, Owner::Vm(1), Owner::Vm(2)),
+            Err(OwnershipError::WrongOwner {
+                actual: Owner::KServ
+            })
+        );
+        a.transfer(pfn, Owner::KServ, Owner::Vm(1)).unwrap();
+        assert_eq!(a.owner(pfn).unwrap(), Owner::Vm(1));
+    }
+
+    #[test]
+    fn kcore_pages_are_never_transferable() {
+        let mut a = S2PageArray::new();
+        assert_eq!(
+            a.transfer(0, Owner::KCore, Owner::KServ),
+            Err(OwnershipError::KCorePrivate)
+        );
+    }
+
+    #[test]
+    fn mapped_pages_cannot_change_owner() {
+        let mut a = S2PageArray::new();
+        let pfn = layout::VM_POOL_PFN.0;
+        a.inc_map(pfn).unwrap();
+        assert_eq!(
+            a.transfer(pfn, Owner::KServ, Owner::Vm(1)),
+            Err(OwnershipError::StillMapped)
+        );
+        a.dec_map(pfn).unwrap();
+        a.transfer(pfn, Owner::KServ, Owner::Vm(1)).unwrap();
+    }
+
+    #[test]
+    fn bad_pfn_rejected() {
+        let a = S2PageArray::new();
+        assert_eq!(a.owner(MAX_PFN), Err(OwnershipError::BadPfn));
+    }
+}

@@ -1,0 +1,247 @@
+//! VM confidentiality and integrity checking (§5.3).
+//!
+//! SeKVM's verified guarantee is that KServ and other VMs can neither read
+//! nor modify a VM's memory. This module provides:
+//!
+//! * [`check_invariants`] — the system invariants the proofs rely on:
+//!   stage-2/SMMU translation stays enabled, no KCore-private page is ever
+//!   mapped into a stage-2 or SMMU table, and every mapping is consistent
+//!   with the `s2page` ownership (a VM's table maps only pages it owns;
+//!   KServ's table maps only KServ-owned or explicitly shared pages);
+//! * attack-scenario helpers used by the test-suite and examples.
+
+use crate::events::TableKind;
+use crate::kcore::KCore;
+use crate::layout::{is_kcore_private, pfn_of};
+use crate::s2page::Owner;
+
+/// An invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// Stage-2 translation was disabled.
+    Stage2Disabled,
+    /// The SMMU was disabled.
+    SmmuDisabled,
+    /// A KCore-private page is mapped in a user-visible table.
+    KCorePageMapped {
+        /// The table containing the mapping.
+        table: TableKind,
+        /// The mapped physical page.
+        pfn: u64,
+    },
+    /// A mapping is inconsistent with page ownership.
+    OwnershipMismatch {
+        /// The table containing the mapping.
+        table: TableKind,
+        /// The mapped page.
+        pfn: u64,
+        /// The page's recorded owner.
+        owner: Owner,
+    },
+}
+
+/// Checks the §5.3 invariants over the current machine state.
+pub fn check_invariants(k: &KCore) -> Vec<InvariantViolation> {
+    let mut out = Vec::new();
+    if !k.stage2_enabled {
+        out.push(InvariantViolation::Stage2Disabled);
+    }
+    if !k.smmu_enabled {
+        out.push(InvariantViolation::SmmuDisabled);
+    }
+    // KServ's stage-2: only KServ-owned or shared pages.
+    for m in k.kserv_s2.mappings(&k.mem) {
+        let pfn = pfn_of(m.pa);
+        if is_kcore_private(pfn) {
+            out.push(InvariantViolation::KCorePageMapped {
+                table: TableKind::Stage2(None),
+                pfn,
+            });
+            continue;
+        }
+        match k.s2pages.get(pfn) {
+            Ok(p) if p.owner == Owner::KServ || p.shared => {}
+            Ok(p) => out.push(InvariantViolation::OwnershipMismatch {
+                table: TableKind::Stage2(None),
+                pfn,
+                owner: p.owner,
+            }),
+            Err(_) => {}
+        }
+    }
+    // Each VM's stage-2: only pages owned by that VM.
+    for vm in &k.vms {
+        for m in vm.s2.mappings(&k.mem) {
+            let pfn = pfn_of(m.pa);
+            if is_kcore_private(pfn) {
+                out.push(InvariantViolation::KCorePageMapped {
+                    table: TableKind::Stage2(Some(vm.vmid)),
+                    pfn,
+                });
+                continue;
+            }
+            match k.s2pages.get(pfn) {
+                Ok(p) if p.owner == Owner::Vm(vm.vmid) => {}
+                Ok(p) => out.push(InvariantViolation::OwnershipMismatch {
+                    table: TableKind::Stage2(Some(vm.vmid)),
+                    pfn,
+                    owner: p.owner,
+                }),
+                Err(_) => {}
+            }
+        }
+    }
+    // SMMU tables: only pages owned by the assigned principal.
+    for dev in &k.devices {
+        for m in dev.mappings(&k.mem) {
+            let pfn = pfn_of(m.pa);
+            if is_kcore_private(pfn) {
+                out.push(InvariantViolation::KCorePageMapped {
+                    table: TableKind::Smmu(dev.dev),
+                    pfn,
+                });
+                continue;
+            }
+            match k.s2pages.get(pfn) {
+                Ok(p) if p.owner == dev.assigned_to => {}
+                Ok(p) => out.push(InvariantViolation::OwnershipMismatch {
+                    table: TableKind::Smmu(dev.dev),
+                    pfn,
+                    owner: p.owner,
+                }),
+                Err(_) => {}
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kcore::{HypercallError, KCoreConfig, VmState};
+    use crate::layout::{page_addr, PAGE_WORDS, VM_POOL_PFN};
+
+    fn booted_vm(k: &mut KCore, cpu: usize, base: u64) -> u32 {
+        let pfns = vec![base, base + 1];
+        let mut words = Vec::new();
+        for &pfn in &pfns {
+            for w in 0..PAGE_WORDS {
+                let v = pfn * 7 + w;
+                k.mem.write(page_addr(pfn) + w, v);
+                words.push(v);
+            }
+        }
+        let hash = KCore::image_hash(&words);
+        let vmid = k.register_vm(cpu).unwrap();
+        k.register_vcpu(cpu, vmid).unwrap();
+        k.set_boot_info(cpu, vmid, pfns, hash).unwrap();
+        k.remap_vm_image(cpu, vmid).unwrap();
+        k.verify_vm_image(cpu, vmid).unwrap();
+        vmid
+    }
+
+    #[test]
+    fn invariants_hold_after_boot() {
+        let mut k = KCore::boot(KCoreConfig::default());
+        let _ = booted_vm(&mut k, 0, VM_POOL_PFN.0);
+        assert!(check_invariants(&k).is_empty());
+    }
+
+    #[test]
+    fn confidentiality_kserv_cannot_read_vm_secret() {
+        let mut k = KCore::boot(KCoreConfig::default());
+        let vmid = booted_vm(&mut k, 0, VM_POOL_PFN.0);
+        // The VM writes a secret.
+        k.vm_write(0, vmid, 5, 0xdeadbeef).unwrap();
+        let pa = k.vm(vmid).unwrap().s2.translate(&k.mem, 5).unwrap();
+        // KServ cannot read it through its stage-2.
+        assert_eq!(
+            k.kserv_read(1, pa),
+            Err(HypercallError::AccessDenied)
+        );
+        assert!(check_invariants(&k).is_empty());
+    }
+
+    #[test]
+    fn integrity_kserv_cannot_corrupt_vm_memory() {
+        let mut k = KCore::boot(KCoreConfig::default());
+        let vmid = booted_vm(&mut k, 0, VM_POOL_PFN.0);
+        k.vm_write(0, vmid, 5, 77).unwrap();
+        let pa = k.vm(vmid).unwrap().s2.translate(&k.mem, 5).unwrap();
+        assert!(k.kserv_write(1, pa, 666).is_err());
+        assert_eq!(k.vm_read(0, vmid, 5).unwrap(), 77);
+    }
+
+    #[test]
+    fn vms_are_isolated_from_each_other() {
+        let mut k = KCore::boot(KCoreConfig::default());
+        let a = booted_vm(&mut k, 0, VM_POOL_PFN.0);
+        let b = booted_vm(&mut k, 1, VM_POOL_PFN.0 + 8);
+        k.vm_write(0, a, 3, 111).unwrap();
+        k.vm_write(1, b, 3, 222).unwrap();
+        assert_eq!(k.vm_read(0, a, 3).unwrap(), 111);
+        assert_eq!(k.vm_read(1, b, 3).unwrap(), 222);
+        // VM b's stage-2 cannot reach VM a's pages: translations target
+        // disjoint physical pages.
+        let pa_a = k.vm(a).unwrap().s2.translate(&k.mem, 3).unwrap();
+        let pa_b = k.vm(b).unwrap().s2.translate(&k.mem, 3).unwrap();
+        assert_ne!(pfn_of(pa_a), pfn_of(pa_b));
+        assert!(check_invariants(&k).is_empty());
+    }
+
+    #[test]
+    fn broken_ownership_check_caught_by_invariants() {
+        let mut k = KCore::boot(KCoreConfig {
+            skip_ownership_check: true,
+            ..Default::default()
+        });
+        let vmid = booted_vm(&mut k, 0, VM_POOL_PFN.0);
+        let vm_pfn = k.vm(vmid).unwrap().image_pfns[0];
+        // The mutant lets KServ fault in a mapping of the VM's page...
+        k.kserv_fault(1, vm_pfn).unwrap();
+        // ...which the ownership invariant detects.
+        let v = check_invariants(&k);
+        assert!(
+            v.iter().any(|x| matches!(
+                x,
+                InvariantViolation::OwnershipMismatch {
+                    table: TableKind::Stage2(None),
+                    ..
+                }
+            )),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn scrub_mutant_leaks_secrets_on_reclaim() {
+        // With scrubbing: reclaimed page reads as zero to KServ.
+        let mut k = KCore::boot(KCoreConfig::default());
+        let vmid = booted_vm(&mut k, 0, VM_POOL_PFN.0);
+        k.vm_write(0, vmid, 5, 0x5ec2e7).unwrap();
+        let pa = k.vm(vmid).unwrap().s2.translate(&k.mem, 5).unwrap();
+        k.reclaim_vm_pages(0, vmid).unwrap();
+        assert_eq!(k.kserv_read(1, pa).unwrap(), 0);
+
+        // Without scrubbing: the secret leaks.
+        let mut k = KCore::boot(KCoreConfig {
+            skip_scrub_on_reclaim: true,
+            ..Default::default()
+        });
+        let vmid = booted_vm(&mut k, 0, VM_POOL_PFN.0);
+        k.vm_write(0, vmid, 5, 0x5ec2e7).unwrap();
+        let pa = k.vm(vmid).unwrap().s2.translate(&k.mem, 5).unwrap();
+        k.reclaim_vm_pages(0, vmid).unwrap();
+        assert_eq!(k.kserv_read(1, pa).unwrap(), 0x5ec2e7);
+    }
+
+    #[test]
+    fn destroyed_vm_state() {
+        let mut k = KCore::boot(KCoreConfig::default());
+        let vmid = booted_vm(&mut k, 0, VM_POOL_PFN.0);
+        k.reclaim_vm_pages(0, vmid).unwrap();
+        assert_eq!(k.vm(vmid).unwrap().state, VmState::Destroyed);
+        assert!(check_invariants(&k).is_empty());
+    }
+}

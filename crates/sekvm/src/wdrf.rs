@@ -1,0 +1,348 @@
+//! Dynamic wDRF validation over machine executions (§5).
+//!
+//! The litmus-scale proofs-by-enumeration live in `vrm-core`; these
+//! validators check the same conditions on full SeKVM executions:
+//!
+//! * condition 1/2 (DRF-Kernel / No-Barrier-Misuse) — lock discipline:
+//!   every page-table write happens while its guarding lock is held (the
+//!   lock implementation itself is the verified Figure 7 ticket lock);
+//! * condition 3 (Write-Once-Kernel-Mapping) — no EL2 page-table write
+//!   ever replaces a non-empty entry;
+//! * condition 4 (Transactional-Page-Table) — checked inline per
+//!   operation by [`npt`](crate::npt) (enable
+//!   [`KCoreConfig::check_transactional`](crate::kcore::KCoreConfig));
+//! * condition 5 (Sequential-TLB-Invalidation) — every stage-2/SMMU
+//!   unmap or remap is followed by a barrier and a TLBI before the
+//!   operation completes;
+//! * condition 6 (Memory-Isolation, weak form) — KCore never reads
+//!   KServ/VM memory except through oracle-masked reads, and no user
+//!   principal ever writes KCore-private memory.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::events::{LockId, Log, MEvent, Principal, TableKind};
+use crate::layout::{is_kcore_private, pfn_of};
+
+/// A wDRF violation found in a machine log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WdrfViolation {
+    /// Condition 1/2: a page-table write without the guarding lock.
+    UnlockedPtWrite {
+        /// Offending CPU.
+        cpu: usize,
+        /// The table written.
+        table: TableKind,
+        /// Locks the CPU held at the time.
+        held: Vec<LockId>,
+    },
+    /// Condition 3: an EL2 entry was overwritten.
+    El2Overwrite {
+        /// Offending CPU.
+        cpu: usize,
+        /// The cell.
+        cell: u64,
+        /// The non-zero entry that was replaced.
+        old: u64,
+    },
+    /// Condition 5: an unmap/remap completed without barrier + TLBI.
+    MissingTlbi {
+        /// Offending CPU.
+        cpu: usize,
+        /// The table.
+        table: TableKind,
+        /// The unmapped cell.
+        cell: u64,
+        /// Whether a TLBI appeared at all (false) or only the barrier was
+        /// missing (true).
+        tlbi_seen: bool,
+    },
+    /// Condition 6: KCore read user memory without oracle masking.
+    UnmaskedKernelRead {
+        /// Offending CPU.
+        cpu: usize,
+        /// The address read.
+        pa: u64,
+    },
+    /// Condition 6: a user principal wrote KCore-private memory.
+    UserWriteToKernel {
+        /// The principal.
+        who: Principal,
+        /// The address written.
+        pa: u64,
+    },
+}
+
+/// Which lock guards writes to a table.
+fn guarding_lock(table: TableKind) -> Vec<LockId> {
+    match table {
+        TableKind::El2 => vec![LockId::El2],
+        TableKind::Stage2(None) => vec![LockId::KServS2],
+        // A VM's stage-2 may be written under its VM lock; population
+        // changes also hold S2Page.
+        TableKind::Stage2(Some(v)) => vec![LockId::Vm(v)],
+        TableKind::Smmu(d) => vec![LockId::Smmu(d)],
+    }
+}
+
+/// Validates conditions 1/2 (lock discipline), 3, 5 and 6 over a log.
+pub fn validate_log(log: &Log) -> Vec<WdrfViolation> {
+    let mut violations = Vec::new();
+    // Locks currently held, per CPU.
+    let mut held: BTreeMap<usize, BTreeSet<LockId>> = BTreeMap::new();
+    // Unmaps/remaps awaiting barrier + TLBI, per CPU:
+    // (table, cell, barrier_seen).
+    let mut pending: BTreeMap<usize, Vec<(TableKind, u64, bool)>> = BTreeMap::new();
+
+    for ev in log {
+        match ev {
+            MEvent::LockAcquire { cpu, lock, .. } => {
+                held.entry(*cpu).or_default().insert(*lock);
+            }
+            MEvent::LockRelease { cpu, lock } => {
+                held.entry(*cpu).or_default().remove(lock);
+            }
+            MEvent::PtWrite {
+                cpu,
+                table,
+                cell,
+                old,
+                new,
+            } => {
+                let h = held.entry(*cpu).or_default();
+                let guards = guarding_lock(*table);
+                if !guards.iter().any(|g| h.contains(g)) {
+                    violations.push(WdrfViolation::UnlockedPtWrite {
+                        cpu: *cpu,
+                        table: *table,
+                        held: h.iter().copied().collect(),
+                    });
+                }
+                if *table == TableKind::El2 && *old != 0 {
+                    violations.push(WdrfViolation::El2Overwrite {
+                        cpu: *cpu,
+                        cell: *cell,
+                        old: *old,
+                    });
+                }
+                // Unmap or remap of a live user-walked entry.
+                if *table != TableKind::El2 && *old != 0 && *new != *old {
+                    pending.entry(*cpu).or_default().push((*table, *cell, false));
+                }
+            }
+            MEvent::Barrier { cpu } => {
+                if let Some(p) = pending.get_mut(cpu) {
+                    for entry in p.iter_mut() {
+                        entry.2 = true;
+                    }
+                }
+            }
+            MEvent::Tlbi { cpu, table, .. } => {
+                if let Some(p) = pending.get_mut(cpu) {
+                    p.retain(|(t, cell, fenced)| {
+                        if t == table {
+                            if !*fenced {
+                                violations.push(WdrfViolation::MissingTlbi {
+                                    cpu: *cpu,
+                                    table: *t,
+                                    cell: *cell,
+                                    tlbi_seen: true,
+                                });
+                            }
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+            }
+            MEvent::OpEnd { cpu, .. } => {
+                if let Some(p) = pending.remove(cpu) {
+                    for (table, cell, _) in p {
+                        violations.push(WdrfViolation::MissingTlbi {
+                            cpu: *cpu,
+                            table,
+                            cell,
+                            tlbi_seen: false,
+                        });
+                    }
+                }
+            }
+            MEvent::MemRead {
+                cpu,
+                who,
+                pa,
+                oracle_masked,
+            }
+                if *who == Principal::KCore
+                    && !oracle_masked
+                    && !is_kcore_private(pfn_of(*pa))
+                => {
+                    violations.push(WdrfViolation::UnmaskedKernelRead { cpu: *cpu, pa: *pa });
+                }
+            MEvent::MemWrite { who, pa, .. }
+                if *who != Principal::KCore && is_kcore_private(pfn_of(*pa)) => {
+                    violations.push(WdrfViolation::UserWriteToKernel { who: *who, pa: *pa });
+                }
+            _ => {}
+        }
+    }
+    // Unmaps still pending at the end of the log never got their TLBI.
+    for (cpu, p) in pending {
+        for (table, cell, _) in p {
+            violations.push(WdrfViolation::MissingTlbi {
+                cpu,
+                table,
+                cell,
+                tlbi_seen: false,
+            });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kcore::KCoreConfig;
+    use crate::layout::VM_POOL_PFN;
+    use crate::machine::{lifecycle_script, Machine};
+
+    fn scripts(n: usize) -> Vec<crate::machine::Script> {
+        (0..n)
+            .map(|i| {
+                lifecycle_script(
+                    i as u64,
+                    VM_POOL_PFN.0 + (i as u64) * 8,
+                    VM_POOL_PFN.0 + (i as u64) * 8 + 4,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_run_has_no_violations() {
+        let mut m = Machine::new(KCoreConfig::default(), scripts(4), 1);
+        let report = m.run(1_000_000);
+        assert!(report.clean(), "{report:?}");
+        let v = validate_log(&m.kcore.log);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn clean_run_many_seeds() {
+        for seed in 0..10 {
+            let mut m = Machine::new(KCoreConfig::default(), scripts(3), seed);
+            let report = m.run(1_000_000);
+            assert!(report.clean(), "seed {seed}: {report:?}");
+            let v = validate_log(&m.kcore.log);
+            assert!(v.is_empty(), "seed {seed}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn el2_overwrite_detected_in_log() {
+        // Synthetic log: a raw overwrite of a non-empty EL2 entry (no
+        // structural path produces this — set_el2_pt refuses — but the
+        // monitor must still catch a hypothetical bypass).
+        let log = vec![
+            MEvent::LockAcquire {
+                cpu: 0,
+                lock: LockId::El2,
+                ticket: 0,
+                spins: 0,
+            },
+            MEvent::PtWrite {
+                cpu: 0,
+                table: TableKind::El2,
+                cell: 0x2000,
+                old: 0x41,
+                new: 0x81,
+            },
+            MEvent::LockRelease {
+                cpu: 0,
+                lock: LockId::El2,
+            },
+        ];
+        let v = validate_log(&log);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, WdrfViolation::El2Overwrite { old: 0x41, .. })));
+    }
+
+    #[test]
+    fn unlocked_pt_write_detected_in_log() {
+        let log = vec![MEvent::PtWrite {
+            cpu: 1,
+            table: TableKind::Stage2(Some(3)),
+            cell: 0x3000,
+            old: 0,
+            new: 0x41,
+        }];
+        let v = validate_log(&log);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, WdrfViolation::UnlockedPtWrite { cpu: 1, .. })));
+    }
+
+    #[test]
+    fn kernel_unmasked_read_detected_in_log() {
+        let log = vec![MEvent::MemRead {
+            cpu: 0,
+            who: Principal::KCore,
+            pa: crate::layout::page_addr(crate::layout::KSERV_PFN.0),
+            oracle_masked: false,
+        }];
+        let v = validate_log(&log);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, WdrfViolation::UnmaskedKernelRead { .. })));
+        // The same read with oracle masking is fine (§5.3).
+        let log = vec![MEvent::MemRead {
+            cpu: 0,
+            who: Principal::KCore,
+            pa: crate::layout::page_addr(crate::layout::KSERV_PFN.0),
+            oracle_masked: true,
+        }];
+        assert!(validate_log(&log).is_empty());
+    }
+
+    #[test]
+    fn missing_tlbi_mutant_caught() {
+        let cfg = KCoreConfig {
+            skip_tlbi_on_unmap: true,
+            ..Default::default()
+        };
+        let mut m = Machine::new(cfg, scripts(2), 5);
+        m.run(1_000_000);
+        let v = validate_log(&m.kcore.log);
+        assert!(
+            v.iter().any(|x| matches!(
+                x,
+                WdrfViolation::MissingTlbi {
+                    tlbi_seen: false,
+                    ..
+                }
+            )),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn missing_barrier_mutant_caught() {
+        let cfg = KCoreConfig {
+            skip_barrier_before_tlbi: true,
+            ..Default::default()
+        };
+        let mut m = Machine::new(cfg, scripts(2), 5);
+        m.run(1_000_000);
+        let v = validate_log(&m.kcore.log);
+        assert!(
+            v.iter().any(|x| matches!(
+                x,
+                WdrfViolation::MissingTlbi { tlbi_seen: true, .. }
+            )),
+            "{v:?}"
+        );
+    }
+}

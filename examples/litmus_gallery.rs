@@ -1,0 +1,85 @@
+//! Litmus gallery: runs the full cross-model conformance battery and the
+//! paper's Examples 1–7.
+//!
+//! Run with `cargo run --example litmus_gallery`.
+
+use vrm::core::paper_examples;
+use vrm::memmodel::litmus::{battery, check};
+use vrm::memmodel::promising::{enumerate_promising_with, PromisingConfig};
+use vrm::memmodel::sc::enumerate_sc;
+use vrm::memmodel::values::ValueConfig;
+
+fn main() {
+    println!("Cross-model conformance battery");
+    println!("(Promising Arm operational model vs Armv8 axiomatic model)");
+    println!();
+    println!(
+        "{:<22} {:>8} {:>8} {:>8}   {:>7} {:>8}",
+        "test", "SC", "ArmOp", "ArmAx", "agree", "verdicts"
+    );
+    println!("{}", "-".repeat(68));
+    let mut all_ok = true;
+    for test in battery() {
+        let c = check(&test).unwrap();
+        all_ok &= c.ok();
+        println!(
+            "{:<22} {:>8} {:>8} {:>8}   {:>7} {:>8}",
+            c.name,
+            c.sc.len(),
+            c.promising.len(),
+            c.axiomatic.len(),
+            if c.models_agree && c.sc_subsumed {
+                "yes"
+            } else {
+                "NO"
+            },
+            if c.verdicts_match { "ok" } else { "WRONG" },
+        );
+    }
+    println!();
+    println!(
+        "battery: {}",
+        if all_ok {
+            "all tests conform (operational == axiomatic, SC subsumed, expected verdicts)"
+        } else {
+            "CONFORMANCE FAILURES ABOVE"
+        }
+    );
+    println!();
+
+    println!("Paper examples (sections 1-2)");
+    println!();
+    let cfg = |needs: bool| PromisingConfig {
+        promises: needs,
+        max_promises_per_thread: 1,
+        value_cfg: ValueConfig {
+            max_rounds: 3,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    for ex in paper_examples::all() {
+        let rm = enumerate_promising_with(&ex.buggy, &cfg(ex.needs_promises))
+            .unwrap()
+            .outcomes;
+        let sc = enumerate_sc(&ex.buggy).unwrap();
+        println!("{}", ex.name);
+        println!("  {}", ex.description.split_whitespace().collect::<Vec<_>>().join(" "));
+        let cond: Vec<String> = ex.rm_only.iter().map(|(n, v)| format!("{n}={v}")).collect();
+        println!(
+            "  [{}] is {} on Arm, {} on SC",
+            cond.join(", "),
+            if rm.contains_binding(&ex.rm_only) {
+                "reachable"
+            } else {
+                "UNREACHABLE (?)"
+            },
+            if sc.contains_binding(&ex.rm_only) {
+                "REACHABLE (?)"
+            } else {
+                "unreachable"
+            },
+        );
+        println!();
+    }
+}

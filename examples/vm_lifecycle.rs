@@ -1,0 +1,66 @@
+//! VM lifecycle on the multiprocessor machine, plus the paper's
+//! evaluation figures from the performance simulator.
+//!
+//! Run with `cargo run --example vm_lifecycle`.
+
+use vrm::hwsim::{
+    simulate_app, simulate_micro, simulate_multivm, workloads, HwConfig, HypConfig, HypKind,
+    KernelVersion,
+};
+use vrm::sekvm::layout::VM_POOL_PFN;
+use vrm::sekvm::machine::{lifecycle_script, Machine};
+use vrm::sekvm::security::check_invariants;
+use vrm::sekvm::KCoreConfig;
+
+fn main() {
+    // --- Functional: 8 CPUs booting, running, sharing, tearing down VMs.
+    println!("8-CPU concurrent VM lifecycle on the SeKVM model");
+    let scripts = (0..8)
+        .map(|i| {
+            lifecycle_script(
+                i as u64,
+                VM_POOL_PFN.0 + (i as u64) * 8,
+                VM_POOL_PFN.0 + (i as u64) * 8 + 4,
+            )
+        })
+        .collect();
+    let mut m = Machine::new(KCoreConfig::default(), scripts, 1234);
+    let report = m.run(5_000_000);
+    println!(
+        "  {} operations completed over {} scheduler steps",
+        report.ops_ok, report.steps
+    );
+    println!(
+        "  lock contention: {} spin iterations across all CPUs",
+        report.total_spins
+    );
+    println!(
+        "  failures: {}, expectation violations: {}, invariant violations: {}",
+        report.failures.len(),
+        report.expectation_violations.len(),
+        check_invariants(&m.kcore).len()
+    );
+    assert!(report.clean());
+    println!();
+
+    // --- Performance: one microbenchmark row and one Figure 8/9 sample.
+    let hw = HwConfig::m400();
+    let kvm = HypConfig::new(HypKind::Kvm, KernelVersion::V4_18);
+    let sekvm = HypConfig::new(HypKind::SeKvm, KernelVersion::V4_18);
+    let mk = simulate_micro(hw, kvm);
+    let ms = simulate_micro(hw, sekvm);
+    println!("m400 hypercall cost: KVM {} cycles, SeKVM {} cycles", mk.hypercall, ms.hypercall);
+    let apache = workloads().into_iter().find(|w| w.name == "Apache").unwrap();
+    println!(
+        "Apache on m400, normalized to native: KVM {:.3}, SeKVM {:.3}",
+        simulate_app(hw, kvm, &apache).normalized,
+        simulate_app(hw, sekvm, &apache).normalized,
+    );
+    println!(
+        "Apache at 32 concurrent VMs:          KVM {:.3}, SeKVM {:.3}",
+        simulate_multivm(hw, kvm, &apache, 32),
+        simulate_multivm(hw, sekvm, &apache, 32),
+    );
+    println!();
+    println!("Full tables/figures: cargo run -p vrm-bench --bin table3 | fig8 | fig9");
+}

@@ -1,0 +1,25 @@
+//! VRM: Verification on Relaxed Memory — umbrella crate.
+//!
+//! A Rust reproduction of *Formal Verification of a Multiprocessor
+//! Hypervisor on Arm Relaxed Memory Hardware* (SOSP 2021). This crate
+//! re-exports the workspace members:
+//!
+//! * [`memmodel`] — executable Arm memory models (SC, Armv8 axiomatic,
+//!   Promising Arm with MMU/TLB);
+//! * [`core`] — the VRM framework: the push/pull Promising model, the six
+//!   wDRF conditions, and the wDRF theorem checker;
+//! * [`mmu`] — page tables, page pools, TLB model, transactional checking;
+//! * [`sekvm`] — the executable SeKVM/KCore hypervisor model with dynamic
+//!   wDRF and security validation;
+//! * [`hwsim`] — the cycle-approximate performance simulator regenerating
+//!   the paper's evaluation.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+#![warn(missing_docs)]
+
+pub use vrm_core as core;
+pub use vrm_hwsim as hwsim;
+pub use vrm_memmodel as memmodel;
+pub use vrm_mmu as mmu;
+pub use vrm_sekvm as sekvm;

@@ -1,0 +1,129 @@
+//! Randomized adversary: a KServ that throws every access and hypercall
+//! it can at the hypervisor must never reach VM or KCore memory, and the
+//! system invariants must hold after every attack.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use vrm::sekvm::layout::{self, page_addr, PAGE_WORDS, VM_POOL_PFN};
+use vrm::sekvm::security::check_invariants;
+use vrm::sekvm::wdrf::validate_log;
+use vrm::sekvm::{HypercallError, KCore, KCoreConfig, Owner};
+
+fn boot_vm(k: &mut KCore, cpu: usize, base_pfn: u64) -> u32 {
+    let pfns = vec![base_pfn, base_pfn + 1];
+    let mut words = Vec::new();
+    for &pfn in &pfns {
+        for w in 0..PAGE_WORDS {
+            let v = pfn * 3 + w;
+            k.mem.write(page_addr(pfn) + w, v);
+            words.push(v);
+        }
+    }
+    let hash = KCore::image_hash(&words);
+    let vmid = k.register_vm(cpu).unwrap();
+    k.register_vcpu(cpu, vmid).unwrap();
+    k.set_boot_info(cpu, vmid, pfns, hash).unwrap();
+    k.remap_vm_image(cpu, vmid).unwrap();
+    k.verify_vm_image(cpu, vmid).unwrap();
+    vmid
+}
+
+/// Secret marker written into every page the VM owns.
+const SECRET: u64 = 0x5ec5ec5ec;
+
+#[test]
+fn randomized_kserv_attacks_never_breach_isolation() {
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut k = KCore::boot(KCoreConfig::default());
+        let vmid = boot_vm(&mut k, 0, VM_POOL_PFN.0);
+        // Mark the VM's pages with secrets.
+        let gpa_data = 64 * PAGE_WORDS;
+        k.handle_s2_fault(0, vmid, gpa_data, VM_POOL_PFN.0 + 4).unwrap();
+        k.vm_write(0, vmid, gpa_data, SECRET).unwrap();
+        k.vm_write(0, vmid, 0, SECRET).unwrap();
+        let vm_pfns = k.s2pages.owned_by(Owner::Vm(vmid));
+
+        for _ in 0..400 {
+            let attack = rng.gen_range(0..6);
+            let vm_pfn = vm_pfns[rng.gen_range(0..vm_pfns.len())];
+            let off = rng.gen_range(0..PAGE_WORDS);
+            let pa = page_addr(vm_pfn) + off;
+            match attack {
+                // Direct reads/writes of VM memory through KServ's S2.
+                0 => {
+                    assert_eq!(k.kserv_read(1, pa), Err(HypercallError::AccessDenied));
+                }
+                1 => {
+                    assert_eq!(
+                        k.kserv_write(1, pa, 0xbad),
+                        Err(HypercallError::AccessDenied)
+                    );
+                }
+                // Reads/writes of KCore-private memory.
+                2 => {
+                    let kpa = page_addr(rng.gen_range(0..layout::EL2_POOL_PFN.1));
+                    assert!(k.kserv_read(1, kpa).is_err());
+                    assert!(k.kserv_write(1, kpa, 0xbad).is_err());
+                }
+                // Donating a VM page to another VM.
+                3 => {
+                    let r = k.register_vm(1).and_then(|v2| {
+                        k.handle_s2_fault(1, v2, 0, vm_pfn).map(|_| v2)
+                    });
+                    assert!(r.is_err(), "seed {seed}: stole VM page via fault");
+                }
+                // Mapping VM or KCore pages for DMA via a KServ device.
+                4 => {
+                    assert_eq!(
+                        k.smmu_map(1, 1, rng.gen_range(0..64) * PAGE_WORDS, vm_pfn),
+                        Err(HypercallError::AccessDenied)
+                    );
+                    assert_eq!(
+                        k.smmu_map(1, 1, 0, rng.gen_range(0..layout::KCORE_PFN.1)),
+                        Err(HypercallError::AccessDenied)
+                    );
+                }
+                // Re-registering boot info over the verified VM.
+                _ => {
+                    assert!(k
+                        .set_boot_info(1, vmid, vec![VM_POOL_PFN.0 + 30], 0)
+                        .is_err());
+                }
+            }
+        }
+        // After the barrage: secrets intact, invariants hold, no wDRF
+        // violations were induced.
+        assert_eq!(k.vm_read(0, vmid, gpa_data).unwrap(), SECRET);
+        assert_eq!(k.vm_read(0, vmid, 0).unwrap(), SECRET);
+        assert!(check_invariants(&k).is_empty(), "seed {seed}");
+        assert!(validate_log(&k.log).is_empty(), "seed {seed}");
+    }
+}
+
+#[test]
+fn randomized_attacks_with_sharing_window() {
+    // Even while one page is legitimately granted, everything else stays
+    // protected, and revocation closes the window.
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut k = KCore::boot(KCoreConfig::default());
+    let vmid = boot_vm(&mut k, 0, VM_POOL_PFN.0);
+    let gpa = 64 * PAGE_WORDS;
+    k.handle_s2_fault(0, vmid, gpa, VM_POOL_PFN.0 + 4).unwrap();
+    k.vm_write(0, vmid, gpa + 1, 42).unwrap();
+    k.vm_write(0, vmid, 0, SECRET).unwrap();
+    k.grant_page(0, vmid, gpa).unwrap();
+    let shared_pa = k.vm(vmid).unwrap().s2.translate(&k.mem, gpa).unwrap();
+    let image_pa = k.vm(vmid).unwrap().s2.translate(&k.mem, 0).unwrap();
+    for _ in 0..200 {
+        // Shared page: readable.
+        assert_eq!(k.kserv_read(1, shared_pa + 1).unwrap(), 42);
+        // Unshared page: still protected.
+        assert!(k.kserv_read(1, image_pa + rng.gen_range(0..8)).is_err());
+    }
+    k.revoke_page(0, vmid, gpa).unwrap();
+    assert!(k.kserv_read(1, shared_pa + 1).is_err());
+    assert!(check_invariants(&k).is_empty());
+}

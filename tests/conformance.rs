@@ -1,0 +1,33 @@
+//! Cross-crate integration: the litmus battery conformance sweep.
+//!
+//! The reproduction's substitute for the paper's reliance on the
+//! machine-checked Promising-Arm ≡ Armv8-axiomatic equivalence: our two
+//! independent implementations must agree on every battery test, SC must
+//! always be subsumed, and the expected architectural verdicts must hold.
+
+use vrm::memmodel::litmus::{battery, check};
+
+#[test]
+fn battery_conformance_full() {
+    let tests = battery();
+    assert!(tests.len() >= 20, "battery should be substantial");
+    for test in tests {
+        let c = check(&test).unwrap();
+        assert!(
+            c.models_agree,
+            "{}: operational and axiomatic disagree\noperational:\n{}\naxiomatic:\n{}",
+            c.name, c.promising, c.axiomatic
+        );
+        assert!(c.sc_subsumed, "{}: SC produced an outcome RM cannot", c.name);
+        assert!(c.verdicts_match, "{}: architectural verdict wrong", c.name);
+    }
+}
+
+#[test]
+fn battery_covers_both_verdicts() {
+    let tests = battery();
+    let allowed = tests.iter().filter(|t| t.allowed_on_arm).count();
+    let forbidden = tests.iter().filter(|t| !t.allowed_on_arm).count();
+    assert!(allowed >= 5, "need relaxed-allowed shapes ({allowed})");
+    assert!(forbidden >= 10, "need relaxed-forbidden shapes ({forbidden})");
+}

@@ -1,0 +1,110 @@
+//! Cross-crate integration: every table and figure regenerates with the
+//! paper's qualitative shape.
+
+use vrm::hwsim::{
+    simulate_app, simulate_micro, simulate_multivm, workloads, HwConfig, HypConfig, HypKind,
+    KernelVersion, VM_COUNTS,
+};
+
+#[test]
+fn table3_shape() {
+    // Paper Table 3 ratios: m400 high (1.76–2.30), Seattle low (1.17–1.28).
+    for (hw, lo, hi) in [
+        (HwConfig::m400(), 1.6, 2.6),
+        (HwConfig::seattle(), 1.08, 1.45),
+    ] {
+        let kvm = simulate_micro(hw, HypConfig::new(HypKind::Kvm, KernelVersion::V4_18));
+        let sek = simulate_micro(hw, HypConfig::new(HypKind::SeKvm, KernelVersion::V4_18));
+        for (k, s) in kvm.rows().iter().zip(sek.rows().iter()) {
+            let ratio = s.1 as f64 / k.1 as f64;
+            assert!(
+                (lo..hi).contains(&ratio),
+                "{} {}: ratio {ratio:.2} outside [{lo}, {hi}]",
+                hw.name,
+                k.0
+            );
+        }
+    }
+}
+
+#[test]
+fn table3_magnitudes_near_paper() {
+    let paper: [(&str, HypKind, [u64; 4]); 4] = [
+        ("m400", HypKind::Kvm, [2275, 3144, 7864, 7915]),
+        ("m400", HypKind::SeKvm, [4695, 7235, 15501, 13900]),
+        ("Seattle", HypKind::Kvm, [2896, 3831, 9288, 8816]),
+        ("Seattle", HypKind::SeKvm, [3720, 4864, 10903, 10699]),
+    ];
+    for (hw_name, kind, expected) in paper {
+        let hw = if hw_name == "m400" {
+            HwConfig::m400()
+        } else {
+            HwConfig::seattle()
+        };
+        let m = simulate_micro(hw, HypConfig::new(kind, KernelVersion::V4_18));
+        let got = [m.hypercall, m.io_kernel, m.io_user, m.virtual_ipi];
+        for (g, e) in got.iter().zip(expected.iter()) {
+            let rel = (*g as f64 - *e as f64).abs() / *e as f64;
+            assert!(
+                rel < 0.40,
+                "{hw_name} {:?}: {g} vs paper {e} ({:.0}% off)",
+                kind,
+                rel * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn fig8_shape() {
+    for hw in [HwConfig::m400(), HwConfig::seattle()] {
+        for kernel in [KernelVersion::V4_18, KernelVersion::V5_4] {
+            for w in workloads() {
+                let kvm = simulate_app(hw, HypConfig::new(HypKind::Kvm, kernel), &w).normalized;
+                let sek = simulate_app(hw, HypConfig::new(HypKind::SeKvm, kernel), &w).normalized;
+                assert!(kvm > sek, "{}: SeKVM should cost something", w.name);
+                assert!(
+                    sek / kvm >= 0.90,
+                    "{} {} {}: SeKVM more than 10% below KVM",
+                    hw.name,
+                    kernel.name(),
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fig9_shape() {
+    let hw = HwConfig::m400();
+    let kvm = HypConfig::new(HypKind::Kvm, KernelVersion::V4_18);
+    let sek = HypConfig::new(HypKind::SeKvm, KernelVersion::V4_18);
+    for w in workloads() {
+        let mut prev_k = f64::INFINITY;
+        let mut prev_s = f64::INFINITY;
+        for n in VM_COUNTS {
+            let k = simulate_multivm(hw, kvm, &w, n);
+            let s = simulate_multivm(hw, sek, &w, n);
+            // Both decrease and track each other.
+            assert!(k <= prev_k && s <= prev_s, "{} n={n}", w.name);
+            assert!(s / k >= 0.90, "{} n={n}: {:.3}", w.name, s / k);
+            prev_k = k;
+            prev_s = s;
+        }
+        // 32 VMs on 8 cores: heavily oversubscribed.
+        assert!(simulate_multivm(hw, kvm, &w, 32) < 0.5 * simulate_multivm(hw, kvm, &w, 1));
+    }
+}
+
+#[test]
+fn three_level_tables_help_small_tlb_parts() {
+    // §5.6's motivation: 3-level stage-2 reduces walk cost, which matters
+    // most on the m400.
+    let hw = HwConfig::m400();
+    let v418 = simulate_micro(hw, HypConfig::new(HypKind::SeKvm, KernelVersion::V4_18));
+    let v54 = simulate_micro(hw, HypConfig::new(HypKind::SeKvm, KernelVersion::V5_4));
+    // 5.4 uses 3-level tables: cheaper walks despite slightly more
+    // instructions on exit paths.
+    assert!(v54.io_kernel < v418.io_kernel);
+}

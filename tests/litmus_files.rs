@@ -1,0 +1,72 @@
+//! The `.litmus` corpus under `litmus/`: every file must parse, conform
+//! across models, and satisfy its own `check` expectations.
+
+use vrm::memmodel::axiomatic::{enumerate_axiomatic_with, AxConfig};
+use vrm::memmodel::parser::{parse, CheckModel};
+use vrm::memmodel::promising::enumerate_promising_with;
+use vrm::memmodel::sc::enumerate_sc;
+
+#[test]
+fn corpus_parses_and_passes() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/litmus");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("litmus/ directory")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "litmus"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 5, "expected a corpus, found {files:?}");
+    for path in files {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let prog = &parsed.program;
+        assert!(!parsed.checks.is_empty(), "{}: no checks", path.display());
+        let sc = enumerate_sc(prog).unwrap();
+        let rm = enumerate_promising_with(prog, &parsed.promising)
+            .unwrap()
+            .outcomes;
+        assert!(
+            sc.is_subset(&rm),
+            "{}: SC not subsumed by RM",
+            path.display()
+        );
+        let ax = if parsed.run_axiomatic {
+            enumerate_axiomatic_with(prog, &AxConfig::default())
+                .ok()
+                .filter(|r| !r.truncated)
+                .map(|r| r.outcomes)
+        } else {
+            None
+        };
+        if let Some(ax) = &ax {
+            // Only compare exactly when the promise search ran at full
+            // strength; the promise-free fast path under-approximates.
+            if parsed.promising.promises {
+                assert_eq!(&rm, ax, "{}: model mismatch", path.display());
+            } else {
+                assert!(
+                    rm.is_subset(ax),
+                    "{}: promise-free RM must under-approximate",
+                    path.display()
+                );
+            }
+        }
+        for c in &parsed.checks {
+            let set = match c.model {
+                CheckModel::Arm => ax.as_ref().unwrap_or(&rm),
+                CheckModel::Sc => &sc,
+            };
+            let bindings: Vec<(&str, u64)> =
+                c.bindings.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+            assert_eq!(
+                set.contains_binding(&bindings),
+                c.allows,
+                "{}: check {:?} {} failed",
+                path.display(),
+                c.bindings,
+                if c.allows { "allows" } else { "forbids" },
+            );
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Machine fuzzing: randomly generated (structurally valid) per-CPU
+//! scripts must run cleanly under the contended scheduler, with zero wDRF
+//! violations and intact security invariants on every seed.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use vrm::sekvm::layout::{PAGE_WORDS, VM_POOL_PFN};
+use vrm::sekvm::machine::{Machine, Op, Script};
+use vrm::sekvm::security::check_invariants;
+use vrm::sekvm::wdrf::validate_log;
+use vrm::sekvm::KCoreConfig;
+
+/// Generates one CPU's script: boot a VM, then a random but legal mix of
+/// faults, writes/reads, grants/revokes, vCPU quanta and IPIs, then
+/// reclaim.
+fn random_script(rng: &mut StdRng, cpu: u64) -> Script {
+    // Disjoint page-frame budget per CPU.
+    let base = VM_POOL_PFN.0 + cpu * 64;
+    let mut script = vec![
+        Op::RegisterVm,
+        Op::RegisterVcpu,
+        Op::RegisterVcpu,
+        Op::StageImage {
+            pfns: vec![base, base + 1],
+        },
+        Op::VerifyImage,
+    ];
+    // Tracked state for structural validity.
+    let mut next_donor = base + 8;
+    let mut mapped: Vec<u64> = Vec::new(); // gpas with data pages
+    let mut granted: Vec<u64> = Vec::new();
+    let mut written: Vec<(u64, u64)> = Vec::new();
+    for _ in 0..rng.gen_range(8..24) {
+        match rng.gen_range(0..7) {
+            0 => {
+                let gpa = (16 + mapped.len() as u64 + cpu * 1000) * PAGE_WORDS;
+                script.push(Op::Fault {
+                    gpa,
+                    donor_pfn: next_donor,
+                });
+                next_donor += 1;
+                mapped.push(gpa);
+            }
+            1 if !mapped.is_empty() => {
+                let gpa = mapped[rng.gen_range(0..mapped.len())] + rng.gen_range(0..8);
+                let val = rng.gen_range(1..1_000_000);
+                script.push(Op::VmWrite { gpa, val });
+                written.retain(|(g, _)| *g != gpa);
+                written.push((gpa, val));
+            }
+            2 if !written.is_empty() => {
+                let (gpa, val) = written[rng.gen_range(0..written.len())];
+                script.push(Op::VmReadExpect { gpa, expect: val });
+            }
+            3 if !mapped.is_empty() => {
+                // Grant a page not already granted.
+                let candidates: Vec<u64> = mapped
+                    .iter()
+                    .copied()
+                    .filter(|g| !granted.contains(g))
+                    .collect();
+                if let Some(&gpa) = candidates.first() {
+                    script.push(Op::Grant { gpa });
+                    granted.push(gpa);
+                }
+            }
+            4 if !granted.is_empty() => {
+                let gpa = granted.remove(rng.gen_range(0..granted.len()));
+                script.push(Op::Revoke { gpa });
+            }
+            5 => {
+                script.push(Op::RunQuantum {
+                    vcpu: rng.gen_range(0..2),
+                });
+                script.push(Op::UartWrite {
+                    byte: rng.gen_range(32..127),
+                });
+            }
+            _ => {
+                let vcpu = rng.gen_range(0..2);
+                let irq = rng.gen_range(0..8);
+                script.push(Op::SendIpi { to_vcpu: vcpu, irq });
+                script.push(Op::WaitIrq { vcpu, irq });
+            }
+        }
+    }
+    // Revoke everything still granted, then tear down.
+    for gpa in granted {
+        script.push(Op::Revoke { gpa });
+    }
+    script.push(Op::Reclaim);
+    script
+}
+
+#[test]
+fn fuzzed_machine_runs_stay_clean() {
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ncpus = rng.gen_range(2..6);
+        let scripts: Vec<Script> = (0..ncpus)
+            .map(|c| random_script(&mut rng, c as u64))
+            .collect();
+        for levels in [3u32, 4u32] {
+            let mut m = Machine::new(
+                KCoreConfig {
+                    s2_levels: levels,
+                    ..Default::default()
+                },
+                scripts.clone(),
+                seed * 31 + levels as u64,
+            );
+            let report = m.run(5_000_000);
+            assert!(
+                report.clean(),
+                "seed {seed} levels {levels}: {report:?}"
+            );
+            let wdrf = validate_log(&m.kcore.log);
+            assert!(wdrf.is_empty(), "seed {seed} levels {levels}: {wdrf:?}");
+            let inv = check_invariants(&m.kcore);
+            assert!(inv.is_empty(), "seed {seed} levels {levels}: {inv:?}");
+        }
+    }
+}

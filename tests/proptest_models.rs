@@ -1,0 +1,395 @@
+//! Property-based tests over the core machinery.
+//!
+//! * For random litmus-scale programs: SC outcomes are always a subset of
+//!   the Promising-model outcomes; the promise-free mode never exceeds
+//!   the promising mode; and the Promising and axiomatic implementations
+//!   agree exactly (the reproduction's stand-in for the published
+//!   equivalence proof).
+//! * For random page-table operation sequences: walks, mappings and the
+//!   Transactional-Page-Table condition hold for every `set`/`clear`.
+
+use proptest::prelude::*;
+
+use vrm::memmodel::axiomatic::{enumerate_axiomatic_with, AxConfig};
+use vrm::memmodel::builder::ProgramBuilder;
+use vrm::memmodel::ir::{Fence, Inst, Program, Reg, RmwOp};
+use vrm::memmodel::promising::{enumerate_promising_with, PromisingConfig};
+use vrm::memmodel::sc::enumerate_sc;
+
+const LOCS: [u64; 2] = [0x10, 0x20];
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        // Loads into r0/r1, plain or acquire.
+        (0..2usize, 0..2u8, proptest::bool::ANY).prop_map(|(l, r, acq)| Inst::Load {
+            dst: Reg(r),
+            addr: LOCS[l].into(),
+            acq,
+        }),
+        // Stores of 1/2 or of a register, plain or release.
+        (0..2usize, 1..3u64, proptest::bool::ANY).prop_map(|(l, v, rel)| Inst::Store {
+            val: v.into(),
+            addr: LOCS[l].into(),
+            rel,
+        }),
+        (0..2usize, 0..2u8, proptest::bool::ANY).prop_map(|(l, r, rel)| Inst::Store {
+            val: Reg(r).into(),
+            addr: LOCS[l].into(),
+            rel,
+        }),
+        Just(Inst::Fence(Fence::Sy)),
+        Just(Inst::Fence(Fence::Ld)),
+        Just(Inst::Fence(Fence::St)),
+        (0..2usize).prop_map(|l| Inst::Rmw {
+            dst: Reg(0),
+            addr: LOCS[l].into(),
+            op: RmwOp::Add,
+            rhs: 1u64.into(),
+            acq: false,
+            rel: false,
+        }),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec(arb_inst(), 1..=3),
+        proptest::collection::vec(arb_inst(), 1..=3),
+    )
+        .prop_map(|(c0, c1)| {
+            let mut p = ProgramBuilder::new("random");
+            p.thread("T0", |t| {
+                for i in &c0 {
+                    t.inst(i.clone());
+                }
+            });
+            p.thread("T1", |t| {
+                for i in &c1 {
+                    t.inst(i.clone());
+                }
+            });
+            p.observe_reg("t0r0", 0, Reg(0));
+            p.observe_reg("t0r1", 0, Reg(1));
+            p.observe_reg("t1r0", 1, Reg(0));
+            p.observe_reg("t1r1", 1, Reg(1));
+            p.observe_mem("x", LOCS[0]);
+            p.observe_mem("y", LOCS[1]);
+            p.build()
+        })
+}
+
+fn promising_cfg(promises: bool) -> PromisingConfig {
+    PromisingConfig {
+        promises,
+        max_promises_per_thread: 1,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sc_subset_of_promising(prog in arb_program()) {
+        let sc = enumerate_sc(&prog).unwrap();
+        let rm = enumerate_promising_with(&prog, &promising_cfg(true)).unwrap();
+        prop_assert!(
+            sc.is_subset(&rm.outcomes),
+            "SC-only outcomes: {:?}\nprogram: {prog:?}",
+            sc.difference(&rm.outcomes)
+        );
+    }
+
+    #[test]
+    fn promise_free_subset_of_promising(prog in arb_program()) {
+        let weak = enumerate_promising_with(&prog, &promising_cfg(false)).unwrap();
+        let full = enumerate_promising_with(&prog, &promising_cfg(true)).unwrap();
+        prop_assert!(weak.outcomes.is_subset(&full.outcomes));
+    }
+
+    #[test]
+    fn promising_agrees_with_axiomatic(prog in arb_program()) {
+        let rm = enumerate_promising_with(&prog, &PromisingConfig::default()).unwrap();
+        let ax = enumerate_axiomatic_with(&prog, &AxConfig::default()).unwrap();
+        if ax.truncated || rm.truncated {
+            // Bounded enumerations (e.g. RMW chains exploding the value
+            // domain) may be incomplete on either side; completeness
+            // claims are only made for untruncated runs. A truncated
+            // axiomatic set must still be sound (subset of the complete
+            // operational set) when the operational side is complete.
+            if !rm.truncated {
+                prop_assert!(
+                    ax.outcomes.is_subset(&rm.outcomes),
+                    "truncated axiomatic produced impossible outcomes:\n{}\nvs\n{}",
+                    ax.outcomes,
+                    rm.outcomes
+                );
+            }
+        } else {
+            prop_assert!(
+                rm.outcomes == ax.outcomes,
+                "promising:\n{}\naxiomatic:\n{}\nprogram: {prog:?}",
+                rm.outcomes,
+                ax.outcomes
+            );
+        }
+    }
+}
+
+mod virtual_memory {
+    use super::*;
+    use vrm::memmodel::ir::VmConfig;
+
+    /// Random programs over a 1-level page table: a "kernel" thread doing
+    /// raw PTE stores and TLBIs races a "user" thread doing virtual
+    /// loads. SC must always be subsumed by the relaxed model.
+    #[derive(Debug, Clone, Copy)]
+    enum KOp {
+        PteWrite { slot: u64, page: u64 },
+        Barrier,
+        Tlbi { slot: u64 },
+    }
+
+    fn arb_kop() -> impl Strategy<Value = KOp> {
+        prop_oneof![
+            (0..2u64, 0..3u64).prop_map(|(slot, page)| KOp::PteWrite { slot, page }),
+            Just(KOp::Barrier),
+            (0..2u64).prop_map(|slot| KOp::Tlbi { slot }),
+        ]
+    }
+
+    fn build(kops: &[KOp], nloads: usize) -> Program {
+        let vm = VmConfig {
+            levels: 1,
+            root: 0x100,
+            page_bits: 4,
+            index_bits: 4,
+        };
+        let mut p = ProgramBuilder::new("random-vm");
+        p.vm(vm);
+        // Slot 0 initially mapped to page 0x20 (all-1s); slot 1 empty.
+        p.init(0x100, 0x20);
+        p.init_range(0x20, 16, 1);
+        p.init_range(0x30, 16, 2);
+        p.init_range(0x40, 16, 3);
+        let pages = [0u64, 0x30, 0x40]; // page "0" = unmap
+        p.thread("kernel", |t| {
+            for op in kops {
+                match op {
+                    KOp::PteWrite { slot, page } => {
+                        t.store(0x100 + slot, pages[*page as usize], false);
+                    }
+                    KOp::Barrier => {
+                        t.dmb();
+                    }
+                    KOp::Tlbi { slot } => {
+                        t.tlbi_va(slot << 4);
+                    }
+                }
+            }
+        });
+        p.thread("user", |t| {
+            for i in 0..nloads {
+                t.load_virt(Reg(i as u8), (i as u64 % 2) << 4, false);
+            }
+        });
+        for i in 0..nloads {
+            p.observe_reg(&format!("u{i}"), 1, Reg(i as u8));
+        }
+        p.build()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn sc_subset_of_promising_with_mmu(
+            kops in proptest::collection::vec(arb_kop(), 1..5),
+            nloads in 1usize..3,
+        ) {
+            let prog = build(&kops, nloads);
+            let sc = enumerate_sc(&prog).unwrap();
+            let rm = enumerate_promising_with(&prog, &promising_cfg(false)).unwrap();
+            prop_assert!(
+                sc.is_subset(&rm.outcomes),
+                "SC-only outcomes: {:?}\nkops: {kops:?}",
+                sc.difference(&rm.outcomes)
+            );
+        }
+
+        /// Unmap with barrier + TLBI, then a fresh walk after
+        /// synchronization must fault — for every prefix of kernel noise.
+        #[test]
+        fn break_sequence_is_always_visible(
+            noise in proptest::collection::vec(arb_kop(), 0..3),
+        ) {
+            let vm = VmConfig { levels: 1, root: 0x100, page_bits: 4, index_bits: 4 };
+            let mut p = ProgramBuilder::new("bbm");
+            p.vm(vm);
+            p.init(0x100, 0x20);
+            p.init_range(0x20, 16, 1);
+            p.init_range(0x30, 16, 2);
+            p.init_range(0x40, 16, 3);
+            let pages = [0u64, 0x30, 0x40];
+            p.thread("kernel", move |t| {
+                // Noise touching only slot 1 (never slot 0).
+                for op in &noise {
+                    match op {
+                        KOp::PteWrite { page, .. } => {
+                            t.store(0x101u64, pages[*page as usize], false);
+                        }
+                        KOp::Barrier => { t.dmb(); }
+                        KOp::Tlbi { .. } => { t.tlbi_va(1u64 << 4); }
+                    }
+                }
+                // The break sequence on slot 0 + publication.
+                t.store(0x100u64, 0u64, false);
+                t.dmb();
+                t.tlbi_va(0u64);
+                t.store(0x200u64, 1u64, true);
+            });
+            p.thread("user", |t| {
+                t.load(Reg(0), 0x200u64, true);
+                t.br(vrm::memmodel::ir::Cond::Ne, Reg(0), 1u64, "skip");
+                t.load_virt(Reg(1), 0u64, false);
+                t.label("skip");
+                t.inst(Inst::Halt);
+            });
+            p.observe_reg("saw", 1, Reg(0));
+            p.observe_reg("data", 1, Reg(1));
+            let prog = p.build();
+            let rm = enumerate_promising_with(&prog, &promising_cfg(false)).unwrap();
+            // Once the post-TLBI publication is observed, no walk can read
+            // the old mapping (it must fault instead).
+            prop_assert!(
+                !rm.outcomes.contains_binding(&[("saw", 1), ("data", 1)]),
+                "stale walk after synchronized TLBI:\n{}",
+                rm.outcomes
+            );
+        }
+    }
+}
+
+mod page_tables {
+    use proptest::prelude::*;
+    use vrm::mmu::mem::PhysMem;
+    use vrm::mmu::pool::PagePool;
+    use vrm::mmu::pte::Perms;
+    use vrm::mmu::table::{Geometry, PageTable, WalkOutcome};
+    use vrm::mmu::transactional::check_writes_transactional;
+
+    #[derive(Debug, Clone, Copy)]
+    enum PtOp {
+        Map { slot: u64, page: u64 },
+        Unmap { slot: u64 },
+    }
+
+    fn arb_op() -> impl Strategy<Value = PtOp> {
+        prop_oneof![
+            (0..8u64, 0..8u64).prop_map(|(slot, page)| PtOp::Map { slot, page }),
+            (0..8u64).prop_map(|slot| PtOp::Unmap { slot }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Every successful map/unmap is transactional, the walker agrees
+        /// with a shadow map, and `mappings()` stays consistent.
+        #[test]
+        fn random_op_sequences_preserve_invariants(
+            ops in proptest::collection::vec(arb_op(), 1..24),
+            levels in 2u32..4,
+        ) {
+            let mut mem = PhysMem::new();
+            let geo = Geometry::tiny(levels);
+            let mut pool = PagePool::new(&mut mem, 0x10000, geo.page_words(), 128);
+            let root = pool.alloc(&mem).unwrap();
+            let pt = PageTable::new(root, geo);
+            let page_words = geo.page_words();
+            let mut shadow: std::collections::BTreeMap<u64, u64> = Default::default();
+            for op in ops {
+                match op {
+                    PtOp::Map { slot, page } => {
+                        let va = slot * page_words;
+                        let pa = 0x40000 + page * page_words;
+                        let before = mem.clone();
+                        match pt.map(&mut mem, &mut pool, va, pa, Perms::RW) {
+                            Ok(writes) => {
+                                prop_assert!(!shadow.contains_key(&slot));
+                                check_writes_transactional(&pt, &before, &writes, &[va])
+                                    .map_err(|e| TestCaseError::fail(format!("{e:?}")))?;
+                                shadow.insert(slot, pa);
+                            }
+                            Err(_) => prop_assert!(shadow.contains_key(&slot)),
+                        }
+                    }
+                    PtOp::Unmap { slot } => {
+                        let va = slot * page_words;
+                        let before = mem.clone();
+                        match pt.unmap(&mut mem, va) {
+                            Ok(writes) => {
+                                prop_assert!(shadow.remove(&slot).is_some());
+                                check_writes_transactional(&pt, &before, &writes, &[va])
+                                    .map_err(|e| TestCaseError::fail(format!("{e:?}")))?;
+                            }
+                            Err(_) => prop_assert!(!shadow.contains_key(&slot)),
+                        }
+                    }
+                }
+                // Walker agrees with the shadow on every slot.
+                for slot in 0..8u64 {
+                    let va = slot * page_words + 3;
+                    match (pt.walk(&mem, va), shadow.get(&slot)) {
+                        (WalkOutcome::Mapped { pa, .. }, Some(&expect)) => {
+                            prop_assert_eq!(pa, expect + 3);
+                        }
+                        (WalkOutcome::Fault { .. }, None) => {}
+                        (got, want) => {
+                            return Err(TestCaseError::fail(format!(
+                                "slot {slot}: walk {got:?} vs shadow {want:?}"
+                            )));
+                        }
+                    }
+                }
+                prop_assert_eq!(pt.mappings(&mem).len(), shadow.len());
+            }
+        }
+    }
+}
+
+mod ticket_lock {
+    use proptest::prelude::*;
+    use vrm::sekvm::ticketlock::TicketLock;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Under any interleaving of draws and enter attempts, tickets are
+        /// served strictly FIFO and mutual exclusion holds.
+        #[test]
+        fn fifo_and_mutual_exclusion(schedule in proptest::collection::vec(0..4usize, 1..64)) {
+            let mut lock = TicketLock::new();
+            let mut tickets: Vec<Option<vrm::sekvm::ticketlock::Ticket>> = vec![None; 4];
+            let mut served: Vec<u64> = Vec::new();
+            for cpu in schedule {
+                match tickets[cpu] {
+                    None => tickets[cpu] = Some(lock.draw()),
+                    Some(t) => {
+                        if lock.holder() == Some(cpu) {
+                            lock.release(cpu);
+                            tickets[cpu] = None;
+                        } else if lock.try_enter(cpu, t) {
+                            prop_assert_eq!(lock.holder(), Some(cpu));
+                            served.push(t.0);
+                        }
+                    }
+                }
+            }
+            // FIFO: tickets were served in strictly increasing order.
+            for w in served.windows(2) {
+                prop_assert!(w[0] < w[1], "out of order: {served:?}");
+            }
+        }
+    }
+}

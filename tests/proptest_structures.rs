@@ -1,0 +1,244 @@
+//! Property-based tests over VRM's core data structures.
+//!
+//! * Randomly generated *valid* push/pull executions: the Figure 6 SC
+//!   construction must validate, topologically sort, and replay with
+//!   identical execution results.
+//! * The `s2page` ownership array against a shadow model.
+//! * The TLB model's capacity and LRU behaviour.
+
+use proptest::prelude::*;
+
+mod scconstruct_props {
+    use super::*;
+    use std::collections::BTreeMap;
+    use vrm::core::scconstruct::{
+        construct_sc, replay_matches, CsEvent, PlEntry, PushPullExecution,
+    };
+
+    /// One randomly scheduled critical section: which CPU, which location,
+    /// and a little program of reads/writes.
+    #[derive(Debug, Clone)]
+    struct Section {
+        tid: usize,
+        loc: u64,
+        writes: Vec<u64>,
+        read_first: bool,
+    }
+
+    fn arb_section(threads: usize) -> impl Strategy<Value = Section> {
+        (
+            0..threads,
+            0..3u64,
+            proptest::collection::vec(1..100u64, 0..3),
+            proptest::bool::ANY,
+        )
+            .prop_map(|(tid, l, writes, read_first)| Section {
+                tid,
+                loc: 0x10 + l,
+                writes,
+                read_first,
+            })
+    }
+
+    /// Serializes the sections into a *valid* push/pull execution: since
+    /// sections run back-to-back in the promise list, reads see the values
+    /// a sequential memory produces.
+    fn build_execution(sections: &[Section], threads: usize) -> PushPullExecution {
+        let mut exec = PushPullExecution {
+            promise_list: Vec::new(),
+            traces: vec![Vec::new(); threads],
+            init: BTreeMap::new(),
+        };
+        let mut mem: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut cs_counter = vec![0usize; threads];
+        for s in sections {
+            let cs = cs_counter[s.tid];
+            cs_counter[s.tid] += 1;
+            exec.promise_list.push(PlEntry::Pull {
+                tid: s.tid,
+                cs,
+                locs: vec![s.loc],
+            });
+            if s.read_first {
+                exec.traces[s.tid].push(CsEvent {
+                    cs,
+                    is_write: false,
+                    loc: s.loc,
+                    val: mem.get(&s.loc).copied().unwrap_or(0),
+                });
+            }
+            for &w in &s.writes {
+                exec.promise_list.push(PlEntry::Write {
+                    tid: s.tid,
+                    loc: s.loc,
+                    val: w,
+                });
+                exec.traces[s.tid].push(CsEvent {
+                    cs,
+                    is_write: true,
+                    loc: s.loc,
+                    val: w,
+                });
+                mem.insert(s.loc, w);
+            }
+            exec.promise_list.push(PlEntry::Push {
+                tid: s.tid,
+                cs,
+                locs: vec![s.loc],
+            });
+        }
+        exec
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn valid_executions_construct_and_replay(
+            sections in proptest::collection::vec(arb_section(3), 1..10)
+        ) {
+            let exec = build_execution(&sections, 3);
+            let sc = construct_sc(&exec).expect("valid execution");
+            replay_matches(&exec, &sc)
+                .map_err(TestCaseError::fail)?;
+            // Every event appears exactly once in the SC order.
+            let total: usize = exec.traces.iter().map(|t| t.len()).sum();
+            prop_assert_eq!(sc.order.len(), total);
+        }
+
+        #[test]
+        fn overlapping_pull_is_rejected(
+            tid_a in 0..2usize,
+        ) {
+            // Two pulls of the same location with no intervening push.
+            let exec = PushPullExecution {
+                promise_list: vec![
+                    PlEntry::Pull { tid: tid_a, cs: 0, locs: vec![0x10] },
+                    PlEntry::Pull { tid: 1 - tid_a, cs: 0, locs: vec![0x10] },
+                ],
+                traces: vec![vec![], vec![]],
+                init: BTreeMap::new(),
+            };
+            prop_assert!(construct_sc(&exec).is_err());
+        }
+    }
+}
+
+mod s2page_props {
+    use super::*;
+    use vrm::sekvm::s2page::{Owner, S2PageArray};
+
+    #[derive(Debug, Clone, Copy)]
+    enum OwnOp {
+        Transfer { pfn_off: u64, to: u8 },
+        IncMap { pfn_off: u64 },
+        DecMap { pfn_off: u64 },
+        Share { pfn_off: u64, on: bool },
+    }
+
+    fn arb_op() -> impl Strategy<Value = OwnOp> {
+        prop_oneof![
+            (0..16u64, 0..3u8).prop_map(|(pfn_off, to)| OwnOp::Transfer { pfn_off, to }),
+            (0..16u64).prop_map(|pfn_off| OwnOp::IncMap { pfn_off }),
+            (0..16u64).prop_map(|pfn_off| OwnOp::DecMap { pfn_off }),
+            (0..16u64, proptest::bool::ANY).prop_map(|(pfn_off, on)| OwnOp::Share { pfn_off, on }),
+        ]
+    }
+
+    fn owner(code: u8) -> Owner {
+        match code {
+            0 => Owner::KServ,
+            1 => Owner::Vm(1),
+            _ => Owner::Vm(2),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The array always agrees with a shadow model, and the safety
+        /// rules hold: mapped pages never change owner, KCore pages are
+        /// never transferable.
+        #[test]
+        fn ownership_agrees_with_shadow(ops in proptest::collection::vec(arb_op(), 1..40)) {
+            let base = vrm::sekvm::layout::VM_POOL_PFN.0;
+            let mut arr = S2PageArray::new();
+            let mut shadow: Vec<(Owner, u32, bool)> =
+                vec![(Owner::KServ, 0, false); 16];
+            for op in ops {
+                match op {
+                    OwnOp::Transfer { pfn_off, to } => {
+                        let pfn = base + pfn_off;
+                        let cur = shadow[pfn_off as usize];
+                        let r = arr.transfer(pfn, cur.0, owner(to));
+                        if cur.1 == 0 {
+                            prop_assert!(r.is_ok(), "{r:?}");
+                            shadow[pfn_off as usize] = (owner(to), 0, false);
+                        } else {
+                            prop_assert!(r.is_err());
+                        }
+                    }
+                    OwnOp::IncMap { pfn_off } => {
+                        arr.inc_map(base + pfn_off).unwrap();
+                        shadow[pfn_off as usize].1 += 1;
+                    }
+                    OwnOp::DecMap { pfn_off } => {
+                        let r = arr.dec_map(base + pfn_off);
+                        if shadow[pfn_off as usize].1 > 0 {
+                            prop_assert!(r.is_ok());
+                            shadow[pfn_off as usize].1 -= 1;
+                        } else {
+                            prop_assert!(r.is_err());
+                        }
+                    }
+                    OwnOp::Share { pfn_off, on } => {
+                        arr.set_shared(base + pfn_off, on).unwrap();
+                        shadow[pfn_off as usize].2 = on;
+                    }
+                }
+                for (off, &(o, m, sh)) in shadow.iter().enumerate() {
+                    let page = arr.get(base + off as u64).unwrap();
+                    prop_assert_eq!(page.owner, o);
+                    prop_assert_eq!(page.map_count, m);
+                    prop_assert_eq!(page.shared, sh);
+                }
+                // KCore pages stay KCore's whatever happens around them.
+                prop_assert_eq!(arr.owner(0).unwrap(), Owner::KCore);
+            }
+        }
+    }
+}
+
+mod tlb_props {
+    use super::*;
+    use vrm::mmu::tlb::Tlb;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Capacity is never exceeded; a fill is immediately visible; a
+        /// full invalidation empties everything.
+        #[test]
+        fn tlb_capacity_and_visibility(
+            capacity in 1usize..8,
+            ops in proptest::collection::vec((0..16u64, 0..2u8), 1..64),
+        ) {
+            let mut tlb = Tlb::new(capacity);
+            for (vpn, kind) in ops {
+                match kind {
+                    0 => {
+                        tlb.fill(vpn, 0x1000 + vpn);
+                        prop_assert_eq!(tlb.lookup(vpn), Some(0x1000 + vpn));
+                    }
+                    _ => {
+                        tlb.invalidate(Some(vpn));
+                        prop_assert_eq!(tlb.lookup(vpn), None);
+                    }
+                }
+                prop_assert!(tlb.len() <= capacity);
+            }
+            tlb.invalidate(None);
+            prop_assert!(tlb.is_empty());
+        }
+    }
+}

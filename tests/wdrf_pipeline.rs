@@ -1,0 +1,155 @@
+//! Cross-crate integration: the end-to-end wDRF verification pipeline —
+//! litmus-scale checks from `vrm-core` feeding the machine-scale
+//! validation in `vrm-sekvm`, exactly the structure of the paper's §5.
+
+use vrm::core::pushpull::check_pushpull;
+use vrm::core::{check_wdrf, paper_examples, IsolationMode, KernelSpec, WdrfCheckConfig};
+use vrm::memmodel::promising::PromisingConfig;
+use vrm::sekvm::layout::VM_POOL_PFN;
+use vrm::sekvm::machine::{lifecycle_script, Machine, Script};
+use vrm::sekvm::security::check_invariants;
+use vrm::sekvm::wdrf::validate_log;
+use vrm::sekvm::KCoreConfig;
+
+fn scripts(n: usize) -> Vec<Script> {
+    (0..n)
+        .map(|i| {
+            lifecycle_script(
+                i as u64,
+                VM_POOL_PFN.0 + (i as u64) * 8,
+                VM_POOL_PFN.0 + (i as u64) * 8 + 4,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn ticket_lock_satisfies_conditions_1_and_2() {
+    let prog = paper_examples::gen_vmid_program(true);
+    let mut spec = KernelSpec::for_kernel_threads([0, 1]);
+    spec.shared_data = [0x12].into();
+    let cfg = PromisingConfig {
+        promises: false,
+        ..Default::default()
+    };
+    let r = check_pushpull(&prog, &spec, &cfg).unwrap();
+    assert!(r.drf_kernel_holds(), "{:?}", r.ownership_violations);
+    assert!(r.no_barrier_misuse_holds(), "{:?}", r.barrier_violations);
+    assert!(!r.truncated);
+}
+
+#[test]
+fn barrierless_lock_fails_condition_2() {
+    let prog = paper_examples::gen_vmid_program(false);
+    let mut spec = KernelSpec::for_kernel_threads([0, 1]);
+    spec.shared_data = [0x12].into();
+    let cfg = PromisingConfig {
+        promises: false,
+        ..Default::default()
+    };
+    let r = check_pushpull(&prog, &spec, &cfg).unwrap();
+    assert!(!r.no_barrier_misuse_holds());
+}
+
+#[test]
+fn theorem_check_certifies_fixed_examples() {
+    // Each repaired example passes the RM ⊆ SC comparison.
+    let mut cfg = WdrfCheckConfig {
+        skip_sync_conditions: true,
+        ..Default::default()
+    };
+    cfg.promising.max_promises_per_thread = 1;
+    cfg.promising.value_cfg.max_rounds = 3;
+    for ex in paper_examples::all() {
+        let Some(fixed) = ex.fixed else { continue };
+        if fixed.uses_vm() {
+            // The theorem comparison for VM examples runs via the model
+            // outcome sets directly in the core tests; check_wdrf's
+            // default condition set applies to plain-memory kernels here.
+            continue;
+        }
+        let nthreads = fixed.threads.len();
+        let spec = KernelSpec::for_kernel_threads(0..nthreads);
+        let v = check_wdrf(&fixed, &spec, &cfg).unwrap();
+        assert!(
+            v.rm_subset_of_sc,
+            "{}: fixed program has RM-only outcomes: {:?}",
+            ex.name, v.counterexamples
+        );
+    }
+}
+
+#[test]
+fn theorem_check_rejects_buggy_examples() {
+    let mut cfg = WdrfCheckConfig {
+        skip_sync_conditions: true,
+        ..Default::default()
+    };
+    cfg.promising.max_promises_per_thread = 1;
+    cfg.promising.value_cfg.max_rounds = 3;
+    for ex in paper_examples::all() {
+        if ex.buggy.uses_vm() {
+            continue; // covered by outcome-set comparisons in vrm-core
+        }
+        let nthreads = ex.buggy.threads.len();
+        let mut spec = KernelSpec::for_kernel_threads(0..nthreads);
+        if ex.name.contains("Example 7") {
+            // The kernel is only the last thread there.
+            spec = KernelSpec::for_kernel_threads([nthreads - 1]);
+            spec.kernel_observables = vec!["kernel_z".into()];
+            spec.isolation = IsolationMode::Strong;
+        }
+        let v = check_wdrf(&ex.buggy, &spec, &cfg).unwrap();
+        assert!(
+            !v.rm_subset_of_sc,
+            "{}: buggy program unexpectedly passed",
+            ex.name
+        );
+    }
+}
+
+#[test]
+fn machine_validation_clean_for_both_geometries() {
+    for levels in [3u32, 4u32] {
+        for seed in [0u64, 17, 91] {
+            let mut m = Machine::new(
+                KCoreConfig {
+                    s2_levels: levels,
+                    ..Default::default()
+                },
+                scripts(4),
+                seed,
+            );
+            let report = m.run(2_000_000);
+            assert!(report.clean(), "levels={levels} seed={seed}: {report:?}");
+            assert!(validate_log(&m.kcore.log).is_empty());
+            assert!(check_invariants(&m.kcore).is_empty());
+        }
+    }
+}
+
+#[test]
+fn mutants_are_rejected() {
+    use vrm::sekvm::mutants::{all, CaughtBy};
+    for mutant in all() {
+        match mutant.caught_by {
+            CaughtBy::SequentialTlbi => {
+                let mut m = Machine::new(mutant.cfg, scripts(2), 5);
+                m.run(1_000_000);
+                assert!(
+                    !validate_log(&m.kcore.log).is_empty(),
+                    "{} not caught",
+                    mutant.name
+                );
+            }
+            CaughtBy::SecurityInvariants | CaughtBy::ConfidentialityTest => {
+                // Exercised by the dedicated scenarios in vrm-sekvm's
+                // security tests and the verify_sekvm example; here we
+                // confirm the mutant at least runs.
+                let mut m = Machine::new(mutant.cfg, scripts(2), 5);
+                let r = m.run(1_000_000);
+                assert!(r.steps > 0);
+            }
+        }
+    }
+}
