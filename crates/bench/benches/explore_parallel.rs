@@ -1,0 +1,66 @@
+//! Criterion bench: parallel exploration speedup.
+//!
+//! The headline measurement for the unified engine — the full litmus
+//! battery (SC + promising + axiomatic conformance per test) at worker
+//! counts 1/2/4/8, plus a single heavy promising enumeration, so the
+//! work-stealing driver's scaling is visible both across many small
+//! state spaces and within one large one.
+//!
+//! Speedup requires hardware parallelism: on a single-core host the
+//! `jobs > 1` rows only measure the driver's coordination overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use vrm_memmodel::builder::ProgramBuilder;
+use vrm_memmodel::ir::{Program, Reg};
+use vrm_memmodel::litmus::{battery, check_with_jobs};
+use vrm_memmodel::promising::{enumerate_promising_with, PromisingConfig};
+
+fn sb4() -> Program {
+    // Four-thread store-buffering ring: one big promising state space.
+    let locs = [0x10u64, 0x20, 0x30, 0x40];
+    let mut p = ProgramBuilder::new("SB4");
+    for i in 0..4usize {
+        let w = locs[i];
+        let r = locs[(i + 1) % 4];
+        p.thread("t", move |t| {
+            t.store(w, 1u64, false);
+            t.load(Reg(0), r, false);
+        });
+    }
+    for i in 0..4 {
+        p.observe_reg(&format!("r{i}"), i, Reg(0));
+    }
+    p.build()
+}
+
+fn bench_explore_parallel(c: &mut Criterion) {
+    let tests = battery();
+    for jobs in [1usize, 2, 4, 8] {
+        c.bench_function(&format!("battery/jobs={jobs}"), |b| {
+            b.iter(|| {
+                for t in &tests {
+                    check_with_jobs(black_box(t), jobs).unwrap();
+                }
+            })
+        });
+    }
+    let sb4 = sb4();
+    for jobs in [1usize, 8] {
+        c.bench_function(&format!("promising-SB4/jobs={jobs}"), |b| {
+            b.iter(|| {
+                enumerate_promising_with(
+                    black_box(&sb4),
+                    &PromisingConfig {
+                        jobs,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_explore_parallel);
+criterion_main!(benches);

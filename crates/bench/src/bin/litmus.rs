@@ -6,6 +6,7 @@
 //! ```console
 //! $ cargo run -p vrm-bench --bin litmus -- litmus/           # a directory
 //! $ cargo run -p vrm-bench --bin litmus -- litmus/mp.litmus  # one file
+//! $ cargo run -p vrm-bench --bin litmus -- --jobs 8 litmus/  # parallel drivers
 //! $ cargo run -p vrm-bench --bin litmus -- --witness flag=1,data=0 litmus/mp.litmus
 //! ```
 
@@ -15,7 +16,7 @@ use std::process::ExitCode;
 use vrm_memmodel::axiomatic::{enumerate_axiomatic_with, AxConfig};
 use vrm_memmodel::parser::{parse, CheckModel};
 use vrm_memmodel::promising::{enumerate_promising_with, find_witness};
-use vrm_memmodel::sc::enumerate_sc;
+use vrm_memmodel::sc::{enumerate_sc_with, ScConfig};
 
 fn collect_files(arg: &str) -> Vec<PathBuf> {
     let p = Path::new(arg);
@@ -38,10 +39,16 @@ fn collect_files(arg: &str) -> Vec<PathBuf> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut witness_spec: Option<Vec<(String, u64)>> = None;
+    let mut jobs: Option<usize> = None;
     let mut paths = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--jobs" => {
+                let n = args.get(i + 1).expect("--jobs needs a worker count");
+                jobs = Some(n.parse().expect("numeric worker count"));
+                i += 2;
+            }
             "--witness" => {
                 let spec = args.get(i + 1).expect("--witness needs name=val,...");
                 witness_spec = Some(
@@ -61,7 +68,7 @@ fn main() -> ExitCode {
         }
     }
     if paths.is_empty() {
-        eprintln!("usage: litmus [--witness name=val,...] <file.litmus | dir> ...");
+        eprintln!("usage: litmus [--jobs N] [--witness name=val,...] <file.litmus | dir> ...");
         return ExitCode::FAILURE;
     }
 
@@ -75,7 +82,7 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        let parsed = match parse(&text) {
+        let mut parsed = match parse(&text) {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("{}: {e}", path.display());
@@ -83,16 +90,27 @@ fn main() -> ExitCode {
                 continue;
             }
         };
+        if let Some(jobs) = jobs {
+            parsed.promising.jobs = jobs;
+        }
         let prog = &parsed.program;
         print!("{:<28}", prog.name);
-        let sc = enumerate_sc(prog).expect("SC enumeration");
+        let mut sc_cfg = ScConfig::default();
+        if let Some(jobs) = jobs {
+            sc_cfg.jobs = jobs;
+        }
+        let sc = enumerate_sc_with(prog, &sc_cfg).expect("SC enumeration");
         let rm = enumerate_promising_with(prog, &parsed.promising)
             .expect("promising enumeration")
             .outcomes;
         // None for VM/TLB programs, disabled files, or truncated
         // (unroll-bounded) enumerations where comparison is unsound.
         let ax = if parsed.run_axiomatic {
-            enumerate_axiomatic_with(prog, &AxConfig::default())
+            let mut ax_cfg = AxConfig::default();
+            if let Some(jobs) = jobs {
+                ax_cfg.jobs = jobs;
+            }
+            enumerate_axiomatic_with(prog, &ax_cfg)
                 .ok()
                 .filter(|r| !r.truncated)
                 .map(|r| r.outcomes)

@@ -21,6 +21,7 @@
 
 use std::collections::BTreeSet;
 
+use vrm_explore::{ExploreConfig, ExploreStats};
 use vrm_memmodel::ir::{Inst, Program, Reg, Thread};
 use vrm_memmodel::outcome::{Outcome, OutcomeSet, ThreadExit};
 use vrm_memmodel::promising::{enumerate_promising_with, PromisingConfig};
@@ -50,6 +51,9 @@ pub struct WdrfCheckConfig {
     /// Skip conditions 1–3 (when the program has no push/pull
     /// instrumentation, e.g. a pure page-table or user-interference test).
     pub skip_sync_conditions: bool,
+    /// Worker threads for both model enumerations (forwarded into the
+    /// promising and SC configs; `1` = the sequential reference driver).
+    pub jobs: usize,
 }
 
 impl Default for WdrfCheckConfig {
@@ -61,6 +65,7 @@ impl Default for WdrfCheckConfig {
             tlbi_schedules: 8,
             oracle_rounds: 2,
             skip_sync_conditions: false,
+            jobs: ExploreConfig::jobs_from_env(),
         }
     }
 }
@@ -82,6 +87,8 @@ pub struct WdrfVerdict {
     pub counterexamples: Vec<Outcome>,
     /// `true` if any exploration bound was hit.
     pub truncated: bool,
+    /// Combined enumeration counters from the RM and SC sweeps.
+    pub stats: ExploreStats,
 }
 
 impl WdrfVerdict {
@@ -256,7 +263,9 @@ pub fn check_wdrf(
     let mut truncated = false;
 
     if !cfg.skip_sync_conditions {
-        let sync = check_sync_conditions(prog, spec, &cfg.promising)?;
+        let mut sync_cfg = cfg.promising.clone();
+        sync_cfg.jobs = cfg.jobs;
+        let sync = check_sync_conditions(prog, spec, &sync_cfg)?;
         truncated |= sync
             .iter()
             .any(|c| c.details.iter().any(|d| d.starts_with("warning")));
@@ -268,8 +277,11 @@ pub fn check_wdrf(
     conditions.push(check_memory_isolation(prog, spec, &cfg.values));
 
     // RM side: the real program on Promising Arm.
-    let rm_raw = enumerate_promising_with(prog, &cfg.promising)?;
+    let mut pcfg = cfg.promising.clone();
+    pcfg.jobs = cfg.jobs;
+    let rm_raw = enumerate_promising_with(prog, &pcfg)?;
     truncated |= rm_raw.truncated;
+    let mut stats = rm_raw.outcomes.stats;
     let rm = project_kernel(&rm_raw.outcomes, spec);
 
     // SC side: the real program, or the oracle closure under weak
@@ -278,7 +290,10 @@ pub fn check_wdrf(
         IsolationMode::Strong => prog.clone(),
         IsolationMode::Weak => oracle_closure(prog, spec, &cfg.values, cfg.oracle_rounds),
     };
-    let sc_raw = enumerate_sc_with(&sc_prog, &cfg.sc)?;
+    let mut scfg = cfg.sc;
+    scfg.jobs = cfg.jobs;
+    let sc_raw = enumerate_sc_with(&sc_prog, &scfg)?;
+    stats.absorb(&sc_raw.stats);
     let sc = project_kernel(&sc_raw, spec);
 
     let counterexamples = rm.difference(&sc);
@@ -289,6 +304,7 @@ pub fn check_wdrf(
         rm,
         sc,
         truncated,
+        stats,
     })
 }
 

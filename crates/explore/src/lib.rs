@@ -1,0 +1,890 @@
+//! The shared state-space exploration engine.
+//!
+//! Every verification result in this workspace — litmus verdicts, wDRF
+//! condition checks, the RM⊆SC enumeration behind `check_wdrf`, and the
+//! SeKVM machine's exhaustive schedules — is a *proof by exhaustive
+//! enumeration*: walk every reachable state of a model, dedup on a
+//! visited set, collect what terminal states say. This crate provides
+//! the one audited implementation of that walk, replacing the five
+//! hand-rolled worklist loops the models used to carry.
+//!
+//! A model implements [`StateSpace`]: it names a hashable `State`, lists
+//! the [`StateSpace::initial`] states, and expands any state into its
+//! successors through a [`Sink`] (also emitting terminal results —
+//! outcomes, violations — through the same sink). The engine owns the
+//! frontier, the visited set, limit/deadline enforcement, and
+//! statistics.
+//!
+//! Two interchangeable drivers sit behind [`explore`]:
+//!
+//! * the **sequential** driver (`jobs <= 1`, the default) — a LIFO
+//!   worklist identical in visit order to the loops it replaced, so
+//!   every deterministic test is bit-for-bit unchanged;
+//! * the **parallel** driver — `std::thread::scope` workers over
+//!   per-worker deques with work stealing, deduplicating through a
+//!   sharded `Mutex<HashSet>` visited set. Std only: the build
+//!   environment is offline, so rayon/crossbeam are not available.
+//!
+//! Both drivers explore exactly the same state set; only the order (and
+//! hence the order of emissions) differs. Callers that fold emissions
+//! into sets observe identical results from either driver.
+//!
+//! [`partition`] covers the second shape of enumeration in the
+//! workspace: an embarrassingly parallel sweep over an index space
+//! (axiomatic candidate combos, per-execution condition checks) with the
+//! same configuration, deadline and statistics plumbing.
+
+#![warn(missing_docs)]
+
+use std::collections::{HashSet, VecDeque};
+use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher, Hash};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How an exploration is bounded and driven.
+///
+/// One config type serves all four models; each model converts its own
+/// public config into this before calling [`explore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreConfig {
+    /// Abort with [`ExploreError::StateLimit`] when the visited set
+    /// grows past this many states.
+    pub max_states: usize,
+    /// Abort with [`ExploreError::DepthLimit`] when a successor would
+    /// sit deeper than this many steps from an initial state.
+    pub max_depth: Option<usize>,
+    /// Abort with [`ExploreError::Deadline`] when the walk runs longer
+    /// than this.
+    pub deadline: Option<Duration>,
+    /// Worker threads. `0` or `1` selects the sequential reference
+    /// driver; `n > 1` the work-stealing parallel driver.
+    pub jobs: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_states: usize::MAX,
+            max_depth: None,
+            deadline: None,
+            jobs: 1,
+        }
+    }
+}
+
+impl ExploreConfig {
+    /// A config bounded only by `max_states`, sequential.
+    pub fn with_max_states(max_states: usize) -> Self {
+        ExploreConfig {
+            max_states,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the worker count, returning the config (builder style).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the deadline, returning the config (builder style).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The worker count requested through the `VRM_JOBS` environment
+    /// variable, defaulting to 1 (sequential) when unset or unparsable.
+    ///
+    /// Tests and benches use this so `VRM_JOBS=8 cargo test` exercises
+    /// the parallel driver everywhere without touching any call site.
+    pub fn jobs_from_env() -> usize {
+        std::env::var("VRM_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    }
+}
+
+/// What an exploration did: the observability half of every
+/// enumeration, carried alongside each model's outcome set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Distinct states inserted into the visited set.
+    pub states: usize,
+    /// High-water mark of the frontier (pending, unexpanded states).
+    pub frontier_peak: usize,
+    /// Successors that were already in the visited set.
+    pub dedup_hits: usize,
+    /// Wall-clock time of the walk, in nanoseconds (u64 keeps the
+    /// struct `Copy`+`Eq`; see [`ExploreStats::wall`]).
+    pub wall_ns: u64,
+    /// Worker threads the driving config requested.
+    pub jobs: usize,
+}
+
+impl ExploreStats {
+    /// Wall-clock time of the walk.
+    pub fn wall(&self) -> Duration {
+        Duration::from_nanos(self.wall_ns)
+    }
+
+    /// Folds another run's stats into this one (sums counters, keeps
+    /// the larger peak and wall time).
+    pub fn absorb(&mut self, other: &ExploreStats) {
+        self.states += other.states;
+        self.frontier_peak = self.frontier_peak.max(other.frontier_peak);
+        self.dedup_hits += other.dedup_hits;
+        self.wall_ns = self.wall_ns.max(other.wall_ns);
+        self.jobs = self.jobs.max(other.jobs);
+    }
+}
+
+/// Why an exploration aborted. The single error currency shared by the
+/// SC, Promising, axiomatic and machine enumerations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreError {
+    /// The visited set outgrew [`ExploreConfig::max_states`]; the
+    /// payload is the observed count.
+    StateLimit(usize),
+    /// A path outgrew [`ExploreConfig::max_depth`]; the payload is the
+    /// offending depth.
+    DepthLimit(usize),
+    /// The walk outran [`ExploreConfig::deadline`].
+    Deadline,
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::StateLimit(n) => {
+                write!(f, "state-space exploration exceeded the state limit at {n} states")
+            }
+            ExploreError::DepthLimit(d) => {
+                write!(f, "state-space exploration exceeded the depth limit at depth {d}")
+            }
+            ExploreError::Deadline => write!(f, "state-space exploration exceeded its deadline"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// Where [`StateSpace::expand`] deposits successors and emissions.
+#[derive(Debug)]
+pub struct Sink<S, E> {
+    succ: Vec<S>,
+    emits: Vec<E>,
+    halted: bool,
+}
+
+impl<S, E> Sink<S, E> {
+    fn new() -> Self {
+        Sink {
+            succ: Vec::new(),
+            emits: Vec::new(),
+            halted: false,
+        }
+    }
+
+    /// Adds a successor state to the frontier (deduplicated by the
+    /// engine against everything already visited).
+    pub fn push(&mut self, state: S) {
+        self.succ.push(state);
+    }
+
+    /// Emits a result — a terminal outcome, a ghost violation, a
+    /// truncation marker. The engine collects emissions from all
+    /// workers and hands them back in [`Exploration::emits`].
+    pub fn emit(&mut self, emit: E) {
+        self.emits.push(emit);
+    }
+
+    /// Requests early termination of the walk: searches that only need
+    /// one result (promise certification, witness search) emit it and
+    /// halt. The sequential driver stops immediately, discarding this
+    /// expansion's successors; parallel workers stop cooperatively, so
+    /// emissions from expansions already in flight are still returned.
+    pub fn halt(&mut self) {
+        self.halted = true;
+    }
+}
+
+/// A model exposed to the engine: initial states plus a successor
+/// relation.
+///
+/// `expand` takes `&self`, so any bookkeeping a model used to do
+/// through `&mut self` (ghost violations, truncation flags) is emitted
+/// through the [`Sink`] instead — that is what makes one implementation
+/// serve both the sequential and the parallel driver.
+pub trait StateSpace: Sync {
+    /// One reachable configuration of the model.
+    type State: Clone + Eq + Hash + Send;
+    /// What terminal states (or the expansion itself) report.
+    type Emit: Send;
+
+    /// The root states of the walk.
+    fn initial(&self) -> Vec<Self::State>;
+
+    /// Pushes every successor of `state` (and any emissions) into the
+    /// sink. A state with no successors is terminal.
+    fn expand(&self, state: &Self::State, sink: &mut Sink<Self::State, Self::Emit>);
+}
+
+/// What [`explore`] returns: everything the space emitted, plus stats.
+#[derive(Debug)]
+pub struct Exploration<E> {
+    /// All emissions, in visit order for the sequential driver and in
+    /// nondeterministic order for the parallel one.
+    pub emits: Vec<E>,
+    /// Counters and timing for the walk.
+    pub stats: ExploreStats,
+}
+
+/// Explores the whole state space of `space` under `cfg`, dispatching
+/// to the sequential or parallel driver on [`ExploreConfig::jobs`].
+pub fn explore<SP: StateSpace>(
+    space: &SP,
+    cfg: &ExploreConfig,
+) -> Result<Exploration<SP::Emit>, ExploreError> {
+    if cfg.jobs > 1 {
+        parallel(space, cfg)
+    } else {
+        sequential(space, cfg)
+    }
+}
+
+/// The sequential reference driver: a LIFO worklist with a single
+/// visited set, field-for-field the loop the individual models used to
+/// hand-roll. Kept as the default so deterministic tests (witness
+/// traces, visit-order-sensitive diagnostics) are bit-for-bit
+/// unchanged.
+fn sequential<SP: StateSpace>(
+    space: &SP,
+    cfg: &ExploreConfig,
+) -> Result<Exploration<SP::Emit>, ExploreError> {
+    let start = Instant::now();
+    let mut stats = ExploreStats {
+        jobs: 1,
+        ..Default::default()
+    };
+    let mut visited: HashSet<SP::State> = HashSet::new();
+    let mut stack: Vec<(SP::State, usize)> = Vec::new();
+    let mut emits: Vec<SP::Emit> = Vec::new();
+    for s in space.initial() {
+        if visited.insert(s.clone()) {
+            stack.push((s, 0));
+        }
+    }
+    stats.frontier_peak = stack.len();
+    let mut sink = Sink::new();
+    let mut since_deadline_check = 0u32;
+    while let Some((state, depth)) = stack.pop() {
+        if let Some(deadline) = cfg.deadline {
+            since_deadline_check += 1;
+            if since_deadline_check >= 64 {
+                since_deadline_check = 0;
+                if start.elapsed() > deadline {
+                    return Err(ExploreError::Deadline);
+                }
+            }
+        }
+        space.expand(&state, &mut sink);
+        emits.append(&mut sink.emits);
+        if sink.halted {
+            sink.succ.clear();
+            break;
+        }
+        for next in sink.succ.drain(..) {
+            if visited.insert(next.clone()) {
+                if visited.len() > cfg.max_states {
+                    return Err(ExploreError::StateLimit(visited.len()));
+                }
+                if let Some(max_depth) = cfg.max_depth {
+                    if depth + 1 > max_depth {
+                        return Err(ExploreError::DepthLimit(depth + 1));
+                    }
+                }
+                stack.push((next, depth + 1));
+                stats.frontier_peak = stats.frontier_peak.max(stack.len());
+            } else {
+                stats.dedup_hits += 1;
+            }
+        }
+    }
+    stats.states = visited.len();
+    stats.wall_ns = start.elapsed().as_nanos() as u64;
+    Ok(Exploration { emits, stats })
+}
+
+/// The visited set of the parallel driver: `HashSet` shards behind
+/// mutexes, indexed by the state's hash, so concurrent inserts on
+/// different shards never contend.
+struct ShardedVisited<S> {
+    shards: Vec<Mutex<HashSet<S>>>,
+    hasher: BuildHasherDefault<DefaultHasher>,
+    len: AtomicUsize,
+}
+
+impl<S: Eq + Hash> ShardedVisited<S> {
+    fn new(shards: usize) -> Self {
+        ShardedVisited {
+            shards: (0..shards).map(|_| Mutex::new(HashSet::new())).collect(),
+            hasher: BuildHasherDefault::default(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Inserts, returning the new global count on success and `None`
+    /// on a dedup hit.
+    fn insert(&self, state: S) -> Option<usize> {
+        let shard = (self.hasher.hash_one(&state) as usize) % self.shards.len();
+        let fresh = self.shards[shard]
+            .lock()
+            .expect("visited shard poisoned")
+            .insert(state);
+        if fresh {
+            Some(self.len.fetch_add(1, Ordering::Relaxed) + 1)
+        } else {
+            None
+        }
+    }
+}
+
+/// The work-stealing parallel driver. Each worker owns a deque: it
+/// pushes and pops at the back (depth-first, cache-friendly) and
+/// steals from the front of a victim's deque when starved. A shared
+/// `pending` count of not-yet-expanded states provides termination:
+/// when it reaches zero, no state exists anywhere and no expansion is
+/// in flight, so the frontier can never grow again.
+fn parallel<SP: StateSpace>(
+    space: &SP,
+    cfg: &ExploreConfig,
+) -> Result<Exploration<SP::Emit>, ExploreError> {
+    let start = Instant::now();
+    let jobs = cfg.jobs.max(2);
+    let visited: ShardedVisited<SP::State> = ShardedVisited::new((jobs * 8).next_power_of_two());
+    type WorkQueue<S> = Mutex<VecDeque<(S, usize)>>;
+    let queues: Vec<WorkQueue<SP::State>> =
+        (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
+    let pending = AtomicUsize::new(0);
+    let frontier_peak = AtomicUsize::new(0);
+    let dedup_hits = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    // First error wins; u64::MAX = none. Encoded to stay lock-free.
+    let error: Mutex<Option<ExploreError>> = Mutex::new(None);
+    let deadline_ns: Option<u64> = cfg.deadline.map(|d| d.as_nanos() as u64);
+
+    // Seed the workers' deques round-robin with the initial states.
+    let init = space.initial();
+    {
+        let mut count = 0usize;
+        for (i, s) in init.into_iter().enumerate() {
+            if visited.insert(s.clone()).is_some() {
+                queues[i % jobs].lock().unwrap().push_back((s, 0));
+                count += 1;
+            }
+        }
+        pending.store(count, Ordering::SeqCst);
+        frontier_peak.store(count, Ordering::Relaxed);
+    }
+
+    let fail = |e: ExploreError| {
+        let mut slot = error.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        abort.store(true, Ordering::SeqCst);
+    };
+
+    let mut all_emits: Vec<SP::Emit> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(jobs);
+        for me in 0..jobs {
+            let queues = &queues;
+            let visited = &visited;
+            let pending = &pending;
+            let frontier_peak = &frontier_peak;
+            let dedup_hits = &dedup_hits;
+            let abort = &abort;
+            let fail = &fail;
+            handles.push(scope.spawn(move || {
+                let mut emits: Vec<SP::Emit> = Vec::new();
+                let mut sink = Sink::new();
+                let mut spins = 0u32;
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Some(deadline) = deadline_ns {
+                        if start.elapsed().as_nanos() as u64 > deadline {
+                            fail(ExploreError::Deadline);
+                            break;
+                        }
+                    }
+                    // Own queue first (LIFO), then steal (FIFO).
+                    let job = {
+                        let own = queues[me].lock().unwrap().pop_back();
+                        match own {
+                            Some(j) => Some(j),
+                            None => (1..jobs).find_map(|d| {
+                                queues[(me + d) % jobs].lock().unwrap().pop_front()
+                            }),
+                        }
+                    };
+                    let Some((state, depth)) = job else {
+                        if pending.load(Ordering::SeqCst) == 0 {
+                            break;
+                        }
+                        spins += 1;
+                        if spins > 64 {
+                            std::thread::sleep(Duration::from_micros(50));
+                        } else {
+                            std::thread::yield_now();
+                        }
+                        continue;
+                    };
+                    spins = 0;
+                    space.expand(&state, &mut sink);
+                    emits.append(&mut sink.emits);
+                    if sink.halted {
+                        sink.halted = false;
+                        sink.succ.clear();
+                        abort.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                    let mut fresh: Vec<(SP::State, usize)> = Vec::new();
+                    for next in sink.succ.drain(..) {
+                        match visited.insert(next.clone()) {
+                            Some(total) => {
+                                if total > cfg.max_states {
+                                    fail(ExploreError::StateLimit(total));
+                                    break;
+                                }
+                                if let Some(max_depth) = cfg.max_depth {
+                                    if depth + 1 > max_depth {
+                                        fail(ExploreError::DepthLimit(depth + 1));
+                                        break;
+                                    }
+                                }
+                                fresh.push((next, depth + 1));
+                            }
+                            None => {
+                                dedup_hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    sink.succ.clear();
+                    // Account for the successors BEFORE they become
+                    // stealable: every queued state is represented in
+                    // `pending`, so a thief finishing one early can
+                    // never drive the counter to zero (or below) while
+                    // work still exists. The expanded state's own count
+                    // is released only after its successors are in.
+                    if !fresh.is_empty() {
+                        let now =
+                            pending.fetch_add(fresh.len(), Ordering::SeqCst) + fresh.len();
+                        frontier_peak.fetch_max(now, Ordering::Relaxed);
+                        let mut own = queues[me].lock().unwrap();
+                        for item in fresh {
+                            own.push_back(item);
+                        }
+                    }
+                    pending.fetch_sub(1, Ordering::SeqCst);
+                }
+                emits
+            }));
+        }
+        for h in handles {
+            if let Ok(mut e) = h.join() {
+                all_emits.append(&mut e);
+            }
+        }
+    });
+
+    if let Some(e) = error.lock().unwrap().take() {
+        return Err(e);
+    }
+    Ok(Exploration {
+        emits: all_emits,
+        stats: ExploreStats {
+            states: visited.len.load(Ordering::Relaxed),
+            frontier_peak: frontier_peak.load(Ordering::Relaxed),
+            dedup_hits: dedup_hits.load(Ordering::Relaxed),
+            wall_ns: start.elapsed().as_nanos() as u64,
+            jobs,
+        },
+    })
+}
+
+/// An embarrassingly parallel sweep over the index space `0..total`.
+///
+/// The range is cut into chunks; `work` folds one chunk into a partial
+/// result; the partials come back in chunk order, so a deterministic
+/// merge gives identical results for any `jobs`. With `jobs <= 1` the
+/// whole range is one chunk processed inline — exactly the loop the
+/// caller would have written. Used for enumerations that are a product
+/// space rather than a frontier: axiomatic execution candidates,
+/// per-execution condition sweeps.
+pub fn partition<T, F>(
+    total: u64,
+    cfg: &ExploreConfig,
+    work: F,
+) -> Result<(Vec<T>, ExploreStats), ExploreError>
+where
+    T: Send,
+    F: Fn(std::ops::Range<u64>) -> Result<T, ExploreError> + Sync,
+{
+    let start = Instant::now();
+    if cfg.jobs <= 1 || total < 2 {
+        let out = work(0..total)?;
+        let stats = ExploreStats {
+            states: total as usize,
+            frontier_peak: 1,
+            dedup_hits: 0,
+            wall_ns: start.elapsed().as_nanos() as u64,
+            jobs: 1,
+        };
+        return Ok((vec![out], stats));
+    }
+    let jobs = cfg.jobs;
+    // Over-split so fast workers can take more chunks (dynamic load
+    // balancing without a scheduler).
+    let chunks = (jobs as u64 * 8).min(total);
+    let chunk_len = total.div_ceil(chunks);
+    let next = AtomicU64::new(0);
+    let deadline = cfg.deadline;
+    let slots: Vec<Mutex<Option<Result<T, ExploreError>>>> =
+        (0..chunks).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let next = &next;
+            let slots = &slots;
+            let work = &work;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= chunks {
+                    break;
+                }
+                if let Some(d) = deadline {
+                    if start.elapsed() > d {
+                        *slots[i as usize].lock().unwrap() = Some(Err(ExploreError::Deadline));
+                        continue;
+                    }
+                }
+                let lo = i * chunk_len;
+                let hi = ((i + 1) * chunk_len).min(total);
+                let r = work(lo..hi);
+                *slots[i as usize].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(chunks as usize);
+    for slot in slots {
+        match slot.into_inner().unwrap() {
+            Some(Ok(t)) => out.push(t),
+            // First failing chunk in index order wins, mirroring what
+            // the sequential loop would have hit first.
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("every chunk is claimed by some worker"),
+        }
+    }
+    let stats = ExploreStats {
+        states: total as usize,
+        frontier_peak: chunks as usize,
+        dedup_hits: 0,
+        wall_ns: start.elapsed().as_nanos() as u64,
+        jobs,
+    };
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// A toy space: states are bit-vectors of length `n` (as u64 masks
+    /// plus a length), successors set one more bit; terminal states
+    /// (all bits set) emit their construction count.
+    struct Bits {
+        n: u32,
+    }
+
+    impl StateSpace for Bits {
+        type State = u64;
+        type Emit = u64;
+
+        fn initial(&self) -> Vec<u64> {
+            vec![0]
+        }
+
+        fn expand(&self, state: &u64, sink: &mut Sink<u64, u64>) {
+            if state.count_ones() == self.n {
+                sink.emit(*state);
+                return;
+            }
+            for b in 0..self.n {
+                if state & (1 << b) == 0 {
+                    sink.push(state | (1 << b));
+                }
+            }
+        }
+    }
+
+    /// A deep linear chain, for depth/limit tests.
+    struct Chain {
+        len: u64,
+    }
+
+    impl StateSpace for Chain {
+        type State = u64;
+        type Emit = u64;
+
+        fn initial(&self) -> Vec<u64> {
+            vec![0]
+        }
+
+        fn expand(&self, state: &u64, sink: &mut Sink<u64, u64>) {
+            if *state + 1 < self.len {
+                sink.push(state + 1);
+            } else {
+                sink.emit(*state);
+            }
+        }
+    }
+
+    /// A wide space that takes a while to walk (for deadline tests
+    /// under contention): a 16-bit hypercube.
+    fn slow_space() -> Bits {
+        Bits { n: 16 }
+    }
+
+    #[test]
+    fn sequential_visits_whole_hypercube() {
+        let r = explore(&Bits { n: 10 }, &ExploreConfig::default()).unwrap();
+        assert_eq!(r.stats.states, 1 << 10);
+        assert_eq!(r.emits, vec![(1u64 << 10) - 1]);
+        assert!(r.stats.dedup_hits > 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_state_count_and_emits() {
+        for jobs in [2, 4, 8] {
+            let seq = explore(&Bits { n: 12 }, &ExploreConfig::default()).unwrap();
+            let par = explore(
+                &Bits { n: 12 },
+                &ExploreConfig {
+                    jobs,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(par.stats.states, seq.stats.states, "jobs={jobs}");
+            let seq_set: BTreeSet<u64> = seq.emits.iter().copied().collect();
+            let par_set: BTreeSet<u64> = par.emits.iter().copied().collect();
+            assert_eq!(par_set, seq_set, "jobs={jobs}");
+        }
+    }
+
+    /// A chain space that emits and halts as soon as it reaches `stop`.
+    struct HaltingChain {
+        len: u64,
+        stop: u64,
+    }
+
+    impl StateSpace for HaltingChain {
+        type State = u64;
+        type Emit = u64;
+
+        fn initial(&self) -> Vec<u64> {
+            vec![0]
+        }
+
+        fn expand(&self, state: &u64, sink: &mut Sink<u64, u64>) {
+            if *state == self.stop {
+                sink.emit(*state);
+                sink.halt();
+                return;
+            }
+            if *state + 1 < self.len {
+                sink.push(state + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn halt_stops_the_walk_early_in_both_drivers() {
+        for jobs in [1, 2, 8] {
+            let r = explore(
+                &HaltingChain {
+                    len: 1 << 20,
+                    stop: 100,
+                },
+                &ExploreConfig {
+                    jobs,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(r.emits.contains(&100), "jobs={jobs}");
+            // The walk must stop near the halt point, not run the
+            // million-state chain to the end (parallel workers may
+            // overshoot by whatever was in flight).
+            assert!(r.stats.states < 10_000, "jobs={jobs}: {}", r.stats.states);
+        }
+    }
+
+    #[test]
+    fn state_limit_enforced_sequential() {
+        let err = explore(
+            &Bits { n: 12 },
+            &ExploreConfig {
+                max_states: 100,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExploreError::StateLimit(n) if n > 100));
+    }
+
+    #[test]
+    fn state_limit_enforced_under_contention() {
+        for jobs in [2, 8] {
+            let err = explore(
+                &slow_space(),
+                &ExploreConfig {
+                    max_states: 500,
+                    jobs,
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+            // Workers may overshoot by in-flight inserts, but the limit
+            // must still abort the walk well short of the full 2^16.
+            assert!(
+                matches!(err, ExploreError::StateLimit(n) if n > 500 && n < 1 << 16),
+                "jobs={jobs}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_limit_enforced_both_drivers() {
+        for jobs in [1, 4] {
+            let err = explore(
+                &Chain { len: 10_000 },
+                &ExploreConfig {
+                    max_depth: Some(100),
+                    jobs,
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+            assert_eq!(err, ExploreError::DepthLimit(101), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn deadline_enforced_under_contention() {
+        for jobs in [1, 4] {
+            let err = explore(
+                &slow_space(),
+                &ExploreConfig {
+                    deadline: Some(Duration::ZERO),
+                    jobs,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(err.unwrap_err(), ExploreError::Deadline, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn completed_walk_ignores_generous_deadline() {
+        let r = explore(
+            &Bits { n: 8 },
+            &ExploreConfig {
+                deadline: Some(Duration::from_secs(3600)),
+                jobs: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.stats.states, 1 << 8);
+    }
+
+    #[test]
+    fn partition_matches_inline_fold() {
+        let sum_range = |r: std::ops::Range<u64>| Ok(r.sum::<u64>());
+        let (seq, _) = partition(10_000, &ExploreConfig::default(), sum_range).unwrap();
+        for jobs in [2, 4, 8] {
+            let (par, stats) = partition(
+                10_000,
+                &ExploreConfig {
+                    jobs,
+                    ..Default::default()
+                },
+                sum_range,
+            )
+            .unwrap();
+            assert_eq!(
+                par.iter().sum::<u64>(),
+                seq.iter().sum::<u64>(),
+                "jobs={jobs}"
+            );
+            assert_eq!(stats.jobs, jobs);
+        }
+    }
+
+    #[test]
+    fn partition_propagates_errors() {
+        let r = partition(
+            1000,
+            &ExploreConfig {
+                jobs: 4,
+                ..Default::default()
+            },
+            |r| {
+                if r.contains(&777) {
+                    Err(ExploreError::StateLimit(777))
+                } else {
+                    Ok(r.end - r.start)
+                }
+            },
+        );
+        assert_eq!(r.unwrap_err(), ExploreError::StateLimit(777));
+    }
+
+    #[test]
+    fn jobs_env_parsing() {
+        // Not set in the test environment unless the harness sets it;
+        // whatever the value, it must be >= 1.
+        assert!(ExploreConfig::jobs_from_env() >= 1);
+    }
+
+    #[test]
+    fn stats_absorb_combines() {
+        let mut a = ExploreStats {
+            states: 10,
+            frontier_peak: 4,
+            dedup_hits: 2,
+            wall_ns: 100,
+            jobs: 1,
+        };
+        a.absorb(&ExploreStats {
+            states: 5,
+            frontier_peak: 9,
+            dedup_hits: 1,
+            wall_ns: 50,
+            jobs: 4,
+        });
+        assert_eq!(a.states, 15);
+        assert_eq!(a.frontier_peak, 9);
+        assert_eq!(a.dedup_hits, 3);
+        assert_eq!(a.wall_ns, 100);
+        assert_eq!(a.jobs, 4);
+    }
+}

@@ -28,6 +28,10 @@
 
 use std::collections::BTreeSet;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use vrm_explore::ExploreConfig;
+
 use crate::ir::{Addr, Expr, Fence, Inst, Observable, Program, Val};
 use crate::outcome::{Outcome, OutcomeSet, ThreadExit};
 use crate::values::{analyze, ValueConfig};
@@ -46,6 +50,9 @@ pub struct AxConfig {
     pub max_candidates: usize,
     /// Value-analysis bounds.
     pub value_cfg: ValueConfig,
+    /// Worker threads for the candidate sweep; `1` (the default, unless
+    /// `VRM_JOBS` overrides it) processes the combos inline.
+    pub jobs: usize,
 }
 
 impl Default for AxConfig {
@@ -55,6 +62,7 @@ impl Default for AxConfig {
             max_paths_per_thread: 4_000,
             max_candidates: 50_000_000,
             value_cfg: ValueConfig::default(),
+            jobs: ExploreConfig::jobs_from_env(),
         }
     }
 }
@@ -802,28 +810,56 @@ pub fn enumerate_axiomatic_with(prog: &Program, cfg: &AxConfig) -> Result<AxResu
         }
         thread_paths.push(paths);
     }
+    // The combo space is a product of the per-thread path counts; combo
+    // index `k` decodes with thread 0 least significant, matching the
+    // order the old multi-radix loop walked. The sweep is partitioned
+    // over the engine's index-space workers; the candidate budget is a
+    // shared atomic so `max_candidates` stays a global bound.
+    let total: u64 = thread_paths.iter().map(|p| p.len() as u64).product();
+    let counter = AtomicUsize::new(0);
+    let ecfg = ExploreConfig::default().jobs(cfg.jobs);
+    let swept = vrm_explore::partition(total, &ecfg, |range| {
+        let mut partial = AxResult {
+            outcomes: OutcomeSet::new(),
+            candidates: 0,
+            truncated: false,
+        };
+        for k in range {
+            let mut rem = k;
+            let combo: Vec<&LocalPath> = thread_paths
+                .iter()
+                .map(|paths| {
+                    let i = (rem % paths.len() as u64) as usize;
+                    rem /= paths.len() as u64;
+                    &paths[i]
+                })
+                .collect();
+            if let Err(e) = check_combo(prog, &combo, cfg, &counter, &mut partial) {
+                return Ok(Err(e));
+            }
+        }
+        Ok(Ok(partial))
+    });
+    // No deadline or state limit is configured, so the sweep itself
+    // cannot fail; only `check_combo` errors (carried in the chunk
+    // payloads) can.
+    let (partials, stats) = swept.expect("index sweep has no engine-level bounds");
     let mut result = AxResult {
         outcomes: OutcomeSet::new(),
         candidates: 0,
         truncated: pe.truncated,
     };
-    let mut idx = vec![0usize; thread_paths.len()];
-    'product: loop {
-        let combo: Vec<&LocalPath> = idx
-            .iter()
-            .enumerate()
-            .map(|(t, &i)| &thread_paths[t][i])
-            .collect();
-        check_combo(prog, &combo, cfg, &mut result)?;
-        for t in 0..idx.len() {
-            idx[t] += 1;
-            if idx[t] < thread_paths[t].len() {
-                continue 'product;
-            }
-            idx[t] = 0;
+    for partial in partials {
+        // First failing chunk in index order wins, mirroring where the
+        // sequential loop would have stopped.
+        let partial = partial?;
+        result.truncated |= partial.truncated;
+        for o in partial.outcomes.iter() {
+            result.outcomes.insert(o.clone());
         }
-        break;
     }
+    result.candidates = counter.load(Ordering::Relaxed);
+    result.outcomes.stats = stats;
     Ok(result)
 }
 
@@ -831,6 +867,7 @@ fn check_combo(
     prog: &Program,
     combo: &[&LocalPath],
     cfg: &AxConfig,
+    counter: &AtomicUsize,
     result: &mut AxResult,
 ) -> Result<(), AxError> {
     let mut events: Vec<GEvent> = Vec::new();
@@ -919,7 +956,7 @@ fn check_combo(
         let mut co_idx = vec![0usize; co_orders.len()];
         loop {
             result.candidates += 1;
-            if result.candidates > cfg.max_candidates {
+            if counter.fetch_add(1, Ordering::Relaxed) + 1 > cfg.max_candidates {
                 return Err(AxError::CandidateLimit);
             }
             let mut co_pos = vec![0usize; n];

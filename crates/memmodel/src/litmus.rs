@@ -12,7 +12,7 @@ use crate::builder::ProgramBuilder;
 use crate::ir::{BinOp, Cond, Expr, Fence, Inst, Program, Reg, RmwOp, Val};
 use crate::outcome::OutcomeSet;
 use crate::promising::{enumerate_promising_with, PromisingConfig};
-use crate::sc::{enumerate_sc, ExploreError};
+use crate::sc::{enumerate_sc, enumerate_sc_with, ExploreError, ScConfig};
 
 const X: u64 = 0x10;
 const Y: u64 = 0x20;
@@ -73,6 +73,47 @@ pub fn check(test: &LitmusTest) -> Result<Conformance, ExploreError> {
     let ax = enumerate_axiomatic_with(&test.program, &AxConfig::default())
         .expect("axiomatic enumeration")
         .outcomes;
+    conformance(test, sc, pr, ax)
+}
+
+/// [`check`] with an explicit worker count for all three enumerations,
+/// overriding the configs' `VRM_JOBS` default. The conformance gate runs
+/// this at `jobs = 1` and `jobs > 1` and requires identical results.
+pub fn check_with_jobs(test: &LitmusTest, jobs: usize) -> Result<Conformance, ExploreError> {
+    let sc = enumerate_sc_with(
+        &test.program,
+        &ScConfig {
+            jobs,
+            ..ScConfig::default()
+        },
+    )?;
+    let pr = enumerate_promising_with(
+        &test.program,
+        &PromisingConfig {
+            jobs,
+            ..PromisingConfig::default()
+        },
+    )
+    .expect("promising enumeration")
+    .outcomes;
+    let ax = enumerate_axiomatic_with(
+        &test.program,
+        &AxConfig {
+            jobs,
+            ..AxConfig::default()
+        },
+    )
+    .expect("axiomatic enumeration")
+    .outcomes;
+    conformance(test, sc, pr, ax)
+}
+
+fn conformance(
+    test: &LitmusTest,
+    sc: OutcomeSet,
+    pr: OutcomeSet,
+    ax: OutcomeSet,
+) -> Result<Conformance, ExploreError> {
     let models_agree = pr == ax;
     let sc_subsumed = sc.is_subset(&pr) && sc.is_subset(&ax);
     let on_arm = pr.contains_binding(&test.condition);

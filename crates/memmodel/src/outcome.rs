@@ -8,6 +8,8 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use vrm_explore::ExploreStats;
+
 use crate::ir::Val;
 
 /// How a thread finished.
@@ -90,10 +92,24 @@ impl fmt::Display for Outcome {
 }
 
 /// A set of outcomes, i.e. the observable behaviour of a program on a model.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct OutcomeSet {
     set: BTreeSet<Outcome>,
+    /// Counters from the enumeration that produced this set (states
+    /// visited, frontier peak, wall time, worker count).
+    pub stats: ExploreStats,
 }
+
+/// Equality is over the outcomes only: two enumerations (say sequential
+/// and parallel) exhibit the same behaviour iff their outcome sets
+/// match, regardless of how the walk went.
+impl PartialEq for OutcomeSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.set == other.set
+    }
+}
+
+impl Eq for OutcomeSet {}
 
 impl OutcomeSet {
     /// Creates an empty set.
@@ -156,6 +172,7 @@ impl FromIterator<Outcome> for OutcomeSet {
     fn from_iter<T: IntoIterator<Item = Outcome>>(iter: T) -> Self {
         OutcomeSet {
             set: iter.into_iter().collect(),
+            stats: ExploreStats::default(),
         }
     }
 }

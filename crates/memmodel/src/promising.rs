@@ -35,7 +35,8 @@
 
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
-use std::collections::HashSet;
+
+use vrm_explore::{ExploreConfig, Sink, StateSpace};
 
 use crate::ir::{Addr, Expr, Fence, Inst, Observable, Program, Val};
 use crate::outcome::{Outcome, OutcomeSet, ThreadExit};
@@ -148,6 +149,9 @@ pub struct PromisingConfig {
     pub value_cfg: ValueConfig,
     /// Optional ghost push/pull checking.
     pub ghost: Option<GhostConfig>,
+    /// Worker threads for the exploration; `1` (the default, unless
+    /// `VRM_JOBS` overrides it) selects the sequential reference driver.
+    pub jobs: usize,
 }
 
 impl Default for PromisingConfig {
@@ -159,6 +163,7 @@ impl Default for PromisingConfig {
             max_cert_states: 100_000,
             value_cfg: ValueConfig::default(),
             ghost: None,
+            jobs: ExploreConfig::jobs_from_env(),
         }
     }
 }
@@ -388,21 +393,30 @@ fn msg_val(mem: &[Msg], loc: Addr, ts: Ts, prog: &Program) -> Val {
     }
 }
 
-struct Explorer<'a> {
+/// The immutable context a successor expansion reads: the program, the
+/// configuration and the promise-value domain. Shared by reference
+/// across the engine's workers, so everything a step *writes* —
+/// ghost violations, truncation — goes into an [`Effects`] buffer
+/// instead of `&mut self`.
+struct StepCtx<'a> {
     prog: &'a Program,
     cfg: &'a PromisingConfig,
     domain: ValueAnalysis,
-    visited: HashSet<PState>,
-    outcomes: OutcomeSet,
-    violations: BTreeSet<GhostViolation>,
+}
+
+/// Side effects of expanding one state, reported through the engine's
+/// sink by the caller.
+#[derive(Debug, Default)]
+struct Effects {
+    violations: Vec<GhostViolation>,
     truncated: bool,
 }
 
-impl<'a> Explorer<'a> {
+impl<'a> StepCtx<'a> {
     /// Records a ghost violation and marks the state as panicked, so the
     /// branch stops (the push/pull hardware "panics").
-    fn ghost_panic(&mut self, st: &mut PState, tid: usize, v: GhostViolation) {
-        self.violations.insert(v);
+    fn ghost_panic(&self, eff: &mut Effects, st: &mut PState, tid: usize, v: GhostViolation) {
+        eff.violations.push(v);
         st.threads[tid].status = Status::Panic;
     }
 
@@ -413,17 +427,24 @@ impl<'a> Explorer<'a> {
     /// (DRF-Kernel exempts lock implementations); the push promise's
     /// fulfilment is instead enforced at the next `Pull` and at thread
     /// termination.
-    fn ghost_access(&mut self, st: &mut PState, tid: usize, loc: Addr, _releasing: bool) -> bool {
+    fn ghost_access(
+        &self,
+        eff: &mut Effects,
+        st: &mut PState,
+        tid: usize,
+        loc: Addr,
+        _releasing: bool,
+    ) -> bool {
         let Some(g) = &self.cfg.ghost else {
             return true;
         };
         if let Some(&owner) = st.owner.get(&loc) {
             if owner != tid {
-                self.ghost_panic(st, tid, GhostViolation::AccessNotOwner { tid, loc, owner });
+                self.ghost_panic(eff, st, tid, GhostViolation::AccessNotOwner { tid, loc, owner });
                 return false;
             }
         } else if g.shared.contains(&loc) {
-            self.ghost_panic(st, tid, GhostViolation::UnprotectedShared { tid, loc });
+            self.ghost_panic(eff, st, tid, GhostViolation::UnprotectedShared { tid, loc });
             return false;
         }
         true
@@ -431,7 +452,14 @@ impl<'a> Explorer<'a> {
 
     /// Write-Once-Kernel-Mapping monitor: flags a write to a monitored
     /// page-table cell whose coherence-latest predecessor is non-zero.
-    fn ghost_write_once(&mut self, st: &mut PState, tid: usize, loc: Addr, mem_before: &[Msg]) {
+    fn ghost_write_once(
+        &self,
+        eff: &mut Effects,
+        st: &mut PState,
+        tid: usize,
+        loc: Addr,
+        mem_before: &[Msg],
+    ) {
         let Some(g) = &self.cfg.ghost else {
             return;
         };
@@ -445,14 +473,13 @@ impl<'a> Explorer<'a> {
             .map(|m| m.val)
             .unwrap_or_else(|| self.prog.init_val(loc));
         if old != 0 {
-            self.violations
-                .insert(GhostViolation::WriteOnce { tid, loc, old });
+            eff.violations.push(GhostViolation::WriteOnce { tid, loc, old });
             st.threads[tid].status = Status::Panic;
         }
     }
 
     /// All successor states of `st` where thread `tid` takes one step.
-    fn thread_successors(&mut self, st: &PState, tid: usize) -> Vec<PState> {
+    fn thread_successors(&self, st: &PState, tid: usize, eff: &mut Effects) -> Vec<PState> {
         let mut out = Vec::new();
         let code = &self.prog.threads[tid].code;
         let t = &st.threads[tid];
@@ -467,10 +494,12 @@ impl<'a> Explorer<'a> {
                 // Final data access with address view from the translation.
                 match walk.kind {
                     WalkKind::Load { dst, acq } => {
-                        self.read_successors(st, tid, pa, pa_view, dst, acq, true, &mut out);
+                        self.read_successors(st, tid, pa, pa_view, dst, acq, true, eff, &mut out);
                     }
                     WalkKind::Store { val, vview, rel } => {
-                        self.write_successors(st, tid, pa, pa_view, val, vview, rel, true, &mut out);
+                        self.write_successors(
+                            st, tid, pa, pa_view, val, vview, rel, true, eff, &mut out,
+                        );
                     }
                 }
                 return out;
@@ -510,7 +539,7 @@ impl<'a> Explorer<'a> {
             if self.cfg.ghost.as_ref().is_some_and(|g| g.check_barriers)
                 && next.threads[tid].pending_push
             {
-                self.ghost_panic(&mut next, tid, GhostViolation::PushWithoutBarrier { tid });
+                self.ghost_panic(eff, &mut next, tid, GhostViolation::PushWithoutBarrier { tid });
             } else {
                 next.threads[tid].status = Status::Done;
             }
@@ -528,12 +557,12 @@ impl<'a> Explorer<'a> {
             }
             Inst::Load { dst, addr, acq } => {
                 let (a, aview) = eval(&addr, &t.regs);
-                self.read_successors(st, tid, a, aview, dst.0, acq, false, &mut out);
+                self.read_successors(st, tid, a, aview, dst.0, acq, false, eff, &mut out);
             }
             Inst::Store { val, addr, rel } => {
                 let (a, aview) = eval(&addr, &t.regs);
                 let (v, dview) = eval(&val, &t.regs);
-                self.write_successors(st, tid, a, aview, v, dview, rel, false, &mut out);
+                self.write_successors(st, tid, a, aview, v, dview, rel, false, eff, &mut out);
             }
             Inst::Rmw {
                 dst,
@@ -547,7 +576,7 @@ impl<'a> Explorer<'a> {
                 let (r, rview) = eval(&rhs, &t.regs);
                 {
                     let mut probe = st.clone();
-                    if !self.ghost_access(&mut probe, tid, a, rel) {
+                    if !self.ghost_access(eff, &mut probe, tid, a, rel) {
                         out.push(probe);
                         return out;
                     }
@@ -625,7 +654,7 @@ impl<'a> Explorer<'a> {
                             tid,
                         });
                         commit_rmw(&mut next, t_r, t_w, old);
-                        self.ghost_write_once(&mut next, tid, a, &st.mem);
+                        self.ghost_write_once(eff, &mut next, tid, a, &st.mem);
                         out.push(next);
                     }
                 }
@@ -669,13 +698,13 @@ impl<'a> Explorer<'a> {
                     next.threads[tid].prom.remove(&ts);
                     commit_rmw(&mut next, t_r, ts, old);
                     let before: Vec<Msg> = st.mem[..ts as usize - 1].to_vec();
-                    self.ghost_write_once(&mut next, tid, a, &before);
+                    self.ghost_write_once(eff, &mut next, tid, a, &before);
                     out.push(next);
                 }
             }
             Inst::LoadEx { dst, addr, acq } => {
                 let (a, aview) = eval(&addr, &t.regs);
-                self.read_successors_ex(st, tid, a, aview, dst.0, acq, false, true, &mut out);
+                self.read_successors_ex(st, tid, a, aview, dst.0, acq, false, true, eff, &mut out);
             }
             Inst::StoreEx {
                 status,
@@ -687,7 +716,7 @@ impl<'a> Explorer<'a> {
                 let (v, dview) = eval(&val, &t.regs);
                 {
                     let mut probe = st.clone();
-                    if !self.ghost_access(&mut probe, tid, a, rel) {
+                    if !self.ghost_access(eff, &mut probe, tid, a, rel) {
                         out.push(probe);
                         return out;
                     }
@@ -756,7 +785,7 @@ impl<'a> Explorer<'a> {
                     let t_w = (next.mem.len() + 1) as Ts;
                     next.mem.push(Msg { loc: a, val: v, tid });
                     commit_success(&mut next, t_w);
-                    self.ghost_write_once(&mut next, tid, a, &st.mem);
+                    self.ghost_write_once(eff, &mut next, tid, a, &st.mem);
                     out.push(next);
                 }
                 // Fulfil a promise (exclusive-write promising).
@@ -773,7 +802,7 @@ impl<'a> Explorer<'a> {
                         next.threads[tid].prom.remove(&ts);
                         commit_success(&mut next, ts);
                         let before: Vec<Msg> = st.mem[..ts as usize - 1].to_vec();
-                        self.ghost_write_once(&mut next, tid, a, &before);
+                        self.ghost_write_once(eff, &mut next, tid, a, &before);
                         out.push(next);
                     }
                 }
@@ -933,7 +962,12 @@ impl<'a> Explorer<'a> {
                         .is_some_and(|g| g.check_barriers)
                         && next.threads[tid].pending_push
                     {
-                        self.ghost_panic(&mut next, tid, GhostViolation::PushWithoutBarrier { tid });
+                        self.ghost_panic(
+                            eff,
+                            &mut next,
+                            tid,
+                            GhostViolation::PushWithoutBarrier { tid },
+                        );
                         out.push(next);
                         return out;
                     }
@@ -944,13 +978,19 @@ impl<'a> Explorer<'a> {
                         .is_some_and(|g| g.check_barriers)
                         && !next.threads[tid].armed_acq
                     {
-                        self.ghost_panic(&mut next, tid, GhostViolation::PullWithoutBarrier { tid });
+                        self.ghost_panic(
+                            eff,
+                            &mut next,
+                            tid,
+                            GhostViolation::PullWithoutBarrier { tid },
+                        );
                         out.push(next);
                         return out;
                     }
                     for &loc in &locs {
                         if let Some(&owner) = next.owner.get(&loc) {
                             self.ghost_panic(
+                                eff,
                                 &mut next,
                                 tid,
                                 GhostViolation::PullOwned { tid, loc, owner },
@@ -970,7 +1010,12 @@ impl<'a> Explorer<'a> {
                 if self.cfg.ghost.is_some() {
                     for &loc in &locs {
                         if next.owner.get(&loc) != Some(&tid) {
-                            self.ghost_panic(&mut next, tid, GhostViolation::PushNotOwned { tid, loc });
+                            self.ghost_panic(
+                                eff,
+                                &mut next,
+                                tid,
+                                GhostViolation::PushNotOwned { tid, loc },
+                            );
                             out.push(next);
                             return out;
                         }
@@ -997,7 +1042,12 @@ impl<'a> Explorer<'a> {
                 if self.cfg.ghost.as_ref().is_some_and(|g| g.check_barriers)
                     && next.threads[tid].pending_push
                 {
-                    self.ghost_panic(&mut next, tid, GhostViolation::PushWithoutBarrier { tid });
+                    self.ghost_panic(
+                        eff,
+                        &mut next,
+                        tid,
+                        GhostViolation::PushWithoutBarrier { tid },
+                    );
                 } else {
                     next.threads[tid].status = Status::Done;
                 }
@@ -1020,7 +1070,7 @@ impl<'a> Explorer<'a> {
     /// Generates read successors (one per readable timestamp).
     #[allow(clippy::too_many_arguments)]
     fn read_successors(
-        &mut self,
+        &self,
         st: &PState,
         tid: usize,
         a: Addr,
@@ -1028,15 +1078,16 @@ impl<'a> Explorer<'a> {
         dst: u8,
         acq: bool,
         from_walk: bool,
+        eff: &mut Effects,
         out: &mut Vec<PState>,
     ) {
-        self.read_successors_ex(st, tid, a, aview, dst, acq, from_walk, false, out)
+        self.read_successors_ex(st, tid, a, aview, dst, acq, from_walk, false, eff, out)
     }
 
     /// [`Self::read_successors`] with an exclusive-monitor arming flag.
     #[allow(clippy::too_many_arguments)]
     fn read_successors_ex(
-        &mut self,
+        &self,
         st: &PState,
         tid: usize,
         a: Addr,
@@ -1045,11 +1096,12 @@ impl<'a> Explorer<'a> {
         acq: bool,
         from_walk: bool,
         exclusive: bool,
+        eff: &mut Effects,
         out: &mut Vec<PState>,
     ) {
         {
             let mut probe = st.clone();
-            if !self.ghost_access(&mut probe, tid, a, false) {
+            if !self.ghost_access(eff, &mut probe, tid, a, false) {
                 out.push(probe);
                 return;
             }
@@ -1091,7 +1143,7 @@ impl<'a> Explorer<'a> {
     /// fulfil each matching outstanding promise.
     #[allow(clippy::too_many_arguments)]
     fn write_successors(
-        &mut self,
+        &self,
         st: &PState,
         tid: usize,
         a: Addr,
@@ -1100,11 +1152,12 @@ impl<'a> Explorer<'a> {
         dview: View,
         rel: bool,
         from_walk: bool,
+        eff: &mut Effects,
         out: &mut Vec<PState>,
     ) {
         {
             let mut probe = st.clone();
-            if !self.ghost_access(&mut probe, tid, a, rel) {
+            if !self.ghost_access(eff, &mut probe, tid, a, rel) {
                 out.push(probe);
                 return;
             }
@@ -1147,7 +1200,7 @@ impl<'a> Explorer<'a> {
             let ts = (next.mem.len() + 1) as Ts;
             next.mem.push(Msg { loc: a, val: v, tid });
             commit(&mut next, ts);
-            self.ghost_write_once(&mut next, tid, a, &st.mem);
+            self.ghost_write_once(eff, &mut next, tid, a, &st.mem);
             out.push(next);
         }
         // Option 2: fulfil an outstanding promise.
@@ -1158,89 +1211,163 @@ impl<'a> Explorer<'a> {
                 next.threads[tid].prom.remove(&ts);
                 commit(&mut next, ts);
                 let before: Vec<Msg> = st.mem[..ts as usize - 1].to_vec();
-                self.ghost_write_once(&mut next, tid, a, &before);
+                self.ghost_write_once(eff, &mut next, tid, a, &before);
                 out.push(next);
             }
         }
     }
 
+    /// Candidate promise steps for thread `tid`: one successor per
+    /// store in the thread's value-analysis domain (not yet certified).
+    /// Returns `(state, loc, val, ts)` so witness searches can describe
+    /// the promise.
+    fn promise_steps(&self, st: &PState, tid: usize) -> Vec<(PState, Addr, Val, Ts)> {
+        let mut out = Vec::new();
+        if !self.cfg.promises || st.threads[tid].prom.len() >= self.cfg.max_promises_per_thread {
+            return out;
+        }
+        let mut dom = self.domain.plain_stores[tid].clone();
+        dom.extend(self.domain.rmw_stores[tid].iter().copied());
+        for (loc, val) in dom {
+            let mut next = st.clone();
+            let ts = (next.mem.len() + 1) as Ts;
+            next.mem.push(Msg { loc, val, tid });
+            next.threads[tid].prom.insert(ts);
+            out.push((next, loc, val, ts));
+        }
+        out
+    }
+
     /// Checks that thread `tid` can fulfil all its outstanding promises
     /// running solo with no new promises.
-    fn certify(&mut self, st: &PState, tid: usize) -> bool {
+    ///
+    /// The certification search is itself an engine exploration —
+    /// always sequential (it already runs inside a worker's expansion)
+    /// and bounded by [`PromisingConfig::max_cert_states`] instead of
+    /// the top-level state limit.
+    fn certify(&self, st: &PState, tid: usize, eff: &mut Effects) -> bool {
         if st.threads[tid].prom.is_empty() {
             return true;
         }
-        let mut visited: HashSet<PState> = HashSet::new();
-        let mut stack = vec![st.clone()];
-        visited.insert(st.clone());
-        while let Some(s) = stack.pop() {
-            if s.threads[tid].prom.is_empty() {
-                return true;
-            }
-            if s.threads[tid].status != Status::Running {
-                continue;
-            }
-            if visited.len() > self.cfg.max_cert_states {
-                self.truncated = true;
-                return false;
-            }
-            for next in self.thread_successors(&s, tid) {
-                if visited.insert(next.clone()) {
-                    stack.push(next);
+        let ecfg = ExploreConfig::with_max_states(self.cfg.max_cert_states);
+        let space = CertifySpace {
+            ctx: self,
+            root: st,
+            tid,
+        };
+        match vrm_explore::explore(&space, &ecfg) {
+            Ok(expl) => {
+                let mut ok = false;
+                for e in expl.emits {
+                    match e {
+                        CertEmit::Fulfilled => ok = true,
+                        CertEmit::Violation(v) => eff.violations.push(v),
+                    }
                 }
+                ok
+            }
+            Err(_) => {
+                eff.truncated = true;
+                false
             }
         }
-        false
+    }
+}
+
+/// The certification search as a state space: the promising thread runs
+/// solo, making no further promises, halting at the first state whose
+/// promise set is empty.
+struct CertifySpace<'a, 'b> {
+    ctx: &'b StepCtx<'a>,
+    root: &'b PState,
+    tid: usize,
+}
+
+enum CertEmit {
+    Fulfilled,
+    Violation(GhostViolation),
+}
+
+impl StateSpace for CertifySpace<'_, '_> {
+    type State = PState;
+    type Emit = CertEmit;
+
+    fn initial(&self) -> Vec<PState> {
+        vec![self.root.clone()]
     }
 
-    fn explore(&mut self, init: PState) -> Result<(), ExploreError> {
-        let nthreads = self.prog.threads.len();
-        let mut stack = vec![init.clone()];
-        self.visited.insert(init);
-        while let Some(st) = stack.pop() {
-            if st.all_finished() {
-                self.outcomes.insert(st.outcome(self.prog));
+    fn expand(&self, s: &PState, sink: &mut Sink<PState, CertEmit>) {
+        if s.threads[self.tid].prom.is_empty() {
+            sink.emit(CertEmit::Fulfilled);
+            sink.halt();
+            return;
+        }
+        if s.threads[self.tid].status != Status::Running {
+            return;
+        }
+        let mut eff = Effects::default();
+        for next in self.ctx.thread_successors(s, self.tid, &mut eff) {
+            sink.push(next);
+        }
+        for v in eff.violations {
+            sink.emit(CertEmit::Violation(v));
+        }
+    }
+}
+
+/// What the Promising-model expansion reports through the engine.
+enum PEmit {
+    Outcome(Outcome),
+    Violation(GhostViolation),
+    Truncated,
+}
+
+/// The full Promising model as a state space: every runnable thread
+/// steps (including promise steps), each step gated on the stepping
+/// thread's promises staying certifiable.
+struct PromisingSpace<'a> {
+    ctx: StepCtx<'a>,
+}
+
+impl StateSpace for PromisingSpace<'_> {
+    type State = PState;
+    type Emit = PEmit;
+
+    fn initial(&self) -> Vec<PState> {
+        vec![PState::initial(self.ctx.prog)]
+    }
+
+    fn expand(&self, st: &PState, sink: &mut Sink<PState, PEmit>) {
+        let ctx = &self.ctx;
+        if st.all_finished() {
+            sink.emit(PEmit::Outcome(st.outcome(ctx.prog)));
+            return;
+        }
+        let mut eff = Effects::default();
+        for tid in 0..ctx.prog.threads.len() {
+            if st.threads[tid].status != Status::Running {
                 continue;
             }
-            let mut successors: Vec<PState> = Vec::new();
-            for tid in 0..nthreads {
-                if st.threads[tid].status != Status::Running {
-                    continue;
-                }
-                for next in self.thread_successors(&st, tid) {
-                    // Steps must preserve certifiability of the stepping
-                    // thread's outstanding promises.
-                    if next.threads[tid].prom.is_empty() || self.certify(&next, tid) {
-                        successors.push(next);
-                    }
-                }
-                // Promise steps.
-                if self.cfg.promises
-                    && st.threads[tid].prom.len() < self.cfg.max_promises_per_thread
-                {
-                    let mut dom = self.domain.plain_stores[tid].clone();
-                    dom.extend(self.domain.rmw_stores[tid].iter().copied());
-                    for (loc, val) in dom {
-                        let mut next = st.clone();
-                        let ts = (next.mem.len() + 1) as Ts;
-                        next.mem.push(Msg { loc, val, tid });
-                        next.threads[tid].prom.insert(ts);
-                        if self.certify(&next, tid) {
-                            successors.push(next);
-                        }
-                    }
+            for next in ctx.thread_successors(st, tid, &mut eff) {
+                // Steps must preserve certifiability of the stepping
+                // thread's outstanding promises.
+                if next.threads[tid].prom.is_empty() || ctx.certify(&next, tid, &mut eff) {
+                    sink.push(next);
                 }
             }
-            for next in successors {
-                if self.visited.insert(next.clone()) {
-                    if self.visited.len() > self.cfg.max_states {
-                        return Err(ExploreError::StateLimit(self.visited.len()));
-                    }
-                    stack.push(next);
+            // Promise steps.
+            for (next, _, _, _) in ctx.promise_steps(st, tid) {
+                if ctx.certify(&next, tid, &mut eff) {
+                    sink.push(next);
                 }
             }
         }
-        Ok(())
+        for v in eff.violations {
+            sink.emit(PEmit::Violation(v));
+        }
+        if eff.truncated {
+            sink.emit(PEmit::Truncated);
+        }
     }
 }
 
@@ -1288,22 +1415,31 @@ pub fn enumerate_promising_with(
             ..Default::default()
         }
     };
-    let truncated = domain.truncated;
-    let mut ex = Explorer {
-        prog,
-        cfg,
-        domain,
-        visited: HashSet::new(),
-        outcomes: OutcomeSet::new(),
-        violations: BTreeSet::new(),
-        truncated,
+    let mut truncated = domain.truncated;
+    let space = PromisingSpace {
+        ctx: StepCtx { prog, cfg, domain },
     };
-    ex.explore(PState::initial(prog))?;
+    let ecfg = ExploreConfig::with_max_states(cfg.max_states).jobs(cfg.jobs);
+    let exploration = vrm_explore::explore(&space, &ecfg)?;
+    let mut outcomes = OutcomeSet::new();
+    let mut violations = BTreeSet::new();
+    for e in exploration.emits {
+        match e {
+            PEmit::Outcome(o) => {
+                outcomes.insert(o);
+            }
+            PEmit::Violation(v) => {
+                violations.insert(v);
+            }
+            PEmit::Truncated => truncated = true,
+        }
+    }
+    outcomes.stats = exploration.stats;
     Ok(PromisingResult {
-        outcomes: ex.outcomes,
-        states_explored: ex.visited.len(),
-        violations: ex.violations,
-        truncated: ex.truncated,
+        outcomes,
+        states_explored: exploration.stats.states,
+        violations,
+        truncated,
     })
 }
 
@@ -1369,70 +1505,100 @@ pub fn find_witness(
             ..Default::default()
         }
     };
-    let mut ex = Explorer {
-        prog,
-        cfg,
-        domain,
-        visited: HashSet::new(),
-        outcomes: OutcomeSet::new(),
-        violations: BTreeSet::new(),
-        truncated: false,
+    let space = WitnessSpace {
+        ctx: StepCtx { prog, cfg, domain },
+        bindings,
     };
-    let init = PState::initial(prog);
-    let mut stack: Vec<(PState, Vec<WitnessStep>)> = vec![(init.clone(), Vec::new())];
-    ex.visited.insert(init);
-    while let Some((st, path)) = stack.pop() {
+    let ecfg = ExploreConfig::with_max_states(cfg.max_states).jobs(cfg.jobs);
+    let exploration = vrm_explore::explore(&space, &ecfg)?;
+    Ok(exploration.emits.into_iter().next())
+}
+
+/// A witness-search node: a Promising state plus the path that reached
+/// it. Deduplication is on the state alone — the first path to reach a
+/// state is the one kept, exactly like the visited set the search used
+/// to maintain beside its stack.
+#[derive(Clone)]
+struct WNode {
+    st: PState,
+    path: Vec<WitnessStep>,
+}
+
+impl PartialEq for WNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.st == other.st
+    }
+}
+
+impl Eq for WNode {}
+
+impl std::hash::Hash for WNode {
+    fn hash<H: std::hash::Hasher>(&self, h: &mut H) {
+        self.st.hash(h)
+    }
+}
+
+/// The witness search as a state space: identical expansion to
+/// [`PromisingSpace`], but carrying the step path and halting at the
+/// first finished state whose outcome matches the bindings.
+struct WitnessSpace<'a, 'b> {
+    ctx: StepCtx<'a>,
+    bindings: &'b [(&'b str, Val)],
+}
+
+impl StateSpace for WitnessSpace<'_, '_> {
+    type State = WNode;
+    type Emit = Vec<WitnessStep>;
+
+    fn initial(&self) -> Vec<WNode> {
+        vec![WNode {
+            st: PState::initial(self.ctx.prog),
+            path: Vec::new(),
+        }]
+    }
+
+    fn expand(&self, node: &WNode, sink: &mut Sink<WNode, Vec<WitnessStep>>) {
+        let ctx = &self.ctx;
+        let st = &node.st;
         if st.all_finished() {
-            let outcome = st.outcome(prog);
-            if bindings.iter().all(|(n, v)| outcome.get(n) == *v) {
-                return Ok(Some(path));
+            let outcome = st.outcome(ctx.prog);
+            if self.bindings.iter().all(|(n, v)| outcome.get(n) == *v) {
+                sink.emit(node.path.clone());
+                sink.halt();
             }
-            continue;
+            return;
         }
-        for tid in 0..prog.threads.len() {
+        let mut eff = Effects::default();
+        for tid in 0..ctx.prog.threads.len() {
             if st.threads[tid].status != Status::Running {
                 continue;
             }
             let pc = st.threads[tid].pc;
-            for next in ex.thread_successors(&st, tid) {
-                if !next.threads[tid].prom.is_empty() && !ex.certify(&next, tid) {
+            for next in ctx.thread_successors(st, tid, &mut eff) {
+                if !next.threads[tid].prom.is_empty() && !ctx.certify(&next, tid, &mut eff) {
                     continue;
                 }
-                if ex.visited.insert(next.clone()) {
-                    if ex.visited.len() > cfg.max_states {
-                        return Err(ExploreError::StateLimit(ex.visited.len()));
-                    }
-                    let mut p = path.clone();
+                let mut p = node.path.clone();
+                p.push(WitnessStep {
+                    tid,
+                    pc,
+                    what: describe_step(ctx.prog, st, &next, tid),
+                });
+                sink.push(WNode { st: next, path: p });
+            }
+            for (next, loc, val, ts) in ctx.promise_steps(st, tid) {
+                if ctx.certify(&next, tid, &mut eff) {
+                    let mut p = node.path.clone();
                     p.push(WitnessStep {
                         tid,
                         pc,
-                        what: describe_step(prog, &st, &next, tid),
+                        what: format!("PROMISE [{loc:#x}] := {val} @ts{ts}"),
                     });
-                    stack.push((next, p));
-                }
-            }
-            if cfg.promises && st.threads[tid].prom.len() < cfg.max_promises_per_thread {
-                let mut dom = ex.domain.plain_stores[tid].clone();
-                dom.extend(ex.domain.rmw_stores[tid].iter().copied());
-                for (loc, val) in dom {
-                    let mut next = st.clone();
-                    let ts = (next.mem.len() + 1) as Ts;
-                    next.mem.push(Msg { loc, val, tid });
-                    next.threads[tid].prom.insert(ts);
-                    if ex.certify(&next, tid) && ex.visited.insert(next.clone()) {
-                        let mut p = path.clone();
-                        p.push(WitnessStep {
-                            tid,
-                            pc,
-                            what: format!("PROMISE [{loc:#x}] := {val} @ts{ts}"),
-                        });
-                        stack.push((next, p));
-                    }
+                    sink.push(WNode { st: next, path: p });
                 }
             }
         }
     }
-    Ok(None)
 }
 
 /// Renders a step by diffing the successor against the predecessor.

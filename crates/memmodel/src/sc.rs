@@ -14,7 +14,8 @@
 //! incrementally and can observe mixed old/new entries.
 
 use std::collections::BTreeMap;
-use std::collections::HashSet;
+
+use vrm_explore::{ExploreConfig, Sink, StateSpace};
 
 use crate::ir::{Addr, Expr, Inst, Observable, Program, Val};
 use crate::outcome::{Outcome, OutcomeSet, ThreadExit};
@@ -25,12 +26,16 @@ use crate::trace::{Event, EventKind, Trace};
 pub struct ScConfig {
     /// Abort after visiting this many distinct states.
     pub max_states: usize,
+    /// Worker threads for the exploration; `1` (the default, unless
+    /// `VRM_JOBS` overrides it) selects the sequential reference driver.
+    pub jobs: usize,
 }
 
 impl Default for ScConfig {
     fn default() -> Self {
         Self {
             max_states: 4_000_000,
+            jobs: ExploreConfig::jobs_from_env(),
         }
     }
 }
@@ -40,6 +45,10 @@ impl Default for ScConfig {
 pub enum ExploreError {
     /// The state-space bound was exceeded.
     StateLimit(usize),
+    /// A path exceeded the engine's depth bound.
+    DepthLimit(usize),
+    /// The exploration outran its deadline.
+    Deadline,
     /// A virtual access was executed without [`Program::vm`] being set.
     NoVmConfig,
 }
@@ -48,12 +57,24 @@ impl std::fmt::Display for ExploreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExploreError::StateLimit(n) => write!(f, "state limit exceeded ({n} states)"),
+            ExploreError::DepthLimit(d) => write!(f, "depth limit exceeded (depth {d})"),
+            ExploreError::Deadline => write!(f, "exploration deadline exceeded"),
             ExploreError::NoVmConfig => write!(f, "virtual access without VmConfig"),
         }
     }
 }
 
 impl std::error::Error for ExploreError {}
+
+impl From<vrm_explore::ExploreError> for ExploreError {
+    fn from(e: vrm_explore::ExploreError) -> Self {
+        match e {
+            vrm_explore::ExploreError::StateLimit(n) => ExploreError::StateLimit(n),
+            vrm_explore::ExploreError::DepthLimit(d) => ExploreError::DepthLimit(d),
+            vrm_explore::ExploreError::Deadline => ExploreError::Deadline,
+        }
+    }
+}
 
 /// Run status of one modelled CPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -478,23 +499,33 @@ pub fn enumerate_sc(prog: &Program) -> Result<OutcomeSet, ExploreError> {
     enumerate_sc_with(prog, &ScConfig::default())
 }
 
-/// [`enumerate_sc`] with explicit limits.
-pub fn enumerate_sc_with(prog: &Program, cfg: &ScConfig) -> Result<OutcomeSet, ExploreError> {
-    let mut outcomes = OutcomeSet::new();
-    let mut visited: HashSet<ScState> = HashSet::new();
-    let mut stack = vec![ScState::initial(prog)];
-    visited.insert(stack[0].clone());
-    while let Some(st) = stack.pop() {
+/// The SC interleaving space as seen by the exploration engine: one
+/// state per memoized machine configuration, expansion steps each
+/// runnable thread (forking over `Oracle` choices), and finished states
+/// emit their [`Outcome`].
+struct ScSpace<'a> {
+    prog: &'a Program,
+}
+
+impl StateSpace for ScSpace<'_> {
+    type State = ScState;
+    type Emit = Result<Outcome, ExploreError>;
+
+    fn initial(&self) -> Vec<ScState> {
+        vec![ScState::initial(self.prog)]
+    }
+
+    fn expand(&self, st: &ScState, sink: &mut Sink<ScState, Self::Emit>) {
+        let prog = self.prog;
         if st.all_finished() {
-            outcomes.insert(st.outcome(prog));
-            continue;
+            sink.emit(Ok(st.outcome(prog)));
+            return;
         }
         for tid in 0..prog.threads.len() {
             if st.cpus[tid].status != Status::Running {
                 continue;
             }
             // Oracle choices fork the exploration.
-            let mut nexts = Vec::new();
             let pc = st.cpus[tid].pc;
             let code = &prog.threads[tid].code;
             if pc < code.len() {
@@ -503,25 +534,29 @@ pub fn enumerate_sc_with(prog: &Program, cfg: &ScConfig) -> Result<OutcomeSet, E
                         let mut next = st.clone();
                         next.cpus[tid].regs[dst.0 as usize] = v;
                         next.cpus[tid].pc += 1;
-                        nexts.push(next);
+                        sink.push(next);
                     }
+                    continue;
                 }
             }
-            if nexts.is_empty() {
-                let mut next = st.clone();
-                step(&mut next, prog, tid, None)?;
-                nexts.push(next);
-            }
-            for next in nexts {
-                if visited.insert(next.clone()) {
-                    if visited.len() > cfg.max_states {
-                        return Err(ExploreError::StateLimit(visited.len()));
-                    }
-                    stack.push(next);
-                }
+            let mut next = st.clone();
+            match step(&mut next, prog, tid, None) {
+                Ok(_) => sink.push(next),
+                Err(e) => sink.emit(Err(e)),
             }
         }
     }
+}
+
+/// [`enumerate_sc`] with explicit limits.
+pub fn enumerate_sc_with(prog: &Program, cfg: &ScConfig) -> Result<OutcomeSet, ExploreError> {
+    let ecfg = ExploreConfig::with_max_states(cfg.max_states).jobs(cfg.jobs);
+    let exploration = vrm_explore::explore(&ScSpace { prog }, &ecfg)?;
+    let mut outcomes = OutcomeSet::new();
+    for emit in exploration.emits {
+        outcomes.insert(emit?);
+    }
+    outcomes.stats = exploration.stats;
     Ok(outcomes)
 }
 

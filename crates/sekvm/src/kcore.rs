@@ -178,7 +178,7 @@ pub enum VmState {
 }
 
 /// Per-VM metadata.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct VmMeta {
     /// The VM identifier.
     pub vmid: u32,
@@ -206,7 +206,7 @@ pub struct VmMeta {
 }
 
 /// KCore's locks.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Locks {
     vmid: TicketLock,
     vm: Vec<TicketLock>,
@@ -251,10 +251,35 @@ impl Locks {
             LockId::El2 => self.el2.holder(),
         }
     }
+
+    /// Read-only access to a lock by id.
+    pub fn get(&self, id: LockId) -> &TicketLock {
+        match id {
+            LockId::VmId => &self.vmid,
+            LockId::Vm(v) => &self.vm[v as usize],
+            LockId::KServS2 => &self.kserv_s2,
+            LockId::Smmu(d) => &self.smmu[d as usize],
+            LockId::S2Page => &self.s2page,
+            LockId::El2 => &self.el2,
+        }
+    }
+
+    /// Writes a canonical encoding of every lock's *semantic* state —
+    /// queue depth and holder, not the absolute ticket counters or the
+    /// spin statistics, which are schedule history rather than state.
+    pub fn encode(&self, w: &mut impl std::fmt::Write) {
+        let all = [&self.vmid, &self.kserv_s2, &self.s2page, &self.el2]
+            .into_iter()
+            .chain(self.vm.iter())
+            .chain(self.smmu.iter());
+        for l in all {
+            let _ = write!(w, "{}:{:?},", l.queue_depth(), l.holder());
+        }
+    }
 }
 
 /// The trusted core.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct KCore {
     /// Simulated physical memory.
     pub mem: PhysMem,
@@ -357,6 +382,32 @@ impl KCore {
         } else {
             Geometry::arm_4level()
         }
+    }
+
+    /// Writes a canonical encoding of everything that can affect future
+    /// behaviour — memory, ownership, tables, VM/vCPU/device state, lock
+    /// queues, allocator pools — but *not* the event log (which records
+    /// the path taken, not the state reached) or lock statistics. The
+    /// machine's exhaustive-schedule exploration deduplicates on this.
+    pub fn encode_state(&self, w: &mut impl std::fmt::Write) {
+        let _ = write!(
+            w,
+            "{:?};{:?};{:?};{:?};{:?};{:?};",
+            self.mem, self.s2pages, self.el2, self.kserv_s2, self.vms, self.devices
+        );
+        self.locks.encode(w);
+        let _ = write!(
+            w,
+            ";{:?};{}{};{};{};{:?};{:?};{:?}",
+            self.cfg,
+            self.stage2_enabled,
+            self.smmu_enabled,
+            self.next_vmid,
+            self.remap_next,
+            self.el2_pool,
+            self.s2_pool,
+            self.smmu_pool
+        );
     }
 
     fn behaviour(&self) -> S2Behaviour {

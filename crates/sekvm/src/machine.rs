@@ -8,10 +8,14 @@
 //! releases. A seeded scheduler picks the next CPU each step, so runs are
 //! reproducible while exercising many interleavings.
 
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 
+use vrm_explore::{ExploreConfig, ExploreStats, Sink, StateSpace};
 use vrm_memmodel::ir::{Addr, Val};
 
 use crate::events::{LockId, MEvent};
@@ -587,6 +591,265 @@ impl Machine {
     pub fn cpu_vm(&self, cpu: usize) -> Option<u32> {
         self.cpus[cpu].vm
     }
+
+    /// Enumerates **every** scheduler interleaving of the scripts on the
+    /// unified exploration engine, instead of the one walk a seed picks.
+    ///
+    /// Each terminal schedule contributes a [`SchedOutcome`]: its
+    /// completed/failed operations, expectation violations, dynamic-wDRF
+    /// log violations, and whether it dead-ended. Distinct machine states
+    /// are deduplicated (lock *positions* rather than absolute ticket
+    /// counters, so spin history does not split states), which keeps the
+    /// walk finite for finite scripts.
+    ///
+    /// A schedule that stalls in a *stable* state (no CPU's step changes
+    /// anything — e.g. an unsatisfiable rendezvous) is reported with
+    /// `stalled = true`. A branch that cycles through a few states
+    /// without progress (e.g. repeatedly re-drawing a ticket for a vCPU
+    /// that is never released) is pruned by the visited-set and simply
+    /// contributes no terminal outcome.
+    pub fn explore_schedules(
+        cfg: KCoreConfig,
+        scripts: Vec<Script>,
+        ecfg: &ExhaustiveConfig,
+    ) -> Result<ExhaustiveReport, vrm_explore::ExploreError> {
+        let space = SchedSpace { cfg, scripts };
+        let xcfg = ExploreConfig::with_max_states(ecfg.max_states).jobs(ecfg.jobs);
+        let ex = vrm_explore::explore(&space, &xcfg)?;
+        Ok(ExhaustiveReport {
+            outcomes: ex.emits.into_iter().collect(),
+            stats: ex.stats,
+        })
+    }
+}
+
+/// Bounds for [`Machine::explore_schedules`].
+#[derive(Debug, Clone)]
+pub struct ExhaustiveConfig {
+    /// Cap on distinct machine states before the walk errors out.
+    pub max_states: usize,
+    /// Worker threads (1 = the sequential reference driver).
+    pub jobs: usize,
+}
+
+impl Default for ExhaustiveConfig {
+    fn default() -> Self {
+        ExhaustiveConfig {
+            max_states: 1 << 20,
+            jobs: ExploreConfig::jobs_from_env(),
+        }
+    }
+}
+
+/// What one complete schedule observed.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SchedOutcome {
+    /// Operations that completed successfully.
+    pub ops_ok: usize,
+    /// Failed operations, rendered as `CPU<i> <op>: <error>`.
+    pub failures: Vec<String>,
+    /// Operations whose expectation (e.g. `expect_allowed`) was violated.
+    pub expectation_violations: Vec<String>,
+    /// Dynamic-wDRF violations found in this schedule's event log.
+    pub wdrf_violations: Vec<String>,
+    /// `true` if the schedule dead-ended with unfinished CPUs.
+    pub stalled: bool,
+}
+
+impl SchedOutcome {
+    /// `true` when nothing unexpected happened on this schedule.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+            && self.expectation_violations.is_empty()
+            && self.wdrf_violations.is_empty()
+            && !self.stalled
+    }
+}
+
+/// The machine's observable behaviour over all schedules.
+#[derive(Debug)]
+pub struct ExhaustiveReport {
+    /// Every distinct terminal observation.
+    pub outcomes: BTreeSet<SchedOutcome>,
+    /// Enumeration counters.
+    pub stats: ExploreStats,
+}
+
+impl ExhaustiveReport {
+    /// `true` iff every explored schedule was clean.
+    pub fn all_clean(&self) -> bool {
+        !self.outcomes.is_empty() && self.outcomes.iter().all(SchedOutcome::clean)
+    }
+}
+
+/// Streams canonical-encoding text into two independent accumulators
+/// (FNV-1a and a rotate-multiply mix); 128 digest bits make accidental
+/// state collisions negligible even for millions of states.
+struct DigestWriter {
+    a: u64,
+    b: u64,
+}
+
+impl DigestWriter {
+    fn new() -> Self {
+        DigestWriter {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: 0x6c62_272e_07bb_0142,
+        }
+    }
+}
+
+impl std::fmt::Write for DigestWriter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for &byte in s.as_bytes() {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(0x0100_0000_01b3);
+            self.b = (self.b.rotate_left(5) ^ u64::from(byte)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+        Ok(())
+    }
+}
+
+/// One node in the schedule tree: the machine state plus the
+/// path-accumulated observations reported at a terminal. Identity is the
+/// 128-bit digest of the canonical state encoding, which excludes the
+/// event log, spin counters, and absolute ticket numbers.
+#[derive(Clone)]
+struct SchedNode {
+    kcore: KCore,
+    cpus: Vec<CpuState>,
+    ops_ok: usize,
+    failures: Vec<(usize, &'static str, HypercallError)>,
+    expectation_violations: Vec<String>,
+    digest: (u64, u64),
+}
+
+impl SchedNode {
+    fn new(
+        kcore: KCore,
+        cpus: Vec<CpuState>,
+        ops_ok: usize,
+        failures: Vec<(usize, &'static str, HypercallError)>,
+        expectation_violations: Vec<String>,
+    ) -> Self {
+        let mut w = DigestWriter::new();
+        kcore.encode_state(&mut w);
+        for c in &cpus {
+            let _ = write!(w, "|{}", c.next_op);
+            match &c.phase {
+                Phase::Idle => {
+                    let _ = w.write_str(",i");
+                }
+                Phase::Finished => {
+                    let _ = w.write_str(",f");
+                }
+                Phase::Spinning { lock, ticket, .. } => {
+                    let _ = write!(w, ",s{:?}@{}", lock, kcore.locks.get(*lock).position(*ticket));
+                }
+            }
+            let _ = write!(w, ",{:?},{:?}", c.vm, c.held);
+        }
+        let _ = write!(w, "|{ops_ok}|{failures:?}|{expectation_violations:?}");
+        SchedNode {
+            digest: (w.a, w.b),
+            kcore,
+            cpus,
+            ops_ok,
+            failures,
+            expectation_violations,
+        }
+    }
+
+    fn outcome(&self, stalled: bool) -> SchedOutcome {
+        SchedOutcome {
+            ops_ok: self.ops_ok,
+            failures: self
+                .failures
+                .iter()
+                .map(|(c, n, e)| format!("CPU{c} {n}: {e}"))
+                .collect(),
+            expectation_violations: self.expectation_violations.clone(),
+            wdrf_violations: crate::wdrf::validate_log(&self.kcore.log)
+                .iter()
+                .map(|v| format!("{v:?}"))
+                .collect(),
+            stalled,
+        }
+    }
+}
+
+impl PartialEq for SchedNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.digest == other.digest
+    }
+}
+
+impl Eq for SchedNode {}
+
+impl std::hash::Hash for SchedNode {
+    fn hash<H: std::hash::Hasher>(&self, h: &mut H) {
+        self.digest.hash(h);
+    }
+}
+
+struct SchedSpace {
+    cfg: KCoreConfig,
+    scripts: Vec<Script>,
+}
+
+impl StateSpace for SchedSpace {
+    type State = SchedNode;
+    type Emit = SchedOutcome;
+
+    fn initial(&self) -> Vec<SchedNode> {
+        let m = Machine::new(self.cfg, self.scripts.clone(), 0);
+        vec![SchedNode::new(m.kcore, m.cpus, 0, Vec::new(), Vec::new())]
+    }
+
+    fn expand(&self, node: &SchedNode, sink: &mut Sink<SchedNode, SchedOutcome>) {
+        let runnable: Vec<usize> = (0..node.cpus.len())
+            .filter(|&c| !matches!(node.cpus[c].phase, Phase::Finished))
+            .collect();
+        if runnable.is_empty() {
+            sink.emit(node.outcome(false));
+            return;
+        }
+        let mut progressed = false;
+        for cpu in runnable {
+            let mut m = Machine {
+                kcore: node.kcore.clone(),
+                cpus: node.cpus.clone(),
+                rng: StdRng::seed_from_u64(0),
+            };
+            let mut delta = RunReport {
+                ops_ok: 0,
+                failures: Vec::new(),
+                expectation_violations: Vec::new(),
+                steps: 0,
+                total_spins: 0,
+                stalled: false,
+            };
+            m.step(cpu, &mut delta);
+            let mut failures = node.failures.clone();
+            failures.extend(delta.failures);
+            let mut violations = node.expectation_violations.clone();
+            violations.extend(delta.expectation_violations);
+            let succ = SchedNode::new(
+                m.kcore,
+                m.cpus,
+                node.ops_ok + delta.ops_ok,
+                failures,
+                violations,
+            );
+            if succ.digest != node.digest {
+                progressed = true;
+                sink.push(succ);
+            }
+        }
+        if !progressed {
+            // Every CPU is waiting on something that can never happen.
+            sink.emit(node.outcome(true));
+        }
+    }
 }
 
 fn op_name(op: &Op) -> &'static str {
@@ -767,6 +1030,70 @@ mod tests {
         assert!(report.stalled);
         assert!(!report.clean());
         assert!(report.steps < 10_000_000);
+    }
+
+    #[test]
+    fn exhaustive_two_cpu_registration_is_clean_on_every_schedule() {
+        // All interleavings of two CPUs contending on the VmId lock
+        // complete cleanly and produce the same observable outcome.
+        let scripts: Vec<Script> = (0..2).map(|_| vec![Op::RegisterVm]).collect();
+        let report =
+            Machine::explore_schedules(KCoreConfig::default(), scripts, &ExhaustiveConfig::default())
+                .unwrap();
+        assert!(report.all_clean(), "{:?}", report.outcomes);
+        assert_eq!(report.outcomes.len(), 1);
+        assert!(report.outcomes.iter().all(|o| o.ops_ok == 2));
+        assert!(report.stats.states > 2, "expected real branching");
+    }
+
+    #[test]
+    fn exhaustive_detects_deadlock_on_every_schedule() {
+        // The stalled-rendezvous machine from the seeded test: every
+        // schedule must dead-end, and exhaustive mode must say so.
+        let cpu0: Script = vec![Op::Rendezvous { id: 9 }];
+        let cpu1: Script = vec![Op::AttachVm { owner_cpu: 0 }, Op::Rendezvous { id: 9 }];
+        let report = Machine::explore_schedules(
+            KCoreConfig::default(),
+            vec![cpu0, cpu1],
+            &ExhaustiveConfig::default(),
+        )
+        .unwrap();
+        assert!(!report.outcomes.is_empty());
+        assert!(report.outcomes.iter().all(|o| o.stalled));
+        assert!(!report.all_clean());
+    }
+
+    #[test]
+    fn exhaustive_parallel_matches_sequential() {
+        let scripts = |n: usize| -> Vec<Script> {
+            (0..n)
+                .map(|_| vec![Op::RegisterVm, Op::RegisterVcpu])
+                .collect()
+        };
+        let run = |jobs: usize| {
+            Machine::explore_schedules(
+                KCoreConfig::default(),
+                scripts(3),
+                &ExhaustiveConfig { max_states: 1 << 20, jobs },
+            )
+            .unwrap()
+        };
+        let seq = run(1);
+        for jobs in [2, 4] {
+            assert_eq!(seq.outcomes, run(jobs).outcomes, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_state_limit_is_reported() {
+        let scripts: Vec<Script> = (0..2).map(|_| vec![Op::RegisterVm]).collect();
+        let err = Machine::explore_schedules(
+            KCoreConfig::default(),
+            scripts,
+            &ExhaustiveConfig { max_states: 2, jobs: 1 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, vrm_explore::ExploreError::StateLimit(n) if n > 2));
     }
 
     #[test]

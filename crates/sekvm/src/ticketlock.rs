@@ -78,6 +78,13 @@ impl TicketLock {
     pub fn queue_depth(&self) -> u64 {
         self.ticket - self.now
     }
+
+    /// How many releases a drawn ticket still has to wait for (0 = next
+    /// to enter). Relative positions are schedule-independent where the
+    /// absolute counters are not.
+    pub fn position(&self, ticket: Ticket) -> u64 {
+        ticket.0 - self.now
+    }
 }
 
 #[cfg(test)]

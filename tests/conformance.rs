@@ -5,7 +5,7 @@
 //! independent implementations must agree on every battery test, SC must
 //! always be subsumed, and the expected architectural verdicts must hold.
 
-use vrm::memmodel::litmus::{battery, check};
+use vrm::memmodel::litmus::{battery, check, check_with_jobs};
 
 #[test]
 fn battery_conformance_full() {
@@ -20,6 +20,29 @@ fn battery_conformance_full() {
         );
         assert!(c.sc_subsumed, "{}: SC produced an outcome RM cannot", c.name);
         assert!(c.verdicts_match, "{}: architectural verdict wrong", c.name);
+    }
+}
+
+/// The parallel work-stealing driver must be observationally identical to
+/// the sequential reference: same SC, promising, and axiomatic outcome
+/// sets on every battery test.
+#[test]
+fn battery_parallel_driver_matches_sequential() {
+    for test in battery() {
+        let seq = check_with_jobs(&test, 1).unwrap();
+        let par = check_with_jobs(&test, 4).unwrap();
+        assert_eq!(seq.sc, par.sc, "{}: SC outcome sets differ", seq.name);
+        assert_eq!(
+            seq.promising, par.promising,
+            "{}: promising outcome sets differ",
+            seq.name
+        );
+        assert_eq!(
+            seq.axiomatic, par.axiomatic,
+            "{}: axiomatic outcome sets differ",
+            seq.name
+        );
+        assert!(par.ok(), "{}: parallel conformance failed", par.name);
     }
 }
 

@@ -4,7 +4,7 @@
 use vrm::memmodel::axiomatic::{enumerate_axiomatic_with, AxConfig};
 use vrm::memmodel::parser::{parse, CheckModel};
 use vrm::memmodel::promising::enumerate_promising_with;
-use vrm::memmodel::sc::enumerate_sc;
+use vrm::memmodel::sc::{enumerate_sc, enumerate_sc_with, ScConfig};
 
 #[test]
 fn corpus_parses_and_passes() {
@@ -68,5 +68,42 @@ fn corpus_parses_and_passes() {
                 if c.allows { "allows" } else { "forbids" },
             );
         }
+    }
+}
+
+/// Both exploration drivers must produce identical outcome sets on every
+/// corpus file (the parallel-engine correctness gate for `litmus/`).
+#[test]
+fn corpus_parallel_driver_matches_sequential() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/litmus");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("litmus/ directory")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "litmus"))
+        .collect();
+    files.sort();
+    for path in files {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let prog = &parsed.program;
+        let run = |jobs: usize| {
+            let sc = enumerate_sc_with(
+                prog,
+                &ScConfig {
+                    jobs,
+                    ..ScConfig::default()
+                },
+            )
+            .unwrap();
+            let mut pcfg = parsed.promising.clone();
+            pcfg.jobs = jobs;
+            let rm = enumerate_promising_with(prog, &pcfg).unwrap().outcomes;
+            (sc, rm)
+        };
+        let (sc1, rm1) = run(1);
+        let (sc4, rm4) = run(4);
+        assert_eq!(sc1, sc4, "{}: SC outcome sets differ", path.display());
+        assert_eq!(rm1, rm4, "{}: RM outcome sets differ", path.display());
     }
 }

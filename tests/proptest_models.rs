@@ -14,7 +14,7 @@ use vrm::memmodel::axiomatic::{enumerate_axiomatic_with, AxConfig};
 use vrm::memmodel::builder::ProgramBuilder;
 use vrm::memmodel::ir::{Fence, Inst, Program, Reg, RmwOp};
 use vrm::memmodel::promising::{enumerate_promising_with, PromisingConfig};
-use vrm::memmodel::sc::enumerate_sc;
+use vrm::memmodel::sc::{enumerate_sc, enumerate_sc_with, ScConfig};
 
 const LOCS: [u64; 2] = [0x10, 0x20];
 
@@ -105,6 +105,30 @@ proptest! {
         let weak = enumerate_promising_with(&prog, &promising_cfg(false)).unwrap();
         let full = enumerate_promising_with(&prog, &promising_cfg(true)).unwrap();
         prop_assert!(weak.outcomes.is_subset(&full.outcomes));
+    }
+
+    /// The work-stealing driver is a pure scheduling change: at every
+    /// worker count it must produce exactly the sequential outcome sets
+    /// on both operational models.
+    #[test]
+    fn parallel_drivers_match_sequential(prog in arb_program()) {
+        let sc_seq = enumerate_sc_with(&prog, &ScConfig { jobs: 1, ..ScConfig::default() }).unwrap();
+        let mut pcfg = promising_cfg(true);
+        pcfg.jobs = 1;
+        let rm_seq = enumerate_promising_with(&prog, &pcfg).unwrap();
+        for jobs in [2usize, 4, 8] {
+            let sc_par =
+                enumerate_sc_with(&prog, &ScConfig { jobs, ..ScConfig::default() }).unwrap();
+            prop_assert_eq!(&sc_seq, &sc_par, "SC differs at jobs={}", jobs);
+            let mut pcfg = promising_cfg(true);
+            pcfg.jobs = jobs;
+            let rm_par = enumerate_promising_with(&prog, &pcfg).unwrap();
+            prop_assert_eq!(
+                &rm_seq.outcomes, &rm_par.outcomes,
+                "promising differs at jobs={}", jobs
+            );
+            prop_assert_eq!(rm_seq.violations.len(), rm_par.violations.len());
+        }
     }
 
     #[test]

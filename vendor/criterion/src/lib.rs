@@ -1,0 +1,154 @@
+//! Offline stand-in for the subset of the `criterion` crate this
+//! workspace uses.
+//!
+//! The build environment cannot reach a crates.io mirror, so the
+//! workspace vendors a minimal, dependency-free benchmark harness with
+//! criterion's spelling: [`Criterion::bench_function`], `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros. It measures a
+//! simple trimmed mean over adaptive batches — good enough for the
+//! relative comparisons the benches here make (e.g. sequential vs
+//! parallel enumeration), with none of upstream's statistics machinery.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(name, &b.samples);
+        self
+    }
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, adaptively batching until enough samples exist.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up and per-iteration cost estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_start.elapsed() < Duration::from_millis(50) && warm_iters < 10_000 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1);
+        // Sample batches sized to ~5 ms each, for ~250 ms total.
+        let batch = (Duration::from_millis(5).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 100_000) as u32;
+        let deadline = Instant::now() + Duration::from_millis(250);
+        while Instant::now() < deadline && self.samples.len() < 100 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / batch);
+        }
+        if self.samples.is_empty() {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let mid = sorted[sorted.len() / 2];
+    let lo = sorted[sorted.len() / 10];
+    let hi = sorted[sorted.len() - 1 - sorted.len() / 10];
+    println!(
+        "{name:<40} time: [{} {} {}]",
+        fmt_dur(lo),
+        fmt_dur(mid),
+        fmt_dur(hi)
+    );
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, matching criterion's
+/// plain-list form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` passes harness flags (e.g. `--test-threads`);
+            // running benchmarks under the test runner is pointless, so
+            // detect that and exit quickly after a smoke pass.
+            let smoke = std::env::args().any(|a| a == "--test" || a.starts_with("--test-threads"));
+            if smoke {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn fmt_spans_units() {
+        assert!(fmt_dur(Duration::from_nanos(12)).contains("ns"));
+        assert!(fmt_dur(Duration::from_micros(12)).contains("µs"));
+        assert!(fmt_dur(Duration::from_millis(12)).contains("ms"));
+        assert!(fmt_dur(Duration::from_secs(2)).contains('s'));
+    }
+}
