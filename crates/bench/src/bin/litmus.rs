@@ -136,7 +136,12 @@ fn main() -> ExitCode {
             }
             None => "n/a",
         };
-        print!(" sc:{:<3} arm:{:<3} conform:{:<4}", sc.len(), rm.len(), conform);
+        print!(
+            " sc:{:<3} arm:{:<3} conform:{:<4}",
+            sc.len(),
+            rm.len(),
+            conform
+        );
         let mut ok = conform != "NO" && sc.is_subset(&rm);
         for c in &parsed.checks {
             // `arm` expectations are judged against the *complete* model
@@ -171,11 +176,8 @@ fn main() -> ExitCode {
             failures += 1;
         }
         if let Some(spec) = &witness_spec {
-            let bindings: Vec<(&str, u64)> =
-                spec.iter().map(|(n, v)| (n.as_str(), *v)).collect();
-            match find_witness(prog, &parsed.promising, &bindings)
-                .expect("witness search")
-            {
+            let bindings: Vec<(&str, u64)> = spec.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+            match find_witness(prog, &parsed.promising, &bindings).expect("witness search") {
                 Some(w) => {
                     println!("  witness for {spec:?}:");
                     for step in w {

@@ -1,0 +1,85 @@
+//! Mutation-campaign runner: executes the curated `vrm-mutate` mutant
+//! set (or a name-filtered subset), prints a human table, optionally
+//! writes a JSON report, and exits non-zero unless every mutant was
+//! killed.
+//!
+//! ```console
+//! $ cargo run -p vrm-bench --bin mutate --release
+//! $ cargo run -p vrm-bench --bin mutate --release -- --jobs 4
+//! $ cargo run -p vrm-bench --bin mutate --release -- --json report.json
+//! $ cargo run -p vrm-bench --bin mutate --release -- --filter litmus
+//! $ VRM_JOBS=8 cargo run -p vrm-bench --bin mutate --release
+//! ```
+
+use std::process::ExitCode;
+
+use vrm_mutate::{curated, not_killed, run, to_json, to_table, CampaignConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = CampaignConfig::default();
+    let mut json_path: Option<String> = None;
+    let mut filter: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" => {
+                let n = args.get(i + 1).expect("--jobs needs a worker count");
+                cfg.jobs = n.parse().expect("numeric worker count");
+                i += 2;
+            }
+            "--json" => {
+                json_path = Some(args.get(i + 1).expect("--json needs a path").clone());
+                i += 2;
+            }
+            "--filter" => {
+                filter = Some(args.get(i + 1).expect("--filter needs a substring").clone());
+                i += 2;
+            }
+            "--max-states" => {
+                let n = args.get(i + 1).expect("--max-states needs a count");
+                cfg.machine_max_states = n.parse().expect("numeric state cap");
+                i += 2;
+            }
+            other => {
+                eprintln!(
+                    "unknown argument `{other}`\n\
+                     usage: mutate [--jobs N] [--json PATH] [--filter SUBSTR] [--max-states N]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut specs = curated();
+    if let Some(f) = &filter {
+        specs.retain(|s| s.name.contains(f.as_str()) || s.layer.as_str() == f);
+    }
+    eprintln!(
+        "running {} mutants with {} worker thread(s)...",
+        specs.len(),
+        cfg.jobs
+    );
+    let report = run(&specs, &cfg);
+    print!("{}", to_table(&report));
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, to_json(&report)).expect("write JSON report");
+        eprintln!("JSON report written to {path}");
+    }
+
+    let missed = not_killed(&report);
+    if missed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for r in missed {
+            eprintln!(
+                "NOT KILLED: {} ({}) — {}",
+                r.name,
+                r.status.as_str(),
+                r.detail
+            );
+        }
+        ExitCode::FAILURE
+    }
+}

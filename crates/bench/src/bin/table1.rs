@@ -111,7 +111,11 @@ fn main() {
         "   gen_vmid (Figure 7) on push/pull Promising: {} states, \
          DRF-Kernel {}, No-Barrier-Misuse {}",
         pp.states_explored,
-        if pp.drf_kernel_holds() { "PASS" } else { "FAIL" },
+        if pp.drf_kernel_holds() {
+            "PASS"
+        } else {
+            "FAIL"
+        },
         if pp.no_barrier_misuse_holds() {
             "PASS"
         } else {

@@ -7,7 +7,11 @@ use vrm_hwsim::{simulate_micro, HwConfig, HypConfig, HypKind, KernelVersion};
 /// Paper Table 3 values, for side-by-side comparison.
 const PAPER: [(&str, [u64; 4], [u64; 4]); 2] = [
     ("m400", [2275, 3144, 7864, 7915], [4695, 7235, 15501, 13900]),
-    ("Seattle", [2896, 3831, 9288, 8816], [3720, 4864, 10903, 10699]),
+    (
+        "Seattle",
+        [2896, 3831, 9288, 8816],
+        [3720, 4864, 10903, 10699],
+    ),
 ];
 
 fn main() {

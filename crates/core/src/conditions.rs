@@ -335,7 +335,9 @@ pub fn check_sequential_tlbi_program(
     for _ in 0..random_schedules {
         let mut s = Vec::with_capacity(400);
         for _ in 0..400 {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s.push(((seed >> 33) as usize) % nthreads.max(1));
         }
         schedules.push(s);
@@ -384,18 +386,14 @@ pub fn check_memory_isolation(
             if spec.isolation == IsolationMode::Strong {
                 for &a in &va.reads[tid] {
                     if spec.is_user_mem(a) {
-                        failures.push(format!(
-                            "kernel thread T{tid} may read user memory {a:#x}"
-                        ));
+                        failures.push(format!("kernel thread T{tid} may read user memory {a:#x}"));
                     }
                 }
             }
         } else {
             for &a in &va.writes[tid] {
                 if spec.is_kernel_mem(a) || spec.is_kernel_pt(a) {
-                    failures.push(format!(
-                        "user thread T{tid} may write kernel memory {a:#x}"
-                    ));
+                    failures.push(format!("user thread T{tid} may write kernel memory {a:#x}"));
                 }
             }
         }

@@ -38,7 +38,11 @@ pub struct PaperExample {
 pub fn example1() -> PaperExample {
     let (x, y) = (0x10u64, 0x20u64);
     let build = |dmb: bool| {
-        let mut p = ProgramBuilder::new(if dmb { "Example 1 (fixed)" } else { "Example 1" });
+        let mut p = ProgramBuilder::new(if dmb {
+            "Example 1 (fixed)"
+        } else {
+            "Example 1"
+        });
         p.thread("CPU 1", |t| {
             t.load(Reg(0), x, false);
             if dmb {
@@ -500,13 +504,17 @@ mod tests {
         // The LDAXR/STXR encoding of the lock gives the same guarantee:
         // unique vmids with barriers, duplicates without.
         let fixed = gen_vmid_program_llsc(true);
-        let rm = enumerate_promising_with(&fixed, &cfg(false)).unwrap().outcomes;
+        let rm = enumerate_promising_with(&fixed, &cfg(false))
+            .unwrap()
+            .outcomes;
         assert!(!rm.is_empty());
         for o in rm.iter() {
             assert_ne!(o.get("vmid0"), o.get("vmid1"), "duplicate vmid: {o}");
         }
         let buggy = gen_vmid_program_llsc(false);
-        let rm = enumerate_promising_with(&buggy, &cfg(false)).unwrap().outcomes;
+        let rm = enumerate_promising_with(&buggy, &cfg(false))
+            .unwrap()
+            .outcomes;
         assert!(
             rm.contains_binding(&[("vmid0", 0), ("vmid1", 0)]),
             "LL/SC lock without barriers should allow duplicate vmids:\n{rm}"

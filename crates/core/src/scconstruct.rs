@@ -209,9 +209,10 @@ pub fn construct_sc(exec: &PushPullExecution) -> Result<ScExecution, Invalid> {
     // Topological sort over program order + cross edges (Kahn).
     let mut succ: BTreeMap<EventId, Vec<EventId>> = BTreeMap::new();
     let mut indeg: BTreeMap<EventId, usize> = events.iter().map(|&e| (e, 0)).collect();
-    let add_edge = |from: EventId, to: EventId,
-                        succ: &mut BTreeMap<EventId, Vec<EventId>>,
-                        indeg: &mut BTreeMap<EventId, usize>| {
+    let add_edge = |from: EventId,
+                    to: EventId,
+                    succ: &mut BTreeMap<EventId, Vec<EventId>>,
+                    indeg: &mut BTreeMap<EventId, usize>| {
         succ.entry(from).or_default().push(to);
         *indeg.get_mut(&to).expect("known event") += 1;
     };
@@ -553,19 +554,25 @@ mod tests {
             }
             let (outcome, trace) = run_schedule(&prog, &schedule, 100_000).unwrap();
             let exec = super::from_trace(&trace, 2, prog.init_mem.clone());
-            let sc = construct_sc(&exec).unwrap_or_else(|e| {
-                panic!("trial {trial}: invalid push/pull execution: {e}")
-            });
+            let sc = construct_sc(&exec)
+                .unwrap_or_else(|e| panic!("trial {trial}: invalid push/pull execution: {e}"));
             replay_matches(&exec, &sc)
                 .unwrap_or_else(|e| panic!("trial {trial}: replay mismatch: {e}"));
             // The lock worked: both critical sections appear, ordered.
-            assert_eq!(exec.promise_list.iter().filter(|e| matches!(e, PlEntry::Pull { .. })).count(), 2);
+            assert_eq!(
+                exec.promise_list
+                    .iter()
+                    .filter(|e| matches!(e, PlEntry::Pull { .. }))
+                    .count(),
+                2
+            );
             assert_ne!(outcome.get("vmid0"), outcome.get("vmid1"));
         }
     }
 
     fn respects(exec: &PushPullExecution, sc: &ScExecution, order: &[EventId]) -> bool {
-        let pos: BTreeMap<EventId, usize> = order.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+        let pos: BTreeMap<EventId, usize> =
+            order.iter().enumerate().map(|(i, &e)| (e, i)).collect();
         // Program order.
         for (tid, tr) in exec.traces.iter().enumerate() {
             for i in 1..tr.len() {

@@ -6,8 +6,7 @@ use std::collections::BTreeSet;
 use vrm_memmodel::ir::Addr;
 
 /// Which version of condition 6 the system claims (§3, §4.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum IsolationMode {
     /// Memory-Isolation: the kernel never reads user memory and user
     /// programs cannot write kernel memory.
@@ -59,7 +58,6 @@ pub struct KernelSpec {
     /// Which isolation condition is claimed.
     pub isolation: IsolationMode,
 }
-
 
 impl KernelSpec {
     /// Creates a spec where the given threads are the kernel and everything

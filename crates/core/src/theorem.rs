@@ -272,7 +272,11 @@ pub fn check_wdrf(
         conditions.extend(sync);
     }
     if prog.uses_vm() || !spec.user_pt.is_empty() {
-        conditions.push(check_sequential_tlbi_program(prog, spec, cfg.tlbi_schedules)?);
+        conditions.push(check_sequential_tlbi_program(
+            prog,
+            spec,
+            cfg.tlbi_schedules,
+        )?);
     }
     conditions.push(check_memory_isolation(prog, spec, &cfg.values));
 
@@ -363,10 +367,7 @@ mod tests {
         assert!(v.conditions.iter().any(|c| !c.holds));
         // And the raw RM/SC comparison exhibits the RM-only behaviour.
         assert!(!v.rm_subset_of_sc, "rm:\n{}\nsc:\n{}", v.rm, v.sc);
-        assert!(v
-            .counterexamples
-            .iter()
-            .any(|o| o.get("kernel_z") == 2));
+        assert!(v.counterexamples.iter().any(|o| o.get("kernel_z") == 2));
     }
 
     #[test]
@@ -383,11 +384,7 @@ mod tests {
         cfg.promising.value_cfg.max_rounds = 3;
         cfg.values.max_rounds = 3;
         let v = check_wdrf(&prog, &spec, &cfg).unwrap();
-        assert!(
-            v.conditions.iter().all(|c| c.holds),
-            "{:#?}",
-            v.conditions
-        );
+        assert!(v.conditions.iter().all(|c| c.holds), "{:#?}", v.conditions);
         assert!(v.rm_subset_of_sc, "rm:\n{}\nsc:\n{}", v.rm, v.sc);
         assert!(v.holds());
     }
@@ -442,7 +439,11 @@ mod tests {
         };
         let _ = &mut cfg;
         let v = check_wdrf(&p.build(), &spec, &cfg).unwrap();
-        assert!(v.rm_subset_of_sc, "counterexamples: {:?}", v.counterexamples);
+        assert!(
+            v.rm_subset_of_sc,
+            "counterexamples: {:?}",
+            v.counterexamples
+        );
     }
 
     #[test]

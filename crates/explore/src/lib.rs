@@ -160,10 +160,16 @@ impl std::fmt::Display for ExploreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExploreError::StateLimit(n) => {
-                write!(f, "state-space exploration exceeded the state limit at {n} states")
+                write!(
+                    f,
+                    "state-space exploration exceeded the state limit at {n} states"
+                )
             }
             ExploreError::DepthLimit(d) => {
-                write!(f, "state-space exploration exceeded the depth limit at depth {d}")
+                write!(
+                    f,
+                    "state-space exploration exceeded the depth limit at depth {d}"
+                )
             }
             ExploreError::Deadline => write!(f, "state-space exploration exceeded its deadline"),
         }
@@ -429,9 +435,8 @@ fn parallel<SP: StateSpace>(
                         let own = queues[me].lock().unwrap().pop_back();
                         match own {
                             Some(j) => Some(j),
-                            None => (1..jobs).find_map(|d| {
-                                queues[(me + d) % jobs].lock().unwrap().pop_front()
-                            }),
+                            None => (1..jobs)
+                                .find_map(|d| queues[(me + d) % jobs].lock().unwrap().pop_front()),
                         }
                     };
                     let Some((state, depth)) = job else {
@@ -484,8 +489,7 @@ fn parallel<SP: StateSpace>(
                     // work still exists. The expanded state's own count
                     // is released only after its successors are in.
                     if !fresh.is_empty() {
-                        let now =
-                            pending.fetch_add(fresh.len(), Ordering::SeqCst) + fresh.len();
+                        let now = pending.fetch_add(fresh.len(), Ordering::SeqCst) + fresh.len();
                         frontier_peak.fetch_max(now, Ordering::Relaxed);
                         let mut own = queues[me].lock().unwrap();
                         for item in fresh {

@@ -160,9 +160,18 @@ mod tests {
 
     #[test]
     fn sekvm_levels_depend_on_kernel() {
-        assert_eq!(HypConfig::new(HypKind::SeKvm, KernelVersion::V4_18).s2_levels(), 4);
-        assert_eq!(HypConfig::new(HypKind::SeKvm, KernelVersion::V5_4).s2_levels(), 3);
-        assert_eq!(HypConfig::new(HypKind::Kvm, KernelVersion::V4_18).s2_levels(), 4);
+        assert_eq!(
+            HypConfig::new(HypKind::SeKvm, KernelVersion::V4_18).s2_levels(),
+            4
+        );
+        assert_eq!(
+            HypConfig::new(HypKind::SeKvm, KernelVersion::V5_4).s2_levels(),
+            3
+        );
+        assert_eq!(
+            HypConfig::new(HypKind::Kvm, KernelVersion::V4_18).s2_levels(),
+            4
+        );
     }
 
     #[test]

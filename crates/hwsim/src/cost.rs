@@ -63,15 +63,19 @@ impl CostModel {
     /// KServ mappings make nearly every page (stage-1 and stage-2 entry)
     /// contend for TLB capacity.
     pub fn thrash_misses(&self, ws: u64) -> f64 {
-        let pressure = if self.hyp.kserv_4k_stage2() { 1.3 } else { 0.35 };
+        let pressure = if self.hyp.kserv_4k_stage2() {
+            1.3
+        } else {
+            0.35
+        };
         ws as f64 * pressure * self.hw.thrash_factor()
     }
 
     /// Total cycles for an operation profile.
     pub fn op_cycles(&self, p: &OpProfile) -> u64 {
         let vf = self.hyp.version_factor();
-        let mut cycles = p.transitions as f64 * self.hw.c_exc as f64
-            + p.insts as f64 * vf * self.hw.c_inst;
+        let mut cycles =
+            p.transitions as f64 * self.hw.c_exc as f64 + p.insts as f64 * vf * self.hw.c_inst;
         // Baseline TLB pressure of entering host context at all.
         cycles += self.thrash_misses(p.ws_pages) * self.nested_walk_cycles() as f64;
         if self.hyp.kserv_4k_stage2() {

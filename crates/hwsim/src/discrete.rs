@@ -141,7 +141,10 @@ mod tests {
     fn oversubscription_kneels_past_four_vms() {
         let hw = HwConfig::m400();
         let hyp = HypConfig::new(HypKind::Kvm, KernelVersion::V4_18);
-        let hack = workloads().into_iter().find(|w| w.name == "Hackbench").unwrap();
+        let hack = workloads()
+            .into_iter()
+            .find(|w| w.name == "Hackbench")
+            .unwrap();
         let p4 = simulate_multivm_discrete(hw, hyp, &hack, 4, 4000, 3);
         let p16 = simulate_multivm_discrete(hw, hyp, &hack, 16, 4000, 3);
         assert!(

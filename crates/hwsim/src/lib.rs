@@ -26,16 +26,15 @@
 pub mod apps;
 pub mod config;
 pub mod cost;
-pub mod micro;
 pub mod discrete;
+pub mod micro;
 pub mod multivm;
 pub mod tracesim;
 
 pub use apps::{simulate_app, simulate_app_with_vcpus, workloads, AppResult, Workload};
 pub use config::{HwConfig, HypConfig, HypKind, KernelVersion};
 pub use cost::CostModel;
-pub use micro::{simulate_micro, MicroResults};
 pub use discrete::simulate_multivm_discrete;
+pub use micro::{simulate_micro, MicroResults};
 pub use multivm::{simulate_multivm, VM_COUNTS};
 pub use tracesim::{simulate_exit_trace, TraceSimResult};
-

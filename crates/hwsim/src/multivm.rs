@@ -107,7 +107,10 @@ mod tests {
         // 8 cores / 2 vCPUs: >4 busy VMs oversubscribe the machine.
         let hw = HwConfig::m400();
         let (kvm, _) = cfgs();
-        let hack = workloads().into_iter().find(|w| w.name == "Hackbench").unwrap();
+        let hack = workloads()
+            .into_iter()
+            .find(|w| w.name == "Hackbench")
+            .unwrap();
         let p4 = simulate_multivm(hw, kvm, &hack, 4);
         let p8 = simulate_multivm(hw, kvm, &hack, 8);
         let p32 = simulate_multivm(hw, kvm, &hack, 32);

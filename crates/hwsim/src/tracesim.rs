@@ -95,13 +95,7 @@ mod tests {
     use crate::config::{HypKind, KernelVersion};
 
     fn res(hw: HwConfig, kind: HypKind, ws: u64) -> TraceSimResult {
-        simulate_exit_trace(
-            hw,
-            HypConfig::new(kind, KernelVersion::V4_18),
-            ws,
-            4,
-            42,
-        )
+        simulate_exit_trace(hw, HypConfig::new(kind, KernelVersion::V4_18), ws, 4, 42)
     }
 
     #[test]

@@ -598,11 +598,7 @@ impl<'a> Candidate<'a> {
                 continue;
             };
             for x in 0..n {
-                if is_w(&self.events[x])
-                    && ext(r, x)
-                    && ext(x, w)
-                    && self.fr(r, x)
-                    && self.co(x, w)
+                if is_w(&self.events[x]) && ext(r, x) && ext(x, w) && self.fr(r, x) && self.co(x, w)
                 {
                     return false;
                 }
@@ -719,15 +715,13 @@ impl<'a> Candidate<'a> {
                             // po; [dmb.sy]; po.
                             EvKind::Fence(Fence::Sy) => ob.add(i, j),
                             // [R]; po; [dmb.ld]; po.
-                            EvKind::Fence(Fence::Ld)
-                                if is_r(ei) => {
-                                    ob.add(i, j);
-                                }
+                            EvKind::Fence(Fence::Ld) if is_r(ei) => {
+                                ob.add(i, j);
+                            }
                             // [W]; po; [dmb.st]; po; [W].
-                            EvKind::Fence(Fence::St)
-                                if is_w(ei) && is_w(ej) => {
-                                    ob.add(i, j);
-                                }
+                            EvKind::Fence(Fence::St) if is_w(ei) && is_w(ej) => {
+                                ob.add(i, j);
+                            }
                             _ => {}
                         }
                     }
@@ -905,9 +899,7 @@ fn check_combo(
     }
 
     // Reads-from choices per read.
-    let reads: Vec<usize> = (0..n)
-        .filter(|&i| events[i].kind == EvKind::Read)
-        .collect();
+    let reads: Vec<usize> = (0..n).filter(|&i| events[i].kind == EvKind::Read).collect();
     let mut rf_choices: Vec<Vec<Option<usize>>> = Vec::new();
     for &r in &reads {
         let mut c = Vec::new();

@@ -183,7 +183,12 @@ impl ThreadBuilder {
     }
 
     /// Virtual store through the MMU.
-    pub fn store_virt(&mut self, va: impl Into<Expr>, val: impl Into<Expr>, rel: bool) -> &mut Self {
+    pub fn store_virt(
+        &mut self,
+        va: impl Into<Expr>,
+        val: impl Into<Expr>,
+        rel: bool,
+    ) -> &mut Self {
         self.inst(Inst::StoreVirt {
             val: val.into(),
             va: va.into(),

@@ -145,10 +145,7 @@ impl Parser {
                 .map(Expr::Imm)
                 .map_err(|e| err(line, format!("bad literal {tok}: {e}")));
         }
-        if tok
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
-        {
+        if tok.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
             return Ok(Expr::Imm(self.loc(tok)));
         }
         Err(err(line, format!("unrecognized operand `{tok}`")))
@@ -284,16 +281,13 @@ pub fn parse(text: &str) -> Result<ParsedLitmus, ParseError> {
                     let (k, v) = w
                         .split_once('=')
                         .ok_or_else(|| err(line_no, format!("bad vm option `{w}`")))?;
-                    let n =
-                        parse_val(v, line_no)? as u32;
+                    let n = parse_val(v, line_no)? as u32;
                     match k {
                         "levels" => cfg.levels = n,
                         "pagebits" => cfg.page_bits = n,
                         "indexbits" => cfg.index_bits = n,
                         "root" => cfg.root = parse_val(v, line_no)?,
-                        other => {
-                            return Err(err(line_no, format!("unknown vm option `{other}`")))
-                        }
+                        other => return Err(err(line_no, format!("unknown vm option `{other}`"))),
                     }
                 }
                 vm = Some(cfg);
@@ -316,9 +310,7 @@ pub fn parse(text: &str) -> Result<ParsedLitmus, ParseError> {
                                 .map_err(|e| err(line_no, format!("bad maxpromises: {e}")))?
                         }
                         "axiomatic" => run_axiomatic = v == "on",
-                        other => {
-                            return Err(err(line_no, format!("unknown config key `{other}`")))
-                        }
+                        other => return Err(err(line_no, format!("unknown config key `{other}`"))),
                     }
                 }
             }
@@ -567,7 +559,10 @@ fn parse_check(text: &str, line: usize) -> Result<Check, ParseError> {
         Some(&"allows") => true,
         Some(&"forbids") => false,
         other => {
-            return Err(err(line, format!("check needs allows|forbids, got {other:?}")));
+            return Err(err(
+                line,
+                format!("check needs allows|forbids, got {other:?}"),
+            ));
         }
     };
     let mut bindings = Vec::new();
@@ -591,6 +586,295 @@ impl ProgramBuilder {
     /// Adds an already-built thread (used by the parser).
     pub fn threads_push(&mut self, tb: ThreadBuilder, name: &str) {
         self.push_thread(tb.finish(name));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pretty-printer: regenerate litmus source from a parsed test.
+// ---------------------------------------------------------------------------
+
+/// Renders a value the way the grammar reads it back.
+fn fmt_val(v: u64) -> String {
+    if v > 9 {
+        format!("0x{v:x}")
+    } else {
+        v.to_string()
+    }
+}
+
+/// Renders an expression in the parser's flat left-associative syntax.
+///
+/// Returns `None` for shapes the grammar cannot express (right-leaning
+/// trees or operators outside `+ - * & |`).
+fn fmt_expr(e: &Expr, rev: &BTreeMap<u64, &str>) -> Option<String> {
+    match e {
+        Expr::Imm(v) => Some(match rev.get(v) {
+            Some(name) => (*name).to_string(),
+            None => fmt_val(*v),
+        }),
+        Expr::Reg(r) => Some(format!("r{}", r.0)),
+        Expr::Bin(op, lhs, rhs) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::And => "&",
+                BinOp::Or => "|",
+                _ => return None,
+            };
+            if matches!(**rhs, Expr::Bin(..)) {
+                return None; // no parentheses in the grammar
+            }
+            Some(format!(
+                "{} {sym} {}",
+                fmt_expr(lhs, rev)?,
+                fmt_expr(rhs, rev)?
+            ))
+        }
+    }
+}
+
+/// Renders one instruction; `None` for IR-only forms (`push`/`pull`,
+/// oracles, non-register branch operands).
+fn fmt_inst(i: &Inst, rev: &BTreeMap<u64, &str>) -> Option<String> {
+    let e = |x: &Expr| fmt_expr(x, rev);
+    Some(match i {
+        Inst::Mov { dst, src } => format!("r{} = {}", dst.0, e(src)?),
+        Inst::Load { dst, addr, acq } => {
+            format!(
+                "r{} = {} {}",
+                dst.0,
+                if *acq { "ldar" } else { "load" },
+                e(addr)?
+            )
+        }
+        Inst::Store { val, addr, rel } => {
+            format!(
+                "{} {} {}",
+                if *rel { "stlr" } else { "store" },
+                e(addr)?,
+                e(val)?
+            )
+        }
+        Inst::LoadEx { dst, addr, acq } => {
+            format!(
+                "r{} = {} {}",
+                dst.0,
+                if *acq { "ldaxr" } else { "ldxr" },
+                e(addr)?
+            )
+        }
+        Inst::StoreEx {
+            status,
+            val,
+            addr,
+            rel,
+        } => format!(
+            "r{} = {} {} {}",
+            status.0,
+            if *rel { "stlxr" } else { "stxr" },
+            e(addr)?,
+            e(val)?
+        ),
+        Inst::Rmw {
+            dst,
+            addr,
+            op,
+            rhs,
+            acq,
+            rel,
+        } => {
+            let mut m = String::from("rmw");
+            if *acq {
+                m.push_str(".acq");
+            }
+            if *rel {
+                m.push_str(".rel");
+            }
+            let kind = match op {
+                RmwOp::Add => "add",
+                RmwOp::Swap => "swap",
+                RmwOp::And => "and",
+                RmwOp::Or => "or",
+            };
+            format!("r{} = {m} {kind} {} {}", dst.0, e(addr)?, e(rhs)?)
+        }
+        Inst::Fence(Fence::Sy) => "dmb sy".into(),
+        Inst::Fence(Fence::Ld) => "dmb ld".into(),
+        Inst::Fence(Fence::St) => "dmb st".into(),
+        Inst::Fence(Fence::Isb) => "isb".into(),
+        Inst::Br {
+            cond,
+            lhs,
+            rhs,
+            target,
+        } => {
+            let Expr::Reg(r) = lhs else { return None };
+            let m = match cond {
+                Cond::Eq => "beq",
+                Cond::Ne => "bne",
+                Cond::Lt => "blt",
+                Cond::Ge => "bge",
+            };
+            format!("{m} r{} {} L{target}", r.0, e(rhs)?)
+        }
+        Inst::Jmp(target) => format!("b L{target}"),
+        Inst::LoadVirt { dst, va, acq } => {
+            format!(
+                "r{} = {} {}",
+                dst.0,
+                if *acq { "ldarv" } else { "ldrv" },
+                e(va)?
+            )
+        }
+        Inst::StoreVirt { val, va, rel } => {
+            format!(
+                "{} {} {}",
+                if *rel { "stlrv" } else { "strv" },
+                e(va)?,
+                e(val)?
+            )
+        }
+        Inst::Tlbi { va: None } => "tlbi".into(),
+        Inst::Tlbi { va: Some(va) } => format!("tlbi {}", e(va)?),
+        Inst::Halt => "halt".into(),
+        Inst::Panic => "panic".into(),
+        Inst::Nop => "nop".into(),
+        Inst::Pull(_) | Inst::Push(_) | Inst::Oracle { .. } => return None,
+    })
+}
+
+impl std::fmt::Display for ParsedLitmus {
+    /// Pretty-prints the test back into the textual litmus grammar.
+    ///
+    /// The output re-parses to an identical [`Program`], check list, and
+    /// location map: named init cells are emitted in address order so the
+    /// parser's first-appearance address assignment reproduces
+    /// [`ParsedLitmus::locations`] exactly. IR-only instructions that the
+    /// grammar cannot express (ghost `push`/`pull`, data oracles) are
+    /// rendered as `# unrepresentable` comments.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rev: BTreeMap<u64, &str> = self
+            .locations
+            .iter()
+            .map(|(n, &a)| (a, n.as_str()))
+            .collect();
+        writeln!(f, "litmus {}", self.program.name)?;
+
+        let dflt = PromisingConfig::default();
+        let mut cfg = Vec::new();
+        if self.promising.promises != dflt.promises {
+            cfg.push(format!(
+                "promises={}",
+                if self.promising.promises { "on" } else { "off" }
+            ));
+        }
+        if self.promising.value_cfg.max_rounds != dflt.value_cfg.max_rounds {
+            cfg.push(format!("rounds={}", self.promising.value_cfg.max_rounds));
+        }
+        if self.promising.max_promises_per_thread != dflt.max_promises_per_thread {
+            cfg.push(format!(
+                "maxpromises={}",
+                self.promising.max_promises_per_thread
+            ));
+        }
+        if !self.run_axiomatic {
+            cfg.push("axiomatic=off".into());
+        }
+        if !cfg.is_empty() {
+            writeln!(f, "config {}", cfg.join(" "))?;
+        }
+        if let Some(vm) = &self.program.vm {
+            writeln!(
+                f,
+                "vm levels={} root={} pagebits={} indexbits={}",
+                vm.levels,
+                fmt_val(vm.root),
+                vm.page_bits,
+                vm.index_bits
+            )?;
+        }
+
+        // Named init cells first, in address order: the parser assigns
+        // location addresses by first appearance, and init lines are
+        // processed before thread bodies, so this ordering round-trips
+        // the address map. Unnamed cells (initrange fills, raw-address
+        // inits) follow as raw addresses, which never touch the map.
+        let mut named = std::collections::BTreeSet::new();
+        for (&addr, name) in &rev {
+            if let Some(val) = self.program.init_mem.get(&addr) {
+                writeln!(f, "init {name}={}", fmt_val(*val))?;
+                named.insert(addr);
+            }
+        }
+        for (&addr, &val) in &self.program.init_mem {
+            if !named.contains(&addr) {
+                writeln!(f, "init 0x{addr:x}={}", fmt_val(val))?;
+            }
+        }
+
+        for t in &self.program.threads {
+            writeln!(f)?;
+            writeln!(f, "thread {}", t.name)?;
+            let mut targets = std::collections::BTreeSet::new();
+            for i in &t.code {
+                match i {
+                    Inst::Br { target, .. } => {
+                        targets.insert(*target);
+                    }
+                    Inst::Jmp(target) => {
+                        targets.insert(*target);
+                    }
+                    _ => {}
+                }
+            }
+            for (pc, inst) in t.code.iter().enumerate() {
+                if targets.contains(&pc) {
+                    writeln!(f, "  L{pc}:")?;
+                }
+                match fmt_inst(inst, &rev) {
+                    Some(s) => writeln!(f, "  {s}")?,
+                    None => writeln!(f, "  # unrepresentable: {inst:?}")?,
+                }
+            }
+            if targets.contains(&t.code.len()) {
+                writeln!(f, "  L{}:", t.code.len())?;
+            }
+        }
+
+        if !self.program.observables.is_empty() {
+            writeln!(f)?;
+        }
+        for ob in &self.program.observables {
+            match ob {
+                crate::ir::Observable::Reg { name, tid, reg } => {
+                    let tname = self
+                        .program
+                        .threads
+                        .get(*tid)
+                        .map(|t| t.name.as_str())
+                        .unwrap_or("?");
+                    writeln!(f, "observe {tname}:r{} as {name}", reg.0)?;
+                }
+                crate::ir::Observable::Mem { name, addr } => match rev.get(addr) {
+                    Some(loc) => writeln!(f, "observe mem {loc} as {name}")?,
+                    None => writeln!(f, "# unrepresentable observe: {ob:?}")?,
+                },
+            }
+        }
+        for c in &self.checks {
+            let model = match c.model {
+                CheckModel::Arm => "arm",
+                CheckModel::Sc => "sc",
+            };
+            let verdict = if c.allows { "allows" } else { "forbids" };
+            write!(f, "check {model} {verdict}")?;
+            for (n, v) in &c.bindings {
+                write!(f, " {n}={}", fmt_val(*v))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
     }
 }
 
@@ -689,6 +973,30 @@ check sc forbids c=1
         assert!(!parsed.promising.promises);
         assert_eq!(parsed.promising.value_cfg.max_rounds, 2);
         assert_eq!(parsed.promising.max_promises_per_thread, 1);
+    }
+
+    #[test]
+    fn display_round_trips_mp() {
+        let parsed = parse(MP).unwrap();
+        let emitted = parsed.to_string();
+        let again = parse(&emitted).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{emitted}"));
+        assert_eq!(parsed.program, again.program, "emitted:\n{emitted}");
+        assert_eq!(parsed.checks, again.checks);
+        assert_eq!(parsed.locations, again.locations);
+    }
+
+    #[test]
+    fn display_round_trips_branches_and_config() {
+        let text = "litmus loopy\nconfig promises=off rounds=2\ninit c=0\n\
+                    thread P0\n  top:\n  r0 = ldxr c\n  r1 = stxr c r0 + 1\n  bne r1 0 top\n\
+                    observe mem c as c\ncheck sc allows c=2\n";
+        let parsed = parse(text).unwrap();
+        let emitted = parsed.to_string();
+        let again = parse(&emitted).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{emitted}"));
+        assert_eq!(parsed.program, again.program, "emitted:\n{emitted}");
+        assert_eq!(parsed.checks, again.checks);
+        assert!(!again.promising.promises);
+        assert_eq!(again.promising.value_cfg.max_rounds, 2);
     }
 
     #[test]

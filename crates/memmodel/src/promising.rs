@@ -440,7 +440,12 @@ impl<'a> StepCtx<'a> {
         };
         if let Some(&owner) = st.owner.get(&loc) {
             if owner != tid {
-                self.ghost_panic(eff, st, tid, GhostViolation::AccessNotOwner { tid, loc, owner });
+                self.ghost_panic(
+                    eff,
+                    st,
+                    tid,
+                    GhostViolation::AccessNotOwner { tid, loc, owner },
+                );
                 return false;
             }
         } else if g.shared.contains(&loc) {
@@ -473,7 +478,8 @@ impl<'a> StepCtx<'a> {
             .map(|m| m.val)
             .unwrap_or_else(|| self.prog.init_val(loc));
         if old != 0 {
-            eff.violations.push(GhostViolation::WriteOnce { tid, loc, old });
+            eff.violations
+                .push(GhostViolation::WriteOnce { tid, loc, old });
             st.threads[tid].status = Status::Panic;
         }
     }
@@ -539,7 +545,12 @@ impl<'a> StepCtx<'a> {
             if self.cfg.ghost.as_ref().is_some_and(|g| g.check_barriers)
                 && next.threads[tid].pending_push
             {
-                self.ghost_panic(eff, &mut next, tid, GhostViolation::PushWithoutBarrier { tid });
+                self.ghost_panic(
+                    eff,
+                    &mut next,
+                    tid,
+                    GhostViolation::PushWithoutBarrier { tid },
+                );
             } else {
                 next.threads[tid].status = Status::Done;
             }
@@ -783,7 +794,11 @@ impl<'a> StepCtx<'a> {
                 if co_max_below(Ts::MAX) == t_r {
                     let mut next = st.clone();
                     let t_w = (next.mem.len() + 1) as Ts;
-                    next.mem.push(Msg { loc: a, val: v, tid });
+                    next.mem.push(Msg {
+                        loc: a,
+                        val: v,
+                        tid,
+                    });
                     commit_success(&mut next, t_w);
                     self.ghost_write_once(eff, &mut next, tid, a, &st.mem);
                     out.push(next);
@@ -955,11 +970,7 @@ impl<'a> StepCtx<'a> {
                 let locs: Vec<Addr> = locs.iter().map(|e| eval(e, &t.regs).0).collect();
                 let mut next = st.clone();
                 if self.cfg.ghost.is_some() {
-                    if self
-                        .cfg
-                        .ghost
-                        .as_ref()
-                        .is_some_and(|g| g.check_barriers)
+                    if self.cfg.ghost.as_ref().is_some_and(|g| g.check_barriers)
                         && next.threads[tid].pending_push
                     {
                         self.ghost_panic(
@@ -971,11 +982,7 @@ impl<'a> StepCtx<'a> {
                         out.push(next);
                         return out;
                     }
-                    if self
-                        .cfg
-                        .ghost
-                        .as_ref()
-                        .is_some_and(|g| g.check_barriers)
+                    if self.cfg.ghost.as_ref().is_some_and(|g| g.check_barriers)
                         && !next.threads[tid].armed_acq
                     {
                         self.ghost_panic(
@@ -1198,7 +1205,11 @@ impl<'a> StepCtx<'a> {
         {
             let mut next = st.clone();
             let ts = (next.mem.len() + 1) as Ts;
-            next.mem.push(Msg { loc: a, val: v, tid });
+            next.mem.push(Msg {
+                loc: a,
+                val: v,
+                tid,
+            });
             commit(&mut next, ts);
             self.ghost_write_once(eff, &mut next, tid, a, &st.mem);
             out.push(next);
@@ -1443,7 +1454,6 @@ pub fn enumerate_promising_with(
     })
 }
 
-
 /// One step of a witness execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WitnessStep {
@@ -1630,7 +1640,10 @@ fn describe_step(prog: &Program, before: &PState, after: &PState, tid: usize) ->
     }
     for r in 0..t0.regs.len() {
         if t0.regs[r] != t1.regs[r] && shown_dst != Some(r as u8) {
-            parts.push(format!("r{} = {} (view ts{})", r, t1.regs[r].0, t1.regs[r].1));
+            parts.push(format!(
+                "r{} = {} (view ts{})",
+                r, t1.regs[r].0, t1.regs[r].1
+            ));
         }
     }
     if t1.status != t0.status {
@@ -1694,7 +1707,9 @@ mod tests {
         p.observe_reg("flag", 1, Reg(0));
         p.observe_reg("data", 1, Reg(1));
         let prog = p.build();
-        let rm = enumerate_promising_with(&prog, &no_promises()).unwrap().outcomes;
+        let rm = enumerate_promising_with(&prog, &no_promises())
+            .unwrap()
+            .outcomes;
         assert!(rm.contains_binding(&[("flag", 1), ("data", 0)]));
         let sc = enumerate_sc(&prog).unwrap();
         assert!(!sc.contains_binding(&[("flag", 1), ("data", 0)]));
@@ -1754,7 +1769,9 @@ mod tests {
         });
         p.observe_reg("r0", 0, Reg(0));
         p.observe_reg("r1", 1, Reg(0));
-        let rm = enumerate_promising_with(&p.build(), &no_promises()).unwrap().outcomes;
+        let rm = enumerate_promising_with(&p.build(), &no_promises())
+            .unwrap()
+            .outcomes;
         assert!(rm.contains_binding(&[("r0", 0), ("r1", 0)]));
     }
 
@@ -1773,7 +1790,9 @@ mod tests {
         p.observe_reg("r0", 0, Reg(0));
         p.observe_reg("r1", 1, Reg(1));
         let prog = p.build();
-        let without = enumerate_promising_with(&prog, &no_promises()).unwrap().outcomes;
+        let without = enumerate_promising_with(&prog, &no_promises())
+            .unwrap()
+            .outcomes;
         assert!(!without.contains_binding(&[("r0", 1), ("r1", 1)]));
         let with = enumerate_promising(&prog).unwrap();
         assert!(with.contains_binding(&[("r0", 1), ("r1", 1)]));
@@ -1867,7 +1886,9 @@ mod tests {
         p.observe_reg("r0", 1, Reg(0));
         p.observe_reg("r1", 1, Reg(1));
         let prog = p.build();
-        let rm = enumerate_promising_with(&prog, &no_promises()).unwrap().outcomes;
+        let rm = enumerate_promising_with(&prog, &no_promises())
+            .unwrap()
+            .outcomes;
         assert!(rm.contains_binding(&[("r0", 1), ("r1", 0)]));
         let sc = enumerate_sc(&prog).unwrap();
         assert!(!sc.contains_binding(&[("r0", 1), ("r1", 0)]));
@@ -1898,7 +1919,9 @@ mod tests {
         p.observe_reg("r0", 1, Reg(0));
         p.observe_reg("r1", 1, Reg(1));
         let prog = p.build();
-        let rm = enumerate_promising_with(&prog, &no_promises()).unwrap().outcomes;
+        let rm = enumerate_promising_with(&prog, &no_promises())
+            .unwrap()
+            .outcomes;
         // Both reads may still see the old page on RM even when they both
         // executed after the TLBI; detectable as r0=r1=7 with CPU 1 done
         // first is indistinguishable here, so instead check the repaired
@@ -1969,7 +1992,11 @@ mod tests {
             .expect("witness");
         assert!(!w.is_empty());
         // The witness must contain both stores and both loads.
-        let text: String = w.iter().map(|s| s.to_string()).collect::<Vec<_>>().join("\n");
+        let text: String = w
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(text.contains("STR"), "{text}");
         assert!(text.contains("LDR"), "{text}");
     }
@@ -1989,8 +2016,12 @@ mod tests {
         p.observe_reg("flag", 1, Reg(0));
         p.observe_reg("data", 1, Reg(1));
         let prog = p.build();
-        let w = find_witness(&prog, &PromisingConfig::default(), &[("flag", 1), ("data", 0)])
-            .unwrap();
+        let w = find_witness(
+            &prog,
+            &PromisingConfig::default(),
+            &[("flag", 1), ("data", 0)],
+        )
+        .unwrap();
         assert!(w.is_none());
     }
 
@@ -2012,7 +2043,11 @@ mod tests {
         let w = find_witness(&prog, &PromisingConfig::default(), &[("r0", 1), ("r1", 1)])
             .unwrap()
             .expect("witness");
-        let text: String = w.iter().map(|s| s.to_string()).collect::<Vec<_>>().join("\n");
+        let text: String = w
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(text.contains("PROMISE"), "{text}");
         assert!(text.contains("fulfilled promise"), "{text}");
     }

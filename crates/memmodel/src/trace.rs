@@ -134,7 +134,11 @@ impl fmt::Display for Event {
                 write!(f, "R{} [{addr:#x}] = {val}", if *acq { ".acq" } else { "" })
             }
             EventKind::Write { addr, val, rel } => {
-                write!(f, "W{} [{addr:#x}] := {val}", if *rel { ".rel" } else { "" })
+                write!(
+                    f,
+                    "W{} [{addr:#x}] := {val}",
+                    if *rel { ".rel" } else { "" }
+                )
             }
             EventKind::Rmw { addr, old, new, .. } => {
                 write!(f, "RMW [{addr:#x}] {old} -> {new}")

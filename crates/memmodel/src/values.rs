@@ -65,11 +65,7 @@ impl ValueAnalysis {
     /// Candidate values a load of `addr` may return (always includes the
     /// initial value).
     pub fn candidates(&self, addr: Addr, prog: &Program) -> BTreeSet<Val> {
-        let mut s = self
-            .mem_values
-            .get(&addr)
-            .cloned()
-            .unwrap_or_default();
+        let mut s = self.mem_values.get(&addr).cloned().unwrap_or_default();
         s.insert(prog.init_val(addr));
         s
     }
@@ -341,11 +337,7 @@ impl<'a> Analyzer<'a> {
     }
 
     /// All values readable at any physical address `va` may translate to.
-    fn walk_candidates(
-        &self,
-        va: Addr,
-        overlay: &BTreeMap<Addr, Val>,
-    ) -> Option<BTreeSet<Val>> {
+    fn walk_candidates(&self, va: Addr, overlay: &BTreeMap<Addr, Val>) -> Option<BTreeSet<Val>> {
         let pas = self.walk_pas(va, overlay);
         if pas.is_empty() {
             return None;

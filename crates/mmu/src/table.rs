@@ -318,7 +318,14 @@ impl PageTable {
         out
     }
 
-    fn collect(&self, mem: &PhysMem, table: Addr, level: u32, va_base: Addr, out: &mut Vec<Mapping>) {
+    fn collect(
+        &self,
+        mem: &PhysMem,
+        table: Addr,
+        level: u32,
+        va_base: Addr,
+        out: &mut Vec<Mapping>,
+    ) {
         let entries = 1u64 << self.geo.index_bits;
         let span = self.geo.span(level);
         for i in 0..entries {

@@ -121,8 +121,7 @@ mod tests {
             None => panic!("root entry missing"),
         };
         let writes = vec![(pt.root, 0u64), (old_table, Pte::page(0x900, Perms::RW))];
-        let err =
-            check_writes_transactional(&pt, &before, &writes, &[0x00]).unwrap_err();
+        let err = check_writes_transactional(&pt, &before, &writes, &[0x00]).unwrap_err();
         // The anomalous view: only the leaf write landed -> va 0 maps to
         // the *new* page while the root still points at the old table.
         assert_eq!(err.applied, vec![1]);

@@ -1,0 +1,855 @@
+//! The curated mutation campaign and its driver.
+//!
+//! Each [`MutantSpec`] injects one bug into one layer of the stack and
+//! names the oracle that must notice:
+//!
+//! * **Litmus** (`vrm-memmodel`): a battery program is mutated and rerun
+//!   through all three models; the kill signal is a flipped
+//!   allowed/forbidden verdict (axiomatic-vs-SC divergence appearing or
+//!   vanishing where the expectation says otherwise).
+//! * **Kernel** (`vrm-core`): a paper example or the Figure 7 ticket lock
+//!   is mutated and rerun through [`check_wdrf`] or [`check_pushpull`];
+//!   the kill signal is a failed wDRF verdict.
+//! * **Machine** (`vrm-sekvm`): a `KCoreConfig` switch re-creates a
+//!   hypervisor-level bug; the kill signal is a `validate_log` violation
+//!   on every-schedule exploration, a `check_invariants` breach, or a
+//!   confidentiality read-back of a reclaimed page.
+//!
+//! [`curated`] returns the shipped set — every entry is expected to be
+//! **killed**; `tests/mutation_campaign.rs` and CI enforce the 100% kill
+//! rate. [`run`] executes a set and aggregates per-mutant exploration
+//! statistics.
+
+use std::time::Instant;
+
+use vrm_core::pushpull::check_pushpull;
+use vrm_core::{check_wdrf, paper_examples, KernelSpec, WdrfCheckConfig};
+use vrm_explore::{ExploreConfig, ExploreStats};
+use vrm_memmodel::ir::Program;
+use vrm_memmodel::litmus::{battery, check_with_jobs, LitmusTest};
+use vrm_memmodel::promising::PromisingConfig;
+use vrm_sekvm::layout::{page_addr, PAGE_WORDS, VM_POOL_PFN};
+use vrm_sekvm::machine::{ExhaustiveConfig, Machine, Op, Script};
+use vrm_sekvm::mutants::CaughtBy;
+use vrm_sekvm::security::check_invariants;
+use vrm_sekvm::{KCore, KCoreConfig};
+
+use crate::ir::{apply, find_sites, Mutation, MutationKind};
+
+/// Which layer of the stack a mutant lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    /// Litmus programs checked by the three memory models.
+    Litmus,
+    /// Kernel-scale programs checked by the static wDRF theorem checkers.
+    Kernel,
+    /// The executable hypervisor machine model.
+    Machine,
+}
+
+impl Layer {
+    /// Short name for reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Layer::Litmus => "litmus",
+            Layer::Kernel => "kernel",
+            Layer::Machine => "machine",
+        }
+    }
+}
+
+/// The checker expected to kill a mutant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Oracle {
+    /// Cross-model conformance: the allowed/forbidden verdict flips.
+    Conformance,
+    /// [`check_wdrf`]: the RM ⊆ SC comparison fails.
+    Wdrf,
+    /// [`check_pushpull`]: ownership or barrier-fulfilment discipline
+    /// fails (conditions 1/2).
+    PushPull,
+    /// `validate_log` flags a dynamic wDRF violation on some schedule.
+    ValidateLog,
+    /// `check_invariants` finds a broken security invariant.
+    Invariants,
+    /// A reclaimed VM page's secret is readable by KServ.
+    Confidentiality,
+}
+
+impl Oracle {
+    /// Short name for reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Oracle::Conformance => "conformance",
+            Oracle::Wdrf => "check_wdrf",
+            Oracle::PushPull => "check_pushpull",
+            Oracle::ValidateLog => "validate_log",
+            Oracle::Invariants => "check_invariants",
+            Oracle::Confidentiality => "confidentiality",
+        }
+    }
+}
+
+/// What happened to one mutant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The oracle rejected the mutant.
+    Killed,
+    /// The oracle saw nothing wrong.
+    Survived,
+    /// An exploration bound was hit before the oracle could decide.
+    Timeout,
+}
+
+impl Status {
+    /// Short name for reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Status::Killed => "killed",
+            Status::Survived => "survived",
+            Status::Timeout => "timeout",
+        }
+    }
+}
+
+/// The subject a spec mutates and the oracle wiring for it.
+#[derive(Debug, Clone)]
+enum Subject {
+    /// Mutate a litmus test, keep its expectations, re-check conformance.
+    Litmus {
+        test: LitmusTest,
+        mutations: Vec<Mutation>,
+    },
+    /// Mutate a kernel program, expect [`check_wdrf`] to fail.
+    Wdrf {
+        prog: Program,
+        spec: KernelSpec,
+        mutations: Vec<Mutation>,
+    },
+    /// Mutate a kernel program, expect [`check_pushpull`] to fail.
+    PushPull {
+        prog: Program,
+        spec: KernelSpec,
+        mutations: Vec<Mutation>,
+    },
+    /// A `KCoreConfig` switch checked by log validation over every
+    /// schedule of a minimal unmap-heavy workload.
+    MachineLog { cfg: KCoreConfig },
+    /// A `KCoreConfig` switch checked by the security invariant sweep.
+    MachineInvariants { cfg: KCoreConfig },
+    /// A `KCoreConfig` switch checked by the secret read-back test.
+    MachineConfidentiality { cfg: KCoreConfig },
+}
+
+/// One campaign entry: a named mutant plus its oracle.
+#[derive(Debug, Clone)]
+pub struct MutantSpec {
+    /// Unique mutant name (kebab-case).
+    pub name: String,
+    /// Layer the bug is injected into.
+    pub layer: Layer,
+    /// Checker expected to kill it.
+    pub oracle: Oracle,
+    /// Human description of the injected change.
+    pub mutation: String,
+    subject: Subject,
+}
+
+impl MutantSpec {
+    /// A litmus-layer mutant: `mutations` applied to `test`'s program,
+    /// expectations kept, killed on any conformance-verdict flip.
+    pub fn litmus(name: &str, test: LitmusTest, mutations: Vec<Mutation>) -> Self {
+        let mutation = describe(&mutations);
+        MutantSpec {
+            name: name.to_string(),
+            layer: Layer::Litmus,
+            oracle: Oracle::Conformance,
+            mutation,
+            subject: Subject::Litmus { test, mutations },
+        }
+    }
+
+    /// A kernel-layer mutant killed by [`check_wdrf`].
+    pub fn wdrf(name: &str, prog: Program, spec: KernelSpec, mutations: Vec<Mutation>) -> Self {
+        let mutation = describe(&mutations);
+        MutantSpec {
+            name: name.to_string(),
+            layer: Layer::Kernel,
+            oracle: Oracle::Wdrf,
+            mutation,
+            subject: Subject::Wdrf {
+                prog,
+                spec,
+                mutations,
+            },
+        }
+    }
+
+    /// A kernel-layer mutant killed by [`check_pushpull`].
+    pub fn pushpull(name: &str, prog: Program, spec: KernelSpec, mutations: Vec<Mutation>) -> Self {
+        let mutation = describe(&mutations);
+        MutantSpec {
+            name: name.to_string(),
+            layer: Layer::Kernel,
+            oracle: Oracle::PushPull,
+            mutation,
+            subject: Subject::PushPull {
+                prog,
+                spec,
+                mutations,
+            },
+        }
+    }
+
+    /// A machine-layer mutant from the `vrm-sekvm` suite, with the oracle
+    /// chosen from its [`CaughtBy`] expectation.
+    pub fn machine(mutant: &vrm_sekvm::mutants::Mutant) -> Self {
+        let (oracle, subject) = match mutant.caught_by {
+            CaughtBy::SequentialTlbi | CaughtBy::LockDiscipline => {
+                (Oracle::ValidateLog, Subject::MachineLog { cfg: mutant.cfg })
+            }
+            CaughtBy::SecurityInvariants => (
+                Oracle::Invariants,
+                Subject::MachineInvariants { cfg: mutant.cfg },
+            ),
+            CaughtBy::ConfidentialityTest => (
+                Oracle::Confidentiality,
+                Subject::MachineConfidentiality { cfg: mutant.cfg },
+            ),
+        };
+        MutantSpec {
+            name: mutant.name.to_string(),
+            layer: Layer::Machine,
+            oracle,
+            mutation: format!("KCoreConfig switch `{}`", mutant.name),
+            subject,
+        }
+    }
+}
+
+fn describe(mutations: &[Mutation]) -> String {
+    mutations
+        .iter()
+        .map(|m| m.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// One mutant's outcome.
+#[derive(Debug, Clone)]
+pub struct MutantResult {
+    /// Mutant name.
+    pub name: String,
+    /// Layer the bug lives in.
+    pub layer: Layer,
+    /// Oracle that judged it.
+    pub oracle: Oracle,
+    /// Human description of the injected change.
+    pub mutation: String,
+    /// Killed / survived / timeout.
+    pub status: Status,
+    /// What the oracle saw (first violation, verdict, or error).
+    pub detail: String,
+    /// Exploration statistics for this mutant's checks.
+    pub stats: ExploreStats,
+}
+
+/// Aggregate outcome of a campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-mutant outcomes, in spec order.
+    pub results: Vec<MutantResult>,
+    /// Folded exploration statistics across every mutant.
+    pub stats: ExploreStats,
+}
+
+impl CampaignReport {
+    /// Number of killed mutants.
+    pub fn killed(&self) -> usize {
+        self.count(Status::Killed)
+    }
+
+    /// Number of surviving mutants.
+    pub fn survived(&self) -> usize {
+        self.count(Status::Survived)
+    }
+
+    /// Number of mutants whose oracle hit an exploration bound.
+    pub fn timeouts(&self) -> usize {
+        self.count(Status::Timeout)
+    }
+
+    fn count(&self, s: Status) -> usize {
+        self.results.iter().filter(|r| r.status == s).count()
+    }
+
+    /// Killed / total, in `[0, 1]`; 1.0 for an empty campaign.
+    pub fn kill_rate(&self) -> f64 {
+        if self.results.is_empty() {
+            return 1.0;
+        }
+        self.killed() as f64 / self.results.len() as f64
+    }
+
+    /// `true` iff every mutant was killed.
+    pub fn all_killed(&self) -> bool {
+        self.killed() == self.results.len()
+    }
+}
+
+/// How a campaign run is driven.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Worker threads for every exploration (defaults to `VRM_JOBS`).
+    pub jobs: usize,
+    /// State cap for the machine-layer schedule exploration.
+    pub machine_max_states: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            jobs: ExploreConfig::jobs_from_env(),
+            machine_max_states: 1 << 18,
+        }
+    }
+}
+
+/// Applies a mutation chain, or reports the stale site.
+fn apply_all(prog: &Program, mutations: &[Mutation]) -> Result<Program, String> {
+    let mut out = prog.clone();
+    for m in mutations {
+        out = apply(&out, m).ok_or_else(|| format!("stale mutation site: {m}"))?;
+    }
+    Ok(out)
+}
+
+/// A minimal two-CPU workload that exercises the map → grant → revoke
+/// path (one `clear_s2pt` with its barrier + TLBI obligation) while a
+/// second CPU contends on the VmId lock. Small enough for every-schedule
+/// exploration, rich enough that each machine-layer log mutant shows up.
+fn unmap_scripts() -> Vec<Script> {
+    let gpa = 64 * PAGE_WORDS;
+    vec![
+        vec![
+            Op::RegisterVm,
+            Op::RegisterVcpu,
+            Op::StageImage {
+                pfns: vec![VM_POOL_PFN.0, VM_POOL_PFN.0 + 1],
+            },
+            Op::VerifyImage,
+            Op::Fault {
+                gpa,
+                donor_pfn: VM_POOL_PFN.0 + 4,
+            },
+            Op::Grant { gpa },
+            Op::Revoke { gpa },
+        ],
+        vec![Op::RegisterVm],
+    ]
+}
+
+/// Boots one 2-page VM directly on a fresh KCore (the machine-layer
+/// invariant/confidentiality scenarios).
+fn boot_one_vm(cfg: KCoreConfig) -> KCore {
+    let mut k = KCore::boot(cfg);
+    let pfns = vec![VM_POOL_PFN.0, VM_POOL_PFN.0 + 1];
+    let mut words = Vec::new();
+    for &pfn in &pfns {
+        for w in 0..PAGE_WORDS {
+            let v = pfn + w;
+            k.mem.write(page_addr(pfn) + w, v);
+            words.push(v);
+        }
+    }
+    let hash = KCore::image_hash(&words);
+    let vmid = k.register_vm(0).expect("register_vm");
+    k.register_vcpu(0, vmid).expect("register_vcpu");
+    k.set_boot_info(0, vmid, pfns, hash).expect("set_boot_info");
+    k.remap_vm_image(0, vmid).expect("remap_vm_image");
+    k.verify_vm_image(0, vmid).expect("verify_vm_image");
+    k
+}
+
+/// Runs one spec through its oracle.
+fn run_one(spec: &MutantSpec, cfg: &CampaignConfig) -> MutantResult {
+    let started = Instant::now();
+    let (status, detail, mut stats) = match &spec.subject {
+        Subject::Litmus { test, mutations } => run_litmus(test, mutations, cfg),
+        Subject::Wdrf {
+            prog,
+            spec: kspec,
+            mutations,
+        } => run_wdrf(prog, kspec, mutations, cfg),
+        Subject::PushPull {
+            prog,
+            spec: kspec,
+            mutations,
+        } => run_pushpull(prog, kspec, mutations),
+        Subject::MachineLog { cfg: kcfg } => run_machine_log(*kcfg, cfg),
+        Subject::MachineInvariants { cfg: kcfg } => run_machine_invariants(*kcfg),
+        Subject::MachineConfidentiality { cfg: kcfg } => run_machine_confidentiality(*kcfg),
+    };
+    if stats.wall_ns == 0 {
+        stats.wall_ns = started.elapsed().as_nanos() as u64;
+    }
+    MutantResult {
+        name: spec.name.clone(),
+        layer: spec.layer,
+        oracle: spec.oracle,
+        mutation: spec.mutation.clone(),
+        status,
+        detail,
+        stats,
+    }
+}
+
+fn run_litmus(
+    test: &LitmusTest,
+    mutations: &[Mutation],
+    cfg: &CampaignConfig,
+) -> (Status, String, ExploreStats) {
+    let program = match apply_all(&test.program, mutations) {
+        Ok(p) => p,
+        Err(e) => return (Status::Survived, e, ExploreStats::default()),
+    };
+    let mutated = LitmusTest {
+        program,
+        condition: test.condition.clone(),
+        allowed_on_arm: test.allowed_on_arm,
+        allowed_on_sc: test.allowed_on_sc,
+    };
+    match check_with_jobs(&mutated, cfg.jobs) {
+        Err(e) => (Status::Timeout, e.to_string(), ExploreStats::default()),
+        Ok(c) => {
+            let mut stats = c.sc.stats;
+            stats.absorb(&c.promising.stats);
+            stats.absorb(&c.axiomatic.stats);
+            let on_arm = c.promising.contains_binding(&mutated.condition);
+            let on_sc = c.sc.contains_binding(&mutated.condition);
+            if c.verdicts_match {
+                (
+                    Status::Survived,
+                    format!(
+                        "verdict unchanged (arm={on_arm}, sc={on_sc}); \
+                         the injected bug is invisible to the models"
+                    ),
+                    stats,
+                )
+            } else {
+                (
+                    Status::Killed,
+                    format!(
+                        "verdict flipped: condition {:?} now arm={on_arm} \
+                         (expected {}), sc={on_sc} (expected {})",
+                        mutated.condition, mutated.allowed_on_arm, mutated.allowed_on_sc
+                    ),
+                    stats,
+                )
+            }
+        }
+    }
+}
+
+fn run_wdrf(
+    prog: &Program,
+    kspec: &KernelSpec,
+    mutations: &[Mutation],
+    cfg: &CampaignConfig,
+) -> (Status, String, ExploreStats) {
+    let mutated = match apply_all(prog, mutations) {
+        Ok(p) => p,
+        Err(e) => return (Status::Survived, e, ExploreStats::default()),
+    };
+    let mut wcfg = WdrfCheckConfig {
+        skip_sync_conditions: true,
+        jobs: cfg.jobs,
+        ..Default::default()
+    };
+    wcfg.promising.max_promises_per_thread = 1;
+    wcfg.promising.value_cfg.max_rounds = 3;
+    match check_wdrf(&mutated, kspec, &wcfg) {
+        Err(e) => (Status::Timeout, e.to_string(), ExploreStats::default()),
+        Ok(v) if v.rm_subset_of_sc => (
+            Status::Survived,
+            "RM ⊆ SC still holds for the mutated kernel".to_string(),
+            v.stats,
+        ),
+        Ok(v) => (
+            Status::Killed,
+            format!(
+                "RM-only outcome appeared: {:?}",
+                v.counterexamples.first().map(|o| o.to_string())
+            ),
+            v.stats,
+        ),
+    }
+}
+
+fn run_pushpull(
+    prog: &Program,
+    kspec: &KernelSpec,
+    mutations: &[Mutation],
+) -> (Status, String, ExploreStats) {
+    let mutated = match apply_all(prog, mutations) {
+        Ok(p) => p,
+        Err(e) => return (Status::Survived, e, ExploreStats::default()),
+    };
+    let pcfg = PromisingConfig {
+        promises: false,
+        ..Default::default()
+    };
+    match check_pushpull(&mutated, kspec, &pcfg) {
+        Err(e) => (Status::Timeout, e.to_string(), ExploreStats::default()),
+        Ok(r) => {
+            let stats = ExploreStats {
+                states: r.states_explored,
+                ..Default::default()
+            };
+            if r.drf_kernel_holds() && r.no_barrier_misuse_holds() {
+                (
+                    Status::Survived,
+                    "ownership and barrier discipline both held".to_string(),
+                    stats,
+                )
+            } else {
+                let v = r
+                    .ownership_violations
+                    .iter()
+                    .chain(r.barrier_violations.iter())
+                    .next();
+                (
+                    Status::Killed,
+                    format!("push/pull discipline broken: {v:?}"),
+                    stats,
+                )
+            }
+        }
+    }
+}
+
+fn run_machine_log(kcfg: KCoreConfig, cfg: &CampaignConfig) -> (Status, String, ExploreStats) {
+    let ecfg = ExhaustiveConfig {
+        max_states: cfg.machine_max_states,
+        jobs: cfg.jobs,
+    };
+    match Machine::explore_schedules(kcfg, unmap_scripts(), &ecfg) {
+        Err(e) => (Status::Timeout, e.to_string(), ExploreStats::default()),
+        Ok(report) => {
+            let violation = report
+                .outcomes
+                .iter()
+                .flat_map(|o| o.wdrf_violations.iter())
+                .next();
+            match violation {
+                Some(v) => (
+                    Status::Killed,
+                    format!("dynamic wDRF violation on some schedule: {v}"),
+                    report.stats,
+                ),
+                None => (
+                    Status::Survived,
+                    format!("all {} schedules validated clean", report.outcomes.len()),
+                    report.stats,
+                ),
+            }
+        }
+    }
+}
+
+fn run_machine_invariants(kcfg: KCoreConfig) -> (Status, String, ExploreStats) {
+    let mut k = boot_one_vm(kcfg);
+    let vm_pfn = k.vm(0).expect("vm 0").image_pfns[0];
+    // The (unchecked) KServ faults in a mapping of a VM-owned page; the
+    // invariant sweep must flag the resulting double ownership.
+    if k.kserv_fault(1, vm_pfn).is_err() {
+        return (
+            Status::Survived,
+            "ownership check still rejects the hostile fault".to_string(),
+            ExploreStats::default(),
+        );
+    }
+    let inv = check_invariants(&k);
+    match inv.first() {
+        Some(v) => (
+            Status::Killed,
+            format!("security invariant broken: {v:?}"),
+            ExploreStats::default(),
+        ),
+        None => (
+            Status::Survived,
+            "invariant sweep found nothing".to_string(),
+            ExploreStats::default(),
+        ),
+    }
+}
+
+fn run_machine_confidentiality(kcfg: KCoreConfig) -> (Status, String, ExploreStats) {
+    const SECRET: u64 = 0x5ec2e7;
+    let mut k = boot_one_vm(kcfg);
+    k.vm_write(0, 0, 5, SECRET).expect("vm_write");
+    let pa = k
+        .vm(0)
+        .expect("vm 0")
+        .s2
+        .translate(&k.mem, 5)
+        .expect("translate");
+    k.reclaim_vm_pages(0, 0).expect("reclaim");
+    match k.kserv_read(1, pa) {
+        Ok(v) if v == SECRET => (
+            Status::Killed,
+            "reclaimed page still holds the VM's secret".to_string(),
+            ExploreStats::default(),
+        ),
+        _ => (
+            Status::Survived,
+            "secret was scrubbed (or page unreadable)".to_string(),
+            ExploreStats::default(),
+        ),
+    }
+}
+
+/// Runs every spec and aggregates the report.
+pub fn run(specs: &[MutantSpec], cfg: &CampaignConfig) -> CampaignReport {
+    let mut results = Vec::with_capacity(specs.len());
+    let mut stats = ExploreStats::default();
+    let mut wall = 0u64;
+    for spec in specs {
+        let r = run_one(spec, cfg);
+        wall += r.stats.wall_ns;
+        stats.absorb(&r.stats);
+        results.push(r);
+    }
+    // `absorb` keeps the max wall time (concurrent semantics); the
+    // campaign runs mutants sequentially, so sum instead.
+    stats.wall_ns = wall;
+    CampaignReport { results, stats }
+}
+
+/// Picks the battery test named `name`.
+fn battery_test(name: &str) -> LitmusTest {
+    battery()
+        .into_iter()
+        .find(|t| t.name() == name)
+        .unwrap_or_else(|| panic!("battery test `{name}` missing"))
+}
+
+/// The first site of `kind` in thread `tid` (panics if the subject
+/// changed shape — the campaign must be updated alongside the corpus).
+fn pick(prog: &Program, kind: MutationKind, tid: usize) -> Mutation {
+    find_sites(prog)
+        .into_iter()
+        .find(|m| m.kind == kind && m.tid == tid)
+        .unwrap_or_else(|| panic!("{} has no {kind} site in thread {tid}", prog.name))
+}
+
+/// Like [`pick`] but at an exact pc.
+fn pick_at(prog: &Program, kind: MutationKind, tid: usize, pc: usize) -> Mutation {
+    find_sites(prog)
+        .into_iter()
+        .find(|m| m.kind == kind && m.tid == tid && m.pc == pc)
+        .unwrap_or_else(|| panic!("{} has no {kind} site at T{tid}@{pc}", prog.name))
+}
+
+/// The shipped campaign: every entry must be killed (enforced by
+/// `tests/mutation_campaign.rs` and CI).
+pub fn curated() -> Vec<MutantSpec> {
+    let mut specs = Vec::new();
+
+    // --- Litmus layer ----------------------------------------------------
+    let lit = |name: &str, test_name: &str, kind, tid| {
+        let test = battery_test(test_name);
+        let m = pick(&test.program, kind, tid);
+        MutantSpec::litmus(name, test, vec![m])
+    };
+    specs.push(lit(
+        "sb-dmbs-delete-fence",
+        "SB+dmbs",
+        MutationKind::DeleteFence,
+        0,
+    ));
+    specs.push(lit(
+        "sb-dmbs-demote-fence",
+        "SB+dmbs",
+        MutationKind::DemoteFence,
+        1,
+    ));
+    specs.push(lit(
+        "mp-rel-acq-drop-acquire",
+        "MP+rel+acq",
+        MutationKind::DropAcquire,
+        1,
+    ));
+    specs.push(lit(
+        "mp-rel-acq-drop-release",
+        "MP+rel+acq",
+        MutationKind::DropRelease,
+        0,
+    ));
+    specs.push(lit(
+        "mp-dmb-addr-drop-addr-dep",
+        "MP+dmb+addr",
+        MutationKind::DropAddrDep,
+        1,
+    ));
+    specs.push(lit(
+        "wrc-addrs-drop-addr-dep",
+        "WRC+addrs",
+        MutationKind::DropAddrDep,
+        2,
+    ));
+    specs.push(lit(
+        "mp-ctrl-isb-drop-ctrl-dep",
+        "MP+dmb+ctrl-isb",
+        MutationKind::DropCtrlDep,
+        1,
+    ));
+    specs.push(lit(
+        "mp-ctrl-isb-delete-isb",
+        "MP+dmb+ctrl-isb",
+        MutationKind::DeleteFence,
+        1,
+    ));
+    specs.push(lit(
+        "mp-rel-rmw-drop-acquire",
+        "MP+rel+rmw.acq",
+        MutationKind::DropAcquire,
+        1,
+    ));
+    specs.push(lit(
+        "mp-rel-rmw-weaken-rmw",
+        "MP+rel+rmw.acq",
+        MutationKind::WeakenRmw,
+        1,
+    ));
+    specs.push(lit(
+        "lb-acqs-drop-acquire",
+        "LB+acqs",
+        MutationKind::DropAcquire,
+        0,
+    ));
+    specs.push(lit(
+        "ex-atomic-weaken-exclusive",
+        "EX-atomic-inc",
+        MutationKind::WeakenExclusive,
+        0,
+    ));
+    specs.push(lit(
+        "mp-stlxr-drop-release",
+        "MP+stlxr+ldaxr",
+        MutationKind::DropRelease,
+        0,
+    ));
+    specs.push(lit(
+        "r-dmbs-delete-fence",
+        "R+dmbs",
+        MutationKind::DeleteFence,
+        1,
+    ));
+    specs.push(lit(
+        "2+2w-dmbs-delete-fence",
+        "2+2W+dmbs",
+        MutationKind::DeleteFence,
+        0,
+    ));
+
+    // --- Kernel layer ----------------------------------------------------
+    {
+        // Example 1: deleting CPU 1's dmb re-enables the out-of-order
+        // write (CPU 2 keeps its data dependency, so only this side's
+        // fence is load-bearing).
+        let ex = paper_examples::example1();
+        let fixed = ex.fixed.expect("example1 has a fixed variant");
+        let spec = KernelSpec::for_kernel_threads(0..fixed.threads.len());
+        let m = pick(&fixed, MutationKind::DeleteFence, 0);
+        specs.push(MutantSpec::wdrf("ex1-delete-fence", fixed, spec, vec![m]));
+    }
+    {
+        let ex = paper_examples::example3();
+        let fixed = ex.fixed.expect("example3 has a fixed variant");
+        let spec = KernelSpec::for_kernel_threads(0..fixed.threads.len());
+        let m = pick(&fixed, MutationKind::DropRelease, 0);
+        specs.push(MutantSpec::wdrf(
+            "ex3-drop-release",
+            fixed.clone(),
+            spec.clone(),
+            vec![m],
+        ));
+        let m = pick(&fixed, MutationKind::DropAcquire, 1);
+        specs.push(MutantSpec::wdrf("ex3-drop-acquire", fixed, spec, vec![m]));
+    }
+    {
+        // Figure 7 ticket lock: condition 1/2 oracles on the push/pull
+        // model. The spin load's acquire justifies the pull, the unlock
+        // store's release justifies the push; the ticket-draw RMW's
+        // atomicity keeps tickets unique.
+        let lock = paper_examples::gen_vmid_program(true);
+        let mut spec = KernelSpec::for_kernel_threads([0, 1]);
+        spec.shared_data = [0x12].into();
+        // The acquire ghost-flag is thread-sticky, so the whole acquire
+        // path (ticket-draw RMW and spin load) must lose its barriers
+        // before the pull goes uncovered.
+        let m0 = pick_at(&lock, MutationKind::DropAcquire, 0, 0);
+        let m1 = pick_at(&lock, MutationKind::DropAcquire, 0, 1);
+        specs.push(MutantSpec::pushpull(
+            "ticket-lock-drop-acquire",
+            lock.clone(),
+            spec.clone(),
+            vec![m0, m1],
+        ));
+        let m = pick(&lock, MutationKind::DropRelease, 0);
+        specs.push(MutantSpec::pushpull(
+            "ticket-lock-drop-release",
+            lock.clone(),
+            spec.clone(),
+            vec![m],
+        ));
+        let m = pick(&lock, MutationKind::WeakenRmw, 0);
+        specs.push(MutantSpec::pushpull(
+            "ticket-lock-weaken-rmw",
+            lock,
+            spec,
+            vec![m],
+        ));
+    }
+
+    // --- Machine layer ---------------------------------------------------
+    for mutant in vrm_sekvm::mutants::all() {
+        specs.push(MutantSpec::machine(&mutant));
+    }
+
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curated_names_are_unique_and_cover_all_layers() {
+        let specs = curated();
+        let names: std::collections::BTreeSet<_> = specs.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), specs.len(), "duplicate mutant names");
+        for layer in [Layer::Litmus, Layer::Kernel, Layer::Machine] {
+            assert!(
+                specs.iter().any(|s| s.layer == layer),
+                "no mutants in {layer:?}"
+            );
+        }
+        assert!(specs.len() >= 20, "campaign too small: {}", specs.len());
+    }
+
+    #[test]
+    fn machine_confidentiality_mutant_is_killed() {
+        // The cheapest end-to-end oracle check: scrub skipping leaks.
+        let cfg = KCoreConfig {
+            skip_scrub_on_reclaim: true,
+            ..Default::default()
+        };
+        let (status, _, _) = run_machine_confidentiality(cfg);
+        assert_eq!(status, Status::Killed);
+        // And the unmutated config does not leak.
+        let (status, _, _) = run_machine_confidentiality(KCoreConfig::default());
+        assert_eq!(status, Status::Survived);
+    }
+}

@@ -1,0 +1,523 @@
+//! Syntactic mutation operators over the memory-model IR.
+//!
+//! Each operator injects one classic relaxed-memory bug into a
+//! [`Program`]: deleting or demoting a fence, downgrading an
+//! acquire/release access to a plain one, severing an address or control
+//! dependency, or splitting an atomic into a non-atomic load + store.
+//! [`find_sites`] enumerates every applicable `(operator, thread, pc)`
+//! site; [`apply`] produces the mutated program. All operators other than
+//! the atomicity weakenings are *SC-neutral*: they change only ordering,
+//! never sequential semantics, so a verdict flip under the relaxed models
+//! is attributable to the injected reordering alone.
+
+use vrm_memmodel::ir::{BinOp, Cond, Expr, Fence, Inst, Program, Reg, RmwOp};
+
+/// One kind of injected relaxed-memory bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MutationKind {
+    /// Replace a fence with `nop`.
+    DeleteFence,
+    /// Demote `dmb sy` to `dmb ld` (loses store→store/store→load order).
+    DemoteFence,
+    /// Clear the acquire flag on a load / load-exclusive / RMW.
+    DropAcquire,
+    /// Clear the release flag on a store / store-exclusive / RMW.
+    DropRelease,
+    /// Replace a register-insensitive address expression (the
+    /// `base + r * 0` artificial-dependency idiom) with its constant.
+    DropAddrDep,
+    /// Replace a never-taken branch (`bne rA rA`) with `nop`.
+    DropCtrlDep,
+    /// Split an atomic RMW into a plain load followed by a plain store.
+    WeakenRmw,
+    /// Make a store-exclusive unconditional (status := 0, plain store),
+    /// severing it from its load-exclusive's monitor.
+    WeakenExclusive,
+}
+
+impl MutationKind {
+    /// Short kebab-case name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MutationKind::DeleteFence => "delete-fence",
+            MutationKind::DemoteFence => "demote-fence",
+            MutationKind::DropAcquire => "drop-acquire",
+            MutationKind::DropRelease => "drop-release",
+            MutationKind::DropAddrDep => "drop-addr-dep",
+            MutationKind::DropCtrlDep => "drop-ctrl-dep",
+            MutationKind::WeakenRmw => "weaken-rmw",
+            MutationKind::WeakenExclusive => "weaken-exclusive",
+        }
+    }
+}
+
+impl std::fmt::Display for MutationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One applicable mutation site in a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mutation {
+    /// Which operator.
+    pub kind: MutationKind,
+    /// Thread index.
+    pub tid: usize,
+    /// Instruction index within the thread.
+    pub pc: usize,
+}
+
+impl std::fmt::Display for Mutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at T{}@{}", self.kind, self.tid, self.pc)
+    }
+}
+
+/// Evaluates an expression under a register assignment.
+fn eval(e: &Expr, rf: &impl Fn(Reg) -> u64) -> u64 {
+    match e {
+        Expr::Imm(v) => *v,
+        Expr::Reg(r) => rf(*r),
+        Expr::Bin(op, l, r) => {
+            let a = eval(l, rf);
+            let b = eval(r, rf);
+            match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::And => a & b,
+                BinOp::Or => a | b,
+                BinOp::Xor => a ^ b,
+                BinOp::Shl => a.wrapping_shl(b as u32),
+                BinOp::Shr => a.wrapping_shr(b as u32),
+                BinOp::Eq => (a == b) as u64,
+                BinOp::Ne => (a != b) as u64,
+                BinOp::Lt => (a < b) as u64,
+            }
+        }
+    }
+}
+
+/// If `e` mentions registers but always evaluates to the same constant
+/// (the artificial-dependency idiom `base + r * 0`), returns that
+/// constant.
+fn insensitive_const(e: &Expr) -> Option<u64> {
+    if e.regs().is_empty() {
+        return None; // no dependency to sever
+    }
+    let probes: [&dyn Fn(Reg) -> u64; 3] = [&|_| 0, &|_| 1, &|r: Reg| u64::from(r.0) * 13 + 5];
+    let v0 = eval(e, &probes[0]);
+    probes[1..].iter().all(|p| eval(e, p) == v0).then_some(v0)
+}
+
+/// `true` for `bne rA rA`-style never-taken branches (the pure
+/// control-dependency idiom).
+fn never_taken(cond: &Cond, lhs: &Expr, rhs: &Expr) -> bool {
+    matches!(cond, Cond::Ne) && matches!((lhs, rhs), (Expr::Reg(a), Expr::Reg(b)) if a == b)
+}
+
+/// Enumerates every applicable mutation site in `prog`, in `(tid, pc)`
+/// order (several operators may share a site).
+pub fn find_sites(prog: &Program) -> Vec<Mutation> {
+    let mut out = Vec::new();
+    for (tid, t) in prog.threads.iter().enumerate() {
+        for (pc, inst) in t.code.iter().enumerate() {
+            let mut push = |kind| out.push(Mutation { kind, tid, pc });
+            match inst {
+                Inst::Fence(f) => {
+                    push(MutationKind::DeleteFence);
+                    if matches!(f, Fence::Sy) {
+                        push(MutationKind::DemoteFence);
+                    }
+                }
+                Inst::Load { addr, acq, .. } | Inst::LoadEx { addr, acq, .. } => {
+                    if *acq {
+                        push(MutationKind::DropAcquire);
+                    }
+                    if insensitive_const(addr).is_some() {
+                        push(MutationKind::DropAddrDep);
+                    }
+                }
+                Inst::LoadVirt { va, acq, .. } => {
+                    if *acq {
+                        push(MutationKind::DropAcquire);
+                    }
+                    if insensitive_const(va).is_some() {
+                        push(MutationKind::DropAddrDep);
+                    }
+                }
+                Inst::Store { addr, rel, .. } => {
+                    if *rel {
+                        push(MutationKind::DropRelease);
+                    }
+                    if insensitive_const(addr).is_some() {
+                        push(MutationKind::DropAddrDep);
+                    }
+                }
+                Inst::StoreVirt { va, rel, .. } => {
+                    if *rel {
+                        push(MutationKind::DropRelease);
+                    }
+                    if insensitive_const(va).is_some() {
+                        push(MutationKind::DropAddrDep);
+                    }
+                }
+                Inst::StoreEx { addr, rel, .. } => {
+                    if *rel {
+                        push(MutationKind::DropRelease);
+                    }
+                    if insensitive_const(addr).is_some() {
+                        push(MutationKind::DropAddrDep);
+                    }
+                    push(MutationKind::WeakenExclusive);
+                }
+                Inst::Rmw { addr, acq, rel, .. } => {
+                    if *acq {
+                        push(MutationKind::DropAcquire);
+                    }
+                    if *rel {
+                        push(MutationKind::DropRelease);
+                    }
+                    if insensitive_const(addr).is_some() {
+                        push(MutationKind::DropAddrDep);
+                    }
+                    push(MutationKind::WeakenRmw);
+                }
+                Inst::Br { cond, lhs, rhs, .. } if never_taken(cond, lhs, rhs) => {
+                    push(MutationKind::DropCtrlDep);
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Shifts branch targets after an instruction was inserted at `pc + 1`.
+fn shift_targets(code: &mut [Inst], pc: usize) {
+    for inst in code.iter_mut() {
+        match inst {
+            Inst::Br { target, .. } | Inst::Jmp(target) if *target > pc => {
+                *target += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The value an RMW writes back, as a plain expression over the loaded
+/// old value (`dst`) and the right-hand side.
+fn rmw_writeback(op: RmwOp, dst: Reg, rhs: &Expr) -> Expr {
+    match op {
+        RmwOp::Add => Expr::bin(BinOp::Add, Expr::Reg(dst), rhs.clone()),
+        RmwOp::Swap => rhs.clone(),
+        RmwOp::And => Expr::bin(BinOp::And, Expr::Reg(dst), rhs.clone()),
+        RmwOp::Or => Expr::bin(BinOp::Or, Expr::Reg(dst), rhs.clone()),
+    }
+}
+
+/// Applies `m` to a copy of `prog`, or `None` if the site no longer
+/// matches (wrong instruction kind at `(tid, pc)`).
+pub fn apply(prog: &Program, m: &Mutation) -> Option<Program> {
+    let mut out = prog.clone();
+    out.name = format!("{}~{m}", prog.name);
+    let code = &mut out.threads.get_mut(m.tid)?.code;
+    let inst = code.get(m.pc)?.clone();
+    match (m.kind, inst) {
+        (MutationKind::DeleteFence, Inst::Fence(_)) => code[m.pc] = Inst::Nop,
+        (MutationKind::DemoteFence, Inst::Fence(Fence::Sy)) => {
+            code[m.pc] = Inst::Fence(Fence::Ld);
+        }
+        (
+            MutationKind::DropAcquire,
+            Inst::Load {
+                dst,
+                addr,
+                acq: true,
+            },
+        ) => {
+            code[m.pc] = Inst::Load {
+                dst,
+                addr,
+                acq: false,
+            };
+        }
+        (
+            MutationKind::DropAcquire,
+            Inst::LoadEx {
+                dst,
+                addr,
+                acq: true,
+            },
+        ) => {
+            code[m.pc] = Inst::LoadEx {
+                dst,
+                addr,
+                acq: false,
+            };
+        }
+        (MutationKind::DropAcquire, Inst::LoadVirt { dst, va, acq: true }) => {
+            code[m.pc] = Inst::LoadVirt {
+                dst,
+                va,
+                acq: false,
+            };
+        }
+        (
+            MutationKind::DropAcquire,
+            Inst::Rmw {
+                dst,
+                addr,
+                op,
+                rhs,
+                acq: true,
+                rel,
+            },
+        ) => {
+            code[m.pc] = Inst::Rmw {
+                dst,
+                addr,
+                op,
+                rhs,
+                acq: false,
+                rel,
+            };
+        }
+        (
+            MutationKind::DropRelease,
+            Inst::Store {
+                val,
+                addr,
+                rel: true,
+            },
+        ) => {
+            code[m.pc] = Inst::Store {
+                val,
+                addr,
+                rel: false,
+            };
+        }
+        (
+            MutationKind::DropRelease,
+            Inst::StoreEx {
+                status,
+                val,
+                addr,
+                rel: true,
+            },
+        ) => {
+            code[m.pc] = Inst::StoreEx {
+                status,
+                val,
+                addr,
+                rel: false,
+            };
+        }
+        (MutationKind::DropRelease, Inst::StoreVirt { val, va, rel: true }) => {
+            code[m.pc] = Inst::StoreVirt {
+                val,
+                va,
+                rel: false,
+            };
+        }
+        (
+            MutationKind::DropRelease,
+            Inst::Rmw {
+                dst,
+                addr,
+                op,
+                rhs,
+                acq,
+                rel: true,
+            },
+        ) => {
+            code[m.pc] = Inst::Rmw {
+                dst,
+                addr,
+                op,
+                rhs,
+                acq,
+                rel: false,
+            };
+        }
+        (MutationKind::DropAddrDep, Inst::Load { dst, addr, acq }) => {
+            code[m.pc] = Inst::Load {
+                dst,
+                addr: Expr::Imm(insensitive_const(&addr)?),
+                acq,
+            };
+        }
+        (MutationKind::DropAddrDep, Inst::LoadEx { dst, addr, acq }) => {
+            code[m.pc] = Inst::LoadEx {
+                dst,
+                addr: Expr::Imm(insensitive_const(&addr)?),
+                acq,
+            };
+        }
+        (MutationKind::DropAddrDep, Inst::LoadVirt { dst, va, acq }) => {
+            code[m.pc] = Inst::LoadVirt {
+                dst,
+                va: Expr::Imm(insensitive_const(&va)?),
+                acq,
+            };
+        }
+        (MutationKind::DropAddrDep, Inst::Store { val, addr, rel }) => {
+            code[m.pc] = Inst::Store {
+                val,
+                addr: Expr::Imm(insensitive_const(&addr)?),
+                rel,
+            };
+        }
+        (MutationKind::DropAddrDep, Inst::StoreVirt { val, va, rel }) => {
+            code[m.pc] = Inst::StoreVirt {
+                val,
+                va: Expr::Imm(insensitive_const(&va)?),
+                rel,
+            };
+        }
+        (MutationKind::DropCtrlDep, Inst::Br { cond, lhs, rhs, .. })
+            if never_taken(&cond, &lhs, &rhs) =>
+        {
+            code[m.pc] = Inst::Nop;
+        }
+        (
+            MutationKind::WeakenRmw,
+            Inst::Rmw {
+                dst, addr, op, rhs, ..
+            },
+        ) => {
+            code[m.pc] = Inst::Load {
+                dst,
+                addr: addr.clone(),
+                acq: false,
+            };
+            let wb = rmw_writeback(op, dst, &rhs);
+            code.insert(
+                m.pc + 1,
+                Inst::Store {
+                    val: wb,
+                    addr,
+                    rel: false,
+                },
+            );
+            shift_targets(code, m.pc);
+        }
+        (
+            MutationKind::WeakenExclusive,
+            Inst::StoreEx {
+                status,
+                val,
+                addr,
+                rel,
+            },
+        ) => {
+            // Always "succeeds": status := 0, then an unconditional store
+            // that ignores the exclusive monitor entirely.
+            code[m.pc] = Inst::Mov {
+                dst: status,
+                src: Expr::Imm(0),
+            };
+            code.insert(m.pc + 1, Inst::Store { val, addr, rel });
+            shift_targets(code, m.pc);
+        }
+        _ => return None,
+    }
+    Some(out)
+}
+
+/// Convenience: the first site in `prog` matching `kind` (and `tid` when
+/// given).
+pub fn site(prog: &Program, kind: MutationKind, tid: Option<usize>) -> Option<Mutation> {
+    find_sites(prog)
+        .into_iter()
+        .find(|m| m.kind == kind && tid.is_none_or(|t| m.tid == t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrm_memmodel::builder::ProgramBuilder;
+    use vrm_memmodel::sc::enumerate_sc;
+
+    fn mp_rel_acq() -> Program {
+        let mut p = ProgramBuilder::new("mp");
+        p.thread("T0", |t| {
+            t.store(0x10u64, 1u64, false);
+            t.store(0x20u64, 1u64, true);
+        });
+        p.thread("T1", |t| {
+            t.load(Reg(0), 0x20u64, true);
+            t.load(Reg(1), 0x10u64, false);
+        });
+        p.observe_reg("f", 1, Reg(0));
+        p.observe_reg("d", 1, Reg(1));
+        p.build()
+    }
+
+    #[test]
+    fn sites_cover_acquire_and_release() {
+        let prog = mp_rel_acq();
+        let sites = find_sites(&prog);
+        assert!(sites
+            .iter()
+            .any(|m| m.kind == MutationKind::DropRelease && m.tid == 0 && m.pc == 1));
+        assert!(sites
+            .iter()
+            .any(|m| m.kind == MutationKind::DropAcquire && m.tid == 1 && m.pc == 0));
+    }
+
+    #[test]
+    fn drop_release_is_sc_neutral() {
+        let prog = mp_rel_acq();
+        let m = site(&prog, MutationKind::DropRelease, Some(0)).unwrap();
+        let mutated = apply(&prog, &m).unwrap();
+        assert_eq!(
+            enumerate_sc(&prog).unwrap(),
+            enumerate_sc(&mutated).unwrap()
+        );
+    }
+
+    #[test]
+    fn weaken_rmw_splits_and_patches_targets() {
+        let mut p = ProgramBuilder::new("t");
+        p.thread("T0", |t| {
+            t.rmw(Reg(0), 0x10u64, RmwOp::Add, 1u64, true, false);
+            t.label("end");
+            t.jmp("end"); // target 1, after the rmw: must shift to 2
+        });
+        let prog = p.build();
+        let m = site(&prog, MutationKind::WeakenRmw, Some(0)).unwrap();
+        let mutated = apply(&prog, &m).unwrap();
+        let code = &mutated.threads[0].code;
+        assert!(matches!(code[0], Inst::Load { acq: false, .. }));
+        assert!(matches!(code[1], Inst::Store { .. }));
+        assert!(matches!(code[2], Inst::Jmp(2)));
+    }
+
+    #[test]
+    fn addr_dep_idiom_detected_and_dropped() {
+        let dep = Expr::bin(
+            BinOp::Add,
+            Expr::Imm(0x10),
+            Expr::bin(BinOp::Mul, Expr::Reg(Reg(0)), Expr::Imm(0)),
+        );
+        assert_eq!(insensitive_const(&dep), Some(0x10));
+        // A real dependency is left alone.
+        let real = Expr::bin(BinOp::Add, Expr::Imm(0x10), Expr::Reg(Reg(0)));
+        assert_eq!(insensitive_const(&real), None);
+        // Pure constants have no dependency to drop.
+        assert_eq!(insensitive_const(&Expr::Imm(0x10)), None);
+    }
+
+    #[test]
+    fn stale_site_returns_none() {
+        let prog = mp_rel_acq();
+        let bogus = Mutation {
+            kind: MutationKind::DeleteFence,
+            tid: 0,
+            pc: 0,
+        };
+        assert!(apply(&prog, &bogus).is_none());
+    }
+}

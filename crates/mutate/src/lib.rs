@@ -1,0 +1,30 @@
+//! # vrm-mutate — mutation testing for the wDRF verification stack
+//!
+//! The paper's argument only matters if the checkers would actually
+//! notice a relaxed-memory bug. This crate injects such bugs on purpose,
+//! at every layer of the stack, and runs each **mutant** through the
+//! oracle that is supposed to reject it:
+//!
+//! | layer   | mutation operators                          | kill oracle |
+//! |---------|---------------------------------------------|-------------|
+//! | litmus  | delete/demote fence, drop acquire/release, drop addr/ctrl dependency, weaken RMW/exclusives | three-model conformance verdict flip |
+//! | kernel  | the same operators on paper examples and the Figure 7 ticket lock | `check_wdrf` / `check_pushpull` failure |
+//! | machine | `KCoreConfig` switches (skip TLBI, reorder barrier, skip lock, …) | `validate_log` over all schedules, `check_invariants`, confidentiality read-back |
+//!
+//! [`ir`] holds the program-level mutation engine (site discovery and
+//! application), [`campaign`] the curated mutant set and driver, and
+//! [`report`] the human table / JSON renderers. The `mutate` binary in
+//! `crates/bench` fronts all of it; `tests/mutation_campaign.rs` pins
+//! the curated set to a 100% kill rate.
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod ir;
+pub mod report;
+
+pub use campaign::{
+    curated, run, CampaignConfig, CampaignReport, Layer, MutantResult, MutantSpec, Oracle, Status,
+};
+pub use ir::{apply, find_sites, site, Mutation, MutationKind};
+pub use report::{not_killed, to_json, to_table};

@@ -1,0 +1,145 @@
+//! Rendering a [`CampaignReport`] for humans (aligned table) and for
+//! machines (JSON, hand-rolled — the workspace carries no serde).
+
+use vrm_explore::ExploreStats;
+
+use crate::campaign::{CampaignReport, MutantResult, Status};
+
+/// Escapes a string for a JSON string literal (quotes, backslashes,
+/// control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_stats(s: &ExploreStats) -> String {
+    format!(
+        "{{\"states\":{},\"frontier_peak\":{},\"dedup_hits\":{},\"wall_ns\":{},\"jobs\":{}}}",
+        s.states, s.frontier_peak, s.dedup_hits, s.wall_ns, s.jobs
+    )
+}
+
+fn json_mutant(r: &MutantResult) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"layer\":\"{}\",\"oracle\":\"{}\",\"mutation\":\"{}\",\
+         \"status\":\"{}\",\"detail\":\"{}\",\"stats\":{}}}",
+        json_escape(&r.name),
+        r.layer.as_str(),
+        r.oracle.as_str(),
+        json_escape(&r.mutation),
+        r.status.as_str(),
+        json_escape(&r.detail),
+        json_stats(&r.stats)
+    )
+}
+
+/// The full campaign as a JSON document: summary counters, aggregate
+/// exploration stats, and one entry per mutant (name, layer, killing
+/// oracle, injected mutation, status, detail, per-mutant stats).
+pub fn to_json(report: &CampaignReport) -> String {
+    let mutants: Vec<String> = report.results.iter().map(json_mutant).collect();
+    format!(
+        "{{\n  \"total\": {},\n  \"killed\": {},\n  \"survived\": {},\n  \"timeout\": {},\n  \
+         \"kill_rate\": {:.4},\n  \"stats\": {},\n  \"mutants\": [\n    {}\n  ]\n}}\n",
+        report.results.len(),
+        report.killed(),
+        report.survived(),
+        report.timeouts(),
+        report.kill_rate(),
+        json_stats(&report.stats),
+        mutants.join(",\n    ")
+    )
+}
+
+/// The campaign as an aligned human-readable table plus a summary line.
+pub fn to_table(report: &CampaignReport) -> String {
+    let name_w = report
+        .results
+        .iter()
+        .map(|r| r.name.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let oracle_w = report
+        .results
+        .iter()
+        .map(|r| r.oracle.as_str().len())
+        .max()
+        .unwrap_or(6)
+        .max(6);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_w$}  {:<7}  {:<oracle_w$}  {:<8}  {:>9}  {:>8}\n",
+        "name", "layer", "oracle", "status", "states", "ms"
+    ));
+    out.push_str(&format!(
+        "{:-<name_w$}  {:-<7}  {:-<oracle_w$}  {:-<8}  {:->9}  {:->8}\n",
+        "", "", "", "", "", ""
+    ));
+    for r in &report.results {
+        out.push_str(&format!(
+            "{:<name_w$}  {:<7}  {:<oracle_w$}  {:<8}  {:>9}  {:>8.1}\n",
+            r.name,
+            r.layer.as_str(),
+            r.oracle.as_str(),
+            r.status.as_str(),
+            r.stats.states,
+            r.stats.wall_ns as f64 / 1e6,
+        ));
+    }
+    out.push_str(&format!(
+        "\n{} mutants: {} killed, {} survived, {} timeout — kill rate {:.1}% \
+         ({} states explored, {:.1} ms total)\n",
+        report.results.len(),
+        report.killed(),
+        report.survived(),
+        report.timeouts(),
+        report.kill_rate() * 100.0,
+        report.stats.states,
+        report.stats.wall_ns as f64 / 1e6,
+    ));
+    out
+}
+
+/// Mutants that were not killed, for failure diagnostics.
+pub fn not_killed(report: &CampaignReport) -> Vec<&MutantResult> {
+    report
+        .results
+        .iter()
+        .filter(|r| r.status != Status::Killed)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let report = CampaignReport {
+            results: Vec::new(),
+            stats: ExploreStats::default(),
+        };
+        let j = to_json(&report);
+        assert!(j.contains("\"total\": 0"));
+        assert!(j.contains("\"kill_rate\": 1.0000"));
+        assert!(to_table(&report).contains("0 mutants"));
+    }
+}

@@ -39,15 +39,8 @@ impl El2Pt {
         let total_words = MAX_PFN * PAGE_WORDS;
         let mut off = 0;
         while off < total_words {
-            pt.map_block(
-                mem,
-                pool,
-                EL2_LINEAR_BASE + off,
-                off,
-                Perms::RWX,
-                1,
-            )
-            .expect("boot linear map");
+            pt.map_block(mem, pool, EL2_LINEAR_BASE + off, off, Perms::RWX, 1)
+                .expect("boot linear map");
             off += block_words;
         }
         El2Pt { pt }

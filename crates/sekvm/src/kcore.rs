@@ -34,8 +34,8 @@ use vrm_mmu::table::{Geometry, MapError};
 use crate::el2pt::El2Pt;
 use crate::events::{LockId, Log, MEvent, Principal, TableKind};
 use crate::layout::{
-    page_addr, pfn_of, EL2_POOL_PFN, EL2_REMAP_BASE, MAX_DEVICES, MAX_VCPUS, MAX_VMS,
-    PAGE_WORDS, S2_POOL_PFN, SMMU_POOL_PFN,
+    page_addr, pfn_of, EL2_POOL_PFN, EL2_REMAP_BASE, MAX_DEVICES, MAX_VCPUS, MAX_VMS, PAGE_WORDS,
+    S2_POOL_PFN, SMMU_POOL_PFN,
 };
 use crate::npt::{S2Behaviour, S2Error, Stage2};
 use crate::s2page::{Owner, OwnershipError, S2PageArray};
@@ -61,6 +61,13 @@ pub struct KCoreConfig {
     /// Mutant: skip scrubbing when reclaiming VM pages (breaks
     /// confidentiality).
     pub skip_scrub_on_reclaim: bool,
+    /// Mutant: execute locked hypercalls without acquiring their primary
+    /// ticket lock (breaks conditions 1/2 — page-table writes race).
+    pub skip_lock_acquire: bool,
+    /// Mutant: emit the post-unmap barrier *after* the TLBI instead of
+    /// before it, reordering the barrier-protected page-table write
+    /// sequence (breaks condition 5).
+    pub barrier_after_tlbi: bool,
 }
 
 impl Default for KCoreConfig {
@@ -72,6 +79,8 @@ impl Default for KCoreConfig {
             skip_barrier_before_tlbi: false,
             skip_ownership_check: false,
             skip_scrub_on_reclaim: false,
+            skip_lock_acquire: false,
+            barrier_after_tlbi: false,
         }
     }
 }
@@ -414,6 +423,7 @@ impl KCore {
         S2Behaviour {
             skip_tlbi: self.cfg.skip_tlbi_on_unmap,
             skip_barrier: self.cfg.skip_barrier_before_tlbi,
+            barrier_after_tlbi: self.cfg.barrier_after_tlbi,
             check_transactional: self.cfg.check_transactional,
         }
     }
@@ -443,6 +453,12 @@ impl KCore {
 
     /// Asserts the lock discipline: `cpu` holds `id`.
     pub fn assert_holds(&self, cpu: usize, id: LockId) {
+        // The skip-lock-acquire mutant models a developer deleting the
+        // locking wholesale — including this internal assertion — so the
+        // *external* validator (`wdrf::validate_log`) must catch it.
+        if self.cfg.skip_lock_acquire {
+            return;
+        }
         assert_eq!(
             self.locks.holder(id),
             Some(cpu),
@@ -703,8 +719,14 @@ impl KCore {
         let behaviour = self.behaviour();
         for m in &mappings {
             let vm = self.vms.get(vmid as usize).expect("checked");
-            vm.s2
-                .clear_s2pt(&mut self.mem, &self.s2_pool, &mut self.log, cpu, behaviour, m.va)?;
+            vm.s2.clear_s2pt(
+                &mut self.mem,
+                &self.s2_pool,
+                &mut self.log,
+                cpu,
+                behaviour,
+                m.va,
+            )?;
             self.s2pages.dec_map(pfn_of(m.pa))?;
         }
         // Scrub and return every VM-owned page.
@@ -931,7 +953,9 @@ impl KCore {
             return Err(e);
         }
         if !self.cfg.skip_ownership_check {
-            let r = self.s2pages.transfer(donor_pfn, Owner::KServ, Owner::Vm(vmid));
+            let r = self
+                .s2pages
+                .transfer(donor_pfn, Owner::KServ, Owner::Vm(vmid));
             if let Err(e) = r {
                 self.unlock(cpu, LockId::S2Page);
                 return Err(e.into());
@@ -963,7 +987,9 @@ impl KCore {
             Perms::RWX,
         );
         let r = r.map_err(HypercallError::from).and_then(|()| {
-            self.s2pages.inc_map(donor_pfn).map_err(HypercallError::from)
+            self.s2pages
+                .inc_map(donor_pfn)
+                .map_err(HypercallError::from)
         });
         self.unlock(cpu, LockId::S2Page);
         r
@@ -1010,9 +1036,9 @@ impl KCore {
             page_addr(pfn),
             Perms::RW,
         );
-        let r = r.map_err(HypercallError::from).and_then(|()| {
-            self.s2pages.inc_map(pfn).map_err(HypercallError::from)
-        });
+        let r = r
+            .map_err(HypercallError::from)
+            .and_then(|()| self.s2pages.inc_map(pfn).map_err(HypercallError::from));
         self.unlock(cpu, LockId::KServS2);
         r
     }
@@ -1100,7 +1126,12 @@ impl KCore {
 
     /// Assigns a device to a VM (table must be empty). Primary lock:
     /// [`LockId::Smmu`].
-    pub fn assign_smmu_dev(&mut self, cpu: usize, dev: u32, to: Owner) -> Result<(), HypercallError> {
+    pub fn assign_smmu_dev(
+        &mut self,
+        cpu: usize,
+        dev: u32,
+        to: Owner,
+    ) -> Result<(), HypercallError> {
         self.lock(cpu, LockId::Smmu(dev));
         let r = self.assign_smmu_dev_locked(cpu, dev, to);
         self.unlock(cpu, LockId::Smmu(dev));
@@ -1260,8 +1291,14 @@ impl KCore {
         let behaviour = self.behaviour();
         let vm = self.vms.get(vmid as usize).expect("checked");
         // Break: unmap + barrier + TLBI.
-        vm.s2
-            .clear_s2pt(&mut self.mem, &self.s2_pool, &mut self.log, cpu, behaviour, page_gpa)?;
+        vm.s2.clear_s2pt(
+            &mut self.mem,
+            &self.s2_pool,
+            &mut self.log,
+            cpu,
+            behaviour,
+            page_gpa,
+        )?;
         // Make: fresh mapping with the new permissions.
         let vm = self.vms.get(vmid as usize).expect("checked");
         vm.s2
@@ -1402,9 +1439,9 @@ impl KCore {
         }
         self.lock(cpu, LockId::S2Page);
         let check = match self.s2pages.get(src_pfn) {
-            Ok(p) if p.owner == Owner::KServ && !p.shared && p.map_count == 0 => {
-                self.s2pages.transfer(src_pfn, Owner::KServ, Owner::Vm(vmid))
-            }
+            Ok(p) if p.owner == Owner::KServ && !p.shared && p.map_count == 0 => self
+                .s2pages
+                .transfer(src_pfn, Owner::KServ, Owner::Vm(vmid)),
             Ok(_) => Err(crate::s2page::OwnershipError::WrongOwner {
                 actual: Owner::KServ,
             }),
@@ -1423,8 +1460,10 @@ impl KCore {
         // Decrypt in place (now VM-owned, invisible to KServ).
         for i in 0..PAGE_WORDS {
             let cipher = self.mem.read(page_addr(src_pfn) + i);
-            self.mem
-                .write(page_addr(src_pfn) + i, cipher ^ Self::keystream(key, gpa_page, i));
+            self.mem.write(
+                page_addr(src_pfn) + i,
+                cipher ^ Self::keystream(key, gpa_page, i),
+            );
         }
         self.log.push(MEvent::MemWrite {
             cpu,
@@ -1571,7 +1610,12 @@ impl KCore {
     }
 
     /// A device DMA read through the SMMU.
-    pub fn dev_dma_read(&mut self, cpu: usize, dev: u32, iova: Addr) -> Result<Val, HypercallError> {
+    pub fn dev_dma_read(
+        &mut self,
+        cpu: usize,
+        dev: u32,
+        iova: Addr,
+    ) -> Result<Val, HypercallError> {
         let device = self
             .devices
             .get(dev as usize)
@@ -1756,10 +1800,7 @@ mod tests {
         // And no device may map KCore pages.
         assert_eq!(k.smmu_map(0, 0, 0, 0), Err(HypercallError::AccessDenied));
         k.smmu_unmap(0, 0, 0).unwrap();
-        assert_eq!(
-            k.dev_dma_read(0, 0, 3),
-            Err(HypercallError::Unmapped)
-        );
+        assert_eq!(k.dev_dma_read(0, 0, 3), Err(HypercallError::Unmapped));
     }
 
     #[test]
@@ -1813,7 +1854,14 @@ mod tests {
             let behaviour = k.behaviour();
             k.lock(1, crate::events::LockId::KServS2);
             k.kserv_s2
-                .clear_s2pt(&mut k.mem, &k.s2_pool, &mut k.log, 1, behaviour, page_addr(dest))
+                .clear_s2pt(
+                    &mut k.mem,
+                    &k.s2_pool,
+                    &mut k.log,
+                    1,
+                    behaviour,
+                    page_addr(dest),
+                )
                 .unwrap();
             k.unlock(1, crate::events::LockId::KServS2);
             k.s2pages.dec_map(dest).unwrap();
@@ -1888,11 +1936,16 @@ mod tests {
         k.handle_s2_fault(0, vmid, gpa, VM_POOL_PFN.0 + 10).unwrap();
         k.vm_write(0, vmid, gpa, 55).unwrap();
         // Break-before-make to read-only.
-        k.protect_vm_page(0, vmid, gpa, vrm_mmu::pte::Perms::RO).unwrap();
+        k.protect_vm_page(0, vmid, gpa, vrm_mmu::pte::Perms::RO)
+            .unwrap();
         assert_eq!(k.vm_read(0, vmid, gpa).unwrap(), 55);
-        assert_eq!(k.vm_write(0, vmid, gpa, 66), Err(HypercallError::Permission));
+        assert_eq!(
+            k.vm_write(0, vmid, gpa, 66),
+            Err(HypercallError::Permission)
+        );
         // And back to read-write.
-        k.protect_vm_page(0, vmid, gpa, vrm_mmu::pte::Perms::RWX).unwrap();
+        k.protect_vm_page(0, vmid, gpa, vrm_mmu::pte::Perms::RWX)
+            .unwrap();
         k.vm_write(0, vmid, gpa, 66).unwrap();
         // The break-before-make sequences satisfy condition 5.
         assert!(crate::wdrf::validate_log(&k.log).is_empty());
@@ -1907,7 +1960,8 @@ mod tests {
         let vmid = boot_vm(&mut k, 0);
         let gpa = 64 * PAGE_WORDS;
         k.handle_s2_fault(0, vmid, gpa, VM_POOL_PFN.0 + 10).unwrap();
-        k.protect_vm_page(0, vmid, gpa, vrm_mmu::pte::Perms::RO).unwrap();
+        k.protect_vm_page(0, vmid, gpa, vrm_mmu::pte::Perms::RO)
+            .unwrap();
         let v = crate::wdrf::validate_log(&k.log);
         assert!(!v.is_empty(), "missing TLBI in BBM must be flagged");
     }
@@ -1942,7 +1996,7 @@ mod tests {
         let mut k = KCore::boot(KCoreConfig::default());
         let vmid = boot_vm(&mut k, 0);
         k.register_vcpu(0, vmid).unwrap(); // second vCPU
-        // vCPU 0 (on CPU 0) IPIs vCPU 1.
+                                           // vCPU 0 (on CPU 0) IPIs vCPU 1.
         k.send_sgi(0, vmid, 1, 2).unwrap();
         assert_eq!(k.pending_irqs(vmid, 1).unwrap(), vec![2]);
         assert_eq!(k.pending_irqs(vmid, 0).unwrap(), Vec::<u8>::new());

@@ -262,8 +262,14 @@ impl Machine {
         // Stall detection: if no CPU completes an operation for this many
         // consecutive steps, every remaining CPU is waiting on something
         // that can never happen (deadlocked rendezvous, lost vCPU, ...).
-        let stall_limit = 200 * self.cpus.len().max(1) * 
-            self.cpus.iter().map(|c| c.script.len() + 1).max().unwrap_or(1);
+        let stall_limit = 200
+            * self.cpus.len().max(1)
+            * self
+                .cpus
+                .iter()
+                .map(|c| c.script.len() + 1)
+                .max()
+                .unwrap_or(1);
         let mut steps_without_progress = 0usize;
         while report.steps < max_steps {
             let runnable: Vec<usize> = (0..self.cpus.len())
@@ -301,7 +307,15 @@ impl Machine {
         match phase {
             Phase::Finished => {}
             Phase::Idle => {
-                match op.primary_lock(self.cpus[cpu].vm) {
+                // The skip-lock-acquire mutant runs every op body without
+                // drawing a ticket; `wdrf::validate_log` must flag the
+                // resulting unguarded page-table writes.
+                let lock = if self.kcore.cfg.skip_lock_acquire {
+                    None
+                } else {
+                    op.primary_lock(self.cpus[cpu].vm)
+                };
+                match lock {
                     Some(lock) => {
                         let ticket = self.kcore.locks.get_mut(lock).draw();
                         self.cpus[cpu].phase = Phase::Spinning {
@@ -354,16 +368,12 @@ impl Machine {
         // Wait-style operations first (no OpStart until they fire).
         match op {
             Op::AttachVm { owner_cpu } => {
-                let ready = self
-                    .cpus
-                    .get(*owner_cpu)
-                    .and_then(|c| c.vm)
-                    .filter(|&vm| {
-                        self.kcore
-                            .vm(vm)
-                            .map(|m| m.state == crate::kcore::VmState::Verified)
-                            .unwrap_or(false)
-                    });
+                let ready = self.cpus.get(*owner_cpu).and_then(|c| c.vm).filter(|&vm| {
+                    self.kcore
+                        .vm(vm)
+                        .map(|m| m.state == crate::kcore::VmState::Verified)
+                        .unwrap_or(false)
+                });
                 return match ready {
                     Some(vm) => {
                         self.cpus[cpu].vm = Some(vm);
@@ -377,9 +387,10 @@ impl Machine {
                 // Arrived iff every member CPU's next op is this barrier
                 // or it has already passed it.
                 let all = (0..self.cpus.len()).all(|c| {
-                    let pos = self.cpus[c].script.iter().position(
-                        |o| matches!(o, Op::Rendezvous { id: i } if i == id),
-                    );
+                    let pos = self.cpus[c]
+                        .script
+                        .iter()
+                        .position(|o| matches!(o, Op::Rendezvous { id: i } if i == id));
                     match pos {
                         None => true,
                         Some(p) => self.cpus[c].next_op >= p,
@@ -483,9 +494,7 @@ impl Machine {
                     for &pfn in pfns {
                         for w in 0..crate::layout::PAGE_WORDS {
                             let val = pfn * 31 + w;
-                            self.kcore
-                                .mem
-                                .write(crate::layout::page_addr(pfn) + w, val);
+                            self.kcore.mem.write(crate::layout::page_addr(pfn) + w, val);
                             words.push(val);
                         }
                     }
@@ -743,7 +752,12 @@ impl SchedNode {
                     let _ = w.write_str(",f");
                 }
                 Phase::Spinning { lock, ticket, .. } => {
-                    let _ = write!(w, ",s{:?}@{}", lock, kcore.locks.get(*lock).position(*ticket));
+                    let _ = write!(
+                        w,
+                        ",s{:?}@{}",
+                        lock,
+                        kcore.locks.get(*lock).position(*ticket)
+                    );
                 }
             }
             let _ = write!(w, ",{:?},{:?}", c.vm, c.held);
@@ -1004,7 +1018,11 @@ mod tests {
             Op::Rendezvous { id: 2 },
         ];
         for seed in 0..12 {
-            let mut m = Machine::new(KCoreConfig::default(), vec![cpu0.clone(), cpu1.clone()], seed);
+            let mut m = Machine::new(
+                KCoreConfig::default(),
+                vec![cpu0.clone(), cpu1.clone()],
+                seed,
+            );
             let report = m.run(2_000_000);
             assert!(report.clean(), "seed {seed}: {report:?}");
             // Every vCPU saw multiple run/stop generations.
@@ -1037,9 +1055,12 @@ mod tests {
         // All interleavings of two CPUs contending on the VmId lock
         // complete cleanly and produce the same observable outcome.
         let scripts: Vec<Script> = (0..2).map(|_| vec![Op::RegisterVm]).collect();
-        let report =
-            Machine::explore_schedules(KCoreConfig::default(), scripts, &ExhaustiveConfig::default())
-                .unwrap();
+        let report = Machine::explore_schedules(
+            KCoreConfig::default(),
+            scripts,
+            &ExhaustiveConfig::default(),
+        )
+        .unwrap();
         assert!(report.all_clean(), "{:?}", report.outcomes);
         assert_eq!(report.outcomes.len(), 1);
         assert!(report.outcomes.iter().all(|o| o.ops_ok == 2));
@@ -1074,7 +1095,10 @@ mod tests {
             Machine::explore_schedules(
                 KCoreConfig::default(),
                 scripts(3),
-                &ExhaustiveConfig { max_states: 1 << 20, jobs },
+                &ExhaustiveConfig {
+                    max_states: 1 << 20,
+                    jobs,
+                },
             )
             .unwrap()
         };
@@ -1090,7 +1114,10 @@ mod tests {
         let err = Machine::explore_schedules(
             KCoreConfig::default(),
             scripts,
-            &ExhaustiveConfig { max_states: 2, jobs: 1 },
+            &ExhaustiveConfig {
+                max_states: 2,
+                jobs: 1,
+            },
         )
         .unwrap_err();
         assert!(matches!(err, vrm_explore::ExploreError::StateLimit(n) if n > 2));

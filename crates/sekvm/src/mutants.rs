@@ -13,6 +13,8 @@ use crate::kcore::KCoreConfig;
 pub enum CaughtBy {
     /// `wdrf::validate_log` (Sequential-TLB-Invalidation).
     SequentialTlbi,
+    /// `wdrf::validate_log` (DRF-Kernel lock discipline, conditions 1/2).
+    LockDiscipline,
     /// `security::check_invariants` (ownership mapping invariants).
     SecurityInvariants,
     /// Direct behavioural test (confidentiality of reclaimed pages).
@@ -65,6 +67,22 @@ pub fn all() -> Vec<Mutant> {
             },
             caught_by: CaughtBy::ConfidentialityTest,
         },
+        Mutant {
+            name: "skip-lock-acquire",
+            cfg: KCoreConfig {
+                skip_lock_acquire: true,
+                ..Default::default()
+            },
+            caught_by: CaughtBy::LockDiscipline,
+        },
+        Mutant {
+            name: "barrier-after-tlbi",
+            cfg: KCoreConfig {
+                barrier_after_tlbi: true,
+                ..Default::default()
+            },
+            caught_by: CaughtBy::SequentialTlbi,
+        },
     ]
 }
 
@@ -75,7 +93,7 @@ mod tests {
     #[test]
     fn mutants_enumerate_distinct_flags() {
         let ms = all();
-        assert_eq!(ms.len(), 4);
+        assert_eq!(ms.len(), 6);
         let names: std::collections::BTreeSet<_> = ms.iter().map(|m| m.name).collect();
         assert_eq!(names.len(), ms.len());
         // Each mutant differs from the default in exactly one switch.
@@ -86,6 +104,8 @@ mod tests {
                 m.cfg.skip_barrier_before_tlbi != d.skip_barrier_before_tlbi,
                 m.cfg.skip_ownership_check != d.skip_ownership_check,
                 m.cfg.skip_scrub_on_reclaim != d.skip_scrub_on_reclaim,
+                m.cfg.skip_lock_acquire != d.skip_lock_acquire,
+                m.cfg.barrier_after_tlbi != d.barrier_after_tlbi,
             ]
             .iter()
             .filter(|&&x| x)

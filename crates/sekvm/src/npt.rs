@@ -55,6 +55,10 @@ pub struct S2Behaviour {
     pub skip_tlbi: bool,
     /// Skip the barrier before the TLBI (breaks condition 5).
     pub skip_barrier: bool,
+    /// Emit the barrier after the TLBI instead of before it (breaks
+    /// condition 5: the invalidate may complete before the unmap write
+    /// is visible).
+    pub barrier_after_tlbi: bool,
     /// Validate condition 4 on every update.
     pub check_transactional: bool,
 }
@@ -150,7 +154,8 @@ impl Stage2 {
                 new,
             });
         }
-        if !behaviour.skip_barrier && !behaviour.skip_tlbi {
+        let barrier = !behaviour.skip_barrier && !behaviour.skip_tlbi;
+        if barrier && !behaviour.barrier_after_tlbi {
             log.push(MEvent::Barrier { cpu });
         }
         if !behaviour.skip_tlbi {
@@ -159,6 +164,9 @@ impl Stage2 {
                 table: self.kind,
                 vpn: Some(self.pt.geo.vpn(gpa)),
             });
+        }
+        if barrier && behaviour.barrier_after_tlbi {
+            log.push(MEvent::Barrier { cpu });
         }
         if behaviour.check_transactional {
             check_writes_transactional(&self.pt, &before, &writes, &[gpa])
@@ -225,8 +233,17 @@ mod tests {
         let mut log = Log::new();
         let gpa = 0u64;
         let pa = page_addr(0x1800);
-        s2.set_s2pt(&mut mem, &mut pool, &mut log, 0, behaviour(), gpa, pa, Perms::RWX)
-            .unwrap();
+        s2.set_s2pt(
+            &mut mem,
+            &mut pool,
+            &mut log,
+            0,
+            behaviour(),
+            gpa,
+            pa,
+            Perms::RWX,
+        )
+        .unwrap();
         assert_eq!(s2.translate(&mem, gpa + 5), Some(pa + 5));
         s2.clear_s2pt(&mut mem, &pool, &mut log, 0, behaviour(), gpa)
             .unwrap();
@@ -249,8 +266,17 @@ mod tests {
         let mut log = Log::new();
         let gpa = 3 * PAGE_WORDS;
         let pa = page_addr(0x1801);
-        s2.set_s2pt(&mut mem, &mut pool, &mut log, 0, behaviour(), gpa, pa, Perms::RW)
-            .unwrap();
+        s2.set_s2pt(
+            &mut mem,
+            &mut pool,
+            &mut log,
+            0,
+            behaviour(),
+            gpa,
+            pa,
+            Perms::RW,
+        )
+        .unwrap();
         assert_eq!(s2.translate(&mem, gpa), Some(pa));
         // 4-level set in a fresh tree writes 4 cells, all previously 0,
         // and is transactional.

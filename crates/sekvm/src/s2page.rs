@@ -105,12 +105,7 @@ impl S2PageArray {
     }
 
     /// Transfers ownership, checking the expected current owner.
-    pub fn transfer(
-        &mut self,
-        pfn: u64,
-        expect: Owner,
-        to: Owner,
-    ) -> Result<(), OwnershipError> {
+    pub fn transfer(&mut self, pfn: u64, expect: Owner, to: Owner) -> Result<(), OwnershipError> {
         let page = self.get(pfn)?;
         if page.owner == Owner::KCore && to != Owner::KCore {
             return Err(OwnershipError::KCorePrivate);

@@ -156,10 +156,7 @@ mod tests {
         k.vm_write(0, vmid, 5, 0xdeadbeef).unwrap();
         let pa = k.vm(vmid).unwrap().s2.translate(&k.mem, 5).unwrap();
         // KServ cannot read it through its stage-2.
-        assert_eq!(
-            k.kserv_read(1, pa),
-            Err(HypercallError::AccessDenied)
-        );
+        assert_eq!(k.kserv_read(1, pa), Err(HypercallError::AccessDenied));
         assert!(check_invariants(&k).is_empty());
     }
 

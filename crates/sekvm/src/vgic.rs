@@ -85,9 +85,7 @@ impl VGic {
     /// The pending interrupt ids for a vCPU, ascending.
     pub fn pending(&self, vcpu: u32) -> Result<Vec<u8>, VgicError> {
         let row = self.pending.get(vcpu as usize).ok_or(VgicError::BadVcpu)?;
-        Ok((0..MAX_IRQS as u8)
-            .filter(|&i| row[i as usize])
-            .collect())
+        Ok((0..MAX_IRQS as u8).filter(|&i| row[i as usize]).collect())
     }
 
     /// Does the vCPU have anything pending?

@@ -127,7 +127,10 @@ pub fn validate_log(log: &Log) -> Vec<WdrfViolation> {
                 }
                 // Unmap or remap of a live user-walked entry.
                 if *table != TableKind::El2 && *old != 0 && *new != *old {
-                    pending.entry(*cpu).or_default().push((*table, *cell, false));
+                    pending
+                        .entry(*cpu)
+                        .or_default()
+                        .push((*table, *cell, false));
                 }
             }
             MEvent::Barrier { cpu } => {
@@ -173,17 +176,14 @@ pub fn validate_log(log: &Log) -> Vec<WdrfViolation> {
                 who,
                 pa,
                 oracle_masked,
+            } if *who == Principal::KCore && !oracle_masked && !is_kcore_private(pfn_of(*pa)) => {
+                violations.push(WdrfViolation::UnmaskedKernelRead { cpu: *cpu, pa: *pa });
             }
-                if *who == Principal::KCore
-                    && !oracle_masked
-                    && !is_kcore_private(pfn_of(*pa))
-                => {
-                    violations.push(WdrfViolation::UnmaskedKernelRead { cpu: *cpu, pa: *pa });
-                }
             MEvent::MemWrite { who, pa, .. }
-                if *who != Principal::KCore && is_kcore_private(pfn_of(*pa)) => {
-                    violations.push(WdrfViolation::UserWriteToKernel { who: *who, pa: *pa });
-                }
+                if *who != Principal::KCore && is_kcore_private(pfn_of(*pa)) =>
+            {
+                violations.push(WdrfViolation::UserWriteToKernel { who: *who, pa: *pa });
+            }
             _ => {}
         }
     }
@@ -340,7 +340,10 @@ mod tests {
         assert!(
             v.iter().any(|x| matches!(
                 x,
-                WdrfViolation::MissingTlbi { tlbi_seen: true, .. }
+                WdrfViolation::MissingTlbi {
+                    tlbi_seen: true,
+                    ..
+                }
             )),
             "{v:?}"
         );

@@ -64,7 +64,13 @@ fn main() {
             .outcomes;
         let sc = enumerate_sc(&ex.buggy).unwrap();
         println!("{}", ex.name);
-        println!("  {}", ex.description.split_whitespace().collect::<Vec<_>>().join(" "));
+        println!(
+            "  {}",
+            ex.description
+                .split_whitespace()
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
         let cond: Vec<String> = ex.rm_only.iter().map(|(n, v)| format!("{n}={v}")).collect();
         println!(
             "  [{}] is {} on Arm, {} on SC",

@@ -124,7 +124,7 @@ fn main() {
     println!("[4/4] Mutant suite: every safeguard removal is caught");
     for mutant in mutants::all() {
         let caught = match mutant.caught_by {
-            mutants::CaughtBy::SequentialTlbi => {
+            mutants::CaughtBy::SequentialTlbi | mutants::CaughtBy::LockDiscipline => {
                 let mut m = Machine::new(mutant.cfg, scripts(2), 99);
                 m.run(1_000_000);
                 !validate_log(&m.kcore.log).is_empty()

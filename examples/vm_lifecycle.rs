@@ -49,8 +49,14 @@ fn main() {
     let sekvm = HypConfig::new(HypKind::SeKvm, KernelVersion::V4_18);
     let mk = simulate_micro(hw, kvm);
     let ms = simulate_micro(hw, sekvm);
-    println!("m400 hypercall cost: KVM {} cycles, SeKVM {} cycles", mk.hypercall, ms.hypercall);
-    let apache = workloads().into_iter().find(|w| w.name == "Apache").unwrap();
+    println!(
+        "m400 hypercall cost: KVM {} cycles, SeKVM {} cycles",
+        mk.hypercall, ms.hypercall
+    );
+    let apache = workloads()
+        .into_iter()
+        .find(|w| w.name == "Apache")
+        .unwrap();
     println!(
         "Apache on m400, normalized to native: KVM {:.3}, SeKVM {:.3}",
         simulate_app(hw, kvm, &apache).normalized,

@@ -12,7 +12,9 @@
 //! * [`sekvm`] — the executable SeKVM/KCore hypervisor model with dynamic
 //!   wDRF and security validation;
 //! * [`hwsim`] — the cycle-approximate performance simulator regenerating
-//!   the paper's evaluation.
+//!   the paper's evaluation;
+//! * [`mutate`] — the mutation-testing campaign proving those checkers
+//!   kill injected relaxed-memory bugs (see the `mutate` binary).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -22,4 +24,5 @@ pub use vrm_core as core;
 pub use vrm_hwsim as hwsim;
 pub use vrm_memmodel as memmodel;
 pub use vrm_mmu as mmu;
+pub use vrm_mutate as mutate;
 pub use vrm_sekvm as sekvm;

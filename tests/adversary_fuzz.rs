@@ -33,15 +33,26 @@ fn boot_vm(k: &mut KCore, cpu: usize, base_pfn: u64) -> u32 {
 /// Secret marker written into every page the VM owns.
 const SECRET: u64 = 0x5ec5ec5ec;
 
+/// Base seed for every randomized run, overridable with `VRM_FUZZ_SEED`
+/// to reproduce (or widen) a failing campaign; each test offsets from it.
+fn base_seed() -> u64 {
+    std::env::var("VRM_FUZZ_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
 #[test]
 fn randomized_kserv_attacks_never_breach_isolation() {
-    for seed in 0..6u64 {
+    let base = base_seed();
+    for seed in base..base + 6 {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut k = KCore::boot(KCoreConfig::default());
         let vmid = boot_vm(&mut k, 0, VM_POOL_PFN.0);
         // Mark the VM's pages with secrets.
         let gpa_data = 64 * PAGE_WORDS;
-        k.handle_s2_fault(0, vmid, gpa_data, VM_POOL_PFN.0 + 4).unwrap();
+        k.handle_s2_fault(0, vmid, gpa_data, VM_POOL_PFN.0 + 4)
+            .unwrap();
         k.vm_write(0, vmid, gpa_data, SECRET).unwrap();
         k.vm_write(0, vmid, 0, SECRET).unwrap();
         let vm_pfns = k.s2pages.owned_by(Owner::Vm(vmid));
@@ -70,10 +81,10 @@ fn randomized_kserv_attacks_never_breach_isolation() {
                 }
                 // Donating a VM page to another VM.
                 3 => {
-                    let r = k.register_vm(1).and_then(|v2| {
-                        k.handle_s2_fault(1, v2, 0, vm_pfn).map(|_| v2)
-                    });
-                    assert!(r.is_err(), "seed {seed}: stole VM page via fault");
+                    let r = k
+                        .register_vm(1)
+                        .and_then(|v2| k.handle_s2_fault(1, v2, 0, vm_pfn).map(|_| v2));
+                    assert!(r.is_err(), "VRM_FUZZ_SEED={seed}: stole VM page via fault");
                 }
                 // Mapping VM or KCore pages for DMA via a KServ device.
                 4 => {
@@ -98,8 +109,8 @@ fn randomized_kserv_attacks_never_breach_isolation() {
         // violations were induced.
         assert_eq!(k.vm_read(0, vmid, gpa_data).unwrap(), SECRET);
         assert_eq!(k.vm_read(0, vmid, 0).unwrap(), SECRET);
-        assert!(check_invariants(&k).is_empty(), "seed {seed}");
-        assert!(validate_log(&k.log).is_empty(), "seed {seed}");
+        assert!(check_invariants(&k).is_empty(), "VRM_FUZZ_SEED={seed}");
+        assert!(validate_log(&k.log).is_empty(), "VRM_FUZZ_SEED={seed}");
     }
 }
 
@@ -107,7 +118,7 @@ fn randomized_kserv_attacks_never_breach_isolation() {
 fn randomized_attacks_with_sharing_window() {
     // Even while one page is legitimately granted, everything else stays
     // protected, and revocation closes the window.
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = StdRng::seed_from_u64(base_seed().wrapping_add(99));
     let mut k = KCore::boot(KCoreConfig::default());
     let vmid = boot_vm(&mut k, 0, VM_POOL_PFN.0);
     let gpa = 64 * PAGE_WORDS;

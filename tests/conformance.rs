@@ -18,7 +18,11 @@ fn battery_conformance_full() {
             "{}: operational and axiomatic disagree\noperational:\n{}\naxiomatic:\n{}",
             c.name, c.promising, c.axiomatic
         );
-        assert!(c.sc_subsumed, "{}: SC produced an outcome RM cannot", c.name);
+        assert!(
+            c.sc_subsumed,
+            "{}: SC produced an outcome RM cannot",
+            c.name
+        );
         assert!(c.verdicts_match, "{}: architectural verdict wrong", c.name);
     }
 }
@@ -52,5 +56,8 @@ fn battery_covers_both_verdicts() {
     let allowed = tests.iter().filter(|t| t.allowed_on_arm).count();
     let forbidden = tests.iter().filter(|t| !t.allowed_on_arm).count();
     assert!(allowed >= 5, "need relaxed-allowed shapes ({allowed})");
-    assert!(forbidden >= 10, "need relaxed-forbidden shapes ({forbidden})");
+    assert!(
+        forbidden >= 10,
+        "need relaxed-forbidden shapes ({forbidden})"
+    );
 }

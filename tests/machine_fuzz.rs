@@ -94,9 +94,19 @@ fn random_script(rng: &mut StdRng, cpu: u64) -> Script {
     script
 }
 
+/// Base seed for the campaign, overridable with `VRM_FUZZ_SEED` to
+/// reproduce (or widen) a failing run.
+fn base_seed() -> u64 {
+    std::env::var("VRM_FUZZ_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
 #[test]
 fn fuzzed_machine_runs_stay_clean() {
-    for seed in 0..10u64 {
+    let base = base_seed();
+    for seed in base..base + 10 {
         let mut rng = StdRng::seed_from_u64(seed);
         let ncpus = rng.gen_range(2..6);
         let scripts: Vec<Script> = (0..ncpus)
@@ -114,12 +124,18 @@ fn fuzzed_machine_runs_stay_clean() {
             let report = m.run(5_000_000);
             assert!(
                 report.clean(),
-                "seed {seed} levels {levels}: {report:?}"
+                "VRM_FUZZ_SEED={seed} levels {levels}: {report:?}"
             );
             let wdrf = validate_log(&m.kcore.log);
-            assert!(wdrf.is_empty(), "seed {seed} levels {levels}: {wdrf:?}");
+            assert!(
+                wdrf.is_empty(),
+                "VRM_FUZZ_SEED={seed} levels {levels}: {wdrf:?}"
+            );
             let inv = check_invariants(&m.kcore);
-            assert!(inv.is_empty(), "seed {seed} levels {levels}: {inv:?}");
+            assert!(
+                inv.is_empty(),
+                "VRM_FUZZ_SEED={seed} levels {levels}: {inv:?}"
+            );
         }
     }
 }

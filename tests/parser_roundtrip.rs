@@ -1,0 +1,71 @@
+//! Round-trip: pretty-printing every parsed `.litmus` file back to
+//! source and re-parsing it must reproduce the identical program,
+//! checks, location map and config. This pins the `Display` impl to the
+//! grammar so the two can never drift apart.
+
+use vrm::memmodel::parser::parse;
+
+#[test]
+fn corpus_round_trips_through_display() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/litmus");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("litmus/ directory")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "litmus"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 23, "expected a corpus, found {files:?}");
+    for path in files {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let first = parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let printed = first.to_string();
+        let second = parse(&printed)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}\n{printed}", path.display()));
+        assert_eq!(
+            first.program,
+            second.program,
+            "{}: program drifted\n--- printed ---\n{printed}",
+            path.display()
+        );
+        assert_eq!(
+            first.checks,
+            second.checks,
+            "{}: checks drifted\n{printed}",
+            path.display()
+        );
+        assert_eq!(
+            first.locations,
+            second.locations,
+            "{}: location map drifted\n{printed}",
+            path.display()
+        );
+        assert_eq!(
+            first.run_axiomatic,
+            second.run_axiomatic,
+            "{}",
+            path.display()
+        );
+        assert_eq!(
+            first.promising.promises,
+            second.promising.promises,
+            "{}",
+            path.display()
+        );
+        assert_eq!(
+            first.promising.max_promises_per_thread,
+            second.promising.max_promises_per_thread,
+            "{}",
+            path.display()
+        );
+        assert_eq!(
+            first.promising.value_cfg.max_rounds,
+            second.promising.value_cfg.max_rounds,
+            "{}",
+            path.display()
+        );
+
+        // And the printer is a fixed point: print(parse(print(p))) == print(p).
+        assert_eq!(printed, second.to_string(), "{}", path.display());
+    }
+}

@@ -94,7 +94,10 @@ fn dma_cannot_touch_other_principals() {
     let b_pfn = k.vm(b).unwrap().image_pfns[0];
     // Device of VM a can map a's pages but not b's, KServ's, or KCore's.
     k.smmu_map(0, 0, 0, a_pfn).unwrap();
-    assert_eq!(k.smmu_map(0, 0, 64, b_pfn), Err(HypercallError::AccessDenied));
+    assert_eq!(
+        k.smmu_map(0, 0, 64, b_pfn),
+        Err(HypercallError::AccessDenied)
+    );
     assert_eq!(
         k.smmu_map(0, 0, 64, VM_POOL_PFN.1 - 1),
         Err(HypercallError::AccessDenied)

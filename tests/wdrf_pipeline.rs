@@ -133,7 +133,7 @@ fn mutants_are_rejected() {
     use vrm::sekvm::mutants::{all, CaughtBy};
     for mutant in all() {
         match mutant.caught_by {
-            CaughtBy::SequentialTlbi => {
+            CaughtBy::SequentialTlbi | CaughtBy::LockDiscipline => {
                 let mut m = Machine::new(mutant.cfg, scripts(2), 5);
                 m.run(1_000_000);
                 assert!(

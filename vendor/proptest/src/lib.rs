@@ -316,13 +316,13 @@ impl From<usize> for SizeRange {
 
 /// The glob-import surface, mirroring `proptest::prelude::*`.
 pub mod prelude {
+    /// Re-export so `proptest::collection::vec` resolves through the
+    /// prelude-imported crate name as well.
+    pub use crate as proptest;
     pub use crate::{
         prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just, ProptestConfig,
         Strategy, TestCaseError,
     };
-    /// Re-export so `proptest::collection::vec` resolves through the
-    /// prelude-imported crate name as well.
-    pub use crate as proptest;
 }
 
 /// Uniform choice among strategies producing the same value type.
@@ -440,10 +440,7 @@ mod tests {
     }
 
     fn arb_shape() -> impl Strategy<Value = Shape> {
-        prop_oneof![
-            Just(Shape::Dot),
-            (1..10u64).prop_map(Shape::Line),
-        ]
+        prop_oneof![Just(Shape::Dot), (1..10u64).prop_map(Shape::Line),]
     }
 
     proptest! {
