@@ -26,11 +26,23 @@ fn main() {
     for ex in all() {
         println!("=== {} ===", ex.name);
         println!("    violates: {}", ex.violated_condition);
-        let rm = enumerate_promising_with(&ex.buggy, &cfg(ex.needs_promises))
-            .expect("promising enumeration")
-            .outcomes;
+        let rm_res = enumerate_promising_with(&ex.buggy, &cfg(ex.needs_promises))
+            .expect("promising enumeration");
+        let rm = rm_res.outcomes;
         let sc = enumerate_sc(&ex.buggy).expect("SC enumeration");
         let cond: Vec<String> = ex.rm_only.iter().map(|(n, v)| format!("{n}={v}")).collect();
+        if rm_res.truncated || sc.truncated() {
+            // An absent outcome from a truncated enumeration proves
+            // nothing: refuse the ALLOWED/FORBIDDEN claims entirely.
+            println!(
+                "    condition {:?}: UNKNOWN (enumeration truncated after {} RM / {} SC outcomes)",
+                cond.join(", "),
+                rm.len(),
+                sc.len()
+            );
+            println!();
+            continue;
+        }
         println!(
             "    condition {:?}: on Arm RM = {}, on SC = {}",
             cond.join(", "),

@@ -8,7 +8,12 @@
 //! $ cargo run -p vrm-bench --bin litmus -- litmus/mp.litmus  # one file
 //! $ cargo run -p vrm-bench --bin litmus -- --jobs 8 litmus/  # parallel drivers
 //! $ cargo run -p vrm-bench --bin litmus -- --witness flag=1,data=0 litmus/mp.litmus
+//! $ cargo run -p vrm-bench --bin litmus -- --max-states 100 litmus/  # under-budgeted
 //! ```
+//!
+//! Exit codes: `0` — every file PASSed; `1` — at least one FAIL;
+//! `3` — no FAILs, but at least one UNKNOWN (an enumeration was cut
+//! short by a budget, so the verdict would be unsound either way).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -40,6 +45,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut witness_spec: Option<Vec<(String, u64)>> = None;
     let mut jobs: Option<usize> = None;
+    let mut max_states: Option<usize> = None;
     let mut paths = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -47,6 +53,11 @@ fn main() -> ExitCode {
             "--jobs" => {
                 let n = args.get(i + 1).expect("--jobs needs a worker count");
                 jobs = Some(n.parse().expect("numeric worker count"));
+                i += 2;
+            }
+            "--max-states" => {
+                let n = args.get(i + 1).expect("--max-states needs a state budget");
+                max_states = Some(n.parse().expect("numeric state budget"));
                 i += 2;
             }
             "--witness" => {
@@ -68,11 +79,15 @@ fn main() -> ExitCode {
         }
     }
     if paths.is_empty() {
-        eprintln!("usage: litmus [--jobs N] [--witness name=val,...] <file.litmus | dir> ...");
+        eprintln!(
+            "usage: litmus [--jobs N] [--max-states N] [--witness name=val,...] \
+             <file.litmus | dir> ..."
+        );
         return ExitCode::FAILURE;
     }
 
     let mut failures = 0usize;
+    let mut unknowns = 0usize;
     for path in &paths {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -93,16 +108,26 @@ fn main() -> ExitCode {
         if let Some(jobs) = jobs {
             parsed.promising.jobs = jobs;
         }
+        if let Some(n) = max_states {
+            parsed.promising.max_states = n;
+        }
         let prog = &parsed.program;
         print!("{:<28}", prog.name);
         let mut sc_cfg = ScConfig::default();
         if let Some(jobs) = jobs {
             sc_cfg.jobs = jobs;
         }
+        if let Some(n) = max_states {
+            sc_cfg.max_states = n;
+        }
         let sc = enumerate_sc_with(prog, &sc_cfg).expect("SC enumeration");
-        let rm = enumerate_promising_with(prog, &parsed.promising)
-            .expect("promising enumeration")
-            .outcomes;
+        let rm_res = enumerate_promising_with(prog, &parsed.promising).expect("promising");
+        // A budget-truncated walk on either reference model makes every
+        // comparison unsound in both directions: degrade to UNKNOWN.
+        let truncated = sc.truncated() || rm_res.truncated;
+        let mut stats = sc.stats;
+        stats.absorb(&rm_res.outcomes.stats);
+        let rm = rm_res.outcomes;
         // None for VM/TLB programs, disabled files, or truncated
         // (unroll-bounded) enumerations where comparison is unsound.
         let ax = if parsed.run_axiomatic {
@@ -171,9 +196,20 @@ fn main() -> ExitCode {
                 if holds { "ok" } else { "FAIL" }
             );
         }
-        println!("  {}", if ok { "PASS" } else { "FAIL" });
-        if !ok {
-            failures += 1;
+        if truncated {
+            let coverage =
+                vrm_explore::Coverage::from_stats(&stats).unwrap_or(vrm_explore::Coverage {
+                    states: stats.states,
+                    frontier_len: 0,
+                    reason: vrm_explore::TruncationReason::StateLimit,
+                });
+            println!("  UNKNOWN ({coverage})");
+            unknowns += 1;
+        } else {
+            println!("  {}", if ok { "PASS" } else { "FAIL" });
+            if !ok {
+                failures += 1;
+            }
         }
         if let Some(spec) = &witness_spec {
             let bindings: Vec<(&str, u64)> = spec.iter().map(|(n, v)| (n.as_str(), *v)).collect();
@@ -188,10 +224,13 @@ fn main() -> ExitCode {
             }
         }
     }
-    if failures == 0 {
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("{failures} failure(s)");
+    if failures > 0 {
+        eprintln!("{failures} failure(s), {unknowns} unknown");
         ExitCode::FAILURE
+    } else if unknowns > 0 {
+        eprintln!("{unknowns} unknown (exploration truncated; no verdict)");
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -13,7 +13,7 @@
 
 use std::process::ExitCode;
 
-use vrm_mutate::{curated, not_killed, run, to_json, to_table, CampaignConfig};
+use vrm_mutate::{curated, not_killed, run, to_json, to_table, CampaignConfig, Status};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -72,6 +72,9 @@ fn main() -> ExitCode {
     if missed.is_empty() {
         ExitCode::SUCCESS
     } else {
+        // Unknown-only misses (truncated oracles, no verdict) use the
+        // shared exit-code convention: 3 instead of a hard failure code.
+        let all_unknown = missed.iter().all(|r| r.status == Status::Unknown);
         for r in missed {
             eprintln!(
                 "NOT KILLED: {} ({}) — {}",
@@ -80,6 +83,10 @@ fn main() -> ExitCode {
                 r.detail
             );
         }
-        ExitCode::FAILURE
+        if all_unknown {
+            ExitCode::from(3)
+        } else {
+            ExitCode::FAILURE
+        }
     }
 }

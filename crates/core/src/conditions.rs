@@ -67,6 +67,11 @@ pub struct ConditionReport {
     pub holds: bool,
     /// Human-readable evidence (violations, statistics).
     pub details: Vec<String>,
+    /// `true` if the analysis behind this report hit a bound. A found
+    /// violation (`holds == false`) is still real, but `holds == true`
+    /// over a truncated analysis only means "no violation found so far"
+    /// — the overall verdict must degrade to Unknown.
+    pub truncated: bool,
 }
 
 impl ConditionReport {
@@ -75,6 +80,7 @@ impl ConditionReport {
             condition,
             holds: true,
             details,
+            truncated: false,
         }
     }
 
@@ -83,6 +89,7 @@ impl ConditionReport {
             condition,
             holds: false,
             details,
+            truncated: false,
         }
     }
 }
@@ -92,7 +99,13 @@ impl fmt::Display for ConditionReport {
         writeln!(
             f,
             "[{}] {}",
-            if self.holds { "PASS" } else { "FAIL" },
+            if !self.holds {
+                "FAIL"
+            } else if self.truncated {
+                "UNKNOWN"
+            } else {
+                "PASS"
+            },
             self.condition
         )?;
         for d in &self.details {
@@ -120,6 +133,7 @@ pub fn check_sync_conditions(
             condition: cond,
             holds,
             details,
+            truncated: r.truncated,
         }
     };
     out.push(mk(
@@ -398,13 +412,15 @@ pub fn check_memory_isolation(
             }
         }
     }
+    let holds = failures.is_empty();
     if va.truncated {
-        failures.push("warning: value analysis truncated".into());
+        failures.push("warning: value analysis truncated; access sets may be incomplete".into());
     }
-    if failures.iter().all(|f| f.starts_with("warning")) {
-        ConditionReport::ok(Condition::MemoryIsolation, failures)
-    } else {
-        ConditionReport::fail(Condition::MemoryIsolation, failures)
+    ConditionReport {
+        condition: Condition::MemoryIsolation,
+        holds,
+        details: failures,
+        truncated: va.truncated,
     }
 }
 

@@ -21,7 +21,7 @@
 
 use std::collections::BTreeSet;
 
-use vrm_explore::{ExploreConfig, ExploreStats};
+use vrm_explore::{Coverage, ExploreConfig, ExploreStats, TruncationReason, Verdict};
 use vrm_memmodel::ir::{Inst, Program, Reg, Thread};
 use vrm_memmodel::outcome::{Outcome, OutcomeSet, ThreadExit};
 use vrm_memmodel::promising::{enumerate_promising_with, PromisingConfig};
@@ -93,8 +93,37 @@ pub struct WdrfVerdict {
 
 impl WdrfVerdict {
     /// `true` iff all checked conditions hold and RM ⊆ SC.
+    ///
+    /// Only meaningful when [`truncated`](Self::truncated) is `false`;
+    /// use [`verdict`](Self::verdict) for the sound three-valued answer.
     pub fn holds(&self) -> bool {
         self.conditions.iter().all(|c| c.holds) && self.rm_subset_of_sc
+    }
+
+    /// The sound three-valued verdict.
+    ///
+    /// Any truncation — of the RM enumeration, the SC enumeration, or
+    /// any condition's underlying analysis — yields `Unknown`: a missing
+    /// RM outcome could turn a PASS into a FAIL, and a missing SC
+    /// outcome could turn an apparent counterexample into a match, so a
+    /// truncated walk must never be allowed to flip a verdict in either
+    /// direction.
+    pub fn verdict(&self) -> Verdict {
+        if self.truncated {
+            // Out-of-band truncation (certification budget, value
+            // analysis) may not show up in the walk stats; synthesize a
+            // coverage so Unknown always carries one.
+            let coverage = Coverage::from_stats(&self.stats).unwrap_or(Coverage {
+                states: self.stats.states,
+                frontier_len: 0,
+                reason: TruncationReason::StateLimit,
+            });
+            Verdict::Unknown { coverage }
+        } else if self.holds() {
+            Verdict::Pass
+        } else {
+            Verdict::Fail
+        }
     }
 }
 
@@ -103,18 +132,28 @@ impl std::fmt::Display for WdrfVerdict {
         for c in &self.conditions {
             write!(f, "{c}")?;
         }
-        writeln!(
-            f,
-            "[{}] wDRF theorem: RM observable behaviours {} SC behaviours ({} vs {})",
-            if self.rm_subset_of_sc { "PASS" } else { "FAIL" },
-            if self.rm_subset_of_sc {
-                "are a subset of"
-            } else {
-                "EXCEED"
-            },
-            self.rm.len(),
-            self.sc.len()
-        )?;
+        if let Verdict::Unknown { coverage } = self.verdict() {
+            writeln!(
+                f,
+                "[UNKNOWN] wDRF theorem: exploration truncated ({coverage}); \
+                 {} RM vs {} SC behaviours seen, no verdict",
+                self.rm.len(),
+                self.sc.len()
+            )?;
+        } else {
+            writeln!(
+                f,
+                "[{}] wDRF theorem: RM observable behaviours {} SC behaviours ({} vs {})",
+                if self.rm_subset_of_sc { "PASS" } else { "FAIL" },
+                if self.rm_subset_of_sc {
+                    "are a subset of"
+                } else {
+                    "EXCEED"
+                },
+                self.rm.len(),
+                self.sc.len()
+            )?;
+        }
         for cex in &self.counterexamples {
             writeln!(f, "    RM-only: {cex}")?;
         }
@@ -266,9 +305,6 @@ pub fn check_wdrf(
         let mut sync_cfg = cfg.promising.clone();
         sync_cfg.jobs = cfg.jobs;
         let sync = check_sync_conditions(prog, spec, &sync_cfg)?;
-        truncated |= sync
-            .iter()
-            .any(|c| c.details.iter().any(|d| d.starts_with("warning")));
         conditions.extend(sync);
     }
     if prog.uses_vm() || !spec.user_pt.is_empty() {
@@ -300,6 +336,8 @@ pub fn check_wdrf(
     stats.absorb(&sc_raw.stats);
     let sc = project_kernel(&sc_raw, spec);
 
+    truncated |= stats.completeness.is_truncated();
+    truncated |= conditions.iter().any(|c| c.truncated);
     let counterexamples = rm.difference(&sc);
     Ok(WdrfVerdict {
         conditions,
@@ -444,6 +482,43 @@ mod tests {
             "counterexamples: {:?}",
             v.counterexamples
         );
+    }
+
+    #[test]
+    fn under_budgeted_check_is_unknown_never_pass_or_fail() {
+        // MP-without-barriers genuinely FAILs when exhaustive (see
+        // `mp_without_barriers_flagged_by_theorem`); starved of states the
+        // check must refuse to conclude either way.
+        let (x, f) = (0x10u64, 0x20u64);
+        let mut p = ProgramBuilder::new("MP-kernel");
+        p.thread("k0", |t| {
+            t.store(x, 42u64, false);
+            t.store(f, 1u64, false);
+        });
+        p.thread("k1", |t| {
+            t.load(Reg(0), f, false);
+            t.load(Reg(1), x, false);
+        });
+        p.observe_reg("f", 1, Reg(0));
+        p.observe_reg("d", 1, Reg(1));
+        let spec = KernelSpec::for_kernel_threads([0, 1]);
+        let mut cfg = WdrfCheckConfig {
+            skip_sync_conditions: true,
+            jobs: 1,
+            ..Default::default()
+        };
+        cfg.promising.max_states = 4;
+        cfg.sc.max_states = 4;
+        let v = check_wdrf(&p.build(), &spec, &cfg).unwrap();
+        assert!(v.truncated);
+        match v.verdict() {
+            vrm_explore::Verdict::Unknown { coverage } => {
+                assert!(coverage.states > 0, "coverage must be nonzero: {coverage}");
+            }
+            other => panic!("under-budgeted check must be Unknown, got {other}"),
+        }
+        let shown = v.to_string();
+        assert!(shown.contains("[UNKNOWN]"), "{shown}");
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Deterministic, seed-driven fault injection for the exploration
+//! engine.
+//!
+//! The point of the robustness layer in `vrm-explore` — worker
+//! containment, partial results, checkpoint/resume — is that it keeps
+//! working when things go wrong. This crate manufactures the "wrong":
+//! when the `VRM_FAULT_SEED` environment variable is set, the drivers
+//! poll [`poll`] at their yield points and occasionally receive an
+//! order to panic, stall, or pretend an allocation failed. CI runs the
+//! whole test suite under several pinned seeds; every test must still
+//! pass, which is exactly the claim the containment machinery makes.
+//!
+//! Design constraints, all load-bearing:
+//!
+//! * **Deterministic in the seed.** Every decision is a pure function
+//!   of `(seed, poll index)` via a splitmix64 mix; the only global
+//!   state is one atomic poll counter. Under parallel drivers the
+//!   *assignment* of poll indices to threads still races, so two runs
+//!   with the same seed inject the same multiset of faults at the same
+//!   density but not necessarily on the same thread — which is the
+//!   interesting case for containment anyway.
+//! * **Soundness-preserving.** Faults are only ever *liveness* hazards,
+//!   never *safety* hazards: a worker may die or stall, but the driver
+//!   must still visit every state. That is why [`Site::Sequential`]
+//!   only receives [`FaultKind::Delay`] — there is no second worker to
+//!   absorb a sequential walk's frontier, so killing it would turn an
+//!   exhaustive result into a truncated one and flip test verdicts.
+//! * **Near-zero cost when disarmed.** With `VRM_FAULT_SEED` unset,
+//!   [`poll`] is one `OnceLock` load and a branch.
+//!
+//! The driver — not this crate — decides whether a fault is *allowed*
+//! (e.g. the last surviving worker must refuse to die); this crate only
+//! proposes. An injected panic carries [`InjectedPanic`] as its payload
+//! so the containment handler can tell it apart from a genuine bug in a
+//! model's `expand`.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// What the injector proposes at one yield point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic the current worker (parallel drivers only). The panic
+    /// payload is [`InjectedPanic`].
+    WorkerPanic,
+    /// Stall briefly, perturbing schedules and steal patterns.
+    Delay,
+    /// Pretend an allocation failed: the worker retires gracefully,
+    /// handing its queue to survivors (parallel drivers only).
+    AllocFail,
+}
+
+/// Where in a driver the poll happens; gates which faults may fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Site {
+    /// Top of a parallel worker's loop: all fault kinds allowed.
+    ParallelWorker,
+    /// The sequential driver's loop: only [`FaultKind::Delay`] — the
+    /// sole worker owns the whole frontier, so killing it would change
+    /// results rather than merely degrade performance.
+    Sequential,
+}
+
+/// Panic payload of an injected [`FaultKind::WorkerPanic`], so the
+/// engine's containment handler can distinguish injected deaths (whose
+/// liveness accounting the driver settles *before* panicking) from
+/// genuine `expand` bugs.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedPanic;
+
+/// Environment variable naming the injection seed. Unset ⇒ disarmed.
+pub const SEED_ENV: &str = "VRM_FAULT_SEED";
+
+static SEED: OnceLock<Option<u64>> = OnceLock::new();
+static POLLS: AtomicU64 = AtomicU64::new(0);
+
+/// The configured seed, read once from [`SEED_ENV`]; `None` disarms
+/// the injector entirely.
+pub fn seed() -> Option<u64> {
+    *SEED.get_or_init(|| {
+        std::env::var(SEED_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+    })
+}
+
+/// `true` iff a fault seed is configured.
+pub fn armed() -> bool {
+    seed().is_some()
+}
+
+/// splitmix64: a full-period mixer whose output is well distributed
+/// even for sequential inputs (Steele, Lea & Flood's SplittableRandom
+/// finalizer). Public so tests can pin decision sequences.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Roughly one poll in this many fires a fault (prime, so the firing
+/// pattern never phase-locks with power-of-two loop structures).
+const FIRE_PERIOD: u64 = 1021;
+
+/// One yield-point poll: returns a proposed fault, or `None` (the
+/// overwhelmingly common case). Pure in `(seed, poll index, site)`.
+pub fn poll(site: Site) -> Option<FaultKind> {
+    let seed = seed()?;
+    let n = POLLS.fetch_add(1, Ordering::Relaxed);
+    decide(seed, n, site)
+}
+
+/// The decision function behind [`poll`], split out for determinism
+/// tests: seed + poll index + site → proposed fault.
+pub fn decide(seed: u64, index: u64, site: Site) -> Option<FaultKind> {
+    let r = splitmix64(seed ^ index.wrapping_mul(0x2545f4914f6cdd1d));
+    if !r.is_multiple_of(FIRE_PERIOD) {
+        return None;
+    }
+    let kind = match (r / FIRE_PERIOD) % 10 {
+        0..=4 => FaultKind::Delay,
+        5..=7 => FaultKind::WorkerPanic,
+        _ => FaultKind::AllocFail,
+    };
+    match (site, kind) {
+        (Site::Sequential, FaultKind::Delay) => Some(FaultKind::Delay),
+        (Site::Sequential, _) => None,
+        (Site::ParallelWorker, k) => Some(k),
+    }
+}
+
+/// Panics the current thread with the [`InjectedPanic`] marker payload.
+/// Callers must settle their liveness accounting (e.g. "am I the last
+/// worker?") before calling.
+pub fn inject_panic() -> ! {
+    std::panic::panic_any(InjectedPanic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_in_seed_and_index() {
+        for seed in [1u64, 42, 0xdead_beef] {
+            let a: Vec<_> = (0..10_000)
+                .map(|i| decide(seed, i, Site::ParallelWorker))
+                .collect();
+            let b: Vec<_> = (0..10_000)
+                .map(|i| decide(seed, i, Site::ParallelWorker))
+                .collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn fire_rate_is_rare_but_nonzero() {
+        let fired = (0..100_000u64)
+            .filter(|&i| decide(7, i, Site::ParallelWorker).is_some())
+            .count();
+        // Expected ~98 at 1/1021; generous brackets keep this stable
+        // across any future mixer tweak.
+        assert!(fired > 10, "injector never fires: {fired}");
+        assert!(fired < 1_000, "injector fires far too often: {fired}");
+    }
+
+    #[test]
+    fn sequential_site_only_sees_delays() {
+        for i in 0..200_000u64 {
+            match decide(99, i, Site::Sequential) {
+                None | Some(FaultKind::Delay) => {}
+                Some(k) => panic!("sequential site proposed {k:?} at index {i}"),
+            }
+        }
+    }
+
+    #[test]
+    fn all_kinds_eventually_fire_in_parallel_site() {
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..500_000u64 {
+            if let Some(k) = decide(3, i, Site::ParallelWorker) {
+                seen.insert(format!("{k:?}"));
+            }
+        }
+        assert_eq!(seen.len(), 3, "kinds seen: {seen:?}");
+    }
+
+    #[test]
+    fn disarmed_injector_is_inert() {
+        // The test environment must not set the seed for unit tests.
+        if std::env::var(SEED_ENV).is_err() {
+            assert!(!armed());
+            assert_eq!(poll(Site::ParallelWorker), None);
+        }
+    }
+}

@@ -74,7 +74,8 @@ pub enum AxError {
     Unsupported(&'static str),
     /// A candidate execution had more than [`MAX_EVENTS`] events.
     TooManyEvents,
-    /// The candidate bound was exceeded.
+    /// The candidate bound was exceeded (legacy: the enumeration now
+    /// truncates — see [`AxResult::truncated`] — instead of erroring).
     CandidateLimit,
 }
 
@@ -812,13 +813,22 @@ pub fn enumerate_axiomatic_with(prog: &Program, cfg: &AxConfig) -> Result<AxResu
     let total: u64 = thread_paths.iter().map(|p| p.len() as u64).product();
     let counter = AtomicUsize::new(0);
     let ecfg = ExploreConfig::default().jobs(cfg.jobs);
-    let swept = vrm_explore::partition(total, &ecfg, |range| {
+    // `partition` is infallible — each chunk carries its own
+    // success-or-error payload, and the first failing chunk in index
+    // order wins, mirroring where the sequential loop would have
+    // stopped. Exceeding the candidate budget is *truncation* (the
+    // outcomes found so far are a sound subset), not an error.
+    let (partials, stats) = vrm_explore::partition(total, &ecfg, |range| {
         let mut partial = AxResult {
             outcomes: OutcomeSet::new(),
             candidates: 0,
             truncated: false,
         };
         for k in range {
+            if counter.load(Ordering::Relaxed) > cfg.max_candidates {
+                partial.truncated = true;
+                break;
+            }
             let mut rem = k;
             let combo: Vec<&LocalPath> = thread_paths
                 .iter()
@@ -828,24 +838,16 @@ pub fn enumerate_axiomatic_with(prog: &Program, cfg: &AxConfig) -> Result<AxResu
                     &paths[i]
                 })
                 .collect();
-            if let Err(e) = check_combo(prog, &combo, cfg, &counter, &mut partial) {
-                return Ok(Err(e));
-            }
+            check_combo(prog, &combo, cfg, &counter, &mut partial)?;
         }
-        Ok(Ok(partial))
+        Ok(partial)
     });
-    // No deadline or state limit is configured, so the sweep itself
-    // cannot fail; only `check_combo` errors (carried in the chunk
-    // payloads) can.
-    let (partials, stats) = swept.expect("index sweep has no engine-level bounds");
     let mut result = AxResult {
         outcomes: OutcomeSet::new(),
         candidates: 0,
         truncated: pe.truncated,
     };
     for partial in partials {
-        // First failing chunk in index order wins, mirroring where the
-        // sequential loop would have stopped.
         let partial = partial?;
         result.truncated |= partial.truncated;
         for o in partial.outcomes.iter() {
@@ -854,6 +856,7 @@ pub fn enumerate_axiomatic_with(prog: &Program, cfg: &AxConfig) -> Result<AxResu
     }
     result.candidates = counter.load(Ordering::Relaxed);
     result.outcomes.stats = stats;
+    result.truncated |= stats.completeness.is_truncated();
     Ok(result)
 }
 
@@ -949,7 +952,11 @@ fn check_combo(
         loop {
             result.candidates += 1;
             if counter.fetch_add(1, Ordering::Relaxed) + 1 > cfg.max_candidates {
-                return Err(AxError::CandidateLimit);
+                // Budget exhausted: stop this combo and report the
+                // outcomes found so far as a truncated (sound subset)
+                // result rather than erroring.
+                result.truncated = true;
+                return Ok(());
             }
             let mut co_pos = vec![0usize; n];
             for (li, order) in co_orders.iter().enumerate() {

@@ -13,6 +13,7 @@ use crate::ir::{BinOp, Cond, Expr, Fence, Inst, Program, Reg, RmwOp, Val};
 use crate::outcome::OutcomeSet;
 use crate::promising::{enumerate_promising_with, PromisingConfig};
 use crate::sc::{enumerate_sc, enumerate_sc_with, ExploreError, ScConfig};
+use vrm_explore::{Coverage, TruncationReason, Verdict};
 
 const X: u64 = 0x10;
 const Y: u64 = 0x20;
@@ -55,12 +56,45 @@ pub struct Conformance {
     pub sc_subsumed: bool,
     /// Did the verdicts match the test's expectations?
     pub verdicts_match: bool,
+    /// Was any of the three enumerations cut short by a budget? When
+    /// `true` the outcome sets are sound *subsets* and every cross-model
+    /// comparison above is inconclusive rather than pass/fail.
+    pub truncated: bool,
 }
 
 impl Conformance {
     /// `true` if every check passed.
+    ///
+    /// Note this is only meaningful when [`truncated`](Self::truncated)
+    /// is `false`; callers that need the sound three-valued answer
+    /// should use [`verdict`](Self::verdict).
     pub fn ok(&self) -> bool {
         self.models_agree && self.sc_subsumed && self.verdicts_match
+    }
+
+    /// Sound three-valued verdict: `Unknown` whenever any model's
+    /// enumeration was truncated (a missing outcome could flip any of
+    /// the subset/equality checks in either direction), otherwise
+    /// `Pass`/`Fail` per [`ok`](Self::ok).
+    pub fn verdict(&self) -> Verdict {
+        if self.truncated {
+            let mut stats = self.sc.stats;
+            stats.absorb(&self.promising.stats);
+            stats.absorb(&self.axiomatic.stats);
+            // Axiomatic candidate-budget truncation is flagged out of
+            // band; synthesize a coverage if the walk stats alone look
+            // exhaustive.
+            let coverage = Coverage::from_stats(&stats).unwrap_or(Coverage {
+                states: stats.states,
+                frontier_len: 0,
+                reason: TruncationReason::StateLimit,
+            });
+            Verdict::Unknown { coverage }
+        } else if self.ok() {
+            Verdict::Pass
+        } else {
+            Verdict::Fail
+        }
     }
 }
 
@@ -68,12 +102,11 @@ impl Conformance {
 pub fn check(test: &LitmusTest) -> Result<Conformance, ExploreError> {
     let sc = enumerate_sc(&test.program)?;
     let pr = enumerate_promising_with(&test.program, &PromisingConfig::default())
-        .expect("promising enumeration")
-        .outcomes;
+        .expect("promising enumeration");
     let ax = enumerate_axiomatic_with(&test.program, &AxConfig::default())
-        .expect("axiomatic enumeration")
-        .outcomes;
-    conformance(test, sc, pr, ax)
+        .expect("axiomatic enumeration");
+    let truncated = pr.truncated || ax.truncated;
+    conformance(test, sc, pr.outcomes, ax.outcomes, truncated)
 }
 
 /// [`check`] with an explicit worker count for all three enumerations,
@@ -94,8 +127,7 @@ pub fn check_with_jobs(test: &LitmusTest, jobs: usize) -> Result<Conformance, Ex
             ..PromisingConfig::default()
         },
     )
-    .expect("promising enumeration")
-    .outcomes;
+    .expect("promising enumeration");
     let ax = enumerate_axiomatic_with(
         &test.program,
         &AxConfig {
@@ -103,9 +135,9 @@ pub fn check_with_jobs(test: &LitmusTest, jobs: usize) -> Result<Conformance, Ex
             ..AxConfig::default()
         },
     )
-    .expect("axiomatic enumeration")
-    .outcomes;
-    conformance(test, sc, pr, ax)
+    .expect("axiomatic enumeration");
+    let truncated = pr.truncated || ax.truncated;
+    conformance(test, sc, pr.outcomes, ax.outcomes, truncated)
 }
 
 fn conformance(
@@ -113,12 +145,14 @@ fn conformance(
     sc: OutcomeSet,
     pr: OutcomeSet,
     ax: OutcomeSet,
+    models_truncated: bool,
 ) -> Result<Conformance, ExploreError> {
     let models_agree = pr == ax;
     let sc_subsumed = sc.is_subset(&pr) && sc.is_subset(&ax);
     let on_arm = pr.contains_binding(&test.condition);
     let on_sc = sc.contains_binding(&test.condition);
     let verdicts_match = on_arm == test.allowed_on_arm && on_sc == test.allowed_on_sc;
+    let truncated = models_truncated || sc.truncated() || pr.truncated() || ax.truncated();
     Ok(Conformance {
         name: test.name().to_string(),
         sc,
@@ -127,6 +161,7 @@ fn conformance(
         models_agree,
         sc_subsumed,
         verdicts_match,
+        truncated,
     })
 }
 
@@ -959,6 +994,36 @@ mod tests {
         // Nothing is SC-allowed in this battery (all conditions are the
         // relaxed outcomes).
         assert!(b.iter().all(|t| !t.allowed_on_sc));
+    }
+
+    #[test]
+    fn under_budgeted_check_is_unknown_not_fail() {
+        // Starve the promising enumeration of states: the walk truncates,
+        // the promising outcome set is a strict subset, and a naive
+        // comparison would report FAIL (models disagree). The verdict
+        // must instead be Unknown with nonzero coverage.
+        let test = &battery()[0]; // SB
+        let sc = enumerate_sc(&test.program).unwrap();
+        let pr = enumerate_promising_with(
+            &test.program,
+            &PromisingConfig {
+                max_states: 3,
+                jobs: 1,
+                ..PromisingConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(pr.truncated, "tiny budget must truncate");
+        let ax = enumerate_axiomatic_with(&test.program, &AxConfig::default()).unwrap();
+        let truncated = pr.truncated || ax.truncated;
+        let c = conformance(test, sc, pr.outcomes, ax.outcomes, truncated).unwrap();
+        assert!(c.truncated);
+        match c.verdict() {
+            Verdict::Unknown { coverage } => {
+                assert!(coverage.states > 0, "coverage must report visited states");
+            }
+            v => panic!("truncated conformance must be Unknown, got {v}"),
+        }
     }
 
     #[test]

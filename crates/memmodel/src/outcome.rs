@@ -157,6 +157,13 @@ impl OutcomeSet {
     pub fn contains_binding(&self, bindings: &[(&str, Val)]) -> bool {
         self.any(|o| bindings.iter().all(|(n, v)| o.get(n) == *v))
     }
+
+    /// `true` iff the enumeration behind this set was cut short by a
+    /// budget, in which case the set is a sound *subset* of the model's
+    /// behaviour and any verdict comparing it must be `Unknown`.
+    pub fn truncated(&self) -> bool {
+        self.stats.completeness.is_truncated()
+    }
 }
 
 impl fmt::Display for OutcomeSet {

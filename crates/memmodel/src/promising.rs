@@ -1275,9 +1275,19 @@ impl<'a> StepCtx<'a> {
                         CertEmit::Violation(v) => eff.violations.push(v),
                     }
                 }
+                // A truncated certification that found no fulfilment is
+                // inconclusive: conservatively refuse the promise, and
+                // flag the whole enumeration as incomplete (a fulfilment
+                // might exist past the bound). A fulfilment found before
+                // the bound is sound regardless of truncation.
+                if !ok && expl.stats.completeness.is_truncated() {
+                    eff.truncated = true;
+                }
                 ok
             }
             Err(_) => {
+                // WorkerPanic cannot happen (the search is sequential);
+                // treat it as an inconclusive certification anyway.
                 eff.truncated = true;
                 false
             }
@@ -1431,7 +1441,13 @@ pub fn enumerate_promising_with(
         ctx: StepCtx { prog, cfg, domain },
     };
     let ecfg = ExploreConfig::with_max_states(cfg.max_states).jobs(cfg.jobs);
-    let exploration = vrm_explore::explore(&space, &ecfg)?;
+    let exploration = match vrm_explore::explore(&space, &ecfg) {
+        Ok(r) => r,
+        Err(vrm_explore::ExploreError::WorkerPanic(_)) => {
+            vrm_explore::explore(&space, &ecfg.jobs(1))?
+        }
+    };
+    truncated |= exploration.stats.completeness.is_truncated();
     let mut outcomes = OutcomeSet::new();
     let mut violations = BTreeSet::new();
     for e in exploration.emits {
@@ -1520,7 +1536,12 @@ pub fn find_witness(
         bindings,
     };
     let ecfg = ExploreConfig::with_max_states(cfg.max_states).jobs(cfg.jobs);
-    let exploration = vrm_explore::explore(&space, &ecfg)?;
+    let exploration = match vrm_explore::explore(&space, &ecfg) {
+        Ok(r) => r,
+        Err(vrm_explore::ExploreError::WorkerPanic(_)) => {
+            vrm_explore::explore(&space, &ecfg.jobs(1))?
+        }
+    };
     Ok(exploration.emits.into_iter().next())
 }
 

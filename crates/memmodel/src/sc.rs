@@ -40,17 +40,26 @@ impl Default for ScConfig {
     }
 }
 
-/// Errors from exhaustive exploration.
+/// Errors from exhaustive exploration. Budget exhaustion is *not* an
+/// error any more — it truncates the enumeration, which callers see as
+/// [`Completeness::Truncated`](vrm_explore::Completeness) on the
+/// returned outcome set's stats. The legacy budget variants remain for
+/// callers that still construct them at their own layer (e.g. schedule
+/// step bounds).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExploreError {
-    /// The state-space bound was exceeded.
+    /// The state-space bound was exceeded (legacy: the engine now
+    /// truncates instead of erroring; only caller-level step bounds
+    /// still construct this).
     StateLimit(usize),
-    /// A path exceeded the engine's depth bound.
+    /// A path exceeded a caller-level depth bound.
     DepthLimit(usize),
-    /// The exploration outran its deadline.
+    /// The exploration outran a caller-level deadline.
     Deadline,
     /// A virtual access was executed without [`Program::vm`] being set.
     NoVmConfig,
+    /// Every parallel exploration worker died to a panic.
+    WorkerPanic(usize),
 }
 
 impl std::fmt::Display for ExploreError {
@@ -60,6 +69,9 @@ impl std::fmt::Display for ExploreError {
             ExploreError::DepthLimit(d) => write!(f, "depth limit exceeded (depth {d})"),
             ExploreError::Deadline => write!(f, "exploration deadline exceeded"),
             ExploreError::NoVmConfig => write!(f, "virtual access without VmConfig"),
+            ExploreError::WorkerPanic(n) => {
+                write!(f, "exploration lost all {n} parallel workers")
+            }
         }
     }
 }
@@ -69,9 +81,7 @@ impl std::error::Error for ExploreError {}
 impl From<vrm_explore::ExploreError> for ExploreError {
     fn from(e: vrm_explore::ExploreError) -> Self {
         match e {
-            vrm_explore::ExploreError::StateLimit(n) => ExploreError::StateLimit(n),
-            vrm_explore::ExploreError::DepthLimit(d) => ExploreError::DepthLimit(d),
-            vrm_explore::ExploreError::Deadline => ExploreError::Deadline,
+            vrm_explore::ExploreError::WorkerPanic(n) => ExploreError::WorkerPanic(n),
         }
     }
 }
@@ -549,9 +559,22 @@ impl StateSpace for ScSpace<'_> {
 }
 
 /// [`enumerate_sc`] with explicit limits.
+///
+/// Exceeding `max_states` no longer errors: the returned set holds the
+/// outcomes found so far and its `stats.completeness` records the
+/// truncation, which the theorem layer turns into an `Unknown` verdict.
+/// If every parallel worker dies (a bug in the model, or injected
+/// faults overwhelming containment) the enumeration is retried once on
+/// the sequential driver, which cannot lose workers.
 pub fn enumerate_sc_with(prog: &Program, cfg: &ScConfig) -> Result<OutcomeSet, ExploreError> {
     let ecfg = ExploreConfig::with_max_states(cfg.max_states).jobs(cfg.jobs);
-    let exploration = vrm_explore::explore(&ScSpace { prog }, &ecfg)?;
+    let space = ScSpace { prog };
+    let exploration = match vrm_explore::explore(&space, &ecfg) {
+        Ok(r) => r,
+        Err(vrm_explore::ExploreError::WorkerPanic(_)) => {
+            vrm_explore::explore(&space, &ecfg.jobs(1))?
+        }
+    };
     let mut outcomes = OutcomeSet::new();
     for emit in exploration.emits {
         outcomes.insert(emit?);

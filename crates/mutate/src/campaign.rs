@@ -14,6 +14,18 @@
 //!   hypervisor-level bug; the kill signal is a `validate_log` violation
 //!   on every-schedule exploration, a `check_invariants` breach, or a
 //!   confidentiality read-back of a reclaimed page.
+//! * **Engine** (`vrm-explore`): a degradation rule (truncation →
+//!   `Unknown`) is re-implemented with its soundness guard removed and
+//!   judged against the real engine on a deliberately budget-starved
+//!   check; the kill signal is the bugged rule disagreeing with the
+//!   sound one. A survivor here would mean a truncated run can launder
+//!   into a definite pass/fail.
+//!
+//! Oracles that themselves run bounded explorations degrade soundly: a
+//! truncated enumeration that found no violation yields
+//! [`Status::Unknown`] (counted as *not killed*, so the 100%-kill gate
+//! trips), while a violation observed on a concretely executed schedule
+//! remains a kill even under truncation.
 //!
 //! [`curated`] returns the shipped set — every entry is expected to be
 //! **killed**; `tests/mutation_campaign.rs` and CI enforce the 100% kill
@@ -24,7 +36,7 @@ use std::time::Instant;
 
 use vrm_core::pushpull::check_pushpull;
 use vrm_core::{check_wdrf, paper_examples, KernelSpec, WdrfCheckConfig};
-use vrm_explore::{ExploreConfig, ExploreStats};
+use vrm_explore::{Completeness, ExploreConfig, ExploreStats, Verdict};
 use vrm_memmodel::ir::Program;
 use vrm_memmodel::litmus::{battery, check_with_jobs, LitmusTest};
 use vrm_memmodel::promising::PromisingConfig;
@@ -45,6 +57,8 @@ pub enum Layer {
     Kernel,
     /// The executable hypervisor machine model.
     Machine,
+    /// The exploration engine's graceful-degradation machinery itself.
+    Engine,
 }
 
 impl Layer {
@@ -54,6 +68,7 @@ impl Layer {
             Layer::Litmus => "litmus",
             Layer::Kernel => "kernel",
             Layer::Machine => "machine",
+            Layer::Engine => "engine",
         }
     }
 }
@@ -74,6 +89,9 @@ pub enum Oracle {
     Invariants,
     /// A reclaimed VM page's secret is readable by KServ.
     Confidentiality,
+    /// A guard-stripped reimplementation of a degradation rule disagrees
+    /// with the sound engine on a real budget-starved check.
+    Degradation,
 }
 
 impl Oracle {
@@ -86,6 +104,7 @@ impl Oracle {
             Oracle::ValidateLog => "validate_log",
             Oracle::Invariants => "check_invariants",
             Oracle::Confidentiality => "confidentiality",
+            Oracle::Degradation => "degradation",
         }
     }
 }
@@ -97,8 +116,14 @@ pub enum Status {
     Killed,
     /// The oracle saw nothing wrong.
     Survived,
-    /// An exploration bound was hit before the oracle could decide.
+    /// The oracle's exploration failed outright (every parallel worker
+    /// died) before it could decide.
     Timeout,
+    /// The oracle's enumeration was truncated by a budget and found no
+    /// violation; absence over a partial walk proves nothing. Counted
+    /// as *not killed*, so `all_killed` (and the CI 100%-kill gate)
+    /// flags it — a mutant must never escape behind a truncated check.
+    Unknown,
 }
 
 impl Status {
@@ -108,6 +133,7 @@ impl Status {
             Status::Killed => "killed",
             Status::Survived => "survived",
             Status::Timeout => "timeout",
+            Status::Unknown => "unknown",
         }
     }
 }
@@ -139,6 +165,41 @@ enum Subject {
     MachineInvariants { cfg: KCoreConfig },
     /// A `KCoreConfig` switch checked by the secret read-back test.
     MachineConfidentiality { cfg: KCoreConfig },
+    /// A guard-stripped degradation rule judged against the engine.
+    Degradation { variant: DegradationVariant },
+}
+
+/// Which engine degradation rule a [`Subject::Degradation`] mutant
+/// re-implements with the soundness guard removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradationVariant {
+    /// `Verdict::from_parts` with the completeness check deleted: a
+    /// truncated walk that happened to see no counterexample reports a
+    /// definite pass (or fail) instead of `Unknown`.
+    IgnoreTruncation,
+    /// `Completeness::merge` where the *last* stage wins instead of
+    /// truncation being sticky: an exhaustive final stage overwrites an
+    /// earlier truncated one and launders partial coverage.
+    ExhaustiveMergeWins,
+    /// An exit-code map that collapses `Unknown` onto the success path,
+    /// making a truncated run indistinguishable from a verified pass
+    /// to CI.
+    UnknownExitsZero,
+}
+
+impl DegradationVariant {
+    /// Human description of the injected change.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            DegradationVariant::IgnoreTruncation => {
+                "Verdict::from_parts without the completeness guard"
+            }
+            DegradationVariant::ExhaustiveMergeWins => {
+                "Completeness::merge where the last stage overwrites truncation"
+            }
+            DegradationVariant::UnknownExitsZero => "exit-code map sending Unknown to 0",
+        }
+    }
 }
 
 /// One campaign entry: a named mutant plus its oracle.
@@ -225,6 +286,19 @@ impl MutantSpec {
             subject,
         }
     }
+
+    /// An engine-layer mutant: one degradation rule re-implemented with
+    /// its soundness guard removed, killed iff the bugged rule disagrees
+    /// with the real engine on a budget-starved wDRF check.
+    pub fn degradation(name: &str, variant: DegradationVariant) -> Self {
+        MutantSpec {
+            name: name.to_string(),
+            layer: Layer::Engine,
+            oracle: Oracle::Degradation,
+            mutation: variant.describe().to_string(),
+            subject: Subject::Degradation { variant },
+        }
+    }
 }
 
 fn describe(mutations: &[Mutation]) -> String {
@@ -277,6 +351,11 @@ impl CampaignReport {
     /// Number of mutants whose oracle hit an exploration bound.
     pub fn timeouts(&self) -> usize {
         self.count(Status::Timeout)
+    }
+
+    /// Number of mutants whose oracle truncated without a verdict.
+    pub fn unknowns(&self) -> usize {
+        self.count(Status::Unknown)
     }
 
     fn count(&self, s: Status) -> usize {
@@ -389,6 +468,7 @@ fn run_one(spec: &MutantSpec, cfg: &CampaignConfig) -> MutantResult {
         Subject::MachineLog { cfg: kcfg } => run_machine_log(*kcfg, cfg),
         Subject::MachineInvariants { cfg: kcfg } => run_machine_invariants(*kcfg),
         Subject::MachineConfidentiality { cfg: kcfg } => run_machine_confidentiality(*kcfg),
+        Subject::Degradation { variant } => run_degradation(*variant, cfg),
     };
     if stats.wall_ns == 0 {
         stats.wall_ns = started.elapsed().as_nanos() as u64;
@@ -427,7 +507,20 @@ fn run_litmus(
             stats.absorb(&c.axiomatic.stats);
             let on_arm = c.promising.contains_binding(&mutated.condition);
             let on_sc = c.sc.contains_binding(&mutated.condition);
-            if c.verdicts_match {
+            // An outcome *observed* where the expectation forbids one is
+            // positive evidence — emissions are a sound subset even of a
+            // truncated enumeration, so this kill survives truncation.
+            let killed_by_presence =
+                (on_arm && !mutated.allowed_on_arm) || (on_sc && !mutated.allowed_on_sc);
+            if c.truncated && !killed_by_presence {
+                // Any other flip rests on an outcome's *absence*, which
+                // a truncated enumeration cannot establish.
+                (
+                    Status::Unknown,
+                    "conformance check truncated; no verdict".to_string(),
+                    stats,
+                )
+            } else if c.verdicts_match {
                 (
                     Status::Survived,
                     format!(
@@ -470,6 +563,24 @@ fn run_wdrf(
     wcfg.promising.value_cfg.max_rounds = 3;
     match check_wdrf(&mutated, kspec, &wcfg) {
         Err(e) => (Status::Timeout, e.to_string(), ExploreStats::default()),
+        // A counterexample (RM-only outcome) is concrete iff both walks
+        // behind the subset comparison were exhaustive — an outcome
+        // "missing" from a truncated SC set proves nothing. Out-of-band
+        // truncation (value analysis inside a condition check) does not
+        // taint the subset theorem itself, so the kill stands.
+        Ok(v) if !v.rm_subset_of_sc && !v.rm.truncated() && !v.sc.truncated() => (
+            Status::Killed,
+            format!(
+                "RM-only outcome appeared: {:?}",
+                v.counterexamples.first().map(|o| o.to_string())
+            ),
+            v.stats,
+        ),
+        Ok(v) if v.truncated => (
+            Status::Unknown,
+            "wDRF check truncated; no verdict".to_string(),
+            v.stats,
+        ),
         Ok(v) if v.rm_subset_of_sc => (
             Status::Survived,
             "RM ⊆ SC still holds for the mutated kernel".to_string(),
@@ -542,9 +653,20 @@ fn run_machine_log(kcfg: KCoreConfig, cfg: &CampaignConfig) -> (Status, String, 
                 .flat_map(|o| o.wdrf_violations.iter())
                 .next();
             match violation {
+                // A violation was observed on a concretely executed
+                // schedule — real evidence even if the walk truncated.
                 Some(v) => (
                     Status::Killed,
                     format!("dynamic wDRF violation on some schedule: {v}"),
+                    report.stats,
+                ),
+                None if report.stats.completeness.is_truncated() => (
+                    Status::Unknown,
+                    format!(
+                        "schedule exploration truncated after {} clean schedules; \
+                         no verdict",
+                        report.outcomes.len()
+                    ),
                     report.stats,
                 ),
                 None => (
@@ -607,6 +729,93 @@ fn run_machine_confidentiality(kcfg: KCoreConfig) -> (Status, String, ExploreSta
             ExploreStats::default(),
         ),
     }
+}
+
+/// The bugged `Completeness::merge` of [`DegradationVariant::ExhaustiveMergeWins`]:
+/// the last stage wins instead of truncation being sticky.
+fn bugged_merge(_acc: Completeness, last: Completeness) -> Completeness {
+    last
+}
+
+fn run_degradation(
+    variant: DegradationVariant,
+    cfg: &CampaignConfig,
+) -> (Status, String, ExploreStats) {
+    // A deliberately starved wDRF check over a real kernel example: the
+    // sound pipeline must report Unknown here. Each variant then replays
+    // one degradation rule with its guard removed on the same run and is
+    // killed iff the bugged rule reaches a different verdict.
+    let ex = paper_examples::example1();
+    let prog = ex.fixed.expect("example1 has a fixed variant");
+    let spec = KernelSpec::for_kernel_threads(0..prog.threads.len());
+    let mut wcfg = WdrfCheckConfig {
+        skip_sync_conditions: true,
+        jobs: cfg.jobs,
+        ..Default::default()
+    };
+    wcfg.promising.max_promises_per_thread = 1;
+    wcfg.promising.value_cfg.max_rounds = 3;
+    wcfg.promising.max_states = 4;
+    wcfg.sc.max_states = 4;
+    let v = match check_wdrf(&prog, &spec, &wcfg) {
+        Err(e) => return (Status::Timeout, e.to_string(), ExploreStats::default()),
+        Ok(v) => v,
+    };
+    let sound = v.verdict();
+    if !sound.is_unknown() {
+        // The starvation budget no longer bites; that is a harness bug,
+        // and surviving here makes the 100%-kill gate surface it.
+        return (
+            Status::Survived,
+            format!("harness error: starved check still reported {sound}"),
+            v.stats,
+        );
+    }
+    let (killed, detail) = match variant {
+        DegradationVariant::IgnoreTruncation => {
+            let bugged = if v.holds() {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            };
+            (
+                bugged != sound,
+                format!("guardless from_parts said {bugged}; sound verdict {sound}"),
+            )
+        }
+        DegradationVariant::ExhaustiveMergeWins => {
+            // Fold a final exhaustive stage (e.g. the cheap condition
+            // sweep) into this run's completeness with the bugged merge,
+            // then rederive the verdict the way the checker would.
+            let mut stats = v.stats;
+            stats.completeness = bugged_merge(stats.completeness, Completeness::Exhaustive);
+            let bugged = Verdict::from_parts(v.holds(), &stats);
+            (
+                bugged != sound,
+                format!("last-stage-wins merge rederived {bugged}; sound verdict {sound}"),
+            )
+        }
+        DegradationVariant::UnknownExitsZero => {
+            let bugged_exit = match sound {
+                Verdict::Fail => 1,
+                // Unknown collapsed onto the success path.
+                _ => 0,
+            };
+            (
+                bugged_exit != sound.exit_code(),
+                format!(
+                    "bugged exit-code map returned {bugged_exit}; sound map {}",
+                    sound.exit_code()
+                ),
+            )
+        }
+    };
+    let status = if killed {
+        Status::Killed
+    } else {
+        Status::Survived
+    };
+    (status, detail, v.stats)
 }
 
 /// Runs every spec and aggregates the report.
@@ -818,6 +1027,22 @@ pub fn curated() -> Vec<MutantSpec> {
         specs.push(MutantSpec::machine(&mutant));
     }
 
+    // --- Engine layer ----------------------------------------------------
+    // The degradation machinery itself: a survivor here would mean a
+    // truncated exploration can launder into a definite verdict.
+    specs.push(MutantSpec::degradation(
+        "degrade-ignore-truncation",
+        DegradationVariant::IgnoreTruncation,
+    ));
+    specs.push(MutantSpec::degradation(
+        "degrade-exhaustive-merge",
+        DegradationVariant::ExhaustiveMergeWins,
+    ));
+    specs.push(MutantSpec::degradation(
+        "degrade-unknown-as-pass",
+        DegradationVariant::UnknownExitsZero,
+    ));
+
     specs
 }
 
@@ -830,7 +1055,7 @@ mod tests {
         let specs = curated();
         let names: std::collections::BTreeSet<_> = specs.iter().map(|s| s.name.clone()).collect();
         assert_eq!(names.len(), specs.len(), "duplicate mutant names");
-        for layer in [Layer::Litmus, Layer::Kernel, Layer::Machine] {
+        for layer in [Layer::Litmus, Layer::Kernel, Layer::Machine, Layer::Engine] {
             assert!(
                 specs.iter().any(|s| s.layer == layer),
                 "no mutants in {layer:?}"
@@ -851,5 +1076,73 @@ mod tests {
         // And the unmutated config does not leak.
         let (status, _, _) = run_machine_confidentiality(KCoreConfig::default());
         assert_eq!(status, Status::Survived);
+    }
+
+    #[test]
+    fn degradation_mutants_are_killed() {
+        let cfg = CampaignConfig {
+            jobs: 1,
+            ..Default::default()
+        };
+        for variant in [
+            DegradationVariant::IgnoreTruncation,
+            DegradationVariant::ExhaustiveMergeWins,
+            DegradationVariant::UnknownExitsZero,
+        ] {
+            let (status, detail, stats) = run_degradation(variant, &cfg);
+            assert_eq!(status, Status::Killed, "{variant:?}: {detail}");
+            assert!(
+                stats.completeness.is_truncated(),
+                "{variant:?}: the oracle run must really be truncated"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_oracle_yields_unknown_not_survived() {
+        // Starve a kernel-layer oracle: even though the mutated program
+        // genuinely has an RM-only outcome, the truncated check must
+        // refuse both kill credit and a survival claim.
+        let ex = paper_examples::example1();
+        let fixed = ex.fixed.expect("example1 has a fixed variant");
+        let spec = KernelSpec::for_kernel_threads(0..fixed.threads.len());
+        let m = pick(&fixed, MutationKind::DeleteFence, 0);
+        let cfg = CampaignConfig {
+            jobs: 1,
+            ..Default::default()
+        };
+        // Re-run the wdrf oracle with a starved budget by building the
+        // spec and driving run_one on a budget-starved config clone.
+        let mutated = apply_all(&fixed, &[m]).expect("mutation applies");
+        let mut wcfg = WdrfCheckConfig {
+            skip_sync_conditions: true,
+            jobs: cfg.jobs,
+            ..Default::default()
+        };
+        wcfg.promising.max_promises_per_thread = 1;
+        wcfg.promising.value_cfg.max_rounds = 3;
+        wcfg.promising.max_states = 4;
+        wcfg.sc.max_states = 4;
+        let v = check_wdrf(&mutated, &spec, &wcfg).expect("check_wdrf");
+        assert!(
+            v.truncated,
+            "budget must bite for this test to mean anything"
+        );
+        // The campaign path maps that onto Status::Unknown, which counts
+        // against the kill rate.
+        let report = CampaignReport {
+            results: vec![MutantResult {
+                name: "starved".into(),
+                layer: Layer::Kernel,
+                oracle: Oracle::Wdrf,
+                mutation: "delete fence under starved budget".into(),
+                status: Status::Unknown,
+                detail: String::new(),
+                stats: v.stats,
+            }],
+            stats: v.stats,
+        };
+        assert_eq!(report.unknowns(), 1);
+        assert!(!report.all_killed(), "Unknown must never count as killed");
     }
 }

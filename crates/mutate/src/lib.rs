@@ -10,6 +10,7 @@
 //! | litmus  | delete/demote fence, drop acquire/release, drop addr/ctrl dependency, weaken RMW/exclusives | three-model conformance verdict flip |
 //! | kernel  | the same operators on paper examples and the Figure 7 ticket lock | `check_wdrf` / `check_pushpull` failure |
 //! | machine | `KCoreConfig` switches (skip TLBI, reorder barrier, skip lock, …) | `validate_log` over all schedules, `check_invariants`, confidentiality read-back |
+//! | engine  | guard-stripped degradation rules (ignore truncation, last-stage-wins merge, Unknown exits 0) | disagreement with the sound engine on a budget-starved check |
 //!
 //! [`ir`] holds the program-level mutation engine (site discovery and
 //! application), [`campaign`] the curated mutant set and driver, and
@@ -24,7 +25,8 @@ pub mod ir;
 pub mod report;
 
 pub use campaign::{
-    curated, run, CampaignConfig, CampaignReport, Layer, MutantResult, MutantSpec, Oracle, Status,
+    curated, run, CampaignConfig, CampaignReport, DegradationVariant, Layer, MutantResult,
+    MutantSpec, Oracle, Status,
 };
 pub use ir::{apply, find_sites, site, Mutation, MutationKind};
 pub use report::{not_killed, to_json, to_table};

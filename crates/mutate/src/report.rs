@@ -51,11 +51,13 @@ pub fn to_json(report: &CampaignReport) -> String {
     let mutants: Vec<String> = report.results.iter().map(json_mutant).collect();
     format!(
         "{{\n  \"total\": {},\n  \"killed\": {},\n  \"survived\": {},\n  \"timeout\": {},\n  \
+         \"unknown\": {},\n  \
          \"kill_rate\": {:.4},\n  \"stats\": {},\n  \"mutants\": [\n    {}\n  ]\n}}\n",
         report.results.len(),
         report.killed(),
         report.survived(),
         report.timeouts(),
+        report.unknowns(),
         report.kill_rate(),
         json_stats(&report.stats),
         mutants.join(",\n    ")
@@ -99,12 +101,13 @@ pub fn to_table(report: &CampaignReport) -> String {
         ));
     }
     out.push_str(&format!(
-        "\n{} mutants: {} killed, {} survived, {} timeout — kill rate {:.1}% \
+        "\n{} mutants: {} killed, {} survived, {} timeout, {} unknown — kill rate {:.1}% \
          ({} states explored, {:.1} ms total)\n",
         report.results.len(),
         report.killed(),
         report.survived(),
         report.timeouts(),
+        report.unknowns(),
         report.kill_rate() * 100.0,
         report.stats.states,
         report.stats.wall_ns as f64 / 1e6,

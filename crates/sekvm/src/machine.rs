@@ -624,7 +624,35 @@ impl Machine {
     ) -> Result<ExhaustiveReport, vrm_explore::ExploreError> {
         let space = SchedSpace { cfg, scripts };
         let xcfg = ExploreConfig::with_max_states(ecfg.max_states).jobs(ecfg.jobs);
-        let ex = vrm_explore::explore(&space, &xcfg)?;
+        let ex = match vrm_explore::explore(&space, &xcfg) {
+            Ok(ex) => ex,
+            // All parallel workers died: the sequential driver has no
+            // worker threads to lose, so fall back to it once.
+            Err(vrm_explore::ExploreError::WorkerPanic(_)) => {
+                vrm_explore::explore(&space, &xcfg.jobs(1))?
+            }
+        };
+        Ok(ExhaustiveReport {
+            outcomes: ex.emits.into_iter().collect(),
+            stats: ex.stats,
+        })
+    }
+
+    /// [`explore_schedules`](Self::explore_schedules) with bounded
+    /// budget-doubling restarts: a truncated walk is resumed from its
+    /// checkpoint with doubled budgets (up to `max_retries` times), and a
+    /// walk that lost all its workers is retried sequentially. The final
+    /// report may still be truncated — callers must consult
+    /// [`ExhaustiveReport::verdict`], never assume exhaustiveness.
+    pub fn explore_schedules_resilient(
+        cfg: KCoreConfig,
+        scripts: Vec<Script>,
+        ecfg: &ExhaustiveConfig,
+        max_retries: usize,
+    ) -> Result<ExhaustiveReport, vrm_explore::ExploreError> {
+        let space = SchedSpace { cfg, scripts };
+        let xcfg = ExploreConfig::with_max_states(ecfg.max_states).jobs(ecfg.jobs);
+        let ex = vrm_explore::retry_with_escalation(&space, &xcfg, max_retries)?;
         Ok(ExhaustiveReport {
             outcomes: ex.emits.into_iter().collect(),
             stats: ex.stats,
@@ -635,7 +663,8 @@ impl Machine {
 /// Bounds for [`Machine::explore_schedules`].
 #[derive(Debug, Clone)]
 pub struct ExhaustiveConfig {
-    /// Cap on distinct machine states before the walk errors out.
+    /// Cap on distinct machine states; hitting it truncates the walk
+    /// (partial outcomes, `Unknown` verdict) rather than erroring.
     pub max_states: usize,
     /// Worker threads (1 = the sequential reference driver).
     pub jobs: usize,
@@ -686,8 +715,19 @@ pub struct ExhaustiveReport {
 
 impl ExhaustiveReport {
     /// `true` iff every explored schedule was clean.
+    ///
+    /// Only meaningful when the walk was exhaustive; use
+    /// [`verdict`](Self::verdict) for the sound three-valued answer.
     pub fn all_clean(&self) -> bool {
         !self.outcomes.is_empty() && self.outcomes.iter().all(SchedOutcome::clean)
+    }
+
+    /// Sound three-valued verdict: a truncated walk yields `Unknown`
+    /// with its coverage (an unexplored schedule could still be dirty,
+    /// and a dirty outcome set from a truncated walk could still grow),
+    /// otherwise `Pass`/`Fail` per [`all_clean`](Self::all_clean).
+    pub fn verdict(&self) -> vrm_explore::Verdict {
+        vrm_explore::Verdict::from_parts(self.all_clean(), &self.stats)
     }
 }
 
@@ -1109,9 +1149,12 @@ mod tests {
     }
 
     #[test]
-    fn exhaustive_state_limit_is_reported() {
+    fn exhaustive_state_limit_degrades_to_unknown() {
+        // Hitting the state budget is no longer an error: the walk
+        // returns its partial outcomes and the verdict must be Unknown
+        // with nonzero coverage — never pass/fail.
         let scripts: Vec<Script> = (0..2).map(|_| vec![Op::RegisterVm]).collect();
-        let err = Machine::explore_schedules(
+        let report = Machine::explore_schedules(
             KCoreConfig::default(),
             scripts,
             &ExhaustiveConfig {
@@ -1119,8 +1162,36 @@ mod tests {
                 jobs: 1,
             },
         )
-        .unwrap_err();
-        assert!(matches!(err, vrm_explore::ExploreError::StateLimit(n) if n > 2));
+        .unwrap();
+        assert!(report.stats.completeness.is_truncated());
+        match report.verdict() {
+            vrm_explore::Verdict::Unknown { coverage } => {
+                assert!(coverage.states > 0, "{coverage}");
+                assert!(coverage.frontier_len > 0, "{coverage}");
+            }
+            v => panic!("truncated walk must be Unknown, got {v}"),
+        }
+    }
+
+    #[test]
+    fn resilient_exploration_escalates_to_exhaustive() {
+        // Start with a starved budget; the escalating retry doubles it
+        // (resuming from the checkpoint) until the walk completes, and
+        // the final verdict is a real Pass.
+        let scripts: Vec<Script> = (0..2).map(|_| vec![Op::RegisterVm]).collect();
+        let report = Machine::explore_schedules_resilient(
+            KCoreConfig::default(),
+            scripts,
+            &ExhaustiveConfig {
+                max_states: 2,
+                jobs: 1,
+            },
+            16,
+        )
+        .unwrap();
+        assert!(report.stats.completeness.is_exhaustive());
+        assert!(matches!(report.verdict(), vrm_explore::Verdict::Pass));
+        assert!(report.all_clean(), "{:?}", report.outcomes);
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! Hypervisor on Arm Relaxed Memory Hardware* (SOSP 2021). This crate
 //! re-exports the workspace members:
 //!
+//! * [`explore`] — the shared state-space exploration engine (budgets,
+//!   graceful truncation, checkpoints, three-valued verdicts);
 //! * [`memmodel`] — executable Arm memory models (SC, Armv8 axiomatic,
 //!   Promising Arm with MMU/TLB);
 //! * [`core`] — the VRM framework: the push/pull Promising model, the six
@@ -21,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub use vrm_core as core;
+pub use vrm_explore as explore;
 pub use vrm_hwsim as hwsim;
 pub use vrm_memmodel as memmodel;
 pub use vrm_mmu as mmu;
