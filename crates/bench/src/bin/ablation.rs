@@ -10,6 +10,10 @@
 //! 3. **Promise-search ablation** — which litmus verdicts *require*
 //!    promise steps (store speculation) and what certification costs:
 //!    outcome counts and states explored with promises off/on.
+//!
+//! A report generator: always exits `0` on success; a modelling
+//! regression panics (non-zero exit). The 0/1/3 verdict contract lives
+//! in the checking binaries (`litmus`, `mutate`, `bench`).
 
 use vrm_bench::{row, rule};
 use vrm_hwsim::cost::{profiles, CostModel};

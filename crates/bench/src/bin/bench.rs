@@ -1,0 +1,359 @@
+//! Perf-trajectory harness: runs the repo's three representative
+//! workloads — the litmus corpus, the `check_wdrf` paper examples, and
+//! a machine-layer schedule exploration — and (optionally) writes one
+//! schema-versioned `BENCH_*.json` perf record per workload.
+//!
+//! ```console
+//! $ cargo run -rp vrm-bench --bin bench -- litmus/
+//! $ cargo run -rp vrm-bench --bin bench -- --suite wdrf
+//! $ cargo run -rp vrm-bench --bin bench -- --jobs 4 --emit-bench BENCH_explore.json litmus/
+//! ```
+//!
+//! Metrics are counts and wall-clock nanoseconds only (see
+//! `docs/TELEMETRY.md` for the field-by-field schema); derived ratios
+//! belong to whoever reads the trajectory. State counts are
+//! deterministic across drivers and machines; `wall_ns` is not —
+//! compare trajectories on the same hardware.
+//!
+//! Exit codes: `0` — every workload PASSed; `1` — at least one FAIL;
+//! `3` — no FAILs, but at least one UNKNOWN (an enumeration was cut
+//! short by a budget); `2` — usage error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use vrm_core::paper_examples;
+use vrm_core::{check_wdrf, KernelSpec, WdrfCheckConfig};
+use vrm_memmodel::parser::{parse, CheckModel};
+use vrm_memmodel::promising::enumerate_promising_with;
+use vrm_memmodel::sc::{enumerate_sc_with, ScConfig};
+use vrm_obs::{BenchFile, BenchRecord};
+use vrm_sekvm::layout::{PAGE_WORDS, VM_POOL_PFN};
+use vrm_sekvm::machine::{ExhaustiveConfig, Machine, Op, Script};
+use vrm_sekvm::KCoreConfig;
+
+const USAGE: &str = "usage: bench [--jobs N] [--suite all|litmus|wdrf|schedules] \
+                     [--emit-bench PATH] [litmus-dir]\n\
+                     exit codes: 0 all PASS, 1 any FAIL, 3 any UNKNOWN \
+                     (budget-truncated, no verdict), 2 usage error";
+
+/// Worst-verdict accumulator over the whole run: FAIL (1) dominates
+/// UNKNOWN (3) dominates PASS (0) — the same lattice every CLI in this
+/// repo uses.
+fn worse(acc: i32, next: i32) -> i32 {
+    match (acc, next) {
+        (1, _) | (_, 1) => 1,
+        (3, _) | (_, 3) => 3,
+        _ => 0,
+    }
+}
+
+fn verdict_name(code: i32) -> &'static str {
+    match code {
+        0 => "PASS",
+        1 => "FAIL",
+        _ => "UNKNOWN",
+    }
+}
+
+fn collect_litmus_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "litmus"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}
+
+/// One litmus file: SC + promising enumeration, the file's `check`
+/// expectations, and the SC ⊆ RM sanity inclusion — the same verdict
+/// rule as the `litmus` binary minus the axiomatic cross-check (which
+/// has its own cost profile and is benched via `--suite litmus` on the
+/// `litmus` binary itself).
+fn bench_litmus_file(path: &Path, jobs: Option<usize>, out: &mut BenchFile) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            return 1;
+        }
+    };
+    let mut parsed = match parse(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            return 1;
+        }
+    };
+    if let Some(jobs) = jobs {
+        parsed.promising.jobs = jobs;
+    }
+    let mut sc_cfg = ScConfig::default();
+    if let Some(jobs) = jobs {
+        sc_cfg.jobs = jobs;
+    }
+    let prog = &parsed.program;
+    let started = Instant::now();
+    let sc = enumerate_sc_with(prog, &sc_cfg).expect("SC enumeration");
+    let rm_res = enumerate_promising_with(prog, &parsed.promising).expect("promising");
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    let truncated = sc.truncated() || rm_res.truncated;
+    let rm = rm_res.outcomes;
+    let mut ok = sc.is_subset(&rm);
+    for c in &parsed.checks {
+        let set = match c.model {
+            CheckModel::Arm => &rm,
+            CheckModel::Sc => &sc,
+        };
+        let bindings: Vec<(&str, u64)> = c.bindings.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        if set.contains_binding(&bindings) != c.allows {
+            ok = false;
+        }
+    }
+    let exit_code = if truncated {
+        3
+    } else if ok {
+        0
+    } else {
+        1
+    };
+    let mut stats = sc.stats;
+    stats.absorb(&rm.stats);
+    out.records.push(
+        BenchRecord::new(format!("litmus/{}", prog.name))
+            .param("jobs", stats.jobs)
+            .metric("sc_outcomes", sc.len() as u64)
+            .metric("rm_outcomes", rm.len() as u64)
+            .metric("states", stats.states as u64)
+            .metric("popped", stats.popped as u64)
+            .metric("wall_ns", wall_ns)
+            .metric("exit_code", exit_code as u64),
+    );
+    println!(
+        "litmus/{:<26} sc:{:<3} arm:{:<3} states:{:<7} {:>8.1}ms  {}",
+        prog.name,
+        sc.len(),
+        rm.len(),
+        stats.states,
+        wall_ns as f64 / 1e6,
+        verdict_name(exit_code)
+    );
+    exit_code
+}
+
+fn run_litmus_suite(dir: &Path, jobs: Option<usize>, out: &mut BenchFile) -> i32 {
+    let files = collect_litmus_files(dir);
+    if files.is_empty() {
+        eprintln!("no .litmus files under {}", dir.display());
+        return 1;
+    }
+    files
+        .iter()
+        .fold(0, |acc, f| worse(acc, bench_litmus_file(f, jobs, out)))
+}
+
+/// The `check_wdrf` workloads: the two repaired plain-memory paper
+/// examples plus the Figure 7 ticket lock, under the same budgeted
+/// config the mutation campaign uses.
+fn run_wdrf_suite(jobs: Option<usize>, out: &mut BenchFile) -> i32 {
+    let mut cfg = WdrfCheckConfig {
+        skip_sync_conditions: true,
+        ..Default::default()
+    };
+    if let Some(jobs) = jobs {
+        cfg.jobs = jobs;
+    }
+    cfg.promising.max_promises_per_thread = 1;
+    cfg.promising.value_cfg.max_rounds = 3;
+    let workloads = [
+        ("wdrf/example1", paper_examples::example1().fixed.unwrap()),
+        ("wdrf/example3", paper_examples::example3().fixed.unwrap()),
+        ("wdrf/ticket-lock", paper_examples::gen_vmid_program(true)),
+    ];
+    let mut acc = 0;
+    for (name, prog) in workloads {
+        let spec = KernelSpec::for_kernel_threads(0..prog.threads.len());
+        let started = Instant::now();
+        let v = check_wdrf(&prog, &spec, &cfg).expect("check_wdrf");
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let exit_code = v.verdict().exit_code();
+        out.records.push(
+            BenchRecord::new(name)
+                .param("jobs", v.stats.jobs)
+                .param("variant", "fixed")
+                .param("budget", "campaign")
+                .metric("states", v.stats.states as u64)
+                .metric("popped", v.stats.popped as u64)
+                .metric("counterexamples", v.counterexamples.len() as u64)
+                .metric("wall_ns", wall_ns)
+                .metric("exit_code", exit_code as u64),
+        );
+        println!(
+            "{name:<33} states:{:<7} {:>8.1}ms  {}",
+            v.stats.states,
+            wall_ns as f64 / 1e6,
+            verdict_name(exit_code)
+        );
+        acc = worse(acc, exit_code);
+    }
+    acc
+}
+
+/// A minimal two-CPU map → grant → revoke workload with VmId-lock
+/// contention (mirrors the mutation campaign's machine-layer scripts):
+/// small enough for every-schedule exploration, rich enough to touch
+/// the whole KCore surface.
+fn unmap_scripts() -> Vec<Script> {
+    let gpa = 64 * PAGE_WORDS;
+    vec![
+        vec![
+            Op::RegisterVm,
+            Op::RegisterVcpu,
+            Op::StageImage {
+                pfns: vec![VM_POOL_PFN.0, VM_POOL_PFN.0 + 1],
+            },
+            Op::VerifyImage,
+            Op::Fault {
+                gpa,
+                donor_pfn: VM_POOL_PFN.0 + 4,
+            },
+            Op::Grant { gpa },
+            Op::Revoke { gpa },
+        ],
+        vec![Op::RegisterVm],
+    ]
+}
+
+fn run_schedules_suite(jobs: Option<usize>, out: &mut BenchFile) -> i32 {
+    let mut ecfg = ExhaustiveConfig {
+        max_states: 1 << 18,
+        ..Default::default()
+    };
+    if let Some(jobs) = jobs {
+        ecfg.jobs = jobs;
+    }
+    let started = Instant::now();
+    let report = Machine::explore_schedules(KCoreConfig::default(), unmap_scripts(), &ecfg)
+        .expect("explore_schedules");
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    let exit_code = report.verdict().exit_code();
+    out.records.push(
+        BenchRecord::new("schedules/unmap")
+            .param("jobs", report.stats.jobs)
+            .param("max_states", ecfg.max_states)
+            .metric("outcomes", report.outcomes.len() as u64)
+            .metric("states", report.stats.states as u64)
+            .metric("popped", report.stats.popped as u64)
+            .metric("wall_ns", wall_ns)
+            .metric("exit_code", exit_code as u64),
+    );
+    println!(
+        "{:<33} states:{:<7} {:>8.1}ms  {}",
+        "schedules/unmap",
+        report.stats.states,
+        wall_ns as f64 / 1e6,
+        verdict_name(exit_code)
+    );
+    exit_code
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs: Option<usize> = None;
+    let mut suite = "all".to_string();
+    let mut emit: Option<PathBuf> = None;
+    let mut litmus_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" => {
+                let Some(n) = args.get(i + 1).and_then(|n| n.parse().ok()) else {
+                    eprintln!("--jobs needs a numeric worker count\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                jobs = Some(n);
+                i += 2;
+            }
+            "--suite" => {
+                let Some(s) = args.get(i + 1) else {
+                    eprintln!("--suite needs all|litmus|wdrf|schedules\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if !["all", "litmus", "wdrf", "schedules"].contains(&s.as_str()) {
+                    eprintln!("unknown suite {s:?}\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                suite = s.clone();
+                i += 2;
+            }
+            "--emit-bench" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("--emit-bench needs an output path\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                emit = Some(PathBuf::from(p));
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            dir => {
+                litmus_dir = Some(PathBuf::from(dir));
+                i += 1;
+            }
+        }
+    }
+    let litmus_dir = litmus_dir.unwrap_or_else(|| PathBuf::from("litmus"));
+    let run_litmus = matches!(suite.as_str(), "all" | "litmus");
+    let run_wdrf = matches!(suite.as_str(), "all" | "wdrf");
+    let run_schedules = matches!(suite.as_str(), "all" | "schedules");
+    if run_litmus && !litmus_dir.is_dir() {
+        eprintln!("litmus dir {} not found\n{USAGE}", litmus_dir.display());
+        return ExitCode::from(2);
+    }
+
+    let mut out = BenchFile::new(if suite == "all" {
+        "explore"
+    } else {
+        suite.as_str()
+    });
+    let mut acc = 0;
+    if run_litmus {
+        acc = worse(acc, run_litmus_suite(&litmus_dir, jobs, &mut out));
+    }
+    if run_wdrf {
+        acc = worse(acc, run_wdrf_suite(jobs, &mut out));
+    }
+    if run_schedules {
+        acc = worse(acc, run_schedules_suite(jobs, &mut out));
+    }
+
+    if let Some(path) = &emit {
+        if let Err(e) = out.write_to(path) {
+            eprintln!("writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} record(s) to {} ({})",
+            out.records.len(),
+            path.display(),
+            out.schema
+        );
+    }
+    eprintln!("overall: {}", verdict_name(acc));
+    match acc {
+        0 => ExitCode::SUCCESS,
+        1 => ExitCode::FAILURE,
+        _ => ExitCode::from(3),
+    }
+}

@@ -2,6 +2,10 @@
 //! the behaviour allowed on Arm relaxed memory (Promising model) but
 //! forbidden on SC, and — where a repaired variant exists — that the fix
 //! removes the relaxed behaviour.
+//!
+//! A report generator: always exits `0` on success; a modelling
+//! regression panics (non-zero exit). The 0/1/3 verdict contract lives
+//! in the checking binaries (`litmus`, `mutate`, `bench`).
 
 use vrm_core::paper_examples::all;
 use vrm_memmodel::promising::{enumerate_promising_with, PromisingConfig};

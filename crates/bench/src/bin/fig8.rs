@@ -1,6 +1,10 @@
 //! Reproduces Figure 8: single-VM application benchmark performance
 //! normalized to native, for KVM and SeKVM in Linux 4.18 and 5.4 on both
 //! hardware configurations.
+//!
+//! A report generator: always exits `0` on success; a modelling
+//! regression panics (non-zero exit). The 0/1/3 verdict contract lives
+//! in the checking binaries (`litmus`, `mutate`, `bench`).
 
 use vrm_bench::{row, rule};
 use vrm_hwsim::{simulate_app, workloads, HwConfig, HypConfig, HypKind, KernelVersion};

@@ -1,6 +1,10 @@
 //! Reproduces Figure 9: multi-VM application benchmark performance on the
 //! m400 (Linux 4.18), 1 to 32 concurrent 2-vCPU VMs, normalized to one
 //! native instance.
+//!
+//! A report generator: always exits `0` on success; a modelling
+//! regression panics (non-zero exit). The 0/1/3 verdict contract lives
+//! in the checking binaries (`litmus`, `mutate`, `bench`).
 
 use vrm_bench::{row, rule};
 use vrm_hwsim::{

@@ -9,6 +9,7 @@
 //! $ cargo run -p vrm-bench --bin litmus -- --jobs 8 litmus/  # parallel drivers
 //! $ cargo run -p vrm-bench --bin litmus -- --witness flag=1,data=0 litmus/mp.litmus
 //! $ cargo run -p vrm-bench --bin litmus -- --max-states 100 litmus/  # under-budgeted
+//! $ cargo run -p vrm-bench --bin litmus -- --emit-bench BENCH_litmus.json litmus/
 //! ```
 //!
 //! Exit codes: `0` — every file PASSed; `1` — at least one FAIL;
@@ -17,11 +18,13 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 use vrm_memmodel::axiomatic::{enumerate_axiomatic_with, AxConfig};
 use vrm_memmodel::parser::{parse, CheckModel};
 use vrm_memmodel::promising::{enumerate_promising_with, find_witness};
 use vrm_memmodel::sc::{enumerate_sc_with, ScConfig};
+use vrm_obs::{BenchFile, BenchRecord};
 
 fn collect_files(arg: &str) -> Vec<PathBuf> {
     let p = Path::new(arg);
@@ -46,6 +49,7 @@ fn main() -> ExitCode {
     let mut witness_spec: Option<Vec<(String, u64)>> = None;
     let mut jobs: Option<usize> = None;
     let mut max_states: Option<usize> = None;
+    let mut emit: Option<PathBuf> = None;
     let mut paths = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -58,6 +62,11 @@ fn main() -> ExitCode {
             "--max-states" => {
                 let n = args.get(i + 1).expect("--max-states needs a state budget");
                 max_states = Some(n.parse().expect("numeric state budget"));
+                i += 2;
+            }
+            "--emit-bench" => {
+                let p = args.get(i + 1).expect("--emit-bench needs an output path");
+                emit = Some(PathBuf::from(p));
                 i += 2;
             }
             "--witness" => {
@@ -81,11 +90,14 @@ fn main() -> ExitCode {
     if paths.is_empty() {
         eprintln!(
             "usage: litmus [--jobs N] [--max-states N] [--witness name=val,...] \
-             <file.litmus | dir> ..."
+             [--emit-bench PATH] <file.litmus | dir> ...\n\
+             exit codes: 0 all PASS, 1 any FAIL, 3 any UNKNOWN \
+             (budget-truncated, no verdict)"
         );
         return ExitCode::FAILURE;
     }
 
+    let mut bench_out = BenchFile::new("litmus");
     let mut failures = 0usize;
     let mut unknowns = 0usize;
     for path in &paths {
@@ -120,6 +132,7 @@ fn main() -> ExitCode {
         if let Some(n) = max_states {
             sc_cfg.max_states = n;
         }
+        let started = Instant::now();
         let sc = enumerate_sc_with(prog, &sc_cfg).expect("SC enumeration");
         let rm_res = enumerate_promising_with(prog, &parsed.promising).expect("promising");
         // A budget-truncated walk on either reference model makes every
@@ -142,6 +155,7 @@ fn main() -> ExitCode {
         } else {
             None
         };
+        let wall_ns = started.elapsed().as_nanos() as u64;
         // Full promise search must agree exactly with the axiomatic model;
         // the promise-free fast path is a sound under-approximation.
         let conform = match &ax {
@@ -211,6 +225,25 @@ fn main() -> ExitCode {
                 failures += 1;
             }
         }
+        let exit_code: u64 = if truncated {
+            3
+        } else if ok {
+            0
+        } else {
+            1
+        };
+        bench_out.records.push(
+            BenchRecord::new(format!("litmus/{}", prog.name))
+                .param("jobs", stats.jobs)
+                .param("conform", conform)
+                .metric("sc_outcomes", sc.len() as u64)
+                .metric("rm_outcomes", rm.len() as u64)
+                .metric("ax_outcomes", ax.as_ref().map_or(0, |a| a.len()) as u64)
+                .metric("states", stats.states as u64)
+                .metric("popped", stats.popped as u64)
+                .metric("wall_ns", wall_ns)
+                .metric("exit_code", exit_code),
+        );
         if let Some(spec) = &witness_spec {
             let bindings: Vec<(&str, u64)> = spec.iter().map(|(n, v)| (n.as_str(), *v)).collect();
             match find_witness(prog, &parsed.promising, &bindings).expect("witness search") {
@@ -223,6 +256,18 @@ fn main() -> ExitCode {
                 None => println!("  no execution reaches {spec:?}"),
             }
         }
+    }
+    if let Some(path) = &emit {
+        if let Err(e) = bench_out.write_to(path) {
+            eprintln!("writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {} record(s) to {} ({})",
+            bench_out.records.len(),
+            path.display(),
+            bench_out.schema
+        );
     }
     if failures > 0 {
         eprintln!("{failures} failure(s), {unknowns} unknown");

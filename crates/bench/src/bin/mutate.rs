@@ -10,6 +10,10 @@
 //! $ cargo run -p vrm-bench --bin mutate --release -- --filter litmus
 //! $ VRM_JOBS=8 cargo run -p vrm-bench --bin mutate --release
 //! ```
+//!
+//! Exit codes: `0` — every mutant killed; `1` — at least one mutant
+//! survived; `3` — the only misses were `Unknown` (a truncated oracle
+//! returned no verdict, so the mutant is neither killed nor survived).
 
 use std::process::ExitCode;
 
@@ -44,7 +48,9 @@ fn main() -> ExitCode {
             other => {
                 eprintln!(
                     "unknown argument `{other}`\n\
-                     usage: mutate [--jobs N] [--json PATH] [--filter SUBSTR] [--max-states N]"
+                     usage: mutate [--jobs N] [--json PATH] [--filter SUBSTR] [--max-states N]\n\
+                     exit codes: 0 every mutant killed, 1 any mutant survived, \
+                     3 only Unknown misses (truncated oracle, no verdict)"
                 );
                 return ExitCode::FAILURE;
             }

@@ -5,6 +5,10 @@
 //! machine-checked evidence produced by exhaustive enumeration and
 //! validation. This binary regenerates that evidence and reports its
 //! size, next to the paper's LOC numbers for orientation.
+//!
+//! A report generator: always exits `0` on success; a modelling
+//! regression panics (non-zero exit). The 0/1/3 verdict contract lives
+//! in the checking binaries (`litmus`, `mutate`, `bench`).
 
 use vrm_core::paper_examples;
 use vrm_core::pushpull::check_pushpull;

@@ -1,5 +1,9 @@
 //! Reproduces Table 3 (microbenchmark cycles) and prints Table 2's
 //! operation descriptions.
+//!
+//! A report generator: always exits `0` on success; a modelling
+//! regression panics (non-zero exit). The 0/1/3 verdict contract lives
+//! in the checking binaries (`litmus`, `mutate`, `bench`).
 
 use vrm_bench::{row, rule};
 use vrm_hwsim::{simulate_micro, HwConfig, HypConfig, HypKind, KernelVersion};

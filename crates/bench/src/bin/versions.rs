@@ -6,6 +6,10 @@
 //! code; the verified KCore interface is the same, so this reproduction
 //! validates the KCore model under both geometries for each version label
 //! and reports the validator verdicts.
+//!
+//! A report generator: always exits `0` on success; a modelling
+//! regression panics (non-zero exit). The 0/1/3 verdict contract lives
+//! in the checking binaries (`litmus`, `mutate`, `bench`).
 
 use vrm_bench::{row, rule};
 use vrm_sekvm::layout::VM_POOL_PFN;

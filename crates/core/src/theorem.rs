@@ -298,41 +298,52 @@ pub fn check_wdrf(
     spec: &KernelSpec,
     cfg: &WdrfCheckConfig,
 ) -> Result<WdrfVerdict, ExploreError> {
+    let _span = vrm_obs::span!("check_wdrf", prog = prog.name.as_str(), jobs = cfg.jobs);
     let mut conditions = Vec::new();
     let mut truncated = false;
 
-    if !cfg.skip_sync_conditions {
-        let mut sync_cfg = cfg.promising.clone();
-        sync_cfg.jobs = cfg.jobs;
-        let sync = check_sync_conditions(prog, spec, &sync_cfg)?;
-        conditions.extend(sync);
+    {
+        let _span = vrm_obs::span!("check_wdrf.conditions");
+        if !cfg.skip_sync_conditions {
+            let mut sync_cfg = cfg.promising.clone();
+            sync_cfg.jobs = cfg.jobs;
+            let sync = check_sync_conditions(prog, spec, &sync_cfg)?;
+            conditions.extend(sync);
+        }
+        if prog.uses_vm() || !spec.user_pt.is_empty() {
+            conditions.push(check_sequential_tlbi_program(
+                prog,
+                spec,
+                cfg.tlbi_schedules,
+            )?);
+        }
+        conditions.push(check_memory_isolation(prog, spec, &cfg.values));
     }
-    if prog.uses_vm() || !spec.user_pt.is_empty() {
-        conditions.push(check_sequential_tlbi_program(
-            prog,
-            spec,
-            cfg.tlbi_schedules,
-        )?);
-    }
-    conditions.push(check_memory_isolation(prog, spec, &cfg.values));
 
     // RM side: the real program on Promising Arm.
-    let mut pcfg = cfg.promising.clone();
-    pcfg.jobs = cfg.jobs;
-    let rm_raw = enumerate_promising_with(prog, &pcfg)?;
+    let (rm_raw, mut stats) = {
+        let _span = vrm_obs::span!("check_wdrf.rm_walk");
+        let mut pcfg = cfg.promising.clone();
+        pcfg.jobs = cfg.jobs;
+        let rm_raw = enumerate_promising_with(prog, &pcfg)?;
+        let stats = rm_raw.outcomes.stats;
+        (rm_raw, stats)
+    };
     truncated |= rm_raw.truncated;
-    let mut stats = rm_raw.outcomes.stats;
     let rm = project_kernel(&rm_raw.outcomes, spec);
 
     // SC side: the real program, or the oracle closure under weak
     // isolation.
-    let sc_prog = match spec.isolation {
-        IsolationMode::Strong => prog.clone(),
-        IsolationMode::Weak => oracle_closure(prog, spec, &cfg.values, cfg.oracle_rounds),
+    let sc_raw = {
+        let _span = vrm_obs::span!("check_wdrf.sc_walk");
+        let sc_prog = match spec.isolation {
+            IsolationMode::Strong => prog.clone(),
+            IsolationMode::Weak => oracle_closure(prog, spec, &cfg.values, cfg.oracle_rounds),
+        };
+        let mut scfg = cfg.sc;
+        scfg.jobs = cfg.jobs;
+        enumerate_sc_with(&sc_prog, &scfg)?
     };
-    let mut scfg = cfg.sc;
-    scfg.jobs = cfg.jobs;
-    let sc_raw = enumerate_sc_with(&sc_prog, &scfg)?;
     stats.absorb(&sc_raw.stats);
     let sc = project_kernel(&sc_raw, spec);
 

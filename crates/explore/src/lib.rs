@@ -59,7 +59,7 @@
 //! same configuration, deadline and statistics plumbing; chunks skipped
 //! by a deadline are reported as truncation, not an error.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::collections::{HashSet, VecDeque};
 use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher, Hash, Hasher};
@@ -69,6 +69,50 @@ use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use vrm_faults::{FaultKind, Site};
+
+/// Process-global observability counters fed by both drivers; see
+/// `docs/TELEMETRY.md` for how they surface in `"metrics"` trace lines.
+static OBS_POPPED: vrm_obs::Counter = vrm_obs::Counter::new("explore.states_popped");
+static OBS_PUSHED: vrm_obs::Counter = vrm_obs::Counter::new("explore.states_pushed");
+static OBS_DEDUP: vrm_obs::Counter = vrm_obs::Counter::new("explore.dedup_hits");
+static OBS_STEALS: vrm_obs::Counter = vrm_obs::Counter::new("explore.deque_steals");
+static OBS_CHUNKS: vrm_obs::Counter = vrm_obs::Counter::new("explore.partition_chunks");
+
+/// Per-run profiling state, allocated only when `VRM_TRACE` is active:
+/// phase histograms fed at the drivers' existing yield points plus the
+/// gate that rate-limits periodic `"metrics"` lines. Off-path cost of
+/// the whole apparatus is the one `vrm_obs::enabled()` branch that
+/// decides not to build it.
+struct RunObs {
+    expand: vrm_obs::Histogram,
+    steal: vrm_obs::Histogram,
+    idle: vrm_obs::Histogram,
+    gate: vrm_obs::SnapshotGate,
+}
+
+impl RunObs {
+    fn if_tracing() -> Option<RunObs> {
+        vrm_obs::enabled().then(|| RunObs {
+            expand: vrm_obs::Histogram::new(),
+            steal: vrm_obs::Histogram::new(),
+            idle: vrm_obs::Histogram::new(),
+            gate: vrm_obs::SnapshotGate::new(),
+        })
+    }
+
+    /// Emits the run's `"profile"` line (expand always; steal/idle only
+    /// where the parallel driver recorded them).
+    fn finish(&self, scope: &str) {
+        let mut phases: Vec<(&str, &vrm_obs::Histogram)> = vec![("expand", &self.expand)];
+        if self.steal.count() > 0 {
+            phases.push(("steal", &self.steal));
+        }
+        if self.idle.count() > 0 {
+            phases.push(("idle", &self.idle));
+        }
+        vrm_obs::emit_profile(scope, &phases);
+    }
+}
 
 /// How an exploration is bounded and driven.
 ///
@@ -248,6 +292,19 @@ pub struct ExploreStats {
     pub frontier_peak: usize,
     /// Successors that were already in the visited set.
     pub dedup_hits: usize,
+    /// States taken off a worklist and expanded. For a full
+    /// (non-halting, non-truncated) walk this equals `states` — each
+    /// visited state is expanded exactly once, by either driver — which
+    /// is what makes it a deterministic cross-driver invariant.
+    pub popped: usize,
+    /// Fresh successors queued for expansion (initial states are
+    /// seeded, not pushed). Deterministic for a full walk:
+    /// `states - initial_count`.
+    pub pushed: usize,
+    /// Work items taken from *another* worker's deque by the parallel
+    /// driver. Always 0 for the sequential driver, and scheduling-
+    /// dependent (not deterministic) when parallel.
+    pub steals: usize,
     /// Wall-clock time of the walk, in nanoseconds (u64 keeps the
     /// struct `Copy`+`Eq`; see [`ExploreStats::wall`]).
     pub wall_ns: u64,
@@ -270,6 +327,9 @@ impl ExploreStats {
         self.states += other.states;
         self.frontier_peak = self.frontier_peak.max(other.frontier_peak);
         self.dedup_hits += other.dedup_hits;
+        self.popped += other.popped;
+        self.pushed += other.pushed;
+        self.steals += other.steals;
         self.wall_ns = self.wall_ns.max(other.wall_ns);
         self.jobs = self.jobs.max(other.jobs);
         self.completeness.merge(other.completeness);
@@ -771,6 +831,8 @@ fn sequential_from<SP: StateSpace>(
     resume: Option<ResumeState<SP::State>>,
 ) -> ExploreResult<SP> {
     let start = Instant::now();
+    let _span = vrm_obs::span!("explore.sequential");
+    let obs = RunObs::if_tracing();
     let mut stats = ExploreStats {
         jobs: 1,
         ..Default::default()
@@ -811,10 +873,26 @@ fn sequential_from<SP: StateSpace>(
         if vrm_faults::poll(Site::Sequential) == Some(FaultKind::Delay) {
             std::thread::sleep(FAULT_DELAY);
         }
+        if let Some(o) = &obs {
+            if o.gate.due() {
+                vrm_obs::emit_metrics(
+                    "explore.sequential",
+                    &[("frontier_len", stack.len() as u64)],
+                );
+            }
+        }
         let Some((state, depth)) = stack.pop() else {
             break;
         };
-        space.expand(&state, &mut sink);
+        stats.popped += 1;
+        match &obs {
+            Some(o) => {
+                let t = Instant::now();
+                space.expand(&state, &mut sink);
+                o.expand.record(t.elapsed());
+            }
+            None => space.expand(&state, &mut sink),
+        }
         emits.append(&mut sink.emits);
         if sink.halted {
             sink.succ.clear();
@@ -835,11 +913,18 @@ fn sequential_from<SP: StateSpace>(
                 continue;
             }
             stack.push((next, depth + 1));
+            stats.pushed += 1;
             stats.frontier_peak = stats.frontier_peak.max(stack.len());
         }
     }
     stats.states = visited.len();
     stats.wall_ns = saturating_ns(start.elapsed());
+    OBS_POPPED.add(stats.popped as u64);
+    OBS_PUSHED.add(stats.pushed as u64);
+    OBS_DEDUP.add(stats.dedup_hits as u64);
+    if let Some(o) = &obs {
+        o.finish("explore.sequential");
+    }
     let resume_out = match trunc {
         None => None,
         Some(reason) => {
@@ -945,6 +1030,9 @@ fn parallel_from<SP: StateSpace>(
 ) -> ExploreResult<SP> {
     let start = Instant::now();
     let jobs = cfg.jobs.max(2);
+    let _span = vrm_obs::span!("explore.parallel", jobs = jobs);
+    let obs = RunObs::if_tracing();
+    let obs = obs.as_ref();
     let (prior_set, seeded) = match resume {
         Some(r) => (r.visited_digests, Some(r.frontier)),
         None => (HashSet::new(), None),
@@ -962,6 +1050,9 @@ fn parallel_from<SP: StateSpace>(
     let pending = AtomicUsize::new(0);
     let frontier_peak = AtomicUsize::new(0);
     let dedup_hits = AtomicUsize::new(0);
+    let popped = AtomicUsize::new(0);
+    let pushed = AtomicUsize::new(0);
+    let steals = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
     let alive = AtomicUsize::new(jobs);
     let all_dead = AtomicBool::new(false);
@@ -1009,6 +1100,9 @@ fn parallel_from<SP: StateSpace>(
             let pending = &pending;
             let frontier_peak = &frontier_peak;
             let dedup_hits = &dedup_hits;
+            let popped = &popped;
+            let pushed = &pushed;
+            let steals = &steals;
             let abort = &abort;
             let alive = &alive;
             let all_dead = &all_dead;
@@ -1033,6 +1127,14 @@ fn parallel_from<SP: StateSpace>(
                             truncate(TruncationReason::Deadline);
                             break;
                         }
+                        if let Some(o) = obs {
+                            if o.gate.due() {
+                                vrm_obs::emit_metrics(
+                                    "explore.parallel",
+                                    &[("pending", pending.load(Ordering::Relaxed) as u64)],
+                                );
+                            }
+                        }
                         match vrm_faults::poll(Site::ParallelWorker) {
                             Some(FaultKind::Delay) => std::thread::sleep(FAULT_DELAY),
                             Some(FaultKind::WorkerPanic) if reserve_death(alive) => {
@@ -1052,9 +1154,19 @@ fn parallel_from<SP: StateSpace>(
                             let own = lock_tolerant(&queues[me]).pop_back();
                             match own {
                                 Some(j) => Some(j),
-                                None => (1..jobs).find_map(|d| {
-                                    lock_tolerant(&queues[(me + d) % jobs]).pop_front()
-                                }),
+                                None => {
+                                    let t = obs.map(|_| Instant::now());
+                                    let stolen = (1..jobs).find_map(|d| {
+                                        lock_tolerant(&queues[(me + d) % jobs]).pop_front()
+                                    });
+                                    if stolen.is_some() {
+                                        steals.fetch_add(1, Ordering::Relaxed);
+                                        if let (Some(o), Some(t)) = (obs, t) {
+                                            o.steal.record(t.elapsed());
+                                        }
+                                    }
+                                    stolen
+                                }
                             }
                         };
                         let Some((state, depth)) = job else {
@@ -1062,14 +1174,19 @@ fn parallel_from<SP: StateSpace>(
                                 break;
                             }
                             spins += 1;
+                            let t = obs.map(|_| Instant::now());
                             if spins > 64 {
                                 std::thread::sleep(Duration::from_micros(50));
                             } else {
                                 std::thread::yield_now();
                             }
+                            if let (Some(o), Some(t)) = (obs, t) {
+                                o.idle.record(t.elapsed());
+                            }
                             continue;
                         };
                         spins = 0;
+                        popped.fetch_add(1, Ordering::Relaxed);
                         // Park the state in the in-flight slot for the
                         // whole expansion: if `expand` panics, the
                         // containment handler finds it here and
@@ -1079,7 +1196,14 @@ fn parallel_from<SP: StateSpace>(
                         *slot = Some((state, depth));
                         {
                             let parked = slot.as_ref().expect("in-flight state just parked");
-                            space.expand(&parked.0, &mut sink);
+                            match obs {
+                                Some(o) => {
+                                    let t = Instant::now();
+                                    space.expand(&parked.0, &mut sink);
+                                    o.expand.record(t.elapsed());
+                                }
+                                None => space.expand(&parked.0, &mut sink),
+                            }
                         }
                         emits.append(&mut sink.emits);
                         if sink.halted {
@@ -1115,6 +1239,7 @@ fn parallel_from<SP: StateSpace>(
                         // and only after the in-flight slot is cleared, so
                         // a state is never both requeued and released.
                         if !fresh.is_empty() {
+                            pushed.fetch_add(fresh.len(), Ordering::Relaxed);
                             let now =
                                 pending.fetch_add(fresh.len(), Ordering::SeqCst) + fresh.len();
                             frontier_peak.fetch_max(now, Ordering::Relaxed);
@@ -1167,10 +1292,20 @@ fn parallel_from<SP: StateSpace>(
         states: visited.len.load(Ordering::Relaxed),
         frontier_peak: frontier_peak.load(Ordering::Relaxed),
         dedup_hits: dedup_hits.load(Ordering::Relaxed),
+        popped: popped.load(Ordering::Relaxed),
+        pushed: pushed.load(Ordering::Relaxed),
+        steals: steals.load(Ordering::Relaxed),
         wall_ns: saturating_ns(start.elapsed()),
         jobs,
         completeness: Completeness::Exhaustive,
     };
+    OBS_POPPED.add(stats.popped as u64);
+    OBS_PUSHED.add(stats.pushed as u64);
+    OBS_DEDUP.add(stats.dedup_hits as u64);
+    OBS_STEALS.add(stats.steals as u64);
+    if let Some(o) = obs {
+        o.finish("explore.parallel");
+    }
     let trunc_reason = lock_tolerant(&trunc).take();
     let resume_out = match trunc_reason {
         None => None,
@@ -1289,6 +1424,7 @@ where
     F: Fn(std::ops::Range<u64>) -> T + Sync,
 {
     let start = Instant::now();
+    let _span = vrm_obs::span!("explore.partition", total = total, jobs = cfg.jobs);
     if cfg.jobs <= 1 || total < 2 {
         let expired = cfg.deadline.is_some_and(|d| start.elapsed() > d);
         let (out, completeness) = if expired {
@@ -1300,15 +1436,16 @@ where
                 },
             )
         } else {
+            OBS_CHUNKS.add(1);
             (vec![work(0..total)], Completeness::Exhaustive)
         };
         let stats = ExploreStats {
             states: if expired { 0 } else { total as usize },
             frontier_peak: 1,
-            dedup_hits: 0,
             wall_ns: saturating_ns(start.elapsed()),
             jobs: 1,
             completeness,
+            ..Default::default()
         };
         return (out, stats);
     }
@@ -1371,13 +1508,14 @@ where
             frontier_len: skipped,
         }
     };
+    OBS_CHUNKS.add(chunks - skipped as u64);
     let stats = ExploreStats {
         states: covered as usize,
         frontier_peak: chunks as usize,
-        dedup_hits: 0,
         wall_ns: saturating_ns(start.elapsed()),
         jobs,
         completeness,
+        ..Default::default()
     };
     (out, stats)
 }
@@ -1573,6 +1711,33 @@ mod tests {
             assert_eq!(emit_set(&par), emit_set(&seq), "jobs={jobs}");
             assert!(par.stats.completeness.is_exhaustive());
             assert!(par.resume.is_none());
+        }
+    }
+
+    #[test]
+    fn work_counters_are_deterministic_across_drivers() {
+        // For a full walk: every visited state is popped and expanded
+        // exactly once, every non-initial visited state was pushed
+        // exactly once, and dedup hits are total successors minus fresh
+        // ones — all independent of scheduling, hence identical for the
+        // sequential and any parallel run. Steals and timings are the
+        // scheduling-dependent remainder and are deliberately excluded.
+        if std::env::var("VRM_FAULT_SEED").is_ok() {
+            // An injected worker death requeues (and later re-pops) its
+            // in-flight state, so pop counts legitimately drift under
+            // fault injection.
+            return;
+        }
+        let space = Bits { n: 10 };
+        let seq = explore(&space, &ExploreConfig::default()).unwrap();
+        assert_eq!(seq.stats.popped, 1 << 10);
+        assert_eq!(seq.stats.pushed, (1 << 10) - 1);
+        assert_eq!(seq.stats.steals, 0);
+        for jobs in [2, 4] {
+            let par = explore(&space, &ExploreConfig::default().jobs(jobs)).unwrap();
+            assert_eq!(par.stats.popped, seq.stats.popped, "jobs={jobs}");
+            assert_eq!(par.stats.pushed, seq.stats.pushed, "jobs={jobs}");
+            assert_eq!(par.stats.dedup_hits, seq.stats.dedup_hits, "jobs={jobs}");
         }
     }
 
@@ -2077,6 +2242,9 @@ mod tests {
             states: 10,
             frontier_peak: 4,
             dedup_hits: 2,
+            popped: 10,
+            pushed: 9,
+            steals: 0,
             wall_ns: 100,
             jobs: 1,
             completeness: Completeness::Exhaustive,
@@ -2085,6 +2253,9 @@ mod tests {
             states: 5,
             frontier_peak: 9,
             dedup_hits: 1,
+            popped: 5,
+            pushed: 4,
+            steals: 2,
             wall_ns: 50,
             jobs: 4,
             completeness: Completeness::Truncated {
@@ -2096,6 +2267,9 @@ mod tests {
         assert_eq!(a.states, 15);
         assert_eq!(a.frontier_peak, 9);
         assert_eq!(a.dedup_hits, 3);
+        assert_eq!(a.popped, 15);
+        assert_eq!(a.pushed, 13);
+        assert_eq!(a.steals, 2);
         assert_eq!(a.wall_ns, 100);
         assert_eq!(a.jobs, 4);
         assert_eq!(

@@ -76,6 +76,10 @@ pub const SEED_ENV: &str = "VRM_FAULT_SEED";
 static SEED: OnceLock<Option<u64>> = OnceLock::new();
 static POLLS: AtomicU64 = AtomicU64::new(0);
 
+/// Count of faults actually proposed (not merely polled), surfaced in
+/// `vrm-obs` metrics snapshots next to the engine's own counters.
+static OBS_FIRED: vrm_obs::Counter = vrm_obs::Counter::new("faults.fired");
+
 /// The configured seed, read once from [`SEED_ENV`]; `None` disarms
 /// the injector entirely.
 pub fn seed() -> Option<u64> {
@@ -110,7 +114,22 @@ const FIRE_PERIOD: u64 = 1021;
 pub fn poll(site: Site) -> Option<FaultKind> {
     let seed = seed()?;
     let n = POLLS.fetch_add(1, Ordering::Relaxed);
-    decide(seed, n, site)
+    let fault = decide(seed, n, site);
+    if let Some(kind) = fault {
+        OBS_FIRED.add(1);
+        // Rare path (roughly one poll in a thousand), so the trace
+        // event's formatting cost is irrelevant; each injected fault
+        // becomes visible in the trace next to what it disrupted.
+        vrm_obs::event(
+            "fault_injected",
+            &[
+                ("kind", format!("{kind:?}").as_str().into()),
+                ("site", format!("{site:?}").as_str().into()),
+                ("poll_index", n.into()),
+            ],
+        );
+    }
+    fault
 }
 
 /// The decision function behind [`poll`], split out for determinism

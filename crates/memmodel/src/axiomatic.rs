@@ -36,6 +36,32 @@ use crate::ir::{Addr, Expr, Fence, Inst, Observable, Program, Val};
 use crate::outcome::{Outcome, OutcomeSet, ThreadExit};
 use crate::values::{analyze, ValueConfig};
 
+/// Per-relation rejection counters for the candidate consistency
+/// check, surfaced in `vrm-obs` metrics snapshots: together with
+/// `axiomatic.candidates_accepted` they explain where the candidate
+/// sweep's time went and which axiom does the pruning.
+static OBS_REJ_INTERNAL: vrm_obs::Counter = vrm_obs::Counter::new("axiomatic.rejected_internal");
+static OBS_REJ_ATOMICITY: vrm_obs::Counter = vrm_obs::Counter::new("axiomatic.rejected_atomicity");
+static OBS_REJ_EXTERNAL: vrm_obs::Counter = vrm_obs::Counter::new("axiomatic.rejected_external");
+static OBS_ACCEPTED: vrm_obs::Counter = vrm_obs::Counter::new("axiomatic.candidates_accepted");
+
+/// Which axiom of the Armv8 external-consistency predicate rejected a
+/// candidate execution — [`Candidate::rejection`]'s verdict, in the
+/// order the axioms are checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RejectedBy {
+    /// `internal`: acyclic(po-loc ∪ rf ∪ co ∪ fr) failed — the
+    /// candidate is not even sequentially consistent per location.
+    InternalVisibility,
+    /// `atomicity`: rmw ∩ (fre; coe) ≠ ∅ — a foreign write landed
+    /// between an exclusive pair.
+    Atomicity,
+    /// `external`: acyclic(ob) failed — the ordered-before relation
+    /// (observed-by, dependency, barrier and release/acquire order) has
+    /// a cycle.
+    ExternalVisibility,
+}
+
 /// Maximum events per candidate execution (bitmask-based relations).
 pub const MAX_EVENTS: usize = 64;
 
@@ -566,7 +592,34 @@ impl<'a> Candidate<'a> {
         }
     }
 
+    /// `true` iff the candidate satisfies every axiom, counting the
+    /// verdict into the per-relation `vrm-obs` counters.
     fn consistent(&self) -> bool {
+        match self.rejection() {
+            None => {
+                OBS_ACCEPTED.add(1);
+                true
+            }
+            Some(RejectedBy::InternalVisibility) => {
+                OBS_REJ_INTERNAL.add(1);
+                false
+            }
+            Some(RejectedBy::Atomicity) => {
+                OBS_REJ_ATOMICITY.add(1);
+                false
+            }
+            Some(RejectedBy::ExternalVisibility) => {
+                OBS_REJ_EXTERNAL.add(1);
+                false
+            }
+        }
+    }
+
+    /// The external-consistency predicate of the Armv8 axiomatic model,
+    /// reporting *which* axiom rejected the candidate (`None` =
+    /// consistent). Axioms are checked in their documented order, so a
+    /// candidate failing several reports the first.
+    fn rejection(&self) -> Option<RejectedBy> {
         let n = self.events.len();
         let ext = |a: usize, b: usize| self.events[a].tid != self.events[b].tid;
         let is_w = |e: &GEvent| e.kind == EvKind::Write;
@@ -590,7 +643,7 @@ impl<'a> Candidate<'a> {
             }
         }
         if !internal.acyclic() {
-            return false;
+            return Some(RejectedBy::InternalVisibility);
         }
 
         // Atomicity: rmw ∩ (fre; coe) = ∅.
@@ -601,7 +654,7 @@ impl<'a> Candidate<'a> {
             for x in 0..n {
                 if is_w(&self.events[x]) && ext(r, x) && ext(x, w) && self.fr(r, x) && self.co(x, w)
                 {
-                    return false;
+                    return Some(RejectedBy::Atomicity);
                 }
             }
         }
@@ -746,7 +799,11 @@ impl<'a> Candidate<'a> {
         for (i, j) in extra {
             ob.add(i, j);
         }
-        ob.acyclic()
+        if ob.acyclic() {
+            None
+        } else {
+            Some(RejectedBy::ExternalVisibility)
+        }
     }
 }
 
@@ -782,6 +839,11 @@ pub fn enumerate_axiomatic(prog: &Program) -> Result<OutcomeSet, AxError> {
 
 /// [`enumerate_axiomatic`] with explicit configuration.
 pub fn enumerate_axiomatic_with(prog: &Program, cfg: &AxConfig) -> Result<AxResult, AxError> {
+    let _span = vrm_obs::span!(
+        "enumerate.axiomatic",
+        prog = prog.name.as_str(),
+        jobs = cfg.jobs
+    );
     if prog.uses_vm() {
         return Err(AxError::Unsupported("virtual memory / TLB instructions"));
     }

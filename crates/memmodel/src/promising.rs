@@ -43,6 +43,14 @@ use crate::outcome::{Outcome, OutcomeSet, ThreadExit};
 use crate::sc::ExploreError;
 use crate::values::{analyze, ValueAnalysis, ValueConfig};
 
+/// Promise certifications attempted (each is its own bounded engine
+/// sub-exploration); surfaced in `vrm-obs` metrics snapshots.
+static OBS_CERTIFICATIONS: vrm_obs::Counter = vrm_obs::Counter::new("promising.certifications");
+/// Certifications that failed or were inconclusive — the promise was
+/// refused. The gap between this and `promising.certifications` is the
+/// accepted-promise rate.
+static OBS_CERT_REFUSED: vrm_obs::Counter = vrm_obs::Counter::new("promising.cert_refused");
+
 /// A timestamp into the message list (0 = initial memory).
 pub type Ts = u32;
 
@@ -1260,13 +1268,15 @@ impl<'a> StepCtx<'a> {
         if st.threads[tid].prom.is_empty() {
             return true;
         }
+        OBS_CERTIFICATIONS.add(1);
+        let _span = vrm_obs::span!("certify", tid = tid, promises = st.threads[tid].prom.len());
         let ecfg = ExploreConfig::with_max_states(self.cfg.max_cert_states);
         let space = CertifySpace {
             ctx: self,
             root: st,
             tid,
         };
-        match vrm_explore::explore(&space, &ecfg) {
+        let ok = match vrm_explore::explore(&space, &ecfg) {
             Ok(expl) => {
                 let mut ok = false;
                 for e in expl.emits {
@@ -1291,7 +1301,11 @@ impl<'a> StepCtx<'a> {
                 eff.truncated = true;
                 false
             }
+        };
+        if !ok {
+            OBS_CERT_REFUSED.add(1);
         }
+        ok
     }
 }
 
@@ -1428,6 +1442,12 @@ pub fn enumerate_promising_with(
     prog: &Program,
     cfg: &PromisingConfig,
 ) -> Result<PromisingResult, ExploreError> {
+    let _span = vrm_obs::span!(
+        "enumerate.promising",
+        prog = prog.name.as_str(),
+        jobs = cfg.jobs,
+        promises = u64::from(cfg.promises),
+    );
     let domain = if cfg.promises {
         analyze(prog, &cfg.value_cfg)
     } else {

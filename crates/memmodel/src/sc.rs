@@ -567,6 +567,7 @@ impl StateSpace for ScSpace<'_> {
 /// faults overwhelming containment) the enumeration is retried once on
 /// the sequential driver, which cannot lose workers.
 pub fn enumerate_sc_with(prog: &Program, cfg: &ScConfig) -> Result<OutcomeSet, ExploreError> {
+    let _span = vrm_obs::span!("enumerate.sc", prog = prog.name.as_str(), jobs = cfg.jobs);
     let ecfg = ExploreConfig::with_max_states(cfg.max_states).jobs(cfg.jobs);
     let space = ScSpace { prog };
     let exploration = match vrm_explore::explore(&space, &ecfg) {

@@ -169,7 +169,7 @@ enum Subject {
     Degradation { variant: DegradationVariant },
 }
 
-/// Which engine degradation rule a [`Subject::Degradation`] mutant
+/// Which engine degradation rule a `Subject::Degradation` mutant
 /// re-implements with the soundness guard removed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DegradationVariant {

@@ -1,0 +1,219 @@
+//! Schema-versioned perf records — the `BENCH_*.json` format.
+//!
+//! Every `--emit-bench` run (litmus corpus, wDRF checks, machine
+//! schedule exploration) writes one [`BenchFile`]: a schema tag, the
+//! suite name, and a list of flat [`BenchRecord`]s with integer
+//! metrics (counts and nanoseconds). The schema is versioned so the
+//! perf trajectory can accumulate across PRs and still be parsed by
+//! tooling written against an older shape; field-by-field docs live in
+//! `docs/TELEMETRY.md`.
+
+use std::path::Path;
+
+use crate::json::{counts_to_json, parse, Json, ObjWriter};
+
+/// The schema tag written into every bench file. Bump the trailing
+/// version (and document the change in `docs/TELEMETRY.md`) when the
+/// shape changes incompatibly.
+pub const BENCH_SCHEMA: &str = "vrm-bench/v1";
+
+/// One measured workload: a name, string parameters (configuration
+/// that identifies the run), and integer metrics (what was measured).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Workload name, unique within the file (e.g. the litmus test
+    /// name, `"wdrf/example1"`, `"schedules/unmap"`).
+    pub name: String,
+    /// Identifying parameters, e.g. `("jobs", "4")`, `("driver",
+    /// "parallel")`. Values are strings so budgets like `"none"` fit.
+    pub params: Vec<(String, String)>,
+    /// Measured values: state counts, candidate counts, `wall_ns`
+    /// wall-clock times, verdict exit codes. Counts and nanoseconds
+    /// only — derived ratios belong to whoever reads the trajectory.
+    pub metrics: Vec<(String, u64)>,
+}
+
+impl BenchRecord {
+    /// A record with no params or metrics yet.
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchRecord {
+            name: name.into(),
+            params: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Adds an identifying parameter (builder style). Params are kept
+    /// sorted by key — the canonical order JSON round-trips preserve.
+    pub fn param(mut self, key: &str, val: impl ToString) -> Self {
+        let entry = (key.to_string(), val.to_string());
+        let at = self.params.partition_point(|(k, _)| *k < entry.0);
+        self.params.insert(at, entry);
+        self
+    }
+
+    /// Adds a measured metric (builder style). Metrics are kept sorted
+    /// by key — the canonical order JSON round-trips preserve.
+    pub fn metric(mut self, key: &str, val: u64) -> Self {
+        let entry = (key.to_string(), val);
+        let at = self.metrics.partition_point(|(k, _)| *k < entry.0);
+        self.metrics.insert(at, entry);
+        self
+    }
+
+    /// The metric named `key`, if recorded.
+    pub fn get_metric(&self, key: &str) -> Option<u64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+
+    fn to_json(&self) -> String {
+        let mut w = ObjWriter::new();
+        w.field_str("name", &self.name);
+        let mut params = ObjWriter::new();
+        for (k, v) in &self.params {
+            params.field_str(k, v);
+        }
+        w.field_raw("params", &params.finish());
+        w.field_raw("metrics", &counts_to_json(&self.metrics));
+        w.finish()
+    }
+
+    fn from_json(v: &Json) -> Option<Self> {
+        let name = v.get("name")?.as_str()?.to_string();
+        let mut params = Vec::new();
+        for (k, pv) in v.get("params")?.as_obj()? {
+            params.push((k.clone(), pv.as_str()?.to_string()));
+        }
+        let mut metrics = Vec::new();
+        for (k, mv) in v.get("metrics")?.as_obj()? {
+            metrics.push((k.clone(), mv.as_u64()?));
+        }
+        Some(BenchRecord {
+            name,
+            params,
+            metrics,
+        })
+    }
+}
+
+/// A full `BENCH_*.json` document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchFile {
+    /// Always [`BENCH_SCHEMA`] when written by this crate; readers
+    /// must check it before interpreting records.
+    pub schema: String,
+    /// Which harness suite produced the file (`"explore"`, `"wdrf"`,
+    /// `"schedules"`).
+    pub suite: String,
+    /// The measured workloads, in run order.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchFile {
+    /// An empty bench file for `suite`, stamped with the current
+    /// schema.
+    pub fn new(suite: impl Into<String>) -> Self {
+        BenchFile {
+            schema: BENCH_SCHEMA.to_string(),
+            suite: suite.into(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Serializes the file as pretty-enough JSON (one record per line,
+    /// so the in-repo baseline diffs readably).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut head = ObjWriter::new();
+        head.field_str("schema", &self.schema)
+            .field_str("suite", &self.suite);
+        let head = head.finish();
+        // Splice the two header fields out of their object braces.
+        out.push_str("  ");
+        out.push_str(&head[1..head.len() - 1]);
+        out.push_str(",\n  \"records\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(&r.to_json());
+            if i + 1 < self.records.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a document produced by [`BenchFile::to_json`], rejecting
+    /// unknown schemas and malformed records.
+    pub fn from_json(text: &str) -> Option<Self> {
+        let v = parse(text)?;
+        let schema = v.get("schema")?.as_str()?.to_string();
+        if schema != BENCH_SCHEMA {
+            return None;
+        }
+        let suite = v.get("suite")?.as_str()?.to_string();
+        let mut records = Vec::new();
+        for r in v.get("records")?.as_arr()? {
+            records.push(BenchRecord::from_json(r)?);
+        }
+        Some(BenchFile {
+            schema,
+            suite,
+            records,
+        })
+    }
+
+    /// The record named `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&BenchRecord> {
+        self.records.iter().find(|r| r.name == name)
+    }
+
+    /// Writes the file to `path` (atomically enough for a bench
+    /// artifact: full rewrite, not append).
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads and parses a bench file from `path`.
+    pub fn read_from(path: &Path) -> Option<Self> {
+        Self::from_json(&std::fs::read_to_string(path).ok()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_file_round_trips() {
+        let mut f = BenchFile::new("explore");
+        f.records.push(
+            BenchRecord::new("mp+dmb+ctrl-isb")
+                .param("jobs", 4)
+                .param("budget", "none")
+                .metric("sc_states", 17)
+                .metric("wall_ns", 1_234_567),
+        );
+        f.records.push(
+            BenchRecord::new("wdrf/example1")
+                .param("variant", "fixed")
+                .metric("states", 99)
+                .metric("exit_code", 0),
+        );
+        let text = f.to_json();
+        let back = BenchFile::from_json(&text).expect("round trip");
+        assert_eq!(back, f);
+        assert_eq!(
+            back.get("mp+dmb+ctrl-isb").unwrap().get_metric("sc_states"),
+            Some(17)
+        );
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected() {
+        let mut f = BenchFile::new("explore");
+        f.schema = "vrm-bench/v0".into();
+        assert!(BenchFile::from_json(&f.to_json()).is_none());
+    }
+}

@@ -1,0 +1,157 @@
+//! Lock-free named counters.
+//!
+//! A [`Counter`] is declared `static` at its point of use and costs one
+//! relaxed `fetch_add` per increment after a one-time registration (a
+//! `OnceLock` load on every later call). All live counters are listed
+//! in a global registry so [`snapshot`] can aggregate the process-wide
+//! totals into a [`MetricsSnapshot`] without knowing who declared what.
+//!
+//! Counters are *cumulative and monotone* over the life of the process
+//! (they only ever increase), which is what makes periodic snapshots
+//! subtractable: the delta between two snapshots is the work done in
+//! between, regardless of how many explorations ran concurrently.
+//!
+//! Per-run counters (states, pops, pushes, steals of one exploration)
+//! live in `ExploreStats` over in `vrm-explore`; the globals here are
+//! the process-wide view a long campaign or a trace consumer wants.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// The global registry: every registered counter's name and cell.
+/// Cells are leaked `AtomicU64`s, so reads never take the lock.
+static REGISTRY: Mutex<Vec<(&'static str, &'static AtomicU64)>> = Mutex::new(Vec::new());
+
+/// A named, process-global, monotonically increasing counter.
+///
+/// Declare it `static`, bump it with [`Counter::add`]:
+///
+/// ```
+/// static CERTS: vrm_obs::Counter = vrm_obs::Counter::new("promising.certifications");
+/// CERTS.add(1);
+/// assert!(CERTS.get() >= 1);
+/// ```
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    cell: OnceLock<&'static AtomicU64>,
+}
+
+impl Counter {
+    /// Declares a counter under `name`. Registration with the global
+    /// registry happens lazily on first use; two counters sharing a
+    /// name share a cell.
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn cell(&self) -> &'static AtomicU64 {
+        self.cell.get_or_init(|| {
+            let mut reg = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some((_, cell)) = reg.iter().find(|(n, _)| *n == self.name) {
+                cell
+            } else {
+                let cell: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+                reg.push((self.name, cell));
+                cell
+            }
+        })
+    }
+
+    /// Adds `n` to the counter (relaxed; counters are statistics, not
+    /// synchronization).
+    pub fn add(&self, n: u64) {
+        self.cell().fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The counter's current value.
+    pub fn get(&self) -> u64 {
+        self.cell().load(Ordering::Relaxed)
+    }
+
+    /// The counter's name as given to [`Counter::new`].
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// One aggregated reading of every registered counter, plus a sequence
+/// number and capture timestamp. Serialized as a `"metrics"` trace line
+/// (see `docs/TELEMETRY.md`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Monotone per-process snapshot sequence number (starts at 0).
+    pub seq: u64,
+    /// Nanoseconds since the process trace epoch when this snapshot was
+    /// taken.
+    pub t_ns: u64,
+    /// `(name, value)` for every registered counter, sorted by name so
+    /// snapshots are diffable line-to-line.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// The value of counter `name` in this snapshot, if present.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+static SNAPSHOT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Captures a [`MetricsSnapshot`] of every registered counter.
+///
+/// `t_ns` is supplied by the caller (the trace module knows the
+/// process epoch) so this module stays clock-free.
+pub fn snapshot(t_ns: u64) -> MetricsSnapshot {
+    let reg = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    let mut counters: Vec<(String, u64)> = reg
+        .iter()
+        .map(|(n, c)| (n.to_string(), c.load(Ordering::Relaxed)))
+        .collect();
+    drop(reg);
+    counters.sort();
+    MetricsSnapshot {
+        seq: SNAPSHOT_SEQ.fetch_add(1, Ordering::Relaxed),
+        t_ns,
+        counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_accumulate_and_snapshot() {
+        static A: Counter = Counter::new("test.counters.a");
+        static B: Counter = Counter::new("test.counters.b");
+        A.add(2);
+        B.add(40);
+        A.add(3);
+        let snap = snapshot(0);
+        assert!(snap.get("test.counters.a").unwrap() >= 5);
+        assert!(snap.get("test.counters.b").unwrap() >= 40);
+        // Monotone: a later snapshot never goes down, and seq advances.
+        let later = snapshot(1);
+        assert!(later.seq > snap.seq);
+        for (name, v) in &snap.counters {
+            assert!(later.get(name).unwrap() >= *v, "{name} went backwards");
+        }
+    }
+
+    #[test]
+    fn same_name_shares_a_cell() {
+        static X1: Counter = Counter::new("test.counters.shared");
+        static X2: Counter = Counter::new("test.counters.shared");
+        let before = X1.get();
+        X2.add(7);
+        assert!(X1.get() >= before + 7);
+    }
+}

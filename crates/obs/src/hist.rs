@@ -1,0 +1,159 @@
+//! Log-scaled concurrent duration histograms.
+//!
+//! The profiling hooks at the drivers' yield points need a histogram
+//! that many workers can feed without locks and that summarizes to a
+//! handful of numbers for a trace line. Buckets are powers of two of
+//! nanoseconds — bucket `i` holds samples in `[2^i, 2^(i+1))` ns
+//! (bucket 0 also takes 0 ns) — giving ~1.4 significant digits over
+//! the full `u64` range with 64 atomic words of storage, the same
+//! trade HdrHistogram-style recorders make coarser.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::ObjWriter;
+
+/// Number of power-of-two buckets: one per bit of a `u64` duration.
+pub const BUCKETS: usize = 64;
+
+/// A lock-free histogram of durations in nanoseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Index of the bucket holding `ns`: `floor(log2 ns)`, with 0 ns in
+    /// bucket 0.
+    pub fn bucket_of(ns: u64) -> usize {
+        (63 - ns.max(1).leading_zeros()) as usize
+    }
+
+    /// Records one duration (relaxed atomics; statistics only).
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`].
+    pub fn record(&self, d: std::time::Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded durations, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded duration, in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// An upper bound on the `q`-quantile (0.0..=1.0), in nanoseconds:
+    /// the top edge of the bucket where the cumulative count crosses
+    /// `q` (so at most 2× the true value). 0 for an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+            }
+        }
+        self.max_ns()
+    }
+
+    /// Serializes the histogram summary plus its non-empty buckets as a
+    /// JSON object (the `"profile"` trace line's per-phase payload):
+    /// `count`, `sum_ns`, `max_ns`, `p50_ns`, `p99_ns`, and `buckets`
+    /// as a `log2 → count` object.
+    pub fn to_json(&self) -> String {
+        let mut w = ObjWriter::new();
+        w.field_u64("count", self.count())
+            .field_u64("sum_ns", self.sum_ns())
+            .field_u64("max_ns", self.max_ns())
+            .field_u64("p50_ns", self.quantile_ns(0.50))
+            .field_u64("p99_ns", self.quantile_ns(0.99));
+        let mut buckets = ObjWriter::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.field_u64(&i.to_string(), n);
+            }
+        }
+        w.field_raw("buckets", &buckets.finish());
+        w.finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn summary_and_quantiles() {
+        let h = Histogram::new();
+        for ns in [10u64, 20, 30, 1000, 100_000] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_ns(), 101_060);
+        assert_eq!(h.max_ns(), 100_000);
+        // p50 falls in the bucket holding 20/30 ns ([16,32)) → edge 31.
+        assert_eq!(h.quantile_ns(0.5), 31);
+        assert!(h.quantile_ns(1.0) >= 100_000);
+        let json = crate::json::parse(&h.to_json()).expect("histogram json parses");
+        assert_eq!(json.get("count").and_then(|v| v.as_u64()), Some(5));
+        assert!(json.get("buckets").and_then(|b| b.as_obj()).is_some());
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_ns(0.99), 0);
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! `vrm-obs` — the workspace's observability layer.
+//!
+//! Every verification result here is produced by a long enumeration
+//! (state-space walks, candidate sweeps, schedule explorations), and
+//! before this crate existed the only visible output of a multi-hour
+//! run was its final verdict. `vrm-obs` gives every layer the same
+//! three instruments a production serving stack would demand of its
+//! hot loops, with the same discipline: **near-zero cost when off**.
+//!
+//! * **Counters** ([`Counter`], [`MetricsSnapshot`]) — lock-free,
+//!   process-global, monotone. The exploration drivers count states
+//!   popped/pushed, dedup hits and deque steals; the promising model
+//!   counts promise certifications; the axiomatic model counts
+//!   candidates rejected per relation. Always on (a relaxed
+//!   `fetch_add` is cheaper than the branch to skip it).
+//! * **Tracing** ([`span!`], [`event`], [`emit_metrics`]) — a
+//!   JSON-lines emitter gated by the `VRM_TRACE=<path>` environment
+//!   variable. Off: one atomic load and a branch per site. On: spans
+//!   record wall-time per named region (`certify`, `explore.parallel`,
+//!   `check_wdrf`), events mark point occurrences (fault injections),
+//!   and periodic `metrics` lines snapshot every counter mid-run, so a
+//!   stuck exploration shows *where* it is stuck.
+//! * **Histograms** ([`Histogram`]) — lock-free log2-bucketed duration
+//!   recorders the drivers feed at their existing yield points
+//!   (expand / steal / idle phases), summarized into a `profile` trace
+//!   line per run.
+//!
+//! The fourth piece, [`BenchFile`]/[`BenchRecord`], is the
+//! schema-versioned `BENCH_*.json` format the bench harness emits so
+//! the repo's perf trajectory accumulates across PRs.
+//!
+//! Everything is hand-rolled on `std` only (the build environment is
+//! offline), including the JSON writer/parser in [`json`]. The trace
+//! and bench schemas are documented field-by-field in
+//! `docs/TELEMETRY.md`; the design rationale (counter aggregation,
+//! snapshot cadence, off-path cost) is DESIGN.md §3.10.
+//!
+//! # Example
+//!
+//! ```
+//! static CANDIDATES: vrm_obs::Counter = vrm_obs::Counter::new("doc.candidates");
+//!
+//! fn check_one(tid: usize) {
+//!     let _span = vrm_obs::span!("doc.check", tid = tid);
+//!     CANDIDATES.add(1);
+//!     // ... timed work; the span line is emitted on drop when
+//!     // VRM_TRACE is set, and costs one branch when it is not.
+//! }
+//! check_one(0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod bench;
+pub mod counters;
+pub mod hist;
+pub mod json;
+pub mod trace;
+
+pub use bench::{BenchFile, BenchRecord, BENCH_SCHEMA};
+pub use counters::{snapshot, Counter, MetricsSnapshot};
+pub use hist::Histogram;
+pub use trace::{
+    drain_memory_sink, emit_metrics, emit_profile, enabled, event, install_memory_sink, now_ns,
+    span, FieldValue, SnapshotGate, Span, SNAPSHOT_PERIOD_NS, TRACE_ENV,
+};

@@ -1,0 +1,377 @@
+//! The `VRM_TRACE` JSON-lines trace emitter.
+//!
+//! Tracing is *off by default* and costs one atomic load and a branch
+//! per call site when off — the hot-path discipline every instrumented
+//! loop in `vrm-explore` relies on. It turns on in one of two ways:
+//!
+//! * the `VRM_TRACE=<path>` environment variable: every line is
+//!   appended to `<path>` (created if missing) through a buffered
+//!   writer that is flushed on each line, so a killed run still leaves
+//!   a readable trace;
+//! * [`install_memory_sink`], which tests use to capture lines
+//!   in-process without touching the filesystem or global env.
+//!
+//! Every line is one flat JSON object with a `"type"` discriminator
+//! (`span`, `event`, `metrics`, `profile`) and a `"t_us"` timestamp in
+//! microseconds since the process trace epoch (first trace activity).
+//! The full field-by-field schema lives in `docs/TELEMETRY.md`.
+
+use std::fs::OpenOptions;
+use std::io::{BufWriter, Write as _};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::ObjWriter;
+
+/// Environment variable naming the trace output path. Unset ⇒ tracing
+/// disabled.
+pub const TRACE_ENV: &str = "VRM_TRACE";
+
+const STATE_UNINIT: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+/// Fast-path gate: `STATE_ON` iff a sink is installed.
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+
+enum Sink {
+    File(Mutex<BufWriter<std::fs::File>>),
+    Memory(Mutex<Vec<String>>),
+}
+
+static SINK: OnceLock<Option<Sink>> = OnceLock::new();
+
+/// The process trace epoch: all `t_us`/`t_ns` timestamps are relative
+/// to this instant (first observability activity in the process).
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process trace epoch.
+pub fn now_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn init_sink() -> &'static Option<Sink> {
+    SINK.get_or_init(|| {
+        let path = std::env::var(TRACE_ENV).ok()?;
+        let path = path.trim();
+        if path.is_empty() {
+            return None;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .ok()?;
+        Some(Sink::File(Mutex::new(BufWriter::new(file))))
+    })
+}
+
+/// `true` iff tracing is active. This is the one branch instrumented
+/// hot loops pay when tracing is off: after the first call it is a
+/// single relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => {
+            let on = init_sink().is_some();
+            // Pin the epoch while we are in the slow path, so the first
+            // emitted timestamp is ~0 rather than process-age.
+            if on {
+                let _ = epoch();
+            }
+            STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Installs an in-memory sink capturing every trace line, for tests.
+/// Overrides (and wins over) `VRM_TRACE`; once installed it cannot be
+/// removed, only drained with [`drain_memory_sink`]. Returns `false`
+/// if a sink (file or memory) was already installed.
+pub fn install_memory_sink() -> bool {
+    let installed = SINK.set(Some(Sink::Memory(Mutex::new(Vec::new())))).is_ok();
+    if matches!(SINK.get(), Some(Some(_))) {
+        let _ = epoch();
+        STATE.store(STATE_ON, Ordering::Relaxed);
+    }
+    installed
+}
+
+/// Takes every line captured so far by the memory sink (empty when the
+/// sink is a file or tracing is off).
+pub fn drain_memory_sink() -> Vec<String> {
+    match SINK.get() {
+        Some(Some(Sink::Memory(lines))) => {
+            std::mem::take(&mut *lines.lock().unwrap_or_else(|p| p.into_inner()))
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Writes one raw line to the active sink. `line` must be a complete
+/// JSON object without the trailing newline.
+pub(crate) fn write_line(line: &str) {
+    match SINK.get() {
+        Some(Some(Sink::File(w))) => {
+            let mut w = w.lock().unwrap_or_else(|p| p.into_inner());
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+        Some(Some(Sink::Memory(lines))) => {
+            lines
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(line.to_string());
+        }
+        _ => {}
+    }
+}
+
+/// A field value attachable to spans and events: everything we record
+/// is a string, an integer, or a float.
+#[derive(Debug, Clone, Copy)]
+pub enum FieldValue<'a> {
+    /// A string value.
+    Str(&'a str),
+    /// An unsigned integer value.
+    U64(u64),
+    /// A float value.
+    F64(f64),
+}
+
+impl From<u64> for FieldValue<'_> {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue<'_> {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue<'_> {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<f64> for FieldValue<'_> {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl<'a> From<&'a str> for FieldValue<'a> {
+    fn from(v: &'a str) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+fn put_field(w: &mut ObjWriter, key: &str, val: &FieldValue<'_>) {
+    match *val {
+        FieldValue::Str(s) => w.field_str(key, s),
+        FieldValue::U64(u) => w.field_u64(key, u),
+        FieldValue::F64(f) => w.field_f64(key, f),
+    };
+}
+
+fn thread_label() -> String {
+    std::thread::current()
+        .name()
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{:?}", std::thread::current().id()))
+}
+
+/// A timed region of work. Created by [`span`] / the [`span!`](crate::span!) macro;
+/// emits one `"span"` trace line when dropped. When tracing is off the
+/// span is inert (no clock read, no allocation).
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start_ns: u64,
+    fields: Vec<(&'static str, OwnedField)>,
+    live: bool,
+}
+
+#[derive(Debug, Clone)]
+enum OwnedField {
+    Str(String),
+    U64(u64),
+    F64(f64),
+}
+
+impl Span {
+    /// Attaches a field to the span (no-op when tracing is off).
+    /// Builder-style so call sites chain off [`span`].
+    pub fn with<'a>(mut self, key: &'static str, val: impl Into<FieldValue<'a>>) -> Self {
+        if self.live {
+            let owned = match val.into() {
+                FieldValue::Str(s) => OwnedField::Str(s.to_string()),
+                FieldValue::U64(u) => OwnedField::U64(u),
+                FieldValue::F64(f) => OwnedField::F64(f),
+            };
+            self.fields.push((key, owned));
+        }
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        let end_ns = now_ns();
+        let mut w = ObjWriter::new();
+        w.field_str("type", "span")
+            .field_str("name", self.name)
+            .field_u64("t_us", self.start_ns / 1_000)
+            .field_u64("dur_us", end_ns.saturating_sub(self.start_ns) / 1_000)
+            .field_str("thread", &thread_label());
+        for (k, v) in &self.fields {
+            match v {
+                OwnedField::Str(s) => w.field_str(k, s),
+                OwnedField::U64(u) => w.field_u64(k, *u),
+                OwnedField::F64(f) => w.field_f64(k, *f),
+            };
+        }
+        write_line(&w.finish());
+    }
+}
+
+/// Opens a [`Span`] named `name`, measuring from now until the span is
+/// dropped. Prefer the [`span!`](crate::span!) macro, which reads better with
+/// fields: `let _s = span!("certify", tid = tid);`.
+pub fn span(name: &'static str) -> Span {
+    let live = enabled();
+    Span {
+        name,
+        start_ns: if live { now_ns() } else { 0 },
+        fields: Vec::new(),
+        live,
+    }
+}
+
+/// Opens a named, field-carrying [`Span`]:
+///
+/// ```
+/// let _guard = vrm_obs::span!("certify", tid = 3usize);
+/// // ... timed work ...
+/// ```
+///
+/// Fields accept `u64`/`usize`/`u32`/`f64`/`&str` values. The span is
+/// emitted when the guard drops; bind it (`let _guard = ...`) or it
+/// measures nothing.
+#[macro_export]
+macro_rules! span {
+    ($name:literal $(, $key:ident = $val:expr)* $(,)?) => {
+        $crate::span($name)$(.with(stringify!($key), $val))*
+    };
+}
+
+/// Emits one `"event"` trace line (a point-in-time observation, e.g. a
+/// fired fault injection). No-op when tracing is off.
+pub fn event(name: &str, fields: &[(&str, FieldValue<'_>)]) {
+    if !enabled() {
+        return;
+    }
+    let mut w = ObjWriter::new();
+    w.field_str("type", "event")
+        .field_str("name", name)
+        .field_u64("t_us", now_ns() / 1_000)
+        .field_str("thread", &thread_label());
+    for (k, v) in fields {
+        put_field(&mut w, k, v);
+    }
+    write_line(&w.finish());
+}
+
+/// Emits one `"metrics"` trace line: a [`crate::MetricsSnapshot`] of
+/// every registered counter, plus any caller-supplied gauge fields
+/// (per-run values that are not global counters, e.g. a driver's
+/// current frontier length). No-op when tracing is off.
+pub fn emit_metrics(scope: &str, gauges: &[(&str, u64)]) {
+    if !enabled() {
+        return;
+    }
+    let snap = crate::counters::snapshot(now_ns());
+    let mut w = ObjWriter::new();
+    w.field_str("type", "metrics")
+        .field_str("scope", scope)
+        .field_u64("seq", snap.seq)
+        .field_u64("t_us", snap.t_ns / 1_000);
+    let counters: Vec<(String, u64)> = snap.counters;
+    w.field_raw("counters", &crate::json::counts_to_json(&counters));
+    if !gauges.is_empty() {
+        let gauges: Vec<(String, u64)> = gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        w.field_raw("gauges", &crate::json::counts_to_json(&gauges));
+    }
+    write_line(&w.finish());
+}
+
+/// Emits one `"profile"` trace line: per-phase [`crate::Histogram`]
+/// summaries for one finished run (the drivers' expand/steal/idle
+/// phases). No-op when tracing is off.
+pub fn emit_profile(scope: &str, phases: &[(&str, &crate::Histogram)]) {
+    if !enabled() {
+        return;
+    }
+    let mut w = ObjWriter::new();
+    w.field_str("type", "profile")
+        .field_str("scope", scope)
+        .field_u64("t_us", now_ns() / 1_000);
+    let mut ph = ObjWriter::new();
+    for (name, hist) in phases {
+        ph.field_raw(name, &hist.to_json());
+    }
+    w.field_raw("phases", &ph.finish());
+    write_line(&w.finish());
+}
+
+/// How often the drivers aggregate counters into a `"metrics"` line.
+pub const SNAPSHOT_PERIOD_NS: u64 = 50_000_000;
+
+/// Rate-limits periodic snapshot emission from many concurrent workers:
+/// [`SnapshotGate::due`] returns `true` to exactly one caller per
+/// [`SNAPSHOT_PERIOD_NS`] window.
+#[derive(Debug)]
+pub struct SnapshotGate {
+    last_ns: std::sync::atomic::AtomicU64,
+}
+
+impl SnapshotGate {
+    /// A gate whose first `due` fires one period after creation.
+    pub fn new() -> Self {
+        SnapshotGate {
+            last_ns: std::sync::atomic::AtomicU64::new(now_ns()),
+        }
+    }
+
+    /// `true` iff a snapshot period has elapsed and this caller won the
+    /// race to emit it.
+    pub fn due(&self) -> bool {
+        let now = now_ns();
+        let last = self.last_ns.load(Ordering::Relaxed);
+        now.saturating_sub(last) >= SNAPSHOT_PERIOD_NS
+            && self
+                .last_ns
+                .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+    }
+}
+
+impl Default for SnapshotGate {
+    fn default() -> Self {
+        Self::new()
+    }
+}

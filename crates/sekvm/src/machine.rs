@@ -622,6 +622,11 @@ impl Machine {
         scripts: Vec<Script>,
         ecfg: &ExhaustiveConfig,
     ) -> Result<ExhaustiveReport, vrm_explore::ExploreError> {
+        let _span = vrm_obs::span!(
+            "machine.explore_schedules",
+            scripts = scripts.len(),
+            jobs = ecfg.jobs,
+        );
         let space = SchedSpace { cfg, scripts };
         let xcfg = ExploreConfig::with_max_states(ecfg.max_states).jobs(ecfg.jobs);
         let ex = match vrm_explore::explore(&space, &xcfg) {
@@ -650,6 +655,11 @@ impl Machine {
         ecfg: &ExhaustiveConfig,
         max_retries: usize,
     ) -> Result<ExhaustiveReport, vrm_explore::ExploreError> {
+        let _span = vrm_obs::span!(
+            "machine.explore_schedules_resilient",
+            scripts = scripts.len(),
+            jobs = ecfg.jobs,
+        );
         let space = SchedSpace { cfg, scripts };
         let xcfg = ExploreConfig::with_max_states(ecfg.max_states).jobs(ecfg.jobs);
         let ex = vrm_explore::retry_with_escalation(&space, &xcfg, max_retries)?;

@@ -16,7 +16,10 @@
 //! * [`hwsim`] — the cycle-approximate performance simulator regenerating
 //!   the paper's evaluation;
 //! * [`mutate`] — the mutation-testing campaign proving those checkers
-//!   kill injected relaxed-memory bugs (see the `mutate` binary).
+//!   kill injected relaxed-memory bugs (see the `mutate` binary);
+//! * [`obs`] — the observability layer: process-global counters,
+//!   `VRM_TRACE` JSON-lines tracing, histograms, and the
+//!   schema-versioned `BENCH_*.json` perf-record format.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -28,4 +31,5 @@ pub use vrm_hwsim as hwsim;
 pub use vrm_memmodel as memmodel;
 pub use vrm_mmu as mmu;
 pub use vrm_mutate as mutate;
+pub use vrm_obs as obs;
 pub use vrm_sekvm as sekvm;

@@ -1,0 +1,164 @@
+//! Observability schema contract (docs/TELEMETRY.md): trace lines and
+//! bench files must parse back under the pinned schemas, counters must
+//! stay monotone, and the deterministic work counters must be identical
+//! across the sequential and parallel drivers.
+//!
+//! All tests in this binary share one process-global trace sink, so
+//! every test installs the in-memory sink first — whichever thread gets
+//! there first wins, and the rest see tracing already on. Lines drained
+//! from the sink may interleave across concurrently running tests;
+//! assertions therefore filter by span/scope name rather than assuming
+//! exclusive ownership of the stream.
+
+use vrm::memmodel::litmus::battery;
+use vrm::memmodel::sc::{enumerate_sc_with, ScConfig};
+use vrm::obs::json::parse;
+use vrm::obs::{BenchFile, BenchRecord, BENCH_SCHEMA};
+
+/// The known trace line types, per docs/TELEMETRY.md.
+const LINE_TYPES: [&str; 4] = ["span", "event", "metrics", "profile"];
+
+fn mp_program() -> vrm::memmodel::Program {
+    battery()
+        .into_iter()
+        .find(|t| t.program.name.contains("MP"))
+        .expect("battery has an MP test")
+        .program
+}
+
+#[test]
+fn trace_lines_parse_back_under_the_pinned_schema() {
+    vrm::obs::install_memory_sink();
+    assert!(vrm::obs::enabled(), "memory sink should turn tracing on");
+    let prog = mp_program();
+    enumerate_sc_with(&prog, &ScConfig::default()).expect("SC enumeration");
+    let lines = vrm::obs::drain_memory_sink();
+    assert!(
+        !lines.is_empty(),
+        "an enumeration under tracing emits spans"
+    );
+    let mut saw_enumerate_span = false;
+    for line in &lines {
+        let v = parse(line).unwrap_or_else(|| panic!("unparseable trace line: {line}"));
+        let ty = v
+            .get("type")
+            .and_then(|t| t.as_str())
+            .unwrap_or_else(|| panic!("trace line without type: {line}"));
+        assert!(LINE_TYPES.contains(&ty), "unknown trace line type {ty:?}");
+        match ty {
+            "span" => {
+                let name = v.get("name").and_then(|n| n.as_str()).expect("span.name");
+                assert!(v.get("t_us").and_then(|t| t.as_u64()).is_some());
+                assert!(v.get("dur_us").and_then(|t| t.as_u64()).is_some());
+                assert!(v.get("thread").and_then(|t| t.as_str()).is_some());
+                if name == "enumerate.sc" {
+                    saw_enumerate_span = true;
+                }
+            }
+            "event" => {
+                assert!(v.get("name").and_then(|n| n.as_str()).is_some());
+                assert!(v.get("t_us").and_then(|t| t.as_u64()).is_some());
+            }
+            "metrics" => {
+                assert!(v.get("seq").and_then(|s| s.as_u64()).is_some());
+                assert!(v.get("counters").and_then(|c| c.as_obj()).is_some());
+            }
+            "profile" => {
+                assert!(v.get("scope").and_then(|s| s.as_str()).is_some());
+                assert!(v.get("phases").and_then(|p| p.as_obj()).is_some());
+            }
+            _ => unreachable!(),
+        }
+    }
+    assert!(
+        saw_enumerate_span,
+        "the SC enumeration's own span must be in the drained stream"
+    );
+}
+
+#[test]
+fn bench_file_round_trips_through_disk_and_pins_its_schema() {
+    vrm::obs::install_memory_sink();
+    // The schema tag is a contract with docs/TELEMETRY.md and with every
+    // committed BENCH_*.json baseline: bumping it is a deliberate act.
+    assert_eq!(BENCH_SCHEMA, "vrm-bench/v1");
+
+    let mut f = BenchFile::new("explore");
+    f.records.push(
+        BenchRecord::new("litmus/MP")
+            .param("jobs", 4)
+            .metric("states", 139)
+            .metric("wall_ns", 5_600_000)
+            .metric("exit_code", 0),
+    );
+    let path = std::env::temp_dir().join(format!("vrm-obs-schema-{}.json", std::process::id()));
+    f.write_to(&path).expect("write bench file");
+    let back = BenchFile::read_from(&path).expect("read bench file back");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(back, f);
+    assert_eq!(
+        back.get("litmus/MP").unwrap().get_metric("states"),
+        Some(139)
+    );
+
+    // An unknown schema version must be rejected, not misread.
+    let hacked = f.to_json().replace("vrm-bench/v1", "vrm-bench/v0");
+    assert!(BenchFile::from_json(&hacked).is_none());
+}
+
+#[test]
+fn global_counters_are_monotone_across_snapshots() {
+    vrm::obs::install_memory_sink();
+    let prog = mp_program();
+    let before = vrm::obs::snapshot(vrm::obs::now_ns());
+    enumerate_sc_with(&prog, &ScConfig::default()).expect("SC enumeration");
+    let after = vrm::obs::snapshot(vrm::obs::now_ns());
+    assert!(after.seq > before.seq, "snapshot sequence must advance");
+    for (name, v) in &before.counters {
+        let later = after
+            .get(name)
+            .unwrap_or_else(|| panic!("counter {name} disappeared between snapshots"));
+        assert!(later >= *v, "counter {name} went backwards: {later} < {v}");
+    }
+    // The enumeration itself must be visible in the process-wide totals.
+    let popped = |s: &vrm::obs::MetricsSnapshot| s.get("explore.states_popped").unwrap_or(0);
+    assert!(
+        popped(&after) > popped(&before),
+        "an SC enumeration increments explore.states_popped"
+    );
+}
+
+#[test]
+fn work_counters_are_identical_across_jobs_1_and_4() {
+    vrm::obs::install_memory_sink();
+    // Injected worker panics requeue in-flight states, which legitimately
+    // perturbs popped counts; this invariant only holds fault-free.
+    if std::env::var("VRM_FAULT_SEED").is_ok() {
+        return;
+    }
+    let prog = mp_program();
+    let seq = enumerate_sc_with(
+        &prog,
+        &ScConfig {
+            jobs: 1,
+            ..Default::default()
+        },
+    )
+    .expect("sequential SC");
+    let par = enumerate_sc_with(
+        &prog,
+        &ScConfig {
+            jobs: 4,
+            ..Default::default()
+        },
+    )
+    .expect("parallel SC");
+    // Counts are driver-independent for a full walk; timings and steals
+    // are scheduling-dependent and deliberately not compared.
+    assert_eq!(seq.stats.states, par.stats.states);
+    assert_eq!(seq.stats.popped, par.stats.popped);
+    assert_eq!(seq.stats.pushed, par.stats.pushed);
+    assert_eq!(seq.stats.dedup_hits, par.stats.dedup_hits);
+    assert_eq!(seq.len(), par.len(), "outcome sets must agree");
+    assert_eq!(seq.stats.steals, 0, "the sequential driver never steals");
+}
