@@ -1,6 +1,7 @@
-//! Perf-trajectory harness: runs the repo's three representative
-//! workloads — the litmus corpus, the `check_wdrf` paper examples, and
-//! a machine-layer schedule exploration — and (optionally) writes one
+//! Perf-trajectory harness: runs the repo's representative workloads —
+//! the litmus corpus, the `check_wdrf` paper examples, a machine-layer
+//! schedule exploration, and the spec suite (refinement checking plus
+//! the abstract ownership machine) — and (optionally) writes one
 //! schema-versioned `BENCH_*.json` perf record per workload.
 //!
 //! ```console
@@ -25,15 +26,17 @@ use std::time::Instant;
 
 use vrm_core::paper_examples;
 use vrm_core::{check_wdrf, KernelSpec, WdrfCheckConfig};
+use vrm_explore::{explore, ExploreConfig, Verdict};
 use vrm_memmodel::parser::{parse, CheckModel};
 use vrm_memmodel::promising::enumerate_promising_with;
 use vrm_memmodel::sc::{enumerate_sc_with, ScConfig};
 use vrm_obs::{BenchFile, BenchRecord};
 use vrm_sekvm::layout::{PAGE_WORDS, VM_POOL_PFN};
 use vrm_sekvm::machine::{ExhaustiveConfig, Machine, Op, Script};
-use vrm_sekvm::KCoreConfig;
+use vrm_sekvm::{refine, KCoreConfig};
+use vrm_spec::{AbsActor, AbsOutcome, AbsPerms, AbsProgram, AbsSpace, AbsState, AbsStep, Claim};
 
-const USAGE: &str = "usage: bench [--jobs N] [--suite all|litmus|wdrf|schedules] \
+const USAGE: &str = "usage: bench [--jobs N] [--suite all|litmus|wdrf|schedules|spec] \
                      [--emit-bench PATH] [litmus-dir]\n\
                      exit codes: 0 all PASS, 1 any FAIL, 3 any UNKNOWN \
                      (budget-truncated, no verdict), 2 usage error";
@@ -262,6 +265,131 @@ fn run_schedules_suite(jobs: Option<usize>, out: &mut BenchFile) -> i32 {
     exit_code
 }
 
+/// The spec suite: the same unmap workload checked twice.
+///
+/// 1. `spec/refinement-unmap` — the concrete every-schedule walk with
+///    per-transition refinement checking (`Machine::check_refinement`).
+/// 2. `spec/abstract-unmap` — the workload's abstract shadow explored
+///    directly on the ownership machine: the two authenticated image
+///    donations, the zeroed data donation, and the grant/revoke pair,
+///    with no locks, tickets, logs or memory images in the state. The
+///    `abstract_to_concrete_pct` metric records how much smaller the
+///    spec-level walk is than the concrete one it certifies.
+fn run_spec_suite(jobs: Option<usize>, out: &mut BenchFile) -> i32 {
+    let mut ecfg = ExhaustiveConfig {
+        max_states: 1 << 18,
+        ..Default::default()
+    };
+    if let Some(jobs) = jobs {
+        ecfg.jobs = jobs;
+    }
+    let started = Instant::now();
+    let report = Machine::check_refinement(KCoreConfig::default(), unmap_scripts(), &ecfg)
+        .expect("check_refinement");
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    let exit_code = report.verdict().exit_code();
+    let concrete_states = report.stats.states;
+    out.records.push(
+        BenchRecord::new("spec/refinement-unmap")
+            .param("jobs", report.stats.jobs)
+            .param("max_states", ecfg.max_states)
+            .metric("outcomes", report.outcomes.len() as u64)
+            .metric("violations", report.violations.len() as u64)
+            .metric("states", report.stats.states as u64)
+            .metric("popped", report.stats.popped as u64)
+            .metric("wall_ns", wall_ns)
+            .metric("exit_code", exit_code as u64),
+    );
+    println!(
+        "{:<33} states:{:<7} {:>8.1}ms  {}",
+        "spec/refinement-unmap",
+        report.stats.states,
+        wall_ns as f64 / 1e6,
+        verdict_name(exit_code)
+    );
+    let mut acc = exit_code;
+
+    let vm = AbsActor::Vm(1);
+    let data = VM_POOL_PFN.0 + 4;
+    let steps = vec![
+        AbsStep::Map {
+            who: vm,
+            vpn: 0,
+            frame: VM_POOL_PFN.0,
+            perms: AbsPerms::RWX,
+            claim: Claim::Authenticated,
+        },
+        AbsStep::Map {
+            who: vm,
+            vpn: 1,
+            frame: VM_POOL_PFN.0 + 1,
+            perms: AbsPerms::RWX,
+            claim: Claim::Authenticated,
+        },
+        AbsStep::Map {
+            who: vm,
+            vpn: 64,
+            frame: data,
+            perms: AbsPerms::RWX,
+            claim: Claim::Zeroed,
+        },
+        AbsStep::Grant { vm: 1, frame: data },
+        AbsStep::Map {
+            who: AbsActor::Host,
+            vpn: data,
+            frame: data,
+            perms: AbsPerms::RW,
+            claim: Claim::Owned,
+        },
+        AbsStep::Unmap {
+            who: AbsActor::Host,
+            vpn: data,
+        },
+        AbsStep::Revoke { vm: 1, frame: data },
+    ];
+    let space = AbsSpace {
+        uni: refine::universe(),
+        init: AbsState::boot(),
+        prog: AbsProgram {
+            threads: vec![steps],
+        },
+    };
+    let mut xcfg = ExploreConfig::with_max_states(1 << 18);
+    if let Some(jobs) = jobs {
+        xcfg = xcfg.jobs(jobs);
+    }
+    let started = Instant::now();
+    let ex = explore(&space, &xcfg).expect("abstract exploration");
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    let clean = !ex.emits.is_empty() && ex.emits.iter().all(|o| *o == AbsOutcome::Clean);
+    let exit_code = Verdict::from_parts(clean, &ex.stats).exit_code();
+    out.records.push(
+        BenchRecord::new("spec/abstract-unmap")
+            .param("jobs", ex.stats.jobs)
+            .param("max_states", 1 << 18)
+            .metric("outcomes", ex.emits.len() as u64)
+            .metric("states", ex.stats.states as u64)
+            .metric("popped", ex.stats.popped as u64)
+            .metric("concrete_states", concrete_states as u64)
+            .metric(
+                "abstract_to_concrete_pct",
+                (ex.stats.states * 100 / concrete_states.max(1)) as u64,
+            )
+            .metric("wall_ns", wall_ns)
+            .metric("exit_code", exit_code as u64),
+    );
+    println!(
+        "{:<33} states:{:<7} {:>8.1}ms  {} ({}% of concrete)",
+        "spec/abstract-unmap",
+        ex.stats.states,
+        wall_ns as f64 / 1e6,
+        verdict_name(exit_code),
+        ex.stats.states * 100 / concrete_states.max(1),
+    );
+    acc = worse(acc, exit_code);
+    acc
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut jobs: Option<usize> = None;
@@ -281,10 +409,10 @@ fn main() -> ExitCode {
             }
             "--suite" => {
                 let Some(s) = args.get(i + 1) else {
-                    eprintln!("--suite needs all|litmus|wdrf|schedules\n{USAGE}");
+                    eprintln!("--suite needs all|litmus|wdrf|schedules|spec\n{USAGE}");
                     return ExitCode::from(2);
                 };
-                if !["all", "litmus", "wdrf", "schedules"].contains(&s.as_str()) {
+                if !["all", "litmus", "wdrf", "schedules", "spec"].contains(&s.as_str()) {
                     eprintln!("unknown suite {s:?}\n{USAGE}");
                     return ExitCode::from(2);
                 }
@@ -317,6 +445,7 @@ fn main() -> ExitCode {
     let run_litmus = matches!(suite.as_str(), "all" | "litmus");
     let run_wdrf = matches!(suite.as_str(), "all" | "wdrf");
     let run_schedules = matches!(suite.as_str(), "all" | "schedules");
+    let run_spec = matches!(suite.as_str(), "all" | "spec");
     if run_litmus && !litmus_dir.is_dir() {
         eprintln!("litmus dir {} not found\n{USAGE}", litmus_dir.display());
         return ExitCode::from(2);
@@ -336,6 +465,9 @@ fn main() -> ExitCode {
     }
     if run_schedules {
         acc = worse(acc, run_schedules_suite(jobs, &mut out));
+    }
+    if run_spec {
+        acc = worse(acc, run_spec_suite(jobs, &mut out));
     }
 
     if let Some(path) = &emit {

@@ -159,6 +159,17 @@ pub struct Mapping {
     pub perms: Perms,
 }
 
+impl Mapping {
+    /// Splits the mapping into page-granular `(va, pa)` pairs. Leaf
+    /// entries at higher levels (block mappings) cover several pages;
+    /// consumers that reason per page — ownership projection, frame
+    /// accounting — use this instead of re-deriving the span arithmetic.
+    pub fn pages(&self, page_words: u64) -> impl Iterator<Item = (Addr, Addr)> + '_ {
+        (0..self.words.div_ceil(page_words))
+            .map(move |i| (self.va + i * page_words, self.pa + i * page_words))
+    }
+}
+
 /// A multi-level page table rooted at a fixed physical page.
 #[derive(Debug, Clone, Copy)]
 pub struct PageTable {

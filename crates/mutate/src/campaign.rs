@@ -12,8 +12,13 @@
 //!   the kill signal is a failed wDRF verdict.
 //! * **Machine** (`vrm-sekvm`): a `KCoreConfig` switch re-creates a
 //!   hypervisor-level bug; the kill signal is a `validate_log` violation
-//!   on every-schedule exploration, a `check_invariants` breach, or a
-//!   confidentiality read-back of a reclaimed page.
+//!   on every-schedule exploration or a `check_invariants` breach.
+//! * **Spec** (`vrm-spec` × `vrm-sekvm`): a `KCoreConfig` switch breaks
+//!   the forward simulation into the abstract ownership machine (an
+//!   unscrubbed reclaim, a leaked ownership transfer, a kept share, a
+//!   skipped host unmap); the kill signal is a
+//!   `Machine::check_refinement` violation on every-schedule
+//!   exploration.
 //! * **Engine** (`vrm-explore`): a degradation rule (truncation →
 //!   `Unknown`) is re-implemented with its soundness guard removed and
 //!   judged against the real engine on a deliberately budget-starved
@@ -57,6 +62,9 @@ pub enum Layer {
     Kernel,
     /// The executable hypervisor machine model.
     Machine,
+    /// The refinement-spec layer: the concrete machine's simulation of
+    /// the abstract ownership machine.
+    Spec,
     /// The exploration engine's graceful-degradation machinery itself.
     Engine,
 }
@@ -68,6 +76,7 @@ impl Layer {
             Layer::Litmus => "litmus",
             Layer::Kernel => "kernel",
             Layer::Machine => "machine",
+            Layer::Spec => "spec",
             Layer::Engine => "engine",
         }
     }
@@ -87,8 +96,9 @@ pub enum Oracle {
     ValidateLog,
     /// `check_invariants` finds a broken security invariant.
     Invariants,
-    /// A reclaimed VM page's secret is readable by KServ.
-    Confidentiality,
+    /// `Machine::check_refinement` finds a concrete transition that does
+    /// not simulate the abstract ownership machine.
+    Refinement,
     /// A guard-stripped reimplementation of a degradation rule disagrees
     /// with the sound engine on a real budget-starved check.
     Degradation,
@@ -103,7 +113,7 @@ impl Oracle {
             Oracle::PushPull => "check_pushpull",
             Oracle::ValidateLog => "validate_log",
             Oracle::Invariants => "check_invariants",
-            Oracle::Confidentiality => "confidentiality",
+            Oracle::Refinement => "refinement",
             Oracle::Degradation => "degradation",
         }
     }
@@ -163,8 +173,9 @@ enum Subject {
     MachineLog { cfg: KCoreConfig },
     /// A `KCoreConfig` switch checked by the security invariant sweep.
     MachineInvariants { cfg: KCoreConfig },
-    /// A `KCoreConfig` switch checked by the secret read-back test.
-    MachineConfidentiality { cfg: KCoreConfig },
+    /// A `KCoreConfig` switch checked by per-transition refinement over
+    /// every schedule of a lifecycle workload.
+    MachineRefinement { cfg: KCoreConfig },
     /// A guard-stripped degradation rule judged against the engine.
     Degradation { variant: DegradationVariant },
 }
@@ -262,25 +273,29 @@ impl MutantSpec {
         }
     }
 
-    /// A machine-layer mutant from the `vrm-sekvm` suite, with the oracle
-    /// chosen from its [`CaughtBy`] expectation.
+    /// A machine- or spec-layer mutant from the `vrm-sekvm` suite, with
+    /// the layer and oracle chosen from its [`CaughtBy`] expectation.
     pub fn machine(mutant: &vrm_sekvm::mutants::Mutant) -> Self {
-        let (oracle, subject) = match mutant.caught_by {
-            CaughtBy::SequentialTlbi | CaughtBy::LockDiscipline => {
-                (Oracle::ValidateLog, Subject::MachineLog { cfg: mutant.cfg })
-            }
+        let (layer, oracle, subject) = match mutant.caught_by {
+            CaughtBy::SequentialTlbi | CaughtBy::LockDiscipline => (
+                Layer::Machine,
+                Oracle::ValidateLog,
+                Subject::MachineLog { cfg: mutant.cfg },
+            ),
             CaughtBy::SecurityInvariants => (
+                Layer::Machine,
                 Oracle::Invariants,
                 Subject::MachineInvariants { cfg: mutant.cfg },
             ),
-            CaughtBy::ConfidentialityTest => (
-                Oracle::Confidentiality,
-                Subject::MachineConfidentiality { cfg: mutant.cfg },
+            CaughtBy::Refinement => (
+                Layer::Spec,
+                Oracle::Refinement,
+                Subject::MachineRefinement { cfg: mutant.cfg },
             ),
         };
         MutantSpec {
             name: mutant.name.to_string(),
-            layer: Layer::Machine,
+            layer,
             oracle,
             mutation: format!("KCoreConfig switch `{}`", mutant.name),
             subject,
@@ -428,8 +443,39 @@ fn unmap_scripts() -> Vec<Script> {
     ]
 }
 
+/// The unmap workload extended with a VM secret write and a final
+/// reclaim: the smallest every-schedule workload on which each
+/// spec-layer mutant's concrete transition disagrees with its abstract
+/// label (an unscrubbed secret, a leaked ownership transfer, a kept
+/// share, a skipped host unmap).
+fn spec_scripts() -> Vec<Script> {
+    let gpa = 64 * PAGE_WORDS;
+    vec![
+        vec![
+            Op::RegisterVm,
+            Op::RegisterVcpu,
+            Op::StageImage {
+                pfns: vec![VM_POOL_PFN.0, VM_POOL_PFN.0 + 1],
+            },
+            Op::VerifyImage,
+            Op::Fault {
+                gpa,
+                donor_pfn: VM_POOL_PFN.0 + 4,
+            },
+            Op::VmWrite {
+                gpa: gpa + 5,
+                val: 0x5ec2e7,
+            },
+            Op::Grant { gpa },
+            Op::Revoke { gpa },
+            Op::Reclaim,
+        ],
+        vec![Op::RegisterVm],
+    ]
+}
+
 /// Boots one 2-page VM directly on a fresh KCore (the machine-layer
-/// invariant/confidentiality scenarios).
+/// invariant scenario).
 fn boot_one_vm(cfg: KCoreConfig) -> KCore {
     let mut k = KCore::boot(cfg);
     let pfns = vec![VM_POOL_PFN.0, VM_POOL_PFN.0 + 1];
@@ -467,7 +513,7 @@ fn run_one(spec: &MutantSpec, cfg: &CampaignConfig) -> MutantResult {
         } => run_pushpull(prog, kspec, mutations),
         Subject::MachineLog { cfg: kcfg } => run_machine_log(*kcfg, cfg),
         Subject::MachineInvariants { cfg: kcfg } => run_machine_invariants(*kcfg),
-        Subject::MachineConfidentiality { cfg: kcfg } => run_machine_confidentiality(*kcfg),
+        Subject::MachineRefinement { cfg: kcfg } => run_machine_refinement(*kcfg, cfg),
         Subject::Degradation { variant } => run_degradation(*variant, cfg),
     };
     if stats.wall_ns == 0 {
@@ -706,28 +752,42 @@ fn run_machine_invariants(kcfg: KCoreConfig) -> (Status, String, ExploreStats) {
     }
 }
 
-fn run_machine_confidentiality(kcfg: KCoreConfig) -> (Status, String, ExploreStats) {
-    const SECRET: u64 = 0x5ec2e7;
-    let mut k = boot_one_vm(kcfg);
-    k.vm_write(0, 0, 5, SECRET).expect("vm_write");
-    let pa = k
-        .vm(0)
-        .expect("vm 0")
-        .s2
-        .translate(&k.mem, 5)
-        .expect("translate");
-    k.reclaim_vm_pages(0, 0).expect("reclaim");
-    match k.kserv_read(1, pa) {
-        Ok(v) if v == SECRET => (
-            Status::Killed,
-            "reclaimed page still holds the VM's secret".to_string(),
-            ExploreStats::default(),
-        ),
-        _ => (
-            Status::Survived,
-            "secret was scrubbed (or page unreadable)".to_string(),
-            ExploreStats::default(),
-        ),
+fn run_machine_refinement(
+    kcfg: KCoreConfig,
+    cfg: &CampaignConfig,
+) -> (Status, String, ExploreStats) {
+    let ecfg = ExhaustiveConfig {
+        max_states: cfg.machine_max_states,
+        jobs: cfg.jobs,
+    };
+    match Machine::check_refinement(kcfg, spec_scripts(), &ecfg) {
+        Err(e) => (Status::Timeout, e.to_string(), ExploreStats::default()),
+        Ok(report) => match report.violations.iter().next() {
+            // A simulation failure was observed on a concretely executed
+            // transition — real evidence even if the walk truncated.
+            Some(v) => (
+                Status::Killed,
+                format!("refinement broken on some schedule: {v}"),
+                report.stats,
+            ),
+            None if report.stats.completeness.is_truncated() => (
+                Status::Unknown,
+                format!(
+                    "refinement walk truncated after {} states; no verdict",
+                    report.stats.states
+                ),
+                report.stats,
+            ),
+            None => (
+                Status::Survived,
+                format!(
+                    "every explored transition refines the abstract machine \
+                     ({} states)",
+                    report.stats.states
+                ),
+                report.stats,
+            ),
+        },
     }
 }
 
@@ -1022,7 +1082,10 @@ pub fn curated() -> Vec<MutantSpec> {
         ));
     }
 
-    // --- Machine layer ---------------------------------------------------
+    // --- Machine + Spec layers -------------------------------------------
+    // The `vrm-sekvm` suite carries its own oracle expectations: log and
+    // invariant mutants land in the Machine layer, refinement mutants
+    // (broken forward simulation) in the Spec layer.
     for mutant in vrm_sekvm::mutants::all() {
         specs.push(MutantSpec::machine(&mutant));
     }
@@ -1055,7 +1118,13 @@ mod tests {
         let specs = curated();
         let names: std::collections::BTreeSet<_> = specs.iter().map(|s| s.name.clone()).collect();
         assert_eq!(names.len(), specs.len(), "duplicate mutant names");
-        for layer in [Layer::Litmus, Layer::Kernel, Layer::Machine, Layer::Engine] {
+        for layer in [
+            Layer::Litmus,
+            Layer::Kernel,
+            Layer::Machine,
+            Layer::Spec,
+            Layer::Engine,
+        ] {
             assert!(
                 specs.iter().any(|s| s.layer == layer),
                 "no mutants in {layer:?}"
@@ -1065,17 +1134,24 @@ mod tests {
     }
 
     #[test]
-    fn machine_confidentiality_mutant_is_killed() {
-        // The cheapest end-to-end oracle check: scrub skipping leaks.
-        let cfg = KCoreConfig {
+    fn spec_refinement_mutant_is_killed() {
+        // The data-oracle end of the refinement check: a skipped scrub
+        // makes the Reclaim label's `scrubbed` claim false, so the
+        // abstract Reclaim step is illegal.
+        let cfg = CampaignConfig {
+            jobs: 1,
+            ..Default::default()
+        };
+        let kcfg = KCoreConfig {
             skip_scrub_on_reclaim: true,
             ..Default::default()
         };
-        let (status, _, _) = run_machine_confidentiality(cfg);
-        assert_eq!(status, Status::Killed);
-        // And the unmutated config does not leak.
-        let (status, _, _) = run_machine_confidentiality(KCoreConfig::default());
-        assert_eq!(status, Status::Survived);
+        let (status, detail, _) = run_machine_refinement(kcfg, &cfg);
+        assert_eq!(status, Status::Killed, "{detail}");
+        assert!(detail.contains("refinement broken"), "{detail}");
+        // And the unmutated kernel refines the spec on every schedule.
+        let (status, detail, _) = run_machine_refinement(KCoreConfig::default(), &cfg);
+        assert_eq!(status, Status::Survived, "{detail}");
     }
 
     #[test]

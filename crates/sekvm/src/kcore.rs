@@ -68,6 +68,18 @@ pub struct KCoreConfig {
     /// before it, reordering the barrier-protected page-table write
     /// sequence (breaks condition 5).
     pub barrier_after_tlbi: bool,
+    /// Mutant: reclaim tears down the VM's stage-2 but never returns
+    /// the pages to KServ — ownership leaks (breaks refinement: the
+    /// abstract `reclaim` step moves the frame back to the host).
+    pub reclaim_leaks_ownership: bool,
+    /// Mutant: revoke unmaps KServ's window but leaves the page marked
+    /// shared (breaks refinement: the abstract `revoke` step closes the
+    /// sharing window).
+    pub revoke_keeps_share: bool,
+    /// Mutant: revoke clears the shared bit without unmapping KServ's
+    /// stage-2 — a stale walk can still reach the page (breaks
+    /// refinement *and* abstract noninterference).
+    pub revoke_skips_unmap: bool,
 }
 
 impl Default for KCoreConfig {
@@ -81,6 +93,9 @@ impl Default for KCoreConfig {
             skip_scrub_on_reclaim: false,
             skip_lock_acquire: false,
             barrier_after_tlbi: false,
+            reclaim_leaks_ownership: false,
+            revoke_keeps_share: false,
+            revoke_skips_unmap: false,
         }
     }
 }
@@ -741,17 +756,19 @@ impl KCore {
                     pa: page_addr(pfn),
                 });
             }
-            let r = self.s2pages.transfer(pfn, Owner::Vm(vmid), Owner::KServ);
-            if let Err(e) = r {
-                self.unlock(cpu, LockId::S2Page);
-                return Err(e.into());
+            if !self.cfg.reclaim_leaks_ownership {
+                let r = self.s2pages.transfer(pfn, Owner::Vm(vmid), Owner::KServ);
+                if let Err(e) = r {
+                    self.unlock(cpu, LockId::S2Page);
+                    return Err(e.into());
+                }
+                self.log.push(MEvent::OwnershipChange {
+                    cpu,
+                    pfn,
+                    from: Owner::Vm(vmid),
+                    to: Owner::KServ,
+                });
             }
-            self.log.push(MEvent::OwnershipChange {
-                cpu,
-                pfn,
-                from: Owner::Vm(vmid),
-                to: Owner::KServ,
-            });
         }
         self.unlock(cpu, LockId::S2Page);
         self.vm_mut(vmid)?.state = VmState::Destroyed;
@@ -1067,23 +1084,28 @@ impl KCore {
                 .ok_or(HypercallError::Unmapped)?
         };
         let pfn = pfn_of(pa);
-        self.lock(cpu, LockId::KServS2);
-        let behaviour = self.behaviour();
-        let r = self.kserv_s2.clear_s2pt(
-            &mut self.mem,
-            &self.s2_pool,
-            &mut self.log,
-            cpu,
-            behaviour,
-            page_addr(pfn),
-        );
-        self.unlock(cpu, LockId::KServS2);
-        r?;
-        self.s2pages.dec_map(pfn)?;
-        self.lock(cpu, LockId::S2Page);
-        let r = self.s2pages.set_shared(pfn, false);
-        self.unlock(cpu, LockId::S2Page);
-        Ok(r?)
+        if !self.cfg.revoke_skips_unmap {
+            self.lock(cpu, LockId::KServS2);
+            let behaviour = self.behaviour();
+            let r = self.kserv_s2.clear_s2pt(
+                &mut self.mem,
+                &self.s2_pool,
+                &mut self.log,
+                cpu,
+                behaviour,
+                page_addr(pfn),
+            );
+            self.unlock(cpu, LockId::KServS2);
+            r?;
+            self.s2pages.dec_map(pfn)?;
+        }
+        if !self.cfg.revoke_keeps_share {
+            self.lock(cpu, LockId::S2Page);
+            let r = self.s2pages.set_shared(pfn, false);
+            self.unlock(cpu, LockId::S2Page);
+            r?;
+        }
+        Ok(())
     }
 
     /// KServ stage-2 fault: populate KServ's identity map for a page it

@@ -29,8 +29,10 @@
 //! * [`machine`] — the multiprocessor scheduler running per-CPU scripts;
 //! * [`wdrf`] — dynamic validators for the wDRF conditions over machine
 //!   executions;
+//! * [`refine`] — the projection onto `vrm-spec`'s abstract ownership
+//!   machine and the per-transition refinement check;
 //! * [`security`] — VM confidentiality/integrity checkers and the §5.3
-//!   system invariants;
+//!   system invariants, derived from abstract noninterference;
 //! * [`mutants`] — deliberately broken KCore variants demonstrating that
 //!   the validators catch condition violations.
 
@@ -43,6 +45,7 @@ pub mod layout;
 pub mod machine;
 pub mod mutants;
 pub mod npt;
+pub mod refine;
 pub mod s2page;
 pub mod security;
 pub mod smmu;

@@ -668,6 +668,116 @@ impl Machine {
             stats: ex.stats,
         })
     }
+
+    /// Checks refinement over **every** scheduler interleaving: each
+    /// concrete transition the walk reaches must project, via
+    /// [`refine::check_transition`](crate::refine::check_transition), to
+    /// a legal sequence of abstract steps landing exactly on the
+    /// projected post-state (or be a stutter), and every reached state
+    /// must satisfy abstract noninterference.
+    ///
+    /// The walk itself is identical to
+    /// [`explore_schedules`](Self::explore_schedules) — same nodes, same
+    /// dedup, same terminal outcomes — so the returned report's
+    /// `outcomes` agree with the schedule exploration's, while
+    /// `violations` carries the simulation failures.
+    pub fn check_refinement(
+        cfg: KCoreConfig,
+        scripts: Vec<Script>,
+        ecfg: &ExhaustiveConfig,
+    ) -> Result<RefinementReport, vrm_explore::ExploreError> {
+        let _span = vrm_obs::span!(
+            "machine.check_refinement",
+            scripts = scripts.len(),
+            jobs = ecfg.jobs,
+        );
+        let space = RefineSpace { cfg, scripts };
+        let xcfg = ExploreConfig::with_max_states(ecfg.max_states).jobs(ecfg.jobs);
+        let ex = match vrm_explore::explore(&space, &xcfg) {
+            Ok(ex) => ex,
+            Err(vrm_explore::ExploreError::WorkerPanic(_)) => {
+                vrm_explore::explore(&space, &xcfg.jobs(1))?
+            }
+        };
+        let mut outcomes = BTreeSet::new();
+        let mut violations = BTreeSet::new();
+        for e in ex.emits {
+            match e {
+                RefineEmit::Outcome(o) => {
+                    outcomes.insert(o);
+                }
+                RefineEmit::Violation(v) => {
+                    violations.insert(v);
+                }
+            }
+        }
+        Ok(RefinementReport {
+            outcomes,
+            violations,
+            stats: ex.stats,
+        })
+    }
+
+    /// Runs one seeded schedule to completion (like [`run`](Self::run))
+    /// while checking refinement on every executed operation — the cheap
+    /// single-trace oracle behind the property-based tests, sharing
+    /// [`check_transition`](crate::refine::check_transition) with the
+    /// exhaustive [`check_refinement`](Self::check_refinement).
+    pub fn run_refined(&mut self, max_steps: usize) -> (RunReport, Vec<RefinementViolation>) {
+        let mut report = RunReport {
+            ops_ok: 0,
+            failures: Vec::new(),
+            expectation_violations: Vec::new(),
+            steps: 0,
+            total_spins: 0,
+            stalled: false,
+        };
+        let mut violations = Vec::new();
+        let stall_limit = 200
+            * self.cpus.len().max(1)
+            * self
+                .cpus
+                .iter()
+                .map(|c| c.script.len() + 1)
+                .max()
+                .unwrap_or(1);
+        let mut steps_without_progress = 0usize;
+        while report.steps < max_steps {
+            let runnable: Vec<usize> = (0..self.cpus.len())
+                .filter(|&c| !matches!(self.cpus[c].phase, Phase::Finished))
+                .collect();
+            if runnable.is_empty() {
+                break;
+            }
+            let cpu = runnable[self.rng.gen_range(0..runnable.len())];
+            let pre = self.kcore.clone();
+            let pre_vm = self.cpus[cpu].vm;
+            let pre_op = self.cpus[cpu].next_op;
+            let (before_ok, before_fail) = (report.ops_ok, report.failures.len());
+            self.step(cpu, &mut report);
+            report.steps += 1;
+            let executed = report.ops_ok > before_ok || report.failures.len() > before_fail;
+            if executed {
+                let op = self.cpus[cpu].script[pre_op].clone();
+                let ok = report.failures.len() == before_fail;
+                for detail in crate::refine::check_transition(&pre, pre_vm, &op, ok, &self.kcore) {
+                    violations.push(RefinementViolation {
+                        cpu,
+                        op: op_name(&op),
+                        detail,
+                    });
+                }
+                steps_without_progress = 0;
+            } else {
+                steps_without_progress += 1;
+                if steps_without_progress > stall_limit {
+                    report.stalled = true;
+                    break;
+                }
+            }
+        }
+        (report, violations)
+    }
 }
 
 /// Bounds for [`Machine::explore_schedules`].
@@ -912,6 +1022,145 @@ impl StateSpace for SchedSpace {
         if !progressed {
             // Every CPU is waiting on something that can never happen.
             sink.emit(node.outcome(true));
+        }
+    }
+}
+
+/// One concrete transition that failed to simulate the abstract
+/// ownership machine: either its label replay hit an illegal abstract
+/// step, the replayed abstract state disagreed with the projected
+/// post-state, or the post-state violated abstract noninterference.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RefinementViolation {
+    /// CPU that executed the offending operation.
+    pub cpu: usize,
+    /// Name of the operation (as in [`SchedOutcome`] failure strings).
+    pub op: &'static str,
+    /// Human-readable description from
+    /// [`refine::check_transition`](crate::refine::check_transition).
+    pub detail: String,
+}
+
+impl std::fmt::Display for RefinementViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CPU{} {}: {}", self.cpu, self.op, self.detail)
+    }
+}
+
+/// Everything [`Machine::check_refinement`] learned from the walk.
+#[derive(Debug, Clone)]
+pub struct RefinementReport {
+    /// Every distinct terminal observation (identical to what
+    /// [`Machine::explore_schedules`] would report for the same
+    /// workload).
+    pub outcomes: BTreeSet<SchedOutcome>,
+    /// Every distinct simulation failure across all explored
+    /// transitions; empty iff the implementation refines the spec on
+    /// the explored prefix.
+    pub violations: BTreeSet<RefinementViolation>,
+    /// Enumeration counters.
+    pub stats: ExploreStats,
+}
+
+impl RefinementReport {
+    /// `true` iff no explored transition broke the simulation.
+    ///
+    /// Only meaningful when the walk was exhaustive; use
+    /// [`verdict`](Self::verdict) for the sound three-valued answer.
+    pub fn refines(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Sound three-valued verdict: `Pass` only when the walk was
+    /// exhaustive and violation-free, `Fail` on any violation, and
+    /// `Unknown` with coverage when the walk was truncated while clean.
+    pub fn verdict(&self) -> vrm_explore::Verdict {
+        vrm_explore::Verdict::from_parts(self.refines(), &self.stats)
+    }
+}
+
+enum RefineEmit {
+    Outcome(SchedOutcome),
+    Violation(RefinementViolation),
+}
+
+/// [`SchedSpace`] plus a per-transition refinement check: every executed
+/// operation's pre/post pair is handed to
+/// [`refine::check_transition`](crate::refine::check_transition) and any
+/// failure is emitted through the sink. Violations are *not* part of the
+/// node digest, so the walked graph is identical to `SchedSpace`'s.
+struct RefineSpace {
+    cfg: KCoreConfig,
+    scripts: Vec<Script>,
+}
+
+impl StateSpace for RefineSpace {
+    type State = SchedNode;
+    type Emit = RefineEmit;
+
+    fn initial(&self) -> Vec<SchedNode> {
+        let m = Machine::new(self.cfg, self.scripts.clone(), 0);
+        vec![SchedNode::new(m.kcore, m.cpus, 0, Vec::new(), Vec::new())]
+    }
+
+    fn expand(&self, node: &SchedNode, sink: &mut Sink<SchedNode, RefineEmit>) {
+        let runnable: Vec<usize> = (0..node.cpus.len())
+            .filter(|&c| !matches!(node.cpus[c].phase, Phase::Finished))
+            .collect();
+        if runnable.is_empty() {
+            sink.emit(RefineEmit::Outcome(node.outcome(false)));
+            return;
+        }
+        let mut progressed = false;
+        for cpu in runnable {
+            let mut m = Machine {
+                kcore: node.kcore.clone(),
+                cpus: node.cpus.clone(),
+                rng: StdRng::seed_from_u64(0),
+            };
+            let mut delta = RunReport {
+                ops_ok: 0,
+                failures: Vec::new(),
+                expectation_violations: Vec::new(),
+                steps: 0,
+                total_spins: 0,
+                stalled: false,
+            };
+            let pre_vm = node.cpus[cpu].vm;
+            let pre_op = node.cpus[cpu].next_op;
+            m.step(cpu, &mut delta);
+            if delta.ops_ok + delta.failures.len() > 0 {
+                let op = node.cpus[cpu].script[pre_op].clone();
+                let ok = delta.failures.is_empty();
+                for detail in
+                    crate::refine::check_transition(&node.kcore, pre_vm, &op, ok, &m.kcore)
+                {
+                    sink.emit(RefineEmit::Violation(RefinementViolation {
+                        cpu,
+                        op: op_name(&op),
+                        detail,
+                    }));
+                }
+            }
+            let mut failures = node.failures.clone();
+            failures.extend(delta.failures);
+            let mut violations = node.expectation_violations.clone();
+            violations.extend(delta.expectation_violations);
+            let succ = SchedNode::new(
+                m.kcore,
+                m.cpus,
+                node.ops_ok + delta.ops_ok,
+                failures,
+                violations,
+            );
+            if succ.digest != node.digest {
+                progressed = true;
+                sink.push(succ);
+            }
+        }
+        if !progressed {
+            // Every CPU is waiting on something that can never happen.
+            sink.emit(RefineEmit::Outcome(node.outcome(true)));
         }
     }
 }

@@ -17,8 +17,10 @@ pub enum CaughtBy {
     LockDiscipline,
     /// `security::check_invariants` (ownership mapping invariants).
     SecurityInvariants,
-    /// Direct behavioural test (confidentiality of reclaimed pages).
-    ConfidentialityTest,
+    /// `Machine::check_refinement` (the concrete transition does not
+    /// project to a legal abstract step — including the scrub and
+    /// image-authentication data oracles).
+    Refinement,
 }
 
 /// A named broken configuration.
@@ -65,7 +67,7 @@ pub fn all() -> Vec<Mutant> {
                 skip_scrub_on_reclaim: true,
                 ..Default::default()
             },
-            caught_by: CaughtBy::ConfidentialityTest,
+            caught_by: CaughtBy::Refinement,
         },
         Mutant {
             name: "skip-lock-acquire",
@@ -83,6 +85,30 @@ pub fn all() -> Vec<Mutant> {
             },
             caught_by: CaughtBy::SequentialTlbi,
         },
+        Mutant {
+            name: "reclaim-leaks-ownership",
+            cfg: KCoreConfig {
+                reclaim_leaks_ownership: true,
+                ..Default::default()
+            },
+            caught_by: CaughtBy::Refinement,
+        },
+        Mutant {
+            name: "revoke-keeps-share",
+            cfg: KCoreConfig {
+                revoke_keeps_share: true,
+                ..Default::default()
+            },
+            caught_by: CaughtBy::Refinement,
+        },
+        Mutant {
+            name: "revoke-skips-unmap",
+            cfg: KCoreConfig {
+                revoke_skips_unmap: true,
+                ..Default::default()
+            },
+            caught_by: CaughtBy::Refinement,
+        },
     ]
 }
 
@@ -93,7 +119,7 @@ mod tests {
     #[test]
     fn mutants_enumerate_distinct_flags() {
         let ms = all();
-        assert_eq!(ms.len(), 6);
+        assert_eq!(ms.len(), 9);
         let names: std::collections::BTreeSet<_> = ms.iter().map(|m| m.name).collect();
         assert_eq!(names.len(), ms.len());
         // Each mutant differs from the default in exactly one switch.
@@ -106,6 +132,9 @@ mod tests {
                 m.cfg.skip_scrub_on_reclaim != d.skip_scrub_on_reclaim,
                 m.cfg.skip_lock_acquire != d.skip_lock_acquire,
                 m.cfg.barrier_after_tlbi != d.barrier_after_tlbi,
+                m.cfg.reclaim_leaks_ownership != d.reclaim_leaks_ownership,
+                m.cfg.revoke_keeps_share != d.revoke_keeps_share,
+                m.cfg.revoke_skips_unmap != d.revoke_skips_unmap,
             ]
             .iter()
             .filter(|&&x| x)

@@ -9,11 +9,21 @@
 //!   with the `s2page` ownership (a VM's table maps only pages it owns;
 //!   KServ's table maps only KServ-owned or explicitly shared pages);
 //! * attack-scenario helpers used by the test-suite and examples.
+//!
+//! Since the refinement-spec layer landed, the invariants are no longer a
+//! hand-written sweep over the concrete tables: [`check_invariants`]
+//! projects the machine through [`refine::abstract_of`](crate::refine)
+//! and evaluates [`vrm_spec::noninterference`] on the abstract state —
+//! the paper's structure, where isolation is proved once on the small
+//! abstract machine and holds for the concrete system by refinement. The
+//! concrete [`InvariantViolation`] vocabulary is kept so existing callers
+//! and reports are unchanged.
 
 use crate::events::TableKind;
 use crate::kcore::KCore;
-use crate::layout::{is_kcore_private, pfn_of};
+use crate::refine;
 use crate::s2page::Owner;
+use vrm_spec::{noninterference, AbsOwner, AbsTable, NiViolation};
 
 /// An invariant violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,87 +50,61 @@ pub enum InvariantViolation {
     },
 }
 
+fn concrete_table(t: AbsTable) -> TableKind {
+    match t {
+        AbsTable::Host => TableKind::Stage2(None),
+        AbsTable::Vm(v) => TableKind::Stage2(Some(v)),
+        AbsTable::Dev(d) => TableKind::Smmu(d),
+    }
+}
+
+fn concrete_owner(o: AbsOwner) -> Owner {
+    match o {
+        AbsOwner::Hyp => Owner::KCore,
+        AbsOwner::Host => Owner::KServ,
+        AbsOwner::Vm(v) => Owner::Vm(v),
+    }
+}
+
 /// Checks the §5.3 invariants over the current machine state.
+///
+/// Derived, not hand-rolled: the machine is projected onto the abstract
+/// ownership machine and [`vrm_spec::noninterference`] is evaluated
+/// there; each abstract violation is translated back into the concrete
+/// [`InvariantViolation`] vocabulary. Any concrete table/ownership
+/// inconsistency survives the projection (the projection reads the same
+/// page tables and `s2page` array the old sweep did), so this is the
+/// same check — stated once, at the spec level.
 pub fn check_invariants(k: &KCore) -> Vec<InvariantViolation> {
-    let mut out = Vec::new();
-    if !k.stage2_enabled {
-        out.push(InvariantViolation::Stage2Disabled);
-    }
-    if !k.smmu_enabled {
-        out.push(InvariantViolation::SmmuDisabled);
-    }
-    // KServ's stage-2: only KServ-owned or shared pages.
-    for m in k.kserv_s2.mappings(&k.mem) {
-        let pfn = pfn_of(m.pa);
-        if is_kcore_private(pfn) {
-            out.push(InvariantViolation::KCorePageMapped {
-                table: TableKind::Stage2(None),
-                pfn,
-            });
-            continue;
-        }
-        match k.s2pages.get(pfn) {
-            Ok(p) if p.owner == Owner::KServ || p.shared => {}
-            Ok(p) => out.push(InvariantViolation::OwnershipMismatch {
-                table: TableKind::Stage2(None),
-                pfn,
-                owner: p.owner,
-            }),
-            Err(_) => {}
-        }
-    }
-    // Each VM's stage-2: only pages owned by that VM.
-    for vm in &k.vms {
-        for m in vm.s2.mappings(&k.mem) {
-            let pfn = pfn_of(m.pa);
-            if is_kcore_private(pfn) {
-                out.push(InvariantViolation::KCorePageMapped {
-                    table: TableKind::Stage2(Some(vm.vmid)),
-                    pfn,
-                });
-                continue;
-            }
-            match k.s2pages.get(pfn) {
-                Ok(p) if p.owner == Owner::Vm(vm.vmid) => {}
-                Ok(p) => out.push(InvariantViolation::OwnershipMismatch {
-                    table: TableKind::Stage2(Some(vm.vmid)),
-                    pfn,
-                    owner: p.owner,
-                }),
-                Err(_) => {}
-            }
-        }
-    }
-    // SMMU tables: only pages owned by the assigned principal.
-    for dev in &k.devices {
-        for m in dev.mappings(&k.mem) {
-            let pfn = pfn_of(m.pa);
-            if is_kcore_private(pfn) {
-                out.push(InvariantViolation::KCorePageMapped {
-                    table: TableKind::Smmu(dev.dev),
-                    pfn,
-                });
-                continue;
-            }
-            match k.s2pages.get(pfn) {
-                Ok(p) if p.owner == dev.assigned_to => {}
-                Ok(p) => out.push(InvariantViolation::OwnershipMismatch {
-                    table: TableKind::Smmu(dev.dev),
-                    pfn,
-                    owner: p.owner,
-                }),
-                Err(_) => {}
-            }
-        }
-    }
-    out
+    let uni = refine::universe();
+    let abs = refine::abstract_of(k);
+    noninterference(&uni, &abs)
+        .into_iter()
+        .map(|v| match v {
+            NiViolation::TranslationOff => InvariantViolation::Stage2Disabled,
+            NiViolation::DmaUnprotected => InvariantViolation::SmmuDisabled,
+            NiViolation::HypFrameMapped { table, frame } => InvariantViolation::KCorePageMapped {
+                table: concrete_table(table),
+                pfn: frame,
+            },
+            NiViolation::OwnershipMismatch {
+                table,
+                frame,
+                owner,
+            } => InvariantViolation::OwnershipMismatch {
+                table: concrete_table(table),
+                pfn: frame,
+                owner: concrete_owner(owner),
+            },
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::kcore::{HypercallError, KCoreConfig, VmState};
-    use crate::layout::{page_addr, PAGE_WORDS, VM_POOL_PFN};
+    use crate::layout::{page_addr, pfn_of, PAGE_WORDS, VM_POOL_PFN};
 
     fn booted_vm(k: &mut KCore, cpu: usize, base: u64) -> u32 {
         let pfns = vec![base, base + 1];

@@ -137,13 +137,13 @@ fn main() {
                 k.kserv_fault(1, vm_pfn).expect("mutant lets this through");
                 !check_invariants(&k).is_empty()
             }
-            mutants::CaughtBy::ConfidentialityTest => {
-                // Reclaim without scrubbing leaks the VM's secret to KServ.
-                let mut k = boot_one_vm(mutant.cfg);
-                k.vm_write(0, 0, 5, 0x5ec2e7).unwrap();
-                let pa = k.vm(0).unwrap().s2.translate(&k.mem, 5).unwrap();
-                k.reclaim_vm_pages(0, 0).unwrap();
-                k.kserv_read(1, pa).unwrap() == 0x5ec2e7
+            mutants::CaughtBy::Refinement => {
+                // The concrete transition stops simulating the abstract
+                // ownership machine (unscrubbed reclaim, leaked ownership
+                // transfer, kept share, skipped host unmap).
+                let mut m = Machine::new(mutant.cfg, scripts(2), 99);
+                let (_, violations) = m.run_refined(1_000_000);
+                !violations.is_empty()
             }
         };
         println!(

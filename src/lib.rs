@@ -11,8 +11,11 @@
 //! * [`core`] — the VRM framework: the push/pull Promising model, the six
 //!   wDRF conditions, and the wDRF theorem checker;
 //! * [`mmu`] — page tables, page pools, TLB model, transactional checking;
+//! * [`spec`] — the abstract ownership machine: the refinement spec with
+//!   its step relation and noninterference predicate;
 //! * [`sekvm`] — the executable SeKVM/KCore hypervisor model with dynamic
-//!   wDRF and security validation;
+//!   wDRF and security validation, checked against [`spec`] by
+//!   per-transition refinement;
 //! * [`hwsim`] — the cycle-approximate performance simulator regenerating
 //!   the paper's evaluation;
 //! * [`mutate`] — the mutation-testing campaign proving those checkers
@@ -33,3 +36,4 @@ pub use vrm_mmu as mmu;
 pub use vrm_mutate as mutate;
 pub use vrm_obs as obs;
 pub use vrm_sekvm as sekvm;
+pub use vrm_spec as spec;

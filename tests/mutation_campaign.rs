@@ -25,9 +25,23 @@ fn curated_campaign_kills_every_mutant() {
     assert_eq!(report.timeouts(), 0);
 
     // Every layer contributed, and the explorations actually ran.
-    for layer in [Layer::Litmus, Layer::Kernel, Layer::Machine] {
-        assert!(report.results.iter().any(|r| r.layer == layer));
+    for layer in [Layer::Litmus, Layer::Kernel, Layer::Machine, Layer::Spec] {
+        assert!(
+            report.results.iter().any(|r| r.layer == layer),
+            "no mutants in {layer:?}"
+        );
     }
+    // The spec layer's refinement oracle carries at least the three new
+    // simulation-breaking mutants plus the rekeyed scrub mutant.
+    assert!(
+        report
+            .results
+            .iter()
+            .filter(|r| r.layer == Layer::Spec && r.status == Status::Killed)
+            .count()
+            >= 3,
+        "fewer than 3 killed spec-layer mutants"
+    );
     assert!(report.stats.states > 0);
 
     // The JSON report names every mutant with its oracle and status.

@@ -1,0 +1,265 @@
+//! The refinement-spec layer, end to end.
+//!
+//! * The unbroken kernel refines the abstract ownership machine on every
+//!   schedule of the unmap workload, exhaustively, at several job counts
+//!   — and the refinement walk visits exactly the schedule-exploration
+//!   graph, so their outcome sets and verdicts agree.
+//! * The abstract projection is a function of what the machine *did*,
+//!   not of how the scheduler interleaved it: any two seeds produce the
+//!   same abstract state once VM registration order is pinned.
+//! * Property-based single-trace oracle: random well-formed lifecycle
+//!   traces (fresh fault targets, paired grant/revoke, reclaim last)
+//!   project to legal abstract steps under random schedules.
+
+use proptest::prelude::*;
+
+use vrm::explore::Verdict;
+use vrm::sekvm::layout::{page_addr, PAGE_WORDS, VM_POOL_PFN};
+use vrm::sekvm::machine::{ExhaustiveConfig, Machine, Op, Script};
+use vrm::sekvm::refine;
+use vrm::sekvm::KCoreConfig;
+
+/// The unmap workload from the bench/campaign suites: one full
+/// map → grant → revoke path with VmId-lock contention from a second CPU.
+fn unmap_scripts() -> Vec<Script> {
+    let gpa = 64 * PAGE_WORDS;
+    vec![
+        vec![
+            Op::RegisterVm,
+            Op::RegisterVcpu,
+            Op::StageImage {
+                pfns: vec![VM_POOL_PFN.0, VM_POOL_PFN.0 + 1],
+            },
+            Op::VerifyImage,
+            Op::Fault {
+                gpa,
+                donor_pfn: VM_POOL_PFN.0 + 4,
+            },
+            Op::Grant { gpa },
+            Op::Revoke { gpa },
+        ],
+        vec![Op::RegisterVm],
+    ]
+}
+
+#[test]
+fn unbroken_kernel_refines_exhaustively() {
+    let ecfg = ExhaustiveConfig {
+        max_states: 1 << 18,
+        jobs: 1,
+    };
+    let report = Machine::check_refinement(KCoreConfig::default(), unmap_scripts(), &ecfg)
+        .expect("exploration");
+    assert!(report.stats.completeness.is_exhaustive());
+    assert!(
+        report.refines(),
+        "violations: {:?}",
+        report.violations.iter().take(3).collect::<Vec<_>>()
+    );
+    assert_eq!(report.verdict(), Verdict::Pass);
+    assert!(!report.outcomes.is_empty());
+}
+
+#[test]
+fn refinement_walk_matches_explore_schedules_at_every_job_count() {
+    for jobs in [1usize, 2, 4] {
+        let ecfg = ExhaustiveConfig {
+            max_states: 1 << 18,
+            jobs,
+        };
+        let r = Machine::check_refinement(KCoreConfig::default(), unmap_scripts(), &ecfg)
+            .expect("refinement");
+        let e = Machine::explore_schedules(KCoreConfig::default(), unmap_scripts(), &ecfg)
+            .expect("schedules");
+        // Same graph: the refinement space only adds per-transition
+        // checks, never new states or outcomes.
+        assert_eq!(r.outcomes, e.outcomes, "jobs={jobs}");
+        assert_eq!(r.stats.states, e.stats.states, "jobs={jobs}");
+        assert_eq!(
+            r.verdict().exit_code(),
+            e.verdict().exit_code(),
+            "jobs={jobs}"
+        );
+        assert!(r.refines(), "jobs={jobs}");
+    }
+}
+
+/// Two-VM scripts whose VM registration order is pinned by a rendezvous
+/// barrier, so vmids are schedule-independent and only the interleaving
+/// of the (commuting, frame-disjoint) lifecycle operations varies.
+fn arb_pinned_scripts() -> impl Strategy<Value = Vec<Script>> {
+    (proptest::bool::ANY, proptest::bool::ANY).prop_map(|(share, second_vm)| {
+        let gpa = 64 * PAGE_WORDS;
+        let mut cpu0 = vec![
+            Op::RegisterVm,
+            Op::Rendezvous { id: 1 },
+            Op::RegisterVcpu,
+            Op::StageImage {
+                pfns: vec![VM_POOL_PFN.0, VM_POOL_PFN.0 + 1],
+            },
+            Op::VerifyImage,
+            Op::Fault {
+                gpa,
+                donor_pfn: VM_POOL_PFN.0 + 4,
+            },
+            Op::VmWrite {
+                gpa: gpa + 3,
+                val: 42,
+            },
+        ];
+        if share {
+            cpu0.push(Op::Grant { gpa });
+            cpu0.push(Op::Revoke { gpa });
+        }
+        let mut cpu1 = vec![Op::Rendezvous { id: 1 }, Op::RegisterVm];
+        if second_vm {
+            cpu1.extend([
+                Op::RegisterVcpu,
+                Op::StageImage {
+                    pfns: vec![VM_POOL_PFN.0 + 8, VM_POOL_PFN.0 + 9],
+                },
+                Op::VerifyImage,
+                Op::Fault {
+                    gpa,
+                    donor_pfn: VM_POOL_PFN.0 + 12,
+                },
+            ]);
+        }
+        vec![cpu0, cpu1]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn abstract_projection_is_schedule_invariant(
+        scripts in arb_pinned_scripts(),
+        seed_a in 0u64..1_000,
+        seed_b in 0u64..1_000,
+    ) {
+        let mut ma = Machine::new(KCoreConfig::default(), scripts.clone(), seed_a);
+        let ra = ma.run(1_000_000);
+        let mut mb = Machine::new(KCoreConfig::default(), scripts, seed_b);
+        let rb = mb.run(1_000_000);
+        prop_assert!(ra.clean(), "seed {seed_a}: {ra:?}");
+        prop_assert!(rb.clean(), "seed {seed_b}: {rb:?}");
+        prop_assert_eq!(
+            refine::abstract_of(&ma.kcore),
+            refine::abstract_of(&mb.kcore)
+        );
+    }
+}
+
+/// A well-formed random lifecycle trace: every fault targets a fresh
+/// (gpa, donor) pair, every grant is revoked before teardown, and the
+/// reclaim (if any) comes last — so every successful hypercall has the
+/// full effect its abstract label claims, and every failed one is a
+/// stutter.
+fn arb_trace() -> impl Strategy<Value = (Vec<Script>, u64)> {
+    (
+        proptest::collection::vec((proptest::bool::ANY, proptest::bool::ANY), 1..=3),
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        0u64..512,
+    )
+        .prop_map(|(faults, reclaim, contend, seed)| {
+            let mut cpu0 = vec![
+                Op::RegisterVm,
+                Op::RegisterVcpu,
+                Op::StageImage {
+                    pfns: vec![VM_POOL_PFN.0, VM_POOL_PFN.0 + 1],
+                },
+                Op::VerifyImage,
+            ];
+            for (i, &(write, share)) in faults.iter().enumerate() {
+                let gpa = (64 + i as u64) * PAGE_WORDS;
+                let donor = VM_POOL_PFN.0 + 8 + i as u64;
+                cpu0.push(Op::Fault {
+                    gpa,
+                    donor_pfn: donor,
+                });
+                if write {
+                    cpu0.push(Op::VmWrite {
+                        gpa: gpa + 5,
+                        val: 0x100 + i as u64,
+                    });
+                }
+                if share {
+                    cpu0.push(Op::Grant { gpa });
+                    cpu0.push(Op::KservWrite {
+                        pa: page_addr(donor) + 7,
+                        val: 7,
+                        expect_allowed: true,
+                    });
+                    cpu0.push(Op::Revoke { gpa });
+                    // After revoke the page is private again: the denied
+                    // read must be a stutter, not a state change.
+                    cpu0.push(Op::KservRead {
+                        pa: page_addr(donor) + 7,
+                        expect_allowed: false,
+                    });
+                }
+            }
+            if reclaim {
+                cpu0.push(Op::Reclaim);
+            }
+            let cpu1 = if contend {
+                vec![Op::RegisterVm]
+            } else {
+                vec![]
+            };
+            (vec![cpu0, cpu1], seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_traces_project_to_legal_abstract_steps(trace in arb_trace()) {
+        let (scripts, seed) = trace;
+        let mut m = Machine::new(KCoreConfig::default(), scripts, seed);
+        let (report, violations) = m.run_refined(1_000_000);
+        prop_assert!(report.clean(), "{report:?}");
+        prop_assert!(
+            violations.is_empty(),
+            "refinement violations: {:?}",
+            violations.iter().take(3).collect::<Vec<_>>()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn broken_kernels_fail_the_trace_oracle(trace in arb_trace()) {
+        let (scripts, seed) = trace;
+        // Every spec-layer mutant must trip the same single-trace oracle
+        // whenever the trace exercises its operation (grant/revoke for
+        // the revoke mutants, reclaim for the reclaim mutants).
+        let shares = scripts[0].iter().any(|o| matches!(o, Op::Grant { .. }));
+        let reclaims = scripts[0].iter().any(|o| matches!(o, Op::Reclaim));
+        for mutant in vrm::sekvm::mutants::all() {
+            if mutant.caught_by != vrm::sekvm::mutants::CaughtBy::Refinement {
+                continue;
+            }
+            let relevant = match mutant.name {
+                "revoke-keeps-share" | "revoke-skips-unmap" => shares,
+                "skip-scrub-on-reclaim" | "reclaim-leaks-ownership" => reclaims,
+                _ => true,
+            };
+            if !relevant {
+                continue;
+            }
+            let mut m = Machine::new(mutant.cfg, scripts.clone(), seed);
+            let (_, violations) = m.run_refined(1_000_000);
+            prop_assert!(
+                !violations.is_empty(),
+                "{} survived the trace oracle",
+                mutant.name
+            );
+        }
+    }
+}

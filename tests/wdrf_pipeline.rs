@@ -142,13 +142,22 @@ fn mutants_are_rejected() {
                     mutant.name
                 );
             }
-            CaughtBy::SecurityInvariants | CaughtBy::ConfidentialityTest => {
+            CaughtBy::SecurityInvariants => {
                 // Exercised by the dedicated scenarios in vrm-sekvm's
                 // security tests and the verify_sekvm example; here we
                 // confirm the mutant at least runs.
                 let mut m = Machine::new(mutant.cfg, scripts(2), 5);
                 let r = m.run(1_000_000);
                 assert!(r.steps > 0);
+            }
+            CaughtBy::Refinement => {
+                let mut m = Machine::new(mutant.cfg, scripts(2), 5);
+                let (_, violations) = m.run_refined(1_000_000);
+                assert!(
+                    !violations.is_empty(),
+                    "{} not caught by refinement",
+                    mutant.name
+                );
             }
         }
     }
