@@ -31,25 +31,21 @@ use vrm_memmodel::parser::{parse, CheckModel};
 use vrm_memmodel::promising::enumerate_promising_with;
 use vrm_memmodel::sc::{enumerate_sc_with, ScConfig};
 use vrm_obs::{BenchFile, BenchRecord};
-use vrm_sekvm::layout::{PAGE_WORDS, VM_POOL_PFN};
-use vrm_sekvm::machine::{ExhaustiveConfig, Machine, Op, Script};
+use vrm_sekvm::layout::VM_POOL_PFN;
+use vrm_sekvm::machine::{ExhaustiveConfig, Machine, Script};
 use vrm_sekvm::{refine, KCoreConfig};
 use vrm_spec::{AbsActor, AbsOutcome, AbsPerms, AbsProgram, AbsSpace, AbsState, AbsStep, Claim};
 
-const USAGE: &str = "usage: bench [--jobs N] [--suite all|litmus|wdrf|schedules|spec] \
+const USAGE: &str = "usage: bench [--jobs N] [--suite all|litmus|wdrf|schedules|spec|serve] \
                      [--emit-bench PATH] [litmus-dir]\n\
                      exit codes: 0 all PASS, 1 any FAIL, 3 any UNKNOWN \
                      (budget-truncated, no verdict), 2 usage error";
 
 /// Worst-verdict accumulator over the whole run: FAIL (1) dominates
-/// UNKNOWN (3) dominates PASS (0) — the same lattice every CLI in this
-/// repo uses.
+/// UNKNOWN (3) dominates PASS (0) — [`Verdict::merge_exit_codes`], the
+/// one lattice every CLI in this repo uses.
 fn worse(acc: i32, next: i32) -> i32 {
-    match (acc, next) {
-        (1, _) | (_, 1) => 1,
-        (3, _) | (_, 3) => 3,
-        _ => 0,
-    }
+    Verdict::merge_exit_codes(acc, next)
 }
 
 fn verdict_name(code: i32) -> &'static str {
@@ -208,28 +204,10 @@ fn run_wdrf_suite(jobs: Option<usize>, out: &mut BenchFile) -> i32 {
 }
 
 /// A minimal two-CPU map → grant → revoke workload with VmId-lock
-/// contention (mirrors the mutation campaign's machine-layer scripts):
-/// small enough for every-schedule exploration, rich enough to touch
-/// the whole KCore surface.
+/// contention: the shared `unmap` workload from the sekvm registry,
+/// so the bench records name the same programs the serve daemon runs.
 fn unmap_scripts() -> Vec<Script> {
-    let gpa = 64 * PAGE_WORDS;
-    vec![
-        vec![
-            Op::RegisterVm,
-            Op::RegisterVcpu,
-            Op::StageImage {
-                pfns: vec![VM_POOL_PFN.0, VM_POOL_PFN.0 + 1],
-            },
-            Op::VerifyImage,
-            Op::Fault {
-                gpa,
-                donor_pfn: VM_POOL_PFN.0 + 4,
-            },
-            Op::Grant { gpa },
-            Op::Revoke { gpa },
-        ],
-        vec![Op::RegisterVm],
-    ]
+    vrm_sekvm::workloads::unmap()
 }
 
 fn run_schedules_suite(jobs: Option<usize>, out: &mut BenchFile) -> i32 {
@@ -390,6 +368,170 @@ fn run_spec_suite(jobs: Option<usize>, out: &mut BenchFile) -> i32 {
     acc
 }
 
+/// The serve-suite corpus: one submit line per litmus file, wDRF
+/// catalog program, and machine workload (schedule + refinement),
+/// mirroring what the other suites run directly.
+fn serve_corpus(dir: &Path, jobs: Option<usize>) -> Vec<String> {
+    let with_jobs = |mut w: vrm_obs::json::ObjWriter| {
+        if let Some(n) = jobs {
+            w.field_u64("jobs", n as u64);
+        }
+        w.finish()
+    };
+    let mut lines = Vec::new();
+    for file in collect_litmus_files(dir) {
+        let Ok(text) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        let mut w = vrm_obs::json::ObjWriter::new();
+        w.field_str("op", "submit")
+            .field_str("kind", "litmus")
+            .field_str("program", &text);
+        lines.push(with_jobs(w));
+    }
+    for (name, _) in paper_examples::wdrf_catalog() {
+        let mut w = vrm_obs::json::ObjWriter::new();
+        w.field_str("op", "submit")
+            .field_str("kind", "wdrf")
+            .field_str("name", name);
+        lines.push(with_jobs(w));
+    }
+    for kind in ["schedules", "refinement"] {
+        for workload in vrm_sekvm::workloads::NAMES {
+            let mut w = vrm_obs::json::ObjWriter::new();
+            w.field_str("op", "submit")
+                .field_str("kind", kind)
+                .field_str("workload", workload)
+                .field_u64("max_states", 1 << 18);
+            lines.push(with_jobs(w));
+        }
+    }
+    lines
+}
+
+/// Replays the corpus through `clients` concurrent connections;
+/// returns the worst exit code seen.
+fn serve_replay(endpoint: &vrm_serve::server::Endpoint, lines: &[String], clients: usize) -> i32 {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client =
+                        vrm_serve::Client::connect(endpoint).expect("connect serve client");
+                    let mut acc = 0;
+                    for line in lines.iter().skip(c).step_by(clients) {
+                        let reply = client.request(line).expect("serve request");
+                        acc = worse(acc, reply.exit_code.unwrap_or(2));
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles.into_iter().fold(0, |acc, h| {
+            worse(acc, h.join().expect("serve client thread"))
+        })
+    })
+}
+
+/// The verification-as-a-service load driver: an in-process daemon
+/// replays the whole corpus through 4 concurrent clients twice (cold,
+/// then warm — the second pass must be answered entirely from the
+/// verdict cache), then probes checkpoint continuation with an
+/// under-budgeted schedule walk re-queried at a larger budget.
+fn run_serve_suite(dir: &Path, jobs: Option<usize>, out: &mut BenchFile) -> i32 {
+    use vrm_obs::serve as serve_names;
+    use vrm_obs::Counter;
+
+    const CLIENTS: usize = 4;
+    let svc = vrm_serve::Service::start(vrm_serve::ServeConfig {
+        workers: CLIENTS,
+        ..Default::default()
+    });
+    let handle = vrm_serve::server::serve(
+        svc.clone(),
+        &vrm_serve::server::Endpoint::Tcp("127.0.0.1:0".into()),
+    )
+    .expect("bind serve daemon");
+    let endpoint = handle.local().clone();
+    let lines = serve_corpus(dir, jobs);
+
+    let mut acc = 0;
+    for pass in ["cold", "warm"] {
+        let hits0 = Counter::new(serve_names::CACHE_HIT).get();
+        let states0 = Counter::new(serve_names::STATES_EXPLORED).get();
+        let started = Instant::now();
+        let exit_code = serve_replay(&endpoint, &lines, CLIENTS);
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let hits = Counter::new(serve_names::CACHE_HIT).get() - hits0;
+        let states = Counter::new(serve_names::STATES_EXPLORED).get() - states0;
+        out.records.push(
+            BenchRecord::new(format!("serve/{pass}"))
+                .param("clients", CLIENTS)
+                .param("requests", lines.len())
+                .metric("cache_hits", hits)
+                .metric("states", states)
+                .metric("wall_ns", wall_ns)
+                .metric(
+                    "requests_per_sec_x1000",
+                    lines.len() as u64 * 1_000_000_000_000 / wall_ns.max(1),
+                )
+                .metric("exit_code", exit_code as u64),
+        );
+        println!(
+            "{:<33} states:{:<7} {:>8.1}ms  {} ({}/{} cache hits)",
+            format!("serve/{pass}"),
+            states,
+            wall_ns as f64 / 1e6,
+            verdict_name(exit_code),
+            hits,
+            lines.len(),
+        );
+        acc = worse(acc, exit_code);
+    }
+
+    // Checkpoint continuation: a 40-state budget truncates the unmap
+    // walk (Unknown, checkpoint parked); the re-query at a fresh
+    // budget resumes it instead of restarting, so its states_new is
+    // only the remainder of the space.
+    let mut client = vrm_serve::Client::connect(&endpoint).expect("connect serve client");
+    let probe = |client: &mut vrm_serve::Client, budget: u64| {
+        let mut w = vrm_obs::json::ObjWriter::new();
+        w.field_str("op", "submit")
+            .field_str("kind", "schedules")
+            .field_str("workload", "unmap")
+            .field_u64("max_states", budget);
+        client.request(&w.finish()).expect("serve request")
+    };
+    let started = Instant::now();
+    let small = probe(&mut client, 40);
+    let resumed = probe(&mut client, 1 << 12);
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    let exit_code = resumed.exit_code.unwrap_or(2);
+    out.records.push(
+        BenchRecord::new("serve/escalate")
+            .param("resumed", resumed.resumed)
+            .metric("first_states", small.states)
+            .metric("resumed_states_new", resumed.states_new)
+            .metric("total_states", resumed.states)
+            .metric("wall_ns", wall_ns)
+            .metric("exit_code", exit_code as u64),
+    );
+    println!(
+        "{:<33} states:{:<7} {:>8.1}ms  {} (resumed:{} new:{})",
+        "serve/escalate",
+        resumed.states,
+        wall_ns as f64 / 1e6,
+        verdict_name(exit_code),
+        resumed.resumed,
+        resumed.states_new,
+    );
+    acc = worse(acc, exit_code);
+
+    svc.shutdown();
+    handle.stop();
+    acc
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut jobs: Option<usize> = None;
@@ -412,7 +554,7 @@ fn main() -> ExitCode {
                     eprintln!("--suite needs all|litmus|wdrf|schedules|spec\n{USAGE}");
                     return ExitCode::from(2);
                 };
-                if !["all", "litmus", "wdrf", "schedules", "spec"].contains(&s.as_str()) {
+                if !["all", "litmus", "wdrf", "schedules", "spec", "serve"].contains(&s.as_str()) {
                     eprintln!("unknown suite {s:?}\n{USAGE}");
                     return ExitCode::from(2);
                 }
@@ -446,6 +588,7 @@ fn main() -> ExitCode {
     let run_wdrf = matches!(suite.as_str(), "all" | "wdrf");
     let run_schedules = matches!(suite.as_str(), "all" | "schedules");
     let run_spec = matches!(suite.as_str(), "all" | "spec");
+    let run_serve = matches!(suite.as_str(), "all" | "serve");
     if run_litmus && !litmus_dir.is_dir() {
         eprintln!("litmus dir {} not found\n{USAGE}", litmus_dir.display());
         return ExitCode::from(2);
@@ -468,6 +611,9 @@ fn main() -> ExitCode {
     }
     if run_spec {
         acc = worse(acc, run_spec_suite(jobs, &mut out));
+    }
+    if run_serve {
+        acc = worse(acc, run_serve_suite(&litmus_dir, jobs, &mut out));
     }
 
     if let Some(path) = &emit {

@@ -18,12 +18,10 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Instant;
 
-use vrm_memmodel::axiomatic::{enumerate_axiomatic_with, AxConfig};
 use vrm_memmodel::parser::{parse, CheckModel};
-use vrm_memmodel::promising::{enumerate_promising_with, find_witness};
-use vrm_memmodel::sc::{enumerate_sc_with, ScConfig};
+use vrm_memmodel::promising::find_witness;
+use vrm_memmodel::runner::{run_litmus, RunOverrides};
 use vrm_obs::{BenchFile, BenchRecord};
 
 fn collect_files(arg: &str) -> Vec<PathBuf> {
@@ -109,7 +107,7 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        let mut parsed = match parse(&text) {
+        let parsed = match parse(&text) {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("{}: {e}", path.display());
@@ -117,84 +115,16 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        if let Some(jobs) = jobs {
-            parsed.promising.jobs = jobs;
-        }
-        if let Some(n) = max_states {
-            parsed.promising.max_states = n;
-        }
-        let prog = &parsed.program;
-        print!("{:<28}", prog.name);
-        let mut sc_cfg = ScConfig::default();
-        if let Some(jobs) = jobs {
-            sc_cfg.jobs = jobs;
-        }
-        if let Some(n) = max_states {
-            sc_cfg.max_states = n;
-        }
-        let started = Instant::now();
-        let sc = enumerate_sc_with(prog, &sc_cfg).expect("SC enumeration");
-        let rm_res = enumerate_promising_with(prog, &parsed.promising).expect("promising");
-        // A budget-truncated walk on either reference model makes every
-        // comparison unsound in both directions: degrade to UNKNOWN.
-        let truncated = sc.truncated() || rm_res.truncated;
-        let mut stats = sc.stats;
-        stats.absorb(&rm_res.outcomes.stats);
-        let rm = rm_res.outcomes;
-        // None for VM/TLB programs, disabled files, or truncated
-        // (unroll-bounded) enumerations where comparison is unsound.
-        let ax = if parsed.run_axiomatic {
-            let mut ax_cfg = AxConfig::default();
-            if let Some(jobs) = jobs {
-                ax_cfg.jobs = jobs;
-            }
-            enumerate_axiomatic_with(prog, &ax_cfg)
-                .ok()
-                .filter(|r| !r.truncated)
-                .map(|r| r.outcomes)
-        } else {
-            None
-        };
-        let wall_ns = started.elapsed().as_nanos() as u64;
-        // Full promise search must agree exactly with the axiomatic model;
-        // the promise-free fast path is a sound under-approximation.
-        let conform = match &ax {
-            Some(ax) if parsed.promising.promises => {
-                if *ax == rm {
-                    "yes"
-                } else {
-                    "NO"
-                }
-            }
-            Some(ax) => {
-                if rm.is_subset(ax) {
-                    "sub"
-                } else {
-                    "NO"
-                }
-            }
-            None => "n/a",
-        };
+        print!("{:<28}", parsed.program.name);
+        // The verdict itself comes from the shared pipeline — the same
+        // one the bench harness and the serve daemon call — so every
+        // front end's judgement of a program bit-matches.
+        let run = run_litmus(&parsed, &RunOverrides { jobs, max_states }).expect("litmus pipeline");
         print!(
             " sc:{:<3} arm:{:<3} conform:{:<4}",
-            sc.len(),
-            rm.len(),
-            conform
+            run.sc_outcomes, run.rm_outcomes, run.conform
         );
-        let mut ok = conform != "NO" && sc.is_subset(&rm);
-        for c in &parsed.checks {
-            // `arm` expectations are judged against the *complete* model
-            // when available (the axiomatic set); `sc` against SC.
-            let set = match c.model {
-                CheckModel::Arm => ax.as_ref().unwrap_or(&rm),
-                CheckModel::Sc => &sc,
-            };
-            let bindings: Vec<(&str, u64)> =
-                c.bindings.iter().map(|(n, v)| (n.as_str(), *v)).collect();
-            let holds = set.contains_binding(&bindings) == c.allows;
-            if !holds {
-                ok = false;
-            }
+        for c in &run.checks {
             print!(
                 " [{} {} {}: {}]",
                 match c.model {
@@ -207,46 +137,43 @@ fn main() -> ExitCode {
                     .map(|(n, v)| format!("{n}={v}"))
                     .collect::<Vec<_>>()
                     .join(","),
-                if holds { "ok" } else { "FAIL" }
+                if c.holds { "ok" } else { "FAIL" }
             );
         }
-        if truncated {
-            let coverage =
-                vrm_explore::Coverage::from_stats(&stats).unwrap_or(vrm_explore::Coverage {
-                    states: stats.states,
-                    frontier_len: 0,
-                    reason: vrm_explore::TruncationReason::StateLimit,
-                });
-            println!("  UNKNOWN ({coverage})");
-            unknowns += 1;
-        } else {
-            println!("  {}", if ok { "PASS" } else { "FAIL" });
-            if !ok {
-                failures += 1;
+        match run.verdict {
+            vrm_explore::Verdict::Unknown { coverage } => {
+                println!("  UNKNOWN ({coverage})");
+                unknowns += 1;
+            }
+            v => {
+                println!("  {v}");
+                if v == vrm_explore::Verdict::Fail {
+                    failures += 1;
+                }
             }
         }
-        let exit_code: u64 = if truncated {
-            3
-        } else if ok {
-            0
-        } else {
-            1
-        };
         bench_out.records.push(
-            BenchRecord::new(format!("litmus/{}", prog.name))
-                .param("jobs", stats.jobs)
-                .param("conform", conform)
-                .metric("sc_outcomes", sc.len() as u64)
-                .metric("rm_outcomes", rm.len() as u64)
-                .metric("ax_outcomes", ax.as_ref().map_or(0, |a| a.len()) as u64)
-                .metric("states", stats.states as u64)
-                .metric("popped", stats.popped as u64)
-                .metric("wall_ns", wall_ns)
-                .metric("exit_code", exit_code),
+            BenchRecord::new(format!("litmus/{}", run.name))
+                .param("jobs", run.stats.jobs)
+                .param("conform", run.conform)
+                .metric("sc_outcomes", run.sc_outcomes as u64)
+                .metric("rm_outcomes", run.rm_outcomes as u64)
+                .metric("ax_outcomes", run.ax_outcomes.unwrap_or(0) as u64)
+                .metric("states", run.stats.states as u64)
+                .metric("popped", run.stats.popped as u64)
+                .metric("wall_ns", run.wall_ns)
+                .metric("exit_code", run.exit_code() as u64),
         );
         if let Some(spec) = &witness_spec {
+            let mut pm_cfg = parsed.promising.clone();
+            if let Some(jobs) = jobs {
+                pm_cfg.jobs = jobs;
+            }
+            if let Some(n) = max_states {
+                pm_cfg.max_states = n;
+            }
             let bindings: Vec<(&str, u64)> = spec.iter().map(|(n, v)| (n.as_str(), *v)).collect();
-            match find_witness(prog, &parsed.promising, &bindings).expect("witness search") {
+            match find_witness(&parsed.program, &pm_cfg, &bindings).expect("witness search") {
                 Some(w) => {
                     println!("  witness for {spec:?}:");
                     for step in w {

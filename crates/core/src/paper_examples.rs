@@ -430,6 +430,27 @@ pub fn all() -> Vec<PaperExample> {
     ]
 }
 
+/// The named wDRF check workloads servable by name — the repaired
+/// plain-memory paper examples plus the Figure 7 ticket lock, i.e. the
+/// exact set `bench --suite wdrf` runs. Front ends (the serve daemon's
+/// `wdrf` job kind) look programs up here so a workload name means the
+/// same program everywhere.
+pub fn wdrf_catalog() -> Vec<(&'static str, Program)> {
+    vec![
+        ("example1", example1().fixed.unwrap()),
+        ("example3", example3().fixed.unwrap()),
+        ("ticket-lock", gen_vmid_program(true)),
+    ]
+}
+
+/// Looks up one [`wdrf_catalog`] workload by name.
+pub fn wdrf_by_name(name: &str) -> Option<Program> {
+    wdrf_catalog()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, p)| p)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -432,6 +432,50 @@ impl Verdict {
             Verdict::Unknown { .. } => 3,
         }
     }
+
+    /// Worst-wins combination under the soundness ordering
+    /// `Fail > Unknown > Pass`: the **one** shared ordering for folding
+    /// verdicts from several checks (batch summaries, cache merges,
+    /// multi-workload exit codes). In particular a cached `Unknown` can
+    /// never be upgraded to `Pass` by merging — only a fresh
+    /// [`Verdict::from_parts`] over new exploration evidence may do
+    /// that. When both sides are `Unknown`, coverages are summed (the
+    /// two walks' evidence is additive) and the left reason kept.
+    pub fn merge(self, other: Verdict) -> Verdict {
+        match (self, other) {
+            (Verdict::Fail, _) | (_, Verdict::Fail) => Verdict::Fail,
+            (Verdict::Unknown { coverage: a }, Verdict::Unknown { coverage: b }) => {
+                Verdict::Unknown {
+                    coverage: Coverage {
+                        states: a.states + b.states,
+                        frontier_len: a.frontier_len + b.frontier_len,
+                        reason: a.reason,
+                    },
+                }
+            }
+            (u @ Verdict::Unknown { .. }, Verdict::Pass)
+            | (Verdict::Pass, u @ Verdict::Unknown { .. }) => u,
+            (Verdict::Pass, Verdict::Pass) => Verdict::Pass,
+        }
+    }
+
+    /// The exit-code image of [`Verdict::merge`]: folds two process
+    /// exit codes under `1 (fail) > 3 (unknown) > 0 (pass)`. Codes
+    /// outside the verdict convention (e.g. 2 for usage errors) are
+    /// treated as failures and dominate everything but 1.
+    pub fn merge_exit_codes(a: i32, b: i32) -> i32 {
+        let rank = |c: i32| match c {
+            1 => 3,
+            3 => 1,
+            0 => 0,
+            _ => 2,
+        };
+        if rank(b) > rank(a) {
+            b
+        } else {
+            a
+        }
+    }
 }
 
 impl std::fmt::Display for Verdict {
@@ -445,8 +489,8 @@ impl std::fmt::Display for Verdict {
 }
 
 /// Why an exploration failed outright. Budget exhaustion is *not* an
-/// error (it truncates — see [`Completeness`]); the only way a walk
-/// fails is losing every parallel worker.
+/// error (it truncates — see [`Completeness`]); a walk fails by losing
+/// every parallel worker or by being fed an unusable checkpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExploreError {
     /// Every one of the run's parallel workers died to a panic in
@@ -454,6 +498,46 @@ pub enum ExploreError {
     /// deaths are contained (their work is handed to survivors) and do
     /// not surface.
     WorkerPanic(usize),
+    /// A serialized VRMCKPT1 checkpoint failed validation — see
+    /// [`CheckpointFault`] for what exactly was wrong. Surfaced by
+    /// [`ResumeState::try_from_bytes`]; a service holding checkpoints
+    /// as cache artifacts treats this as "restart from scratch", never
+    /// as grounds to trust a partial decode.
+    CorruptCheckpoint(CheckpointFault),
+}
+
+/// What was wrong with a serialized checkpoint (the payload of
+/// [`ExploreError::CorruptCheckpoint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointFault {
+    /// The bytes do not start with [`CHECKPOINT_MAGIC`].
+    BadMagic,
+    /// The bytes end before a declared field does (or are too short to
+    /// even hold the footer).
+    Truncated,
+    /// Bytes remain after the last declared frontier entry.
+    TrailingBytes,
+    /// The footer's byte-length field disagrees with the body length.
+    LengthMismatch,
+    /// The footer's FNV-1a checksum disagrees with the body bytes.
+    ChecksumMismatch,
+    /// A frontier state's [`CheckpointState::decode`] rejected its
+    /// length-prefixed bytes.
+    BadState,
+}
+
+impl std::fmt::Display for CheckpointFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self {
+            CheckpointFault::BadMagic => "bad magic",
+            CheckpointFault::Truncated => "truncated",
+            CheckpointFault::TrailingBytes => "trailing bytes",
+            CheckpointFault::LengthMismatch => "footer length mismatch",
+            CheckpointFault::ChecksumMismatch => "footer checksum mismatch",
+            CheckpointFault::BadState => "undecodable frontier state",
+        };
+        f.write_str(what)
+    }
 }
 
 impl std::fmt::Display for ExploreError {
@@ -461,6 +545,9 @@ impl std::fmt::Display for ExploreError {
         match self {
             ExploreError::WorkerPanic(n) => {
                 write!(f, "state-space exploration lost all {n} parallel workers")
+            }
+            ExploreError::CorruptCheckpoint(fault) => {
+                write!(f, "corrupt VRMCKPT1 checkpoint: {fault}")
             }
         }
     }
@@ -610,11 +697,33 @@ fn take_u128(b: &mut &[u8]) -> Option<u128> {
     Some(u128::from_le_bytes(take(b, 16)?.try_into().ok()?))
 }
 
+/// Byte length of the checkpoint integrity footer appended by
+/// [`ResumeState::to_bytes`]: an 8-byte LE body length followed by an
+/// 8-byte LE FNV-1a checksum of the body (magic included).
+pub const CHECKPOINT_FOOTER_LEN: usize = 16;
+
+/// FNV-1a 64-bit over `bytes` — the checkpoint footer checksum. Not
+/// cryptographic; it guards against truncation and bit rot of a
+/// checkpoint held as a service-level artifact, not against an
+/// adversary.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 impl<S> ResumeState<S> {
     /// Serializes the checkpoint to the hand-rolled binary format:
-    /// magic, digest count + digests (16-byte LE), frontier count, and
-    /// per frontier entry a depth, a length prefix and the state's
-    /// [`CheckpointState::encode`] bytes.
+    /// magic, digest count + digests (16-byte LE), frontier count, per
+    /// frontier entry a depth, a length prefix and the state's
+    /// [`CheckpointState::encode`] bytes — then an integrity footer
+    /// ([`CHECKPOINT_FOOTER_LEN`] bytes: body length + FNV-1a checksum)
+    /// so a stored checkpoint that was truncated or corrupted is
+    /// rejected wholesale by [`ResumeState::try_from_bytes`] instead of
+    /// mis-decoding.
     pub fn to_bytes(&self) -> Vec<u8>
     where
         S: CheckpointState,
@@ -633,39 +742,133 @@ impl<S> ResumeState<S> {
             out.extend_from_slice(&(enc.len() as u32).to_le_bytes());
             out.extend_from_slice(&enc);
         }
+        let body_len = out.len() as u64;
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(&body_len.to_le_bytes());
+        out.extend_from_slice(&sum.to_le_bytes());
         out
     }
 
-    /// Parses a checkpoint produced by [`ResumeState::to_bytes`];
-    /// `None` on any malformation (bad magic, short read, trailing
-    /// bytes, undecodable state).
-    pub fn from_bytes(mut b: &[u8]) -> Option<Self>
+    /// Parses a checkpoint produced by [`ResumeState::to_bytes`],
+    /// reporting *why* rejection happened. The footer is verified
+    /// first (length, then checksum), so any truncation or corruption
+    /// anywhere in the body is caught before field-by-field decoding
+    /// begins — decoding never panics and never returns a partially
+    /// reconstructed checkpoint.
+    pub fn try_from_bytes(bytes: &[u8]) -> Result<Self, ExploreError>
     where
         S: CheckpointState,
     {
-        if take(&mut b, CHECKPOINT_MAGIC.len())? != CHECKPOINT_MAGIC {
-            return None;
+        let fail = |f: CheckpointFault| Err(ExploreError::CorruptCheckpoint(f));
+        if bytes.len() < CHECKPOINT_MAGIC.len() + CHECKPOINT_FOOTER_LEN {
+            return fail(CheckpointFault::Truncated);
         }
-        let n = take_u64(&mut b)? as usize;
-        let mut visited_digests = HashSet::with_capacity(n.min(1 << 20));
+        let (body, footer) = bytes.split_at(bytes.len() - CHECKPOINT_FOOTER_LEN);
+        let declared_len = u64::from_le_bytes(footer[..8].try_into().unwrap());
+        let declared_sum = u64::from_le_bytes(footer[8..].try_into().unwrap());
+        if declared_len != body.len() as u64 {
+            return fail(CheckpointFault::LengthMismatch);
+        }
+        if declared_sum != fnv1a64(body) {
+            return fail(CheckpointFault::ChecksumMismatch);
+        }
+        let mut b = body;
+        match take(&mut b, CHECKPOINT_MAGIC.len()) {
+            Some(magic) if magic == CHECKPOINT_MAGIC => {}
+            Some(_) => return fail(CheckpointFault::BadMagic),
+            None => return fail(CheckpointFault::Truncated),
+        }
+        let Some(n) = take_u64(&mut b) else {
+            return fail(CheckpointFault::Truncated);
+        };
+        let mut visited_digests = HashSet::with_capacity((n as usize).min(1 << 20));
         for _ in 0..n {
-            visited_digests.insert(take_u128(&mut b)?);
+            let Some(d) = take_u128(&mut b) else {
+                return fail(CheckpointFault::Truncated);
+            };
+            visited_digests.insert(d);
         }
-        let m = take_u64(&mut b)? as usize;
-        let mut frontier = Vec::with_capacity(m.min(1 << 20));
+        let Some(m) = take_u64(&mut b) else {
+            return fail(CheckpointFault::Truncated);
+        };
+        let mut frontier = Vec::with_capacity((m as usize).min(1 << 20));
         for _ in 0..m {
-            let depth = take_u64(&mut b)? as usize;
-            let len = take_u32(&mut b)? as usize;
-            let raw = take(&mut b, len)?;
-            frontier.push((S::decode(raw)?, depth));
+            let (Some(depth), Some(len)) = (take_u64(&mut b), take_u32(&mut b)) else {
+                return fail(CheckpointFault::Truncated);
+            };
+            let Some(raw) = take(&mut b, len as usize) else {
+                return fail(CheckpointFault::Truncated);
+            };
+            let Some(state) = S::decode(raw) else {
+                return fail(CheckpointFault::BadState);
+            };
+            frontier.push((state, depth as usize));
         }
         if !b.is_empty() {
-            return None;
+            return fail(CheckpointFault::TrailingBytes);
         }
-        Some(ResumeState {
+        Ok(ResumeState {
             frontier,
             visited_digests,
         })
+    }
+
+    /// [`ResumeState::try_from_bytes`] with the fault discarded; kept
+    /// for callers that only care whether the checkpoint is usable.
+    pub fn from_bytes(b: &[u8]) -> Option<Self>
+    where
+        S: CheckpointState,
+    {
+        Self::try_from_bytes(b).ok()
+    }
+}
+
+/// A type-erased, owned checkpoint: a [`ResumeState`] boxed behind
+/// `Any` so layers that cannot name a space's (often private) state
+/// type — a verdict cache, a job queue — can still hold and hand back
+/// the checkpoint for [`explore_from`]. The producing layer parks it
+/// with the concrete type and is the only one that can resume it; a
+/// mismatched `resume::<T>()` returns `None` rather than corrupting
+/// the walk.
+pub struct Checkpoint {
+    state: Box<dyn std::any::Any + Send>,
+    frontier_len: usize,
+    visited: usize,
+}
+
+impl Checkpoint {
+    /// Erases `rs` into an opaque, `Send` checkpoint handle.
+    pub fn park<S: Send + 'static>(rs: ResumeState<S>) -> Checkpoint {
+        Checkpoint {
+            frontier_len: rs.frontier.len(),
+            visited: rs.visited_digests.len(),
+            state: Box::new(rs),
+        }
+    }
+
+    /// Recovers the concrete [`ResumeState`] parked by
+    /// [`Checkpoint::park`]; `None` iff `S` is not the parked type.
+    pub fn resume<S: Send + 'static>(self) -> Option<ResumeState<S>> {
+        self.state.downcast::<ResumeState<S>>().ok().map(|b| *b)
+    }
+
+    /// Number of unexpanded frontier entries parked in this checkpoint.
+    pub fn frontier_len(&self) -> usize {
+        self.frontier_len
+    }
+
+    /// Number of visited-state digests parked in this checkpoint.
+    pub fn visited(&self) -> usize {
+        self.visited
+    }
+}
+
+impl std::fmt::Debug for Checkpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Checkpoint")
+            .field("frontier_len", &self.frontier_len)
+            .field("visited", &self.visited)
+            .finish_non_exhaustive()
     }
 }
 
@@ -2066,6 +2269,129 @@ mod tests {
         let mut long = good.clone();
         long.push(0);
         assert!(ResumeState::<u64>::from_bytes(&long).is_none());
+    }
+
+    #[test]
+    fn corrupt_checkpoints_report_the_fault() {
+        let ckpt = ResumeState::<u64> {
+            frontier: vec![(7, 3), (9, 1)],
+            visited_digests: [digest128(&1u64), digest128(&2u64)].into_iter().collect(),
+        };
+        let good = ckpt.to_bytes();
+        let fault = |bytes: &[u8]| match ResumeState::<u64>::try_from_bytes(bytes) {
+            Ok(_) => panic!("mangled checkpoint decoded"),
+            Err(ExploreError::CorruptCheckpoint(f)) => f,
+            Err(e) => panic!("unexpected error {e:?}"),
+        };
+        // Any single flipped bit anywhere in the body trips the
+        // checksum (the footer is verified before any field decoding,
+        // so a flipped count can never drive a huge allocation or a
+        // partial parse).
+        for byte in 0..good.len() - CHECKPOINT_FOOTER_LEN {
+            let mut bad = good.clone();
+            bad[byte] ^= 0x01;
+            let f = fault(&bad);
+            assert!(
+                f == CheckpointFault::ChecksumMismatch,
+                "byte {byte}: expected ChecksumMismatch, got {f:?}"
+            );
+        }
+        // Bytes lost from the end: the footer length no longer matches
+        // (or there are not even enough bytes for the footer).
+        let f = fault(&good[..good.len() - 1]);
+        assert!(matches!(
+            f,
+            CheckpointFault::LengthMismatch | CheckpointFault::ChecksumMismatch
+        ));
+        assert_eq!(fault(&good[..4]), CheckpointFault::Truncated);
+        assert_eq!(fault(&[]), CheckpointFault::Truncated);
+        // A corrupt footer itself is caught too.
+        let mut bad_footer = good.clone();
+        let n = bad_footer.len();
+        bad_footer[n - 1] ^= 0xff;
+        assert_eq!(fault(&bad_footer), CheckpointFault::ChecksumMismatch);
+        // And an internally consistent body with the wrong magic gets
+        // the specific BadMagic fault: rebuild the footer over it.
+        let mut wrong_magic = good[..good.len() - CHECKPOINT_FOOTER_LEN].to_vec();
+        wrong_magic[0] = b'X';
+        let sum = {
+            // Recompute the footer the same way to_bytes does.
+            let body_len = wrong_magic.len() as u64;
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &b in &wrong_magic {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            (body_len, h)
+        };
+        wrong_magic.extend_from_slice(&sum.0.to_le_bytes());
+        wrong_magic.extend_from_slice(&sum.1.to_le_bytes());
+        assert_eq!(fault(&wrong_magic), CheckpointFault::BadMagic);
+    }
+
+    #[test]
+    fn verdict_merge_is_worst_wins() {
+        let unk = Verdict::Unknown {
+            coverage: Coverage {
+                states: 10,
+                frontier_len: 2,
+                reason: TruncationReason::StateLimit,
+            },
+        };
+        assert_eq!(Verdict::Pass.merge(Verdict::Pass), Verdict::Pass);
+        assert_eq!(Verdict::Pass.merge(Verdict::Fail), Verdict::Fail);
+        assert_eq!(Verdict::Fail.merge(unk), Verdict::Fail);
+        assert_eq!(unk.merge(Verdict::Fail), Verdict::Fail);
+        // The soundness clause: Unknown merged with Pass stays Unknown
+        // in both orders — a cache can never launder partial coverage
+        // into a Pass.
+        assert_eq!(Verdict::Pass.merge(unk), unk);
+        assert_eq!(unk.merge(Verdict::Pass), unk);
+        // Unknown + Unknown sums coverage.
+        match unk.merge(unk) {
+            Verdict::Unknown { coverage } => {
+                assert_eq!(coverage.states, 20);
+                assert_eq!(coverage.frontier_len, 4);
+            }
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+        // Exit-code image agrees with the verdict lattice.
+        for a in [Verdict::Pass, Verdict::Fail, unk] {
+            for b in [Verdict::Pass, Verdict::Fail, unk] {
+                assert_eq!(
+                    Verdict::merge_exit_codes(a.exit_code(), b.exit_code()),
+                    a.merge(b).exit_code(),
+                    "{a:?} + {b:?}"
+                );
+            }
+        }
+        // Usage errors dominate everything but FAIL.
+        assert_eq!(Verdict::merge_exit_codes(2, 3), 2);
+        assert_eq!(Verdict::merge_exit_codes(0, 2), 2);
+        assert_eq!(Verdict::merge_exit_codes(2, 1), 1);
+    }
+
+    #[test]
+    fn parked_checkpoints_resume_only_at_their_own_type() {
+        let space = Chain { len: 100 };
+        let r = explore(&space, &ExploreConfig::with_max_states(25)).unwrap();
+        let ckpt = r.resume.unwrap();
+        let (frontier_len, visited) = (ckpt.frontier.len(), ckpt.visited_digests.len());
+        let parked = Checkpoint::park(ckpt);
+        assert_eq!(parked.frontier_len(), frontier_len);
+        assert_eq!(parked.visited(), visited);
+        // Wrong state type: refused, not mis-resumed.
+        assert!(Checkpoint::park(ResumeState::<u64> {
+            frontier: vec![],
+            visited_digests: HashSet::new(),
+        })
+        .resume::<u32>()
+        .is_none());
+        // Right type: the walk completes from where it stopped.
+        let back = parked.resume::<u64>().unwrap();
+        let resumed = explore_from(&space, &ExploreConfig::default(), Some(back)).unwrap();
+        assert!(resumed.stats.completeness.is_exhaustive());
+        assert_eq!(r.stats.states + resumed.stats.states, 101);
     }
 
     #[test]

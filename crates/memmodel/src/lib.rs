@@ -27,6 +27,7 @@ pub mod litmus;
 pub mod outcome;
 pub mod parser;
 pub mod promising;
+pub mod runner;
 pub mod sc;
 pub mod trace;
 pub mod values;

@@ -75,6 +75,18 @@ pub struct ParsedLitmus {
     pub run_axiomatic: bool,
 }
 
+impl ParsedLitmus {
+    /// The normalized source text: the `Display` pretty-print, which is
+    /// a fixed point of `parse` → print (pinned by
+    /// `tests/parser_roundtrip.rs`). Two source files that differ only
+    /// in whitespace, comments or directive order have the same
+    /// canonical text — this is the content-addressing hook the serve
+    /// layer digests, so such files share one cached verdict.
+    pub fn canonical_text(&self) -> String {
+        self.to_string()
+    }
+}
+
 /// One `check` line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Check {

@@ -1466,6 +1466,7 @@ pub fn enumerate_promising_with(
         Err(vrm_explore::ExploreError::WorkerPanic(_)) => {
             vrm_explore::explore(&space, &ecfg.jobs(1))?
         }
+        Err(e) => return Err(e.into()),
     };
     truncated |= exploration.stats.completeness.is_truncated();
     let mut outcomes = OutcomeSet::new();
@@ -1561,6 +1562,7 @@ pub fn find_witness(
         Err(vrm_explore::ExploreError::WorkerPanic(_)) => {
             vrm_explore::explore(&space, &ecfg.jobs(1))?
         }
+        Err(e) => return Err(e.into()),
     };
     Ok(exploration.emits.into_iter().next())
 }

@@ -1,0 +1,197 @@
+//! The litmus verdict pipeline, shared between front ends.
+//!
+//! The `litmus` CLI, the bench harness and the `vrm-serve` daemon must
+//! all judge a litmus program **identically** — same enumerations, same
+//! conformance rule, same check evaluation, same truncation handling —
+//! or a verdict served from one front end would contradict another on
+//! the same input. This module is that single pipeline: [`run_litmus`]
+//! takes a [`ParsedLitmus`] plus budget overrides and returns a
+//! [`LitmusRun`] holding every component of the judgement, so front
+//! ends only differ in how they render it.
+//!
+//! The pipeline, in order:
+//!
+//! 1. exhaustive SC enumeration ([`enumerate_sc_with`]);
+//! 2. promising-Arm enumeration ([`enumerate_promising_with`]);
+//! 3. if either reference walk truncated, every comparison below is
+//!    unsound in both directions — the verdict degrades to `Unknown`;
+//! 4. the axiomatic model ([`enumerate_axiomatic_with`]) when the file
+//!    enables it, discarded if itself truncated;
+//! 5. conformance: with promises on, promising must equal axiomatic
+//!    exactly; the promise-free fast path must be a subset of it;
+//! 6. SC ⊆ RM inclusion plus the file's `check` expectations (`arm`
+//!    checks judged against the axiomatic set when available, else the
+//!    promising set; `sc` checks against SC).
+
+use std::time::Instant;
+
+use vrm_explore::{Coverage, ExploreStats, TruncationReason, Verdict};
+
+use crate::axiomatic::{enumerate_axiomatic_with, AxConfig};
+use crate::parser::{CheckModel, ParsedLitmus};
+use crate::promising::enumerate_promising_with;
+use crate::sc::{enumerate_sc_with, ExploreError, ScConfig};
+
+/// Front-end budget overrides applied on top of the file's own
+/// configuration, mirroring the `litmus` CLI's `--jobs`/`--max-states`
+/// flags. `None` fields leave the parsed defaults untouched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunOverrides {
+    /// Worker count for all three enumerations.
+    pub jobs: Option<usize>,
+    /// State budget for the SC and promising walks.
+    pub max_states: Option<usize>,
+}
+
+/// One evaluated `check` expectation from the litmus file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// Which model the expectation addresses.
+    pub model: CheckModel,
+    /// `true` for `allows`, `false` for `forbids`.
+    pub allows: bool,
+    /// The outcome bindings the expectation names.
+    pub bindings: Vec<(String, u64)>,
+    /// Whether the enumerated set agreed with the expectation.
+    pub holds: bool,
+}
+
+/// Everything [`run_litmus`] concluded about one program: the verdict
+/// plus every component a front end might want to render or assert on.
+#[derive(Debug, Clone)]
+pub struct LitmusRun {
+    /// The program's name as parsed.
+    pub name: String,
+    /// Distinct SC outcomes.
+    pub sc_outcomes: usize,
+    /// Distinct promising-Arm outcomes.
+    pub rm_outcomes: usize,
+    /// Distinct axiomatic outcomes, when the cross-check ran.
+    pub ax_outcomes: Option<usize>,
+    /// Conformance summary: `"yes"` (promising == axiomatic), `"sub"`
+    /// (promise-free promising ⊆ axiomatic), `"NO"`, or `"n/a"` when
+    /// the axiomatic model did not run.
+    pub conform: &'static str,
+    /// The file's `check` expectations, each with its evaluation.
+    pub checks: Vec<CheckOutcome>,
+    /// Whether any reference enumeration was budget-truncated.
+    pub truncated: bool,
+    /// The three-valued judgement (truncation forces `Unknown`).
+    pub verdict: Verdict,
+    /// Combined SC + promising exploration statistics.
+    pub stats: ExploreStats,
+    /// Wall time of the enumerations, nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl LitmusRun {
+    /// The run's process exit code under the shared 0/1/3 convention.
+    pub fn exit_code(&self) -> i32 {
+        self.verdict.exit_code()
+    }
+}
+
+/// Runs the whole litmus pipeline on an already-parsed program. See
+/// the module docs for the exact judgement; every front end calls this
+/// so their verdicts bit-match.
+pub fn run_litmus(parsed: &ParsedLitmus, ov: &RunOverrides) -> Result<LitmusRun, ExploreError> {
+    let mut pm_cfg = parsed.promising.clone();
+    let mut sc_cfg = ScConfig::default();
+    if let Some(jobs) = ov.jobs {
+        pm_cfg.jobs = jobs;
+        sc_cfg.jobs = jobs;
+    }
+    if let Some(n) = ov.max_states {
+        pm_cfg.max_states = n;
+        sc_cfg.max_states = n;
+    }
+    let prog = &parsed.program;
+    let started = Instant::now();
+    let sc = enumerate_sc_with(prog, &sc_cfg)?;
+    let rm_res = enumerate_promising_with(prog, &pm_cfg)?;
+    // A budget-truncated walk on either reference model makes every
+    // comparison unsound in both directions: degrade to UNKNOWN.
+    let truncated = sc.truncated() || rm_res.truncated;
+    let mut stats = sc.stats;
+    stats.absorb(&rm_res.outcomes.stats);
+    let rm = rm_res.outcomes;
+    // None for VM/TLB programs, disabled files, or truncated
+    // (unroll-bounded) enumerations where comparison is unsound.
+    let ax = if parsed.run_axiomatic {
+        let mut ax_cfg = AxConfig::default();
+        if let Some(jobs) = ov.jobs {
+            ax_cfg.jobs = jobs;
+        }
+        enumerate_axiomatic_with(prog, &ax_cfg)
+            .ok()
+            .filter(|r| !r.truncated)
+            .map(|r| r.outcomes)
+    } else {
+        None
+    };
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    // Full promise search must agree exactly with the axiomatic model;
+    // the promise-free fast path is a sound under-approximation.
+    let conform = match &ax {
+        Some(ax) if pm_cfg.promises => {
+            if *ax == rm {
+                "yes"
+            } else {
+                "NO"
+            }
+        }
+        Some(ax) => {
+            if rm.is_subset(ax) {
+                "sub"
+            } else {
+                "NO"
+            }
+        }
+        None => "n/a",
+    };
+    let mut ok = conform != "NO" && sc.is_subset(&rm);
+    let mut checks = Vec::with_capacity(parsed.checks.len());
+    for c in &parsed.checks {
+        // `arm` expectations are judged against the *complete* model
+        // when available (the axiomatic set); `sc` against SC.
+        let set = match c.model {
+            CheckModel::Arm => ax.as_ref().unwrap_or(&rm),
+            CheckModel::Sc => &sc,
+        };
+        let bindings: Vec<(&str, u64)> = c.bindings.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let holds = set.contains_binding(&bindings) == c.allows;
+        if !holds {
+            ok = false;
+        }
+        checks.push(CheckOutcome {
+            model: c.model,
+            allows: c.allows,
+            bindings: c.bindings.clone(),
+            holds,
+        });
+    }
+    let verdict = if truncated {
+        let coverage = Coverage::from_stats(&stats).unwrap_or(Coverage {
+            states: stats.states,
+            frontier_len: 0,
+            reason: TruncationReason::StateLimit,
+        });
+        Verdict::Unknown { coverage }
+    } else if ok {
+        Verdict::Pass
+    } else {
+        Verdict::Fail
+    };
+    Ok(LitmusRun {
+        name: prog.name.clone(),
+        sc_outcomes: sc.len(),
+        rm_outcomes: rm.len(),
+        ax_outcomes: ax.as_ref().map(|a| a.len()),
+        conform,
+        checks,
+        truncated,
+        verdict,
+        stats,
+        wall_ns,
+    })
+}

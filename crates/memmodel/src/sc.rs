@@ -60,6 +60,8 @@ pub enum ExploreError {
     NoVmConfig,
     /// Every parallel exploration worker died to a panic.
     WorkerPanic(usize),
+    /// A supplied VRMCKPT1 resume checkpoint failed validation.
+    CorruptCheckpoint(vrm_explore::CheckpointFault),
 }
 
 impl std::fmt::Display for ExploreError {
@@ -72,6 +74,9 @@ impl std::fmt::Display for ExploreError {
             ExploreError::WorkerPanic(n) => {
                 write!(f, "exploration lost all {n} parallel workers")
             }
+            ExploreError::CorruptCheckpoint(fault) => {
+                write!(f, "corrupt VRMCKPT1 checkpoint: {fault}")
+            }
         }
     }
 }
@@ -82,6 +87,7 @@ impl From<vrm_explore::ExploreError> for ExploreError {
     fn from(e: vrm_explore::ExploreError) -> Self {
         match e {
             vrm_explore::ExploreError::WorkerPanic(n) => ExploreError::WorkerPanic(n),
+            vrm_explore::ExploreError::CorruptCheckpoint(f) => ExploreError::CorruptCheckpoint(f),
         }
     }
 }
@@ -575,6 +581,7 @@ pub fn enumerate_sc_with(prog: &Program, cfg: &ScConfig) -> Result<OutcomeSet, E
         Err(vrm_explore::ExploreError::WorkerPanic(_)) => {
             vrm_explore::explore(&space, &ecfg.jobs(1))?
         }
+        Err(e) => return Err(e.into()),
     };
     let mut outcomes = OutcomeSet::new();
     for emit in exploration.emits {

@@ -25,6 +25,13 @@
 //!   check; the kill signal is the bugged rule disagreeing with the
 //!   sound one. A survivor here would mean a truncated run can launder
 //!   into a definite pass/fail.
+//! * **Serve** (`vrm-serve`): a `ServeConfig` switch breaks the
+//!   daemon's caching discipline (a cache key that ignores the budget,
+//!   an escalation lane that forgets its checkpoint); the kill signal
+//!   is the bugged daemon's end-to-end submit→verdict behaviour
+//!   diverging from the sound daemon's on the same query sequence — a
+//!   stale `Unknown` served where a fresh walk proves `Pass`, or a
+//!   restarted walk re-paying states a resume would have kept.
 //!
 //! Oracles that themselves run bounded explorations degrade soundly: a
 //! truncated enumeration that found no violation yields
@@ -67,6 +74,9 @@ pub enum Layer {
     Spec,
     /// The exploration engine's graceful-degradation machinery itself.
     Engine,
+    /// The verification-as-a-service daemon's caching and scheduling
+    /// discipline.
+    Serve,
 }
 
 impl Layer {
@@ -78,6 +88,7 @@ impl Layer {
             Layer::Machine => "machine",
             Layer::Spec => "spec",
             Layer::Engine => "engine",
+            Layer::Serve => "serve",
         }
     }
 }
@@ -102,6 +113,10 @@ pub enum Oracle {
     /// A guard-stripped reimplementation of a degradation rule disagrees
     /// with the sound engine on a real budget-starved check.
     Degradation,
+    /// A bugged `vrm-serve` daemon's end-to-end submit→verdict
+    /// behaviour diverges from the sound daemon's on the same query
+    /// sequence.
+    Serve,
 }
 
 impl Oracle {
@@ -115,6 +130,7 @@ impl Oracle {
             Oracle::Invariants => "check_invariants",
             Oracle::Refinement => "refinement",
             Oracle::Degradation => "degradation",
+            Oracle::Serve => "serve",
         }
     }
 }
@@ -178,6 +194,9 @@ enum Subject {
     MachineRefinement { cfg: KCoreConfig },
     /// A guard-stripped degradation rule judged against the engine.
     Degradation { variant: DegradationVariant },
+    /// A `ServeConfig` switch judged by running the bugged daemon and
+    /// the sound daemon through the same query sequence.
+    Serve { variant: ServeVariant },
 }
 
 /// Which engine degradation rule a `Subject::Degradation` mutant
@@ -209,6 +228,37 @@ impl DegradationVariant {
                 "Completeness::merge where the last stage overwrites truncation"
             }
             DegradationVariant::UnknownExitsZero => "exit-code map sending Unknown to 0",
+        }
+    }
+}
+
+/// Which `vrm-serve` caching-discipline switch a `Subject::Serve`
+/// mutant flips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeVariant {
+    /// `ServeConfig::digest_includes_config = false`: the cache key
+    /// ignores the budget, so a re-query with a *larger* budget
+    /// aliases to the old budget's cached `Unknown` instead of running
+    /// the walk that would prove `Pass` — a stale verdict served after
+    /// a config change.
+    StaleAfterConfigChange,
+    /// `ServeConfig::reuse_checkpoints = false`: the escalation lane
+    /// forgets the suspended walk it parked, so every budget-doubling
+    /// retry restarts from scratch and re-pays states the checkpoint
+    /// already covered.
+    EscalationDropsCheckpoint,
+}
+
+impl ServeVariant {
+    /// Human description of the injected change.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            ServeVariant::StaleAfterConfigChange => {
+                "ServeConfig cache key that ignores the verdict-relevant config"
+            }
+            ServeVariant::EscalationDropsCheckpoint => {
+                "ServeConfig escalation lane that drops parked checkpoints"
+            }
         }
     }
 }
@@ -312,6 +362,20 @@ impl MutantSpec {
             oracle: Oracle::Degradation,
             mutation: variant.describe().to_string(),
             subject: Subject::Degradation { variant },
+        }
+    }
+
+    /// A serve-layer mutant: one `ServeConfig` caching-discipline
+    /// switch flipped, killed iff the bugged daemon's end-to-end
+    /// behaviour diverges from the sound daemon's in the predicted
+    /// unsound way.
+    pub fn serve(name: &str, variant: ServeVariant) -> Self {
+        MutantSpec {
+            name: name.to_string(),
+            layer: Layer::Serve,
+            oracle: Oracle::Serve,
+            mutation: variant.describe().to_string(),
+            subject: Subject::Serve { variant },
         }
     }
 }
@@ -420,27 +484,11 @@ fn apply_all(prog: &Program, mutations: &[Mutation]) -> Result<Program, String> 
 
 /// A minimal two-CPU workload that exercises the map → grant → revoke
 /// path (one `clear_s2pt` with its barrier + TLBI obligation) while a
-/// second CPU contends on the VmId lock. Small enough for every-schedule
+/// second CPU contends on the VmId lock: the shared `unmap` workload
+/// from the sekvm registry. Small enough for every-schedule
 /// exploration, rich enough that each machine-layer log mutant shows up.
 fn unmap_scripts() -> Vec<Script> {
-    let gpa = 64 * PAGE_WORDS;
-    vec![
-        vec![
-            Op::RegisterVm,
-            Op::RegisterVcpu,
-            Op::StageImage {
-                pfns: vec![VM_POOL_PFN.0, VM_POOL_PFN.0 + 1],
-            },
-            Op::VerifyImage,
-            Op::Fault {
-                gpa,
-                donor_pfn: VM_POOL_PFN.0 + 4,
-            },
-            Op::Grant { gpa },
-            Op::Revoke { gpa },
-        ],
-        vec![Op::RegisterVm],
-    ]
+    vrm_sekvm::workloads::unmap()
 }
 
 /// The unmap workload extended with a VM secret write and a final
@@ -515,6 +563,7 @@ fn run_one(spec: &MutantSpec, cfg: &CampaignConfig) -> MutantResult {
         Subject::MachineInvariants { cfg: kcfg } => run_machine_invariants(*kcfg),
         Subject::MachineRefinement { cfg: kcfg } => run_machine_refinement(*kcfg, cfg),
         Subject::Degradation { variant } => run_degradation(*variant, cfg),
+        Subject::Serve { variant } => run_serve(*variant, cfg),
     };
     if stats.wall_ns == 0 {
         stats.wall_ns = started.elapsed().as_nanos() as u64;
@@ -878,6 +927,142 @@ fn run_degradation(
     (status, detail, v.stats)
 }
 
+/// One submit→verdict probe against an in-process daemon: result of a
+/// small-budget schedules query followed by a large-budget re-query of
+/// the same workload.
+struct ServeProbe {
+    second: vrm_serve::JobResult,
+    second_cached: bool,
+}
+
+/// Drives one daemon (sound or bugged) through the query sequence both
+/// serve mutants are judged on: an under-budgeted `schedules/unmap`
+/// walk, then a re-query at a *still insufficient* budget with
+/// `escalate` — the re-query can only finish through the escalation
+/// lane, so both the cache key and the checkpoint handoff are
+/// genuinely on the answer path.
+fn serve_probe(
+    scfg: vrm_serve::ServeConfig,
+    small: usize,
+    second: usize,
+) -> Result<ServeProbe, String> {
+    use vrm_serve::{JobConfig, JobSpec, SubmitOutcome};
+    let svc = vrm_serve::Service::start(scfg);
+    let spec = JobSpec::Schedules {
+        workload: "unmap".into(),
+    };
+    let submit_wait = |svc: &vrm_serve::Service,
+                       cfg: JobConfig|
+     -> Result<(vrm_serve::JobResult, bool), String> {
+        match svc.submit(spec.clone(), cfg)? {
+            SubmitOutcome::Cached { result, .. } => Ok((result, true)),
+            SubmitOutcome::Queued(id) => {
+                let snap = svc.wait(id);
+                snap.result
+                    .expect("done job has a result")
+                    .map(|r| (r, false))
+            }
+        }
+    };
+    let first = JobConfig {
+        max_states: small,
+        jobs: 1,
+        escalate: false,
+    };
+    let (_, _) = submit_wait(&svc, first)?;
+    let second_cfg = JobConfig {
+        max_states: second,
+        jobs: 1,
+        escalate: true,
+    };
+    let (second, second_cached) = submit_wait(&svc, second_cfg)?;
+    svc.shutdown();
+    Ok(ServeProbe {
+        second,
+        second_cached,
+    })
+}
+
+fn run_serve(variant: ServeVariant, _cfg: &CampaignConfig) -> (Status, String, ExploreStats) {
+    use vrm_serve::ServeConfig;
+    // Both budgets are below the unmap walk's 117 states, so the
+    // re-query must travel the escalation lane (doubling to 120) to
+    // reach its Pass.
+    let small = 40;
+    let second = 60;
+    let base = ServeConfig {
+        workers: 1,
+        ..Default::default()
+    };
+    let bugged_cfg = match variant {
+        ServeVariant::StaleAfterConfigChange => ServeConfig {
+            digest_includes_config: false,
+            ..base
+        },
+        ServeVariant::EscalationDropsCheckpoint => ServeConfig {
+            reuse_checkpoints: false,
+            ..base
+        },
+    };
+    let sound = match serve_probe(base, small, second) {
+        Ok(p) => p,
+        Err(e) => return (Status::Timeout, e, ExploreStats::default()),
+    };
+    let bugged = match serve_probe(bugged_cfg, small, second) {
+        Ok(p) => p,
+        Err(e) => return (Status::Timeout, e, ExploreStats::default()),
+    };
+    let mut stats = ExploreStats {
+        states: sound.second.states + bugged.second.states,
+        jobs: 1,
+        completeness: Completeness::Exhaustive,
+        ..Default::default()
+    };
+    // The sound daemon must finish the walk fresh on the re-query; if
+    // it cannot, the harness budget is wrong and the gate must trip.
+    if sound.second_cached || !sound.second.verdict.is_pass() {
+        stats.completeness = Completeness::default();
+        return (
+            Status::Unknown,
+            format!(
+                "harness error: sound daemon answered {:?} (cached:{}) on the re-query",
+                sound.second.verdict, sound.second_cached
+            ),
+            stats,
+        );
+    }
+    let (killed, detail) = match variant {
+        ServeVariant::StaleAfterConfigChange => (
+            bugged.second_cached && bugged.second.verdict.is_unknown(),
+            format!(
+                "bugged daemon re-query: cached:{} verdict {:?}; sound: fresh {:?}",
+                bugged.second_cached, bugged.second.verdict, sound.second.verdict
+            ),
+        ),
+        ServeVariant::EscalationDropsCheckpoint => (
+            !bugged.second.resumed
+                && bugged.second.states_new > bugged.second.states
+                && sound.second.resumed
+                && sound.second.states_new <= sound.second.states,
+            format!(
+                "bugged daemon: resumed:{} states_new:{}/{}; sound: resumed:{} states_new:{}/{}",
+                bugged.second.resumed,
+                bugged.second.states_new,
+                bugged.second.states,
+                sound.second.resumed,
+                sound.second.states_new,
+                sound.second.states
+            ),
+        ),
+    };
+    let status = if killed {
+        Status::Killed
+    } else {
+        Status::Survived
+    };
+    (status, detail, stats)
+}
+
 /// Runs every spec and aggregates the report.
 pub fn run(specs: &[MutantSpec], cfg: &CampaignConfig) -> CampaignReport {
     let mut results = Vec::with_capacity(specs.len());
@@ -1106,6 +1291,19 @@ pub fn curated() -> Vec<MutantSpec> {
         DegradationVariant::UnknownExitsZero,
     ));
 
+    // --- Serve layer -----------------------------------------------------
+    // The daemon's caching discipline: a survivor here would mean a
+    // cached verdict can outlive the config that produced it, or an
+    // escalation can silently discard paid-for exploration.
+    specs.push(MutantSpec::serve(
+        "serve-stale-verdict-after-config-change",
+        ServeVariant::StaleAfterConfigChange,
+    ));
+    specs.push(MutantSpec::serve(
+        "serve-escalation-drops-checkpoint",
+        ServeVariant::EscalationDropsCheckpoint,
+    ));
+
     specs
 }
 
@@ -1124,6 +1322,7 @@ mod tests {
             Layer::Machine,
             Layer::Spec,
             Layer::Engine,
+            Layer::Serve,
         ] {
             assert!(
                 specs.iter().any(|s| s.layer == layer),

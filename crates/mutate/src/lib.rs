@@ -26,7 +26,7 @@ pub mod report;
 
 pub use campaign::{
     curated, run, CampaignConfig, CampaignReport, DegradationVariant, Layer, MutantResult,
-    MutantSpec, Oracle, Status,
+    MutantSpec, Oracle, ServeVariant, Status,
 };
 pub use ir::{apply, find_sites, site, Mutation, MutationKind};
 pub use report::{not_killed, to_json, to_table};

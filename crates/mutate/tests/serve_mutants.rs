@@ -1,0 +1,18 @@
+//! Fast regression guard for the serve-layer mutants: both must stay
+//! Killed without running the full curated campaign.
+
+use vrm_mutate::{curated, run, CampaignConfig};
+
+#[test]
+fn serve_mutants_killed() {
+    let specs: Vec<_> = curated()
+        .into_iter()
+        .filter(|s| s.name.starts_with("serve-"))
+        .collect();
+    assert_eq!(specs.len(), 2, "expected 2 serve mutants");
+    let report = run(&specs, &CampaignConfig::default());
+    for r in &report.results {
+        eprintln!("{}: {} — {}", r.name, r.status.as_str(), r.detail);
+    }
+    assert!(report.all_killed(), "serve mutants not all killed");
+}

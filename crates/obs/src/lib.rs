@@ -55,6 +55,7 @@ pub mod bench;
 pub mod counters;
 pub mod hist;
 pub mod json;
+pub mod serve;
 pub mod trace;
 
 pub use bench::{BenchFile, BenchRecord, BENCH_SCHEMA};

@@ -1,0 +1,70 @@
+//! Counter-name registry for the `vrm-serve` daemon.
+//!
+//! `vrm-obs` keeps zero in-workspace dependencies, so the serve layer's
+//! [`Counter`](crate::Counter)s are *declared* over in `vrm-serve` —
+//! but their **names** live here, next to every other counter registry
+//! this crate documents, so trace consumers, tests and CI assertions
+//! address them through one vocabulary instead of scattered string
+//! literals. All names are `serve/`-prefixed; the full registry with
+//! per-counter semantics is documented in `docs/TELEMETRY.md` and
+//! `docs/SERVE.md`.
+//!
+//! The cache counters carry the serve subsystem's headline soundness
+//! and performance claims: a corpus replay served entirely warm shows
+//! `serve/cache_hit` advancing while `serve/states_explored` stands
+//! still — repeat queries are O(1) and cost zero new exploration.
+
+/// Client connections accepted (TCP or Unix domain socket).
+pub const CONNECTIONS: &str = "serve/connections";
+/// Request lines parsed and dispatched, across all connections.
+pub const REQUESTS: &str = "serve/requests";
+/// Protocol lines rejected before dispatch (unparseable or invalid).
+pub const BAD_REQUESTS: &str = "serve/bad_requests";
+/// Jobs answered straight from the verdict cache.
+pub const CACHE_HIT: &str = "serve/cache_hit";
+/// Jobs that missed the cache and were queued for exploration.
+pub const CACHE_MISS: &str = "serve/cache_miss";
+/// Jobs admitted to the scheduler queue.
+pub const JOBS_SUBMITTED: &str = "serve/jobs_submitted";
+/// Jobs completed (verdict stored, waiters notified).
+pub const JOBS_COMPLETED: &str = "serve/jobs_completed";
+/// Jobs whose fast-lane run came back `Unknown` and were re-run on the
+/// escalation lane with doubled budgets.
+pub const JOBS_ESCALATED: &str = "serve/jobs_escalated";
+/// Escalated or re-queried jobs that resumed from a cached VRMCKPT1
+/// checkpoint instead of restarting from scratch.
+pub const CHECKPOINT_RESUME: &str = "serve/checkpoint_resume";
+/// Cached checkpoints rejected as corrupt (footer or decode failure).
+pub const CHECKPOINT_CORRUPT: &str = "serve/checkpoint_corrupt";
+/// States explored on behalf of serve jobs (fresh exploration work;
+/// stands still across a fully cache-served replay).
+pub const STATES_EXPLORED: &str = "serve/states_explored";
+
+/// Every serve counter name, for exhaustive snapshot assertions.
+pub const ALL: &[&str] = &[
+    CONNECTIONS,
+    REQUESTS,
+    BAD_REQUESTS,
+    CACHE_HIT,
+    CACHE_MISS,
+    JOBS_SUBMITTED,
+    JOBS_COMPLETED,
+    JOBS_ESCALATED,
+    CHECKPOINT_RESUME,
+    CHECKPOINT_CORRUPT,
+    STATES_EXPLORED,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_prefixed_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for name in ALL {
+            assert!(name.starts_with("serve/"), "{name}");
+            assert!(seen.insert(name), "duplicate counter name {name}");
+        }
+    }
+}

@@ -53,6 +53,7 @@ pub mod ticketlock;
 pub mod vcpu;
 pub mod vgic;
 pub mod wdrf;
+pub mod workloads;
 
 pub use events::{LockId, MEvent, Principal};
 pub use kcore::{HypercallError, KCore, KCoreConfig};

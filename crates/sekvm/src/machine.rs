@@ -622,24 +622,79 @@ impl Machine {
         scripts: Vec<Script>,
         ecfg: &ExhaustiveConfig,
     ) -> Result<ExhaustiveReport, vrm_explore::ExploreError> {
+        Self::explore_schedules_from(cfg, scripts, ecfg, None)
+    }
+
+    /// [`explore_schedules`](Self::explore_schedules), optionally
+    /// resuming a prior truncated exploration's [`ScheduleResume`]
+    /// instead of restarting: the engine re-seeds its frontier from the
+    /// parked checkpoint and deduplicates against the prior run's
+    /// visited digests, so only fresh states are explored. The returned
+    /// report's outcomes are the **union** of the prior partial
+    /// outcomes and this run's, and its stats sum both attempts'
+    /// counters — with the *final* attempt's completeness, because a
+    /// resumed walk that finishes exhaustively has, jointly with its
+    /// prior, covered the whole space.
+    ///
+    /// This is the handoff a serving layer uses: cache the
+    /// `ScheduleResume` beside an `Unknown` verdict, and a re-query
+    /// with a larger budget continues the walk it paid for.
+    pub fn explore_schedules_from(
+        cfg: KCoreConfig,
+        scripts: Vec<Script>,
+        ecfg: &ExhaustiveConfig,
+        prior: Option<ScheduleResume>,
+    ) -> Result<ExhaustiveReport, vrm_explore::ExploreError> {
         let _span = vrm_obs::span!(
             "machine.explore_schedules",
             scripts = scripts.len(),
             jobs = ecfg.jobs,
+            resumed = u64::from(prior.is_some()),
         );
         let space = SchedSpace { cfg, scripts };
         let xcfg = ExploreConfig::with_max_states(ecfg.max_states).jobs(ecfg.jobs);
-        let ex = match vrm_explore::explore(&space, &xcfg) {
+        let (seed, mut outcomes, prior_stats) = match prior {
+            Some(p) => {
+                // The checkpoint can only have been parked by this
+                // module (the fields are private), so the downcast
+                // failing means the handle was corrupted in storage.
+                let Some(rs) = p.checkpoint.resume::<SchedNode>() else {
+                    return Err(vrm_explore::ExploreError::CorruptCheckpoint(
+                        vrm_explore::CheckpointFault::BadState,
+                    ));
+                };
+                (Some(rs), p.outcomes, Some(p.stats))
+            }
+            None => (None, BTreeSet::new(), None),
+        };
+        let ex = match vrm_explore::explore_from(&space, &xcfg, seed.clone()) {
             Ok(ex) => ex,
             // All parallel workers died: the sequential driver has no
             // worker threads to lose, so fall back to it once.
             Err(vrm_explore::ExploreError::WorkerPanic(_)) => {
-                vrm_explore::explore(&space, &xcfg.jobs(1))?
+                vrm_explore::explore_from(&space, &xcfg.jobs(1), seed)?
             }
+            Err(e) => return Err(e),
         };
+        outcomes.extend(ex.emits);
+        let mut stats = ex.stats;
+        if let Some(prior) = prior_stats {
+            // Sum the attempts' counters but keep the final attempt's
+            // completeness (absorb's merge is truncation-sticky, which
+            // is wrong for a resumed continuation).
+            let completeness = stats.completeness;
+            stats.absorb(&prior);
+            stats.completeness = completeness;
+        }
+        let resume = ex.resume.map(|rs| ScheduleResume {
+            checkpoint: vrm_explore::Checkpoint::park(rs),
+            outcomes: outcomes.clone(),
+            stats,
+        });
         Ok(ExhaustiveReport {
-            outcomes: ex.emits.into_iter().collect(),
-            stats: ex.stats,
+            outcomes,
+            stats,
+            resume,
         })
     }
 
@@ -663,9 +718,16 @@ impl Machine {
         let space = SchedSpace { cfg, scripts };
         let xcfg = ExploreConfig::with_max_states(ecfg.max_states).jobs(ecfg.jobs);
         let ex = vrm_explore::retry_with_escalation(&space, &xcfg, max_retries)?;
-        Ok(ExhaustiveReport {
-            outcomes: ex.emits.into_iter().collect(),
+        let outcomes: BTreeSet<SchedOutcome> = ex.emits.into_iter().collect();
+        let resume = ex.resume.map(|rs| ScheduleResume {
+            checkpoint: vrm_explore::Checkpoint::park(rs),
+            outcomes: outcomes.clone(),
             stats: ex.stats,
+        });
+        Ok(ExhaustiveReport {
+            outcomes,
+            stats: ex.stats,
+            resume,
         })
     }
 
@@ -698,6 +760,7 @@ impl Machine {
             Err(vrm_explore::ExploreError::WorkerPanic(_)) => {
                 vrm_explore::explore(&space, &xcfg.jobs(1))?
             }
+            Err(e) => return Err(e),
         };
         let mut outcomes = BTreeSet::new();
         let mut violations = BTreeSet::new();
@@ -824,6 +887,32 @@ impl SchedOutcome {
     }
 }
 
+/// A suspended schedule exploration, produced by a truncated
+/// [`Machine::explore_schedules`] run and consumed by
+/// [`Machine::explore_schedules_from`]. Wraps the engine's checkpoint
+/// type-erased (the schedule node type is private to this module)
+/// together with the partial outcomes and stats already paid for, so a
+/// holder — e.g. a verdict cache — can suspend and later continue the
+/// walk without naming any machine internals.
+#[derive(Debug)]
+pub struct ScheduleResume {
+    checkpoint: vrm_explore::Checkpoint,
+    outcomes: BTreeSet<SchedOutcome>,
+    stats: ExploreStats,
+}
+
+impl ScheduleResume {
+    /// Unexpanded frontier entries parked in the checkpoint.
+    pub fn frontier_len(&self) -> usize {
+        self.checkpoint.frontier_len()
+    }
+
+    /// Distinct states visited before the walk was suspended.
+    pub fn states_visited(&self) -> usize {
+        self.stats.states
+    }
+}
+
 /// The machine's observable behaviour over all schedules.
 #[derive(Debug)]
 pub struct ExhaustiveReport {
@@ -831,6 +920,10 @@ pub struct ExhaustiveReport {
     pub outcomes: BTreeSet<SchedOutcome>,
     /// Enumeration counters.
     pub stats: ExploreStats,
+    /// Present exactly when the walk was truncated: feed it back
+    /// through [`Machine::explore_schedules_from`] (with a larger
+    /// budget) to continue instead of restarting.
+    pub resume: Option<ScheduleResume>,
 }
 
 impl ExhaustiveReport {
@@ -1430,6 +1523,49 @@ mod tests {
             }
             v => panic!("truncated walk must be Unknown, got {v}"),
         }
+    }
+
+    #[test]
+    fn truncated_schedules_resume_without_restarting() {
+        // A starved run parks a ScheduleResume in its report; feeding it
+        // back with a real budget must complete the walk exploring only
+        // fresh states, and the unioned result must equal a from-scratch
+        // exhaustive run.
+        let scripts = || -> Vec<Script> { (0..2).map(|_| vec![Op::RegisterVm]).collect() };
+        let full = Machine::explore_schedules(
+            KCoreConfig::default(),
+            scripts(),
+            &ExhaustiveConfig::default(),
+        )
+        .unwrap();
+        let starved = Machine::explore_schedules(
+            KCoreConfig::default(),
+            scripts(),
+            &ExhaustiveConfig {
+                max_states: 2,
+                jobs: 1,
+            },
+        )
+        .unwrap();
+        assert!(starved.stats.completeness.is_truncated());
+        let resume = starved.resume.expect("truncated run must park a resume");
+        assert!(resume.frontier_len() > 0);
+        let starved_states = starved.stats.states;
+        let resumed = Machine::explore_schedules_from(
+            KCoreConfig::default(),
+            scripts(),
+            &ExhaustiveConfig::default(),
+            Some(resume),
+        )
+        .unwrap();
+        assert!(resumed.stats.completeness.is_exhaustive());
+        assert!(resumed.resume.is_none());
+        assert_eq!(resumed.outcomes, full.outcomes);
+        assert!(matches!(resumed.verdict(), vrm_explore::Verdict::Pass));
+        // Summed states across both attempts equal the from-scratch
+        // count: nothing was revisited and nothing was lost.
+        assert_eq!(resumed.stats.states, full.stats.states);
+        assert!(starved_states < full.stats.states);
     }
 
     #[test]

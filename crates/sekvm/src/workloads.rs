@@ -1,0 +1,45 @@
+//! Named machine-layer schedule workloads.
+//!
+//! The bench harness, the mutation campaign and the serve daemon all
+//! exercise the same every-schedule scenarios; this module is the one
+//! place their scripts are defined, so a workload *name* (as submitted
+//! to `vrm-serve` or printed in `BENCH_explore.json`) means the same
+//! program everywhere.
+
+use crate::layout::{PAGE_WORDS, VM_POOL_PFN};
+use crate::machine::{Op, Script};
+
+/// The `unmap` workload: a minimal two-CPU map → grant → revoke
+/// sequence with VmId-lock contention. Small enough for every-schedule
+/// exploration, rich enough to touch the whole KCore surface.
+pub fn unmap() -> Vec<Script> {
+    let gpa = 64 * PAGE_WORDS;
+    vec![
+        vec![
+            Op::RegisterVm,
+            Op::RegisterVcpu,
+            Op::StageImage {
+                pfns: vec![VM_POOL_PFN.0, VM_POOL_PFN.0 + 1],
+            },
+            Op::VerifyImage,
+            Op::Fault {
+                gpa,
+                donor_pfn: VM_POOL_PFN.0 + 4,
+            },
+            Op::Grant { gpa },
+            Op::Revoke { gpa },
+        ],
+        vec![Op::RegisterVm],
+    ]
+}
+
+/// Looks up a workload's scripts by name. Current names: `"unmap"`.
+pub fn by_name(name: &str) -> Option<Vec<Script>> {
+    match name {
+        "unmap" => Some(unmap()),
+        _ => None,
+    }
+}
+
+/// Every servable workload name, in registry order.
+pub const NAMES: &[&str] = &["unmap"];

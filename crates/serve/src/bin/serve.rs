@@ -1,0 +1,289 @@
+//! The `serve` binary: daemon and client CLI for verification as a
+//! service.
+//!
+//! ```console
+//! $ serve listen --tcp 127.0.0.1:7440 --workers 4        # the daemon
+//! $ serve listen --uds /tmp/vrm-serve.sock
+//! $ serve submit --tcp 127.0.0.1:7440 --litmus litmus/mp.litmus
+//! $ serve submit --tcp 127.0.0.1:7440 --schedules unmap --max-states 65536 --escalate
+//! $ serve submit --tcp 127.0.0.1:7440 --wdrf ticket-lock --jobs 4
+//! $ serve status --tcp 127.0.0.1:7440
+//! $ serve shutdown --tcp 127.0.0.1:7440
+//! ```
+//!
+//! `submit` exits with the verdict's code — 0 pass, 1 fail,
+//! 3 unknown — and 2 for usage or protocol errors, the same
+//! convention every other binary in the workspace follows.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vrm_obs::json::{escape_into, ObjWriter};
+use vrm_serve::server::Endpoint;
+use vrm_serve::{Client, ServeConfig, Service};
+
+const USAGE: &str = "usage:\n\
+  serve listen   (--tcp HOST:PORT | --uds PATH) [--workers N] [--queue-cap N]\n\
+  serve submit   (--tcp HOST:PORT | --uds PATH) (--litmus FILE | --wdrf NAME | --schedules WORKLOAD | --refinement WORKLOAD)\n\
+                 [--max-states N] [--jobs N] [--escalate] [--no-wait | --watch]\n\
+  serve status   (--tcp HOST:PORT | --uds PATH)\n\
+  serve shutdown (--tcp HOST:PORT | --uds PATH)\n\
+exit codes (submit): 0 pass, 1 fail, 3 unknown, 2 usage/protocol error";
+
+fn usage() -> ExitCode {
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+struct Parsed {
+    endpoint: Option<Endpoint>,
+    workers: usize,
+    queue_cap: usize,
+    kind: Option<(&'static str, String)>,
+    max_states: Option<u64>,
+    jobs: Option<u64>,
+    escalate: bool,
+    no_wait: bool,
+    watch: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Parsed, String> {
+    let mut p = Parsed {
+        endpoint: None,
+        workers: 2,
+        queue_cap: 256,
+        kind: None,
+        max_states: None,
+        jobs: None,
+        escalate: false,
+        no_wait: false,
+        watch: false,
+    };
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or(format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tcp" => {
+                p.endpoint = Some(Endpoint::Tcp(value(args, i, "--tcp")?));
+                i += 2;
+            }
+            "--uds" => {
+                p.endpoint = Some(Endpoint::Unix(PathBuf::from(value(args, i, "--uds")?)));
+                i += 2;
+            }
+            "--workers" => {
+                p.workers = value(args, i, "--workers")?
+                    .parse()
+                    .map_err(|_| "numeric --workers".to_string())?;
+                i += 2;
+            }
+            "--queue-cap" => {
+                p.queue_cap = value(args, i, "--queue-cap")?
+                    .parse()
+                    .map_err(|_| "numeric --queue-cap".to_string())?;
+                i += 2;
+            }
+            "--litmus" => {
+                p.kind = Some(("litmus", value(args, i, "--litmus")?));
+                i += 2;
+            }
+            "--wdrf" => {
+                p.kind = Some(("wdrf", value(args, i, "--wdrf")?));
+                i += 2;
+            }
+            "--schedules" => {
+                p.kind = Some(("schedules", value(args, i, "--schedules")?));
+                i += 2;
+            }
+            "--refinement" => {
+                p.kind = Some(("refinement", value(args, i, "--refinement")?));
+                i += 2;
+            }
+            "--max-states" => {
+                p.max_states = Some(
+                    value(args, i, "--max-states")?
+                        .parse()
+                        .map_err(|_| "numeric --max-states".to_string())?,
+                );
+                i += 2;
+            }
+            "--jobs" => {
+                p.jobs = Some(
+                    value(args, i, "--jobs")?
+                        .parse()
+                        .map_err(|_| "numeric --jobs".to_string())?,
+                );
+                i += 2;
+            }
+            "--escalate" => {
+                p.escalate = true;
+                i += 1;
+            }
+            "--no-wait" => {
+                p.no_wait = true;
+                i += 1;
+            }
+            "--watch" => {
+                p.watch = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(p)
+}
+
+fn build_submit_line(p: &Parsed) -> Result<String, String> {
+    let (kind, arg) = p.kind.as_ref().ok_or("submit needs a job flag")?;
+    let mut w = ObjWriter::new();
+    w.field_str("op", "submit").field_str("kind", kind);
+    match *kind {
+        "litmus" => {
+            let text = std::fs::read_to_string(arg).map_err(|e| format!("{arg}: {e}"))?;
+            w.field_str("program", &text);
+        }
+        "wdrf" => {
+            w.field_str("name", arg);
+        }
+        _ => {
+            w.field_str("workload", arg);
+        }
+    }
+    if let Some(n) = p.max_states {
+        w.field_u64("max_states", n);
+    }
+    if let Some(n) = p.jobs {
+        w.field_u64("jobs", n);
+    }
+    if p.escalate {
+        w.field_bool("escalate", true);
+    }
+    if p.no_wait || p.watch {
+        w.field_bool("wait", false);
+    }
+    Ok(w.finish())
+}
+
+fn run_listen(p: &Parsed) -> ExitCode {
+    let Some(endpoint) = &p.endpoint else {
+        return usage();
+    };
+    let svc = Service::start(ServeConfig {
+        workers: p.workers.max(1),
+        queue_cap: p.queue_cap,
+        ..Default::default()
+    });
+    match vrm_serve::server::serve(svc, endpoint) {
+        Ok(handle) => {
+            println!("listening on {}", handle.local());
+            handle.join();
+            println!("shut down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bind {endpoint}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_submit(p: &Parsed) -> ExitCode {
+    let Some(endpoint) = &p.endpoint else {
+        return usage();
+    };
+    let line = match build_submit_line(p) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut client = match Client::connect(endpoint) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect {endpoint}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let reply = match client.request(&line) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("request: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let reply = if p.watch && reply.status == "queued" {
+        let Some(job) = reply.job else {
+            eprintln!("queued reply without a job handle");
+            return ExitCode::from(2);
+        };
+        match client.watch(job, |r| {
+            eprintln!(
+                "job {job}: {} ({} states explored daemon-wide)",
+                r.status, r.states_new
+            );
+        }) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("watch: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        reply
+    };
+    println!("{}", reply.raw);
+    match reply.exit_code {
+        Some(c @ 0..=255) => ExitCode::from(c as u8),
+        _ if reply.status == "queued" => ExitCode::SUCCESS,
+        _ => ExitCode::from(2),
+    }
+}
+
+fn run_simple(op: &str, p: &Parsed) -> ExitCode {
+    let Some(endpoint) = &p.endpoint else {
+        return usage();
+    };
+    let mut line = String::from("{\"op\":");
+    escape_into(&mut line, op);
+    line.push('}');
+    match Client::connect(endpoint).and_then(|mut c| c.request(&line)) {
+        Ok(reply) => {
+            println!("{}", reply.raw);
+            if reply.status == "ok" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            }
+        }
+        Err(e) => {
+            eprintln!("{op}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    let parsed = match parse_args(&args[1..]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match cmd {
+        "listen" => run_listen(&parsed),
+        "submit" => run_submit(&parsed),
+        "status" => run_simple("status", &parsed),
+        "shutdown" => run_simple("shutdown", &parsed),
+        _ => usage(),
+    }
+}

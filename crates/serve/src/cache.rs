@@ -1,0 +1,141 @@
+//! The verdict cache and the checkpoint side-store.
+//!
+//! Both are plain maps — interior locking lives in
+//! [`crate::Service`]'s one mutex, so the cache itself stays trivially
+//! auditable. The soundness-relevant policy is concentrated in
+//! [`VerdictCache::insert`]: a cached entry can only ever get *worse*
+//! (via [`Verdict::merge`]'s `Fail > Unknown > Pass` ordering) — a
+//! cached `Unknown` is never upgraded to `Pass` by cache bookkeeping;
+//! only a fresh exploration, stored under its own (different) key, may
+//! answer `Pass`.
+
+use std::collections::HashMap;
+
+use vrm_explore::Verdict;
+use vrm_sekvm::machine::ScheduleResume;
+
+/// A finished job's answer, as remembered by the cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// The verdict served to every future identical query.
+    pub verdict: Verdict,
+    /// Total distinct states that backed the verdict.
+    pub states: usize,
+    /// Wall-clock nanoseconds the original computation took (what a
+    /// cache hit saves).
+    pub wall_ns: u64,
+    /// The original result's one-line detail.
+    pub detail: String,
+}
+
+/// Job-digest → verdict map.
+#[derive(Debug, Default)]
+pub struct VerdictCache {
+    map: HashMap<u128, CacheEntry>,
+}
+
+impl VerdictCache {
+    /// Looks up a cached verdict.
+    pub fn get(&self, digest: u128) -> Option<&CacheEntry> {
+        self.map.get(&digest)
+    }
+
+    /// Records a verdict. Identical queries are deterministic, so a
+    /// racing duplicate insert carries the same verdict and the
+    /// worst-wins merge is the identity; the merge is kept as the
+    /// policy anyway so no future caller can weaken a cached verdict.
+    pub fn insert(&mut self, digest: u128, entry: CacheEntry) {
+        match self.map.entry(digest) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let old = o.get().clone();
+                let verdict = old.verdict.merge(entry.verdict);
+                // Keep the bookkeeping of whichever side supplied the
+                // surviving verdict.
+                let keep = if verdict == old.verdict { old } else { entry };
+                o.insert(CacheEntry { verdict, ..keep });
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(entry);
+            }
+        }
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Program-digest → suspended schedule walk.
+///
+/// Checkpoints are single-use: [`take`](CheckpointStore::take) removes
+/// the entry, because resuming consumes the parked frontier. A walk
+/// that is *still* truncated after resuming parks its new checkpoint
+/// right back.
+#[derive(Debug, Default)]
+pub struct CheckpointStore {
+    map: HashMap<u128, ScheduleResume>,
+}
+
+impl CheckpointStore {
+    /// Removes and returns the parked walk for a program, if any.
+    pub fn take(&mut self, program_digest: u128) -> Option<ScheduleResume> {
+        self.map.remove(&program_digest)
+    }
+
+    /// Parks a suspended walk for a program, replacing any older (and
+    /// necessarily smaller) one.
+    pub fn park(&mut self, program_digest: u128, resume: ScheduleResume) {
+        self.map.insert(program_digest, resume);
+    }
+
+    /// Number of parked walks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrm_explore::{Coverage, TruncationReason};
+
+    fn entry(verdict: Verdict) -> CacheEntry {
+        CacheEntry {
+            verdict,
+            states: 10,
+            wall_ns: 1,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn cache_inserts_never_upgrade_a_verdict() {
+        let unknown = Verdict::Unknown {
+            coverage: Coverage {
+                states: 10,
+                frontier_len: 3,
+                reason: TruncationReason::StateLimit,
+            },
+        };
+        let mut c = VerdictCache::default();
+        c.insert(7, entry(unknown));
+        c.insert(7, entry(Verdict::Pass));
+        assert!(
+            c.get(7).unwrap().verdict.is_unknown(),
+            "a second insert must not upgrade Unknown to Pass"
+        );
+        c.insert(7, entry(Verdict::Fail));
+        assert_eq!(c.get(7).unwrap().verdict, Verdict::Fail);
+    }
+}

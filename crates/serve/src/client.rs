@@ -1,0 +1,87 @@
+//! A small blocking client for the daemon's line protocol, used by
+//! the `serve` CLI, the bench load driver and the end-to-end tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+use crate::protocol::{parse_reply, Reply};
+use crate::server::Endpoint;
+
+enum Conn {
+    Tcp(TcpStream, BufReader<TcpStream>),
+    Unix(UnixStream, BufReader<UnixStream>),
+}
+
+/// One connection to a daemon; requests are serialized on it in
+/// order (open several clients for concurrency).
+pub struct Client {
+    conn: Conn,
+}
+
+impl Client {
+    /// Connects to a daemon endpoint.
+    pub fn connect(endpoint: &Endpoint) -> std::io::Result<Client> {
+        let conn = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let w = TcpStream::connect(addr.as_str())?;
+                let r = BufReader::new(w.try_clone()?);
+                Conn::Tcp(w, r)
+            }
+            Endpoint::Unix(path) => {
+                let w = UnixStream::connect(path)?;
+                let r = BufReader::new(w.try_clone()?);
+                Conn::Unix(w, r)
+            }
+        };
+        Ok(Client { conn })
+    }
+
+    fn send(&mut self, line: &str) -> std::io::Result<()> {
+        let w: &mut dyn Write = match &mut self.conn {
+            Conn::Tcp(w, _) => w,
+            Conn::Unix(w, _) => w,
+        };
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+        w.flush()
+    }
+
+    fn recv_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = match &mut self.conn {
+            Conn::Tcp(_, r) => r.read_line(&mut line)?,
+            Conn::Unix(_, r) => r.read_line(&mut line)?,
+        };
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_owned())
+    }
+
+    /// Sends one request line and reads one response line.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Reply> {
+        self.send(line)?;
+        let resp = self.recv_line()?;
+        parse_reply(&resp).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends a `watch` request and reads status lines until the final
+    /// (`done` or `error`) one, invoking `progress` on each
+    /// intermediate line. Returns the final reply.
+    pub fn watch(&mut self, job: u64, mut progress: impl FnMut(&Reply)) -> std::io::Result<Reply> {
+        self.send(&format!("{{\"op\":\"watch\",\"job\":{job}}}"))?;
+        loop {
+            let line = self.recv_line()?;
+            let reply = parse_reply(&line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            match reply.status.as_str() {
+                "done" | "error" => return Ok(reply),
+                _ => progress(&reply),
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Content addressing for verification jobs.
+//!
+//! Two digests per job, both built on the engine's process-stable
+//! [`vrm_explore::digest128`]:
+//!
+//! - the **job digest** keys the verdict cache: canonical program text
+//!   plus the verdict-relevant config fields, rendered in sorted field
+//!   order so the key is independent of wire-field ordering;
+//! - the **program digest** omits the config and keys the checkpoint
+//!   side-store, so a re-query with a *larger* budget (different job
+//!   digest — a cache miss) still finds the suspended walk it can
+//!   continue.
+//!
+//! Litmus programs are normalized to their parse→print fixed point
+//! ([`vrm_memmodel::parser::ParsedLitmus::canonical_text`]): two
+//! byte-different files with the same parse share one cache entry, and
+//! the canonicalization is idempotent (pinned by the
+//! `serve_digest` property tests).
+
+use vrm_memmodel::parser::parse;
+
+use crate::job::{JobConfig, JobSpec};
+
+/// The canonical text a job's digests are computed over — a kind tag
+/// line followed by the normalized program (litmus) or registry name
+/// (everything else).
+///
+/// `Err` carries a protocol-level reason (unparsable litmus text).
+pub fn canonical_program(spec: &JobSpec) -> Result<String, String> {
+    let body = match spec {
+        JobSpec::Litmus { text } => parse(text)
+            .map(|p| p.canonical_text())
+            .map_err(|e| format!("litmus parse: {e}"))?,
+        JobSpec::Wdrf { name } => name.clone(),
+        JobSpec::Schedules { workload } | JobSpec::Refinement { workload } => workload.clone(),
+    };
+    Ok(format!("{}\n{body}", spec.kind()))
+}
+
+/// Config-independent digest: keys the checkpoint side-store.
+pub fn program_digest(spec: &JobSpec) -> Result<u128, String> {
+    Ok(vrm_explore::digest128(&canonical_program(spec)?))
+}
+
+/// The full cache key. When `include_config` is false the
+/// verdict-relevant config is left out of the key — that is the
+/// *mutant* configuration ([`crate::ServeConfig`]'s
+/// `digest_includes_config` switch): a budget change then silently
+/// aliases to the old budget's cached verdict, which the mutation
+/// campaign's serve oracle detects end-to-end.
+pub fn job_digest(spec: &JobSpec, cfg: &JobConfig, include_config: bool) -> Result<u128, String> {
+    let mut text = canonical_program(spec)?;
+    if include_config {
+        // Sorted field order; `jobs` is deliberately absent (verdicts
+        // are driver-independent — see [`JobConfig::jobs`]).
+        text.push_str(&format!(
+            "\n#config escalate={} max_states={}",
+            cfg.escalate, cfg.max_states
+        ));
+    }
+    Ok(vrm_explore::digest128(&text))
+}
+
+/// Renders a digest as the 32-hex-digit wire form.
+pub fn hex32(d: u128) -> String {
+    format!("{d:032x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_changes_move_the_job_digest_but_not_the_program_digest() {
+        let spec = JobSpec::Schedules {
+            workload: "unmap".into(),
+        };
+        let small = JobConfig {
+            max_states: 1 << 8,
+            ..Default::default()
+        };
+        let big = JobConfig {
+            max_states: 1 << 16,
+            ..Default::default()
+        };
+        assert_ne!(
+            job_digest(&spec, &small, true).unwrap(),
+            job_digest(&spec, &big, true).unwrap()
+        );
+        assert_eq!(
+            job_digest(&spec, &small, false).unwrap(),
+            job_digest(&spec, &big, false).unwrap(),
+            "the mutant switch must alias budgets"
+        );
+        assert_eq!(
+            program_digest(&spec).unwrap(),
+            program_digest(&spec).unwrap()
+        );
+    }
+
+    #[test]
+    fn job_kinds_with_the_same_name_do_not_collide() {
+        let a = JobSpec::Schedules {
+            workload: "unmap".into(),
+        };
+        let b = JobSpec::Refinement {
+            workload: "unmap".into(),
+        };
+        assert_ne!(program_digest(&a).unwrap(), program_digest(&b).unwrap());
+    }
+
+    #[test]
+    fn hex_form_is_32_digits() {
+        assert_eq!(hex32(0).len(), 32);
+        assert_eq!(hex32(u128::MAX).len(), 32);
+    }
+}

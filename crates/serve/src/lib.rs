@@ -1,0 +1,65 @@
+//! `vrm-serve` — verification as a service.
+//!
+//! The rest of the workspace answers one query per process: a litmus
+//! file, a wDRF theorem check, an every-schedule machine walk. This
+//! crate wraps those checkers in a long-lived daemon so verification
+//! becomes a *queryable* resource:
+//!
+//! - **Content-addressed verdicts.** Every job is keyed by a canonical
+//!   digest of the normalized program plus the verdict-relevant config
+//!   ([`digest`]). A repeat query — byte-different but semantically
+//!   identical input included — is answered from the verdict cache in
+//!   O(1) without touching an exploration engine.
+//! - **Checkpoint continuation.** An `Unknown` verdict (a walk cut
+//!   short by budget) is cached *with* the engine's suspended
+//!   checkpoint. A later query for the same program with a larger
+//!   budget resumes the paid-for walk instead of restarting
+//!   ([`vrm_sekvm::machine::Machine::explore_schedules_from`]).
+//! - **Two-lane scheduling.** Fresh queries go to the fast lane;
+//!   budget-doubling escalations of `Unknown` verdicts go to the slow
+//!   lane. Workers prefer the fast lane, so cheap interactive queries
+//!   are never starved behind a big escalated walk ([`service`]).
+//! - **A line protocol, not a library.** Clients speak newline-
+//!   delimited JSON over TCP or a Unix socket ([`protocol`],
+//!   [`server`], [`client`]); the `serve` binary is both the daemon
+//!   and the client CLI.
+//!
+//! Everything is std-only; the wire format reuses the workspace's
+//! hand-rolled [`vrm_obs::json`].
+//!
+//! ```
+//! use vrm_serve::{JobConfig, JobSpec, ServeConfig, Service, SubmitOutcome};
+//!
+//! let svc = Service::start(ServeConfig::default());
+//! let spec = JobSpec::Schedules { workload: "unmap".into() };
+//! let id = match svc.submit(spec.clone(), JobConfig::default()).unwrap() {
+//!     SubmitOutcome::Queued(id) => id,
+//!     SubmitOutcome::Cached { .. } => unreachable!("cold cache"),
+//! };
+//! let done = svc.wait(id);
+//! assert_eq!(done.result.unwrap().unwrap().verdict, vrm_explore::Verdict::Pass);
+//! // The same query again is answered without exploring anything.
+//! assert!(matches!(
+//!     svc.submit(spec, JobConfig::default()).unwrap(),
+//!     SubmitOutcome::Cached { .. }
+//! ));
+//! svc.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod client;
+pub mod digest;
+pub mod job;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use cache::{CacheEntry, CheckpointStore, VerdictCache};
+pub use client::Client;
+pub use job::{JobConfig, JobResult, JobSpec};
+pub use protocol::{Reply, Request};
+pub use server::{Endpoint, ServerHandle};
+pub use service::{JobId, JobSnapshot, JobStatus, ServeConfig, Service, SubmitOutcome};

@@ -1,0 +1,399 @@
+//! The daemon's core: a bounded two-lane job scheduler in front of
+//! the verdict cache, independent of any socket.
+//!
+//! [`Service`] is everything the daemon does *except* I/O — the
+//! server, the bench load driver, and the mutation campaign's oracles
+//! all drive this type directly, so the scheduling and caching
+//! semantics are testable in-process.
+//!
+//! ## Lanes
+//!
+//! Fresh queries enter the **fast lane**; budget-doubling escalations
+//! of `Unknown` verdicts enter the **slow lane**. Workers always drain
+//! the fast lane first: an escalated walk can be orders of magnitude
+//! larger than an interactive query, and the policy guarantees the
+//! big walk never starves the small ones. Escalations are still
+//! cheap *in aggregate* because they resume the suspended walk from
+//! the checkpoint store instead of restarting.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use vrm_obs::serve as names;
+use vrm_obs::Counter;
+
+use crate::cache::{CacheEntry, CheckpointStore, VerdictCache};
+use crate::digest::{job_digest, program_digest};
+use crate::job::{execute, JobConfig, JobResult, JobSpec};
+
+/// Daemon-side policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Combined bound on queued (not yet running) jobs across both
+    /// lanes; submissions beyond it are rejected, never buffered
+    /// unboundedly.
+    pub queue_cap: usize,
+    /// How many budget doublings an `escalate` job gets before its
+    /// `Unknown` is final.
+    pub escalate_retries: usize,
+    /// Whether the verdict-relevant config participates in the cache
+    /// key. **Always `true` in production**; `false` is the
+    /// `serve-stale-verdict-after-config-change` mutant, under which a
+    /// re-query with a larger budget aliases to the old budget's
+    /// cached verdict.
+    pub digest_includes_config: bool,
+    /// Whether workers resume parked checkpoints. **Always `true` in
+    /// production**; `false` is the
+    /// `serve-escalation-drops-checkpoint` mutant, under which every
+    /// escalation restarts its walk from scratch.
+    pub reuse_checkpoints: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_cap: 256,
+            escalate_retries: 2,
+            digest_includes_config: true,
+            reuse_checkpoints: true,
+        }
+    }
+}
+
+/// Opaque job handle, unique per daemon lifetime.
+pub type JobId = u64;
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in a lane.
+    Queued,
+    /// A worker is executing it (escalation rounds included).
+    Running,
+    /// Finished; the result is available.
+    Done,
+}
+
+impl JobStatus {
+    /// The wire-protocol status string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+        }
+    }
+}
+
+/// A point-in-time view of one job, as returned by
+/// [`Service::poll`]/[`Service::wait`].
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// The job's handle.
+    pub id: JobId,
+    /// The job's cache key (content digest).
+    pub digest: u128,
+    /// Lifecycle position.
+    pub status: JobStatus,
+    /// Present exactly when `status` is [`JobStatus::Done`]: the
+    /// verdict, or a protocol-level execution error (unparsable
+    /// program, unknown name).
+    pub result: Option<Result<JobResult, String>>,
+}
+
+/// What [`Service::submit`] produced.
+#[derive(Debug)]
+pub enum SubmitOutcome {
+    /// Answered from the verdict cache without queueing anything; the
+    /// result's `states_new` is 0 and `wall_ns` the *original*
+    /// computation's cost (what the hit saved).
+    Cached {
+        /// The content digest the hit was found under.
+        digest: u128,
+        /// The cached answer.
+        result: JobResult,
+    },
+    /// Queued for execution; poll or wait on the handle.
+    Queued(JobId),
+}
+
+struct JobEntry {
+    spec: JobSpec,
+    /// The config the next attempt runs under: starts as submitted
+    /// (which the digest captures), budget doubles on escalation.
+    run_cfg: JobConfig,
+    digest: u128,
+    pdigest: u128,
+    status: JobStatus,
+    escalations_left: usize,
+    /// Fresh states and wall time accumulated across attempts.
+    acc_states_new: usize,
+    acc_wall_ns: u64,
+    resumed_any: bool,
+    result: Option<Result<JobResult, String>>,
+}
+
+#[derive(Default)]
+struct SchedState {
+    fast: VecDeque<JobId>,
+    slow: VecDeque<JobId>,
+    jobs: HashMap<JobId, JobEntry>,
+    cache: VerdictCache,
+    checkpoints: CheckpointStore,
+    next_id: JobId,
+    open: bool,
+}
+
+/// The daemon minus its sockets: verdict cache, checkpoint store, and
+/// the two-lane worker pool.
+pub struct Service {
+    cfg: ServeConfig,
+    state: Mutex<SchedState>,
+    work: Condvar,
+    done: Condvar,
+}
+
+impl Service {
+    /// Builds the service and spawns its worker pool.
+    pub fn start(cfg: ServeConfig) -> Arc<Service> {
+        let svc = Arc::new(Service {
+            cfg,
+            state: Mutex::new(SchedState {
+                open: true,
+                next_id: 1,
+                ..Default::default()
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        for w in 0..cfg.workers.max(1) {
+            let svc = Arc::clone(&svc);
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{w}"))
+                .spawn(move || svc.worker_loop())
+                .expect("spawn serve worker");
+        }
+        svc
+    }
+
+    /// The policy this service runs under.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Submits a job: answered from the cache when the content digest
+    /// is already known, queued into the fast lane otherwise.
+    ///
+    /// `Err` means the job was rejected before execution: unparsable
+    /// program, unknown name, full queue, or a shut-down service.
+    pub fn submit(&self, spec: JobSpec, cfg: JobConfig) -> Result<SubmitOutcome, String> {
+        let digest = job_digest(&spec, &cfg, self.cfg.digest_includes_config)?;
+        let pdigest = program_digest(&spec)?;
+        let mut st = self.state.lock().expect("serve state");
+        if !st.open {
+            return Err("service is shut down".into());
+        }
+        if let Some(entry) = st.cache.get(digest) {
+            Counter::new(names::CACHE_HIT).add(1);
+            return Ok(SubmitOutcome::Cached {
+                digest,
+                result: JobResult {
+                    verdict: entry.verdict,
+                    states: entry.states,
+                    states_new: 0,
+                    wall_ns: entry.wall_ns,
+                    resumed: false,
+                    detail: entry.detail.clone(),
+                },
+            });
+        }
+        Counter::new(names::CACHE_MISS).add(1);
+        if st.fast.len() + st.slow.len() >= self.cfg.queue_cap {
+            return Err(format!("queue full ({} jobs)", self.cfg.queue_cap));
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.jobs.insert(
+            id,
+            JobEntry {
+                spec,
+                run_cfg: cfg,
+                digest,
+                pdigest,
+                status: JobStatus::Queued,
+                escalations_left: if cfg.escalate {
+                    self.cfg.escalate_retries
+                } else {
+                    0
+                },
+                acc_states_new: 0,
+                acc_wall_ns: 0,
+                resumed_any: false,
+                result: None,
+            },
+        );
+        st.fast.push_back(id);
+        Counter::new(names::JOBS_SUBMITTED).add(1);
+        self.work.notify_one();
+        Ok(SubmitOutcome::Queued(id))
+    }
+
+    /// A point-in-time view of a job; `None` for an unknown handle.
+    pub fn poll(&self, id: JobId) -> Option<JobSnapshot> {
+        let st = self.state.lock().expect("serve state");
+        st.jobs.get(&id).map(|j| JobSnapshot {
+            id,
+            digest: j.digest,
+            status: j.status,
+            result: j.result.clone(),
+        })
+    }
+
+    /// Blocks until the job finishes and returns its final snapshot.
+    ///
+    /// # Panics
+    /// On an unknown handle — callers only wait on ids they submitted.
+    pub fn wait(&self, id: JobId) -> JobSnapshot {
+        let mut st = self.state.lock().expect("serve state");
+        loop {
+            let j = st.jobs.get(&id).expect("wait on unknown job id");
+            if j.status == JobStatus::Done {
+                return JobSnapshot {
+                    id,
+                    digest: j.digest,
+                    status: j.status,
+                    result: j.result.clone(),
+                };
+            }
+            st = self.done.wait(st).expect("serve state");
+        }
+    }
+
+    /// Queued-but-not-running depth of (fast, slow) lanes.
+    pub fn queue_depths(&self) -> (usize, usize) {
+        let st = self.state.lock().expect("serve state");
+        (st.fast.len(), st.slow.len())
+    }
+
+    /// (verdict-cache entries, parked checkpoints).
+    pub fn cache_sizes(&self) -> (usize, usize) {
+        let st = self.state.lock().expect("serve state");
+        (st.cache.len(), st.checkpoints.len())
+    }
+
+    /// Stops accepting submissions; workers drain the queues and exit.
+    pub fn shutdown(&self) {
+        let mut st = self.state.lock().expect("serve state");
+        st.open = false;
+        drop(st);
+        self.work.notify_all();
+        self.done.notify_all();
+    }
+
+    /// `false` once [`shutdown`](Self::shutdown) has been called.
+    pub fn is_open(&self) -> bool {
+        self.state.lock().expect("serve state").open
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            // Claim a job: fast lane first, then slow; park until
+            // notified when both are empty.
+            let (id, spec, run_cfg, resume) = {
+                let mut st = self.state.lock().expect("serve state");
+                let id = loop {
+                    if let Some(id) = st.fast.pop_front().or_else(|| st.slow.pop_front()) {
+                        break id;
+                    }
+                    if !st.open {
+                        return;
+                    }
+                    st = self.work.wait(st).expect("serve state");
+                };
+                let pdigest = st.jobs[&id].pdigest;
+                let wants_schedules = matches!(st.jobs[&id].spec, JobSpec::Schedules { .. });
+                let resume = if self.cfg.reuse_checkpoints && wants_schedules {
+                    st.checkpoints.take(pdigest)
+                } else {
+                    None
+                };
+                if resume.is_some() {
+                    Counter::new(names::CHECKPOINT_RESUME).add(1);
+                }
+                let j = st.jobs.get_mut(&id).expect("claimed job exists");
+                j.status = JobStatus::Running;
+                (id, j.spec.clone(), j.run_cfg, resume)
+            };
+
+            // The expensive part runs outside the lock.
+            let started = Instant::now();
+            let outcome = execute(&spec, &run_cfg, resume);
+            let wall_ns = started.elapsed().as_nanos() as u64;
+
+            let mut st = self.state.lock().expect("serve state");
+            match outcome {
+                Ok((res, parked)) => {
+                    Counter::new(names::STATES_EXPLORED).add(res.states_new as u64);
+                    if let Some(p) = parked {
+                        // Park unconditionally — the reuse switch
+                        // gates *taking*, so the mutant models a
+                        // scheduler that forgets to look, not a store
+                        // that was never filled.
+                        let pdigest = st.jobs[&id].pdigest;
+                        st.checkpoints.park(pdigest, p);
+                    }
+                    let j = st.jobs.get_mut(&id).expect("running job exists");
+                    j.acc_states_new += res.states_new;
+                    j.acc_wall_ns += wall_ns;
+                    j.resumed_any |= res.resumed;
+                    if res.verdict.is_unknown() && j.escalations_left > 0 {
+                        // Escalate: doubled budget, slow lane. The
+                        // next attempt resumes the checkpoint parked
+                        // just above (unless the mutant drops it).
+                        j.escalations_left -= 1;
+                        j.run_cfg.max_states = j.run_cfg.max_states.saturating_mul(2);
+                        j.status = JobStatus::Queued;
+                        st.slow.push_back(id);
+                        Counter::new(names::JOBS_ESCALATED).add(1);
+                        self.work.notify_one();
+                        continue;
+                    }
+                    let final_res = JobResult {
+                        states_new: j.acc_states_new,
+                        wall_ns: j.acc_wall_ns,
+                        resumed: j.resumed_any,
+                        ..res
+                    };
+                    let digest = j.digest;
+                    j.status = JobStatus::Done;
+                    j.result = Some(Ok(final_res.clone()));
+                    st.cache.insert(
+                        digest,
+                        CacheEntry {
+                            verdict: final_res.verdict,
+                            states: final_res.states,
+                            wall_ns: final_res.wall_ns,
+                            detail: final_res.detail,
+                        },
+                    );
+                    Counter::new(names::JOBS_COMPLETED).add(1);
+                }
+                Err(e) => {
+                    // Attempt-level failures (bad program, unknown
+                    // name) finish the job but are never cached: they
+                    // cost nothing to recompute and a fixed registry
+                    // should be re-consulted next time.
+                    let j = st.jobs.get_mut(&id).expect("running job exists");
+                    j.status = JobStatus::Done;
+                    j.result = Some(Err(e));
+                    Counter::new(names::JOBS_COMPLETED).add(1);
+                }
+            }
+            self.done.notify_all();
+        }
+    }
+}

@@ -22,7 +22,11 @@
 //!   kill injected relaxed-memory bugs (see the `mutate` binary);
 //! * [`obs`] — the observability layer: process-global counters,
 //!   `VRM_TRACE` JSON-lines tracing, histograms, and the
-//!   schema-versioned `BENCH_*.json` perf-record format.
+//!   schema-versioned `BENCH_*.json` perf-record format;
+//! * [`serve`] — the verification-as-a-service daemon: content-addressed
+//!   verdict caching, two-lane budget scheduling, and checkpoint resume
+//!   over a newline-delimited JSON wire protocol (see the `serve`
+//!   binary).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -36,4 +40,5 @@ pub use vrm_mmu as mmu;
 pub use vrm_mutate as mutate;
 pub use vrm_obs as obs;
 pub use vrm_sekvm as sekvm;
+pub use vrm_serve as serve;
 pub use vrm_spec as spec;

@@ -25,7 +25,13 @@ fn curated_campaign_kills_every_mutant() {
     assert_eq!(report.timeouts(), 0);
 
     // Every layer contributed, and the explorations actually ran.
-    for layer in [Layer::Litmus, Layer::Kernel, Layer::Machine, Layer::Spec] {
+    for layer in [
+        Layer::Litmus,
+        Layer::Kernel,
+        Layer::Machine,
+        Layer::Spec,
+        Layer::Serve,
+    ] {
         assert!(
             report.results.iter().any(|r| r.layer == layer),
             "no mutants in {layer:?}"

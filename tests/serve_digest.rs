@@ -1,0 +1,159 @@
+//! Content-addressing invariants for the serve layer, pinned over the
+//! real litmus corpus plus property-generated configs:
+//!
+//! 1. canonicalization is a fixed point — `parse → canonical_text` is
+//!    idempotent, so a job digest computed from raw file text equals
+//!    the digest computed from its canonical form;
+//! 2. no two corpus programs (or job kinds, or budgets) collide;
+//! 3. the `jobs` driver knob never moves the cache key, while the
+//!    verdict-relevant fields (`max_states`, `escalate`) always do.
+
+use proptest::prelude::*;
+use vrm::memmodel::parser::parse;
+use vrm::serve::digest::{canonical_program, hex32, job_digest, program_digest};
+use vrm::serve::{JobConfig, JobSpec};
+
+fn corpus() -> Vec<(String, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/litmus");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("litmus/ directory")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "litmus"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 23, "expected a corpus, found {files:?}");
+    files
+        .into_iter()
+        .map(|p| {
+            let name = p.file_stem().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&p).unwrap();
+            (name, text)
+        })
+        .collect()
+}
+
+#[test]
+fn canonicalization_is_a_digest_fixed_point_over_the_corpus() {
+    for (name, text) in corpus() {
+        let first = parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let canon = first.canonical_text();
+        let second = parse(&canon).unwrap_or_else(|e| panic!("{name}: reparse: {e}\n{canon}"));
+        assert_eq!(
+            canon,
+            second.canonical_text(),
+            "{name}: canonical_text is not idempotent"
+        );
+
+        let raw_spec = JobSpec::Litmus { text: text.clone() };
+        let canon_spec = JobSpec::Litmus { text: canon };
+        assert_eq!(
+            program_digest(&raw_spec).unwrap(),
+            program_digest(&canon_spec).unwrap(),
+            "{name}: raw and canonical text must share a program digest"
+        );
+        let cfg = JobConfig::default();
+        assert_eq!(
+            job_digest(&raw_spec, &cfg, true).unwrap(),
+            job_digest(&canon_spec, &cfg, true).unwrap(),
+            "{name}: raw and canonical text must share a cache key"
+        );
+    }
+}
+
+#[test]
+fn no_digest_collisions_across_corpus_kinds_and_budgets() {
+    let mut seen: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let mut insert = |digest: u128, what: String| {
+        let key = hex32(digest);
+        if let Some(prev) = seen.insert(key.clone(), what.clone()) {
+            panic!("digest collision {key}: {prev} vs {what}");
+        }
+    };
+
+    let base = JobConfig::default();
+    let big = JobConfig {
+        max_states: base.max_states * 2,
+        ..base
+    };
+    let esc = JobConfig {
+        escalate: true,
+        ..base
+    };
+    for (name, text) in corpus() {
+        let spec = JobSpec::Litmus { text };
+        for (tag, cfg) in [("base", &base), ("big", &big), ("esc", &esc)] {
+            insert(
+                job_digest(&spec, cfg, true).unwrap(),
+                format!("litmus/{name}@{tag}"),
+            );
+        }
+    }
+    // Registry-named kinds join the same namespace without colliding.
+    for kind in ["wdrf", "schedules", "refinement"] {
+        let spec = match kind {
+            "wdrf" => JobSpec::Wdrf {
+                name: "unmap".into(),
+            },
+            "schedules" => JobSpec::Schedules {
+                workload: "unmap".into(),
+            },
+            _ => JobSpec::Refinement {
+                workload: "unmap".into(),
+            },
+        };
+        insert(
+            job_digest(&spec, &base, true).unwrap(),
+            format!("{kind}/unmap"),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cache key tracks exactly the verdict-relevant config: it is
+    /// invariant under the `jobs` driver knob and under re-digesting,
+    /// and moves iff `max_states` or `escalate` differ.
+    #[test]
+    fn job_digest_tracks_verdict_relevant_config_only(
+        file_ix in 0..8usize,
+        states_a in 1u64..1 << 20,
+        states_b in 1u64..1 << 20,
+        esc_a in proptest::bool::ANY,
+        esc_b in proptest::bool::ANY,
+        jobs_a in 1usize..8,
+        jobs_b in 1usize..8,
+    ) {
+        let corpus = corpus();
+        let (_, text) = &corpus[file_ix % corpus.len()];
+        let spec = JobSpec::Litmus { text: text.clone() };
+        let cfg_a = JobConfig {
+            max_states: states_a as usize,
+            jobs: jobs_a,
+            escalate: esc_a,
+        };
+        let cfg_b = JobConfig {
+            max_states: states_b as usize,
+            jobs: jobs_b,
+            escalate: esc_b,
+        };
+        let d_a = job_digest(&spec, &cfg_a, true).unwrap();
+        let d_b = job_digest(&spec, &cfg_b, true).unwrap();
+
+        // Deterministic: re-digesting never drifts.
+        prop_assert_eq!(d_a, job_digest(&spec, &cfg_a, true).unwrap());
+        // `jobs` is not part of the key; the verdict-relevant pair is.
+        let same_verdict_cfg = states_a == states_b && esc_a == esc_b;
+        prop_assert_eq!(
+            d_a == d_b,
+            same_verdict_cfg,
+            "digests {} / {} for configs {:?} / {:?}",
+            hex32(d_a), hex32(d_b), (states_a, esc_a, jobs_a), (states_b, esc_b, jobs_b)
+        );
+        // The checkpoint key ignores config entirely.
+        prop_assert_eq!(program_digest(&spec).unwrap(), program_digest(&spec).unwrap());
+        let canon = canonical_program(&spec).unwrap();
+        prop_assert!(canon.starts_with("litmus\n"));
+    }
+}
