@@ -27,16 +27,22 @@ use std::time::Instant;
 use vrm_core::paper_examples;
 use vrm_core::{check_wdrf, KernelSpec, WdrfCheckConfig};
 use vrm_explore::{explore, ExploreConfig, Verdict};
-use vrm_memmodel::parser::{parse, CheckModel};
+use vrm_memmodel::gen::{self, GenConfig};
+use vrm_memmodel::parser::{parse, CheckModel, ParsedLitmus};
 use vrm_memmodel::promising::enumerate_promising_with;
+use vrm_memmodel::runner::{run_litmus, RunOverrides};
 use vrm_memmodel::sc::{enumerate_sc_with, ScConfig};
 use vrm_obs::{BenchFile, BenchRecord};
 use vrm_sekvm::layout::VM_POOL_PFN;
 use vrm_sekvm::machine::{ExhaustiveConfig, Machine, Script};
 use vrm_sekvm::{refine, KCoreConfig};
-use vrm_spec::{AbsActor, AbsOutcome, AbsPerms, AbsProgram, AbsSpace, AbsState, AbsStep, Claim};
+use vrm_spec::{
+    step as abs_step, AbsActor, AbsOutcome, AbsPerms, AbsProgram, AbsSpace, AbsState, AbsStep,
+    Claim,
+};
 
-const USAGE: &str = "usage: bench [--jobs N] [--suite all|litmus|wdrf|schedules|spec|serve] \
+const USAGE: &str = "usage: bench [--jobs N] [--suite all|litmus|wdrf|schedules|spec|serve|fuzz] \
+                     [--fuzz-count N] [--fuzz-seed S] [--fuzz-dump DIR] \
                      [--emit-bench PATH] [litmus-dir]\n\
                      exit codes: 0 all PASS, 1 any FAIL, 3 any UNKNOWN \
                      (budget-truncated, no verdict), 2 usage error";
@@ -532,15 +538,388 @@ fn run_serve_suite(dir: &Path, jobs: Option<usize>, out: &mut BenchFile) -> i32 
     acc
 }
 
+/// Per-program state budget for the fuzz suite: 2–3 thread shapes
+/// complete exactly well inside it, while a pathological shape
+/// degrades to UNKNOWN instead of stalling the whole run.
+const FUZZ_MAX_STATES: usize = 1 << 17;
+
+/// Writes a shrunk counterexample next to its seed so CI can upload it
+/// as an artifact and a human can replay it with the `litmus` binary.
+fn dump_counterexample(dump: Option<&Path>, file: &str, text: &str) {
+    eprintln!("fuzz: shrunk witness:\n{text}");
+    if let Some(dir) = dump {
+        if let Err(e) = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(dir.join(file), text.as_bytes()))
+        {
+            eprintln!("fuzz: writing {file}: {e}");
+        }
+    }
+}
+
+/// The standing differential fuzzer over generated critical cycles:
+/// every program at seeds `[seed0, seed0+count)` runs the full litmus
+/// pipeline (SC + promising + axiomatic, same [`run_litmus`] as the
+/// CLI and the daemon), and any `Fail` — a model-strength lattice
+/// violation or conformance break on a program nobody hand-wrote — is
+/// shrunk to a 1-minimal shape and dumped as a reproducible `.litmus`
+/// file named after its seed.
+fn run_fuzz_cycles(
+    count: usize,
+    seed0: u64,
+    dump: Option<&Path>,
+    ov: &RunOverrides,
+    out: &mut BenchFile,
+) -> i32 {
+    let cfg = GenConfig::default();
+    let mut fails = 0u64;
+    let mut unknowns = 0u64;
+    let mut states = 0u64;
+    let started = Instant::now();
+    let mut acc = 0;
+    for seed in seed0..seed0 + count as u64 {
+        let shape = gen::sample_cycle(seed, &cfg);
+        let parsed = gen::render(&shape, &cfg);
+        let run = match run_litmus(&parsed, ov) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("fuzz: seed {seed:#x}: {e}");
+                acc = worse(acc, 2);
+                continue;
+            }
+        };
+        states += run.stats.states as u64;
+        match run.verdict {
+            Verdict::Pass => {}
+            Verdict::Unknown { .. } => unknowns += 1,
+            Verdict::Fail => {
+                fails += 1;
+                eprintln!(
+                    "fuzz: model disagreement at seed {seed:#x} \
+                     (sc:{} rm:{} ax:{:?} conform:{})",
+                    run.sc_outcomes, run.rm_outcomes, run.ax_outcomes, run.conform
+                );
+                let still_failing = |p: &ParsedLitmus| {
+                    run_litmus(p, ov).is_ok_and(|r| matches!(r.verdict, Verdict::Fail))
+                };
+                let min = gen::shrink(&shape, &cfg, still_failing);
+                dump_counterexample(
+                    dump,
+                    &format!("fuzz-cc-s{seed:x}.litmus"),
+                    &gen::render_text(&min, &cfg),
+                );
+            }
+        }
+    }
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    let exit_code = if acc == 2 {
+        2
+    } else if fails > 0 {
+        1
+    } else if unknowns > 0 {
+        3
+    } else {
+        0
+    };
+    out.records.push(
+        BenchRecord::new("fuzz/cycles")
+            .param("seed0", seed0 as usize)
+            .param("max_states", FUZZ_MAX_STATES)
+            .metric("programs", count as u64)
+            .metric("disagreements", fails)
+            .metric("unknown", unknowns)
+            .metric("states", states)
+            .metric("wall_ns", wall_ns)
+            .metric("exit_code", exit_code as u64),
+    );
+    println!(
+        "{:<33} states:{:<7} {:>8.1}ms  {} ({count} programs, {fails} disagreements)",
+        "fuzz/cycles",
+        states,
+        wall_ns as f64 / 1e6,
+        verdict_name(exit_code),
+    );
+    exit_code
+}
+
+/// Page-table-walk differential fuzz: generated break-before-make /
+/// TLBI-placement / stale-walk scenarios, each judged three ways —
+///
+/// 1. the abstract ownership machine: `vrm-spec`'s `Walk` verb must
+///    accept the walk while mapped and reject it after `Unmap` (the
+///    spec-level reading of "no stale translation");
+/// 2. the SC enumeration must never reach the stale outcome;
+/// 3. the relaxed model must reach it **iff** the maintenance protocol
+///    is too weak ([`gen::WalkKind::bbm_sound`] is false) — a sound
+///    break-before-make sequence forbidding it, a missing barrier or
+///    missing TLBI allowing it.
+fn run_fuzz_walks(
+    count: usize,
+    seed0: u64,
+    dump: Option<&Path>,
+    jobs: Option<usize>,
+    out: &mut BenchFile,
+) -> i32 {
+    let uni = refine::universe();
+    let frame = VM_POOL_PFN.0 + 4;
+    let mut violations = 0u64;
+    let mut unknowns = 0u64;
+    let mut states = 0u64;
+    let started = Instant::now();
+    let mut acc = 0;
+    for seed in seed0..seed0 + count as u64 {
+        let w = gen::sample_walk(seed);
+        let mut sc_cfg = ScConfig {
+            max_states: FUZZ_MAX_STATES,
+            ..Default::default()
+        };
+        let mut pm_cfg = w.parsed.promising.clone();
+        pm_cfg.max_states = FUZZ_MAX_STATES;
+        if let Some(jobs) = jobs {
+            sc_cfg.jobs = jobs;
+            pm_cfg.jobs = jobs;
+        }
+        let (sc, rm_res) = match (
+            enumerate_sc_with(&w.parsed.program, &sc_cfg),
+            enumerate_promising_with(&w.parsed.program, &pm_cfg),
+        ) {
+            (Ok(sc), Ok(rm)) => (sc, rm),
+            (sc, rm) => {
+                let e = sc.err().or(rm.err()).unwrap();
+                eprintln!("fuzz: walk seed {seed:#x}: {e}");
+                acc = worse(acc, 2);
+                continue;
+            }
+        };
+        states += (sc.stats.states + rm_res.outcomes.stats.states) as u64;
+        let truncated = sc.truncated() || rm_res.truncated;
+        let bindings: Vec<(&str, u64)> = w.stale.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let sc_stale = sc.contains_binding(&bindings);
+        let rm_stale = rm_res.outcomes.contains_binding(&bindings);
+
+        // The abstract machine's verdict on the same scenario: map the
+        // page, walk it (legal), unmap it, walk again (must be
+        // rejected — the spec has no TLB to be stale in).
+        let map = AbsStep::Map {
+            who: AbsActor::Host,
+            vpn: w.vpn,
+            frame,
+            perms: AbsPerms::RW,
+            claim: Claim::Owned,
+        };
+        let walk = AbsStep::Walk {
+            who: AbsActor::Host,
+            vpn: w.vpn,
+            frame,
+            write: false,
+        };
+        let mapped = abs_step(&uni, &AbsState::boot(), &map).expect("host map of owned frame");
+        let spec_ok = abs_step(&uni, &mapped, &walk).is_ok();
+        let unmapped = abs_step(
+            &uni,
+            &mapped,
+            &AbsStep::Unmap {
+                who: AbsActor::Host,
+                vpn: w.vpn,
+            },
+        )
+        .expect("host unmap");
+        let spec_rejects_stale = abs_step(&uni, &unmapped, &walk).is_err();
+
+        let mut ok = spec_ok && spec_rejects_stale && !sc_stale;
+        if truncated {
+            unknowns += 1;
+        } else {
+            // Only a complete relaxed enumeration can certify the
+            // allows/forbids direction: the stale walk must be
+            // RM-reachable exactly when the protocol is unsound.
+            ok = ok && rm_stale != w.kind.bbm_sound();
+        }
+        if !ok {
+            violations += 1;
+            eprintln!(
+                "fuzz: walk disagreement at seed {seed:#x} ({}): \
+                 spec_ok:{spec_ok} spec_rejects_stale:{spec_rejects_stale} \
+                 sc_stale:{sc_stale} rm_stale:{rm_stale}",
+                w.kind.as_str()
+            );
+            dump_counterexample(
+                dump,
+                &format!("fuzz-walk-s{seed:x}.litmus"),
+                &w.parsed.to_string(),
+            );
+        }
+    }
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    let exit_code = if acc == 2 {
+        2
+    } else if violations > 0 {
+        1
+    } else if unknowns > 0 {
+        3
+    } else {
+        0
+    };
+    out.records.push(
+        BenchRecord::new("fuzz/walks")
+            .param("seed0", seed0 as usize)
+            .param("max_states", FUZZ_MAX_STATES)
+            .metric("programs", count as u64)
+            .metric("disagreements", violations)
+            .metric("unknown", unknowns)
+            .metric("states", states)
+            .metric("wall_ns", wall_ns)
+            .metric("exit_code", exit_code as u64),
+    );
+    println!(
+        "{:<33} states:{:<7} {:>8.1}ms  {} ({count} programs, {violations} disagreements)",
+        "fuzz/walks",
+        states,
+        wall_ns as f64 / 1e6,
+        verdict_name(exit_code),
+    );
+    exit_code
+}
+
+/// Replays a slice of the generated corpus through an in-process
+/// daemon twice: programs the daemon has never seen exercise the
+/// digest/normalization path cold, and the second pass must be
+/// answered entirely from the verdict cache.
+fn run_fuzz_serve_replay(
+    count: usize,
+    seed0: u64,
+    jobs: Option<usize>,
+    out: &mut BenchFile,
+) -> i32 {
+    use vrm_obs::serve as serve_names;
+    use vrm_obs::Counter;
+
+    const CLIENTS: usize = 2;
+    let cfg = GenConfig::default();
+    let lines: Vec<String> = (seed0..seed0 + count as u64)
+        .map(|seed| {
+            let text = gen::render_text(&gen::sample_cycle(seed, &cfg), &cfg);
+            let mut w = vrm_obs::json::ObjWriter::new();
+            w.field_str("op", "submit")
+                .field_str("kind", "litmus")
+                .field_str("program", &text)
+                .field_u64("max_states", FUZZ_MAX_STATES as u64);
+            if let Some(n) = jobs {
+                w.field_u64("jobs", n as u64);
+            }
+            w.finish()
+        })
+        .collect();
+    let svc = vrm_serve::Service::start(vrm_serve::ServeConfig {
+        workers: CLIENTS,
+        ..Default::default()
+    });
+    let handle = vrm_serve::server::serve(
+        svc.clone(),
+        &vrm_serve::server::Endpoint::Tcp("127.0.0.1:0".into()),
+    )
+    .expect("bind serve daemon");
+    let endpoint = handle.local().clone();
+    let mut acc = 0;
+    let mut warm_hits = 0;
+    for pass in ["cold", "warm"] {
+        let hits0 = Counter::new(serve_names::CACHE_HIT).get();
+        let started = Instant::now();
+        let exit_code = serve_replay(&endpoint, &lines, CLIENTS);
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let hits = Counter::new(serve_names::CACHE_HIT).get() - hits0;
+        if pass == "warm" {
+            warm_hits = hits;
+        }
+        out.records.push(
+            BenchRecord::new(format!("fuzz/serve-{pass}"))
+                .param("clients", CLIENTS)
+                .param("requests", lines.len())
+                .metric("cache_hits", hits)
+                .metric("wall_ns", wall_ns)
+                .metric("exit_code", exit_code as u64),
+        );
+        println!(
+            "{:<33} hits:{:<7} {:>8.1}ms  {}",
+            format!("fuzz/serve-{pass}"),
+            hits,
+            wall_ns as f64 / 1e6,
+            verdict_name(exit_code),
+        );
+        acc = worse(acc, exit_code);
+    }
+    // An unseen generated corpus must still dedup perfectly: a cold
+    // miss per distinct program, then all hits.
+    if warm_hits < lines.len() as u64 {
+        eprintln!(
+            "fuzz: warm serve replay had {warm_hits}/{} cache hits",
+            lines.len()
+        );
+        acc = worse(acc, 1);
+    }
+    svc.shutdown();
+    handle.stop();
+    acc
+}
+
+/// `--suite fuzz`: cycles, walks, and the generated-corpus serve
+/// replay. Walks run a quarter of the cycle count (their shape space
+/// is smaller), the serve replay a fixed small slice.
+fn run_fuzz_suite(
+    count: usize,
+    seed0: u64,
+    dump: Option<&Path>,
+    jobs: Option<usize>,
+    out: &mut BenchFile,
+) -> i32 {
+    let ov = RunOverrides {
+        jobs,
+        max_states: Some(FUZZ_MAX_STATES),
+    };
+    let mut acc = run_fuzz_cycles(count, seed0, dump, &ov, out);
+    acc = worse(
+        acc,
+        run_fuzz_walks((count / 4).max(1), seed0, dump, jobs, out),
+    );
+    acc = worse(acc, run_fuzz_serve_replay(count.min(24), seed0, jobs, out));
+    acc
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut jobs: Option<usize> = None;
     let mut suite = "all".to_string();
     let mut emit: Option<PathBuf> = None;
     let mut litmus_dir: Option<PathBuf> = None;
+    let mut fuzz_count: usize = 64;
+    let mut fuzz_seed: u64 = 1;
+    let mut fuzz_dump: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--fuzz-count" => {
+                let Some(n) = args.get(i + 1).and_then(|n| n.parse().ok()) else {
+                    eprintln!("--fuzz-count needs a program count\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                fuzz_count = n;
+                i += 2;
+            }
+            "--fuzz-seed" => {
+                let Some(n) = args.get(i + 1).and_then(|n| n.parse().ok()) else {
+                    eprintln!("--fuzz-seed needs a numeric seed\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                fuzz_seed = n;
+                i += 2;
+            }
+            "--fuzz-dump" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("--fuzz-dump needs a directory path\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                fuzz_dump = Some(PathBuf::from(p));
+                i += 2;
+            }
             "--jobs" => {
                 let Some(n) = args.get(i + 1).and_then(|n| n.parse().ok()) else {
                     eprintln!("--jobs needs a numeric worker count\n{USAGE}");
@@ -554,7 +933,17 @@ fn main() -> ExitCode {
                     eprintln!("--suite needs all|litmus|wdrf|schedules|spec\n{USAGE}");
                     return ExitCode::from(2);
                 };
-                if !["all", "litmus", "wdrf", "schedules", "spec", "serve"].contains(&s.as_str()) {
+                if ![
+                    "all",
+                    "litmus",
+                    "wdrf",
+                    "schedules",
+                    "spec",
+                    "serve",
+                    "fuzz",
+                ]
+                .contains(&s.as_str())
+                {
                     eprintln!("unknown suite {s:?}\n{USAGE}");
                     return ExitCode::from(2);
                 }
@@ -589,6 +978,10 @@ fn main() -> ExitCode {
     let run_schedules = matches!(suite.as_str(), "all" | "schedules");
     let run_spec = matches!(suite.as_str(), "all" | "spec");
     let run_serve = matches!(suite.as_str(), "all" | "serve");
+    // The fuzzer is a standing job with its own CI lane and budget
+    // knobs, not part of the default trajectory — `all` excludes it so
+    // perf records stay comparable across fuzz-count changes.
+    let run_fuzz = suite == "fuzz";
     if run_litmus && !litmus_dir.is_dir() {
         eprintln!("litmus dir {} not found\n{USAGE}", litmus_dir.display());
         return ExitCode::from(2);
@@ -614,6 +1007,12 @@ fn main() -> ExitCode {
     }
     if run_serve {
         acc = worse(acc, run_serve_suite(&litmus_dir, jobs, &mut out));
+    }
+    if run_fuzz {
+        acc = worse(
+            acc,
+            run_fuzz_suite(fuzz_count, fuzz_seed, fuzz_dump.as_deref(), jobs, &mut out),
+        );
     }
 
     if let Some(path) = &emit {

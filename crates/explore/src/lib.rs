@@ -2685,6 +2685,101 @@ mod tests {
     }
 
     #[test]
+    fn verdict_merge_unknowns_sum_coverage_and_keep_left_reason() {
+        // Two walks stopped by *different* budgets: the evidence is
+        // additive (both walks' states were really visited) while the
+        // reason is positional — the left side names the merged stop.
+        let a = Verdict::Unknown {
+            coverage: Coverage {
+                states: 10,
+                frontier_len: 2,
+                reason: TruncationReason::StateLimit,
+            },
+        };
+        let b = Verdict::Unknown {
+            coverage: Coverage {
+                states: 7,
+                frontier_len: 5,
+                reason: TruncationReason::Deadline,
+            },
+        };
+        match a.merge(b) {
+            Verdict::Unknown { coverage } => {
+                assert_eq!(coverage.states, 17);
+                assert_eq!(coverage.frontier_len, 7);
+                assert_eq!(coverage.reason, TruncationReason::StateLimit);
+            }
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+        match b.merge(a) {
+            Verdict::Unknown { coverage } => {
+                assert_eq!(coverage.states, 17);
+                assert_eq!(coverage.frontier_len, 7);
+                assert_eq!(coverage.reason, TruncationReason::Deadline);
+            }
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fail_evidence_dominates_truncated_unknowns() {
+        // A counterexample is sound evidence even when every other leg
+        // was budget-starved: Fail merged with an Unknown *derived from
+        // a real truncated run* stays Fail in both orders. This is the
+        // shape a differential fuzzer hits constantly — one model leg
+        // truncates (Unknown), the conformance check on the finished
+        // legs finds a genuine disagreement (Fail); the merged batch
+        // verdict must surface the disagreement, not dilute it.
+        let cut = ExploreStats {
+            states: 3,
+            completeness: Completeness::Truncated {
+                reason: TruncationReason::StateLimit,
+                frontier_len: 11,
+            },
+            ..Default::default()
+        };
+        let unknown = Verdict::from_parts(true, &cut);
+        assert!(unknown.is_unknown());
+        assert_eq!(Verdict::Fail.merge(unknown), Verdict::Fail);
+        assert_eq!(unknown.merge(Verdict::Fail), Verdict::Fail);
+        assert_eq!(Verdict::merge_exit_codes(1, 3), 1);
+        assert_eq!(Verdict::merge_exit_codes(3, 1), 1);
+        // A starved walk that visited *nothing* still reports Unknown
+        // with zero-state coverage — never Pass by vacuity.
+        let empty = ExploreStats {
+            states: 0,
+            completeness: Completeness::Truncated {
+                reason: TruncationReason::StateLimit,
+                frontier_len: 1,
+            },
+            ..Default::default()
+        };
+        match Verdict::from_parts(true, &empty) {
+            Verdict::Unknown { coverage } => assert_eq!(coverage.states, 0),
+            other => panic!("empty truncated walk yielded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_exit_codes_edge_cases() {
+        // Identity on agreeing codes.
+        assert_eq!(Verdict::merge_exit_codes(0, 0), 0);
+        assert_eq!(Verdict::merge_exit_codes(3, 3), 3);
+        assert_eq!(Verdict::merge_exit_codes(1, 1), 1);
+        assert_eq!(Verdict::merge_exit_codes(2, 2), 2);
+        // Unknown beats pass both ways.
+        assert_eq!(Verdict::merge_exit_codes(0, 3), 3);
+        assert_eq!(Verdict::merge_exit_codes(3, 0), 3);
+        // Codes outside the convention rank as usage errors: above
+        // unknown, below fail, and the *left* code survives a tie so a
+        // specific nonstandard code is not rewritten to 2.
+        assert_eq!(Verdict::merge_exit_codes(5, 3), 5);
+        assert_eq!(Verdict::merge_exit_codes(5, 2), 5);
+        assert_eq!(Verdict::merge_exit_codes(2, 5), 2);
+        assert_eq!(Verdict::merge_exit_codes(5, 1), 1);
+    }
+
+    #[test]
     fn deadline_poller_goes_dense_near_the_deadline() {
         let mut p = DeadlinePoller::new(Instant::now(), Duration::from_millis(50));
         // Burn fast iterations: stride should grow past 1.

@@ -1,0 +1,794 @@
+//! Seeded litmus-test generator: critical cycles and page-table-walk
+//! shapes, with a shape-level shrinker.
+//!
+//! The hand-curated corpus under `litmus/` is only as trustworthy as
+//! the shapes someone thought to write down. This module turns the
+//! checkers into a *standing differential fuzzer*: a deterministic,
+//! seeded generator enumerates the classic critical-cycle family
+//! (diy-style cycles of `po`/`rf`/`co`/`fr` edges over 2–4 threads,
+//! decorated with fences, acquire/release, and address/control
+//! dependencies) plus relaxed-virtual-memory walk shapes
+//! (break-before-make, TLBI placement, stale-walk races after
+//! Simner et al.), and every generated program is judged by all three
+//! models under the usual conformance lattice.
+//!
+//! ## Shape grammar
+//!
+//! A [`CycleShape`] is a cycle of `T ∈ [2, 4]` threads over locations
+//! `x0..x{T-1}`. Thread `i` has two events: `A_i` on `x_i` and `B_i`
+//! on `x_{(i+1) mod T}`, so consecutive threads communicate on a
+//! shared location. The communication edge from `B_i` to `A_{i+1}`
+//! picks the event kinds:
+//!
+//! | edge | `B_i` | `A_{i+1}` | reading |
+//! |------|-------|-----------|---------|
+//! | `Rf` | write | read      | read-from |
+//! | `Co` | write | write     | coherence |
+//! | `Fr` | read  | write     | from-read |
+//!
+//! The po edge `A_i → B_i` inside each thread carries one [`Link`]
+//! decoration (nothing, a `dmb`, an address or control dependency),
+//! and read/write events may additionally be acquire/release. With
+//! all-`Po` links the cycle is usually Arm-allowed; with strong
+//! decorations everywhere it is forbidden — the generator sweeps the
+//! space in between, which is exactly where fence-placement bugs live.
+//!
+//! Programs are emitted as litmus *text* and re-parsed, so every
+//! generated [`ParsedLitmus`] round-trips through the grammar by
+//! construction (`tests/parser_roundtrip.rs` pins this with a
+//! proptest).
+//!
+//! ## Determinism and reproduction
+//!
+//! Everything is a pure function of the seed (a SplitMix64 stream):
+//! `generate(seed, cfg)` always yields the same program, and the
+//! program's *name* embeds the seed, so a dumped counterexample names
+//! its own reproduction recipe. See `docs/GENERATOR.md`.
+//!
+//! ## Mutant switches
+//!
+//! [`GenConfig::po_cycle_free`] and [`GenConfig::recheck_shrinks`]
+//! exist for the mutation campaign (like `ServeConfig`'s switches):
+//! production code never flips them, and the campaign proves that the
+//! differential fuzzer would notice if someone did.
+
+use crate::parser::{parse, ParsedLitmus};
+
+/// SplitMix64: the small deterministic stream every seeded component
+/// in this workspace uses (same mixer as the vendored proptest rng).
+#[derive(Debug, Clone)]
+pub struct GenRng(u64);
+
+impl GenRng {
+    /// A stream seeded with `seed`.
+    pub fn new(seed: u64) -> GenRng {
+        GenRng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// `true` with probability `num/den`.
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// The communication edge between consecutive threads of the cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommEdge {
+    /// Write → read (read-from candidate).
+    Rf,
+    /// Write → write (coherence).
+    Co,
+    /// Read → write (from-read).
+    Fr,
+}
+
+impl CommEdge {
+    /// Whether the edge's *source* event (`B_i`) is a write.
+    pub fn source_is_write(&self) -> bool {
+        !matches!(self, CommEdge::Fr)
+    }
+
+    /// Whether the edge's *target* event (`A_{i+1}`) is a write.
+    pub fn target_is_write(&self) -> bool {
+        !matches!(self, CommEdge::Rf)
+    }
+}
+
+/// The decoration on the po edge between a thread's two events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Link {
+    /// Bare program order.
+    Po,
+    /// `dmb sy` between the events.
+    DmbSy,
+    /// `dmb ld` (requires the first event to be a read).
+    DmbLd,
+    /// `dmb st` (requires both events to be writes).
+    DmbSt,
+    /// False address dependency `r * 0 + loc` from the first event's
+    /// loaded value into the second event's address (first must read).
+    Addr,
+    /// Control dependency: a branch on the first event's loaded value
+    /// in front of the second event (first must read).
+    Ctrl,
+    /// Control dependency plus `isb` (first must read).
+    CtrlIsb,
+}
+
+/// One thread of a [`CycleShape`]: the po-edge decoration plus the
+/// optional acquire/release strength on its two events. Event *kinds*
+/// (read vs write) are always derived from the neighbouring edges, so
+/// a shape stays well-formed under any shrinking step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadShape {
+    /// Decoration on the po edge `A_i → B_i`.
+    pub link: Link,
+    /// First event is a load-acquire (`ldar`); only meaningful when
+    /// the first event is a read.
+    pub first_acq: bool,
+    /// Second event is a store-release (`stlr`); only meaningful when
+    /// the second event is a write.
+    pub second_rel: bool,
+}
+
+/// A sampled critical cycle: the communication edges plus per-thread
+/// decorations, and the seed it came from (for provenance).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleShape {
+    /// `edges[i]` connects thread `i`'s second event to thread
+    /// `(i+1) % T`'s first event on location `x_{(i+1) % T}`.
+    pub edges: Vec<CommEdge>,
+    /// Per-thread decorations (`threads.len() == edges.len()`).
+    pub threads: Vec<ThreadShape>,
+    /// The seed this shape was sampled from; embedded in the emitted
+    /// program's name so counterexamples are self-describing.
+    pub seed: u64,
+}
+
+/// Generator policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenConfig {
+    /// Smallest cycle sampled (≥ 2).
+    pub min_threads: usize,
+    /// Largest cycle sampled (≤ 4 keeps enumerations cheap).
+    pub max_threads: usize,
+    /// **Always `false` in production.** `true` is the
+    /// `gen-po-cycle-free` campaign mutant: each thread's second event
+    /// targets a private location, so no critical cycle ever forms and
+    /// the generated corpus can never exhibit a relaxed-only outcome.
+    pub po_cycle_free: bool,
+    /// **Always `true` in production.** `false` is the
+    /// `gen-shrinker-loses-disagreement` campaign mutant: the shrinker
+    /// applies every simplification without re-checking the failure
+    /// predicate, so the minimized program can silently stop
+    /// exhibiting the disagreement it was meant to witness.
+    pub recheck_shrinks: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            min_threads: 2,
+            max_threads: 4,
+            po_cycle_free: false,
+            recheck_shrinks: true,
+        }
+    }
+}
+
+impl CycleShape {
+    /// Thread count of the cycle (edge count — event kinds derive
+    /// from edges, so edges are the authoritative arity even while a
+    /// shape is mid-construction).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` when the shape has no threads (never produced by
+    /// [`sample_cycle`]; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Whether thread `i`'s first event (`A_i`) is a read: the target
+    /// kind of the edge arriving from thread `i-1`.
+    pub fn first_is_read(&self, i: usize) -> bool {
+        let t = self.len();
+        !self.edges[(i + t - 1) % t].target_is_write()
+    }
+
+    /// Whether thread `i`'s second event (`B_i`) is a write: the
+    /// source kind of the edge leaving toward thread `i+1`.
+    pub fn second_is_write(&self, i: usize) -> bool {
+        self.edges[i].source_is_write()
+    }
+
+    /// The decoration actually in force on thread `i` after
+    /// canonicalization: decorations that need a leading read (or a
+    /// write/write pair for `dmb st`) degrade to [`Link::Po`] when the
+    /// surrounding edges do not provide one. This keeps `render` total
+    /// over arbitrary shapes, which is what lets the shrinker drop
+    /// threads without re-validating decorations by hand.
+    pub fn effective_link(&self, i: usize) -> Link {
+        let link = self.threads[i].link;
+        let first_read = self.first_is_read(i);
+        let both_write = !first_read && self.second_is_write(i);
+        match link {
+            Link::Addr | Link::Ctrl | Link::CtrlIsb | Link::DmbLd if !first_read => Link::Po,
+            Link::DmbSt if !both_write => Link::Po,
+            l => l,
+        }
+    }
+}
+
+/// Samples a critical cycle from the seed. Pure: the same seed and
+/// config always produce the same shape.
+pub fn sample_cycle(seed: u64, cfg: &GenConfig) -> CycleShape {
+    let mut rng = GenRng::new(seed);
+    let lo = cfg.min_threads.max(2) as u64;
+    let hi = (cfg.max_threads.max(cfg.min_threads)) as u64;
+    let t = (lo + rng.below(hi - lo + 1)) as usize;
+    let edges: Vec<CommEdge> = (0..t)
+        .map(|_| match rng.below(3) {
+            0 => CommEdge::Rf,
+            1 => CommEdge::Co,
+            _ => CommEdge::Fr,
+        })
+        .collect();
+    let mut shape = CycleShape {
+        edges,
+        threads: Vec::with_capacity(t),
+        seed,
+    };
+    for i in 0..t {
+        let first_read = shape.first_is_read(i);
+        let second_write = shape.second_is_write(i);
+        // Valid decorations for this thread's event pair. `Po` is
+        // listed twice so bare program order stays the most common
+        // link — relaxed shapes are the interesting ones.
+        let mut links = vec![Link::Po, Link::Po, Link::DmbSy];
+        if first_read {
+            links.extend([Link::DmbLd, Link::Addr, Link::Ctrl, Link::CtrlIsb]);
+        }
+        if !first_read && second_write {
+            links.push(Link::DmbSt);
+        }
+        let link = links[rng.below(links.len() as u64) as usize];
+        shape.threads.push(ThreadShape {
+            link,
+            first_acq: first_read && rng.chance(1, 3),
+            second_rel: second_write && rng.chance(1, 3),
+        });
+    }
+    shape
+}
+
+/// Renders a shape to litmus source text. Values are fixed (`A`-events
+/// write 1, `B`-events write 2), every read is observed, and every
+/// coherence-contended location's final value is observed.
+pub fn render_text(shape: &CycleShape, cfg: &GenConfig) -> String {
+    let t = shape.len();
+    let mut out = String::new();
+    out.push_str(&format!("litmus gen-cc{t}-s{:x}\n", shape.seed));
+    // Full promise search on 4-thread cycles routinely needs >200k
+    // states (tens of seconds per program). 4-thread shapes run the
+    // promise-free fast path instead and are judged by the subset leg
+    // of the conformance lattice; the exact promising == axiomatic
+    // equality is checked on the tractable 2–3 thread shapes.
+    if t >= 4 {
+        out.push_str("config promises=off\n");
+    }
+    // Named locations in first-appearance order: x0..x{t-1}, then any
+    // private locations the po-cycle-free mutant substitutes.
+    let mut init = String::from("init");
+    for j in 0..t {
+        init.push_str(&format!(" x{j}=0"));
+    }
+    if cfg.po_cycle_free {
+        for j in 0..t {
+            if shape.edges[j].source_is_write() || !shape.edges[j].target_is_write() {
+                init.push_str(&format!(" y{j}=0"));
+            }
+        }
+    }
+    out.push_str(&init);
+    out.push('\n');
+
+    let mut observes = Vec::new();
+    for i in 0..t {
+        let first_read = shape.first_is_read(i);
+        let second_write = shape.second_is_write(i);
+        let link = shape.effective_link(i);
+        let a_loc = format!("x{i}");
+        // The mutant breaks the cycle here: B_i lands on a private
+        // location nobody else touches, so no communication edge ever
+        // closes and every outcome is SC-explainable.
+        let b_loc = if cfg.po_cycle_free {
+            format!("y{i}")
+        } else {
+            format!("x{}", (i + 1) % t)
+        };
+        out.push_str(&format!("\nthread P{i}\n"));
+        // A_i on x_i.
+        if first_read {
+            let op = if shape.threads[i].first_acq {
+                "ldar"
+            } else {
+                "load"
+            };
+            out.push_str(&format!("  r0 = {op} {a_loc}\n"));
+            observes.push(format!("observe P{i}:r0 as p{i}r0"));
+        } else {
+            out.push_str(&format!("  store {a_loc} 1\n"));
+        }
+        // The po-edge decoration.
+        let b_addr = match link {
+            Link::DmbSy => {
+                out.push_str("  dmb sy\n");
+                b_loc.clone()
+            }
+            Link::DmbLd => {
+                out.push_str("  dmb ld\n");
+                b_loc.clone()
+            }
+            Link::DmbSt => {
+                out.push_str("  dmb st\n");
+                b_loc.clone()
+            }
+            Link::Addr => format!("r0 * 0 + {b_loc}"),
+            Link::Ctrl | Link::CtrlIsb => {
+                out.push_str("  beq r0 r0 skip\n  skip:\n");
+                if link == Link::CtrlIsb {
+                    out.push_str("  isb\n");
+                }
+                b_loc.clone()
+            }
+            Link::Po => b_loc.clone(),
+        };
+        // B_i on x_{i+1}.
+        if second_write {
+            let op = if shape.threads[i].second_rel {
+                "stlr"
+            } else {
+                "store"
+            };
+            out.push_str(&format!("  {op} {b_addr} 2\n"));
+        } else {
+            let op = if shape.threads[i].first_acq && !first_read {
+                // Unreachable by construction (acq only on reads),
+                // kept as a plain load for robustness.
+                "load"
+            } else {
+                "load"
+            };
+            out.push_str(&format!("  r1 = {op} {b_addr}\n"));
+            observes.push(format!("observe P{i}:r1 as p{i}r1"));
+        }
+    }
+
+    // Final memory of every location with two writers (a coherence
+    // edge): ordering is only visible through the final value.
+    if !cfg.po_cycle_free {
+        for j in 0..t {
+            let incoming = shape.edges[(j + t - 1) % t];
+            if incoming == CommEdge::Co {
+                observes.push(format!("observe mem x{j} as x{j}f"));
+            }
+        }
+    }
+    out.push('\n');
+    for o in &observes {
+        out.push_str(o);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a shape to a parsed program. Generated text always parses:
+/// a panic here means the generator and the grammar drifted apart.
+pub fn render(shape: &CycleShape, cfg: &GenConfig) -> ParsedLitmus {
+    let text = render_text(shape, cfg);
+    parse(&text).unwrap_or_else(|e| panic!("generated program must parse: {e}\n{text}"))
+}
+
+/// Samples and renders in one step: the generator's front door.
+pub fn generate(seed: u64, cfg: &GenConfig) -> ParsedLitmus {
+    render(&sample_cycle(seed, cfg), cfg)
+}
+
+// --- page-table-walk shapes -----------------------------------------
+
+/// Which relaxed-virtual-memory scenario a walk program exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkKind {
+    /// Unmap then TLBI with no barrier between them: the invalidation
+    /// can be observed before the PTE clear, so a racing walker may
+    /// still hit the stale translation (paper Example 6).
+    StaleTlbi,
+    /// Unmap with no TLBI at all: the walker's TLB entry survives
+    /// indefinitely.
+    MissingTlbi,
+    /// Full break-before-make: PTE clear, `dmb sy`, TLBI, `dmb sy`,
+    /// then the release-store publication. The stale walk must be
+    /// forbidden.
+    BbmSound,
+}
+
+impl WalkKind {
+    /// Short name used in generated program names and file names.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WalkKind::StaleTlbi => "stale-tlbi",
+            WalkKind::MissingTlbi => "missing-tlbi",
+            WalkKind::BbmSound => "bbm-sound",
+        }
+    }
+
+    /// Whether the maintenance protocol is strong enough that the
+    /// relaxed model must forbid the stale walk.
+    pub fn bbm_sound(&self) -> bool {
+        matches!(self, WalkKind::BbmSound)
+    }
+}
+
+/// One generated page-table-walk program plus the metadata the
+/// differential driver judges it by.
+#[derive(Debug, Clone)]
+pub struct WalkProgram {
+    /// The parsed program (1-level table, promise-free, axiomatic
+    /// model off — the axiomatic model has no TLB).
+    pub parsed: ParsedLitmus,
+    /// Scenario kind.
+    pub kind: WalkKind,
+    /// The virtual page number being unmapped and walked.
+    pub vpn: u64,
+    /// The outcome bindings naming a *stale* walk: the walker saw the
+    /// publication yet still read the old page's value. SC must forbid
+    /// this (the abstract `Walk` verb is illegal after `Unmap`), and
+    /// the relaxed model must forbid it iff [`WalkKind::bbm_sound`].
+    pub stale: Vec<(String, u64)>,
+}
+
+/// The old page's fill value, observed by a stale walk.
+pub const WALK_OLD_VAL: u64 = 7;
+
+/// Samples a page-table-walk scenario from the seed: the kind, the
+/// target vpn and the in-page offset vary; the table geometry (1 level
+/// at root `0x100`, 16-cell pages) is fixed.
+pub fn sample_walk(seed: u64) -> WalkProgram {
+    let mut rng = GenRng::new(seed);
+    let kind = match rng.below(3) {
+        0 => WalkKind::StaleTlbi,
+        1 => WalkKind::MissingTlbi,
+        _ => WalkKind::BbmSound,
+    };
+    // vpn 1..=15 (vpn 0 would put the page table itself in the walked
+    // page's way); offset anywhere in the 16-cell page.
+    let vpn = 1 + rng.below(15);
+    let off = rng.below(16);
+    let va = (vpn << 4) | off;
+    let pte = 0x100 + vpn;
+    let mut text = String::new();
+    text.push_str(&format!("litmus gen-walk-{}-s{seed:x}\n", kind.as_str()));
+    text.push_str("config promises=off axiomatic=off\n");
+    text.push_str("vm levels=1 root=0x100 pagebits=4 indexbits=4\n");
+    text.push_str(&format!("init signal=0 0x{pte:x}=0x10\n"));
+    text.push_str(&format!("initrange 0x10 16 {WALK_OLD_VAL}\n"));
+    text.push_str("\nthread CPU1\n");
+    text.push_str(&format!("  store 0x{pte:x} 0\n"));
+    if kind == WalkKind::BbmSound {
+        text.push_str("  dmb sy\n");
+    }
+    if kind != WalkKind::MissingTlbi {
+        text.push_str(&format!("  tlbi 0x{va:x}\n"));
+    }
+    if kind == WalkKind::BbmSound {
+        text.push_str("  dmb sy\n");
+    }
+    text.push_str("  stlr signal 1\n");
+    text.push_str("\nthread CPU2\n");
+    text.push_str("  r2 = ldar signal\n");
+    text.push_str(&format!("  r0 = ldrv 0x{va:x}\n"));
+    text.push_str("\nobserve CPU2:r2 as saw_signal\n");
+    text.push_str("observe CPU2:r0 as walked\n");
+    let parsed =
+        parse(&text).unwrap_or_else(|e| panic!("generated walk program must parse: {e}\n{text}"));
+    WalkProgram {
+        parsed,
+        kind,
+        vpn,
+        stale: vec![
+            ("saw_signal".to_string(), 1),
+            ("walked".to_string(), WALK_OLD_VAL),
+        ],
+    }
+}
+
+// --- shrinking -------------------------------------------------------
+
+/// One-step simplifications of a shape, in preference order: drop a
+/// whole thread first (decorations re-canonicalize via
+/// [`CycleShape::effective_link`]), then weaken decorations.
+fn shrink_candidates(shape: &CycleShape) -> Vec<CycleShape> {
+    let t = shape.len();
+    let mut out = Vec::new();
+    if t > 2 {
+        for i in 0..t {
+            let mut s = shape.clone();
+            s.threads.remove(i);
+            // Remove the edge *into* thread i; the edge leaving it now
+            // leaves thread i-1, whose event kinds re-derive.
+            s.edges.remove((i + t - 1) % t);
+            out.push(s);
+        }
+    }
+    for i in 0..t {
+        let weaker = match shape.threads[i].link {
+            Link::CtrlIsb => Some(Link::Ctrl),
+            Link::Ctrl | Link::Addr | Link::DmbSy | Link::DmbLd | Link::DmbSt => Some(Link::Po),
+            Link::Po => None,
+        };
+        if let Some(w) = weaker {
+            let mut s = shape.clone();
+            s.threads[i].link = w;
+            out.push(s);
+        }
+        if shape.threads[i].first_acq {
+            let mut s = shape.clone();
+            s.threads[i].first_acq = false;
+            out.push(s);
+        }
+        if shape.threads[i].second_rel {
+            let mut s = shape.clone();
+            s.threads[i].second_rel = false;
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Greedily minimizes a failing shape: repeatedly applies the first
+/// one-step simplification under which `still_failing` (re-run on the
+/// re-rendered program) still holds, until none applies. The result
+/// therefore still exhibits the original disagreement — unless the
+/// [`GenConfig::recheck_shrinks`] mutant switch is off, in which case
+/// every candidate is accepted blindly and the property can be lost.
+pub fn shrink<F>(shape: &CycleShape, cfg: &GenConfig, mut still_failing: F) -> CycleShape
+where
+    F: FnMut(&ParsedLitmus) -> bool,
+{
+    let mut cur = shape.clone();
+    loop {
+        let mut advanced = false;
+        for cand in shrink_candidates(&cur) {
+            if !cfg.recheck_shrinks || still_failing(&render(&cand, cfg)) {
+                cur = cand;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::promising::enumerate_promising_with;
+    use crate::sc::enumerate_sc;
+
+    /// Full-range config for parse-level checks; enumeration-backed
+    /// tests use [`small`] (2 threads) so they stay fast unoptimized.
+    fn full() -> GenConfig {
+        GenConfig::default()
+    }
+
+    fn small() -> GenConfig {
+        GenConfig {
+            max_threads: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = full();
+        for seed in [0u64, 1, 42, 0xdead_beef] {
+            assert_eq!(render_text(&sample_cycle(seed, &cfg), &cfg), {
+                render_text(&sample_cycle(seed, &cfg), &cfg)
+            });
+        }
+    }
+
+    #[test]
+    fn generated_programs_are_well_formed() {
+        // Parse-level sweep over the full 2-4 thread range: render
+        // never panics (the program parses), arity is respected, every
+        // read is observed, and the 4-thread tractability guard holds.
+        let cfg = full();
+        for seed in 0..200u64 {
+            let parsed = generate(seed, &cfg);
+            let t = parsed.program.threads.len();
+            assert!((2..=4).contains(&t), "seed {seed}: {t} threads");
+            assert!(
+                !parsed.program.observables.is_empty(),
+                "seed {seed}: nothing observed"
+            );
+            assert_eq!(
+                parsed.promising.promises,
+                t < 4,
+                "seed {seed}: promise search must be off exactly for 4-thread shapes"
+            );
+        }
+    }
+
+    #[test]
+    fn sc_is_subsumed_on_small_shapes() {
+        let cfg = small();
+        for seed in 0..12u64 {
+            let parsed = generate(seed, &cfg);
+            let sc = enumerate_sc(&parsed.program).unwrap();
+            let rm = enumerate_promising_with(&parsed.program, &parsed.promising)
+                .unwrap()
+                .outcomes;
+            assert!(sc.is_subset(&rm), "seed {seed}: SC not subsumed");
+        }
+    }
+
+    #[test]
+    fn classic_shapes_are_reachable() {
+        // The construction covers the classics: find an SB (two Fr
+        // edges), an MP (Rf + Fr) and a 2+2W (two Co edges) among the
+        // first few hundred seeds.
+        let cfg = full();
+        let mut sb = false;
+        let mut mp = false;
+        let mut w22 = false;
+        for seed in 0..400u64 {
+            let s = sample_cycle(seed, &cfg);
+            if s.len() != 2 {
+                continue;
+            }
+            match (s.edges[0], s.edges[1]) {
+                (CommEdge::Fr, CommEdge::Fr) => sb = true,
+                (CommEdge::Rf, CommEdge::Fr) | (CommEdge::Fr, CommEdge::Rf) => mp = true,
+                (CommEdge::Co, CommEdge::Co) => w22 = true,
+                _ => {}
+            }
+        }
+        assert!(sb && mp && w22, "sb:{sb} mp:{mp} 2+2w:{w22}");
+    }
+
+    #[test]
+    fn some_seed_exhibits_relaxed_behavior() {
+        // The whole point of the cycle family: some generated shapes
+        // must show outcomes the relaxed model allows and SC forbids.
+        let cfg = small();
+        let found = (0..16u64).any(|seed| {
+            let parsed = generate(seed, &cfg);
+            let sc = enumerate_sc(&parsed.program).unwrap();
+            let rm = enumerate_promising_with(&parsed.program, &parsed.promising)
+                .unwrap()
+                .outcomes;
+            rm.len() > sc.len()
+        });
+        assert!(found, "no relaxed-only outcome in the first 16 seeds");
+    }
+
+    #[test]
+    fn po_cycle_free_mutant_never_relaxes() {
+        let cfg = GenConfig {
+            po_cycle_free: true,
+            ..small()
+        };
+        for seed in 0..12u64 {
+            let parsed = generate(seed, &cfg);
+            let sc = enumerate_sc(&parsed.program).unwrap();
+            let rm = enumerate_promising_with(&parsed.program, &parsed.promising)
+                .unwrap()
+                .outcomes;
+            assert_eq!(
+                sc.len(),
+                rm.len(),
+                "seed {seed}: cycle-free program shows relaxed behavior"
+            );
+        }
+    }
+
+    #[test]
+    fn walk_shapes_parse_and_carry_metadata() {
+        for seed in 0..16u64 {
+            let w = sample_walk(seed);
+            assert!(w.parsed.program.vm.is_some(), "seed {seed}: no vm config");
+            assert!(
+                !w.parsed.run_axiomatic,
+                "seed {seed}: axiomatic must be off"
+            );
+            assert!(!w.parsed.promising.promises, "seed {seed}");
+            assert!((1..16).contains(&w.vpn), "seed {seed}: vpn {}", w.vpn);
+            assert_eq!(w.stale.len(), 2);
+        }
+    }
+
+    #[test]
+    fn shrink_preserves_a_semantic_predicate() {
+        // Find a decorated 2-thread shape that still shows relaxed
+        // behavior, then shrink under "still relaxed": the result must
+        // keep the property and be 1-minimal for it.
+        let cfg = small();
+        let relaxed = |p: &ParsedLitmus| {
+            let sc = enumerate_sc(&p.program).unwrap();
+            let rm = enumerate_promising_with(&p.program, &p.promising)
+                .unwrap()
+                .outcomes;
+            rm.len() > sc.len()
+        };
+        let shape = (0..64u64)
+            .map(|s| sample_cycle(s, &cfg))
+            .find(|s| {
+                let decorated = s
+                    .threads
+                    .iter()
+                    .any(|t| t.link != Link::Po || t.first_acq || t.second_rel);
+                decorated && relaxed(&render(s, &cfg))
+            })
+            .expect("a decorated relaxed 2-thread shape in the first 64 seeds");
+        let min = shrink(&shape, &cfg, relaxed);
+        assert!(relaxed(&render(&min, &cfg)), "shrink lost the property");
+        for cand in shrink_candidates(&min) {
+            assert!(
+                !relaxed(&render(&cand, &cfg)),
+                "not minimal: {cand:?} still relaxed"
+            );
+        }
+    }
+
+    #[test]
+    fn shrink_drops_threads_and_weakens_links() {
+        // Under the always-true predicate every shape collapses to the
+        // 2-thread all-Po undecorated skeleton.
+        let cfg = full();
+        for seed in 0..16u64 {
+            let s = sample_cycle(seed, &cfg);
+            let min = shrink(&s, &cfg, |_| true);
+            assert_eq!(min.len(), 2, "seed {seed}");
+            for t in &min.threads {
+                assert_eq!(t.link, Link::Po, "seed {seed}");
+                assert!(!t.first_acq && !t.second_rel, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn buggy_shrinker_loses_the_predicate() {
+        // With recheck_shrinks off, candidates are accepted blindly,
+        // so a predicate as simple as "still has 3 threads" is lost.
+        let cfg = GenConfig {
+            max_threads: 3,
+            min_threads: 3,
+            recheck_shrinks: false,
+            ..Default::default()
+        };
+        let s = sample_cycle(7, &cfg);
+        assert_eq!(s.len(), 3);
+        let min = shrink(&s, &cfg, |p| p.program.threads.len() == 3);
+        assert_eq!(min.len(), 2, "bugged shrinker should have dropped a thread");
+    }
+}

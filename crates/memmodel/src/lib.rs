@@ -22,6 +22,7 @@
 
 pub mod axiomatic;
 pub mod builder;
+pub mod gen;
 pub mod ir;
 pub mod litmus;
 pub mod outcome;

@@ -32,6 +32,14 @@
 //!   diverging from the sound daemon's on the same query sequence — a
 //!   stale `Unknown` served where a fresh walk proves `Pass`, or a
 //!   restarted walk re-paying states a resume would have kept.
+//! * **Gen** (`vrm-memmodel::gen`): a `GenConfig` switch breaks the
+//!   litmus generator feeding the differential fuzzer (a generator
+//!   whose programs never close a critical cycle, a shrinker that
+//!   stops re-checking the failure predicate); the kill signal is the
+//!   bugged generator pipeline losing the relaxed-behaviour signal the
+//!   sound one produces. A survivor here would mean the standing
+//!   fuzzer could silently degrade into one that can never find — or
+//!   never keep — a counterexample.
 //!
 //! Oracles that themselves run bounded explorations degrade soundly: a
 //! truncated enumeration that found no violation yields
@@ -77,6 +85,8 @@ pub enum Layer {
     /// The verification-as-a-service daemon's caching and scheduling
     /// discipline.
     Serve,
+    /// The litmus generator behind the standing differential fuzzer.
+    Gen,
 }
 
 impl Layer {
@@ -89,6 +99,7 @@ impl Layer {
             Layer::Spec => "spec",
             Layer::Engine => "engine",
             Layer::Serve => "serve",
+            Layer::Gen => "gen",
         }
     }
 }
@@ -117,6 +128,9 @@ pub enum Oracle {
     /// behaviour diverges from the sound daemon's on the same query
     /// sequence.
     Serve,
+    /// The differential-fuzz pipeline over generated programs loses a
+    /// signal the sound generator/shrinker produces.
+    DiffFuzz,
 }
 
 impl Oracle {
@@ -131,6 +145,7 @@ impl Oracle {
             Oracle::Refinement => "refinement",
             Oracle::Degradation => "degradation",
             Oracle::Serve => "serve",
+            Oracle::DiffFuzz => "diff-fuzz",
         }
     }
 }
@@ -197,6 +212,9 @@ enum Subject {
     /// A `ServeConfig` switch judged by running the bugged daemon and
     /// the sound daemon through the same query sequence.
     Serve { variant: ServeVariant },
+    /// A `GenConfig` switch judged by running the bugged generator
+    /// pipeline and the sound one over the same seeds.
+    Gen { variant: GenVariant },
 }
 
 /// Which engine degradation rule a `Subject::Degradation` mutant
@@ -259,6 +277,33 @@ impl ServeVariant {
             ServeVariant::EscalationDropsCheckpoint => {
                 "ServeConfig escalation lane that drops parked checkpoints"
             }
+        }
+    }
+}
+
+/// Which `vrm_memmodel::gen::GenConfig` switch a `Subject::Gen` mutant
+/// flips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenVariant {
+    /// `GenConfig::po_cycle_free = true`: every generated thread's
+    /// second event lands on a private location, so no critical cycle
+    /// ever closes and the "fuzzer" sweeps a corpus that can never
+    /// exhibit a relaxed-only outcome — it would pass forever while
+    /// testing nothing.
+    PoCycleFree,
+    /// `GenConfig::recheck_shrinks = false`: the shrinker accepts every
+    /// simplification without re-running the failure predicate, so the
+    /// minimized program it dumps can silently stop exhibiting the
+    /// disagreement it was meant to witness.
+    ShrinkerSkipsRecheck,
+}
+
+impl GenVariant {
+    /// Human description of the injected change.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            GenVariant::PoCycleFree => "GenConfig generator that never closes a critical cycle",
+            GenVariant::ShrinkerSkipsRecheck => "GenConfig shrinker that skips predicate re-checks",
         }
     }
 }
@@ -376,6 +421,20 @@ impl MutantSpec {
             oracle: Oracle::Serve,
             mutation: variant.describe().to_string(),
             subject: Subject::Serve { variant },
+        }
+    }
+
+    /// A gen-layer mutant: one `GenConfig` generator-pipeline switch
+    /// flipped, killed iff the bugged pipeline loses the
+    /// relaxed-behaviour signal the sound one produces on the same
+    /// seeds.
+    pub fn generator(name: &str, variant: GenVariant) -> Self {
+        MutantSpec {
+            name: name.to_string(),
+            layer: Layer::Gen,
+            oracle: Oracle::DiffFuzz,
+            mutation: variant.describe().to_string(),
+            subject: Subject::Gen { variant },
         }
     }
 }
@@ -564,6 +623,7 @@ fn run_one(spec: &MutantSpec, cfg: &CampaignConfig) -> MutantResult {
         Subject::MachineRefinement { cfg: kcfg } => run_machine_refinement(*kcfg, cfg),
         Subject::Degradation { variant } => run_degradation(*variant, cfg),
         Subject::Serve { variant } => run_serve(*variant, cfg),
+        Subject::Gen { variant } => run_gen(*variant, cfg),
     };
     if stats.wall_ns == 0 {
         stats.wall_ns = started.elapsed().as_nanos() as u64;
@@ -1063,6 +1123,189 @@ fn run_serve(variant: ServeVariant, _cfg: &CampaignConfig) -> (Status, String, E
     (status, detail, stats)
 }
 
+/// Enumerates one generated program under both reference models and
+/// reports whether it exhibits a relaxed-only outcome (`None` when a
+/// budget truncated either walk, in which case the comparison proves
+/// nothing either way).
+fn relaxed_signal(
+    parsed: &vrm_memmodel::parser::ParsedLitmus,
+    jobs: usize,
+    stats: &mut ExploreStats,
+) -> Result<Option<bool>, String> {
+    use vrm_memmodel::promising::enumerate_promising_with;
+    use vrm_memmodel::sc::{enumerate_sc_with, ScConfig};
+    let sc_cfg = ScConfig {
+        jobs,
+        max_states: 1 << 16,
+    };
+    let mut pm_cfg = parsed.promising.clone();
+    pm_cfg.jobs = jobs;
+    pm_cfg.max_states = 1 << 16;
+    let sc = enumerate_sc_with(&parsed.program, &sc_cfg).map_err(|e| e.to_string())?;
+    let rm = enumerate_promising_with(&parsed.program, &pm_cfg).map_err(|e| e.to_string())?;
+    stats.absorb(&sc.stats);
+    stats.absorb(&rm.outcomes.stats);
+    if sc.truncated() || rm.truncated {
+        return Ok(None);
+    }
+    Ok(Some(rm.outcomes.len() > sc.len()))
+}
+
+fn run_gen(variant: GenVariant, cfg: &CampaignConfig) -> (Status, String, ExploreStats) {
+    use vrm_memmodel::gen::{
+        render, sample_cycle, shrink, CommEdge, CycleShape, GenConfig, Link, ThreadShape,
+    };
+    let mut stats = ExploreStats::default();
+    let jobs = cfg.jobs;
+    // 2-thread shapes keep both probes exhaustive (hundreds of states)
+    // even unoptimized, so the kill never hides behind a truncation.
+    let sound_cfg = GenConfig {
+        max_threads: 2,
+        ..Default::default()
+    };
+    match variant {
+        GenVariant::PoCycleFree => {
+            // The differential fuzzer's reason to exist: over a fixed
+            // seed window the sound generator must produce at least one
+            // program with a relaxed-only outcome. The bugged generator
+            // (no closed cycle) must produce none — a corpus that can
+            // never disagree with SC.
+            let bugged_cfg = GenConfig {
+                po_cycle_free: true,
+                ..sound_cfg
+            };
+            let mut sound_hits = 0usize;
+            let mut bugged_hits = 0usize;
+            for seed in 0..24u64 {
+                for (gc, hits) in [
+                    (&sound_cfg, &mut sound_hits),
+                    (&bugged_cfg, &mut bugged_hits),
+                ] {
+                    let parsed = render(&sample_cycle(seed, gc), gc);
+                    match relaxed_signal(&parsed, jobs, &mut stats) {
+                        Err(e) => return (Status::Timeout, e, stats),
+                        Ok(None) => {
+                            return (
+                                Status::Unknown,
+                                format!("seed {seed}: enumeration truncated; no verdict"),
+                                stats,
+                            )
+                        }
+                        Ok(Some(true)) => *hits += 1,
+                        Ok(Some(false)) => {}
+                    }
+                }
+            }
+            if sound_hits == 0 {
+                // The seed window no longer reaches a relaxed shape;
+                // that is a harness bug and the gate must surface it.
+                return (
+                    Status::Survived,
+                    "harness error: sound generator found no relaxed witness".to_string(),
+                    stats,
+                );
+            }
+            let killed = bugged_hits == 0;
+            let detail = format!(
+                "sound generator: {sound_hits}/24 seeds with relaxed-only outcomes; \
+                 cycle-free generator: {bugged_hits}/24"
+            );
+            let status = if killed {
+                Status::Killed
+            } else {
+                Status::Survived
+            };
+            (status, detail, stats)
+        }
+        GenVariant::ShrinkerSkipsRecheck => {
+            // A fully fenced SB: both dmbs are load-bearing, so the
+            // property "the relaxed outcome is absent" holds at the
+            // start and fails the moment any fence is weakened. The
+            // sound shrinker must reject every candidate; the bugged
+            // one accepts blindly and hands back a shape that lost the
+            // property it was minimizing under.
+            let start = CycleShape {
+                edges: vec![CommEdge::Fr, CommEdge::Fr],
+                threads: vec![
+                    ThreadShape {
+                        link: Link::DmbSy,
+                        first_acq: false,
+                        second_rel: false,
+                    };
+                    2
+                ],
+                seed: 0,
+            };
+            let bugged_cfg = GenConfig {
+                recheck_shrinks: false,
+                ..sound_cfg
+            };
+            let mut check = |shape: &CycleShape, gc: &GenConfig| {
+                relaxed_signal(&render(shape, gc), jobs, &mut stats).map(|r| r.map(|rx| !rx))
+            };
+            // Harness guards: the property must hold on the start shape
+            // and genuinely depend on the fences.
+            let forbidden_at_start = match check(&start, &sound_cfg) {
+                Err(e) => return (Status::Timeout, e, stats),
+                Ok(None) => {
+                    return (
+                        Status::Unknown,
+                        "start shape enumeration truncated".to_string(),
+                        stats,
+                    )
+                }
+                Ok(Some(f)) => f,
+            };
+            if !forbidden_at_start {
+                return (
+                    Status::Survived,
+                    "harness error: fenced SB already shows relaxed outcomes".to_string(),
+                    stats,
+                );
+            }
+            let property = |p: &vrm_memmodel::parser::ParsedLitmus| {
+                let mut local = ExploreStats::default();
+                relaxed_signal(p, jobs, &mut local) == Ok(Some(false))
+            };
+            let sound_min = shrink(&start, &sound_cfg, property);
+            let bugged_min = shrink(&start, &bugged_cfg, property);
+            let sound_holds = match check(&sound_min, &sound_cfg) {
+                Err(e) => return (Status::Timeout, e, stats),
+                Ok(None) => {
+                    return (
+                        Status::Unknown,
+                        "shrunk shape enumeration truncated".to_string(),
+                        stats,
+                    )
+                }
+                Ok(Some(f)) => f,
+            };
+            let bugged_holds = match check(&bugged_min, &bugged_cfg) {
+                Err(e) => return (Status::Timeout, e, stats),
+                Ok(None) => {
+                    return (
+                        Status::Unknown,
+                        "shrunk shape enumeration truncated".to_string(),
+                        stats,
+                    )
+                }
+                Ok(Some(f)) => f,
+            };
+            let killed = sound_holds && !bugged_holds;
+            let detail = format!(
+                "sound shrink kept the forbidden-outcome property: {sound_holds}; \
+                 recheck-free shrink kept it: {bugged_holds}"
+            );
+            let status = if killed {
+                Status::Killed
+            } else {
+                Status::Survived
+            };
+            (status, detail, stats)
+        }
+    }
+}
+
 /// Runs every spec and aggregates the report.
 pub fn run(specs: &[MutantSpec], cfg: &CampaignConfig) -> CampaignReport {
     let mut results = Vec::with_capacity(specs.len());
@@ -1304,6 +1547,19 @@ pub fn curated() -> Vec<MutantSpec> {
         ServeVariant::EscalationDropsCheckpoint,
     ));
 
+    // --- Gen layer -------------------------------------------------------
+    // The generator feeding the differential fuzzer: a survivor here
+    // would mean the standing fuzz job could keep passing while unable
+    // to produce — or preserve — a counterexample.
+    specs.push(MutantSpec::generator(
+        "gen-po-cycle-free",
+        GenVariant::PoCycleFree,
+    ));
+    specs.push(MutantSpec::generator(
+        "gen-shrinker-skips-recheck",
+        GenVariant::ShrinkerSkipsRecheck,
+    ));
+
     specs
 }
 
@@ -1323,6 +1579,7 @@ mod tests {
             Layer::Spec,
             Layer::Engine,
             Layer::Serve,
+            Layer::Gen,
         ] {
             assert!(
                 specs.iter().any(|s| s.layer == layer),
@@ -1370,6 +1627,18 @@ mod tests {
                 stats.completeness.is_truncated(),
                 "{variant:?}: the oracle run must really be truncated"
             );
+        }
+    }
+
+    #[test]
+    fn gen_mutants_are_killed() {
+        let cfg = CampaignConfig {
+            jobs: 1,
+            ..Default::default()
+        };
+        for variant in [GenVariant::PoCycleFree, GenVariant::ShrinkerSkipsRecheck] {
+            let (status, detail, _) = run_gen(variant, &cfg);
+            assert_eq!(status, Status::Killed, "{variant:?}: {detail}");
         }
     }
 

@@ -11,6 +11,8 @@
 //! | kernel  | the same operators on paper examples and the Figure 7 ticket lock | `check_wdrf` / `check_pushpull` failure |
 //! | machine | `KCoreConfig` switches (skip TLBI, reorder barrier, skip lock, …) | `validate_log` over all schedules, `check_invariants`, confidentiality read-back |
 //! | engine  | guard-stripped degradation rules (ignore truncation, last-stage-wins merge, Unknown exits 0) | disagreement with the sound engine on a budget-starved check |
+//! | serve   | `ServeConfig` switches (config-blind cache key, checkpoint-dropping escalation) | behavioural divergence from the sound daemon on the same queries |
+//! | gen     | `GenConfig` switches (cycle-free generator, recheck-free shrinker) | the differential-fuzz pipeline losing its relaxed-behaviour signal |
 //!
 //! [`ir`] holds the program-level mutation engine (site discovery and
 //! application), [`campaign`] the curated mutant set and driver, and
@@ -25,8 +27,8 @@ pub mod ir;
 pub mod report;
 
 pub use campaign::{
-    curated, run, CampaignConfig, CampaignReport, DegradationVariant, Layer, MutantResult,
-    MutantSpec, Oracle, ServeVariant, Status,
+    curated, run, CampaignConfig, CampaignReport, DegradationVariant, GenVariant, Layer,
+    MutantResult, MutantSpec, Oracle, ServeVariant, Status,
 };
 pub use ir::{apply, find_sites, site, Mutation, MutationKind};
 pub use report::{not_killed, to_json, to_table};

@@ -36,6 +36,9 @@ pub const JOBS_ESCALATED: &str = "serve/jobs_escalated";
 pub const CHECKPOINT_RESUME: &str = "serve/checkpoint_resume";
 /// Cached checkpoints rejected as corrupt (footer or decode failure).
 pub const CHECKPOINT_CORRUPT: &str = "serve/checkpoint_corrupt";
+/// Parked checkpoints evicted by the store's LRU cap (the suspended
+/// walk is forgotten; a later re-query restarts from scratch).
+pub const CHECKPOINT_EVICTED: &str = "serve/checkpoint_evicted";
 /// States explored on behalf of serve jobs (fresh exploration work;
 /// stands still across a fully cache-served replay).
 pub const STATES_EXPLORED: &str = "serve/states_explored";
@@ -52,6 +55,7 @@ pub const ALL: &[&str] = &[
     JOBS_ESCALATED,
     CHECKPOINT_RESUME,
     CHECKPOINT_CORRUPT,
+    CHECKPOINT_EVICTED,
     STATES_EXPLORED,
 ];
 

@@ -9,9 +9,10 @@
 //! only a fresh exploration, stored under its own (different) key, may
 //! answer `Pass`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use vrm_explore::Verdict;
+use vrm_obs::Counter;
 use vrm_sekvm::machine::ScheduleResume;
 
 /// A finished job's answer, as remembered by the cache.
@@ -71,27 +72,76 @@ impl VerdictCache {
     }
 }
 
-/// Program-digest → suspended schedule walk.
+/// Program-digest → suspended schedule walk, bounded by an LRU cap.
 ///
 /// Checkpoints are single-use: [`take`](CheckpointStore::take) removes
 /// the entry, because resuming consumes the parked frontier. A walk
 /// that is *still* truncated after resuming parks its new checkpoint
 /// right back.
-#[derive(Debug, Default)]
+///
+/// Parked frontiers are the daemon's only unbounded-in-the-input state:
+/// a long-lived daemon fed a generated corpus (the fuzz suite replays
+/// programs nobody will ever re-query) would otherwise grow the store
+/// without limit. [`park`](CheckpointStore::park) therefore evicts the
+/// least-recently-parked entry beyond [`CheckpointStore::DEFAULT_CAP`],
+/// counting each eviction on `serve/checkpoint_evicted`. Eviction is
+/// sound: losing a checkpoint only costs re-exploration, never a wrong
+/// verdict.
+#[derive(Debug)]
 pub struct CheckpointStore {
     map: HashMap<u128, ScheduleResume>,
+    /// Park order, least recently parked at the front. Re-parking a
+    /// digest refreshes its position.
+    order: VecDeque<u128>,
+    cap: usize,
+}
+
+impl Default for CheckpointStore {
+    fn default() -> Self {
+        CheckpointStore::with_cap(Self::DEFAULT_CAP)
+    }
 }
 
 impl CheckpointStore {
+    /// Production cap on parked walks. Each parked frontier can hold
+    /// thousands of serialized states, so the store is bounded well
+    /// below anything the verdict cache (which stores one small entry
+    /// per digest, and is naturally bounded by distinct queries) needs.
+    pub const DEFAULT_CAP: usize = 256;
+
+    /// A store that evicts least-recently-parked beyond `cap` entries.
+    pub fn with_cap(cap: usize) -> CheckpointStore {
+        CheckpointStore {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
     /// Removes and returns the parked walk for a program, if any.
     pub fn take(&mut self, program_digest: u128) -> Option<ScheduleResume> {
-        self.map.remove(&program_digest)
+        let hit = self.map.remove(&program_digest);
+        if hit.is_some() {
+            self.order.retain(|d| *d != program_digest);
+        }
+        hit
     }
 
     /// Parks a suspended walk for a program, replacing any older (and
-    /// necessarily smaller) one.
+    /// necessarily smaller) one, and evicting the least-recently-parked
+    /// entry if the store is over its cap.
     pub fn park(&mut self, program_digest: u128, resume: ScheduleResume) {
-        self.map.insert(program_digest, resume);
+        if self.map.insert(program_digest, resume).is_some() {
+            self.order.retain(|d| *d != program_digest);
+        }
+        self.order.push_back(program_digest);
+        while self.map.len() > self.cap {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            self.map.remove(&oldest);
+            Counter::new(vrm_obs::serve::CHECKPOINT_EVICTED).add(1);
+        }
     }
 
     /// Number of parked walks.
@@ -109,6 +159,25 @@ impl CheckpointStore {
 mod tests {
     use super::*;
     use vrm_explore::{Coverage, TruncationReason};
+    use vrm_sekvm::machine::ExhaustiveConfig;
+    use vrm_sekvm::{KCoreConfig, Machine, Op, Script};
+
+    /// A real parked walk, produced the only way one can be: by
+    /// starving a schedule exploration.
+    fn parked_walk() -> ScheduleResume {
+        let scripts: Vec<Script> = (0..2).map(|_| vec![Op::RegisterVm]).collect();
+        Machine::explore_schedules(
+            KCoreConfig::default(),
+            scripts,
+            &ExhaustiveConfig {
+                max_states: 2,
+                jobs: 1,
+            },
+        )
+        .expect("starved walk")
+        .resume
+        .expect("a starved walk parks a resume")
+    }
 
     fn entry(verdict: Verdict) -> CacheEntry {
         CacheEntry {
@@ -137,5 +206,66 @@ mod tests {
         );
         c.insert(7, entry(Verdict::Fail));
         assert_eq!(c.get(7).unwrap().verdict, Verdict::Fail);
+    }
+
+    #[test]
+    fn checkpoint_store_evicts_least_recently_parked() {
+        let evicted = Counter::new(vrm_obs::serve::CHECKPOINT_EVICTED);
+        let before = evicted.get();
+        let mut s = CheckpointStore::with_cap(2);
+        s.park(1, parked_walk());
+        s.park(2, parked_walk());
+        // Re-parking digest 1 must refresh its recency, so the next
+        // eviction falls on digest 2 instead.
+        s.park(1, parked_walk());
+        s.park(3, parked_walk());
+        assert_eq!(s.len(), 2, "the cap must hold after an over-cap park");
+        assert!(
+            s.take(2).is_none(),
+            "the least-recently-parked entry must be the one evicted"
+        );
+        assert!(s.take(1).is_some(), "re-parking must refresh recency");
+        assert!(s.take(3).is_some());
+        assert!(s.is_empty());
+        // Counters are process-global, so concurrent tests may also
+        // bump this one: assert at-least, not exactly.
+        assert!(
+            evicted.get() - before >= 1,
+            "evictions must advance serve/checkpoint_evicted"
+        );
+    }
+
+    #[test]
+    fn checkpoint_take_frees_capacity_without_evicting() {
+        let mut s = CheckpointStore::with_cap(2);
+        s.park(1, parked_walk());
+        s.park(2, parked_walk());
+        assert!(s.take(1).is_some());
+        // The freed slot absorbs the next park: nothing is evicted and
+        // both survivors stay retrievable.
+        s.park(3, parked_walk());
+        assert_eq!(s.len(), 2);
+        assert!(
+            s.take(2).is_some(),
+            "taking must free a slot instead of forcing an eviction"
+        );
+        assert!(s.take(3).is_some());
+    }
+
+    #[test]
+    fn checkpoint_default_store_carries_the_production_cap() {
+        // SchedState builds its store via Default, so the production
+        // bound must live there — an unbounded Default would silently
+        // reopen the leak.
+        let mut s = CheckpointStore::default();
+        for digest in 0..(CheckpointStore::DEFAULT_CAP as u128 + 4) {
+            s.park(digest, parked_walk());
+        }
+        assert_eq!(s.len(), CheckpointStore::DEFAULT_CAP);
+        assert!(
+            s.take(0).is_none(),
+            "the oldest parks must have been evicted"
+        );
+        assert!(s.take(CheckpointStore::DEFAULT_CAP as u128 + 3).is_some());
     }
 }

@@ -16,7 +16,7 @@ fn corpus_parses_and_passes() {
         .filter(|p| p.extension().is_some_and(|e| e == "litmus"))
         .collect();
     files.sort();
-    assert!(files.len() >= 23, "expected a corpus, found {files:?}");
+    assert!(files.len() >= 31, "expected a corpus, found {files:?}");
     for path in files {
         let text = std::fs::read_to_string(&path).unwrap();
         let parsed = parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));

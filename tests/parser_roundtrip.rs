@@ -3,6 +3,9 @@
 //! checks, location map and config. This pins the `Display` impl to the
 //! grammar so the two can never drift apart.
 
+use proptest::prelude::*;
+
+use vrm::memmodel::gen::{self, GenConfig};
 use vrm::memmodel::parser::parse;
 
 #[test]
@@ -15,7 +18,7 @@ fn corpus_round_trips_through_display() {
         .filter(|p| p.extension().is_some_and(|e| e == "litmus"))
         .collect();
     files.sort();
-    assert!(files.len() >= 23, "expected a corpus, found {files:?}");
+    assert!(files.len() >= 31, "expected a corpus, found {files:?}");
     for path in files {
         let text = std::fs::read_to_string(&path).unwrap();
         let first = parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
@@ -67,5 +70,39 @@ fn corpus_round_trips_through_display() {
 
         // And the printer is a fixed point: print(parse(print(p))) == print(p).
         assert_eq!(printed, second.to_string(), "{}", path.display());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Every program the litmus generator emits survives
+    /// parse → print → reparse as a fixed point, over the generator's
+    /// full shape space (2–4 threads, all edge/fence/decoration mixes).
+    /// This pins the generator's emitted grammar to the parser the same
+    /// way the corpus test pins the hand-written files.
+    #[test]
+    fn generated_cycles_round_trip_through_display(seed in 0u64..1_000_000) {
+        let text = gen::render_text(&gen::sample_cycle(seed, &GenConfig::default()), &GenConfig::default());
+        let first = parse(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+        let printed = first.to_string();
+        let second = parse(&printed)
+            .unwrap_or_else(|e| panic!("seed {seed}: reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(&first.program, &second.program, "seed {} program drifted\n{}", seed, &printed);
+        prop_assert_eq!(&first.locations, &second.locations, "seed {}", seed);
+        prop_assert_eq!(first.promising.promises, second.promising.promises, "seed {}", seed);
+        prop_assert_eq!(printed.clone(), second.to_string(), "seed {} not a fixed point", seed);
+    }
+
+    /// Same fixed-point property for generated page-table-walk programs
+    /// (vm config, initrange-expanded page contents, tlbi/ldrv forms).
+    #[test]
+    fn generated_walks_round_trip_through_display(seed in 0u64..1_000_000) {
+        let first = gen::sample_walk(seed).parsed;
+        let printed = first.to_string();
+        let second = parse(&printed)
+            .unwrap_or_else(|e| panic!("seed {seed}: reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(&first.program, &second.program, "seed {} program drifted\n{}", seed, &printed);
+        prop_assert_eq!(printed.clone(), second.to_string(), "seed {} not a fixed point", seed);
     }
 }
