@@ -440,19 +440,25 @@ fn serve_replay(endpoint: &vrm_serve::server::Endpoint, lines: &[String], client
 }
 
 /// The verification-as-a-service load driver: an in-process daemon
-/// replays the whole corpus through 4 concurrent clients twice (cold,
-/// then warm — the second pass must be answered entirely from the
-/// verdict cache), then probes checkpoint continuation with an
-/// under-budgeted schedule walk re-queried at a larger budget.
+/// (write-ahead logging into a scratch state dir) replays the whole
+/// corpus through 4 concurrent clients twice (cold, then warm — the
+/// second pass must be answered entirely from the verdict cache),
+/// probes checkpoint continuation with an under-budgeted schedule walk
+/// re-queried at a larger budget, then restarts the daemon on the same
+/// state dir and measures the recovered warm replay (`serve/replay`).
 fn run_serve_suite(dir: &Path, jobs: Option<usize>, out: &mut BenchFile) -> i32 {
     use vrm_obs::serve as serve_names;
     use vrm_obs::Counter;
 
     const CLIENTS: usize = 4;
-    let svc = vrm_serve::Service::start(vrm_serve::ServeConfig {
+    let state_dir = std::env::temp_dir().join(format!("vrm-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let durable_cfg = || vrm_serve::ServeConfig {
         workers: CLIENTS,
+        state_dir: Some(state_dir.clone()),
         ..Default::default()
-    });
+    };
+    let svc = vrm_serve::Service::start(durable_cfg());
     let handle = vrm_serve::server::serve(
         svc.clone(),
         &vrm_serve::server::Endpoint::Tcp("127.0.0.1:0".into()),
@@ -535,6 +541,55 @@ fn run_serve_suite(dir: &Path, jobs: Option<usize>, out: &mut BenchFile) -> i32 
 
     svc.shutdown();
     handle.stop();
+
+    // Durable restart: a fresh daemon on the same state dir must
+    // answer the whole corpus from the replayed write-ahead log — the
+    // crash-recovery path, measured end to end (WAL replay + 100%
+    // warm hits over the wire).
+    let replayed0 = Counter::new(serve_names::WAL_REPLAYED).get();
+    let svc = vrm_serve::Service::start(durable_cfg());
+    let handle = vrm_serve::server::serve(
+        svc.clone(),
+        &vrm_serve::server::Endpoint::Tcp("127.0.0.1:0".into()),
+    )
+    .expect("bind recovered serve daemon");
+    let endpoint = handle.local().clone();
+    let hits0 = Counter::new(serve_names::CACHE_HIT).get();
+    let states0 = Counter::new(serve_names::STATES_EXPLORED).get();
+    let replayed = Counter::new(serve_names::WAL_REPLAYED).get() - replayed0;
+    let started = Instant::now();
+    let exit_code = serve_replay(&endpoint, &lines, CLIENTS);
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    let hits = Counter::new(serve_names::CACHE_HIT).get() - hits0;
+    let states = Counter::new(serve_names::STATES_EXPLORED).get() - states0;
+    out.records.push(
+        BenchRecord::new("serve/replay")
+            .param("clients", CLIENTS)
+            .param("requests", lines.len())
+            .metric("cache_hits", hits)
+            .metric("wal_records_replayed", replayed)
+            .metric("states", states)
+            .metric("wall_ns", wall_ns)
+            .metric(
+                "requests_per_sec_x1000",
+                lines.len() as u64 * 1_000_000_000_000 / wall_ns.max(1),
+            )
+            .metric("exit_code", exit_code as u64),
+    );
+    println!(
+        "{:<33} states:{:<7} {:>8.1}ms  {} ({}/{} cache hits after restart)",
+        "serve/replay",
+        states,
+        wall_ns as f64 / 1e6,
+        verdict_name(exit_code),
+        hits,
+        lines.len(),
+    );
+    acc = worse(acc, exit_code);
+
+    svc.shutdown();
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&state_dir);
     acc
 }
 

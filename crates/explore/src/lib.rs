@@ -207,6 +207,11 @@ pub enum TruncationReason {
     /// [`ExploreConfig::max_memory`] was exceeded (approximate byte
     /// accounting on the visited set).
     MemoryBudget,
+    /// The walk was delegated to a worker *process* that died or hung
+    /// before answering (supervised out-of-process execution, e.g. a
+    /// `vrm-serve` worker). Nothing was explored on this attempt; the
+    /// verdict degrades to `Unknown`, never to a wrong answer.
+    WorkerLost,
 }
 
 impl std::fmt::Display for TruncationReason {
@@ -216,6 +221,7 @@ impl std::fmt::Display for TruncationReason {
             TruncationReason::DepthLimit => write!(f, "depth limit"),
             TruncationReason::Deadline => write!(f, "deadline"),
             TruncationReason::MemoryBudget => write!(f, "memory budget"),
+            TruncationReason::WorkerLost => write!(f, "worker lost"),
         }
     }
 }
@@ -715,6 +721,14 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// The checkpoint footer's FNV-1a 64 checksum, exposed so sibling
+/// binary framings (the schedule-resume container in `vrm-sekvm`, the
+/// `vrm-serve` write-ahead log) share one integrity convention instead
+/// of reimplementing it.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    fnv1a64(bytes)
+}
+
 impl<S> ResumeState<S> {
     /// Serializes the checkpoint to the hand-rolled binary format:
     /// magic, digest count + digests (16-byte LE), frontier count, per
@@ -850,6 +864,15 @@ impl Checkpoint {
     /// [`Checkpoint::park`]; `None` iff `S` is not the parked type.
     pub fn resume<S: Send + 'static>(self) -> Option<ResumeState<S>> {
         self.state.downcast::<ResumeState<S>>().ok().map(|b| *b)
+    }
+
+    /// Borrows the parked [`ResumeState`] without consuming the
+    /// handle; `None` iff `S` is not the parked type. This is what a
+    /// serializer uses: the producing layer can encode a parked
+    /// frontier (e.g. to a durable store) while the checkpoint stays
+    /// resumable in memory.
+    pub fn peek<S: Send + 'static>(&self) -> Option<&ResumeState<S>> {
+        self.state.downcast_ref::<ResumeState<S>>()
     }
 
     /// Number of unexpanded frontier entries parked in this checkpoint.

@@ -50,6 +50,19 @@ pub enum FaultKind {
     /// Pretend an allocation failed: the worker retires gracefully,
     /// handing its queue to survivors (parallel drivers only).
     AllocFail,
+    /// Kill a freshly spawned worker *process* (SIGKILL) before it can
+    /// answer — the supervisor must convert the death into a bounded
+    /// restart or a degraded `Unknown`, never a hang
+    /// ([`Site::Supervisor`] only).
+    WorkerKill,
+    /// Fail a write-ahead-log append: the daemon must degrade to
+    /// serving from memory (losing only durability, never soundness)
+    /// and keep answering ([`Site::WalWrite`] only).
+    WalFail,
+    /// Cut a wire frame mid-write and drop the connection, so clients
+    /// see a torn reply — the resilient client must reconnect and
+    /// resubmit idempotently ([`Site::ServerFrame`] only).
+    Disconnect,
 }
 
 /// Where in a driver the poll happens; gates which faults may fire.
@@ -61,6 +74,26 @@ pub enum Site {
     /// sole worker owns the whole frontier, so killing it would change
     /// results rather than merely degrade performance.
     Sequential,
+    /// The serve supervisor, polled once per worker-process spawn:
+    /// only [`FaultKind::WorkerKill`]. Polled far less often than the
+    /// driver sites (once per job, not once per state), so it fires at
+    /// [`SERVICE_FIRE_PERIOD`] instead of [`FIRE_PERIOD`].
+    Supervisor,
+    /// A write-ahead-log append in the serve durable store: only
+    /// [`FaultKind::WalFail`]. Fires at [`SERVICE_FIRE_PERIOD`].
+    WalWrite,
+    /// A response-line write in the serve socket layer: only
+    /// [`FaultKind::Disconnect`]. Fires at [`SERVICE_FIRE_PERIOD`].
+    ServerFrame,
+}
+
+impl Site {
+    /// `true` for the service-layer sites, which are polled per
+    /// *job/record/frame* rather than per explored state and therefore
+    /// use the denser [`SERVICE_FIRE_PERIOD`].
+    fn is_service(self) -> bool {
+        matches!(self, Site::Supervisor | Site::WalWrite | Site::ServerFrame)
+    }
 }
 
 /// Panic payload of an injected [`FaultKind::WorkerPanic`], so the
@@ -107,7 +140,15 @@ pub fn splitmix64(mut x: u64) -> u64 {
 
 /// Roughly one poll in this many fires a fault (prime, so the firing
 /// pattern never phase-locks with power-of-two loop structures).
-const FIRE_PERIOD: u64 = 1021;
+pub const FIRE_PERIOD: u64 = 1021;
+
+/// Fire period for the service-layer sites ([`Site::Supervisor`],
+/// [`Site::WalWrite`], [`Site::ServerFrame`]). These are polled once
+/// per job, WAL record, or wire frame — thousands of times less often
+/// than the per-state driver sites — so a chaos run of a ~30-job
+/// corpus still injects a handful of faults. Prime, for the same
+/// phase-locking reason as [`FIRE_PERIOD`].
+pub const SERVICE_FIRE_PERIOD: u64 = 13;
 
 /// One yield-point poll: returns a proposed fault, or `None` (the
 /// overwhelmingly common case). Pure in `(seed, poll index, site)`.
@@ -136,6 +177,18 @@ pub fn poll(site: Site) -> Option<FaultKind> {
 /// tests: seed + poll index + site → proposed fault.
 pub fn decide(seed: u64, index: u64, site: Site) -> Option<FaultKind> {
     let r = splitmix64(seed ^ index.wrapping_mul(0x2545f4914f6cdd1d));
+    if site.is_service() {
+        // Service sites carry exactly one fault kind each, decided at
+        // their own (denser) period.
+        if !r.is_multiple_of(SERVICE_FIRE_PERIOD) {
+            return None;
+        }
+        return Some(match site {
+            Site::Supervisor => FaultKind::WorkerKill,
+            Site::WalWrite => FaultKind::WalFail,
+            _ => FaultKind::Disconnect,
+        });
+    }
     if !r.is_multiple_of(FIRE_PERIOD) {
         return None;
     }
@@ -147,7 +200,7 @@ pub fn decide(seed: u64, index: u64, site: Site) -> Option<FaultKind> {
     match (site, kind) {
         (Site::Sequential, FaultKind::Delay) => Some(FaultKind::Delay),
         (Site::Sequential, _) => None,
-        (Site::ParallelWorker, k) => Some(k),
+        _ => Some(kind),
     }
 }
 
@@ -205,6 +258,37 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 3, "kinds seen: {seen:?}");
+    }
+
+    #[test]
+    fn service_sites_propose_only_their_own_kind() {
+        for i in 0..50_000u64 {
+            match decide(7, i, Site::Supervisor) {
+                None | Some(FaultKind::WorkerKill) => {}
+                Some(k) => panic!("supervisor site proposed {k:?} at index {i}"),
+            }
+            match decide(7, i, Site::WalWrite) {
+                None | Some(FaultKind::WalFail) => {}
+                Some(k) => panic!("wal site proposed {k:?} at index {i}"),
+            }
+            match decide(7, i, Site::ServerFrame) {
+                None | Some(FaultKind::Disconnect) => {}
+                Some(k) => panic!("frame site proposed {k:?} at index {i}"),
+            }
+        }
+    }
+
+    #[test]
+    fn service_sites_fire_densely_enough_for_small_corpora() {
+        // A ~30-job chaos run polls each service site ~30 times; the
+        // denser period must make at least one firing likely. Pin the
+        // rate bracket over a larger window so the test is stable.
+        let fired = (0..10_000u64)
+            .filter(|&i| decide(1021, i, Site::Supervisor).is_some())
+            .count();
+        // Expected ~769 at 1/13.
+        assert!(fired > 200, "service sites fire too rarely: {fired}");
+        assert!(fired < 2_500, "service sites fire too often: {fired}");
     }
 
     #[test]

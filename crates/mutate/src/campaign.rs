@@ -52,7 +52,7 @@
 //! rate. [`run`] executes a set and aggregates per-mutant exploration
 //! statistics.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use vrm_core::pushpull::check_pushpull;
 use vrm_core::{check_wdrf, paper_examples, KernelSpec, WdrfCheckConfig};
@@ -265,6 +265,15 @@ pub enum ServeVariant {
     /// retry restarts from scratch and re-pays states the checkpoint
     /// already covered.
     EscalationDropsCheckpoint,
+    /// `WorkerIsolation::ignore_deadline = true`: the supervisor waits
+    /// out a hung worker instead of SIGKILLing it at deadline+grace —
+    /// the daemon outage process isolation exists to prevent, detected
+    /// as the oracle's wall clock crossing the worker's sleep.
+    SupervisorIgnoresDeadline,
+    /// `StoreOptions::verify_checksums = false`: WAL replay accepts a
+    /// record whose payload no longer matches its checksum, so a
+    /// corrupted verdict is resurrected into the cache as if intact.
+    WalSkipsChecksum,
 }
 
 impl ServeVariant {
@@ -276,6 +285,12 @@ impl ServeVariant {
             }
             ServeVariant::EscalationDropsCheckpoint => {
                 "ServeConfig escalation lane that drops parked checkpoints"
+            }
+            ServeVariant::SupervisorIgnoresDeadline => {
+                "WorkerIsolation supervisor that never kills a hung worker"
+            }
+            ServeVariant::WalSkipsChecksum => {
+                "StoreOptions WAL replay that skips checksum verification"
             }
         }
     }
@@ -1045,6 +1060,11 @@ fn serve_probe(
 
 fn run_serve(variant: ServeVariant, _cfg: &CampaignConfig) -> (Status, String, ExploreStats) {
     use vrm_serve::ServeConfig;
+    match variant {
+        ServeVariant::SupervisorIgnoresDeadline => return run_serve_supervisor(),
+        ServeVariant::WalSkipsChecksum => return run_serve_wal(),
+        ServeVariant::StaleAfterConfigChange | ServeVariant::EscalationDropsCheckpoint => {}
+    }
     // Both budgets are below the unmap walk's 117 states, so the
     // re-query must travel the escalation lane (doubling to 120) to
     // reach its Pass.
@@ -1057,12 +1077,13 @@ fn run_serve(variant: ServeVariant, _cfg: &CampaignConfig) -> (Status, String, E
     let bugged_cfg = match variant {
         ServeVariant::StaleAfterConfigChange => ServeConfig {
             digest_includes_config: false,
-            ..base
+            ..base.clone()
         },
         ServeVariant::EscalationDropsCheckpoint => ServeConfig {
             reuse_checkpoints: false,
-            ..base
+            ..base.clone()
         },
+        _ => unreachable!("dispatched above"),
     };
     let sound = match serve_probe(base, small, second) {
         Ok(p) => p,
@@ -1114,6 +1135,7 @@ fn run_serve(variant: ServeVariant, _cfg: &CampaignConfig) -> (Status, String, E
                 sound.second.states
             ),
         ),
+        _ => unreachable!("dispatched above"),
     };
     let status = if killed {
         Status::Killed
@@ -1121,6 +1143,147 @@ fn run_serve(variant: ServeVariant, _cfg: &CampaignConfig) -> (Status, String, E
         Status::Survived
     };
     (status, detail, stats)
+}
+
+/// `serve-supervisor-ignores-deadline`: both supervisors are handed a
+/// worker that sleeps for 2 s against a 100 ms deadline. The sound one
+/// SIGKILLs at deadline+grace and degrades to `Unknown{WorkerLost}`
+/// well inside a second; the bugged one waits out the whole sleep —
+/// the hung-daemon outage the deadline exists to prevent — and is
+/// killed on its wall clock crossing the sleep.
+fn run_serve_supervisor() -> (Status, String, ExploreStats) {
+    use vrm_serve::supervisor::{execute_isolated, WorkerIsolation};
+    use vrm_serve::{JobConfig, JobSpec};
+    let stats = ExploreStats {
+        jobs: 1,
+        completeness: Completeness::Exhaustive,
+        ..Default::default()
+    };
+    if std::env::var_os("VRM_FAULT_SEED").is_some() {
+        // An injected WorkerKill turns the hang into a fast crash on
+        // either side and voids the timing oracle.
+        return (
+            Status::Unknown,
+            "fault injection armed; supervisor timing oracle is void".into(),
+            stats,
+        );
+    }
+    let iso = |ignore_deadline| WorkerIsolation {
+        worker_cmd: vec!["sh".into(), "-c".into(), "sleep 2".into()],
+        deadline: Duration::from_millis(100),
+        grace: Duration::from_millis(50),
+        restarts: 0,
+        backoff_base: Duration::from_millis(5),
+        ignore_deadline,
+    };
+    let spec = JobSpec::Schedules {
+        workload: "unmap".into(),
+    };
+    let run = |ignore: bool| {
+        let t = Instant::now();
+        let res = execute_isolated(&iso(ignore), &spec, &JobConfig::default(), None);
+        (res, t.elapsed())
+    };
+    let (sound, sound_t) = run(false);
+    let lost = |r: &Result<(vrm_serve::JobResult, Option<Vec<u8>>), String>| {
+        matches!(
+            r,
+            Ok((res, _)) if matches!(
+                res.verdict,
+                Verdict::Unknown { coverage } if coverage.reason == vrm_explore::TruncationReason::WorkerLost
+            )
+        )
+    };
+    if !lost(&sound) || sound_t >= Duration::from_secs(1) {
+        return (
+            Status::Unknown,
+            format!("harness error: sound supervisor took {sound_t:?} and answered {sound:?}"),
+            stats,
+        );
+    }
+    let (bugged, bugged_t) = run(true);
+    let killed = lost(&bugged) && bugged_t >= Duration::from_millis(1500);
+    let status = if killed {
+        Status::Killed
+    } else {
+        Status::Survived
+    };
+    (
+        status,
+        format!(
+            "sound supervisor killed the hung worker in {sound_t:?}; \
+             bugged supervisor returned after {bugged_t:?}"
+        ),
+        stats,
+    )
+}
+
+/// `serve-wal-skips-checksum`: one verdict record is written, one
+/// payload byte is flipped (the detail's `outcomes:3` → `outcomes:2` —
+/// still structurally decodable, just wrong). Sound replay rejects the
+/// record on its checksum and skips it; the bugged replay resurrects
+/// the corrupted verdict as if intact.
+fn run_serve_wal() -> (Status, String, ExploreStats) {
+    use vrm_serve::store::{self, WalRecord, WAL_MAGIC};
+    use vrm_serve::{CacheEntry, StoreOptions};
+    let stats = ExploreStats {
+        jobs: 1,
+        completeness: Completeness::Exhaustive,
+        ..Default::default()
+    };
+    let rec = WalRecord::Verdict {
+        digest: 0xfeed_face_cafe_f00d,
+        entry: CacheEntry {
+            verdict: Verdict::Pass,
+            states: 117,
+            wall_ns: 1,
+            detail: "outcomes:3".into(),
+        },
+    };
+    let body = store::encode_record(&rec);
+    let mut intact = WAL_MAGIC.to_vec();
+    intact.extend_from_slice(&body);
+    let sound_opts = StoreOptions::default();
+    let (clean, _) = store::replay(&intact, &sound_opts);
+    if clean.records.as_slice() != [rec.clone()] || clean.skipped != 0 {
+        return (
+            Status::Unknown,
+            format!("harness error: intact record did not round-trip: {clean:?}"),
+            stats,
+        );
+    }
+    // Flip the last payload byte (the final detail character), leaving
+    // the 8-byte checksum that follows it untouched.
+    let mut torn = intact.clone();
+    let n = torn.len();
+    torn[n - 9] ^= 0x01;
+    let (sound, _) = store::replay(&torn, &sound_opts);
+    let bugged_opts = StoreOptions {
+        verify_checksums: false,
+        ..Default::default()
+    };
+    let (bugged, _) = store::replay(&torn, &bugged_opts);
+    let killed = sound.records.is_empty()
+        && sound.skipped == 1
+        && bugged.records.len() == 1
+        && bugged.records[0] != rec;
+    let status = if killed {
+        Status::Killed
+    } else {
+        Status::Survived
+    };
+    (
+        status,
+        format!(
+            "sound replay skipped {} record(s) and kept {}; \
+             bugged replay kept {} (corrupted: {})",
+            sound.skipped,
+            sound.records.len(),
+            bugged.records.len(),
+            bugged.records.first().map(|r| r != &rec).unwrap_or(false)
+        ),
+        stats,
+    )
 }
 
 /// Enumerates one generated program under both reference models and
@@ -1546,6 +1709,25 @@ pub fn curated() -> Vec<MutantSpec> {
         "serve-escalation-drops-checkpoint",
         ServeVariant::EscalationDropsCheckpoint,
     ));
+    // The daemon's crash-safety discipline: a survivor here would mean
+    // a hung worker can wedge the daemon past its deadline, or a
+    // corrupted WAL record can resurrect a wrong verdict on restart.
+    // The supervisor oracle spawns real worker processes, so it is the
+    // one campaign entry that cannot run under VRM_FAULT_SEED (an
+    // injected WorkerKill collapses both sides of its timing
+    // comparison); the fault-injection CI lane runs the campaign with
+    // faults armed, so the entry is withheld there rather than counted
+    // as a spurious non-kill.
+    if std::env::var_os("VRM_FAULT_SEED").is_none() {
+        specs.push(MutantSpec::serve(
+            "serve-supervisor-ignores-deadline",
+            ServeVariant::SupervisorIgnoresDeadline,
+        ));
+    }
+    specs.push(MutantSpec::serve(
+        "serve-wal-skips-checksum",
+        ServeVariant::WalSkipsChecksum,
+    ));
 
     // --- Gen layer -------------------------------------------------------
     // The generator feeding the differential fuzzer: a survivor here
@@ -1627,6 +1809,25 @@ mod tests {
                 stats.completeness.is_truncated(),
                 "{variant:?}: the oracle run must really be truncated"
             );
+        }
+    }
+
+    #[test]
+    fn serve_robustness_mutants_are_killed() {
+        if std::env::var_os("VRM_FAULT_SEED").is_some() {
+            // Injected worker kills void the supervisor timing oracle.
+            return;
+        }
+        let cfg = CampaignConfig {
+            jobs: 1,
+            ..Default::default()
+        };
+        for variant in [
+            ServeVariant::SupervisorIgnoresDeadline,
+            ServeVariant::WalSkipsChecksum,
+        ] {
+            let (status, detail, _) = run_serve(variant, &cfg);
+            assert_eq!(status, Status::Killed, "{variant:?}: {detail}");
         }
     }
 

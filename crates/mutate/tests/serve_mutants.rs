@@ -1,15 +1,19 @@
-//! Fast regression guard for the serve-layer mutants: both must stay
+//! Fast regression guard for the serve-layer mutants: all must stay
 //! Killed without running the full curated campaign.
 
 use vrm_mutate::{curated, run, CampaignConfig};
 
 #[test]
 fn serve_mutants_killed() {
+    if std::env::var_os("VRM_FAULT_SEED").is_some() {
+        // An injected WorkerKill voids the supervisor timing oracle.
+        return;
+    }
     let specs: Vec<_> = curated()
         .into_iter()
         .filter(|s| s.name.starts_with("serve-"))
         .collect();
-    assert_eq!(specs.len(), 2, "expected 2 serve mutants");
+    assert_eq!(specs.len(), 4, "expected 4 serve mutants");
     let report = run(&specs, &CampaignConfig::default());
     for r in &report.results {
         eprintln!("{}: {} — {}", r.name, r.status.as_str(), r.detail);

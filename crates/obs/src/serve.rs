@@ -42,6 +42,43 @@ pub const CHECKPOINT_EVICTED: &str = "serve/checkpoint_evicted";
 /// States explored on behalf of serve jobs (fresh exploration work;
 /// stands still across a fully cache-served replay).
 pub const STATES_EXPLORED: &str = "serve/states_explored";
+/// Cached verdicts evicted by the verdict cache's LRU cap (the verdict
+/// is forgotten; a later identical query recomputes it).
+pub const VERDICT_EVICTED: &str = "serve/verdict_evicted";
+/// Cached `Unknown` verdicts past their staleness TTL at lookup time:
+/// the entry is dropped and the query re-explores (resuming any parked
+/// checkpoint) instead of serving the stale `Unknown` forever.
+pub const UNKNOWN_EXPIRED: &str = "serve/unknown_expired";
+/// Write-ahead-log records skipped on replay as torn or checksum-bad.
+pub const WAL_CORRUPT_SKIPPED: &str = "serve/wal_corrupt_skipped";
+/// Write-ahead-log appends that failed (I/O error or an injected
+/// `WalFail` fault); the daemon degrades to in-memory service of that
+/// record and keeps answering.
+pub const WAL_WRITE_FAILED: &str = "serve/wal_write_failed";
+/// Write-ahead-log compactions (live-state snapshot atomically
+/// replacing the grown log).
+pub const WAL_COMPACTIONS: &str = "serve/wal_compactions";
+/// Entries (verdicts + checkpoints) restored from the write-ahead log
+/// on daemon start.
+pub const WAL_REPLAYED: &str = "serve/wal_replayed";
+/// Worker processes spawned by the supervisor.
+pub const WORKER_SPAWNED: &str = "serve/worker_spawned";
+/// Worker processes SIGKILLed for exceeding their per-job wall-clock
+/// deadline.
+pub const WORKER_KILLED: &str = "serve/worker_killed";
+/// Worker processes that exited without a usable answer (crash,
+/// nonzero exit, unparsable output) — each is retried with backoff up
+/// to the supervisor's restart bound.
+pub const WORKER_CRASHED: &str = "serve/worker_crashed";
+/// Jobs degraded to `Unknown{WorkerLost}` after the supervisor's kill
+/// or restart budget was exhausted.
+pub const WORKER_LOST: &str = "serve/worker_lost";
+/// Client-side reconnect-and-resubmit attempts (idempotent retries
+/// after a torn frame or dropped connection).
+pub const CLIENT_RETRIES: &str = "serve/client_retries";
+/// Response frames deliberately cut mid-write by the injected
+/// `Disconnect` fault (chaos runs only).
+pub const FRAMES_CUT: &str = "serve/frames_cut";
 
 /// Every serve counter name, for exhaustive snapshot assertions.
 pub const ALL: &[&str] = &[
@@ -57,6 +94,18 @@ pub const ALL: &[&str] = &[
     CHECKPOINT_CORRUPT,
     CHECKPOINT_EVICTED,
     STATES_EXPLORED,
+    VERDICT_EVICTED,
+    UNKNOWN_EXPIRED,
+    WAL_CORRUPT_SKIPPED,
+    WAL_WRITE_FAILED,
+    WAL_COMPACTIONS,
+    WAL_REPLAYED,
+    WORKER_SPAWNED,
+    WORKER_KILLED,
+    WORKER_CRASHED,
+    WORKER_LOST,
+    CLIENT_RETRIES,
+    FRAMES_CUT,
 ];
 
 #[cfg(test)]

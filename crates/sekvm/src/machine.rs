@@ -911,6 +911,296 @@ impl ScheduleResume {
     pub fn states_visited(&self) -> usize {
         self.stats.states
     }
+
+    /// Serializes the suspended walk to a self-contained, checksummed
+    /// byte blob (`VRMSRES1`): the frontier as **schedule paths** (CPU
+    /// choices from the root, replayed by the private scheduling
+    /// node's deterministic single-step function) inside a
+    /// VRMCKPT1 container, plus the visited digests, partial outcomes
+    /// and stats. A `KCore` is never encoded; determinism of the step
+    /// function is what makes the paths a faithful image. `None` only
+    /// if the handle holds a foreign checkpoint type (cannot happen
+    /// for checkpoints this module produced).
+    ///
+    /// This is the durable/wire format: the serve layer's write-ahead
+    /// log and worker-process stdio both carry exactly these bytes.
+    pub fn to_bytes(&self) -> Option<Vec<u8>> {
+        let rs = self.checkpoint.peek::<SchedNode>()?;
+        let inner = vrm_explore::ResumeState {
+            frontier: rs
+                .frontier
+                .iter()
+                .map(|(n, d)| (SchedPath(n.path.clone()), *d))
+                .collect(),
+            visited_digests: rs.visited_digests.clone(),
+        }
+        .to_bytes();
+        let mut out = Vec::with_capacity(inner.len() + 256);
+        out.extend_from_slice(RESUME_MAGIC);
+        out.extend_from_slice(&(inner.len() as u64).to_le_bytes());
+        out.extend_from_slice(&inner);
+        out.extend_from_slice(&(self.outcomes.len() as u64).to_le_bytes());
+        for o in &self.outcomes {
+            out.extend_from_slice(&(o.ops_ok as u64).to_le_bytes());
+            out.push(u8::from(o.stalled));
+            for list in [&o.failures, &o.expectation_violations, &o.wdrf_violations] {
+                out.extend_from_slice(&(list.len() as u32).to_le_bytes());
+                for s in list {
+                    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    out.extend_from_slice(s.as_bytes());
+                }
+            }
+        }
+        let st = &self.stats;
+        for v in [
+            st.states as u64,
+            st.frontier_peak as u64,
+            st.dedup_hits as u64,
+            st.popped as u64,
+            st.pushed as u64,
+            st.steals as u64,
+            st.wall_ns,
+            st.jobs as u64,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        match st.completeness {
+            vrm_explore::Completeness::Exhaustive => out.push(0),
+            vrm_explore::Completeness::Truncated {
+                reason,
+                frontier_len,
+            } => {
+                out.push(1);
+                out.push(reason_tag(reason));
+                out.extend_from_slice(&(frontier_len as u64).to_le_bytes());
+            }
+        }
+        let body_len = out.len() as u64;
+        let sum = vrm_explore::checksum64(&out);
+        out.extend_from_slice(&body_len.to_le_bytes());
+        out.extend_from_slice(&sum.to_le_bytes());
+        Some(out)
+    }
+
+    /// Reconstructs a suspended walk from [`to_bytes`](Self::to_bytes)
+    /// output by replaying each frontier path from the workload's
+    /// initial state. Every replayed node's [`vrm_explore::digest128`]
+    /// must appear in the blob's own visited set — a blob produced
+    /// against a different build or workload fails this soundness
+    /// check and is rejected as corrupt rather than silently resuming
+    /// a wrong walk. All rejections surface as
+    /// [`vrm_explore::ExploreError::CorruptCheckpoint`], which callers
+    /// already treat as "restart from scratch".
+    pub fn from_bytes(
+        cfg: KCoreConfig,
+        scripts: Vec<Script>,
+        bytes: &[u8],
+    ) -> Result<ScheduleResume, vrm_explore::ExploreError> {
+        use vrm_explore::{CheckpointFault, ExploreError};
+        let fail = |f: CheckpointFault| Err(ExploreError::CorruptCheckpoint(f));
+        if bytes.len() < RESUME_MAGIC.len() + vrm_explore::CHECKPOINT_FOOTER_LEN {
+            return fail(CheckpointFault::Truncated);
+        }
+        let (body, footer) = bytes.split_at(bytes.len() - vrm_explore::CHECKPOINT_FOOTER_LEN);
+        let declared_len = u64::from_le_bytes(footer[..8].try_into().expect("8-byte slice"));
+        let declared_sum = u64::from_le_bytes(footer[8..].try_into().expect("8-byte slice"));
+        if declared_len != body.len() as u64 {
+            return fail(CheckpointFault::LengthMismatch);
+        }
+        if declared_sum != vrm_explore::checksum64(body) {
+            return fail(CheckpointFault::ChecksumMismatch);
+        }
+        let mut b = body;
+        match take(&mut b, RESUME_MAGIC.len()) {
+            Some(m) if m == RESUME_MAGIC => {}
+            Some(_) => return fail(CheckpointFault::BadMagic),
+            None => return fail(CheckpointFault::Truncated),
+        }
+        let Some(inner_len) = take_u64(&mut b) else {
+            return fail(CheckpointFault::Truncated);
+        };
+        let Some(inner) = take(&mut b, inner_len as usize) else {
+            return fail(CheckpointFault::Truncated);
+        };
+        let paths: vrm_explore::ResumeState<SchedPath> =
+            vrm_explore::ResumeState::try_from_bytes(inner)?;
+        let Some(n_outcomes) = take_u64(&mut b) else {
+            return fail(CheckpointFault::Truncated);
+        };
+        let mut outcomes = BTreeSet::new();
+        for _ in 0..n_outcomes {
+            let (Some(ops_ok), Some(stalled)) = (take_u64(&mut b), take_u8(&mut b)) else {
+                return fail(CheckpointFault::Truncated);
+            };
+            let mut lists: [Vec<String>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+            for list in &mut lists {
+                let Some(len) = take_u32(&mut b) else {
+                    return fail(CheckpointFault::Truncated);
+                };
+                for _ in 0..len {
+                    let Some(s) = take_str(&mut b) else {
+                        return fail(CheckpointFault::BadState);
+                    };
+                    list.push(s);
+                }
+            }
+            let [failures, expectation_violations, wdrf_violations] = lists;
+            outcomes.insert(SchedOutcome {
+                ops_ok: ops_ok as usize,
+                failures,
+                expectation_violations,
+                wdrf_violations,
+                stalled: stalled != 0,
+            });
+        }
+        let mut nums = [0u64; 8];
+        for v in &mut nums {
+            let Some(x) = take_u64(&mut b) else {
+                return fail(CheckpointFault::Truncated);
+            };
+            *v = x;
+        }
+        let completeness = match take_u8(&mut b) {
+            Some(0) => vrm_explore::Completeness::Exhaustive,
+            Some(1) => {
+                let (Some(tag), Some(frontier_len)) = (take_u8(&mut b), take_u64(&mut b)) else {
+                    return fail(CheckpointFault::Truncated);
+                };
+                let Some(reason) = tag_reason(tag) else {
+                    return fail(CheckpointFault::BadState);
+                };
+                vrm_explore::Completeness::Truncated {
+                    reason,
+                    frontier_len: frontier_len as usize,
+                }
+            }
+            _ => return fail(CheckpointFault::BadState),
+        };
+        if !b.is_empty() {
+            return fail(CheckpointFault::TrailingBytes);
+        }
+        let stats = ExploreStats {
+            states: nums[0] as usize,
+            frontier_peak: nums[1] as usize,
+            dedup_hits: nums[2] as usize,
+            popped: nums[3] as usize,
+            pushed: nums[4] as usize,
+            steals: nums[5] as usize,
+            wall_ns: nums[6],
+            jobs: nums[7] as usize,
+            completeness,
+        };
+        let space = SchedSpace { cfg, scripts };
+        let root = space
+            .initial()
+            .pop()
+            .expect("schedule space has one initial node");
+        let mut frontier = Vec::with_capacity(paths.frontier.len());
+        for (SchedPath(path), depth) in paths.frontier {
+            let mut node = root.clone();
+            for &cpu in &path {
+                if usize::from(cpu) >= node.cpus.len() {
+                    return fail(CheckpointFault::BadState);
+                }
+                node = node.step_once(usize::from(cpu));
+            }
+            if !paths
+                .visited_digests
+                .contains(&vrm_explore::digest128(&node))
+            {
+                return fail(CheckpointFault::BadState);
+            }
+            frontier.push((node, depth));
+        }
+        Ok(ScheduleResume {
+            checkpoint: vrm_explore::Checkpoint::park(vrm_explore::ResumeState {
+                frontier,
+                visited_digests: paths.visited_digests,
+            }),
+            outcomes,
+            stats,
+        })
+    }
+}
+
+/// Magic + version prefix of the serialized [`ScheduleResume`] format
+/// ([`ScheduleResume::to_bytes`]).
+pub const RESUME_MAGIC: &[u8; 8] = b"VRMSRES1";
+
+/// A frontier entry's durable image: the schedule path reaching it from
+/// the initial state, carried through the engine's VRMCKPT1 container
+/// via [`vrm_explore::CheckpointState`].
+struct SchedPath(Vec<u16>);
+
+impl vrm_explore::CheckpointState for SchedPath {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.0.len() as u32).to_le_bytes());
+        for &c in &self.0 {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut b = bytes;
+        let n = take_u32(&mut b)? as usize;
+        if b.len() != n * 2 {
+            return None;
+        }
+        let mut path = Vec::with_capacity(n);
+        for chunk in b.chunks_exact(2) {
+            path.push(u16::from_le_bytes([chunk[0], chunk[1]]));
+        }
+        Some(SchedPath(path))
+    }
+}
+
+fn reason_tag(r: vrm_explore::TruncationReason) -> u8 {
+    use vrm_explore::TruncationReason as T;
+    match r {
+        T::StateLimit => 0,
+        T::DepthLimit => 1,
+        T::Deadline => 2,
+        T::MemoryBudget => 3,
+        T::WorkerLost => 4,
+    }
+}
+
+fn tag_reason(tag: u8) -> Option<vrm_explore::TruncationReason> {
+    use vrm_explore::TruncationReason as T;
+    Some(match tag {
+        0 => T::StateLimit,
+        1 => T::DepthLimit,
+        2 => T::Deadline,
+        3 => T::MemoryBudget,
+        4 => T::WorkerLost,
+        _ => return None,
+    })
+}
+
+fn take<'a>(b: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if b.len() < n {
+        return None;
+    }
+    let (head, tail) = b.split_at(n);
+    *b = tail;
+    Some(head)
+}
+
+fn take_u8(b: &mut &[u8]) -> Option<u8> {
+    take(b, 1).map(|s| s[0])
+}
+
+fn take_u32(b: &mut &[u8]) -> Option<u32> {
+    Some(u32::from_le_bytes(take(b, 4)?.try_into().ok()?))
+}
+
+fn take_u64(b: &mut &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(take(b, 8)?.try_into().ok()?))
+}
+
+fn take_str(b: &mut &[u8]) -> Option<String> {
+    let len = take_u32(b)? as usize;
+    String::from_utf8(take(b, len)?.to_vec()).ok()
 }
 
 /// The machine's observable behaviour over all schedules.
@@ -974,7 +1264,9 @@ impl std::fmt::Write for DigestWriter {
 /// One node in the schedule tree: the machine state plus the
 /// path-accumulated observations reported at a terminal. Identity is the
 /// 128-bit digest of the canonical state encoding, which excludes the
-/// event log, spin counters, and absolute ticket numbers.
+/// event log, spin counters, and absolute ticket numbers — and the
+/// schedule `path`, which is derived bookkeeping (two different paths
+/// reaching the same machine state must still deduplicate).
 #[derive(Clone)]
 struct SchedNode {
     kcore: KCore,
@@ -982,6 +1274,14 @@ struct SchedNode {
     ops_ok: usize,
     failures: Vec<(usize, &'static str, HypercallError)>,
     expectation_violations: Vec<String>,
+    /// The sequence of CPU choices that reached this node from the
+    /// root. Because [`SchedSpace::expand`] is deterministic (fixed
+    /// step RNG seed), the path is a complete, compact, durable
+    /// encoding of the node: replaying it from the initial state
+    /// reconstructs the node bit-for-bit. This is what makes parked
+    /// frontiers serializable ([`ScheduleResume::to_bytes`]) without
+    /// ever encoding a `KCore`.
+    path: Vec<u16>,
     digest: (u64, u64),
 }
 
@@ -992,6 +1292,7 @@ impl SchedNode {
         ops_ok: usize,
         failures: Vec<(usize, &'static str, HypercallError)>,
         expectation_violations: Vec<String>,
+        path: Vec<u16>,
     ) -> Self {
         let mut w = DigestWriter::new();
         kcore.encode_state(&mut w);
@@ -1023,7 +1324,44 @@ impl SchedNode {
             ops_ok,
             failures,
             expectation_violations,
+            path,
         }
+    }
+
+    /// The deterministic successor of this node when `cpu` takes the
+    /// next step — the single transition function shared by
+    /// [`SchedSpace::expand`] and the checkpoint path replay in
+    /// [`ScheduleResume::from_bytes`], so a serialized frontier is
+    /// reconstructed by the *same* code that built it live.
+    fn step_once(&self, cpu: usize) -> SchedNode {
+        let mut m = Machine {
+            kcore: self.kcore.clone(),
+            cpus: self.cpus.clone(),
+            rng: StdRng::seed_from_u64(0),
+        };
+        let mut delta = RunReport {
+            ops_ok: 0,
+            failures: Vec::new(),
+            expectation_violations: Vec::new(),
+            steps: 0,
+            total_spins: 0,
+            stalled: false,
+        };
+        m.step(cpu, &mut delta);
+        let mut failures = self.failures.clone();
+        failures.extend(delta.failures);
+        let mut violations = self.expectation_violations.clone();
+        violations.extend(delta.expectation_violations);
+        let mut path = self.path.clone();
+        path.push(cpu as u16);
+        SchedNode::new(
+            m.kcore,
+            m.cpus,
+            self.ops_ok + delta.ops_ok,
+            failures,
+            violations,
+            path,
+        )
     }
 
     fn outcome(&self, stalled: bool) -> SchedOutcome {
@@ -1069,7 +1407,14 @@ impl StateSpace for SchedSpace {
 
     fn initial(&self) -> Vec<SchedNode> {
         let m = Machine::new(self.cfg, self.scripts.clone(), 0);
-        vec![SchedNode::new(m.kcore, m.cpus, 0, Vec::new(), Vec::new())]
+        vec![SchedNode::new(
+            m.kcore,
+            m.cpus,
+            0,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        )]
     }
 
     fn expand(&self, node: &SchedNode, sink: &mut Sink<SchedNode, SchedOutcome>) {
@@ -1082,31 +1427,7 @@ impl StateSpace for SchedSpace {
         }
         let mut progressed = false;
         for cpu in runnable {
-            let mut m = Machine {
-                kcore: node.kcore.clone(),
-                cpus: node.cpus.clone(),
-                rng: StdRng::seed_from_u64(0),
-            };
-            let mut delta = RunReport {
-                ops_ok: 0,
-                failures: Vec::new(),
-                expectation_violations: Vec::new(),
-                steps: 0,
-                total_spins: 0,
-                stalled: false,
-            };
-            m.step(cpu, &mut delta);
-            let mut failures = node.failures.clone();
-            failures.extend(delta.failures);
-            let mut violations = node.expectation_violations.clone();
-            violations.extend(delta.expectation_violations);
-            let succ = SchedNode::new(
-                m.kcore,
-                m.cpus,
-                node.ops_ok + delta.ops_ok,
-                failures,
-                violations,
-            );
+            let succ = node.step_once(cpu);
             if succ.digest != node.digest {
                 progressed = true;
                 sink.push(succ);
@@ -1193,7 +1514,14 @@ impl StateSpace for RefineSpace {
 
     fn initial(&self) -> Vec<SchedNode> {
         let m = Machine::new(self.cfg, self.scripts.clone(), 0);
-        vec![SchedNode::new(m.kcore, m.cpus, 0, Vec::new(), Vec::new())]
+        vec![SchedNode::new(
+            m.kcore,
+            m.cpus,
+            0,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        )]
     }
 
     fn expand(&self, node: &SchedNode, sink: &mut Sink<SchedNode, RefineEmit>) {
@@ -1239,12 +1567,15 @@ impl StateSpace for RefineSpace {
             failures.extend(delta.failures);
             let mut violations = node.expectation_violations.clone();
             violations.extend(delta.expectation_violations);
+            let mut path = node.path.clone();
+            path.push(cpu as u16);
             let succ = SchedNode::new(
                 m.kcore,
                 m.cpus,
                 node.ops_ok + delta.ops_ok,
                 failures,
                 violations,
+                path,
             );
             if succ.digest != node.digest {
                 progressed = true;
@@ -1351,6 +1682,113 @@ mod tests {
             (r.steps, r.total_spins, m.kcore.log.len())
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn schedule_resume_bytes_round_trip_identically() {
+        let scripts = crate::workloads::by_name("unmap").expect("unmap workload");
+        let small = ExhaustiveConfig {
+            max_states: 40,
+            jobs: 1,
+        };
+        let full = ExhaustiveConfig {
+            max_states: 1 << 16,
+            jobs: 1,
+        };
+        let starved =
+            Machine::explore_schedules(KCoreConfig::default(), scripts.clone(), &small).unwrap();
+        let parked = starved.resume.expect("a 40-state unmap walk is truncated");
+        let bytes = parked.to_bytes().expect("own checkpoints serialize");
+        let restored = ScheduleResume::from_bytes(KCoreConfig::default(), scripts.clone(), &bytes)
+            .expect("round trip");
+        assert_eq!(restored.frontier_len(), parked.frontier_len());
+        assert_eq!(restored.states_visited(), parked.states_visited());
+        // Resuming the in-memory checkpoint and the round-tripped one
+        // must finish the walk with identical results — the byte form
+        // is a faithful image, not an approximation.
+        let a = Machine::explore_schedules_from(
+            KCoreConfig::default(),
+            scripts.clone(),
+            &full,
+            Some(parked),
+        )
+        .unwrap();
+        let b = Machine::explore_schedules_from(
+            KCoreConfig::default(),
+            scripts.clone(),
+            &full,
+            Some(restored),
+        )
+        .unwrap();
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.stats.states, b.stats.states);
+        assert_eq!(a.verdict(), b.verdict());
+        // And both agree with a from-scratch exhaustive walk.
+        let scratch = Machine::explore_schedules(KCoreConfig::default(), scripts, &full).unwrap();
+        assert_eq!(a.outcomes, scratch.outcomes);
+    }
+
+    #[test]
+    fn corrupt_resume_bytes_are_rejected_wholesale() {
+        let scripts = crate::workloads::by_name("unmap").expect("unmap workload");
+        let small = ExhaustiveConfig {
+            max_states: 40,
+            jobs: 1,
+        };
+        let parked = Machine::explore_schedules(KCoreConfig::default(), scripts.clone(), &small)
+            .unwrap()
+            .resume
+            .expect("truncated");
+        let bytes = parked.to_bytes().expect("serialize");
+        // A flipped byte anywhere in the body breaks the checksum; a
+        // clipped tail breaks the declared length. Every corruption
+        // must surface as CorruptCheckpoint, never a partial decode.
+        for pos in [0, 8, bytes.len() / 2, bytes.len() - 17] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            let err = ScheduleResume::from_bytes(KCoreConfig::default(), scripts.clone(), &bad)
+                .expect_err("corrupt bytes accepted");
+            assert!(
+                matches!(err, vrm_explore::ExploreError::CorruptCheckpoint(_)),
+                "{err:?}"
+            );
+        }
+        let err =
+            ScheduleResume::from_bytes(KCoreConfig::default(), scripts, &bytes[..bytes.len() - 3])
+                .expect_err("truncated bytes accepted");
+        assert!(
+            matches!(err, vrm_explore::ExploreError::CorruptCheckpoint(_)),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn resume_bytes_replayed_against_wrong_workload_are_rejected() {
+        // A blob parked for one workload replays to different machine
+        // states under another workload's scripts; the visited-digest
+        // membership check must reject it instead of resuming a wrong
+        // walk.
+        let unmap = crate::workloads::by_name("unmap").expect("unmap workload");
+        let small = ExhaustiveConfig {
+            max_states: 40,
+            jobs: 1,
+        };
+        let parked = Machine::explore_schedules(KCoreConfig::default(), unmap, &small)
+            .unwrap()
+            .resume
+            .expect("truncated");
+        let bytes = parked.to_bytes().expect("serialize");
+        let err = ScheduleResume::from_bytes(KCoreConfig::default(), scripts(4), &bytes)
+            .expect_err("wrong-workload blob accepted");
+        assert!(
+            matches!(
+                err,
+                vrm_explore::ExploreError::CorruptCheckpoint(
+                    vrm_explore::CheckpointFault::BadState
+                )
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

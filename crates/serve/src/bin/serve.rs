@@ -17,17 +17,20 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use vrm_obs::json::{escape_into, ObjWriter};
 use vrm_serve::server::Endpoint;
-use vrm_serve::{Client, ServeConfig, Service};
+use vrm_serve::{Client, RetryPolicy, ServeConfig, Service, WorkerIsolation};
 
 const USAGE: &str = "usage:\n\
   serve listen   (--tcp HOST:PORT | --uds PATH) [--workers N] [--queue-cap N]\n\
+                 [--state-dir DIR] [--isolate] [--deadline-ms N]\n\
   serve submit   (--tcp HOST:PORT | --uds PATH) (--litmus FILE | --wdrf NAME | --schedules WORKLOAD | --refinement WORKLOAD)\n\
                  [--max-states N] [--jobs N] [--escalate] [--no-wait | --watch]\n\
   serve status   (--tcp HOST:PORT | --uds PATH)\n\
   serve shutdown (--tcp HOST:PORT | --uds PATH)\n\
+  serve worker   (one job line on stdin, one result line on stdout; used by --isolate)\n\
 exit codes (submit): 0 pass, 1 fail, 3 unknown, 2 usage/protocol error";
 
 fn usage() -> ExitCode {
@@ -39,6 +42,9 @@ struct Parsed {
     endpoint: Option<Endpoint>,
     workers: usize,
     queue_cap: usize,
+    state_dir: Option<PathBuf>,
+    isolate: bool,
+    deadline_ms: Option<u64>,
     kind: Option<(&'static str, String)>,
     max_states: Option<u64>,
     jobs: Option<u64>,
@@ -52,6 +58,9 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
         endpoint: None,
         workers: 2,
         queue_cap: 256,
+        state_dir: None,
+        isolate: false,
+        deadline_ms: None,
         kind: None,
         max_states: None,
         jobs: None,
@@ -85,6 +94,22 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
                 p.queue_cap = value(args, i, "--queue-cap")?
                     .parse()
                     .map_err(|_| "numeric --queue-cap".to_string())?;
+                i += 2;
+            }
+            "--state-dir" => {
+                p.state_dir = Some(PathBuf::from(value(args, i, "--state-dir")?));
+                i += 2;
+            }
+            "--isolate" => {
+                p.isolate = true;
+                i += 1;
+            }
+            "--deadline-ms" => {
+                p.deadline_ms = Some(
+                    value(args, i, "--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "numeric --deadline-ms".to_string())?,
+                );
                 i += 2;
             }
             "--litmus" => {
@@ -172,9 +197,18 @@ fn run_listen(p: &Parsed) -> ExitCode {
     let Some(endpoint) = &p.endpoint else {
         return usage();
     };
+    let isolation = p.isolate.then(|| {
+        let mut iso = WorkerIsolation::default();
+        if let Some(ms) = p.deadline_ms {
+            iso.deadline = Duration::from_millis(ms);
+        }
+        iso
+    });
     let svc = Service::start(ServeConfig {
         workers: p.workers.max(1),
         queue_cap: p.queue_cap,
+        state_dir: p.state_dir.clone(),
+        isolation,
         ..Default::default()
     });
     match vrm_serve::server::serve(svc, endpoint) {
@@ -202,17 +236,10 @@ fn run_submit(p: &Parsed) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let mut client = match Client::connect(endpoint) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("connect {endpoint}: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let reply = match client.request(&line) {
+    let reply = match Client::request_with_retry(endpoint, &line, &RetryPolicy::default()) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("request: {e}");
+            eprintln!("request {endpoint}: {e}");
             return ExitCode::from(2);
         }
     };
@@ -220,6 +247,13 @@ fn run_submit(p: &Parsed) -> ExitCode {
         let Some(job) = reply.job else {
             eprintln!("queued reply without a job handle");
             return ExitCode::from(2);
+        };
+        let mut client = match Client::connect(endpoint) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("connect {endpoint}: {e}");
+                return ExitCode::from(2);
+            }
         };
         match client.watch(job, |r| {
             eprintln!(
@@ -251,7 +285,7 @@ fn run_simple(op: &str, p: &Parsed) -> ExitCode {
     let mut line = String::from("{\"op\":");
     escape_into(&mut line, op);
     line.push('}');
-    match Client::connect(endpoint).and_then(|mut c| c.request(&line)) {
+    match Client::request_with_retry(endpoint, &line, &RetryPolicy::default()) {
         Ok(reply) => {
             println!("{}", reply.raw);
             if reply.status == "ok" {
@@ -272,6 +306,9 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first().map(String::as_str) else {
         return usage();
     };
+    if cmd == "worker" {
+        return ExitCode::from(vrm_serve::worker::run_worker() as u8);
+    }
     let parsed = match parse_args(&args[1..]) {
         Ok(p) => p,
         Err(e) => {

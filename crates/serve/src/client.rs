@@ -1,12 +1,55 @@
 //! A small blocking client for the daemon's line protocol, used by
 //! the `serve` CLI, the bench load driver and the end-to-end tests.
+//!
+//! [`Client::request_with_retry`] is the resilient entry point: every
+//! request in the protocol is **idempotent** — submits are keyed by
+//! content digest, so resubmitting one the daemon already finished is
+//! a cache hit, not duplicated work — which makes
+//! reconnect-and-resend on *any* transport failure (a torn reply
+//! frame, a dropped connection, a daemon mid-restart) safe. Retries
+//! back off exponentially with deterministic jitter (splitmix64 of
+//! the policy seed and attempt index, so chaos runs are
+//! reproducible) and are counted on `serve/client_retries`.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
+use std::time::Duration;
 
 use crate::protocol::{parse_reply, Reply};
 use crate::server::Endpoint;
+
+/// Reconnect-and-resubmit policy for [`Client::request_with_retry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included).
+    pub attempts: u32,
+    /// First retry delay; doubles per attempt, plus jitter.
+    pub base: Duration,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(50),
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (0-based): exponential
+    /// backoff with deterministic jitter in `[0, base)`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let backoff = self.base * 2u32.saturating_pow(attempt);
+        let base_ms = self.base.as_millis().max(1) as u64;
+        let jitter = vrm_faults::splitmix64(self.seed ^ u64::from(attempt)) % base_ms;
+        backoff + Duration::from_millis(jitter)
+    }
+}
 
 enum Conn {
     Tcp(TcpStream, BufReader<TcpStream>),
@@ -67,6 +110,30 @@ impl Client {
         self.send(line)?;
         let resp = self.recv_line()?;
         parse_reply(&resp).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// One request with reconnect-and-resubmit resilience: each
+    /// attempt opens a fresh connection (a torn frame poisons the old
+    /// stream's framing), and failures back off per `policy`. Safe
+    /// because the protocol is idempotent: a resubmitted job the
+    /// daemon already finished is answered from the verdict cache.
+    pub fn request_with_retry(
+        endpoint: &Endpoint,
+        line: &str,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<Reply> {
+        let mut last_err = None;
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                vrm_obs::Counter::new(vrm_obs::serve::CLIENT_RETRIES).add(1);
+                std::thread::sleep(policy.delay(attempt - 1));
+            }
+            match Client::connect(endpoint).and_then(|mut c| c.request(line)) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one attempt ran"))
     }
 
     /// Sends a `watch` request and reads status lines until the final

@@ -135,6 +135,51 @@ fn wdrf_config(cfg: &JobConfig) -> WdrfCheckConfig {
     w
 }
 
+/// Serializes a parked schedule walk into its durable VRMSRES1 image
+/// (`None` for the foreign-typed checkpoints that cannot travel —
+/// which [`Machine::explore_schedules`] never produces).
+pub fn encode_resume(resume: &ScheduleResume) -> Option<Vec<u8>> {
+    resume.to_bytes()
+}
+
+/// Rebuilds a parked walk from its VRMSRES1 image, replaying the
+/// serialized schedule paths under the job's own scripts. `Err` means
+/// the blob is corrupt — or parked by a different workload — and must
+/// be discarded, never resumed.
+pub fn decode_resume(spec: &JobSpec, bytes: &[u8]) -> Result<ScheduleResume, String> {
+    let JobSpec::Schedules { workload } = spec else {
+        return Err(format!("{} jobs have no checkpoints", spec.kind()));
+    };
+    let scripts =
+        workloads::by_name(workload).ok_or_else(|| format!("unknown workload {workload:?}"))?;
+    ScheduleResume::from_bytes(KCoreConfig::default(), scripts, bytes)
+        .map_err(|e| format!("decode checkpoint: {e}"))
+}
+
+/// [`execute`] over serialized checkpoints: the form the service, the
+/// write-ahead log and the out-of-process worker all share. A blob
+/// that no longer decodes is counted on `serve/checkpoint_corrupt`
+/// and the walk restarts from scratch — corruption costs work, never
+/// a wrong verdict.
+pub fn execute_blob(
+    spec: &JobSpec,
+    cfg: &JobConfig,
+    resume_blob: Option<&[u8]>,
+) -> Result<(JobResult, Option<Vec<u8>>), String> {
+    let resume = match resume_blob {
+        Some(bytes) => match decode_resume(spec, bytes) {
+            Ok(r) => Some(r),
+            Err(_) => {
+                vrm_obs::Counter::new(vrm_obs::serve::CHECKPOINT_CORRUPT).add(1);
+                None
+            }
+        },
+        None => None,
+    };
+    let (res, parked) = execute(spec, cfg, resume)?;
+    Ok((res, parked.as_ref().and_then(encode_resume)))
+}
+
 /// Runs one job to completion under its config, optionally resuming a
 /// parked schedule checkpoint.
 ///

@@ -23,6 +23,14 @@
 //!   delimited JSON over TCP or a Unix socket ([`protocol`],
 //!   [`server`], [`client`]); the `serve` binary is both the daemon
 //!   and the client CLI.
+//! - **Crash safety.** With a `--state-dir`, every verdict and parked
+//!   checkpoint is written ahead to a checksummed log ([`store`]) and
+//!   replayed on restart: a daemon SIGKILLed mid-workload comes back
+//!   serving a bit-identical, 100%-cache-hit warm replay.
+//! - **Worker isolation.** With `--isolate`, jobs execute in
+//!   supervised worker processes ([`supervisor`], [`worker`]): a hung
+//!   or crashed exploration is killed at its deadline and degrades to
+//!   `Unknown`, never a daemon outage.
 //!
 //! Everything is std-only; the wire format reuses the workspace's
 //! hand-rolled [`vrm_obs::json`].
@@ -56,10 +64,15 @@ pub mod job;
 pub mod protocol;
 pub mod server;
 pub mod service;
+pub mod store;
+pub mod supervisor;
+pub mod worker;
 
-pub use cache::{CacheEntry, CheckpointStore, VerdictCache};
-pub use client::Client;
+pub use cache::{CacheEntry, CheckpointStore, Lookup, VerdictCache};
+pub use client::{Client, RetryPolicy};
 pub use job::{JobConfig, JobResult, JobSpec};
 pub use protocol::{Reply, Request};
 pub use server::{Endpoint, ServerHandle};
 pub use service::{JobId, JobSnapshot, JobStatus, ServeConfig, Service, SubmitOutcome};
+pub use store::{DurableStore, StoreOptions, WalRecord};
+pub use supervisor::WorkerIsolation;

@@ -296,6 +296,18 @@ fn write_snapshot<W: Write>(out: &mut W, snap: crate::service::JobSnapshot) -> s
 }
 
 fn write_line<W: Write>(out: &mut W, line: &str) -> std::io::Result<()> {
+    if vrm_faults::poll(vrm_faults::Site::ServerFrame) == Some(vrm_faults::FaultKind::Disconnect) {
+        // Chaos: flush half the frame without its newline and drop the
+        // connection, so the client sees a torn reply and must
+        // reconnect-and-resubmit (crate::client::RetryPolicy).
+        Counter::new(names::FRAMES_CUT).add(1);
+        let _ = out.write_all(&line.as_bytes()[..line.len() / 2]);
+        let _ = out.flush();
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionAborted,
+            "injected frame cut",
+        ));
+    }
     out.write_all(line.as_bytes())?;
     out.write_all(b"\n")?;
     out.flush()

@@ -17,18 +17,22 @@
 //! the checkpoint store instead of restarting.
 
 use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use vrm_explore::{TruncationReason, Verdict};
 use vrm_obs::serve as names;
 use vrm_obs::Counter;
 
-use crate::cache::{CacheEntry, CheckpointStore, VerdictCache};
+use crate::cache::{CacheEntry, CheckpointStore, Lookup, VerdictCache};
 use crate::digest::{job_digest, program_digest};
-use crate::job::{execute, JobConfig, JobResult, JobSpec};
+use crate::job::{execute_blob, JobConfig, JobResult, JobSpec};
+use crate::store::{DurableStore, StoreOptions, WalRecord};
+use crate::supervisor::{execute_isolated, WorkerIsolation};
 
 /// Daemon-side policy knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Worker threads executing jobs.
     pub workers: usize,
@@ -50,6 +54,22 @@ pub struct ServeConfig {
     /// `serve-escalation-drops-checkpoint` mutant, under which every
     /// escalation restarts its walk from scratch.
     pub reuse_checkpoints: bool,
+    /// Durable-state directory. `Some` makes the verdict cache and
+    /// checkpoint store crash-safe: every mutation is written ahead to
+    /// `serve.wal` in this directory and replayed on the next start
+    /// ([`crate::store`]); `None` keeps the daemon memory-only.
+    pub state_dir: Option<PathBuf>,
+    /// Out-of-process execution policy. `Some` moves every job into a
+    /// supervised worker process ([`crate::supervisor`]), so a hung or
+    /// crashed exploration degrades that one job to
+    /// `Unknown{WorkerLost}` instead of taking the daemon down;
+    /// `None` executes in-process on the worker threads.
+    pub isolation: Option<WorkerIsolation>,
+    /// LRU bound on cached verdicts ([`VerdictCache::with_cap`]).
+    pub verdict_cap: usize,
+    /// Staleness TTL for cached `Unknown` verdicts; `None` serves a
+    /// budget-bound "don't know" forever.
+    pub unknown_ttl: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +80,10 @@ impl Default for ServeConfig {
             escalate_retries: 2,
             digest_includes_config: true,
             reuse_checkpoints: true,
+            state_dir: None,
+            isolation: None,
+            verdict_cap: VerdictCache::DEFAULT_CAP,
+            unknown_ttl: Some(VerdictCache::DEFAULT_UNKNOWN_TTL),
         }
     }
 }
@@ -144,8 +168,52 @@ struct SchedState {
     jobs: HashMap<JobId, JobEntry>,
     cache: VerdictCache,
     checkpoints: CheckpointStore,
+    /// The write-ahead log, when the daemon runs with a `--state-dir`.
+    store: Option<DurableStore>,
     next_id: JobId,
     open: bool,
+}
+
+impl SchedState {
+    /// Appends write-ahead of the in-memory mutation; a no-op for a
+    /// memory-only daemon.
+    fn wal_append(&mut self, rec: &WalRecord) {
+        if let Some(store) = self.store.as_mut() {
+            store.append(rec);
+        }
+    }
+
+    /// Snapshots live state over the grown log once the append volume
+    /// crosses the store's threshold.
+    fn wal_compact_if_needed(&mut self) {
+        if !self
+            .store
+            .as_ref()
+            .is_some_and(DurableStore::should_compact)
+        {
+            return;
+        }
+        let live: Vec<WalRecord> = self
+            .cache
+            .iter_lru()
+            .map(|(digest, entry)| WalRecord::Verdict {
+                digest,
+                entry: entry.clone(),
+            })
+            .chain(
+                self.checkpoints
+                    .iter_lru()
+                    .map(|(pdigest, blob)| WalRecord::Park {
+                        pdigest,
+                        blob: blob.clone(),
+                    }),
+            )
+            .collect();
+        self.store
+            .as_mut()
+            .expect("compaction checked the store exists")
+            .compact(live.into_iter());
+    }
 }
 
 /// The daemon minus its sockets: verdict cache, checkpoint store, and
@@ -158,19 +226,58 @@ pub struct Service {
 }
 
 impl Service {
-    /// Builds the service and spawns its worker pool.
+    /// Builds the service and spawns its worker pool. With a
+    /// `state_dir` configured, the write-ahead log is replayed first:
+    /// the daemon resumes with every durable verdict and parked
+    /// checkpoint its predecessor recorded (counted on
+    /// `serve/wal_replayed`), so a warm corpus pass after a crash is
+    /// 100% cache hits. A log that cannot be opened degrades the
+    /// daemon to memory-only service rather than refusing to start.
     pub fn start(cfg: ServeConfig) -> Arc<Service> {
+        let workers = cfg.workers.max(1);
+        let mut cache = VerdictCache::with_policy(cfg.verdict_cap, cfg.unknown_ttl);
+        let mut checkpoints = CheckpointStore::default();
+        let store = cfg.state_dir.as_ref().and_then(|dir| {
+            match DurableStore::open(dir, StoreOptions::default()) {
+                Ok((store, replayed)) => {
+                    let n = replayed.records.len() as u64;
+                    for rec in replayed.records {
+                        match rec {
+                            WalRecord::Verdict { digest, entry } => cache.insert(digest, entry),
+                            WalRecord::Park { pdigest, blob } => checkpoints.park(pdigest, blob),
+                            WalRecord::Take { pdigest } => {
+                                checkpoints.take(pdigest);
+                            }
+                            WalRecord::Remove { digest } => cache.remove(digest),
+                        }
+                    }
+                    Counter::new(names::WAL_REPLAYED).add(n);
+                    Some(store)
+                }
+                Err(e) => {
+                    Counter::new(names::WAL_WRITE_FAILED).add(1);
+                    vrm_obs::event(
+                        "wal_open_failed",
+                        &[("error", format!("{e}").as_str().into())],
+                    );
+                    None
+                }
+            }
+        });
         let svc = Arc::new(Service {
             cfg,
             state: Mutex::new(SchedState {
                 open: true,
                 next_id: 1,
+                cache,
+                checkpoints,
+                store,
                 ..Default::default()
             }),
             work: Condvar::new(),
             done: Condvar::new(),
         });
-        for w in 0..cfg.workers.max(1) {
+        for w in 0..workers {
             let svc = Arc::clone(&svc);
             std::thread::Builder::new()
                 .name(format!("serve-worker-{w}"))
@@ -197,19 +304,32 @@ impl Service {
         if !st.open {
             return Err("service is shut down".into());
         }
-        if let Some(entry) = st.cache.get(digest) {
+        let mut expired = false;
+        let hit = match st.cache.lookup(digest) {
+            Lookup::Hit(entry) => Some(JobResult {
+                verdict: entry.verdict,
+                states: entry.states,
+                states_new: 0,
+                wall_ns: entry.wall_ns,
+                resumed: false,
+                detail: entry.detail.clone(),
+            }),
+            Lookup::Expired => {
+                expired = true;
+                None
+            }
+            Lookup::Miss => None,
+        };
+        if let Some(result) = hit {
             Counter::new(names::CACHE_HIT).add(1);
-            return Ok(SubmitOutcome::Cached {
-                digest,
-                result: JobResult {
-                    verdict: entry.verdict,
-                    states: entry.states,
-                    states_new: 0,
-                    wall_ns: entry.wall_ns,
-                    resumed: false,
-                    detail: entry.detail.clone(),
-                },
-            });
+            return Ok(SubmitOutcome::Cached { digest, result });
+        }
+        if expired {
+            // The stale Unknown was just dropped; make the removal
+            // durable so a restart doesn't resurrect it, and fall
+            // through to a fresh exploration (which resumes the parked
+            // checkpoint, if one survived).
+            st.wal_append(&WalRecord::Remove { digest });
         }
         Counter::new(names::CACHE_MISS).add(1);
         if st.fast.len() + st.slow.len() >= self.cfg.queue_cap {
@@ -323,27 +443,46 @@ impl Service {
                 };
                 if resume.is_some() {
                     Counter::new(names::CHECKPOINT_RESUME).add(1);
+                    st.wal_append(&WalRecord::Take { pdigest });
                 }
                 let j = st.jobs.get_mut(&id).expect("claimed job exists");
                 j.status = JobStatus::Running;
                 (id, j.spec.clone(), j.run_cfg, resume)
             };
 
-            // The expensive part runs outside the lock.
+            // The expensive part runs outside the lock — in a
+            // supervised worker process when isolation is on, on this
+            // thread otherwise.
             let started = Instant::now();
-            let outcome = execute(&spec, &run_cfg, resume);
+            let outcome = match &self.cfg.isolation {
+                Some(iso) => execute_isolated(iso, &spec, &run_cfg, resume.as_deref()),
+                None => execute_blob(&spec, &run_cfg, resume.as_deref()),
+            };
             let wall_ns = started.elapsed().as_nanos() as u64;
 
             let mut st = self.state.lock().expect("serve state");
             match outcome {
                 Ok((res, parked)) => {
                     Counter::new(names::STATES_EXPLORED).add(res.states_new as u64);
+                    let lost_worker = matches!(
+                        &res.verdict,
+                        Verdict::Unknown { coverage }
+                            if coverage.reason == TruncationReason::WorkerLost
+                    );
+                    // A lost worker returns no checkpoint; re-park the
+                    // walk it was handed so the paid-for frontier
+                    // survives the death.
+                    let parked = parked.or(if lost_worker { resume } else { None });
                     if let Some(p) = parked {
                         // Park unconditionally — the reuse switch
                         // gates *taking*, so the mutant models a
                         // scheduler that forgets to look, not a store
                         // that was never filled.
                         let pdigest = st.jobs[&id].pdigest;
+                        st.wal_append(&WalRecord::Park {
+                            pdigest,
+                            blob: p.clone(),
+                        });
                         st.checkpoints.park(pdigest, p);
                     }
                     let j = st.jobs.get_mut(&id).expect("running job exists");
@@ -371,15 +510,18 @@ impl Service {
                     let digest = j.digest;
                     j.status = JobStatus::Done;
                     j.result = Some(Ok(final_res.clone()));
-                    st.cache.insert(
+                    let entry = CacheEntry {
+                        verdict: final_res.verdict,
+                        states: final_res.states,
+                        wall_ns: final_res.wall_ns,
+                        detail: final_res.detail,
+                    };
+                    st.wal_append(&WalRecord::Verdict {
                         digest,
-                        CacheEntry {
-                            verdict: final_res.verdict,
-                            states: final_res.states,
-                            wall_ns: final_res.wall_ns,
-                            detail: final_res.detail,
-                        },
-                    );
+                        entry: entry.clone(),
+                    });
+                    st.cache.insert(digest, entry);
+                    st.wal_compact_if_needed();
                     Counter::new(names::JOBS_COMPLETED).add(1);
                 }
                 Err(e) => {

@@ -1,0 +1,165 @@
+//! The headline crash-safety contract, over a real daemon process:
+//! SIGKILL a live `serve listen --state-dir` daemon mid-load, restart
+//! it on the same state dir, and the warm replay of the whole corpus
+//! is answered 100% from the recovered cache, bit-identical to the
+//! pre-crash warm pass. Parked checkpoints survive too: a post-crash
+//! larger-budget query resumes the pre-crash walk.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use vrm_obs::json::ObjWriter;
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Spawns `serve listen --tcp 127.0.0.1:0 --state-dir <dir>` and
+    /// reads the bound address off its first stdout line. The chaos
+    /// knobs are scrubbed from the environment: this test's crashes
+    /// are real SIGKILLs, not injected faults.
+    fn spawn(dir: &PathBuf) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+            .args(["listen", "--tcp", "127.0.0.1:0", "--workers", "2"])
+            .arg("--state-dir")
+            .arg(dir)
+            .env_remove("VRM_FAULT_SEED")
+            .env_remove("VRM_WORKER_STALL_MS")
+            .env_remove("VRM_WORKER_STALL_MATCH")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn daemon");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let banner = lines
+            .next()
+            .expect("daemon prints its endpoint")
+            .expect("read banner");
+        let addr = banner
+            .strip_prefix("listening on tcp:")
+            .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    /// One request, one reply line, fresh connection (the protocol is
+    /// idempotent, so this mirrors how a resilient client behaves).
+    fn request(&self, line: &str) -> String {
+        let mut conn = std::net::TcpStream::connect(&self.addr).expect("connect");
+        conn.write_all(line.as_bytes()).expect("send");
+        conn.write_all(b"\n").expect("send");
+        let mut reply = String::new();
+        BufReader::new(conn).read_line(&mut reply).expect("reply");
+        reply.trim_end().to_string()
+    }
+
+    fn sigkill(mut self) {
+        self.child.kill().expect("SIGKILL daemon");
+        self.child.wait().expect("reap daemon");
+    }
+}
+
+fn schedules_line(max_states: u64, wait: bool) -> String {
+    let mut w = ObjWriter::new();
+    w.field_str("op", "submit")
+        .field_str("kind", "schedules")
+        .field_str("workload", "unmap")
+        .field_u64("max_states", max_states)
+        .field_u64("jobs", 1);
+    if !wait {
+        w.field_bool("wait", false);
+    }
+    w.finish()
+}
+
+fn refinement_line(max_states: u64, wait: bool) -> String {
+    let mut w = ObjWriter::new();
+    w.field_str("op", "submit")
+        .field_str("kind", "refinement")
+        .field_str("workload", "unmap")
+        .field_u64("max_states", max_states)
+        .field_u64("jobs", 1);
+    if !wait {
+        w.field_bool("wait", false);
+    }
+    w.finish()
+}
+
+fn wdrf_line(name: &str) -> String {
+    let mut w = ObjWriter::new();
+    w.field_str("op", "submit")
+        .field_str("kind", "wdrf")
+        .field_str("name", name)
+        .field_u64("jobs", 1);
+    w.finish()
+}
+
+#[test]
+fn a_sigkilled_daemon_recovers_bit_identical_warm_replies() {
+    let dir = std::env::temp_dir().join(format!("vrm-serve-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The corpus: two under-budget Unknowns (the second resumes and
+    // re-parks the first's checkpoint at 60 states), a refinement Pass
+    // and a wDRF theorem check.
+    let corpus = vec![
+        schedules_line(40, true),
+        schedules_line(60, true),
+        refinement_line(1 << 16, true),
+        wdrf_line("example1"),
+    ];
+
+    // First life: cold compute, then a warm pass pinning the cached
+    // reply bytes.
+    let daemon = Daemon::spawn(&dir);
+    for line in &corpus {
+        let reply = daemon.request(line);
+        assert!(
+            reply.contains("\"cached\":false"),
+            "cold pass must compute: {reply}"
+        );
+    }
+    let warm_before: Vec<String> = corpus.iter().map(|l| daemon.request(l)).collect();
+    for reply in &warm_before {
+        assert!(reply.contains("\"cached\":true"), "warm pass: {reply}");
+    }
+    // Mid-load: fire a fresh no-wait job and SIGKILL the daemon while
+    // it is (or may still be) running. Its in-flight work is allowed
+    // to be lost — completed, logged work is not. (A checkpoint-free
+    // refinement job, so the kill cannot race the unmap checkpoint's
+    // take/re-park cycle.)
+    let queued = daemon.request(&refinement_line(45, false));
+    assert!(queued.contains("\"status\":\"queued\""), "{queued}");
+    daemon.sigkill();
+
+    // Second life, same state dir: the whole corpus is answered from
+    // the replayed log, byte-identical to the pre-crash warm pass.
+    let daemon = Daemon::spawn(&dir);
+    let warm_after: Vec<String> = corpus.iter().map(|l| daemon.request(l)).collect();
+    for (before, after) in warm_before.iter().zip(&warm_after) {
+        assert_eq!(
+            before, after,
+            "a recovered warm reply must be bit-identical to the pre-crash one"
+        );
+        assert!(after.contains("\"cached\":true"), "100% warm hits: {after}");
+    }
+
+    // The checkpoint parked at 60 states survived the SIGKILL: a
+    // larger budget resumes it instead of restarting the walk.
+    let resumed = daemon.request(&schedules_line(200, true));
+    assert!(
+        resumed.contains("\"verdict\":\"pass\""),
+        "the resumed walk completes: {resumed}"
+    );
+    assert!(
+        resumed.contains("\"resumed\":true"),
+        "the pre-crash checkpoint must be resumed: {resumed}"
+    );
+    daemon.sigkill();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

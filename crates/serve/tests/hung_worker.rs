@@ -1,0 +1,78 @@
+//! Chaos: one job class hangs its worker (via the worker binary's
+//! `VRM_WORKER_STALL_*` knobs); the supervisor must kill it at the
+//! deadline and degrade that job — and only that job — to
+//! `Unknown{WorkerLost}`, while healthy jobs on the same daemon keep
+//! answering correctly.
+//!
+//! This lives in its own test binary because the stall knobs travel by
+//! process environment (inherited by every spawned worker).
+
+use std::time::{Duration, Instant};
+
+use vrm_explore::{TruncationReason, Verdict};
+use vrm_serve::{JobConfig, JobSpec, ServeConfig, Service, SubmitOutcome, WorkerIsolation};
+
+#[test]
+fn a_stalled_job_class_degrades_without_touching_healthy_jobs() {
+    if vrm_faults::armed() {
+        return;
+    }
+    // Every worker whose job line mentions "refinement" sleeps for a
+    // minute; everything else runs normally.
+    std::env::set_var("VRM_WORKER_STALL_MS", "60000");
+    std::env::set_var("VRM_WORKER_STALL_MATCH", "refinement");
+
+    let svc = Service::start(ServeConfig {
+        workers: 2,
+        isolation: Some(WorkerIsolation {
+            worker_cmd: vec![env!("CARGO_BIN_EXE_serve").into(), "worker".into()],
+            // Generous enough for a debug-build worker to finish the
+            // healthy walk, far under the 60s stall.
+            deadline: Duration::from_secs(10),
+            grace: Duration::from_millis(500),
+            restarts: 1,
+            backoff_base: Duration::from_millis(10),
+            ignore_deadline: false,
+        }),
+        ..Default::default()
+    });
+    let cfg = JobConfig {
+        max_states: 1 << 16,
+        jobs: 1,
+        escalate: false,
+    };
+    let submit = |spec: JobSpec| match svc.submit(spec, cfg).expect("submit") {
+        SubmitOutcome::Queued(id) => id,
+        SubmitOutcome::Cached { .. } => panic!("cold service cannot hit its cache"),
+    };
+    let started = Instant::now();
+    let hung = submit(JobSpec::Refinement {
+        workload: "unmap".into(),
+    });
+    let healthy = submit(JobSpec::Schedules {
+        workload: "unmap".into(),
+    });
+
+    let healthy_res = svc.wait(healthy).result.expect("done").expect("result");
+    assert_eq!(
+        healthy_res.verdict,
+        Verdict::Pass,
+        "a healthy job must be untouched by its neighbour's hang"
+    );
+
+    let hung_res = svc.wait(hung).result.expect("done").expect("result");
+    match hung_res.verdict {
+        Verdict::Unknown { coverage } => {
+            assert_eq!(coverage.reason, TruncationReason::WorkerLost)
+        }
+        v => panic!("the stalled job must degrade to WorkerLost, got {v:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(45),
+        "the kill must land at the deadline, not after the 60s stall"
+    );
+    svc.shutdown();
+
+    std::env::remove_var("VRM_WORKER_STALL_MS");
+    std::env::remove_var("VRM_WORKER_STALL_MATCH");
+}

@@ -1,0 +1,132 @@
+//! Process-tier identity: executing a job in a supervised worker
+//! process (the real `serve worker` binary over stdio) must produce
+//! exactly the verdict, state count and detail the in-process bridge
+//! produces — including `Unknown` coverage and the checkpoint blob,
+//! which here crosses a process boundary in hex.
+
+use vrm_serve::job::execute_blob;
+use vrm_serve::supervisor::execute_isolated;
+use vrm_serve::{JobConfig, JobSpec, ServeConfig, Service, SubmitOutcome, WorkerIsolation};
+
+fn real_worker() -> WorkerIsolation {
+    WorkerIsolation {
+        worker_cmd: vec![env!("CARGO_BIN_EXE_serve").into(), "worker".into()],
+        ..Default::default()
+    }
+}
+
+fn budget(max_states: usize) -> JobConfig {
+    JobConfig {
+        max_states,
+        jobs: 1,
+        escalate: false,
+    }
+}
+
+fn corpus() -> Vec<(JobSpec, JobConfig)> {
+    let unmap = JobSpec::Schedules {
+        workload: "unmap".into(),
+    };
+    vec![
+        (unmap.clone(), budget(1 << 16)),
+        (unmap, budget(40)),
+        (
+            JobSpec::Refinement {
+                workload: "unmap".into(),
+            },
+            budget(1 << 16),
+        ),
+        (
+            JobSpec::Wdrf {
+                name: "example1".into(),
+            },
+            budget(1 << 16),
+        ),
+    ]
+}
+
+#[test]
+fn isolated_execution_matches_in_process_execution() {
+    if vrm_faults::armed() {
+        // Injected worker kills would add WorkerLost degradations to
+        // the isolated side only.
+        return;
+    }
+    let iso = real_worker();
+    for (spec, cfg) in corpus() {
+        let (inproc, in_blob) = execute_blob(&spec, &cfg, None).expect("in-process");
+        let (worker, w_blob) = execute_isolated(&iso, &spec, &cfg, None).expect("isolated");
+        assert_eq!(worker.verdict, inproc.verdict, "{spec:?}");
+        assert_eq!(worker.states, inproc.states, "{spec:?}");
+        assert_eq!(worker.detail, inproc.detail, "{spec:?}");
+        assert_eq!(worker.exit_code(), inproc.exit_code(), "{spec:?}");
+        assert_eq!(
+            w_blob.is_some(),
+            in_blob.is_some(),
+            "{spec:?}: checkpoint must survive the stdio protocol"
+        );
+    }
+}
+
+#[test]
+fn a_checkpoint_round_trips_through_worker_processes() {
+    if vrm_faults::armed() {
+        return;
+    }
+    let iso = real_worker();
+    let unmap = JobSpec::Schedules {
+        workload: "unmap".into(),
+    };
+    // One worker process parks the walk; a second, later worker
+    // process resumes it — the blob's only transport is hex on stdio.
+    let (small, blob) = execute_isolated(&iso, &unmap, &budget(40), None).expect("small");
+    assert!(small.verdict.is_unknown());
+    let blob = blob.expect("a truncated walk parks a checkpoint");
+    let (big, _) = execute_isolated(&iso, &unmap, &budget(1 << 16), Some(&blob)).expect("resume");
+    assert!(big.verdict.is_pass(), "{}", big.detail);
+    assert!(big.resumed, "the worker must resume the shipped blob");
+    assert_eq!(
+        small.states + big.states_new,
+        big.states,
+        "resume must continue exactly where the first worker stopped"
+    );
+}
+
+#[test]
+fn a_parallel_isolated_service_matches_sequential_in_process_answers() {
+    if vrm_faults::armed() {
+        return;
+    }
+    // Sequential in-process ground truth…
+    let jobs = corpus();
+    let truth: Vec<_> = jobs
+        .iter()
+        .map(|(spec, cfg)| execute_blob(spec, cfg, None).expect("in-process").0)
+        .collect();
+    // …versus a 2-worker isolated daemon answering the same corpus
+    // concurrently: the parallel == sequential identity, re-gated at
+    // the process tier.
+    let svc = Service::start(ServeConfig {
+        workers: 2,
+        isolation: Some(real_worker()),
+        ..Default::default()
+    });
+    let ids: Vec<_> = jobs
+        .iter()
+        .map(
+            |(spec, cfg)| match svc.submit(spec.clone(), *cfg).expect("submit") {
+                SubmitOutcome::Queued(id) => id,
+                SubmitOutcome::Cached { .. } => panic!("cold service cannot hit its cache"),
+            },
+        )
+        .collect();
+    for (i, id) in ids.into_iter().enumerate() {
+        let snap = svc.wait(id);
+        let res = snap.result.expect("done").expect("job result");
+        let (spec, _) = &jobs[i];
+        assert_eq!(res.verdict, truth[i].verdict, "{spec:?}");
+        assert_eq!(res.states, truth[i].states, "{spec:?}");
+        assert_eq!(res.exit_code(), truth[i].exit_code(), "{spec:?}");
+    }
+    svc.shutdown();
+}

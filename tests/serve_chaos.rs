@@ -1,0 +1,137 @@
+//! Tier-1 contract for vrm-serve's worker supervision: a pathological
+//! worker process — hung or crashing — must degrade to a sound
+//! `Unknown{WorkerLost}` on a deadline, never wedge the daemon and
+//! never flip a verdict.
+//!
+//! The workers here are deliberately broken `sh` one-liners, so the
+//! supervision state machine is exercised without the real `serve`
+//! binary (which `crates/serve/tests/` drives via `CARGO_BIN_EXE`).
+
+use std::time::{Duration, Instant};
+
+use vrm::explore::{TruncationReason, Verdict};
+use vrm::serve::supervisor::execute_isolated;
+use vrm::serve::{JobConfig, JobSpec, ServeConfig, Service, SubmitOutcome, WorkerIsolation};
+
+fn armed() -> bool {
+    // An injected WorkerKill (VRM_FAULT_SEED) turns hangs into crashes
+    // and voids the exact supervision assertions below.
+    std::env::var_os("VRM_FAULT_SEED").is_some()
+}
+
+fn sh(script: &str) -> Vec<String> {
+    vec!["sh".into(), "-c".into(), script.into()]
+}
+
+fn fast_iso(worker_cmd: Vec<String>) -> WorkerIsolation {
+    WorkerIsolation {
+        worker_cmd,
+        deadline: Duration::from_millis(300),
+        grace: Duration::from_millis(100),
+        restarts: 1,
+        backoff_base: Duration::from_millis(10),
+        ignore_deadline: false,
+    }
+}
+
+fn unmap() -> JobSpec {
+    JobSpec::Schedules {
+        workload: "unmap".into(),
+    }
+}
+
+fn worker_lost(verdict: &Verdict) -> bool {
+    matches!(
+        verdict,
+        Verdict::Unknown { coverage } if coverage.reason == TruncationReason::WorkerLost
+    )
+}
+
+#[test]
+fn a_sleeping_worker_is_killed_within_its_deadline() {
+    if armed() {
+        return;
+    }
+    let started = Instant::now();
+    let (res, blob) = execute_isolated(
+        &fast_iso(sh("sleep 30")),
+        &unmap(),
+        &JobConfig::default(),
+        None,
+    )
+    .expect("a hang degrades, it does not error");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "kill must land near the 300ms deadline, not after the sleep"
+    );
+    assert!(worker_lost(&res.verdict), "{:?}", res.verdict);
+    assert_eq!(res.exit_code(), 3, "WorkerLost is an Unknown, exit 3");
+    assert!(blob.is_none());
+}
+
+#[test]
+fn a_crash_looping_worker_degrades_after_bounded_restarts() {
+    if armed() {
+        return;
+    }
+    let (res, _) = execute_isolated(
+        &fast_iso(sh("exit 9")),
+        &unmap(),
+        &JobConfig::default(),
+        None,
+    )
+    .expect("a crash loop degrades, it does not error");
+    assert!(worker_lost(&res.verdict), "{:?}", res.verdict);
+    assert!(
+        res.detail.contains("worker lost after 2 attempts"),
+        "restarts must be bounded: {}",
+        res.detail
+    );
+}
+
+#[test]
+fn a_service_full_of_lost_workers_stays_up() {
+    if armed() {
+        return;
+    }
+    // Every worker process hangs; every job must still come back as a
+    // sound Unknown, and the service must keep taking queries.
+    let svc = Service::start(ServeConfig {
+        workers: 2,
+        isolation: Some(fast_iso(sh("sleep 30"))),
+        ..Default::default()
+    });
+    let started = Instant::now();
+    for cfg in [
+        JobConfig {
+            max_states: 40,
+            jobs: 1,
+            escalate: false,
+        },
+        JobConfig {
+            max_states: 60,
+            jobs: 1,
+            escalate: false,
+        },
+    ] {
+        let id = match svc.submit(unmap(), cfg).expect("submit") {
+            SubmitOutcome::Queued(id) => id,
+            SubmitOutcome::Cached { result, .. } => {
+                // A WorkerLost Unknown may be cached; that is still a
+                // sound degraded answer, not a wedge.
+                assert!(worker_lost(&result.verdict));
+                continue;
+            }
+        };
+        let snap = svc.wait(id);
+        let res = snap.result.expect("done").expect("job result");
+        assert!(worker_lost(&res.verdict), "{:?}", res.verdict);
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "lost workers must not wedge the queue"
+    );
+    let (fast, slow) = svc.queue_depths();
+    assert_eq!((fast, slow), (0, 0), "queues must drain");
+    svc.shutdown();
+}

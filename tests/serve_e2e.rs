@@ -92,6 +92,12 @@ fn replay(endpoint: &Endpoint, lines: &[String], jobs: u64) -> Vec<(usize, vrm::
 
 #[test]
 fn daemon_matches_cli_caches_repeats_and_resumes_unknowns() {
+    if std::env::var_os("VRM_FAULT_SEED").is_some() {
+        // Injected frame cuts would tear replies mid-line and void the
+        // exact cache/counter pins below; the chaos CI job is what
+        // drives a fault-armed daemon.
+        return;
+    }
     let corpus = corpus();
 
     // In-process baseline at both worker counts: the bit-match target.
