@@ -41,7 +41,8 @@ use vrm_spec::{
     Claim,
 };
 
-const USAGE: &str = "usage: bench [--jobs N] [--suite all|litmus|wdrf|schedules|spec|serve|fuzz] \
+const USAGE: &str = "usage: bench [--jobs N] \
+                     [--suite all|litmus|wdrf|schedules|reduction|spec|serve|fuzz] \
                      [--fuzz-count N] [--fuzz-seed S] [--fuzz-dump DIR] \
                      [--emit-bench PATH] [litmus-dir]\n\
                      exit codes: 0 all PASS, 1 any FAIL, 3 any UNKNOWN \
@@ -247,6 +248,108 @@ fn run_schedules_suite(jobs: Option<usize>, out: &mut BenchFile) -> i32 {
         verdict_name(exit_code)
     );
     exit_code
+}
+
+/// The reduction suite (`docs/REDUCTION.md`): reduced-vs-unreduced
+/// record pairs on deterministic anchors — the unfenced ISA2 litmus
+/// test for the SC sleep-set + ample walk, and the `unmap` / `mirror`
+/// machine workloads for schedule-level orbit collapse. Every pair is
+/// pinned to the sequential driver (jobs=1): its popped/states counts
+/// are exactly reproducible, so CI can grep them as anchors; parallel
+/// reduced walks use ample sets only and their counts vary with worker
+/// interleaving. The records carry a `reduction=on|off` param, and the
+/// suite FAILs outright if a reduced walk changes an outcome set.
+fn run_reduction_suite(dir: &Path, out: &mut BenchFile) -> i32 {
+    let mut acc = 0;
+    let path = dir.join("isa2.litmus");
+    let parsed = match std::fs::read_to_string(&path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| parse(&t).map_err(|e| e.to_string()))
+    {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            return 1;
+        }
+    };
+    let mut sc_pair = Vec::new();
+    for reduction in [true, false] {
+        let cfg = ScConfig {
+            jobs: 1,
+            reduction,
+            ..ScConfig::default()
+        };
+        let started = Instant::now();
+        let sc = enumerate_sc_with(&parsed.program, &cfg).expect("SC enumeration");
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let mode = if reduction { "on" } else { "off" };
+        let name = format!("reduction/{}/{mode}", parsed.program.name);
+        out.records.push(
+            BenchRecord::new(name.clone())
+                .param("jobs", 1)
+                .param("reduction", mode)
+                .metric("sc_outcomes", sc.len() as u64)
+                .metric("states", sc.stats.states as u64)
+                .metric("popped", sc.stats.popped as u64)
+                .metric("wall_ns", wall_ns),
+        );
+        println!(
+            "{name:<33} states:{:<7} popped:{:<7} {:>8.1}ms",
+            sc.stats.states,
+            sc.stats.popped,
+            wall_ns as f64 / 1e6,
+        );
+        sc_pair.push(sc);
+    }
+    if sc_pair[0] != sc_pair[1] {
+        eprintln!(
+            "reduction/{}: the reduced SC walk changed the outcome set",
+            parsed.program.name
+        );
+        acc = 1;
+    }
+    for workload in ["unmap", "mirror"] {
+        let scripts = vrm_sekvm::workloads::by_name(workload).expect("registered workload");
+        let mut pair = Vec::new();
+        for reduction in [true, false] {
+            let ecfg = ExhaustiveConfig {
+                jobs: 1,
+                reduction,
+                ..ExhaustiveConfig::default()
+            };
+            let started = Instant::now();
+            let report = Machine::explore_schedules(KCoreConfig::default(), scripts.clone(), &ecfg)
+                .expect("explore_schedules");
+            let wall_ns = started.elapsed().as_nanos() as u64;
+            let exit_code = report.verdict().exit_code();
+            let mode = if reduction { "on" } else { "off" };
+            let name = format!("reduction/{workload}/{mode}");
+            out.records.push(
+                BenchRecord::new(name.clone())
+                    .param("jobs", 1)
+                    .param("reduction", mode)
+                    .metric("outcomes", report.outcomes.len() as u64)
+                    .metric("states", report.stats.states as u64)
+                    .metric("popped", report.stats.popped as u64)
+                    .metric("wall_ns", wall_ns)
+                    .metric("exit_code", exit_code as u64),
+            );
+            println!(
+                "{name:<33} states:{:<7} popped:{:<7} {:>8.1}ms  {}",
+                report.stats.states,
+                report.stats.popped,
+                wall_ns as f64 / 1e6,
+                verdict_name(exit_code)
+            );
+            acc = worse(acc, exit_code);
+            pair.push(report);
+        }
+        if pair[0].outcomes != pair[1].outcomes || pair[0].verdict() != pair[1].verdict() {
+            eprintln!("reduction/{workload}: the reduced schedule walk changed the outcome set");
+            acc = 1;
+        }
+    }
+    acc
 }
 
 /// The spec suite: the same unmap workload checked twice.
@@ -993,6 +1096,7 @@ fn main() -> ExitCode {
                     "litmus",
                     "wdrf",
                     "schedules",
+                    "reduction",
                     "spec",
                     "serve",
                     "fuzz",
@@ -1031,13 +1135,14 @@ fn main() -> ExitCode {
     let run_litmus = matches!(suite.as_str(), "all" | "litmus");
     let run_wdrf = matches!(suite.as_str(), "all" | "wdrf");
     let run_schedules = matches!(suite.as_str(), "all" | "schedules");
+    let run_reduction = matches!(suite.as_str(), "all" | "reduction");
     let run_spec = matches!(suite.as_str(), "all" | "spec");
     let run_serve = matches!(suite.as_str(), "all" | "serve");
     // The fuzzer is a standing job with its own CI lane and budget
     // knobs, not part of the default trajectory — `all` excludes it so
     // perf records stay comparable across fuzz-count changes.
     let run_fuzz = suite == "fuzz";
-    if run_litmus && !litmus_dir.is_dir() {
+    if (run_litmus || run_reduction) && !litmus_dir.is_dir() {
         eprintln!("litmus dir {} not found\n{USAGE}", litmus_dir.display());
         return ExitCode::from(2);
     }
@@ -1056,6 +1161,9 @@ fn main() -> ExitCode {
     }
     if run_schedules {
         acc = worse(acc, run_schedules_suite(jobs, &mut out));
+    }
+    if run_reduction {
+        acc = worse(acc, run_reduction_suite(&litmus_dir, &mut out));
     }
     if run_spec {
         acc = worse(acc, run_spec_suite(jobs, &mut out));

@@ -61,7 +61,7 @@
 
 #![deny(missing_docs)]
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher, Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -77,6 +77,14 @@ static OBS_PUSHED: vrm_obs::Counter = vrm_obs::Counter::new("explore.states_push
 static OBS_DEDUP: vrm_obs::Counter = vrm_obs::Counter::new("explore.dedup_hits");
 static OBS_STEALS: vrm_obs::Counter = vrm_obs::Counter::new("explore.deque_steals");
 static OBS_CHUNKS: vrm_obs::Counter = vrm_obs::Counter::new("explore.partition_chunks");
+
+/// Reduction counters (see `docs/REDUCTION.md`): transitions skipped
+/// because they were in a sleep set, transitions cut by a persistent
+/// (ample) singleton, and successors replaced by their orbit
+/// representative.
+static OBS_SLEEP_PRUNED: vrm_obs::Counter = vrm_obs::Counter::new("explore/sleep_pruned");
+static OBS_PERSISTENT_CUT: vrm_obs::Counter = vrm_obs::Counter::new("explore/persistent_cut");
+static OBS_ORBIT_COLLAPSED: vrm_obs::Counter = vrm_obs::Counter::new("explore/orbit_collapsed");
 
 /// Per-run profiling state, allocated only when `VRM_TRACE` is active:
 /// phase histograms fed at the drivers' existing yield points plus the
@@ -624,6 +632,304 @@ pub trait StateSpace: Sync {
     fn expand(&self, state: &Self::State, sink: &mut Sink<Self::State, Self::Emit>);
 }
 
+/// The read/write token sets one process's next (or future) transitions
+/// may touch, used by the reduced drivers to decide independence.
+///
+/// Tokens are opaque `u64`s chosen by the space — memory addresses,
+/// page-frame numbers, or synthetic tokens such as "appends to the
+/// global store order". Two footprints *conflict* when one's writes
+/// intersect the other's reads or writes (in either direction); two
+/// transitions whose footprints do not conflict commute and neither
+/// can enable or disable the other, which is exactly the independence
+/// the ample/sleep machinery relies on.
+///
+/// `reads_top`/`writes_top` mean "every token": a conservative space
+/// (or a transition whose accesses cannot be named statically) reports
+/// top and conflicts with everything that touches anything. The empty
+/// footprint conflicts with nothing — not even top — which is what
+/// makes purely thread-local steps (register moves, `pc` advances past
+/// the end of code) freely commutable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Tokens this transition may read.
+    pub reads: Vec<u64>,
+    /// Tokens this transition may write.
+    pub writes: Vec<u64>,
+    /// Reads every token (ignore `reads`).
+    pub reads_top: bool,
+    /// Writes every token (ignore `writes`).
+    pub writes_top: bool,
+}
+
+/// `true` when the token sets `(a, a_top)` and `(b, b_top)` intersect;
+/// an empty, non-top side intersects nothing, including top.
+fn tokens_overlap(a: &[u64], a_top: bool, b: &[u64], b_top: bool) -> bool {
+    if (a.is_empty() && !a_top) || (b.is_empty() && !b_top) {
+        return false;
+    }
+    if a_top || b_top {
+        return true;
+    }
+    a.iter().any(|t| b.contains(t))
+}
+
+impl Footprint {
+    /// The footprint that touches nothing and conflicts with nothing.
+    pub fn empty() -> Footprint {
+        Footprint::default()
+    }
+
+    /// The footprint that reads and writes everything: conflicts with
+    /// any footprint that touches anything.
+    pub fn top() -> Footprint {
+        Footprint {
+            reads_top: true,
+            writes_top: true,
+            ..Footprint::default()
+        }
+    }
+
+    /// Adds a read token.
+    pub fn read(&mut self, t: u64) {
+        if !self.reads_top && !self.reads.contains(&t) {
+            self.reads.push(t);
+        }
+    }
+
+    /// Adds a write token.
+    pub fn write(&mut self, t: u64) {
+        if !self.writes_top && !self.writes.contains(&t) {
+            self.writes.push(t);
+        }
+    }
+
+    /// Unions `other` into `self`.
+    pub fn merge(&mut self, other: &Footprint) {
+        self.reads_top |= other.reads_top;
+        self.writes_top |= other.writes_top;
+        if self.reads_top {
+            self.reads.clear();
+        } else {
+            for &t in &other.reads {
+                self.read(t);
+            }
+        }
+        if self.writes_top {
+            self.writes.clear();
+        } else {
+            for &t in &other.writes {
+                self.write(t);
+            }
+        }
+    }
+
+    /// `true` when the footprint touches nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty() && !self.reads_top && !self.writes_top
+    }
+
+    /// Symmetric conflict test: `self`'s writes against `other`'s reads
+    /// and writes, plus `other`'s writes against `self`'s reads.
+    pub fn conflicts(&self, other: &Footprint) -> bool {
+        tokens_overlap(&self.writes, self.writes_top, &other.reads, other.reads_top)
+            || tokens_overlap(
+                &self.writes,
+                self.writes_top,
+                &other.writes,
+                other.writes_top,
+            )
+            || tokens_overlap(&other.writes, other.writes_top, &self.reads, self.reads_top)
+    }
+}
+
+/// A [`StateSpace`] that additionally names its concurrent processes
+/// and their dependencies, unlocking the reduced drivers behind
+/// [`explore_reduced`].
+///
+/// The contract that makes reduction sound (see `docs/REDUCTION.md`):
+///
+/// * `expand(s)` is exactly "emit if [`Deps::enabled`] is empty, else
+///   the union of [`Deps::expand_proc`] over every enabled process" —
+///   the reduced drivers interleave per-process expansions and must
+///   reconstruct the full expansion from them;
+/// * [`Deps::now`] over-approximates every token any *currently
+///   possible* transition of the process may touch (including
+///   transitions whose enabledness depends on global state — if
+///   another process's write could enable or disable a move, that
+///   location must be in `now`);
+/// * [`Deps::future`] over-approximates `now` over every state the
+///   process can ever reach from here;
+/// * emissions happen only at states with no enabled processes (plus
+///   process-insensitive error/truncation markers) — the reduced
+///   drivers preserve the set of terminal states reached, not the set
+///   of paths;
+/// * [`Deps::canon`] maps a state to a strictly-preferred member of
+///   its symmetry orbit (or `None` when the state is already the
+///   representative), and [`Deps::orbit`] lists the *other* members of
+///   the orbit, so terminal emissions can be re-rendered for every
+///   symmetric variant the walk collapsed.
+///
+/// Every hook except `enabled`/`expand_proc` has a conservative
+/// default (top footprints, no symmetry) that degrades the reduced
+/// walk to the exhaustive one.
+pub trait Deps: StateSpace {
+    /// Process ids that can take a step from `state`; empty exactly
+    /// when the state is terminal/emitting. Ids must be `< 64` for the
+    /// sleep-set driver to track them (larger ids are safe but get no
+    /// sleep pruning).
+    fn enabled(&self, state: &Self::State) -> Vec<usize>;
+
+    /// Pushes the successors (and emissions) contributed by process
+    /// `p` alone — one slice of what [`StateSpace::expand`] would do.
+    fn expand_proc(&self, state: &Self::State, p: usize, sink: &mut Sink<Self::State, Self::Emit>);
+
+    /// Footprint of every transition process `p` might take *now*.
+    fn now(&self, _state: &Self::State, _p: usize) -> Footprint {
+        Footprint::top()
+    }
+
+    /// Footprint of everything process `p` might ever do from here.
+    fn future(&self, _state: &Self::State, _p: usize) -> Footprint {
+        Footprint::top()
+    }
+
+    /// The orbit representative of `state` under the space's symmetry
+    /// group, or `None` when `state` already is the representative.
+    fn canon(&self, _state: &Self::State) -> Option<Self::State> {
+        None
+    }
+
+    /// The other members of `state`'s symmetry orbit (excluding
+    /// `state` itself); empty when the state's orbit is trivial.
+    fn orbit(&self, _state: &Self::State) -> Vec<Self::State> {
+        Vec::new()
+    }
+}
+
+/// Picks a process whose singleton `{p}` is a sound ample set at
+/// `state`: `now(p)` must be independent of `future(q)` for every
+/// other enabled `q` — then no other process can ever perform a step
+/// that conflicts with (enables, disables, or fails to commute with)
+/// `p`'s next move, so exploring only `p` first loses no terminal
+/// state. Returns `None` when no singleton qualifies (full expansion).
+fn ample_singleton<SP: Deps>(space: &SP, state: &SP::State, enabled: &[usize]) -> Option<usize> {
+    if enabled.len() <= 1 {
+        return None;
+    }
+    'cand: for &p in enabled {
+        let np = space.now(state, p);
+        for &q in enabled {
+            if q != p && np.conflicts(&space.future(state, q)) {
+                continue 'cand;
+            }
+        }
+        return Some(p);
+    }
+    None
+}
+
+/// Expands a state through the space's *whole-state* [`StateSpace::expand`],
+/// closing emissions over the state's symmetry orbit: the walk only
+/// kept the orbit representative, so the emissions of every collapsed
+/// variant are re-rendered here. Used for terminals (no enabled
+/// process) and for cross-process dead ends — states where every
+/// per-process expansion yielded nothing, but the whole-state expand
+/// may still emit (e.g. a global-stall marker). Successors accidentally
+/// pushed by an orbit image are discarded — such states have none by
+/// contract.
+fn expand_terminal<SP: Deps>(space: &SP, state: &SP::State, sink: &mut Sink<SP::State, SP::Emit>) {
+    space.expand(state, sink);
+    let mark = sink.succ.len();
+    for image in space.orbit(state) {
+        space.expand(&image, sink);
+    }
+    sink.succ.truncate(mark);
+}
+
+/// The adapter that makes a [`Deps`] space look like a plain
+/// [`StateSpace`] whose *graph is already reduced*: expansion picks an
+/// ample singleton where one exists, canonicalizes every successor to
+/// its orbit representative, and re-renders terminal emissions for the
+/// whole orbit. Because `State`/`Emit` are unchanged, the parallel
+/// driver (and its checkpoint/resume machinery) runs it as-is.
+struct Reduced<'a, SP: Deps> {
+    inner: &'a SP,
+}
+
+impl<SP: Deps> Reduced<'_, SP> {
+    /// Canonicalizes the successors pushed after `mark`, counting each
+    /// replacement.
+    fn canon_tail(&self, sink: &mut Sink<SP::State, SP::Emit>, mark: usize) {
+        for next in &mut sink.succ[mark..] {
+            if let Some(c) = self.inner.canon(next) {
+                OBS_ORBIT_COLLAPSED.add(1);
+                *next = c;
+            }
+        }
+    }
+}
+
+impl<SP: Deps> StateSpace for Reduced<'_, SP> {
+    type State = SP::State;
+    type Emit = SP::Emit;
+
+    fn initial(&self) -> Vec<Self::State> {
+        self.inner
+            .initial()
+            .into_iter()
+            .map(|s| match self.inner.canon(&s) {
+                Some(c) => {
+                    OBS_ORBIT_COLLAPSED.add(1);
+                    c
+                }
+                None => s,
+            })
+            .collect()
+    }
+
+    fn expand(&self, state: &Self::State, sink: &mut Sink<Self::State, Self::Emit>) {
+        let enabled = self.inner.enabled(state);
+        if enabled.is_empty() {
+            expand_terminal(self.inner, state, sink);
+            return;
+        }
+        let mark_succ = sink.succ.len();
+        let mark_emit = sink.emits.len();
+        match ample_singleton(self.inner, state, &enabled) {
+            Some(p) => {
+                self.inner.expand_proc(state, p, sink);
+                let fresh = &sink.succ[mark_succ..];
+                let yielded = !fresh.is_empty() || sink.emits.len() > mark_emit;
+                let self_loop_only = !fresh.is_empty() && fresh.iter().all(|n| n == state);
+                if !yielded || self_loop_only {
+                    // `p` is stuck (or spins in place): falling back to
+                    // the full expansion keeps the other processes'
+                    // moves reachable.
+                    sink.succ.truncate(mark_succ);
+                    sink.emits.truncate(mark_emit);
+                    for &q in &enabled {
+                        self.inner.expand_proc(state, q, sink);
+                    }
+                } else {
+                    OBS_PERSISTENT_CUT.add((enabled.len() - 1) as u64);
+                }
+            }
+            None => {
+                for &q in &enabled {
+                    self.inner.expand_proc(state, q, sink);
+                }
+            }
+        }
+        if sink.succ.len() == mark_succ && sink.emits.len() == mark_emit {
+            // Cross-process dead end: no per-process expansion yielded
+            // anything, but the whole-state expand may still emit a
+            // marker (e.g. a global stall). Delegate to it, orbit-closed.
+            expand_terminal(self.inner, state, sink);
+        }
+        self.canon_tail(sink, mark_succ);
+    }
+}
+
 /// A 128-bit digest of a state from two independently salted
 /// `DefaultHasher` passes. `DefaultHasher::new()` uses fixed keys, so
 /// digests are stable across processes of the same build — which is
@@ -936,6 +1242,47 @@ pub fn explore_from<SP: StateSpace>(
     }
 }
 
+/// Explores the state space of a [`Deps`] space with dynamic
+/// partial-order + symmetry reduction (see `docs/REDUCTION.md`):
+/// ample-singleton persistent sets and orbit canonicalization in both
+/// drivers, plus sleep-set pruning in the sequential one. The reduced
+/// walk reaches the same terminal states (and therefore emits the same
+/// outcome *set*) as [`explore`] on the same space.
+pub fn explore_reduced<SP: Deps>(space: &SP, cfg: &ExploreConfig) -> ExploreResult<SP> {
+    explore_reduced_from(space, cfg, None)
+}
+
+/// Like [`explore_reduced`], optionally resuming a checkpoint from a
+/// prior *reduced* run of the same space. A checkpoint produced by a
+/// reduced walk must be resumed reduced (and vice versa): the frontier
+/// states are orbit representatives of a reduced graph, which the
+/// unreduced walk does not generate.
+pub fn explore_reduced_from<SP: Deps>(
+    space: &SP,
+    cfg: &ExploreConfig,
+    resume: Option<ResumeState<SP::State>>,
+) -> ExploreResult<SP> {
+    if cfg.jobs > 1 {
+        parallel_from(&Reduced { inner: space }, cfg, resume)
+    } else {
+        sequential_reduced_from(space, cfg, resume, false)
+    }
+}
+
+#[doc(hidden)]
+/// Campaign-mutant hook (`dpor-sleep-set-never-blocks`): the reduced
+/// sequential walk with the sleep-set check disabled while the run
+/// still claims to be reduced. Exists so the mutation campaign can
+/// prove the deterministic `popped` bench anchors catch a silently
+/// disabled reduction; not part of the public API.
+pub fn explore_reduced_sleepless<SP: Deps>(space: &SP, cfg: &ExploreConfig) -> ExploreResult<SP> {
+    if cfg.jobs > 1 {
+        parallel_from(&Reduced { inner: space }, cfg, None)
+    } else {
+        sequential_reduced_from(space, cfg, None, true)
+    }
+}
+
 /// Estimated per-entry bookkeeping bytes of a hash-set entry (hash,
 /// bucket metadata, padding) on top of the state's inline size.
 pub const VISITED_ENTRY_OVERHEAD: usize = 48;
@@ -1165,6 +1512,289 @@ fn sequential_from<SP: StateSpace>(
             Some(ResumeState {
                 frontier,
                 visited_digests: digests,
+            })
+        }
+    };
+    Ok(Exploration {
+        emits,
+        stats,
+        resume: resume_out,
+    })
+}
+
+/// Iterates the process ids set in a sleep mask.
+fn mask_bits(mask: u64) -> impl Iterator<Item = usize> {
+    (0..64).filter(move |i| mask & (1u64 << i) != 0)
+}
+
+/// The sleep-mask bit of process `p`; processes beyond the mask width
+/// get no bit (they are never slept, which is merely conservative).
+fn sleep_bit(p: usize) -> u64 {
+    if p < 64 {
+        1u64 << p
+    } else {
+        0
+    }
+}
+
+/// The reduced sequential driver: the LIFO worklist of
+/// [`sequential_from`] extended with ample-singleton persistent sets,
+/// orbit canonicalization, and sleep sets (Godefroid-style, adapted to
+/// a stateful search).
+///
+/// Each frontier entry carries a *sleep mask*: the set of processes
+/// whose every move from this state is already covered by an earlier
+/// sibling branch, so expanding them here would only re-derive
+/// interleavings the walk has seen. The visited map remembers the mask
+/// each state was expanded under; re-reaching a state with a mask that
+/// sleeps *fewer* processes re-expands it under the intersection
+/// (masks only shrink, so this terminates), which is what keeps
+/// pruning sound when the same state is reached along paths with
+/// different coverage obligations.
+///
+/// On truncation the checkpoint carries the remnant frontier plus the
+/// digests of **only the frontier states themselves** — not the full
+/// visited set: a sleep-pruned state's coverage argument leans on
+/// sibling subtrees that may themselves have been cut by the budget,
+/// so the resumed run must be free to re-walk interior states. The
+/// frontier states are safe to deduplicate against because the resumed
+/// run seeds them all-awake and expands them fully. (The parallel
+/// reduced driver explores a *fixed* reduced graph and keeps the
+/// normal full-visited-set resume.)
+fn sequential_reduced_from<SP: Deps>(
+    space: &SP,
+    cfg: &ExploreConfig,
+    resume: Option<ResumeState<SP::State>>,
+    sleep_disabled: bool,
+) -> ExploreResult<SP> {
+    let start = Instant::now();
+    let _span = vrm_obs::span!("explore.sequential_reduced");
+    let obs = RunObs::if_tracing();
+    let mut stats = ExploreStats {
+        jobs: 1,
+        ..Default::default()
+    };
+    let (prior, seeded) = match resume {
+        Some(r) => (r.visited_digests, Some(r.frontier)),
+        None => (HashSet::new(), None),
+    };
+    // State → the sleep mask it was (last) expanded under.
+    let mut visited: HashMap<SP::State, u64> = HashMap::new();
+    let mut stack: Vec<(SP::State, usize, u64)> = Vec::new();
+    let mut emits: Vec<SP::Emit> = Vec::new();
+    match seeded {
+        Some(frontier) => {
+            // Resumed frontier states get the all-awake mask: their
+            // sibling coverage may be gone, so re-explore everything.
+            stack = frontier.into_iter().map(|(s, d)| (s, d, 0u64)).collect();
+        }
+        None => {
+            for s in space.initial() {
+                let s = match space.canon(&s) {
+                    Some(c) => {
+                        OBS_ORBIT_COLLAPSED.add(1);
+                        c
+                    }
+                    None => s,
+                };
+                if let std::collections::hash_map::Entry::Vacant(e) = visited.entry(s.clone()) {
+                    e.insert(0);
+                    stack.push((s, 0, 0));
+                }
+            }
+        }
+    }
+    stats.frontier_peak = stack.len();
+    let mut deep: Vec<(SP::State, usize)> = Vec::new();
+    let mut trunc: Option<TruncationReason> = None;
+    let mut poller = cfg.deadline.map(|d| DeadlinePoller::new(start, d));
+    let mut sink = Sink::new();
+    'walk: loop {
+        if let Some(r) = budget_truncation::<SP::State>(visited.len(), cfg) {
+            record_truncation(&mut trunc, r);
+            break;
+        }
+        if poller.as_mut().is_some_and(|p| p.expired()) {
+            record_truncation(&mut trunc, TruncationReason::Deadline);
+            break;
+        }
+        if vrm_faults::poll(Site::Sequential) == Some(FaultKind::Delay) {
+            std::thread::sleep(FAULT_DELAY);
+        }
+        if let Some(o) = &obs {
+            if o.gate.due() {
+                vrm_obs::emit_metrics(
+                    "explore.sequential_reduced",
+                    &[("frontier_len", stack.len() as u64)],
+                );
+            }
+        }
+        let Some((state, depth, sleep)) = stack.pop() else {
+            break;
+        };
+        stats.popped += 1;
+        let t_expand = obs.as_ref().map(|_| Instant::now());
+        let enabled = space.enabled(&state);
+        if enabled.is_empty() {
+            expand_terminal(space, &state, &mut sink);
+            emits.append(&mut sink.emits);
+            sink.succ.clear();
+            if let (Some(o), Some(t)) = (&obs, t_expand) {
+                o.expand.record(t.elapsed());
+            }
+            if sink.halted {
+                break;
+            }
+            continue;
+        }
+        // Sleep masks only work for process ids < 64; wider spaces run
+        // ample+canon only.
+        let maskable = !sleep_disabled && enabled.iter().all(|&p| p < 64);
+        let sleep = if maskable { sleep } else { 0 };
+        let mut base: Vec<usize> = match ample_singleton(space, &state, &enabled) {
+            Some(p) => vec![p],
+            None => enabled.clone(),
+        };
+        // An ample singleton that yields nothing (or only spins in
+        // place) is stuck; the stuckness is detected before its (empty)
+        // expansion is committed, so restarting the pass with the full
+        // enabled set is clean.
+        let mut pass_yielded = false;
+        let mut pass_asleep;
+        'pass: loop {
+            let ample_cut = base.len() < enabled.len();
+            let asleep = base.iter().filter(|&&p| sleep & sleep_bit(p) != 0).count();
+            pass_asleep = asleep;
+            let explore_list: Vec<usize> = base
+                .iter()
+                .copied()
+                .filter(|&p| sleep & sleep_bit(p) == 0)
+                .collect();
+            if asleep > 0 {
+                OBS_SLEEP_PRUNED.add(asleep as u64);
+            }
+            let mut sleep_acc = sleep;
+            for &p in &explore_list {
+                let now_p = space.now(&state, p);
+                let mut child_sleep = 0u64;
+                if maskable {
+                    for q in mask_bits(sleep_acc) {
+                        if !space.now(&state, q).conflicts(&now_p) {
+                            child_sleep |= 1u64 << q;
+                        }
+                    }
+                }
+                let mark_succ = sink.succ.len();
+                let mark_emit = sink.emits.len();
+                space.expand_proc(&state, p, &mut sink);
+                let fresh = &sink.succ[mark_succ..];
+                let yielded = !fresh.is_empty() || sink.emits.len() > mark_emit;
+                let self_loop_only = !fresh.is_empty() && fresh.iter().all(|n| *n == state);
+                if ample_cut && (!yielded || self_loop_only) {
+                    sink.succ.truncate(mark_succ);
+                    sink.emits.truncate(mark_emit);
+                    base = enabled.clone();
+                    pass_yielded = false;
+                    continue 'pass;
+                }
+                pass_yielded |= yielded;
+                for next in sink.succ.drain(mark_succ..) {
+                    let (next, next_sleep) = match space.canon(&next) {
+                        Some(c) => {
+                            // Canonicalization permutes process ids, so
+                            // the child's sleep obligations no longer
+                            // line up: wake everything.
+                            OBS_ORBIT_COLLAPSED.add(1);
+                            (c, 0u64)
+                        }
+                        None => (next, child_sleep),
+                    };
+                    if !prior.is_empty() && prior.contains(&digest128(&next)) {
+                        stats.dedup_hits += 1;
+                        continue;
+                    }
+                    let merged = match visited.entry(next.clone()) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            let stored = *e.get();
+                            if stored & !next_sleep == 0 {
+                                // Already expanded under an
+                                // equal-or-more-awake mask: covered.
+                                stats.dedup_hits += 1;
+                                continue;
+                            }
+                            let merged = stored & next_sleep;
+                            e.insert(merged);
+                            merged
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(next_sleep);
+                            next_sleep
+                        }
+                    };
+                    if cfg.max_depth.is_some_and(|md| depth + 1 > md) {
+                        deep.push((next, depth + 1));
+                        record_truncation(&mut trunc, TruncationReason::DepthLimit);
+                        continue;
+                    }
+                    stack.push((next, depth + 1, merged));
+                    stats.pushed += 1;
+                    stats.frontier_peak = stats.frontier_peak.max(stack.len());
+                }
+                emits.append(&mut sink.emits);
+                if sink.halted {
+                    break 'walk;
+                }
+                sleep_acc |= sleep_bit(p);
+            }
+            if ample_cut {
+                OBS_PERSISTENT_CUT.add((enabled.len() - 1) as u64);
+            }
+            break;
+        }
+        if !pass_yielded && pass_asleep == 0 {
+            // Cross-process dead end (nothing slept, nothing yielded):
+            // the whole-state expand may still emit a marker (e.g. a
+            // global stall). Delegate to it, orbit-closed; successors
+            // are none by contract.
+            expand_terminal(space, &state, &mut sink);
+            emits.append(&mut sink.emits);
+            sink.succ.clear();
+            if sink.halted {
+                break 'walk;
+            }
+        }
+        if let (Some(o), Some(t)) = (&obs, t_expand) {
+            o.expand.record(t.elapsed());
+        }
+    }
+    emits.append(&mut sink.emits);
+    stats.states = visited.len();
+    stats.wall_ns = saturating_ns(start.elapsed());
+    OBS_POPPED.add(stats.popped as u64);
+    OBS_PUSHED.add(stats.pushed as u64);
+    OBS_DEDUP.add(stats.dedup_hits as u64);
+    if let Some(o) = &obs {
+        o.finish("explore.sequential_reduced");
+    }
+    let resume_out = match trunc {
+        None => None,
+        Some(reason) => {
+            let mut frontier: Vec<(SP::State, usize)> =
+                stack.into_iter().map(|(s, d, _)| (s, d)).collect();
+            frontier.append(&mut deep);
+            stats.completeness = Completeness::Truncated {
+                reason,
+                frontier_len: frontier.len(),
+            };
+            // Only the frontier's own digests — interior states must
+            // stay re-walkable (see the driver doc comment), but the
+            // frontier states are re-expanded all-awake on resume, so
+            // advertising them keeps digest-membership checks on
+            // serialized checkpoints satisfiable.
+            let visited_digests = frontier.iter().map(|(s, _)| digest128(s)).collect();
+            Some(ResumeState {
+                frontier,
+                visited_digests,
             })
         }
     };
@@ -1596,6 +2226,59 @@ pub fn retry_with_escalation<SP: StateSpace>(
     let mut attempts = 0usize;
     loop {
         match explore_from(space, &cfg, resume.take()) {
+            Err(ExploreError::WorkerPanic(_)) if attempts < max_retries => {
+                attempts += 1;
+                cfg.jobs = 1;
+            }
+            Err(e) => return Err(e),
+            Ok(mut r) => {
+                acc_emits.append(&mut r.emits);
+                acc_stats.absorb(&r.stats);
+                let escalatable = matches!(
+                    r.stats.completeness,
+                    Completeness::Truncated {
+                        reason: TruncationReason::StateLimit | TruncationReason::MemoryBudget,
+                        ..
+                    }
+                );
+                if escalatable && attempts < max_retries && r.resume.is_some() {
+                    attempts += 1;
+                    cfg.max_states = cfg.max_states.saturating_mul(2);
+                    cfg.max_memory = cfg.max_memory.map(|m| m.saturating_mul(2));
+                    resume = r.resume;
+                    continue;
+                }
+                let completeness = r.stats.completeness;
+                acc_stats.completeness = completeness;
+                return Ok(Exploration {
+                    emits: acc_emits,
+                    stats: acc_stats,
+                    resume: r.resume,
+                });
+            }
+        }
+    }
+}
+
+/// [`retry_with_escalation`] over the **reduced** drivers: identical
+/// escalation policy (double truncated budgets and resume, fall back
+/// to one job after a worker panic), but each attempt walks the
+/// sleep-set/ample/orbit-reduced graph via [`explore_reduced_from`].
+/// Checkpoints stay within the reduced walk end to end, so the
+/// soundness story of a resumed reduced run (re-awakened frontier,
+/// re-walkable interior) is preserved across escalations.
+pub fn retry_with_escalation_reduced<SP: Deps>(
+    space: &SP,
+    cfg: &ExploreConfig,
+    max_retries: usize,
+) -> ExploreResult<SP> {
+    let mut cfg = *cfg;
+    let mut acc_emits: Vec<SP::Emit> = Vec::new();
+    let mut acc_stats = ExploreStats::default();
+    let mut resume: Option<ResumeState<SP::State>> = None;
+    let mut attempts = 0usize;
+    loop {
+        match explore_reduced_from(space, &cfg, resume.take()) {
             Err(ExploreError::WorkerPanic(_)) if attempts < max_retries => {
                 attempts += 1;
                 cfg.jobs = 1;

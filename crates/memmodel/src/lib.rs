@@ -30,6 +30,7 @@ pub mod parser;
 pub mod promising;
 pub mod runner;
 pub mod sc;
+pub mod symm;
 pub mod trace;
 pub mod values;
 

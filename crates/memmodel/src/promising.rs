@@ -36,11 +36,12 @@
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
-use vrm_explore::{ExploreConfig, Sink, StateSpace};
+use vrm_explore::{digest128, Deps, ExploreConfig, Footprint, Sink, StateSpace};
 
 use crate::ir::{Addr, Expr, Fence, Inst, Observable, Program, Val};
 use crate::outcome::{Outcome, OutcomeSet, ThreadExit};
 use crate::sc::ExploreError;
+use crate::symm;
 use crate::values::{analyze, ValueAnalysis, ValueConfig};
 
 /// Promise certifications attempted (each is its own bounded engine
@@ -160,6 +161,17 @@ pub struct PromisingConfig {
     /// Worker threads for the exploration; `1` (the default, unless
     /// `VRM_JOBS` overrides it) selects the sequential reference driver.
     pub jobs: usize,
+    /// Dynamic partial-order + thread-symmetry reduction (see
+    /// `docs/REDUCTION.md`). On by default; automatically disabled when
+    /// ghost checking is active, because ghost violations are emitted at
+    /// interior states and must be observed on every interleaving. With
+    /// promises enabled the per-instruction footprints are conservative
+    /// (a promise can append anywhere, so active threads never commute)
+    /// and the reduction comes from completion-step squashing plus
+    /// symmetry; with promises off the full footprint-based DPOR kicks
+    /// in. Either way the outcome set is identical to the reference
+    /// walk's.
+    pub reduction: bool,
 }
 
 impl Default for PromisingConfig {
@@ -172,6 +184,7 @@ impl Default for PromisingConfig {
             value_cfg: ValueConfig::default(),
             ghost: None,
             jobs: ExploreConfig::jobs_from_env(),
+            reduction: true,
         }
     }
 }
@@ -1359,9 +1372,54 @@ enum PEmit {
 
 /// The full Promising model as a state space: every runnable thread
 /// steps (including promise steps), each step gated on the stepping
-/// thread's promises staying certifiable.
+/// thread's promises staying certifiable. The [`Deps`] implementation
+/// names per-thread footprints and the program's thread symmetry; see
+/// `docs/REDUCTION.md` for why the footprints are conservative when
+/// promises are enabled.
 struct PromisingSpace<'a> {
     ctx: StepCtx<'a>,
+    /// Non-identity tid permutations of the program's symmetry group
+    /// (identical code *and* identical promise domains); empty when
+    /// there is no symmetry.
+    perms: Vec<Vec<usize>>,
+    /// Static per-`[tid][pc]` future footprints (with the
+    /// [`symm::MEM_APPEND`] token on stores); consulted when promises
+    /// are off, and for pure-reader threads even when they are on.
+    futures: Vec<Vec<Footprint>>,
+    /// Per-thread: `true` when the thread's code contains no store of
+    /// any kind, so it can never promise (its promise domain is empty),
+    /// is never certification-gated, and never mutates shared memory —
+    /// which makes precise footprints sound even with promises enabled.
+    readers: Vec<bool>,
+}
+
+/// Whether a thread's code is free of store-like instructions (plain,
+/// exclusive, RMW, or virtual): such a *pure reader* only ever changes
+/// its own thread-local state.
+fn is_pure_reader(code: &[Inst]) -> bool {
+    !code.iter().any(|i| {
+        matches!(
+            i,
+            Inst::Store { .. } | Inst::StoreEx { .. } | Inst::Rmw { .. } | Inst::StoreVirt { .. }
+        )
+    })
+}
+
+/// Applies a tid permutation to a promising state: per-thread machine
+/// state moves with its thread, message and ownership tid labels are
+/// renamed, shared memory order stays put.
+fn permute_pstate(st: &PState, perm: &[usize]) -> PState {
+    let mut img = st.clone();
+    for (old, &new) in perm.iter().enumerate() {
+        img.threads[new] = st.threads[old].clone();
+    }
+    for m in &mut img.mem {
+        m.tid = perm[m.tid];
+    }
+    for owner in img.owner.values_mut() {
+        *owner = perm[*owner];
+    }
+    img
 }
 
 impl StateSpace for PromisingSpace<'_> {
@@ -1373,28 +1431,43 @@ impl StateSpace for PromisingSpace<'_> {
     }
 
     fn expand(&self, st: &PState, sink: &mut Sink<PState, PEmit>) {
-        let ctx = &self.ctx;
         if st.all_finished() {
-            sink.emit(PEmit::Outcome(st.outcome(ctx.prog)));
+            sink.emit(PEmit::Outcome(st.outcome(self.ctx.prog)));
+            return;
+        }
+        for tid in 0..self.ctx.prog.threads.len() {
+            self.expand_proc(st, tid, sink);
+        }
+    }
+}
+
+impl Deps for PromisingSpace<'_> {
+    fn enabled(&self, st: &PState) -> Vec<usize> {
+        st.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Running)
+            .map(|(tid, _)| tid)
+            .collect()
+    }
+
+    fn expand_proc(&self, st: &PState, tid: usize, sink: &mut Sink<PState, PEmit>) {
+        let ctx = &self.ctx;
+        if st.threads[tid].status != Status::Running {
             return;
         }
         let mut eff = Effects::default();
-        for tid in 0..ctx.prog.threads.len() {
-            if st.threads[tid].status != Status::Running {
-                continue;
+        for next in ctx.thread_successors(st, tid, &mut eff) {
+            // Steps must preserve certifiability of the stepping
+            // thread's outstanding promises.
+            if next.threads[tid].prom.is_empty() || ctx.certify(&next, tid, &mut eff) {
+                sink.push(next);
             }
-            for next in ctx.thread_successors(st, tid, &mut eff) {
-                // Steps must preserve certifiability of the stepping
-                // thread's outstanding promises.
-                if next.threads[tid].prom.is_empty() || ctx.certify(&next, tid, &mut eff) {
-                    sink.push(next);
-                }
-            }
-            // Promise steps.
-            for (next, _, _, _) in ctx.promise_steps(st, tid) {
-                if ctx.certify(&next, tid, &mut eff) {
-                    sink.push(next);
-                }
+        }
+        // Promise steps.
+        for (next, _, _, _) in ctx.promise_steps(st, tid) {
+            if ctx.certify(&next, tid, &mut eff) {
+                sink.push(next);
             }
         }
         for v in eff.violations {
@@ -1403,6 +1476,94 @@ impl StateSpace for PromisingSpace<'_> {
         if eff.truncated {
             sink.emit(PEmit::Truncated);
         }
+    }
+
+    fn now(&self, st: &PState, tid: usize) -> Footprint {
+        let t = &st.threads[tid];
+        if t.status != Status::Running {
+            return Footprint::empty();
+        }
+        if t.walk.is_some() {
+            // Mid page-table walk: reads page-table cells and updates
+            // the TLB — treat as touching everything.
+            return Footprint::top();
+        }
+        let code = &self.ctx.prog.threads[tid].code;
+        if t.pc >= code.len() {
+            // Completion step: flips the thread's own status, touches
+            // nothing. (With ghost off, which reduction requires, the
+            // step is unconditional.)
+            return Footprint::empty();
+        }
+        if self.ctx.cfg.promises && !(self.readers[tid] && t.prom.is_empty()) {
+            // Any unfinished storing thread may promise (appending to
+            // the global message order) and its steps are gated on
+            // certification, whose result reads arbitrary memory —
+            // nothing short of `top` covers that. Pure readers are
+            // exempt: they cannot promise and are never cert-gated.
+            return Footprint::top();
+        }
+        let mut fp = Footprint::empty();
+        match &code[t.pc] {
+            Inst::Load { addr, .. } | Inst::LoadEx { addr, .. } => {
+                fp.read(eval(addr, &t.regs).0);
+            }
+            Inst::Store { addr, .. } => {
+                fp.write(eval(addr, &t.regs).0);
+                fp.write(symm::MEM_APPEND);
+            }
+            Inst::StoreEx { addr, .. } | Inst::Rmw { addr, .. } => {
+                let a = eval(addr, &t.regs).0;
+                fp.read(a);
+                fp.write(a);
+                fp.write(symm::MEM_APPEND);
+            }
+            Inst::LoadVirt { .. } | Inst::StoreVirt { .. } | Inst::Tlbi { .. } => {
+                return Footprint::top();
+            }
+            _ => {}
+        }
+        fp
+    }
+
+    fn future(&self, st: &PState, tid: usize) -> Footprint {
+        let t = &st.threads[tid];
+        if t.status != Status::Running {
+            // Done threads have no promises left (certification prunes
+            // the alternative), so nothing further happens here.
+            return Footprint::empty();
+        }
+        if t.walk.is_some() {
+            return Footprint::top();
+        }
+        if self.ctx.cfg.promises && !self.readers[tid] {
+            if t.pc >= self.ctx.prog.threads[tid].code.len() {
+                // Only the completion step remains.
+                return Footprint::empty();
+            }
+            return Footprint::top();
+        }
+        self.futures[tid].get(t.pc).cloned().unwrap_or_default()
+    }
+
+    fn canon(&self, st: &PState) -> Option<PState> {
+        if self.perms.is_empty() {
+            return None;
+        }
+        let mut best: Option<(u128, PState)> = None;
+        let d0 = digest128(st);
+        for perm in &self.perms {
+            let img = permute_pstate(st, perm);
+            let d = digest128(&img);
+            if d < best.as_ref().map_or(d0, |(bd, _)| *bd) {
+                best = Some((d, img));
+            }
+        }
+        best.map(|(_, img)| img)
+    }
+
+    fn orbit(&self, st: &PState) -> Vec<PState> {
+        self.perms.iter().map(|p| permute_pstate(st, p)).collect()
     }
 }
 
@@ -1453,19 +1614,52 @@ pub fn enumerate_promising_with(
     } else {
         ValueAnalysis {
             plain_stores: vec![Default::default(); prog.threads.len()],
+            rmw_stores: vec![Default::default(); prog.threads.len()],
             ..Default::default()
         }
     };
     let mut truncated = domain.truncated;
+    // Symmetric threads must also have identical promise domains, or a
+    // permuted state would not step identically (identical code makes
+    // this automatic, but the guard keeps symmetry sound even if the
+    // value analysis ever becomes context-sensitive).
+    let mut groups = symm::symmetric_groups(prog);
+    groups.retain(|g| {
+        g.iter().all(|&i| {
+            domain.plain_stores[i] == domain.plain_stores[g[0]]
+                && domain.rmw_stores[i] == domain.rmw_stores[g[0]]
+        })
+    });
+    let futures = prog
+        .threads
+        .iter()
+        .map(|t| symm::thread_futures(&t.code, true))
+        .collect();
     let space = PromisingSpace {
         ctx: StepCtx { prog, cfg, domain },
+        perms: symm::group_permutations(prog.threads.len(), &groups),
+        futures,
+        readers: prog
+            .threads
+            .iter()
+            .map(|t| is_pure_reader(&t.code))
+            .collect(),
+    };
+    // Ghost violations are emitted at interior states of particular
+    // interleavings, which reduction is free to cut — so the reduced
+    // walk only runs when ghost checking is off.
+    let reduced = cfg.reduction && cfg.ghost.is_none();
+    let run = |ecfg: &ExploreConfig| {
+        if reduced {
+            vrm_explore::explore_reduced(&space, ecfg)
+        } else {
+            vrm_explore::explore(&space, ecfg)
+        }
     };
     let ecfg = ExploreConfig::with_max_states(cfg.max_states).jobs(cfg.jobs);
-    let exploration = match vrm_explore::explore(&space, &ecfg) {
+    let exploration = match run(&ecfg) {
         Ok(r) => r,
-        Err(vrm_explore::ExploreError::WorkerPanic(_)) => {
-            vrm_explore::explore(&space, &ecfg.jobs(1))?
-        }
+        Err(vrm_explore::ExploreError::WorkerPanic(_)) => run(&ecfg.jobs(1))?,
         Err(e) => return Err(e.into()),
     };
     truncated |= exploration.stats.completeness.is_truncated();

@@ -15,10 +15,11 @@
 
 use std::collections::BTreeMap;
 
-use vrm_explore::{ExploreConfig, Sink, StateSpace};
+use vrm_explore::{digest128, Deps, ExploreConfig, Footprint, Sink, StateSpace};
 
 use crate::ir::{Addr, Expr, Inst, Observable, Program, Val};
 use crate::outcome::{Outcome, OutcomeSet, ThreadExit};
+use crate::symm;
 use crate::trace::{Event, EventKind, Trace};
 
 /// Exploration limits for [`enumerate_sc`].
@@ -29,6 +30,11 @@ pub struct ScConfig {
     /// Worker threads for the exploration; `1` (the default, unless
     /// `VRM_JOBS` overrides it) selects the sequential reference driver.
     pub jobs: usize,
+    /// Dynamic partial-order + thread-symmetry reduction (see
+    /// `docs/REDUCTION.md`). On by default; the reduced walk visits
+    /// fewer states but returns the identical outcome set. Turn off to
+    /// run the exhaustive reference walk.
+    pub reduction: bool,
 }
 
 impl Default for ScConfig {
@@ -36,6 +42,7 @@ impl Default for ScConfig {
         Self {
             max_states: 4_000_000,
             jobs: ExploreConfig::jobs_from_env(),
+            reduction: true,
         }
     }
 }
@@ -518,9 +525,48 @@ pub fn enumerate_sc(prog: &Program) -> Result<OutcomeSet, ExploreError> {
 /// The SC interleaving space as seen by the exploration engine: one
 /// state per memoized machine configuration, expansion steps each
 /// runnable thread (forking over `Oracle` choices), and finished states
-/// emit their [`Outcome`].
+/// emit their [`Outcome`]. The [`Deps`] implementation additionally
+/// names per-thread footprints and the program's thread symmetry, which
+/// is what the reduced drivers cut interleavings with.
 struct ScSpace<'a> {
     prog: &'a Program,
+    /// Non-identity tid permutations of the program's symmetry group
+    /// (threads with identical code); empty when there is no symmetry.
+    perms: Vec<Vec<usize>>,
+    /// Static per-`[tid][pc]` future footprints: everything thread
+    /// `tid` might still read or write from `pc` onward.
+    futures: Vec<Vec<Footprint>>,
+}
+
+/// Applies a tid permutation to an SC state: per-thread slots (cpu
+/// state, TLB) move with their thread; shared memory and the write
+/// sequence are global and stay put.
+fn permute_sc(st: &ScState, perm: &[usize]) -> ScState {
+    let mut img = st.clone();
+    for (old, &new) in perm.iter().enumerate() {
+        img.cpus[new] = st.cpus[old].clone();
+        img.tlbs[new] = st.tlbs[old].clone();
+    }
+    img
+}
+
+impl<'a> ScSpace<'a> {
+    fn new(prog: &'a Program) -> Self {
+        let groups = symm::symmetric_groups(prog);
+        Self::with_groups(prog, &groups)
+    }
+
+    fn with_groups(prog: &'a Program, groups: &[Vec<usize>]) -> Self {
+        ScSpace {
+            prog,
+            perms: symm::group_permutations(prog.threads.len(), groups),
+            futures: prog
+                .threads
+                .iter()
+                .map(|t| symm::thread_futures(&t.code, false))
+                .collect(),
+        }
+    }
 }
 
 impl StateSpace for ScSpace<'_> {
@@ -532,35 +578,109 @@ impl StateSpace for ScSpace<'_> {
     }
 
     fn expand(&self, st: &ScState, sink: &mut Sink<ScState, Self::Emit>) {
-        let prog = self.prog;
         if st.all_finished() {
-            sink.emit(Ok(st.outcome(prog)));
+            sink.emit(Ok(st.outcome(self.prog)));
             return;
         }
-        for tid in 0..prog.threads.len() {
-            if st.cpus[tid].status != Status::Running {
-                continue;
-            }
-            // Oracle choices fork the exploration.
-            let pc = st.cpus[tid].pc;
-            let code = &prog.threads[tid].code;
-            if pc < code.len() {
-                if let Inst::Oracle { dst, choices } = &code[pc] {
-                    for &v in choices {
-                        let mut next = st.clone();
-                        next.cpus[tid].regs[dst.0 as usize] = v;
-                        next.cpus[tid].pc += 1;
-                        sink.push(next);
-                    }
-                    continue;
+        for tid in 0..self.prog.threads.len() {
+            self.expand_proc(st, tid, sink);
+        }
+    }
+}
+
+impl Deps for ScSpace<'_> {
+    fn enabled(&self, st: &ScState) -> Vec<usize> {
+        st.cpus
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.status == Status::Running)
+            .map(|(tid, _)| tid)
+            .collect()
+    }
+
+    fn expand_proc(&self, st: &ScState, tid: usize, sink: &mut Sink<ScState, Self::Emit>) {
+        let prog = self.prog;
+        if st.cpus[tid].status != Status::Running {
+            return;
+        }
+        // Oracle choices fork the exploration.
+        let pc = st.cpus[tid].pc;
+        let code = &prog.threads[tid].code;
+        if pc < code.len() {
+            if let Inst::Oracle { dst, choices } = &code[pc] {
+                for &v in choices {
+                    let mut next = st.clone();
+                    next.cpus[tid].regs[dst.0 as usize] = v;
+                    next.cpus[tid].pc += 1;
+                    sink.push(next);
                 }
-            }
-            let mut next = st.clone();
-            match step(&mut next, prog, tid, None) {
-                Ok(_) => sink.push(next),
-                Err(e) => sink.emit(Err(e)),
+                return;
             }
         }
+        let mut next = st.clone();
+        match step(&mut next, prog, tid, None) {
+            Ok(_) => sink.push(next),
+            Err(e) => sink.emit(Err(e)),
+        }
+    }
+
+    fn now(&self, st: &ScState, tid: usize) -> Footprint {
+        let cpu = &st.cpus[tid];
+        if cpu.status != Status::Running {
+            return Footprint::empty();
+        }
+        let code = &self.prog.threads[tid].code;
+        if cpu.pc >= code.len() {
+            // Done-step: flips the thread's own status, touches nothing.
+            return Footprint::empty();
+        }
+        let mut fp = Footprint::empty();
+        match &code[cpu.pc] {
+            Inst::Load { addr, .. } | Inst::LoadEx { addr, .. } => {
+                fp.read(eval(addr, &cpu.regs));
+            }
+            Inst::Store { addr, .. } => {
+                fp.write(eval(addr, &cpu.regs));
+            }
+            Inst::StoreEx { addr, .. } | Inst::Rmw { addr, .. } => {
+                let a = eval(addr, &cpu.regs);
+                fp.read(a);
+                fp.write(a);
+            }
+            Inst::LoadVirt { .. } | Inst::StoreVirt { .. } | Inst::Tlbi { .. } => {
+                return Footprint::top();
+            }
+            _ => {}
+        }
+        fp
+    }
+
+    fn future(&self, st: &ScState, tid: usize) -> Footprint {
+        let cpu = &st.cpus[tid];
+        if cpu.status != Status::Running {
+            return Footprint::empty();
+        }
+        self.futures[tid].get(cpu.pc).cloned().unwrap_or_default()
+    }
+
+    fn canon(&self, st: &ScState) -> Option<ScState> {
+        if self.perms.is_empty() {
+            return None;
+        }
+        let mut best: Option<(u128, ScState)> = None;
+        let d0 = digest128(st);
+        for perm in &self.perms {
+            let img = permute_sc(st, perm);
+            let d = digest128(&img);
+            if d < best.as_ref().map_or(d0, |(bd, _)| *bd) {
+                best = Some((d, img));
+            }
+        }
+        best.map(|(_, img)| img)
+    }
+
+    fn orbit(&self, st: &ScState) -> Vec<ScState> {
+        self.perms.iter().map(|p| permute_sc(st, p)).collect()
     }
 }
 
@@ -574,13 +694,66 @@ impl StateSpace for ScSpace<'_> {
 /// the sequential driver, which cannot lose workers.
 pub fn enumerate_sc_with(prog: &Program, cfg: &ScConfig) -> Result<OutcomeSet, ExploreError> {
     let _span = vrm_obs::span!("enumerate.sc", prog = prog.name.as_str(), jobs = cfg.jobs);
+    let space = ScSpace::new(prog);
+    collect_sc(&space, cfg)
+}
+
+#[doc(hidden)]
+/// Campaign-mutant hook (`canon-identity`): the reduced SC enumeration
+/// with every thread forced into one symmetry group regardless of code.
+/// Exists so the mutation campaign can prove an unsound over-prune
+/// flips a corpus verdict; not part of the public API.
+pub fn enumerate_sc_all_symmetric(
+    prog: &Program,
+    cfg: &ScConfig,
+) -> Result<OutcomeSet, ExploreError> {
+    let groups = symm::all_threads_one_group(prog);
+    let space = ScSpace::with_groups(prog, &groups);
+    collect_sc(
+        &space,
+        &ScConfig {
+            reduction: true,
+            ..*cfg
+        },
+    )
+}
+
+#[doc(hidden)]
+/// Campaign-mutant hook (`dpor-sleep-set-never-blocks`): the reduced SC
+/// enumeration with sleep-set pruning disabled — every sibling process
+/// stays awake, so the sequential walk re-derives interleavings the
+/// sleep sets would have cut. Outcome-equivalent by construction, but
+/// strictly larger on any program with independent steps; the campaign
+/// kills the mutant by its deterministic popped-count mismatch against
+/// the sound reduced walk. Not part of the public API.
+pub fn enumerate_sc_sleepless(prog: &Program, cfg: &ScConfig) -> Result<OutcomeSet, ExploreError> {
+    let space = ScSpace::new(prog);
+    let ecfg = ExploreConfig::with_max_states(cfg.max_states).jobs(1);
+    let exploration = vrm_explore::explore_reduced_sleepless(&space, &ecfg)?;
+    let mut outcomes = OutcomeSet::new();
+    for emit in exploration.emits {
+        outcomes.insert(emit?);
+    }
+    outcomes.stats = exploration.stats;
+    Ok(outcomes)
+}
+
+/// Runs the exploration (reduced or reference, per
+/// [`ScConfig::reduction`]) and folds emissions into an [`OutcomeSet`].
+/// If every parallel worker dies the enumeration is retried once on the
+/// sequential driver, which cannot lose workers.
+fn collect_sc(space: &ScSpace<'_>, cfg: &ScConfig) -> Result<OutcomeSet, ExploreError> {
     let ecfg = ExploreConfig::with_max_states(cfg.max_states).jobs(cfg.jobs);
-    let space = ScSpace { prog };
-    let exploration = match vrm_explore::explore(&space, &ecfg) {
-        Ok(r) => r,
-        Err(vrm_explore::ExploreError::WorkerPanic(_)) => {
-            vrm_explore::explore(&space, &ecfg.jobs(1))?
+    let run = |ecfg: &ExploreConfig| {
+        if cfg.reduction {
+            vrm_explore::explore_reduced(space, ecfg)
+        } else {
+            vrm_explore::explore(space, ecfg)
         }
+    };
+    let exploration = match run(&ecfg) {
+        Ok(r) => r,
+        Err(vrm_explore::ExploreError::WorkerPanic(_)) => run(&ecfg.jobs(1))?,
         Err(e) => return Err(e.into()),
     };
     let mut outcomes = OutcomeSet::new();

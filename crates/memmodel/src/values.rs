@@ -93,6 +93,31 @@ struct Analyzer<'a> {
     truncated: bool,
 }
 
+/// A back-edge is *benign* when its loop body cannot generate new
+/// analysis facts with further unrolling: only loads (which branch over
+/// the same candidate set every iteration), branches, fences, and nops.
+/// No stores means the overlay and the store domains are loop-invariant,
+/// and with no register arithmetic (`Mov`, `Oracle`, RMW) the register
+/// states reachable after iteration *k* are exactly those reachable
+/// after iteration 1, so the exiting continuations of a fuel-exhausted
+/// path were already explored from an earlier iteration. Spin loops
+/// (`ld; br back`) are the motivating case: under campaign budgets they
+/// used to mark the whole domain truncated, turning every verdict that
+/// crossed them into UNKNOWN.
+fn benign_back_edge(code: &[Inst], target: usize, pc: usize) -> bool {
+    code[target..=pc].iter().all(|i| {
+        matches!(
+            i,
+            Inst::Load { .. }
+                | Inst::LoadEx { .. }
+                | Inst::Br { .. }
+                | Inst::Jmp(_)
+                | Inst::Fence(_)
+                | Inst::Nop
+        )
+    })
+}
+
 impl<'a> Analyzer<'a> {
     fn load_candidates(&self, addr: Addr, overlay: &BTreeMap<Addr, Val>) -> BTreeSet<Val> {
         let mut c: BTreeSet<Val> = self.mem_values.get(&addr).cloned().unwrap_or_default();
@@ -258,7 +283,9 @@ impl<'a> Analyzer<'a> {
                         if cond.eval(l, r) {
                             if target <= st.pc {
                                 if st.fuel == 0 {
-                                    self.truncated = true;
+                                    if !benign_back_edge(code, target, st.pc) {
+                                        self.truncated = true;
+                                    }
                                     break;
                                 }
                                 st.fuel -= 1;
@@ -269,7 +296,9 @@ impl<'a> Analyzer<'a> {
                     Inst::Jmp(target) => {
                         if target <= st.pc {
                             if st.fuel == 0 {
-                                self.truncated = true;
+                                if !benign_back_edge(code, target, st.pc) {
+                                    self.truncated = true;
+                                }
                                 break;
                             }
                             st.fuel -= 1;

@@ -131,6 +131,11 @@ pub enum Oracle {
     /// The differential-fuzz pipeline over generated programs loses a
     /// signal the sound generator/shrinker produces.
     DiffFuzz,
+    /// A guard-stripped reimplementation of a state-space reduction
+    /// rule disagrees with the sound reduced engine on a battery test —
+    /// either on the deterministic state counts the bench anchors pin,
+    /// or on the outcome set itself.
+    Reduction,
 }
 
 impl Oracle {
@@ -146,6 +151,7 @@ impl Oracle {
             Oracle::Degradation => "degradation",
             Oracle::Serve => "serve",
             Oracle::DiffFuzz => "diff-fuzz",
+            Oracle::Reduction => "reduction",
         }
     }
 }
@@ -215,6 +221,40 @@ enum Subject {
     /// A `GenConfig` switch judged by running the bugged generator
     /// pipeline and the sound one over the same seeds.
     Gen { variant: GenVariant },
+    /// A guard-stripped state-space reduction rule judged against the
+    /// sound reduced engine on a battery test.
+    Reduction { variant: ReductionVariant },
+}
+
+/// Which reduction rule a `Subject::Reduction` mutant re-implements
+/// with its soundness guard removed (`docs/REDUCTION.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReductionVariant {
+    /// The sleep-set driver with blocking deleted: every child starts
+    /// awake, so no commuting interleaving is ever pruned. The walk
+    /// stays outcome-correct but its popped/states counts drift off the
+    /// bench anchors `BENCH_explore.json` pins.
+    SleepSetNeverBlocks,
+    /// `Deps::canon` replaced by the identity on a space whose orbit
+    /// map treats *all* threads as interchangeable — an unsound
+    /// over-prune that merges non-symmetric interleavings and
+    /// manufactures outcomes the real machine forbids, flipping a
+    /// corpus verdict.
+    CanonIdentity,
+}
+
+impl ReductionVariant {
+    /// Human description of the injected change.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            ReductionVariant::SleepSetNeverBlocks => {
+                "sleep-set driver whose sleep sets never block a child"
+            }
+            ReductionVariant::CanonIdentity => {
+                "orbit map declaring all threads symmetric regardless of their code"
+            }
+        }
+    }
 }
 
 /// Which engine degradation rule a `Subject::Degradation` mutant
@@ -439,6 +479,20 @@ impl MutantSpec {
         }
     }
 
+    /// An engine-layer mutant: one state-space reduction rule
+    /// re-implemented with its soundness guard removed, killed iff the
+    /// bugged walk disagrees with the sound reduced walk on a battery
+    /// test — in its anchored state counts or in its outcome set.
+    pub fn reduction(name: &str, variant: ReductionVariant) -> Self {
+        MutantSpec {
+            name: name.to_string(),
+            layer: Layer::Engine,
+            oracle: Oracle::Reduction,
+            mutation: variant.describe().to_string(),
+            subject: Subject::Reduction { variant },
+        }
+    }
+
     /// A gen-layer mutant: one `GenConfig` generator-pipeline switch
     /// flipped, killed iff the bugged pipeline loses the
     /// relaxed-behaviour signal the sound one produces on the same
@@ -639,6 +693,7 @@ fn run_one(spec: &MutantSpec, cfg: &CampaignConfig) -> MutantResult {
         Subject::Degradation { variant } => run_degradation(*variant, cfg),
         Subject::Serve { variant } => run_serve(*variant, cfg),
         Subject::Gen { variant } => run_gen(*variant, cfg),
+        Subject::Reduction { variant } => run_reduction(*variant),
     };
     if stats.wall_ns == 0 {
         stats.wall_ns = started.elapsed().as_nanos() as u64;
@@ -813,6 +868,7 @@ fn run_machine_log(kcfg: KCoreConfig, cfg: &CampaignConfig) -> (Status, String, 
     let ecfg = ExhaustiveConfig {
         max_states: cfg.machine_max_states,
         jobs: cfg.jobs,
+        ..ExhaustiveConfig::default()
     };
     match Machine::explore_schedules(kcfg, unmap_scripts(), &ecfg) {
         Err(e) => (Status::Timeout, e.to_string(), ExploreStats::default()),
@@ -883,6 +939,7 @@ fn run_machine_refinement(
     let ecfg = ExhaustiveConfig {
         max_states: cfg.machine_max_states,
         jobs: cfg.jobs,
+        ..ExhaustiveConfig::default()
     };
     match Machine::check_refinement(kcfg, spec_scripts(), &ecfg) {
         Err(e) => (Status::Timeout, e.to_string(), ExploreStats::default()),
@@ -1000,6 +1057,94 @@ fn run_degradation(
         Status::Survived
     };
     (status, detail, v.stats)
+}
+
+fn run_reduction(variant: ReductionVariant) -> (Status, String, ExploreStats) {
+    use vrm_memmodel::sc::{
+        enumerate_sc_all_symmetric, enumerate_sc_sleepless, enumerate_sc_with, ScConfig,
+    };
+    // Each variant replays one reduction rule with its guard removed on
+    // a battery test chosen to make the bug observable: a test whose
+    // interleaving count the bench anchors pin (sleep sets), or one
+    // whose forbidden outcome a fake symmetry manufactures (orbits).
+    // jobs is pinned to 1 so the popped counts are the deterministic
+    // sequential-driver numbers the anchors record.
+    let sc_cfg = ScConfig {
+        jobs: 1,
+        ..ScConfig::default()
+    };
+    match variant {
+        ReductionVariant::SleepSetNeverBlocks => {
+            let test = battery_test("ISA2+dmb+addrs");
+            let sound = match enumerate_sc_with(&test.program, &sc_cfg) {
+                Err(e) => return (Status::Timeout, e.to_string(), ExploreStats::default()),
+                Ok(s) => s,
+            };
+            let bugged = match enumerate_sc_sleepless(&test.program, &sc_cfg) {
+                Err(e) => return (Status::Timeout, e.to_string(), ExploreStats::default()),
+                Ok(s) => s,
+            };
+            if bugged != sound {
+                // The sleepless walk is exhaustive, so an outcome
+                // difference means the *sound* driver over-pruned; that
+                // is an engine bug, and surviving here surfaces it
+                // through the 100%-kill gate.
+                return (
+                    Status::Survived,
+                    "harness error: sleepless walk changed the outcome set".to_string(),
+                    sound.stats,
+                );
+            }
+            let killed = bugged.stats.popped != sound.stats.popped;
+            let detail = format!(
+                "sleepless walk popped {} states; sound sleep-set walk popped {} \
+                 (the count BENCH_explore.json anchors)",
+                bugged.stats.popped, sound.stats.popped
+            );
+            let status = if killed {
+                Status::Killed
+            } else {
+                Status::Survived
+            };
+            (status, detail, sound.stats)
+        }
+        ReductionVariant::CanonIdentity => {
+            let test = battery_test("SB+rel+acq");
+            let sound = match enumerate_sc_with(&test.program, &sc_cfg) {
+                Err(e) => return (Status::Timeout, e.to_string(), ExploreStats::default()),
+                Ok(s) => s,
+            };
+            let bugged = match enumerate_sc_all_symmetric(&test.program, &sc_cfg) {
+                Err(e) => return (Status::Timeout, e.to_string(), ExploreStats::default()),
+                Ok(s) => s,
+            };
+            // SB+rel+acq forbids its condition under SC; the fake
+            // all-threads orbit merges the two differently-fenced
+            // threads and manufactures exactly that outcome.
+            let sound_hit = sound.contains_binding(&test.condition);
+            let bugged_hit = bugged.contains_binding(&test.condition);
+            let killed = sound_hit != bugged_hit;
+            let detail = format!(
+                "condition {} under the fake all-symmetric orbit map; sound SC walk says {}",
+                if bugged_hit {
+                    "reachable"
+                } else {
+                    "unreachable"
+                },
+                if sound_hit {
+                    "reachable"
+                } else {
+                    "unreachable"
+                },
+            );
+            let status = if killed {
+                Status::Killed
+            } else {
+                Status::Survived
+            };
+            (status, detail, sound.stats)
+        }
+    }
 }
 
 /// One submit→verdict probe against an in-process daemon: result of a
@@ -1300,6 +1445,7 @@ fn relaxed_signal(
     let sc_cfg = ScConfig {
         jobs,
         max_states: 1 << 16,
+        ..ScConfig::default()
     };
     let mut pm_cfg = parsed.promising.clone();
     pm_cfg.jobs = jobs;
@@ -1696,6 +1842,18 @@ pub fn curated() -> Vec<MutantSpec> {
         "degrade-unknown-as-pass",
         DegradationVariant::UnknownExitsZero,
     ));
+    // The state-space reduction machinery (`docs/REDUCTION.md`): a
+    // survivor here would mean a broken sleep set could drift the walk
+    // off its bench anchors unnoticed, or a wrong symmetry could prune
+    // real behaviours and flip a verdict.
+    specs.push(MutantSpec::reduction(
+        "dpor-sleep-set-never-blocks",
+        ReductionVariant::SleepSetNeverBlocks,
+    ));
+    specs.push(MutantSpec::reduction(
+        "canon-identity",
+        ReductionVariant::CanonIdentity,
+    ));
 
     // --- Serve layer -----------------------------------------------------
     // The daemon's caching discipline: a survivor here would mean a
@@ -1809,6 +1967,17 @@ mod tests {
                 stats.completeness.is_truncated(),
                 "{variant:?}: the oracle run must really be truncated"
             );
+        }
+    }
+
+    #[test]
+    fn reduction_mutants_are_killed() {
+        for variant in [
+            ReductionVariant::SleepSetNeverBlocks,
+            ReductionVariant::CanonIdentity,
+        ] {
+            let (status, detail, _) = run_reduction(variant);
+            assert_eq!(status, Status::Killed, "{variant:?}: {detail}");
         }
     }
 

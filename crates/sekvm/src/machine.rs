@@ -15,15 +15,16 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 
-use vrm_explore::{ExploreConfig, ExploreStats, Sink, StateSpace};
+use vrm_explore::{Deps, ExploreConfig, ExploreStats, Sink, StateSpace};
 use vrm_memmodel::ir::{Addr, Val};
+use vrm_memmodel::symm;
 
 use crate::events::{LockId, MEvent};
 use crate::kcore::{HypercallError, KCore, KCoreConfig};
 use crate::ticketlock::Ticket;
 
 /// One scripted operation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Op {
     /// Register a VM; the resulting vmid is stored in the CPU's vm slot.
     RegisterVm,
@@ -651,7 +652,7 @@ impl Machine {
             jobs = ecfg.jobs,
             resumed = u64::from(prior.is_some()),
         );
-        let space = SchedSpace { cfg, scripts };
+        let space = SchedSpace::new(cfg, scripts);
         let xcfg = ExploreConfig::with_max_states(ecfg.max_states).jobs(ecfg.jobs);
         let (seed, mut outcomes, prior_stats) = match prior {
             Some(p) => {
@@ -667,13 +668,20 @@ impl Machine {
             }
             None => (None, BTreeSet::new(), None),
         };
-        let ex = match vrm_explore::explore_from(&space, &xcfg, seed.clone()) {
+        let run = |xcfg: &ExploreConfig,
+                   seed: Option<vrm_explore::ResumeState<SchedNode>>|
+         -> Result<_, vrm_explore::ExploreError> {
+            if ecfg.reduction {
+                vrm_explore::explore_reduced_from(&space, xcfg, seed)
+            } else {
+                vrm_explore::explore_from(&space, xcfg, seed)
+            }
+        };
+        let ex = match run(&xcfg, seed.clone()) {
             Ok(ex) => ex,
             // All parallel workers died: the sequential driver has no
             // worker threads to lose, so fall back to it once.
-            Err(vrm_explore::ExploreError::WorkerPanic(_)) => {
-                vrm_explore::explore_from(&space, &xcfg.jobs(1), seed)?
-            }
+            Err(vrm_explore::ExploreError::WorkerPanic(_)) => run(&xcfg.jobs(1), seed)?,
             Err(e) => return Err(e),
         };
         outcomes.extend(ex.emits);
@@ -715,9 +723,13 @@ impl Machine {
             scripts = scripts.len(),
             jobs = ecfg.jobs,
         );
-        let space = SchedSpace { cfg, scripts };
+        let space = SchedSpace::new(cfg, scripts);
         let xcfg = ExploreConfig::with_max_states(ecfg.max_states).jobs(ecfg.jobs);
-        let ex = vrm_explore::retry_with_escalation(&space, &xcfg, max_retries)?;
+        let ex = if ecfg.reduction {
+            vrm_explore::retry_with_escalation_reduced(&space, &xcfg, max_retries)?
+        } else {
+            vrm_explore::retry_with_escalation(&space, &xcfg, max_retries)?
+        };
         let outcomes: BTreeSet<SchedOutcome> = ex.emits.into_iter().collect();
         let resume = ex.resume.map(|rs| ScheduleResume {
             checkpoint: vrm_explore::Checkpoint::park(rs),
@@ -753,13 +765,18 @@ impl Machine {
             scripts = scripts.len(),
             jobs = ecfg.jobs,
         );
-        let space = RefineSpace { cfg, scripts };
+        let space = RefineSpace::new(cfg, scripts);
         let xcfg = ExploreConfig::with_max_states(ecfg.max_states).jobs(ecfg.jobs);
-        let ex = match vrm_explore::explore(&space, &xcfg) {
-            Ok(ex) => ex,
-            Err(vrm_explore::ExploreError::WorkerPanic(_)) => {
-                vrm_explore::explore(&space, &xcfg.jobs(1))?
+        let run = |xcfg: &ExploreConfig| -> Result<_, vrm_explore::ExploreError> {
+            if ecfg.reduction {
+                vrm_explore::explore_reduced(&space, xcfg)
+            } else {
+                vrm_explore::explore(&space, xcfg)
             }
+        };
+        let ex = match run(&xcfg) {
+            Ok(ex) => ex,
+            Err(vrm_explore::ExploreError::WorkerPanic(_)) => run(&xcfg.jobs(1))?,
             Err(e) => return Err(e),
         };
         let mut outcomes = BTreeSet::new();
@@ -851,6 +868,14 @@ pub struct ExhaustiveConfig {
     pub max_states: usize,
     /// Worker threads (1 = the sequential reference driver).
     pub jobs: usize,
+    /// Run the walk through the reduced drivers (`true`, the default):
+    /// CPUs with identical scripts are collapsed to orbit
+    /// representatives via path replay, and terminal outcomes are
+    /// re-rendered for every collapsed variant, so the outcome set and
+    /// verdict are identical to the exhaustive walk's (see
+    /// `docs/REDUCTION.md`). `false` forces the exact unreduced walk —
+    /// the differential anchor the soundness tests compare against.
+    pub reduction: bool,
 }
 
 impl Default for ExhaustiveConfig {
@@ -858,6 +883,7 @@ impl Default for ExhaustiveConfig {
         ExhaustiveConfig {
             max_states: 1 << 20,
             jobs: ExploreConfig::jobs_from_env(),
+            reduction: true,
         }
     }
 }
@@ -1090,7 +1116,7 @@ impl ScheduleResume {
             jobs: nums[7] as usize,
             completeness,
         };
-        let space = SchedSpace { cfg, scripts };
+        let space = SchedSpace::new(cfg, scripts);
         let root = space
             .initial()
             .pop()
@@ -1396,9 +1422,95 @@ impl std::hash::Hash for SchedNode {
     }
 }
 
+/// The non-identity CPU permutations generated by groups of CPUs with
+/// *identical scripts* — the machine's symmetry group. A CPU named by
+/// index from any script (an [`Op::AttachVm`] `owner_cpu`) is pinned
+/// out of its group: relabeling it would redirect the reference, so
+/// the permuted run would not be an isomorphic relabeling. Empty when
+/// there is no symmetry or the orbit exceeds [`symm::MAX_ORBIT`].
+fn script_perms(scripts: &[Script]) -> Vec<Vec<usize>> {
+    let mut referenced: BTreeSet<usize> = BTreeSet::new();
+    for s in scripts {
+        for op in s {
+            if let Op::AttachVm { owner_cpu } = op {
+                referenced.insert(*owner_cpu);
+            }
+        }
+    }
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, s) in scripts.iter().enumerate() {
+        if referenced.contains(&i) {
+            continue;
+        }
+        match groups.iter_mut().find(|g| scripts[g[0]] == *s) {
+            Some(g) => g.push(i),
+            None => groups.push(vec![i]),
+        }
+    }
+    groups.retain(|g| g.len() >= 2);
+    symm::group_permutations(scripts.len(), &groups)
+}
+
+/// Replays `π ∘ path` from the workload's initial node. Because the
+/// scripts inside each symmetry group are identical and
+/// [`SchedNode::step_once`] is deterministic, the result is *exactly*
+/// the reached node with CPU identities relabeled by `π` — including
+/// its failure strings, event log, and digest — not an approximation
+/// of it. This is the machine layer's canonicalization primitive: it
+/// reuses the same replay determinism that makes checkpoints
+/// serializable.
+fn replay_permuted(root: &SchedNode, path: &[u16], perm: &[usize]) -> SchedNode {
+    let mut node = root.clone();
+    for &c in path {
+        node = node.step_once(perm[usize::from(c)]);
+    }
+    node
+}
+
+/// The minimal-digest orbit member of `node` (when it is not `node`
+/// itself) under the permutations in `perms`.
+fn canon_node(root: &SchedNode, perms: &[Vec<usize>], node: &SchedNode) -> Option<SchedNode> {
+    let mut best: Option<SchedNode> = None;
+    for perm in perms {
+        let img = replay_permuted(root, &node.path, perm);
+        let best_digest = best.as_ref().map_or(node.digest, |b| b.digest);
+        if img.digest < best_digest {
+            best = Some(img);
+        }
+    }
+    best
+}
+
+/// The other distinct members of `node`'s orbit under `perms`.
+fn orbit_nodes(root: &SchedNode, perms: &[Vec<usize>], node: &SchedNode) -> Vec<SchedNode> {
+    let mut out: Vec<SchedNode> = Vec::new();
+    for perm in perms {
+        let img = replay_permuted(root, &node.path, perm);
+        if img.digest != node.digest && out.iter().all(|o| o.digest != img.digest) {
+            out.push(img);
+        }
+    }
+    out
+}
+
 struct SchedSpace {
-    cfg: KCoreConfig,
-    scripts: Vec<Script>,
+    root: SchedNode,
+    perms: Vec<Vec<usize>>,
+}
+
+impl SchedSpace {
+    fn new(cfg: KCoreConfig, scripts: Vec<Script>) -> Self {
+        let perms = script_perms(&scripts);
+        let m = Machine::new(cfg, scripts, 0);
+        let root = SchedNode::new(m.kcore, m.cpus, 0, Vec::new(), Vec::new(), Vec::new());
+        SchedSpace { root, perms }
+    }
+
+    fn runnable(node: &SchedNode) -> Vec<usize> {
+        (0..node.cpus.len())
+            .filter(|&c| !matches!(node.cpus[c].phase, Phase::Finished))
+            .collect()
+    }
 }
 
 impl StateSpace for SchedSpace {
@@ -1406,21 +1518,11 @@ impl StateSpace for SchedSpace {
     type Emit = SchedOutcome;
 
     fn initial(&self) -> Vec<SchedNode> {
-        let m = Machine::new(self.cfg, self.scripts.clone(), 0);
-        vec![SchedNode::new(
-            m.kcore,
-            m.cpus,
-            0,
-            Vec::new(),
-            Vec::new(),
-            Vec::new(),
-        )]
+        vec![self.root.clone()]
     }
 
     fn expand(&self, node: &SchedNode, sink: &mut Sink<SchedNode, SchedOutcome>) {
-        let runnable: Vec<usize> = (0..node.cpus.len())
-            .filter(|&c| !matches!(node.cpus[c].phase, Phase::Finished))
-            .collect();
+        let runnable = Self::runnable(node);
         if runnable.is_empty() {
             sink.emit(node.outcome(false));
             return;
@@ -1437,6 +1539,35 @@ impl StateSpace for SchedSpace {
             // Every CPU is waiting on something that can never happen.
             sink.emit(node.outcome(true));
         }
+    }
+}
+
+/// Symmetry-only reduction: `now`/`future` stay at their conservative
+/// top defaults (every operation may touch the shared `KCore`, so no
+/// sound independence is claimed and neither sleep sets nor ample
+/// singletons ever prune), while `canon`/`orbit` collapse CPUs with
+/// identical scripts via path replay. The global-stall emission —
+/// every CPU steps to itself, a property no single `expand_proc` can
+/// see — is recovered by the reduced drivers' dead-end delegation to
+/// the whole-state [`StateSpace::expand`] above.
+impl Deps for SchedSpace {
+    fn enabled(&self, node: &SchedNode) -> Vec<usize> {
+        Self::runnable(node)
+    }
+
+    fn expand_proc(&self, node: &SchedNode, p: usize, sink: &mut Sink<SchedNode, SchedOutcome>) {
+        let succ = node.step_once(p);
+        if succ.digest != node.digest {
+            sink.push(succ);
+        }
+    }
+
+    fn canon(&self, node: &SchedNode) -> Option<SchedNode> {
+        canon_node(&self.root, &self.perms, node)
+    }
+
+    fn orbit(&self, node: &SchedNode) -> Vec<SchedNode> {
+        orbit_nodes(&self.root, &self.perms, node)
     }
 }
 
@@ -1504,8 +1635,78 @@ enum RefineEmit {
 /// failure is emitted through the sink. Violations are *not* part of the
 /// node digest, so the walked graph is identical to `SchedSpace`'s.
 struct RefineSpace {
-    cfg: KCoreConfig,
-    scripts: Vec<Script>,
+    root: SchedNode,
+    perms: Vec<Vec<usize>>,
+}
+
+impl RefineSpace {
+    fn new(cfg: KCoreConfig, scripts: Vec<Script>) -> Self {
+        let perms = script_perms(&scripts);
+        let m = Machine::new(cfg, scripts, 0);
+        let root = SchedNode::new(m.kcore, m.cpus, 0, Vec::new(), Vec::new(), Vec::new());
+        RefineSpace { root, perms }
+    }
+
+    /// One CPU's transition with its refinement check: steps `cpu`,
+    /// emits a [`RefineEmit::Violation`] for every simulation failure
+    /// of the executed operation, and pushes the successor unless the
+    /// step was a self-loop. Shared verbatim between the whole-state
+    /// [`StateSpace::expand`] and the per-process [`Deps::expand_proc`]
+    /// so the two drivers check exactly the same transitions.
+    fn step_checked(
+        &self,
+        node: &SchedNode,
+        cpu: usize,
+        sink: &mut Sink<SchedNode, RefineEmit>,
+    ) -> bool {
+        let mut m = Machine {
+            kcore: node.kcore.clone(),
+            cpus: node.cpus.clone(),
+            rng: StdRng::seed_from_u64(0),
+        };
+        let mut delta = RunReport {
+            ops_ok: 0,
+            failures: Vec::new(),
+            expectation_violations: Vec::new(),
+            steps: 0,
+            total_spins: 0,
+            stalled: false,
+        };
+        let pre_vm = node.cpus[cpu].vm;
+        let pre_op = node.cpus[cpu].next_op;
+        m.step(cpu, &mut delta);
+        if delta.ops_ok + delta.failures.len() > 0 {
+            let op = node.cpus[cpu].script[pre_op].clone();
+            let ok = delta.failures.is_empty();
+            for detail in crate::refine::check_transition(&node.kcore, pre_vm, &op, ok, &m.kcore) {
+                sink.emit(RefineEmit::Violation(RefinementViolation {
+                    cpu,
+                    op: op_name(&op),
+                    detail,
+                }));
+            }
+        }
+        let mut failures = node.failures.clone();
+        failures.extend(delta.failures);
+        let mut violations = node.expectation_violations.clone();
+        violations.extend(delta.expectation_violations);
+        let mut path = node.path.clone();
+        path.push(cpu as u16);
+        let succ = SchedNode::new(
+            m.kcore,
+            m.cpus,
+            node.ops_ok + delta.ops_ok,
+            failures,
+            violations,
+            path,
+        );
+        if succ.digest != node.digest {
+            sink.push(succ);
+            true
+        } else {
+            false
+        }
+    }
 }
 
 impl StateSpace for RefineSpace {
@@ -1513,79 +1714,48 @@ impl StateSpace for RefineSpace {
     type Emit = RefineEmit;
 
     fn initial(&self) -> Vec<SchedNode> {
-        let m = Machine::new(self.cfg, self.scripts.clone(), 0);
-        vec![SchedNode::new(
-            m.kcore,
-            m.cpus,
-            0,
-            Vec::new(),
-            Vec::new(),
-            Vec::new(),
-        )]
+        vec![self.root.clone()]
     }
 
     fn expand(&self, node: &SchedNode, sink: &mut Sink<SchedNode, RefineEmit>) {
-        let runnable: Vec<usize> = (0..node.cpus.len())
-            .filter(|&c| !matches!(node.cpus[c].phase, Phase::Finished))
-            .collect();
+        let runnable = SchedSpace::runnable(node);
         if runnable.is_empty() {
             sink.emit(RefineEmit::Outcome(node.outcome(false)));
             return;
         }
         let mut progressed = false;
         for cpu in runnable {
-            let mut m = Machine {
-                kcore: node.kcore.clone(),
-                cpus: node.cpus.clone(),
-                rng: StdRng::seed_from_u64(0),
-            };
-            let mut delta = RunReport {
-                ops_ok: 0,
-                failures: Vec::new(),
-                expectation_violations: Vec::new(),
-                steps: 0,
-                total_spins: 0,
-                stalled: false,
-            };
-            let pre_vm = node.cpus[cpu].vm;
-            let pre_op = node.cpus[cpu].next_op;
-            m.step(cpu, &mut delta);
-            if delta.ops_ok + delta.failures.len() > 0 {
-                let op = node.cpus[cpu].script[pre_op].clone();
-                let ok = delta.failures.is_empty();
-                for detail in
-                    crate::refine::check_transition(&node.kcore, pre_vm, &op, ok, &m.kcore)
-                {
-                    sink.emit(RefineEmit::Violation(RefinementViolation {
-                        cpu,
-                        op: op_name(&op),
-                        detail,
-                    }));
-                }
-            }
-            let mut failures = node.failures.clone();
-            failures.extend(delta.failures);
-            let mut violations = node.expectation_violations.clone();
-            violations.extend(delta.expectation_violations);
-            let mut path = node.path.clone();
-            path.push(cpu as u16);
-            let succ = SchedNode::new(
-                m.kcore,
-                m.cpus,
-                node.ops_ok + delta.ops_ok,
-                failures,
-                violations,
-                path,
-            );
-            if succ.digest != node.digest {
-                progressed = true;
-                sink.push(succ);
-            }
+            progressed |= self.step_checked(node, cpu, sink);
         }
         if !progressed {
             // Every CPU is waiting on something that can never happen.
             sink.emit(RefineEmit::Outcome(node.outcome(true)));
         }
+    }
+}
+
+/// Same symmetry-only reduction as [`SchedSpace`]'s. One asymmetry of
+/// *observation* (not of the walked graph): interior
+/// [`RefineEmit::Violation`]s are checked at orbit representatives
+/// only, so the reduced violation set is the unreduced one modulo CPU
+/// relabeling — non-empty iff the unreduced set is, which is what the
+/// refinement verdict consumes. Terminal outcomes are re-rendered for
+/// the whole orbit and stay bit-identical.
+impl Deps for RefineSpace {
+    fn enabled(&self, node: &SchedNode) -> Vec<usize> {
+        SchedSpace::runnable(node)
+    }
+
+    fn expand_proc(&self, node: &SchedNode, p: usize, sink: &mut Sink<SchedNode, RefineEmit>) {
+        self.step_checked(node, p, sink);
+    }
+
+    fn canon(&self, node: &SchedNode) -> Option<SchedNode> {
+        canon_node(&self.root, &self.perms, node)
+    }
+
+    fn orbit(&self, node: &SchedNode) -> Vec<SchedNode> {
+        orbit_nodes(&self.root, &self.perms, node)
     }
 }
 
@@ -1690,10 +1860,12 @@ mod tests {
         let small = ExhaustiveConfig {
             max_states: 40,
             jobs: 1,
+            ..ExhaustiveConfig::default()
         };
         let full = ExhaustiveConfig {
             max_states: 1 << 16,
             jobs: 1,
+            ..ExhaustiveConfig::default()
         };
         let starved =
             Machine::explore_schedules(KCoreConfig::default(), scripts.clone(), &small).unwrap();
@@ -1734,6 +1906,7 @@ mod tests {
         let small = ExhaustiveConfig {
             max_states: 40,
             jobs: 1,
+            ..ExhaustiveConfig::default()
         };
         let parked = Machine::explore_schedules(KCoreConfig::default(), scripts.clone(), &small)
             .unwrap()
@@ -1772,6 +1945,7 @@ mod tests {
         let small = ExhaustiveConfig {
             max_states: 40,
             jobs: 1,
+            ..ExhaustiveConfig::default()
         };
         let parked = Machine::explore_schedules(KCoreConfig::default(), unmap, &small)
             .unwrap()
@@ -1928,6 +2102,7 @@ mod tests {
                 &ExhaustiveConfig {
                     max_states: 1 << 20,
                     jobs,
+                    ..ExhaustiveConfig::default()
                 },
             )
             .unwrap()
@@ -1950,6 +2125,7 @@ mod tests {
             &ExhaustiveConfig {
                 max_states: 2,
                 jobs: 1,
+                ..ExhaustiveConfig::default()
             },
         )
         .unwrap();
@@ -1982,6 +2158,7 @@ mod tests {
             &ExhaustiveConfig {
                 max_states: 2,
                 jobs: 1,
+                ..ExhaustiveConfig::default()
             },
         )
         .unwrap();
@@ -2018,6 +2195,7 @@ mod tests {
             &ExhaustiveConfig {
                 max_states: 2,
                 jobs: 1,
+                ..ExhaustiveConfig::default()
             },
             16,
         )

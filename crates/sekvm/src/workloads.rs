@@ -6,7 +6,7 @@
 //! to `vrm-serve` or printed in `BENCH_explore.json`) means the same
 //! program everywhere.
 
-use crate::layout::{PAGE_WORDS, VM_POOL_PFN};
+use crate::layout::{KSERV_PFN, PAGE_WORDS, VM_POOL_PFN};
 use crate::machine::{Op, Script};
 
 /// The `unmap` workload: a minimal two-CPU map → grant → revoke
@@ -33,13 +33,39 @@ pub fn unmap() -> Vec<Script> {
     ]
 }
 
-/// Looks up a workload's scripts by name. Current names: `"unmap"`.
+/// The `mirror` workload: two CPUs running *identical* scripts — each
+/// registers its own VM and vCPU, then probes a KServ-owned page and a
+/// KCore-private page from KServ context. Everything the two CPUs do
+/// is fully symmetric (no script names a CPU index, no shared pages),
+/// so the schedule space is invariant under swapping them: the
+/// canonical exercise for the machine layer's orbit collapse.
+pub fn mirror() -> Vec<Script> {
+    let kserv_pa = KSERV_PFN.0 * PAGE_WORDS;
+    let kcore_pa = PAGE_WORDS;
+    let script = vec![
+        Op::RegisterVm,
+        Op::RegisterVcpu,
+        Op::KservRead {
+            pa: kserv_pa,
+            expect_allowed: true,
+        },
+        Op::KservRead {
+            pa: kcore_pa,
+            expect_allowed: false,
+        },
+    ];
+    vec![script.clone(), script]
+}
+
+/// Looks up a workload's scripts by name. Current names: `"unmap"`,
+/// `"mirror"`.
 pub fn by_name(name: &str) -> Option<Vec<Script>> {
     match name {
         "unmap" => Some(unmap()),
+        "mirror" => Some(mirror()),
         _ => None,
     }
 }
 
 /// Every servable workload name, in registry order.
-pub const NAMES: &[&str] = &["unmap"];
+pub const NAMES: &[&str] = &["unmap", "mirror"];

@@ -298,6 +298,7 @@ mod tests {
             &ExhaustiveConfig {
                 max_states: 2,
                 jobs: 1,
+                ..ExhaustiveConfig::default()
             },
         )
         .expect("starved walk")

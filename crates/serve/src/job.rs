@@ -245,6 +245,7 @@ pub fn execute(
             let ecfg = ExhaustiveConfig {
                 max_states: cfg.max_states,
                 jobs: cfg.jobs,
+                ..ExhaustiveConfig::default()
             };
             let resumed = resume.is_some();
             let prior_states = resume.as_ref().map_or(0, |r| r.states_visited());
@@ -284,6 +285,7 @@ pub fn execute(
             let ecfg = ExhaustiveConfig {
                 max_states: cfg.max_states,
                 jobs: cfg.jobs,
+                ..ExhaustiveConfig::default()
             };
             let report = Machine::check_refinement(KCoreConfig::default(), scripts, &ecfg)
                 .map_err(|e| format!("check_refinement: {e}"))?;

@@ -136,11 +136,16 @@ fn work_counters_are_identical_across_jobs_1_and_4() {
     if std::env::var("VRM_FAULT_SEED").is_ok() {
         return;
     }
+    // The cross-driver identity is an *exhaustive*-walk invariant: the
+    // reduced drivers prune differently per driver (the sequential one
+    // adds sleep sets on top of ample sets — docs/REDUCTION.md), so the
+    // pinned comparison runs with reduction off.
     let prog = mp_program();
     let seq = enumerate_sc_with(
         &prog,
         &ScConfig {
             jobs: 1,
+            reduction: false,
             ..Default::default()
         },
     )
@@ -149,6 +154,7 @@ fn work_counters_are_identical_across_jobs_1_and_4() {
         &prog,
         &ScConfig {
             jobs: 4,
+            reduction: false,
             ..Default::default()
         },
     )
@@ -161,4 +167,42 @@ fn work_counters_are_identical_across_jobs_1_and_4() {
     assert_eq!(seq.stats.dedup_hits, par.stats.dedup_hits);
     assert_eq!(seq.len(), par.len(), "outcome sets must agree");
     assert_eq!(seq.stats.steals, 0, "the sequential driver never steals");
+}
+
+#[test]
+fn reduced_work_counters_are_deterministic_per_driver() {
+    vrm::obs::install_memory_sink();
+    if std::env::var("VRM_FAULT_SEED").is_ok() {
+        return;
+    }
+    // Under reduction (the default) counts are a per-driver anchor, not
+    // a cross-driver one: re-running the same (program, jobs) config
+    // must reproduce them exactly — that is what lets BENCH_explore.json
+    // pin the jobs=1 `reduction/*` record pairs — and every driver must
+    // still agree on the outcome set, never exceeding the full walk.
+    let prog = mp_program();
+    let full = enumerate_sc_with(
+        &prog,
+        &ScConfig {
+            jobs: 1,
+            reduction: false,
+            ..Default::default()
+        },
+    )
+    .expect("exhaustive SC");
+    for jobs in [1, 4] {
+        let cfg = ScConfig {
+            jobs,
+            ..Default::default()
+        };
+        let a = enumerate_sc_with(&prog, &cfg).expect("reduced SC");
+        let b = enumerate_sc_with(&prog, &cfg).expect("reduced SC rerun");
+        assert_eq!(a.stats.states, b.stats.states, "jobs={jobs}");
+        assert_eq!(a.stats.popped, b.stats.popped, "jobs={jobs}");
+        assert_eq!(a, full, "jobs={jobs}: reduced outcome set must match");
+        assert!(
+            a.stats.states <= full.stats.states,
+            "jobs={jobs}: reduction must not grow the walk"
+        );
+    }
 }

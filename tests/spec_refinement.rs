@@ -47,6 +47,7 @@ fn unbroken_kernel_refines_exhaustively() {
     let ecfg = ExhaustiveConfig {
         max_states: 1 << 18,
         jobs: 1,
+        ..ExhaustiveConfig::default()
     };
     let report = Machine::check_refinement(KCoreConfig::default(), unmap_scripts(), &ecfg)
         .expect("exploration");
@@ -66,6 +67,7 @@ fn refinement_walk_matches_explore_schedules_at_every_job_count() {
         let ecfg = ExhaustiveConfig {
             max_states: 1 << 18,
             jobs,
+            ..ExhaustiveConfig::default()
         };
         let r = Machine::check_refinement(KCoreConfig::default(), unmap_scripts(), &ecfg)
             .expect("refinement");
